@@ -1,0 +1,76 @@
+#ifndef PDX_BENCH_BENCH_COMMON_H_
+#define PDX_BENCH_BENCH_COMMON_H_
+
+// Shared scaffolding for the per-table/figure benchmark binaries.
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "benchlib/bench_utils.h"
+#include "benchlib/datagen.h"
+#include "benchlib/recall.h"
+#include "benchlib/workloads.h"
+#include "common/timer.h"
+#include "core/pdx.h"
+
+namespace pdx {
+namespace bench {
+
+/// Everything the IVF experiments need about one dataset, built once.
+struct IvfScenario {
+  Dataset dataset;
+  IvfIndex index;
+  BucketOrderedSet ordered;  // Raw vectors in bucket order.
+  std::vector<std::vector<VectorId>> truth;
+  size_t k = 10;
+};
+
+inline IvfScenario BuildIvfScenario(const SyntheticSpec& spec,
+                                    size_t k = 10) {
+  IvfScenario s;
+  s.k = k;
+  s.dataset = GenerateDataset(spec);
+  s.index = IvfIndex::Build(s.dataset.data, {});
+  s.ordered = ReorderByBuckets(s.dataset.data, s.index);
+  s.truth = ComputeGroundTruth(s.dataset.data, s.dataset.queries, k);
+  return s;
+}
+
+/// Runs `search(query_index)` for every query; returns {mean recall, QPS}.
+struct SweepResult {
+  double recall = 0.0;
+  double qps = 0.0;
+};
+
+inline SweepResult MeasureSweep(
+    const IvfScenario& s,
+    const std::function<std::vector<Neighbor>(size_t)>& search) {
+  const size_t nq = s.dataset.queries.count();
+  std::vector<std::vector<Neighbor>> results;
+  results.reserve(nq);
+  Timer timer;
+  for (size_t q = 0; q < nq; ++q) results.push_back(search(q));
+  const double seconds = timer.ElapsedSeconds();
+  SweepResult out;
+  out.qps = static_cast<double>(nq) / seconds;
+  out.recall = MeanRecallAtK(results, s.truth, s.k);
+  return out;
+}
+
+/// nprobe ladder clipped to the bucket count (the paper sweeps to 512).
+inline std::vector<size_t> NprobeLadder(size_t num_buckets) {
+  std::vector<size_t> ladder;
+  for (size_t p : {2u, 8u, 32u, 128u}) {
+    ladder.push_back(std::min<size_t>(p, num_buckets));
+  }
+  // Dedup in case the bucket count clipped several rungs together.
+  ladder.erase(std::unique(ladder.begin(), ladder.end()), ladder.end());
+  return ladder;
+}
+
+}  // namespace bench
+}  // namespace pdx
+
+#endif  // PDX_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,66 @@
+// Extension bench (paper Section 7 future work): u8-quantized PDX blocks.
+// "A follow-up to the PDX layout would be on efficient compressed
+// representations of dimensions within blocks. This would reduce even more
+// the memory/network bandwidth needed and bring more benefits to the PDX
+// distance kernels which are memory-bounded."
+//
+// Measures: quantized PDX scan (+ re-rank) vs float32 PDX scan vs N-ary
+// SIMD scan, with recall of the quantized search. Expected shape: the u8
+// scan approaches 4x on memory-bound working sets (quarter the bytes) and
+// re-ranking restores near-perfect recall at negligible cost.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "quant/quantized_kernels.h"
+#include "quant/quantized_store.h"
+
+int main() {
+  using namespace pdx;
+  PrintBanner(
+      "Extension: u8-quantized PDX blocks vs float32 PDX vs N-ary SIMD "
+      "(exact 10-NN + re-rank)");
+  const double scale = BenchScaleFromEnv();
+
+  TextTable table({"dataset", "method", "QPS", "recall@10"});
+  for (SyntheticSpec spec : PaperWorkloads(scale)) {
+    spec.num_queries = 30;
+    Dataset dataset = GenerateDataset(spec);
+    const size_t k = 10;
+    const size_t nq = dataset.queries.count();
+
+    PdxStore pdx_store = PdxStore::FromVectorSet(dataset.data);
+    QuantizedPdxStore quant = QuantizedPdxStore::FromVectorSet(dataset.data);
+    const auto truth = ComputeGroundTruth(dataset.data, dataset.queries, k);
+
+    auto run = [&](const char* name, auto&& fn) {
+      std::vector<std::vector<Neighbor>> results;
+      results.reserve(nq);
+      Timer timer;
+      for (size_t q = 0; q < nq; ++q) {
+        results.push_back(fn(dataset.queries.Vector(q)));
+      }
+      const double qps = nq / timer.ElapsedSeconds();
+      table.AddRow({spec.name, name, TextTable::Num(qps, 0),
+                    TextTable::Num(MeanRecallAtK(results, truth, k), 3)});
+    };
+
+    run("N-ary SIMD f32", [&](const float* q) {
+      return FlatSearchNary(dataset.data, q, k, Metric::kL2);
+    });
+    run("PDX f32", [&](const float* q) {
+      return FlatSearchPdx(pdx_store, q, k, Metric::kL2);
+    });
+    run("PDX u8 (no rerank)", [&](const float* q) {
+      return QuantizedFlatSearch(quant, dataset.data, q, k, 0);
+    });
+    run("PDX u8 + rerank x4", [&](const float* q) {
+      return QuantizedFlatSearch(quant, dataset.data, q, k, 4);
+    });
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Google-benchmark microbenchmarks of the raw distance kernels — the
+// per-operation numbers behind Tables 4/5 and Figure 12, with
+// statistically managed timing.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/types.h"
+#include "kernels/gather_kernels.h"
+#include "kernels/nary_kernels.h"
+#include "kernels/pdx_kernels.h"
+#include "kernels/scalar_kernels.h"
+#include "storage/pdx_store.h"
+#include "storage/vector_set.h"
+
+namespace pdx {
+namespace {
+
+constexpr size_t kCount = 16384;
+
+struct Fixture {
+  VectorSet nary;
+  PdxStore pdx;
+  std::vector<float> query;
+  std::vector<float> out;
+};
+
+Fixture MakeFixture(size_t dim) {
+  Rng rng(dim);
+  Fixture fx;
+  fx.nary = VectorSet(dim, kCount);
+  std::vector<float> row(dim);
+  for (size_t i = 0; i < kCount; ++i) {
+    for (float& v : row) v = static_cast<float>(rng.Gaussian());
+    fx.nary.Append(row.data());
+  }
+  fx.pdx = PdxStore::FromVectorSet(fx.nary);
+  fx.query.resize(dim);
+  for (float& v : fx.query) v = static_cast<float>(rng.Gaussian());
+  fx.out.resize(kCount);
+  return fx;
+}
+
+void BM_NaryL2(benchmark::State& state) {
+  Fixture fx = MakeFixture(state.range(0));
+  for (auto _ : state) {
+    NaryDistanceBatch(Metric::kL2, fx.query.data(), fx.nary.data(), kCount,
+                      fx.nary.dim(), fx.out.data());
+    benchmark::DoNotOptimize(fx.out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kCount);
+}
+
+void BM_ScalarL2(benchmark::State& state) {
+  Fixture fx = MakeFixture(state.range(0));
+  for (auto _ : state) {
+    ScalarDistanceBatch(Metric::kL2, fx.query.data(), fx.nary.data(), kCount,
+                        fx.nary.dim(), fx.out.data());
+    benchmark::DoNotOptimize(fx.out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kCount);
+}
+
+void BM_PdxL2(benchmark::State& state) {
+  Fixture fx = MakeFixture(state.range(0));
+  for (auto _ : state) {
+    size_t offset = 0;
+    for (size_t b = 0; b < fx.pdx.num_blocks(); ++b) {
+      const PdxBlock& block = fx.pdx.block(b);
+      PdxLinearScan(Metric::kL2, fx.query.data(), block.data(),
+                    block.count(), block.dim(), fx.out.data() + offset);
+      offset += block.count();
+    }
+    benchmark::DoNotOptimize(fx.out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kCount);
+}
+
+void BM_GatherL2(benchmark::State& state) {
+  Fixture fx = MakeFixture(state.range(0));
+  for (auto _ : state) {
+    NaryGatherDistanceBatch(Metric::kL2, fx.query.data(), fx.nary.data(),
+                            kCount, fx.nary.dim(), fx.out.data());
+    benchmark::DoNotOptimize(fx.out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kCount);
+}
+
+BENCHMARK(BM_ScalarL2)->Arg(8)->Arg(128)->Arg(1024);
+BENCHMARK(BM_NaryL2)->Arg(8)->Arg(128)->Arg(1024);
+BENCHMARK(BM_PdxL2)->Arg(8)->Arg(128)->Arg(1024);
+BENCHMARK(BM_GatherL2)->Arg(128);
+
+}  // namespace
+}  // namespace pdx
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+#include "benchlib/bench_utils.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+#include "common/timer.h"
+
+namespace pdx {
+
+double MedianRunNanos(const std::function<void()>& fn, int repeats) {
+  assert(repeats >= 1);
+  fn();  // Warm-up.
+  std::vector<double> samples;
+  samples.reserve(repeats);
+  for (int r = 0; r < repeats; ++r) {
+    Timer timer;
+    fn();
+    samples.push_back(static_cast<double>(timer.ElapsedNanos()));
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  assert(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::Num(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+void TextTable::Print() const {
+  std::vector<size_t> width(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    std::printf("|");
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::printf(" %-*s |", static_cast<int>(width[c]), row[c].c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(header_);
+  std::printf("|");
+  for (size_t c = 0; c < header_.size(); ++c) {
+    for (size_t i = 0; i < width[c] + 2; ++i) std::printf("-");
+    std::printf("|");
+  }
+  std::printf("\n");
+  for (const auto& row : rows_) print_row(row);
+}
+
+void PrintBanner(const std::string& title) {
+  std::printf("\n== %s ==\n", title.c_str());
+}
+
+}  // namespace pdx

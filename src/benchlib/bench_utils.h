@@ -1,0 +1,42 @@
+#ifndef PDX_BENCHLIB_BENCH_UTILS_H_
+#define PDX_BENCHLIB_BENCH_UTILS_H_
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/parallel.h"  // IWYU pragma: export (re-export ParallelFor)
+
+namespace pdx {
+
+/// Median wall-clock nanoseconds of `fn` over `repeats` runs (after one
+/// warm-up run).
+double MedianRunNanos(const std::function<void()>& fn, int repeats = 3);
+
+/// Simple fixed-width text table, printed in Markdown-ish style so bench
+/// output can be pasted into EXPERIMENTS.md directly.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Adds one row; it must have header-many cells.
+  void AddRow(std::vector<std::string> row);
+
+  /// Formats a float with `precision` digits.
+  static std::string Num(double value, int precision = 2);
+
+  /// Renders the table to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section banner: "== <title> ==".
+void PrintBanner(const std::string& title);
+
+}  // namespace pdx
+
+#endif  // PDX_BENCHLIB_BENCH_UTILS_H_

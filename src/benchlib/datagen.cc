@@ -1,0 +1,112 @@
+#include "benchlib/datagen.h"
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+
+namespace pdx {
+
+const char* ValueDistributionName(ValueDistribution distribution) {
+  switch (distribution) {
+    case ValueDistribution::kNormal:
+      return "normal";
+    case ValueDistribution::kSkewed:
+      return "skewed";
+  }
+  return "unknown";
+}
+
+namespace {
+
+struct MixtureModel {
+  size_t dim;
+  size_t num_clusters;
+  std::vector<float> dim_offset;       // Per-dimension base offset.
+  std::vector<float> dim_scale;        // Per-dimension noise scale.
+  std::vector<float> centers;          // num_clusters x dim.
+  std::vector<double> cluster_weight;  // Cumulative sampling weights.
+};
+
+MixtureModel BuildMixture(const SyntheticSpec& spec, Rng& rng) {
+  MixtureModel model;
+  model.dim = spec.dim;
+  model.num_clusters = std::max<size_t>(1, spec.num_clusters);
+
+  // Heterogeneous dimensions: different offsets and scales per dimension
+  // make "distance to means" ranking meaningful, as in real features.
+  model.dim_offset.resize(spec.dim);
+  model.dim_scale.resize(spec.dim);
+  for (size_t d = 0; d < spec.dim; ++d) {
+    model.dim_offset[d] = rng.UniformFloat(-1.0f, 1.0f);
+    model.dim_scale[d] = rng.UniformFloat(0.4f, 1.6f);
+  }
+
+  model.centers.resize(model.num_clusters * spec.dim);
+  for (size_t c = 0; c < model.num_clusters; ++c) {
+    for (size_t d = 0; d < spec.dim; ++d) {
+      model.centers[c * spec.dim + d] = static_cast<float>(
+          model.dim_offset[d] + 1.5 * model.dim_scale[d] * rng.Gaussian());
+    }
+  }
+
+  // Zipf-ish cluster popularity so bucket sizes vary like real data.
+  model.cluster_weight.resize(model.num_clusters);
+  double total = 0.0;
+  for (size_t c = 0; c < model.num_clusters; ++c) {
+    total += 1.0 / std::sqrt(static_cast<double>(c + 1));
+    model.cluster_weight[c] = total;
+  }
+  for (double& w : model.cluster_weight) w /= total;
+  return model;
+}
+
+void SampleVector(const MixtureModel& model, ValueDistribution distribution,
+                  Rng& rng, float* out) {
+  // Pick a cluster by cumulative weight.
+  const double u = rng.UniformDouble();
+  size_t cluster = 0;
+  while (cluster + 1 < model.num_clusters &&
+         model.cluster_weight[cluster] < u) {
+    ++cluster;
+  }
+  const float* center = model.centers.data() + cluster * model.dim;
+  for (size_t d = 0; d < model.dim; ++d) {
+    const double raw =
+        center[d] + model.dim_scale[d] * rng.Gaussian();
+    if (distribution == ValueDistribution::kSkewed) {
+      // Long-tailed, non-negative marginals (SIFT/GIST-like features).
+      out[d] = static_cast<float>(std::exp(raw * 0.5));
+    } else {
+      out[d] = static_cast<float>(raw);
+    }
+  }
+}
+
+}  // namespace
+
+Dataset GenerateDataset(const SyntheticSpec& spec) {
+  assert(spec.dim > 0 && spec.count > 0);
+  Rng rng(spec.seed);
+  MixtureModel model = BuildMixture(spec, rng);
+
+  Dataset dataset;
+  dataset.name = spec.name;
+  dataset.distribution = spec.distribution;
+  dataset.data = VectorSet(spec.dim, spec.count);
+  dataset.queries = VectorSet(spec.dim, spec.num_queries);
+
+  std::vector<float> row(spec.dim);
+  for (size_t i = 0; i < spec.count; ++i) {
+    SampleVector(model, spec.distribution, rng, row.data());
+    dataset.data.Append(row.data());
+  }
+  for (size_t i = 0; i < spec.num_queries; ++i) {
+    SampleVector(model, spec.distribution, rng, row.data());
+    dataset.queries.Append(row.data());
+  }
+  return dataset;
+}
+
+}  // namespace pdx

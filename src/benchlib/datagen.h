@@ -1,0 +1,56 @@
+#ifndef PDX_BENCHLIB_DATAGEN_H_
+#define PDX_BENCHLIB_DATAGEN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "storage/vector_set.h"
+
+namespace pdx {
+
+/// Shape of the per-dimension value distribution (Table 1's last column):
+/// the paper classifies its ten datasets into "normal" (DEEP, NYTimes,
+/// GloVe, Contriever, arXiv) and "skewed" (SIFT, GIST, MSong, OpenAI) —
+/// skew is what gives magnitude-based pruning its power.
+enum class ValueDistribution : uint8_t {
+  kNormal = 0,
+  kSkewed = 1,
+};
+
+const char* ValueDistributionName(ValueDistribution distribution);
+
+/// Recipe for one synthetic dataset.
+///
+/// Data is drawn from a Gaussian mixture (so IVF's k-means partitioning is
+/// meaningful, as in real embedding collections) with per-dimension offsets
+/// and scales (so query-aware dimension ranking has signal). For kSkewed
+/// the mixture samples are pushed through exp(x/2), yielding the
+/// non-negative long-tailed marginals of SIFT/GIST-like features.
+struct SyntheticSpec {
+  std::string name;
+  size_t dim = 0;
+  size_t count = 0;
+  size_t num_queries = 100;
+  ValueDistribution distribution = ValueDistribution::kNormal;
+  size_t num_clusters = 32;
+  uint64_t seed = 42;
+};
+
+/// A generated dataset: collection + held-out queries from the same
+/// mixture.
+struct Dataset {
+  std::string name;
+  VectorSet data;
+  VectorSet queries;
+  ValueDistribution distribution = ValueDistribution::kNormal;
+
+  size_t dim() const { return data.dim(); }
+};
+
+/// Materializes the spec (deterministic in the seed).
+Dataset GenerateDataset(const SyntheticSpec& spec);
+
+}  // namespace pdx
+
+#endif  // PDX_BENCHLIB_DATAGEN_H_

@@ -1,0 +1,57 @@
+#include "benchlib/profile.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+
+namespace pdx {
+
+namespace {
+
+size_t SysconfCache(int name, size_t fallback) {
+#if defined(_SC_LEVEL1_DCACHE_SIZE)
+  const long value = sysconf(name);
+  if (value > 0) return static_cast<size_t>(value);
+#else
+  (void)name;
+#endif
+  return fallback;
+}
+
+}  // namespace
+
+CacheInfo DetectCaches() {
+  CacheInfo info;
+#if defined(_SC_LEVEL1_DCACHE_SIZE)
+  info.l1d_bytes = SysconfCache(_SC_LEVEL1_DCACHE_SIZE, info.l1d_bytes);
+  info.l2_bytes = SysconfCache(_SC_LEVEL2_CACHE_SIZE, info.l2_bytes);
+  info.l3_bytes = SysconfCache(_SC_LEVEL3_CACHE_SIZE, info.l3_bytes);
+#endif
+  return info;
+}
+
+std::string CacheLevelName(size_t working_set_bytes, const CacheInfo& info) {
+  if (working_set_bytes <= info.l1d_bytes) return "L1";
+  if (working_set_bytes <= info.l2_bytes) return "L2";
+  if (working_set_bytes <= info.l3_bytes) return "L3";
+  return "DRAM";
+}
+
+std::string FormatBytes(size_t bytes) {
+  char buffer[64];
+  if (bytes < 1024) {
+    std::snprintf(buffer, sizeof(buffer), "%zuB", bytes);
+  } else if (bytes < 1024 * 1024) {
+    std::snprintf(buffer, sizeof(buffer), "%.1fKiB",
+                  static_cast<double>(bytes) / 1024.0);
+  } else if (bytes < 1024ull * 1024 * 1024) {
+    std::snprintf(buffer, sizeof(buffer), "%.1fMiB",
+                  static_cast<double>(bytes) / (1024.0 * 1024.0));
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.1fGiB",
+                  static_cast<double>(bytes) / (1024.0 * 1024.0 * 1024.0));
+  }
+  return buffer;
+}
+
+}  // namespace pdx

@@ -1,0 +1,29 @@
+#ifndef PDX_BENCHLIB_PROFILE_H_
+#define PDX_BENCHLIB_PROFILE_H_
+
+#include <cstddef>
+#include <string>
+
+namespace pdx {
+
+/// Data-cache sizes of the host, for classifying benchmark working sets
+/// against cache levels (Figure 12's L1/L2/L3/DRAM bands).
+struct CacheInfo {
+  size_t l1d_bytes = 32 * 1024;
+  size_t l2_bytes = 1024 * 1024;
+  size_t l3_bytes = 32 * 1024 * 1024;
+};
+
+/// Queries sysconf for the host's cache hierarchy; falls back to common
+/// sizes when unavailable (e.g., in containers).
+CacheInfo DetectCaches();
+
+/// "L1" / "L2" / "L3" / "DRAM" classification of a working-set size.
+std::string CacheLevelName(size_t working_set_bytes, const CacheInfo& info);
+
+/// Human-readable byte size ("64KiB", "3.1MiB").
+std::string FormatBytes(size_t bytes);
+
+}  // namespace pdx
+
+#endif  // PDX_BENCHLIB_PROFILE_H_

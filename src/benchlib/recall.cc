@@ -1,0 +1,52 @@
+#include "benchlib/recall.h"
+
+#include <algorithm>
+
+#include "benchlib/bench_utils.h"
+#include "index/flat.h"
+
+namespace pdx {
+
+std::vector<std::vector<VectorId>> ComputeGroundTruth(const VectorSet& data,
+                                                      const VectorSet& queries,
+                                                      size_t k,
+                                                      Metric metric) {
+  std::vector<std::vector<VectorId>> truth(queries.count());
+  ParallelFor(queries.count(), [&](size_t q) {
+    const std::vector<Neighbor> nn = FlatSearchNary(
+        data, queries.Vector(static_cast<VectorId>(q)), k, metric);
+    std::vector<VectorId>& ids = truth[q];
+    ids.reserve(nn.size());
+    for (const Neighbor& neighbor : nn) ids.push_back(neighbor.id);
+  });
+  return truth;
+}
+
+double RecallAtK(const std::vector<Neighbor>& result,
+                 const std::vector<VectorId>& truth, size_t k) {
+  if (k == 0) return 1.0;
+  const size_t limit = std::min(k, truth.size());
+  size_t hits = 0;
+  for (size_t i = 0; i < std::min(k, result.size()); ++i) {
+    for (size_t j = 0; j < limit; ++j) {
+      if (result[i].id == truth[j]) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+double MeanRecallAtK(const std::vector<std::vector<Neighbor>>& results,
+                     const std::vector<std::vector<VectorId>>& truth,
+                     size_t k) {
+  if (results.empty()) return 0.0;
+  double sum = 0.0;
+  for (size_t q = 0; q < results.size(); ++q) {
+    sum += RecallAtK(results[q], truth[q], k);
+  }
+  return sum / static_cast<double>(results.size());
+}
+
+}  // namespace pdx

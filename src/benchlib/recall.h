@@ -1,0 +1,30 @@
+#ifndef PDX_BENCHLIB_RECALL_H_
+#define PDX_BENCHLIB_RECALL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+#include "index/topk.h"
+#include "storage/vector_set.h"
+
+namespace pdx {
+
+/// Exact k-NN ids for every query (brute force). Parallelized across
+/// queries — this is benchmark *setup*, not a measured code path.
+std::vector<std::vector<VectorId>> ComputeGroundTruth(
+    const VectorSet& data, const VectorSet& queries, size_t k,
+    Metric metric = Metric::kL2);
+
+/// recall@k of one result list against the exact ids.
+double RecallAtK(const std::vector<Neighbor>& result,
+                 const std::vector<VectorId>& truth, size_t k);
+
+/// Mean recall@k across queries; `results[i]` answers query i.
+double MeanRecallAtK(const std::vector<std::vector<Neighbor>>& results,
+                     const std::vector<std::vector<VectorId>>& truth,
+                     size_t k);
+
+}  // namespace pdx
+
+#endif  // PDX_BENCHLIB_RECALL_H_

@@ -1,0 +1,60 @@
+#include "benchlib/workloads.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+namespace pdx {
+
+namespace {
+
+SyntheticSpec Spec(const char* name, size_t dim, size_t count,
+                   ValueDistribution distribution, double scale) {
+  SyntheticSpec spec;
+  spec.name = name;
+  spec.dim = dim;
+  spec.count = std::max<size_t>(1000, static_cast<size_t>(count * scale));
+  spec.num_queries = 100;
+  spec.distribution = distribution;
+  // ~sqrt(N) clusters would match IVF defaults, but cluster count also
+  // shapes the data itself; keep it moderate and size-linked.
+  spec.num_clusters = std::clamp<size_t>(spec.count / 2000, 16, 64);
+  spec.seed = 42 + dim;  // Distinct but deterministic per dataset.
+  return spec;
+}
+
+}  // namespace
+
+std::vector<SyntheticSpec> PaperWorkloads(double scale) {
+  // Mirrors Table 1: name/dim/distribution; counts scaled to laptop size.
+  return {
+      Spec("nytimes-16", 16, 60000, ValueDistribution::kNormal, scale),
+      Spec("glove-50", 50, 60000, ValueDistribution::kNormal, scale),
+      Spec("deep-96", 96, 60000, ValueDistribution::kNormal, scale),
+      Spec("sift-128", 128, 60000, ValueDistribution::kSkewed, scale),
+      Spec("glove-200", 200, 40000, ValueDistribution::kNormal, scale),
+      Spec("msong-420", 420, 25000, ValueDistribution::kSkewed, scale),
+      Spec("contriever-768", 768, 15000, ValueDistribution::kNormal, scale),
+      Spec("arxiv-768", 768, 15000, ValueDistribution::kNormal, scale),
+      Spec("gist-960", 960, 12000, ValueDistribution::kSkewed, scale),
+      Spec("openai-1536", 1536, 10000, ValueDistribution::kSkewed, scale),
+  };
+}
+
+std::vector<SyntheticSpec> CoreWorkloads(double scale) {
+  return {
+      Spec("glove-50", 50, 60000, ValueDistribution::kNormal, scale),
+      Spec("sift-128", 128, 60000, ValueDistribution::kSkewed, scale),
+      Spec("contriever-768", 768, 15000, ValueDistribution::kNormal, scale),
+      Spec("openai-1536", 1536, 10000, ValueDistribution::kSkewed, scale),
+  };
+}
+
+double BenchScaleFromEnv() {
+  const char* value = std::getenv("PDX_BENCH_SCALE");
+  if (value == nullptr) return 1.0;
+  const double scale = std::atof(value);
+  return scale > 0.0 ? scale : 1.0;
+}
+
+}  // namespace pdx

@@ -1,0 +1,32 @@
+#ifndef PDX_BENCHLIB_WORKLOADS_H_
+#define PDX_BENCHLIB_WORKLOADS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "benchlib/datagen.h"
+
+namespace pdx {
+
+/// The paper's ten-dataset roster (Table 1), as synthetic stand-ins with
+/// the same dimensionalities and distribution shapes. Collection sizes are
+/// scaled down (the paper uses 0.3-10M vectors; these default to 10-80K so
+/// the whole benchmark suite runs in minutes on one machine) — `scale`
+/// multiplies the default counts.
+///
+/// Rationale: every experiment in the paper measures effects of
+/// *dimensionality*, *value distribution*, and *clusterability*; collection
+/// size only scales constants (documented as a substitution in DESIGN.md).
+std::vector<SyntheticSpec> PaperWorkloads(double scale = 1.0);
+
+/// Subset used by the heavier QPS-vs-recall sweeps: one low-D normal, one
+/// mid-D skewed, one high-D normal, one very-high-D skewed.
+std::vector<SyntheticSpec> CoreWorkloads(double scale = 1.0);
+
+/// Scale factor taken from the PDX_BENCH_SCALE environment variable
+/// (default 1.0). Benchmarks multiply their dataset sizes by this.
+double BenchScaleFromEnv();
+
+}  // namespace pdx
+
+#endif  // PDX_BENCHLIB_WORKLOADS_H_

@@ -1,0 +1,65 @@
+#include "common/aligned_buffer.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+namespace pdx {
+
+namespace {
+
+float* AllocateAligned(size_t count) {
+  if (count == 0) return nullptr;
+  // Round the byte size up to a multiple of the alignment: required by
+  // std::aligned_alloc and convenient for whole-register tail loads.
+  size_t bytes = count * sizeof(float);
+  bytes = (bytes + kPdxAlignment - 1) / kPdxAlignment * kPdxAlignment;
+  void* ptr = std::aligned_alloc(kPdxAlignment, bytes);
+  if (ptr == nullptr) throw std::bad_alloc();
+  std::memset(ptr, 0, bytes);
+  return static_cast<float*>(ptr);
+}
+
+}  // namespace
+
+AlignedBuffer::AlignedBuffer(size_t count)
+    : data_(AllocateAligned(count)), size_(count) {}
+
+AlignedBuffer::~AlignedBuffer() { Free(); }
+
+AlignedBuffer::AlignedBuffer(AlignedBuffer&& other) noexcept
+    : data_(other.data_), size_(other.size_) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+}
+
+AlignedBuffer& AlignedBuffer::operator=(AlignedBuffer&& other) noexcept {
+  if (this != &other) {
+    Free();
+    data_ = other.data_;
+    size_ = other.size_;
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+AlignedBuffer AlignedBuffer::Clone() const {
+  AlignedBuffer copy(size_);
+  if (size_ > 0) std::memcpy(copy.data_, data_, size_ * sizeof(float));
+  return copy;
+}
+
+void AlignedBuffer::Reset(size_t count) {
+  Free();
+  data_ = AllocateAligned(count);
+  size_ = count;
+}
+
+void AlignedBuffer::Free() {
+  std::free(data_);
+  data_ = nullptr;
+  size_ = 0;
+}
+
+}  // namespace pdx

@@ -1,0 +1,70 @@
+#include "common/math_utils.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace pdx {
+
+float SquaredNorm(const float* values, size_t count) {
+  float sum = 0.0f;
+  for (size_t i = 0; i < count; ++i) sum += values[i] * values[i];
+  return sum;
+}
+
+float Norm(const float* values, size_t count) {
+  return std::sqrt(SquaredNorm(values, count));
+}
+
+double Mean(const std::vector<float>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (float v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double Variance(const std::vector<float>& values) {
+  if (values.size() < 2) return 0.0;
+  const double mean = Mean(values);
+  double sum = 0.0;
+  for (float v : values) {
+    const double d = v - mean;
+    sum += d * d;
+  }
+  return sum / static_cast<double>(values.size());
+}
+
+double Percentile(std::vector<float> values, double p) {
+  if (values.empty()) return 0.0;
+  assert(p >= 0.0 && p <= 100.0);
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values[0];
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+double GeometricMean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double v : values) {
+    assert(v > 0.0);
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+size_t RoundUp(size_t value, size_t multiple) {
+  assert(multiple > 0);
+  return (value + multiple - 1) / multiple * multiple;
+}
+
+bool ApproxEqual(double a, double b, double rel_tol, double abs_tol) {
+  const double diff = std::fabs(a - b);
+  const double scale = std::max(std::fabs(a), std::fabs(b));
+  return diff <= abs_tol + rel_tol * scale;
+}
+
+}  // namespace pdx

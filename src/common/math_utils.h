@@ -1,0 +1,37 @@
+#ifndef PDX_COMMON_MATH_UTILS_H_
+#define PDX_COMMON_MATH_UTILS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace pdx {
+
+/// Sum of squares of `values[0..count)`.
+float SquaredNorm(const float* values, size_t count);
+
+/// Euclidean (L2) norm of `values[0..count)`.
+float Norm(const float* values, size_t count);
+
+/// Arithmetic mean of `values`; 0 for an empty vector.
+double Mean(const std::vector<float>& values);
+
+/// Population variance of `values`; 0 for fewer than 2 elements.
+double Variance(const std::vector<float>& values);
+
+/// p-th percentile (0..100) using linear interpolation; `values` is copied
+/// and sorted internally. Returns 0 for an empty input.
+double Percentile(std::vector<float> values, double p);
+
+/// Geometric mean of strictly positive values; 0 for an empty input.
+double GeometricMean(const std::vector<double>& values);
+
+/// Rounds `value` up to the next multiple of `multiple` (> 0).
+size_t RoundUp(size_t value, size_t multiple);
+
+/// True when |a - b| <= abs_tol + rel_tol * max(|a|, |b|).
+bool ApproxEqual(double a, double b, double rel_tol = 1e-5,
+                 double abs_tol = 1e-8);
+
+}  // namespace pdx
+
+#endif  // PDX_COMMON_MATH_UTILS_H_

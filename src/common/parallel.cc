@@ -1,0 +1,32 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace pdx {
+
+void ParallelFor(size_t count, const std::function<void(size_t)>& fn) {
+  const size_t workers = std::min<size_t>(
+      count, std::max(1u, std::thread::hardware_concurrency()));
+  if (workers <= 1) {
+    for (size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    threads.emplace_back([&]() {
+      for (;;) {
+        const size_t i = next.fetch_add(1);
+        if (i >= count) return;
+        fn(i);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+}
+
+}  // namespace pdx

@@ -1,0 +1,19 @@
+#ifndef PDX_COMMON_PARALLEL_H_
+#define PDX_COMMON_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace pdx {
+
+/// Runs fn(i) for i in [0, count) across hardware threads.
+///
+/// Used only on *setup* paths (index construction, collection
+/// transformation, ground-truth computation). Measured search code stays
+/// single-threaded, matching the paper's methodology of deactivating
+/// multi-threading in all benchmarks.
+void ParallelFor(size_t count, const std::function<void(size_t)>& fn);
+
+}  // namespace pdx
+
+#endif  // PDX_COMMON_PARALLEL_H_

@@ -1,0 +1,121 @@
+#ifndef PDX_COMMON_STATUS_H_
+#define PDX_COMMON_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+
+namespace pdx {
+
+/// Outcome of an operation that can fail for reasons outside the caller's
+/// control (I/O, malformed input, resource limits).
+///
+/// Follows the RocksDB/Arrow idiom: recoverable failures are reported
+/// through Status return values rather than exceptions; programming errors
+/// are guarded with assertions.
+class Status {
+ public:
+  enum class Code : unsigned char {
+    kOk = 0,
+    kInvalidArgument,
+    kIoError,
+    kNotFound,
+    kCorruption,
+    kUnsupported,
+  };
+
+  /// Constructs an OK status.
+  Status() : code_(Code::kOk) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(Code::kIoError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(Code::kUnsupported, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsIoError() const { return code_ == Code::kIoError; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsUnsupported() const { return code_ == Code::kUnsupported; }
+
+  Code code() const { return code_; }
+
+  /// Failure message; empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<code>: <message>"; suitable for logs and test output.
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+/// A value-or-error holder for functions whose result is only available on
+/// success. Access to value() on a failed result is a programming error.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value: `return some_value;`.
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  /// Implicit construction from an error: `return Status::IoError(...);`.
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result(Status) requires a failure status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return value_;
+  }
+  T& value() & {
+    assert(ok());
+    return value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(value_);
+  }
+
+  /// value() with a fallback for failure.
+  T value_or(T fallback) const {
+    return ok() ? value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+/// Propagates a failing Status to the caller.
+#define PDX_RETURN_IF_ERROR(expr)            \
+  do {                                       \
+    ::pdx::Status _pdx_status = (expr);      \
+    if (!_pdx_status.ok()) return _pdx_status; \
+  } while (false)
+
+}  // namespace pdx
+
+#endif  // PDX_COMMON_STATUS_H_

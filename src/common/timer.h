@@ -1,0 +1,41 @@
+#ifndef PDX_COMMON_TIMER_H_
+#define PDX_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace pdx {
+
+/// Monotonic wall-clock stopwatch used by the benchmark harnesses.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Nanoseconds elapsed since construction or the last Reset().
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-9;
+  }
+
+  /// Milliseconds elapsed since construction or the last Reset().
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-6;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace pdx
+
+#endif  // PDX_COMMON_TIMER_H_

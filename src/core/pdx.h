@@ -1,0 +1,39 @@
+#ifndef PDX_CORE_PDX_H_
+#define PDX_CORE_PDX_H_
+
+/// \file pdx.h
+/// Umbrella header for the PDX library.
+///
+/// PDX (Partition Dimensions Across) is a data layout for vector similarity
+/// search: blocks of vectors stored dimension-major, searched dimension-by-
+/// dimension with pruning (Kuffo, Krippner & Boncz, SIGMOD 2025).
+///
+/// Typical usage — exact search without preprocessing:
+///
+///   pdx::VectorSet data = ...;                         // N x D float32
+///   auto searcher = pdx::MakeBondFlatSearcher(data);   // PDX-BOND
+///   auto nn = searcher->Search(query, /*k=*/10);
+///
+/// Approximate search on an IVF index with ADSampling pruning:
+///
+///   pdx::IvfIndex index = pdx::IvfIndex::Build(data, {});
+///   auto ads = pdx::MakeAdsIvfSearcher(data, index, {});
+///   auto nn = ads->Search(query, /*k=*/10, /*nprobe=*/32);
+
+#include "common/status.h"    // IWYU pragma: export
+#include "common/types.h"     // IWYU pragma: export
+#include "core/pdxearch.h"    // IWYU pragma: export
+#include "core/pruning_trace.h"  // IWYU pragma: export
+#include "core/searcher.h"    // IWYU pragma: export
+#include "index/flat.h"       // IWYU pragma: export
+#include "index/ivf.h"        // IWYU pragma: export
+#include "index/topk.h"       // IWYU pragma: export
+#include "pruning/adsampling.h"  // IWYU pragma: export
+#include "pruning/bond.h"        // IWYU pragma: export
+#include "pruning/bsa.h"         // IWYU pragma: export
+#include "pruning/pdx_bond.h"    // IWYU pragma: export
+#include "storage/fvecs_io.h"    // IWYU pragma: export
+#include "storage/pdx_store.h"   // IWYU pragma: export
+#include "storage/vector_set.h"  // IWYU pragma: export
+
+#endif  // PDX_CORE_PDX_H_

@@ -1,0 +1,61 @@
+#include "core/pruning_trace.h"
+
+#include <cassert>
+
+namespace pdx {
+
+PruningTrace::PruningTrace(size_t dim)
+    : dim_(dim), alive_sum_(dim + 1, 0), observed_(dim + 1, 0) {}
+
+void PruningTrace::Observe(size_t dims_scanned, size_t alive,
+                           size_t block_count) {
+  assert(dims_scanned <= dim_);
+  if (dims_scanned == 0) {
+    warmup_vectors_ += block_count;
+    return;
+  }
+  alive_sum_[dims_scanned] += alive;
+  observed_[dims_scanned] = 1;
+}
+
+void PruningTrace::Clear() {
+  warmup_vectors_ = 0;
+  alive_sum_.assign(dim_ + 1, 0);
+  observed_.assign(dim_ + 1, 0);
+}
+
+double PruningTrace::AliveFraction(size_t d) const {
+  if (warmup_vectors_ == 0) return 1.0;
+  // Carry the last observed depth <= d forward (blocks share the same
+  // deterministic step schedule; unobserved depths fall between steps).
+  uint64_t alive = warmup_vectors_;
+  for (size_t i = 1; i <= d && i <= dim_; ++i) {
+    if (observed_[i]) alive = alive_sum_[i];
+  }
+  return double(alive) / double(warmup_vectors_);
+}
+
+std::vector<double> PruningTrace::Curve() const {
+  std::vector<double> curve(dim_, 1.0);
+  if (warmup_vectors_ == 0) return curve;
+  uint64_t alive = warmup_vectors_;
+  for (size_t d = 1; d <= dim_; ++d) {
+    if (observed_[d]) alive = alive_sum_[d];
+    curve[d - 1] = double(alive) / double(warmup_vectors_);
+  }
+  return curve;
+}
+
+double PruningTrace::ValuesAvoided() const {
+  if (warmup_vectors_ == 0 || dim_ == 0) return 0.0;
+  // Values needed at depth d (1-based) = vectors alive after d-1 dims.
+  uint64_t alive = warmup_vectors_;
+  double scanned = 0.0;
+  for (size_t d = 1; d <= dim_; ++d) {
+    scanned += double(alive);
+    if (observed_[d]) alive = alive_sum_[d];
+  }
+  return 1.0 - scanned / (double(warmup_vectors_) * double(dim_));
+}
+
+}  // namespace pdx

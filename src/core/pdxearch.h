@@ -1,0 +1,295 @@
+#ifndef PDX_CORE_PDXEARCH_H_
+#define PDX_CORE_PDXEARCH_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <numeric>
+#include <vector>
+
+#include "common/aligned_buffer.h"
+#include "common/timer.h"
+#include "common/types.h"
+#include "index/ivf.h"
+#include "index/topk.h"
+#include "kernels/pdx_kernels.h"
+#include "storage/pdx_store.h"
+
+namespace pdx {
+
+/// Tuning knobs of the PDXearch framework (Section 4).
+struct PdxearchOptions {
+  size_t k = 10;                     ///< Neighbors to return.
+  Metric metric = Metric::kL2;       ///< Pruners typically require kL2.
+  /// Fraction of not-yet-pruned vectors at which the search advances from
+  /// WARMUP to PRUNE (Figure 10's sweet spot: ~20%).
+  float selection_fraction = 0.20f;
+  /// First WARMUP fetch size; subsequent fetches double (2, 4, 8, ...).
+  size_t initial_step = 2;
+  /// When false, fetch `fixed_step` dims every time (ADSampling's fixed
+  /// Δd=32 — the Figure 7 ablation).
+  bool adaptive_steps = true;
+  size_t fixed_step = 32;
+  /// Collect per-phase wall-clock times (Table 7). Off by default: the
+  /// timer calls would distort micro-benchmarks.
+  bool collect_phase_times = false;
+  /// Optional per-step observer: (dims_scanned, survivors, block_count).
+  /// Invoked with dims_scanned == 0 when a block enters WARMUP, after every
+  /// pruning test, and once more at dims_scanned == dim before the final
+  /// merge. Used to trace pruning curves (Tables 2 & 6); leave empty
+  /// otherwise.
+  std::function<void(size_t, size_t, size_t)> step_observer;
+};
+
+/// Per-query measurements: phase times (Table 7) and pruning power
+/// (Tables 2 & 6: fraction of dimension values never touched).
+struct PdxearchProfile {
+  double preprocess_ms = 0.0;
+  double find_buckets_ms = 0.0;
+  double bounds_ms = 0.0;
+  double distance_ms = 0.0;
+  uint64_t values_scanned = 0;  ///< Dimension values used in kernels.
+  uint64_t values_total = 0;    ///< D x (vectors in visited blocks).
+  uint64_t predicate_evaluations = 0;
+
+  double total_ms() const {
+    return preprocess_ms + find_buckets_ms + bounds_ms + distance_ms;
+  }
+  /// Pruning power: fraction of values avoided (0 when nothing visited).
+  double pruning_power() const {
+    return values_total == 0
+               ? 0.0
+               : 1.0 - double(values_scanned) / double(values_total);
+  }
+};
+
+/// The "prune nothing" policy: PDXearch degenerates to a blockwise linear
+/// scan (the PDX-LINEAR-SCAN competitor, and the baseline of Figure 10).
+class NoPruner {
+ public:
+  struct QueryState {
+    const float* query = nullptr;
+  };
+  QueryState PrepareQuery(const float* raw_query) const {
+    return QueryState{raw_query};
+  }
+  const float* KernelQuery(const QueryState& qs) const { return qs.query; }
+  bool has_visit_order() const { return false; }
+  const std::vector<uint32_t>* VisitOrder(const QueryState&) const {
+    return nullptr;
+  }
+  void BuildAux(const PdxStore&) {}
+  size_t FilterSurvivors(const QueryState&, size_t, const float*, size_t,
+                         float, uint32_t*, size_t count) const {
+    return count;
+  }
+};
+
+/// The PDXearch framework (Section 4): dimension-by-dimension, block-by-
+/// block pruned search over a PdxStore, parameterized by a pruner policy.
+///
+/// Per block the search runs three phases:
+///   START  — first block(s) while the k-NN heap is not yet full: plain
+///            linear scan to seed the pruning threshold.
+///   WARMUP — fetch dimensions at (exponentially) increasing steps for ALL
+///            vectors, evaluating the pruning predicate after each step but
+///            not yet skipping pruned lanes (skipping few lanes costs more
+///            in random access than it saves).
+///   PRUNE  — once survivors drop below `selection_fraction`, compact the
+///            survivor positions and compute only those lanes.
+///
+/// The framework never changes *what* the pruner's predicate accepts — only
+/// how many dimensions are fetched per step and when computation is broken
+/// off — so the underlying algorithm's exactness/recall is preserved.
+///
+/// The Pruner policy must provide:
+///   struct QueryState;
+///   QueryState PrepareQuery(const float* raw_query) const;
+///   const float* KernelQuery(const QueryState&) const;
+///   bool has_visit_order() const;
+///   const std::vector<uint32_t>* VisitOrder(const QueryState&) const;
+///   void BuildAux(const PdxStore&);
+///   size_t FilterSurvivors(const QueryState&, size_t block_index,
+///                          const float* distances, size_t dims_scanned,
+///                          float threshold, uint32_t* positions,
+///                          size_t count) const;
+template <typename Pruner>
+class PdxearchEngine {
+ public:
+  /// `store` and `pruner` must outlive the engine. The pruner's BuildAux
+  /// must already have been called with `store` where applicable.
+  PdxearchEngine(const PdxStore* store, const Pruner* pruner,
+                 PdxearchOptions options)
+      : store_(store), pruner_(pruner), options_(std::move(options)) {
+    size_t max_lanes = kPdxBlockSize;
+    for (size_t b = 0; b < store_->num_blocks(); ++b) {
+      max_lanes = std::max(max_lanes, store_->block(b).count());
+    }
+    distances_.Reset(max_lanes);
+    positions_.resize(max_lanes);
+  }
+
+  const PdxearchOptions& options() const { return options_; }
+  PdxearchOptions& mutable_options() { return options_; }
+
+  /// Exact/flat search: visits every block in store order.
+  std::vector<Neighbor> SearchFlat(const float* raw_query) {
+    profile_ = PdxearchProfile{};
+    Timer timer;
+    typename Pruner::QueryState qs = pruner_->PrepareQuery(raw_query);
+    if (options_.collect_phase_times) {
+      profile_.preprocess_ms = timer.ElapsedMillis();
+    }
+    TopK heap(options_.k);
+    for (size_t b = 0; b < store_->num_blocks(); ++b) {
+      SearchBlock(qs, b, heap);
+    }
+    return heap.SortedResults();
+  }
+
+  /// IVF search: ranks buckets by centroid distance (on the index's PDX
+  /// centroid store), then runs PDXearch over the `nprobe` nearest buckets'
+  /// blocks. `index` must be the index the store was grouped by.
+  std::vector<Neighbor> SearchIvf(const IvfIndex& index,
+                                  const float* raw_query, size_t nprobe) {
+    profile_ = PdxearchProfile{};
+    Timer timer;
+    typename Pruner::QueryState qs = pruner_->PrepareQuery(raw_query);
+    if (options_.collect_phase_times) {
+      profile_.preprocess_ms = timer.ElapsedMillis();
+      timer.Reset();
+    }
+    const std::vector<uint32_t> ranked = index.RankBuckets(raw_query);
+    if (options_.collect_phase_times) {
+      profile_.find_buckets_ms = timer.ElapsedMillis();
+    }
+    const size_t probes = std::min(nprobe, ranked.size());
+    TopK heap(options_.k);
+    for (size_t r = 0; r < probes; ++r) {
+      const auto [first, last] = store_->GroupBlockRange(ranked[r]);
+      for (size_t b = first; b < last; ++b) {
+        SearchBlock(qs, b, heap);
+      }
+    }
+    return heap.SortedResults();
+  }
+
+  /// Measurements of the most recent Search* call.
+  const PdxearchProfile& last_profile() const { return profile_; }
+
+ private:
+  // Searches one block, updating the heap.
+  void SearchBlock(const typename Pruner::QueryState& qs, size_t block_index,
+                   TopK& heap) {
+    const PdxBlock& block = store_->block(block_index);
+    const size_t n = block.count();
+    const size_t dim = block.dim();
+    if (n == 0) return;
+    const float* query = pruner_->KernelQuery(qs);
+    const std::vector<uint32_t>* order = pruner_->VisitOrder(qs);
+    float* distances = distances_.data();
+    profile_.values_total += uint64_t(n) * dim;
+
+    Timer timer;
+    const bool timed = options_.collect_phase_times;
+
+    // START: no threshold yet -> linear scan, merge everything.
+    if (!heap.full()) {
+      if (timed) timer.Reset();
+      if (order != nullptr) {
+        std::fill(distances, distances + n, 0.0f);
+        PdxAccumulateDims(options_.metric, query, block.data(), n,
+                          order->data(), dim, distances);
+      } else {
+        PdxLinearScan(options_.metric, query, block.data(), n, dim,
+                      distances);
+      }
+      profile_.values_scanned += uint64_t(n) * dim;
+      for (size_t i = 0; i < n; ++i) heap.Push(block.id(i), distances[i]);
+      if (timed) profile_.distance_ms += timer.ElapsedMillis();
+      return;
+    }
+
+    // WARMUP / PRUNE.
+    std::fill(distances, distances + n, 0.0f);
+    uint32_t* positions = positions_.data();
+    std::iota(positions, positions + n, 0u);
+    size_t alive = n;
+    if (options_.step_observer) options_.step_observer(0, n, n);
+    size_t dims_done = 0;
+    size_t next_step = options_.adaptive_steps ? options_.initial_step
+                                               : options_.fixed_step;
+    const size_t prune_entry = std::max<size_t>(
+        1, static_cast<size_t>(options_.selection_fraction *
+                               static_cast<float>(n)));
+    bool pruning_phase = false;
+
+    while (dims_done < dim && alive > 0) {
+      const size_t step = std::min(next_step, dim - dims_done);
+
+      if (timed) timer.Reset();
+      if (!pruning_phase) {
+        // WARMUP: all lanes.
+        if (order != nullptr) {
+          PdxAccumulateDims(options_.metric, query, block.data(), n,
+                            order->data() + dims_done, step, distances);
+        } else {
+          PdxAccumulate(options_.metric, query, block.data(), n, dims_done,
+                        dims_done + step, distances);
+        }
+        profile_.values_scanned += uint64_t(n) * step;
+      } else {
+        // PRUNE: survivors only.
+        if (order != nullptr) {
+          PdxAccumulateDimsPositions(options_.metric, query, block.data(), n,
+                                     order->data() + dims_done, step,
+                                     positions, alive, distances);
+        } else {
+          PdxAccumulatePositions(options_.metric, query, block.data(), n,
+                                 dims_done, dims_done + step, positions,
+                                 alive, distances);
+        }
+        profile_.values_scanned += uint64_t(alive) * step;
+      }
+      if (timed) profile_.distance_ms += timer.ElapsedMillis();
+
+      dims_done += step;
+      if (options_.adaptive_steps) next_step *= 2;
+
+      if (dims_done >= dim) break;  // Full distances: no test needed.
+
+      if (timed) timer.Reset();
+      alive = pruner_->FilterSurvivors(qs, block_index, distances, dims_done,
+                                       heap.threshold(), positions, alive);
+      ++profile_.predicate_evaluations;
+      if (timed) profile_.bounds_ms += timer.ElapsedMillis();
+
+      if (options_.step_observer) {
+        options_.step_observer(dims_done, alive, n);
+      }
+      if (!pruning_phase && alive <= prune_entry) pruning_phase = true;
+    }
+
+    if (options_.step_observer) options_.step_observer(dim, alive, n);
+
+    // Merge survivors (their distances are complete).
+    if (timed) timer.Reset();
+    for (size_t p = 0; p < alive; ++p) {
+      const uint32_t lane = positions[p];
+      heap.Push(block.id(lane), distances[lane]);
+    }
+    if (timed) profile_.distance_ms += timer.ElapsedMillis();
+  }
+
+  const PdxStore* store_;
+  const Pruner* pruner_;
+  PdxearchOptions options_;
+  AlignedBuffer distances_;
+  std::vector<uint32_t> positions_;
+  PdxearchProfile profile_;
+};
+
+}  // namespace pdx
+
+#endif  // PDX_CORE_PDXEARCH_H_

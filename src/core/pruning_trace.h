@@ -1,0 +1,54 @@
+#ifndef PDX_CORE_PRUNING_TRACE_H_
+#define PDX_CORE_PRUNING_TRACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pdx {
+
+/// Accumulates one query's pruning behavior across all blocks it visited:
+/// the fraction of vectors still unpruned after each scanned-dimension
+/// count, plus the total fraction of dimension values avoided.
+///
+/// Feed it to PdxearchOptions::step_observer (with fixed_step = 1 and
+/// adaptive_steps = false to test at every dimension, as Tables 2 and 6
+/// do), then read the curve after the query.
+class PruningTrace {
+ public:
+  /// `dim` is the collection dimensionality.
+  explicit PruningTrace(size_t dim);
+
+  /// Observer callback (dims_scanned, alive, block_count).
+  void Observe(size_t dims_scanned, size_t alive, size_t block_count);
+
+  /// Resets for the next query.
+  void Clear();
+
+  /// Vectors that entered WARMUP (START-phase vectors are excluded: no
+  /// threshold existed yet, so pruning was impossible by construction).
+  uint64_t warmup_vectors() const { return warmup_vectors_; }
+
+  /// Fraction of warmup vectors still unpruned after `d` dims, d in
+  /// [1, dim]. Returns 1.0 when nothing was observed.
+  double AliveFraction(size_t d) const;
+
+  /// Full curve: AliveFraction(d) for d = 1..dim.
+  std::vector<double> Curve() const;
+
+  /// Fraction of dimension *values* avoided across warmup vectors: the
+  /// pruning-power number printed inside the Table 2/6 plots.
+  double ValuesAvoided() const;
+
+ private:
+  size_t dim_;
+  uint64_t warmup_vectors_ = 0;
+  /// alive_sum_[d] = sum over blocks of survivors after d dims.
+  std::vector<uint64_t> alive_sum_;
+  /// observed_[d] = true when at least one block tested at depth d.
+  std::vector<uint8_t> observed_;
+};
+
+}  // namespace pdx
+
+#endif  // PDX_CORE_PRUNING_TRACE_H_

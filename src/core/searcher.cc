@@ -1,0 +1,116 @@
+#include "core/searcher.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace pdx {
+
+std::unique_ptr<AdsIvfSearcher> MakeAdsIvfSearcher(const VectorSet& vectors,
+                                                   const IvfIndex& index,
+                                                   const AdsConfig& config) {
+  AdSamplingPruner pruner(vectors.dim(), config.epsilon0, config.seed);
+  VectorSet rotated = pruner.TransformCollection(vectors);
+  PdxStore store =
+      PdxStore::FromGroups(rotated, index.buckets(), config.block_capacity);
+  pruner.BuildAux(store);
+  return std::make_unique<AdsIvfSearcher>(&index, std::move(store),
+                                          std::move(pruner), config.search);
+}
+
+std::unique_ptr<BsaIvfSearcher> MakeBsaIvfSearcher(const VectorSet& vectors,
+                                                   const IvfIndex& index,
+                                                   const BsaConfig& config) {
+  BsaPruner pruner(vectors, config.multiplier, config.max_fit_samples);
+  VectorSet projected = pruner.TransformCollection(vectors);
+  PdxStore store =
+      PdxStore::FromGroups(projected, index.buckets(), config.block_capacity);
+  pruner.BuildAux(store);
+  return std::make_unique<BsaIvfSearcher>(&index, std::move(store),
+                                          std::move(pruner), config.search);
+}
+
+std::unique_ptr<BondIvfSearcher> MakeBondIvfSearcher(
+    const VectorSet& vectors, const IvfIndex& index,
+    const BondConfig& config) {
+  PdxStore store =
+      PdxStore::FromGroups(vectors, index.buckets(), config.block_capacity);
+  PdxBondPruner pruner(store.stats().means, config.order, config.zone_size);
+  pruner.BuildAux(store);
+  return std::make_unique<BondIvfSearcher>(&index, std::move(store),
+                                           std::move(pruner), config.search);
+}
+
+std::unique_ptr<LinearIvfSearcher> MakeLinearIvfSearcher(
+    const VectorSet& vectors, const IvfIndex& index,
+    const PdxearchOptions& search) {
+  PdxStore store = PdxStore::FromGroups(vectors, index.buckets());
+  return std::make_unique<LinearIvfSearcher>(&index, std::move(store),
+                                             NoPruner{}, search);
+}
+
+BondConfig DefaultFlatBondConfig() {
+  BondConfig config;
+  config.order = DimensionOrder::kDistanceToMeans;
+  config.block_capacity = kExactSearchBlockCapacity;
+  return config;
+}
+
+std::unique_ptr<BondFlatSearcher> MakeBondFlatSearcher(
+    const VectorSet& vectors, BondConfig config) {
+  PdxStore store = PdxStore::FromVectorSet(vectors, config.block_capacity);
+  PdxBondPruner pruner(store.stats().means, config.order, config.zone_size);
+  pruner.BuildAux(store);
+  return std::make_unique<BondFlatSearcher>(std::move(store),
+                                            std::move(pruner), config.search);
+}
+
+std::unique_ptr<AdsFlatSearcher> MakeAdsFlatSearcher(const VectorSet& vectors,
+                                                     const AdsConfig& config) {
+  AdSamplingPruner pruner(vectors.dim(), config.epsilon0, config.seed);
+  VectorSet rotated = pruner.TransformCollection(vectors);
+  PdxStore store = PdxStore::FromVectorSet(rotated, config.block_capacity);
+  pruner.BuildAux(store);
+  return std::make_unique<AdsFlatSearcher>(std::move(store),
+                                           std::move(pruner), config.search);
+}
+
+std::unique_ptr<BsaFlatSearcher> MakeBsaFlatSearcher(const VectorSet& vectors,
+                                                     const BsaConfig& config) {
+  BsaPruner pruner(vectors, config.multiplier, config.max_fit_samples);
+  VectorSet projected = pruner.TransformCollection(vectors);
+  PdxStore store = PdxStore::FromVectorSet(projected, config.block_capacity);
+  pruner.BuildAux(store);
+  return std::make_unique<BsaFlatSearcher>(std::move(store),
+                                           std::move(pruner), config.search);
+}
+
+std::unique_ptr<LinearFlatSearcher> MakeLinearFlatSearcher(
+    const VectorSet& vectors, const PdxearchOptions& search,
+    size_t block_capacity) {
+  PdxStore store = PdxStore::FromVectorSet(vectors, block_capacity);
+  return std::make_unique<LinearFlatSearcher>(std::move(store), NoPruner{},
+                                              search);
+}
+
+std::vector<Neighbor> IvfNarySearch(const IvfIndex& index,
+                                    const BucketOrderedSet& data,
+                                    const float* query, size_t k,
+                                    size_t nprobe, Metric metric, Isa isa) {
+  const PairKernelFn kernel = GetNaryKernel(metric, isa);
+  const std::vector<uint32_t> ranked = index.RankBucketsNary(query);
+  const size_t probes = std::min(nprobe, ranked.size());
+  const size_t dim = data.vectors.dim();
+  TopK heap(k);
+  for (size_t r = 0; r < probes; ++r) {
+    const uint32_t b = ranked[r];
+    for (size_t pos = data.offsets[b]; pos < data.offsets[b + 1]; ++pos) {
+      heap.Push(data.ids[pos],
+                kernel(query, data.vectors.Vector(
+                                  static_cast<VectorId>(pos)),
+                       dim));
+    }
+  }
+  return heap.SortedResults();
+}
+
+}  // namespace pdx

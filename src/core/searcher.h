@@ -1,0 +1,184 @@
+#ifndef PDX_CORE_SEARCHER_H_
+#define PDX_CORE_SEARCHER_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "core/pdxearch.h"
+#include "index/ivf.h"
+#include "index/topk.h"
+#include "kernels/kernel_dispatch.h"
+#include "pruning/adsampling.h"
+#include "pruning/bsa.h"
+#include "pruning/pdx_bond.h"
+#include "storage/pdx_store.h"
+#include "storage/vector_set.h"
+
+namespace pdx {
+
+/// A ready-to-query bundle: a (possibly transformed) collection laid out as
+/// PDX blocks grouped by IVF bucket, the pruner that understands that
+/// transformation, and a PDXearch engine over both.
+///
+/// Non-movable: the engine holds pointers into the bundle. Create through
+/// the Make*IvfSearcher factories.
+template <typename Pruner>
+class IvfPdxSearcher {
+ public:
+  IvfPdxSearcher(const IvfIndex* index, PdxStore store, Pruner pruner,
+                 PdxearchOptions options)
+      : index_(index),
+        store_(std::move(store)),
+        pruner_(std::move(pruner)),
+        engine_(&store_, &pruner_, std::move(options)) {}
+
+  IvfPdxSearcher(const IvfPdxSearcher&) = delete;
+  IvfPdxSearcher& operator=(const IvfPdxSearcher&) = delete;
+
+  /// k-NN under the engine's options; `nprobe` buckets are scanned.
+  std::vector<Neighbor> Search(const float* query, size_t k, size_t nprobe) {
+    engine_.mutable_options().k = k;
+    return engine_.SearchIvf(*index_, query, nprobe);
+  }
+
+  const PdxearchProfile& last_profile() const {
+    return engine_.last_profile();
+  }
+  PdxearchOptions& mutable_options() { return engine_.mutable_options(); }
+  const PdxStore& store() const { return store_; }
+  const Pruner& pruner() const { return pruner_; }
+
+ private:
+  const IvfIndex* index_;
+  PdxStore store_;
+  Pruner pruner_;
+  PdxearchEngine<Pruner> engine_;
+};
+
+/// Exact-search twin of IvfPdxSearcher: blocks are plain horizontal
+/// partitions (Section 6.5 uses partitions of <= ~10K vectors).
+template <typename Pruner>
+class FlatPdxSearcher {
+ public:
+  FlatPdxSearcher(PdxStore store, Pruner pruner, PdxearchOptions options)
+      : store_(std::move(store)),
+        pruner_(std::move(pruner)),
+        engine_(&store_, &pruner_, std::move(options)) {}
+
+  FlatPdxSearcher(const FlatPdxSearcher&) = delete;
+  FlatPdxSearcher& operator=(const FlatPdxSearcher&) = delete;
+
+  std::vector<Neighbor> Search(const float* query, size_t k) {
+    engine_.mutable_options().k = k;
+    return engine_.SearchFlat(query);
+  }
+
+  const PdxearchProfile& last_profile() const {
+    return engine_.last_profile();
+  }
+  PdxearchOptions& mutable_options() { return engine_.mutable_options(); }
+  const PdxStore& store() const { return store_; }
+  const Pruner& pruner() const { return pruner_; }
+
+ private:
+  PdxStore store_;
+  Pruner pruner_;
+  PdxearchEngine<Pruner> engine_;
+};
+
+using AdsIvfSearcher = IvfPdxSearcher<AdSamplingPruner>;
+using BsaIvfSearcher = IvfPdxSearcher<BsaPruner>;
+using BondIvfSearcher = IvfPdxSearcher<PdxBondPruner>;
+using LinearIvfSearcher = IvfPdxSearcher<NoPruner>;
+
+using AdsFlatSearcher = FlatPdxSearcher<AdSamplingPruner>;
+using BsaFlatSearcher = FlatPdxSearcher<BsaPruner>;
+using BondFlatSearcher = FlatPdxSearcher<PdxBondPruner>;
+using LinearFlatSearcher = FlatPdxSearcher<NoPruner>;
+
+/// ADSampling configuration (paper defaults).
+struct AdsConfig {
+  float epsilon0 = 2.1f;
+  uint64_t seed = 42;
+  size_t block_capacity = kPdxBlockSize;
+  PdxearchOptions search;
+};
+
+/// BSA configuration. multiplier = 1 keeps BSA exact (Cauchy-Schwarz);
+/// lower it to trade recall for pruning power.
+struct BsaConfig {
+  float multiplier = 1.0f;
+  size_t max_fit_samples = 4096;
+  size_t block_capacity = kPdxBlockSize;
+  PdxearchOptions search;
+};
+
+/// PDX-BOND configuration.
+struct BondConfig {
+  DimensionOrder order = DimensionOrder::kDimensionZones;
+  size_t zone_size = 16;
+  size_t block_capacity = kPdxBlockSize;
+  PdxearchOptions search;
+};
+
+// --- IVF searcher factories (collection + shared index) -------------------
+
+/// PDX-ADS: rotates `vectors`, lays the rotated collection out as PDX
+/// blocks grouped by `index`'s buckets.
+std::unique_ptr<AdsIvfSearcher> MakeAdsIvfSearcher(const VectorSet& vectors,
+                                                   const IvfIndex& index,
+                                                   const AdsConfig& config);
+
+/// PDX-BSA: PCA-projects `vectors`; also precomputes suffix-energy tables.
+std::unique_ptr<BsaIvfSearcher> MakeBsaIvfSearcher(const VectorSet& vectors,
+                                                   const IvfIndex& index,
+                                                   const BsaConfig& config);
+
+/// PDX-BOND: no transformation; uses collection statistics for the
+/// query-aware dimension order.
+std::unique_ptr<BondIvfSearcher> MakeBondIvfSearcher(const VectorSet& vectors,
+                                                     const IvfIndex& index,
+                                                     const BondConfig& config);
+
+/// PDX linear scan (no pruning) over the IVF layout.
+std::unique_ptr<LinearIvfSearcher> MakeLinearIvfSearcher(
+    const VectorSet& vectors, const IvfIndex& index,
+    const PdxearchOptions& search = {});
+
+// --- Flat (exact) searcher factories --------------------------------------
+
+/// Exact-search partition size used by the paper (Section 6.5).
+inline constexpr size_t kExactSearchBlockCapacity = 10240;
+
+/// Default flat PDX-BOND setup: 10K-vector partitions + distance-to-means
+/// (large blocks allow per-dimension ordering; Section 6.5).
+BondConfig DefaultFlatBondConfig();
+
+std::unique_ptr<BondFlatSearcher> MakeBondFlatSearcher(
+    const VectorSet& vectors, BondConfig config = DefaultFlatBondConfig());
+
+std::unique_ptr<AdsFlatSearcher> MakeAdsFlatSearcher(const VectorSet& vectors,
+                                                     const AdsConfig& config);
+
+std::unique_ptr<BsaFlatSearcher> MakeBsaFlatSearcher(const VectorSet& vectors,
+                                                     const BsaConfig& config);
+
+std::unique_ptr<LinearFlatSearcher> MakeLinearFlatSearcher(
+    const VectorSet& vectors, const PdxearchOptions& search = {},
+    size_t block_capacity = kPdxBlockSize);
+
+// --- Horizontal IVF baseline (FAISS / Milvus stand-in) --------------------
+
+/// IVF linear scan on the horizontal layout with explicit-SIMD kernels.
+/// This is what FAISS's and Milvus's IVF_FLAT do; `isa` picks the tier.
+std::vector<Neighbor> IvfNarySearch(const IvfIndex& index,
+                                    const BucketOrderedSet& data,
+                                    const float* query, size_t k,
+                                    size_t nprobe, Metric metric = Metric::kL2,
+                                    Isa isa = Isa::kBest);
+
+}  // namespace pdx
+
+#endif  // PDX_CORE_SEARCHER_H_

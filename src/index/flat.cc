@@ -1,0 +1,93 @@
+#include "index/flat.h"
+
+#include <vector>
+
+#include "common/aligned_buffer.h"
+#include "kernels/gather_kernels.h"
+#include "kernels/pdx_kernels.h"
+#include "kernels/scalar_kernels.h"
+
+namespace pdx {
+
+namespace {
+
+// Shared tail: push a dense distance array into a TopK collector.
+std::vector<Neighbor> SelectTopK(const float* distances, size_t count,
+                                 size_t k) {
+  TopK collector(k);
+  for (size_t i = 0; i < count; ++i) {
+    collector.Push(static_cast<VectorId>(i), distances[i]);
+  }
+  return collector.SortedResults();
+}
+
+}  // namespace
+
+std::vector<Neighbor> FlatSearchNary(const VectorSet& vectors,
+                                     const float* query, size_t k,
+                                     Metric metric, Isa isa) {
+  const PairKernelFn kernel = GetNaryKernel(metric, isa);
+  TopK collector(k);
+  for (size_t i = 0; i < vectors.count(); ++i) {
+    collector.Push(
+        static_cast<VectorId>(i),
+        kernel(query, vectors.Vector(static_cast<VectorId>(i)),
+               vectors.dim()));
+  }
+  return collector.SortedResults();
+}
+
+std::vector<Neighbor> FlatSearchScalar(const VectorSet& vectors,
+                                       const float* query, size_t k,
+                                       Metric metric) {
+  // Scikit-learn style: materialize the whole distance array, then select.
+  std::vector<float> distances(vectors.count());
+  ScalarDistanceBatch(metric, query, vectors.data(), vectors.count(),
+                      vectors.dim(), distances.data());
+  return SelectTopK(distances.data(), distances.size(), k);
+}
+
+std::vector<Neighbor> FlatSearchPdx(const PdxStore& store, const float* query,
+                                    size_t k, Metric metric) {
+  TopK collector(k);
+  AlignedBuffer distances(kPdxBlockSize);
+  std::vector<float> large;
+  for (size_t b = 0; b < store.num_blocks(); ++b) {
+    const PdxBlock& block = store.block(b);
+    float* out = distances.data();
+    if (block.count() > kPdxBlockSize) {
+      large.resize(block.count());
+      out = large.data();
+    }
+    PdxLinearScan(metric, query, block.data(), block.count(), block.dim(),
+                  out);
+    for (size_t i = 0; i < block.count(); ++i) {
+      collector.Push(block.id(i), out[i]);
+    }
+  }
+  return collector.SortedResults();
+}
+
+std::vector<Neighbor> FlatSearchDsm(const DsmStore& store, const float* query,
+                                    size_t k, Metric metric) {
+  // Column-at-a-time over the whole collection: one running distances array
+  // of count() floats updated per dimension (the extra load/store traffic
+  // the paper contrasts with PDX).
+  std::vector<float> distances(store.count(), 0.0f);
+  for (size_t d = 0; d < store.dim(); ++d) {
+    PdxAccumulate(metric, query, store.Dimension(0), store.count(), d, d + 1,
+                  distances.data());
+  }
+  return SelectTopK(distances.data(), distances.size(), k);
+}
+
+std::vector<Neighbor> FlatSearchGather(const VectorSet& vectors,
+                                       const float* query, size_t k,
+                                       Metric metric) {
+  std::vector<float> distances(vectors.count());
+  NaryGatherDistanceBatch(metric, query, vectors.data(), vectors.count(),
+                          vectors.dim(), distances.data());
+  return SelectTopK(distances.data(), distances.size(), k);
+}
+
+}  // namespace pdx

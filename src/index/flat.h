@@ -1,0 +1,48 @@
+#ifndef PDX_INDEX_FLAT_H_
+#define PDX_INDEX_FLAT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+#include "index/topk.h"
+#include "kernels/kernel_dispatch.h"
+#include "storage/dsm_store.h"
+#include "storage/pdx_store.h"
+#include "storage/vector_set.h"
+
+namespace pdx {
+
+/// Exact (brute-force) k-NN baselines over every layout (Figure 9 roster).
+///
+/// All functions return the k nearest neighbors sorted by ascending
+/// distance. They differ only in storage layout and kernel family, which is
+/// precisely what the exact-search experiment isolates:
+///
+///   * Nary   — horizontal + explicit SIMD (the FAISS/USearch stand-in).
+///   * Scalar — horizontal + portable scalar code (Scikit-learn stand-in).
+///   * Pdx    — PDX blocks + auto-vectorized vertical kernels.
+///   * Dsm    — fully decomposed columns + vertical kernels.
+///   * Gather — horizontal storage transposed on the fly (Section 7).
+
+std::vector<Neighbor> FlatSearchNary(const VectorSet& vectors,
+                                     const float* query, size_t k,
+                                     Metric metric, Isa isa = Isa::kBest);
+
+std::vector<Neighbor> FlatSearchScalar(const VectorSet& vectors,
+                                       const float* query, size_t k,
+                                       Metric metric);
+
+std::vector<Neighbor> FlatSearchPdx(const PdxStore& store, const float* query,
+                                    size_t k, Metric metric);
+
+std::vector<Neighbor> FlatSearchDsm(const DsmStore& store, const float* query,
+                                    size_t k, Metric metric);
+
+std::vector<Neighbor> FlatSearchGather(const VectorSet& vectors,
+                                       const float* query, size_t k,
+                                       Metric metric);
+
+}  // namespace pdx
+
+#endif  // PDX_INDEX_FLAT_H_

@@ -1,0 +1,43 @@
+#ifndef PDX_INDEX_KMEANS_H_
+#define PDX_INDEX_KMEANS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "storage/vector_set.h"
+
+namespace pdx {
+
+/// Configuration for Lloyd's k-means — deliberately the "non-optimized
+/// Lloyd algorithm" the paper says IVF uses (Section 2.1).
+struct KMeansOptions {
+  size_t num_clusters = 0;   ///< Required; must be >= 1 and <= N.
+  int max_iterations = 20;   ///< Lloyd iterations (FAISS default ballpark).
+  uint64_t seed = 42;        ///< RNG seed for seeding and training sample.
+  bool use_kmeans_pp = true; ///< k-means++ seeding; false = random rows.
+  /// Cap on training points per centroid; the full collection is still
+  /// assigned at the end (FAISS trains on <= 256 points/centroid).
+  size_t max_points_per_centroid = 256;
+};
+
+/// Result of a k-means run.
+struct KMeansResult {
+  VectorSet centroids;               ///< num_clusters x dim.
+  std::vector<uint32_t> assignment;  ///< Per input row: nearest centroid.
+  double objective = 0.0;            ///< Final sum of squared distances.
+  int iterations_run = 0;
+};
+
+/// Runs Lloyd's k-means with k-means++ (or random) seeding on a training
+/// subsample, then assigns every input vector to its nearest centroid.
+/// Empty clusters are repaired by splitting the largest cluster.
+KMeansResult RunKMeans(const VectorSet& vectors, const KMeansOptions& options);
+
+/// Index of the centroid nearest to `query` (L2), linear scan.
+uint32_t NearestCentroid(const VectorSet& centroids, const float* query);
+
+}  // namespace pdx
+
+#endif  // PDX_INDEX_KMEANS_H_

@@ -1,0 +1,60 @@
+#include "index/topk.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pdx {
+
+TopK::TopK(size_t k) : k_(k) {
+  assert(k >= 1);
+  heap_.reserve(k);
+}
+
+void TopK::Push(VectorId id, float distance) {
+  if (heap_.size() < k_) {
+    heap_.push_back(Neighbor{id, distance});
+    SiftUp(heap_.size() - 1);
+    return;
+  }
+  if (distance >= heap_.front().distance) return;
+  heap_.front() = Neighbor{id, distance};
+  SiftDown(0);
+}
+
+std::vector<Neighbor> TopK::SortedResults() const {
+  std::vector<Neighbor> out = heap_;
+  std::sort(out.begin(), out.end(), [](const Neighbor& a, const Neighbor& b) {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.id < b.id;
+  });
+  return out;
+}
+
+void TopK::SiftUp(size_t pos) {
+  while (pos > 0) {
+    const size_t parent = (pos - 1) / 2;
+    if (heap_[parent].distance >= heap_[pos].distance) break;
+    std::swap(heap_[parent], heap_[pos]);
+    pos = parent;
+  }
+}
+
+void TopK::SiftDown(size_t pos) {
+  const size_t n = heap_.size();
+  for (;;) {
+    const size_t left = 2 * pos + 1;
+    const size_t right = left + 1;
+    size_t largest = pos;
+    if (left < n && heap_[left].distance > heap_[largest].distance) {
+      largest = left;
+    }
+    if (right < n && heap_[right].distance > heap_[largest].distance) {
+      largest = right;
+    }
+    if (largest == pos) break;
+    std::swap(heap_[pos], heap_[largest]);
+    pos = largest;
+  }
+}
+
+}  // namespace pdx

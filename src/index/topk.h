@@ -1,0 +1,68 @@
+#ifndef PDX_INDEX_TOPK_H_
+#define PDX_INDEX_TOPK_H_
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "common/types.h"
+
+namespace pdx {
+
+/// One search hit: the ordering key (squared L2 / negated IP / L1) and the
+/// global id of the vector.
+struct Neighbor {
+  VectorId id = kInvalidVectorId;
+  float distance = std::numeric_limits<float>::infinity();
+
+  friend bool operator==(const Neighbor&, const Neighbor&) = default;
+};
+
+/// Bounded max-heap that keeps the k smallest distances seen so far — the
+/// "KNN candidate list" every VSS search maintains.
+///
+/// threshold() exposes the current k-th best distance, which is exactly the
+/// pruning threshold ADSampling/BSA/PDX-BOND test partial distances
+/// against. Until the heap holds k entries the threshold is +inf (nothing
+/// can be pruned), which is why PDXearch's START phase linear-scans the
+/// first block.
+class TopK {
+ public:
+  /// Creates a collector for the k nearest neighbors (k >= 1).
+  explicit TopK(size_t k);
+
+  size_t k() const { return k_; }
+  size_t size() const { return heap_.size(); }
+  bool full() const { return heap_.size() == k_; }
+
+  /// Current pruning threshold: the k-th best distance, or +inf while the
+  /// collector is not yet full.
+  float threshold() const {
+    return full() ? heap_.front().distance
+                  : std::numeric_limits<float>::infinity();
+  }
+
+  /// True when a vector at `distance` would enter the current top-k.
+  bool WouldAccept(float distance) const { return distance < threshold(); }
+
+  /// Offers one candidate; keeps it only if it is among the k best.
+  void Push(VectorId id, float distance);
+
+  /// Heap contents sorted by ascending distance (ties broken by id for
+  /// deterministic output). Does not consume the collector.
+  std::vector<Neighbor> SortedResults() const;
+
+  /// Removes all entries, keeping k.
+  void Clear() { heap_.clear(); }
+
+ private:
+  void SiftUp(size_t pos);
+  void SiftDown(size_t pos);
+
+  size_t k_;
+  std::vector<Neighbor> heap_;  // Max-heap on distance.
+};
+
+}  // namespace pdx
+
+#endif  // PDX_INDEX_TOPK_H_

@@ -1,0 +1,31 @@
+#ifndef PDX_KERNELS_GATHER_KERNELS_H_
+#define PDX_KERNELS_GATHER_KERNELS_H_
+
+#include <cstddef>
+
+#include "common/types.h"
+
+namespace pdx {
+
+/// N-ary + Gather kernel (Section 7, Figure 12): runs the PDX
+/// dimension-at-a-time computation directly on *horizontal* storage by
+/// transposing 64-vector groups on the fly with SIMD gather instructions
+/// (strided loads where gathers are unavailable).
+///
+/// This answers "why store PDX at all, instead of gathering at query
+/// time?": the gather's micro-op cost and cache-unfriendly access make this
+/// kernel slower than both plain N-ary SIMD and true PDX — hence the paper's
+/// conclusion that the layout must be materialized.
+///
+/// `data` is row-major (count x dim); `out[i]` receives the ordering key of
+/// vector i.
+void NaryGatherDistanceBatch(Metric metric, const float* query,
+                             const float* data, size_t count, size_t dim,
+                             float* out);
+
+/// True when the binary was compiled with hardware gather support (AVX2).
+bool HasHardwareGather();
+
+}  // namespace pdx
+
+#endif  // PDX_KERNELS_GATHER_KERNELS_H_

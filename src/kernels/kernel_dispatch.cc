@@ -1,0 +1,90 @@
+#include "kernels/kernel_dispatch.h"
+
+#include "kernels/nary_kernels.h"
+#include "kernels/scalar_kernels.h"
+
+namespace pdx {
+
+const char* IsaName(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kAvx2:
+      return "avx2";
+    case Isa::kAvx512:
+      return "avx512";
+    case Isa::kBest:
+      return "best";
+  }
+  return "unknown";
+}
+
+bool IsaAvailable(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+    case Isa::kBest:
+      return true;
+    case Isa::kAvx2:
+      return HasAvx2();
+    case Isa::kAvx512:
+      return HasAvx512();
+  }
+  return false;
+}
+
+PairKernelFn GetNaryKernel(Metric metric, Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      switch (metric) {
+        case Metric::kL2:
+          return &ScalarL2;
+        case Metric::kIp:
+          return &ScalarIp;
+        case Metric::kL1:
+          return &ScalarL1;
+      }
+      break;
+    case Isa::kAvx2:
+      switch (metric) {
+        case Metric::kL2:
+          return &NaryL2Avx2;
+        case Metric::kIp:
+          return &NaryIpAvx2;
+        case Metric::kL1:
+          return &NaryL1Avx2;
+      }
+      break;
+    case Isa::kAvx512:
+      switch (metric) {
+        case Metric::kL2:
+          return &NaryL2Avx512;
+        case Metric::kIp:
+          return &NaryIpAvx512;
+        case Metric::kL1:
+          return &NaryL1Avx512;
+      }
+      break;
+    case Isa::kBest:
+      switch (metric) {
+        case Metric::kL2:
+          return &NaryL2;
+        case Metric::kIp:
+          return &NaryIp;
+        case Metric::kL1:
+          return &NaryL1;
+      }
+      break;
+  }
+  return &ScalarL2;
+}
+
+void NaryDistanceBatchIsa(Metric metric, Isa isa, const float* query,
+                          const float* data, size_t count, size_t dim,
+                          float* out) {
+  const PairKernelFn kernel = GetNaryKernel(metric, isa);
+  for (size_t i = 0; i < count; ++i) {
+    out[i] = kernel(query, data + i * dim, dim);
+  }
+}
+
+}  // namespace pdx

@@ -1,0 +1,37 @@
+#ifndef PDX_KERNELS_KERNEL_DISPATCH_H_
+#define PDX_KERNELS_KERNEL_DISPATCH_H_
+
+#include <cstddef>
+
+#include "common/types.h"
+
+namespace pdx {
+
+/// ISA tiers for the cross-"architecture" sweep (Figure 11 substitution:
+/// one host, three kernel tiers).
+enum class Isa : uint8_t {
+  kScalar = 0,  ///< Portable scalar code (the paper's "Scalar ISA" column).
+  kAvx2 = 1,    ///< 256-bit kernels (the paper's Zen3 tier).
+  kAvx512 = 2,  ///< 512-bit kernels (the paper's Intel SPR / Zen4 tier).
+  kBest = 3,    ///< Widest ISA this binary carries.
+};
+
+/// Human-readable tier name ("scalar", "avx2", "avx512", "best").
+const char* IsaName(Isa isa);
+
+/// True when the binary carries genuine kernels for the tier (kScalar and
+/// kBest are always available).
+bool IsaAvailable(Isa isa);
+
+/// Pairwise horizontal kernel for (metric, isa).
+using PairKernelFn = float (*)(const float*, const float*, size_t);
+PairKernelFn GetNaryKernel(Metric metric, Isa isa);
+
+/// Batch kernel: distances from one query to `count` horizontal vectors.
+void NaryDistanceBatchIsa(Metric metric, Isa isa, const float* query,
+                          const float* data, size_t count, size_t dim,
+                          float* out);
+
+}  // namespace pdx
+
+#endif  // PDX_KERNELS_KERNEL_DISPATCH_H_

@@ -1,0 +1,51 @@
+#ifndef PDX_KERNELS_NARY_KERNELS_H_
+#define PDX_KERNELS_NARY_KERNELS_H_
+
+#include <cstddef>
+
+#include "common/types.h"
+
+namespace pdx {
+
+/// Horizontal ("N-ary") distance kernels with explicit SIMD intrinsics.
+///
+/// These mirror the state-of-the-art kernels the paper benchmarks against:
+/// the L2/IP kernels follow SimSIMD (used by USearch), the L1 kernel
+/// follows FAISS. Each metric has AVX-512, AVX2, and scalar-unrolled
+/// variants; the unsuffixed entry points pick the widest ISA the binary was
+/// compiled for. Like SimSIMD, each kernel processes one vector with
+/// multiple accumulator registers and finishes with a horizontal register
+/// reduction — the step the PDX layout eliminates.
+///
+/// Return values are ordering keys (squared L2 / negated IP / L1).
+
+float NaryL2(const float* a, const float* b, size_t dim);
+float NaryIp(const float* a, const float* b, size_t dim);
+float NaryL1(const float* a, const float* b, size_t dim);
+
+/// Metric dispatching variant of the best-ISA kernels.
+float NaryDistance(Metric metric, const float* a, const float* b, size_t dim);
+
+/// Distance from `query` to `count` horizontal vectors using the best ISA.
+void NaryDistanceBatch(Metric metric, const float* query, const float* data,
+                       size_t count, size_t dim, float* out);
+
+// Per-ISA entry points (for the cross-"architecture" sweep of Figure 11;
+// falls back to the next narrower tier when the binary lacks the ISA).
+
+float NaryL2Avx512(const float* a, const float* b, size_t dim);
+float NaryIpAvx512(const float* a, const float* b, size_t dim);
+float NaryL1Avx512(const float* a, const float* b, size_t dim);
+
+float NaryL2Avx2(const float* a, const float* b, size_t dim);
+float NaryIpAvx2(const float* a, const float* b, size_t dim);
+float NaryL1Avx2(const float* a, const float* b, size_t dim);
+
+/// True when the binary was compiled with real AVX-512F (resp. AVX2)
+/// support; otherwise the *Avx512/*Avx2 symbols alias the next tier down.
+bool HasAvx512();
+bool HasAvx2();
+
+}  // namespace pdx
+
+#endif  // PDX_KERNELS_NARY_KERNELS_H_

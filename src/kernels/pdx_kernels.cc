@@ -1,0 +1,99 @@
+#include "kernels/pdx_kernels.h"
+
+#include <cstring>
+
+#include "kernels/pdx_kernels_inl.h"
+
+namespace pdx {
+
+void PdxAccumulate(Metric metric, const float* query, const float* block,
+                   size_t n, size_t d_start, size_t d_end, float* distances) {
+  switch (metric) {
+    case Metric::kL2:
+      internal::Accumulate<Metric::kL2>(query, block, n, d_start, d_end,
+                                        distances);
+      break;
+    case Metric::kIp:
+      internal::Accumulate<Metric::kIp>(query, block, n, d_start, d_end,
+                                        distances);
+      break;
+    case Metric::kL1:
+      internal::Accumulate<Metric::kL1>(query, block, n, d_start, d_end,
+                                        distances);
+      break;
+  }
+}
+
+void PdxAccumulateDims(Metric metric, const float* query, const float* block,
+                       size_t n, const uint32_t* dims, size_t dims_count,
+                       float* distances) {
+  switch (metric) {
+    case Metric::kL2:
+      internal::AccumulateDims<Metric::kL2>(query, block, n, dims, dims_count,
+                                            distances);
+      break;
+    case Metric::kIp:
+      internal::AccumulateDims<Metric::kIp>(query, block, n, dims, dims_count,
+                                            distances);
+      break;
+    case Metric::kL1:
+      internal::AccumulateDims<Metric::kL1>(query, block, n, dims, dims_count,
+                                            distances);
+      break;
+  }
+}
+
+void PdxAccumulatePositions(Metric metric, const float* query,
+                            const float* block, size_t n, size_t d_start,
+                            size_t d_end, const uint32_t* positions,
+                            size_t position_count, float* distances) {
+  switch (metric) {
+    case Metric::kL2:
+      internal::AccumulatePositions<Metric::kL2>(query, block, n, d_start,
+                                                 d_end, positions,
+                                                 position_count, distances);
+      break;
+    case Metric::kIp:
+      internal::AccumulatePositions<Metric::kIp>(query, block, n, d_start,
+                                                 d_end, positions,
+                                                 position_count, distances);
+      break;
+    case Metric::kL1:
+      internal::AccumulatePositions<Metric::kL1>(query, block, n, d_start,
+                                                 d_end, positions,
+                                                 position_count, distances);
+      break;
+  }
+}
+
+void PdxAccumulateDimsPositions(Metric metric, const float* query,
+                                const float* block, size_t n,
+                                const uint32_t* dims, size_t dims_count,
+                                const uint32_t* positions,
+                                size_t position_count, float* distances) {
+  switch (metric) {
+    case Metric::kL2:
+      internal::AccumulateDimsPositions<Metric::kL2>(
+          query, block, n, dims, dims_count, positions, position_count,
+          distances);
+      break;
+    case Metric::kIp:
+      internal::AccumulateDimsPositions<Metric::kIp>(
+          query, block, n, dims, dims_count, positions, position_count,
+          distances);
+      break;
+    case Metric::kL1:
+      internal::AccumulateDimsPositions<Metric::kL1>(
+          query, block, n, dims, dims_count, positions, position_count,
+          distances);
+      break;
+  }
+}
+
+void PdxLinearScan(Metric metric, const float* query, const float* block,
+                   size_t n, size_t dim, float* distances) {
+  std::memset(distances, 0, n * sizeof(float));
+  PdxAccumulate(metric, query, block, n, 0, dim, distances);
+}
+
+}  // namespace pdx

@@ -1,0 +1,40 @@
+// Vectorization-disabled build of the PDX kernels (see src/CMakeLists.txt:
+// this TU is compiled with -fno-tree-vectorize -fno-tree-slp-vectorize).
+//
+// Supports the Section 6.3 ablation: even with auto-vectorization off, the
+// PDX dimension-by-dimension search keeps ~1.8x over the horizontal layout
+// from better access patterns and branchless structure alone.
+
+#include <cstring>
+
+#include "kernels/pdx_kernels.h"
+#include "kernels/pdx_kernels_inl.h"
+
+namespace pdx {
+
+void PdxAccumulateNovec(Metric metric, const float* query, const float* block,
+                        size_t n, size_t d_start, size_t d_end,
+                        float* distances) {
+  switch (metric) {
+    case Metric::kL2:
+      internal::Accumulate<Metric::kL2>(query, block, n, d_start, d_end,
+                                        distances);
+      break;
+    case Metric::kIp:
+      internal::Accumulate<Metric::kIp>(query, block, n, d_start, d_end,
+                                        distances);
+      break;
+    case Metric::kL1:
+      internal::Accumulate<Metric::kL1>(query, block, n, d_start, d_end,
+                                        distances);
+      break;
+  }
+}
+
+void PdxLinearScanNovec(Metric metric, const float* query, const float* block,
+                        size_t n, size_t dim, float* distances) {
+  std::memset(distances, 0, n * sizeof(float));
+  PdxAccumulateNovec(metric, query, block, n, 0, dim, distances);
+}
+
+}  // namespace pdx

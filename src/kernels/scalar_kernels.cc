@@ -1,0 +1,48 @@
+#include "kernels/scalar_kernels.h"
+
+#include <cmath>
+
+namespace pdx {
+
+float ScalarL2(const float* a, const float* b, size_t dim) {
+  float sum = 0.0f;
+  for (size_t d = 0; d < dim; ++d) {
+    const float diff = a[d] - b[d];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+float ScalarIp(const float* a, const float* b, size_t dim) {
+  float sum = 0.0f;
+  for (size_t d = 0; d < dim; ++d) sum += a[d] * b[d];
+  return -sum;
+}
+
+float ScalarL1(const float* a, const float* b, size_t dim) {
+  float sum = 0.0f;
+  for (size_t d = 0; d < dim; ++d) sum += std::fabs(a[d] - b[d]);
+  return sum;
+}
+
+float ScalarDistance(Metric metric, const float* a, const float* b,
+                     size_t dim) {
+  switch (metric) {
+    case Metric::kL2:
+      return ScalarL2(a, b, dim);
+    case Metric::kIp:
+      return ScalarIp(a, b, dim);
+    case Metric::kL1:
+      return ScalarL1(a, b, dim);
+  }
+  return 0.0f;
+}
+
+void ScalarDistanceBatch(Metric metric, const float* query, const float* data,
+                         size_t count, size_t dim, float* out) {
+  for (size_t i = 0; i < count; ++i) {
+    out[i] = ScalarDistance(metric, query, data + i * dim, dim);
+  }
+}
+
+}  // namespace pdx

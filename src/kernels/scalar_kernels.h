@@ -1,0 +1,38 @@
+#ifndef PDX_KERNELS_SCALAR_KERNELS_H_
+#define PDX_KERNELS_SCALAR_KERNELS_H_
+
+#include <cstddef>
+
+#include "common/types.h"
+
+namespace pdx {
+
+/// Plain scalar distance kernels over the horizontal layout.
+///
+/// These serve three roles: (1) the correctness oracle every other kernel
+/// family is tested against, (2) the "Scikit-learn"-style portable baseline
+/// of Figure 9/11, and (3) the scalar tier of the ISA sweep. All kernels
+/// return the *ordering key*: squared L2, negated inner product, or L1 —
+/// smaller always means more similar.
+
+/// Squared Euclidean distance between a and b.
+float ScalarL2(const float* a, const float* b, size_t dim);
+
+/// Negated inner product of a and b.
+float ScalarIp(const float* a, const float* b, size_t dim);
+
+/// Manhattan distance between a and b.
+float ScalarL1(const float* a, const float* b, size_t dim);
+
+/// Metric-dispatching scalar kernel.
+float ScalarDistance(Metric metric, const float* a, const float* b,
+                     size_t dim);
+
+/// Distances from `query` to `count` horizontal vectors; out[i] is the
+/// ordering key for vector i.
+void ScalarDistanceBatch(Metric metric, const float* query, const float* data,
+                         size_t count, size_t dim, float* out);
+
+}  // namespace pdx
+
+#endif  // PDX_KERNELS_SCALAR_KERNELS_H_

@@ -1,0 +1,277 @@
+#include "linalg/eigen.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace pdx {
+
+EigenDecomposition JacobiEigenSymmetric(const Matrix& a, int max_sweeps,
+                                        double tolerance) {
+  const size_t n = a.rows();
+  assert(a.cols() == n);
+
+  // Double-precision working copies: rotations compound, floats drift.
+  std::vector<double> m(n * n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) m[i * n + j] = a.At(i, j);
+  }
+  std::vector<double> v(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) v[i * n + i] = 1.0;
+
+  auto off_diagonal_mass = [&]() {
+    double sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) sum += m[i * n + j] * m[i * n + j];
+    }
+    return sum;
+  };
+  double diag_mass = 0.0;
+  for (size_t i = 0; i < n; ++i) diag_mass += m[i * n + i] * m[i * n + i];
+  const double stop = tolerance * std::max(diag_mass, 1.0);
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (off_diagonal_mass() <= stop) break;
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        const double apq = m[p * n + q];
+        if (std::fabs(apq) < 1e-300) continue;
+        const double app = m[p * n + p];
+        const double aqq = m[q * n + q];
+        // Classic stable rotation computation (Golub & Van Loan 8.4).
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0)
+                             ? 1.0 / (theta + std::sqrt(1.0 + theta * theta))
+                             : 1.0 / (theta - std::sqrt(1.0 + theta * theta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = t * c;
+
+        for (size_t k = 0; k < n; ++k) {
+          const double mkp = m[k * n + p];
+          const double mkq = m[k * n + q];
+          m[k * n + p] = c * mkp - s * mkq;
+          m[k * n + q] = s * mkp + c * mkq;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double mpk = m[p * n + k];
+          const double mqk = m[q * n + k];
+          m[p * n + k] = c * mpk - s * mqk;
+          m[q * n + k] = s * mpk + c * mqk;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double vkp = v[k * n + p];
+          const double vkq = v[k * n + q];
+          v[k * n + p] = c * vkp - s * vkq;
+          v[k * n + q] = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs by descending eigenvalue.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+    return m[x * n + x] > m[y * n + y];
+  });
+
+  EigenDecomposition out;
+  out.eigenvalues.resize(n);
+  out.eigenvectors = Matrix(n, n);
+  for (size_t rank = 0; rank < n; ++rank) {
+    const size_t src = order[rank];
+    out.eigenvalues[rank] = static_cast<float>(m[src * n + src]);
+    for (size_t row = 0; row < n; ++row) {
+      out.eigenvectors.At(row, rank) = static_cast<float>(v[row * n + src]);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Householder reduction of a real symmetric matrix to tridiagonal form
+// (Numerical Recipes "tred2"). On exit `z` holds the accumulated orthogonal
+// transform, `d` the diagonal and `e` the sub-diagonal.
+void Tred2(std::vector<double>& z, size_t n, std::vector<double>& d,
+           std::vector<double>& e) {
+  for (size_t i = n - 1; i >= 1; --i) {
+    const size_t l = i - 1;
+    double h = 0.0;
+    double scale = 0.0;
+    if (l > 0) {
+      for (size_t k = 0; k <= l; ++k) scale += std::fabs(z[i * n + k]);
+      if (scale == 0.0) {
+        e[i] = z[i * n + l];
+      } else {
+        for (size_t k = 0; k <= l; ++k) {
+          z[i * n + k] /= scale;
+          h += z[i * n + k] * z[i * n + k];
+        }
+        double f = z[i * n + l];
+        double g = (f >= 0.0) ? -std::sqrt(h) : std::sqrt(h);
+        e[i] = scale * g;
+        h -= f * g;
+        z[i * n + l] = f - g;
+        f = 0.0;
+        for (size_t j = 0; j <= l; ++j) {
+          z[j * n + i] = z[i * n + j] / h;
+          g = 0.0;
+          for (size_t k = 0; k <= j; ++k) g += z[j * n + k] * z[i * n + k];
+          for (size_t k = j + 1; k <= l; ++k) {
+            g += z[k * n + j] * z[i * n + k];
+          }
+          e[j] = g / h;
+          f += e[j] * z[i * n + j];
+        }
+        const double hh = f / (h + h);
+        for (size_t j = 0; j <= l; ++j) {
+          f = z[i * n + j];
+          e[j] = g = e[j] - hh * f;
+          for (size_t k = 0; k <= j; ++k) {
+            z[j * n + k] -= f * e[k] + g * z[i * n + k];
+          }
+        }
+      }
+    } else {
+      e[i] = z[i * n + l];
+    }
+    d[i] = h;
+  }
+  d[0] = 0.0;
+  e[0] = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    if (d[i] != 0.0) {
+      for (size_t j = 0; j < i; ++j) {
+        double g = 0.0;
+        for (size_t k = 0; k < i; ++k) g += z[i * n + k] * z[k * n + j];
+        for (size_t k = 0; k < i; ++k) z[k * n + j] -= g * z[k * n + i];
+      }
+    }
+    d[i] = z[i * n + i];
+    z[i * n + i] = 1.0;
+    for (size_t j = 0; j < i; ++j) {
+      z[j * n + i] = 0.0;
+      z[i * n + j] = 0.0;
+    }
+  }
+}
+
+inline double Pythag(double a, double b) {
+  const double absa = std::fabs(a);
+  const double absb = std::fabs(b);
+  if (absa > absb) {
+    const double r = absb / absa;
+    return absa * std::sqrt(1.0 + r * r);
+  }
+  if (absb == 0.0) return 0.0;
+  const double r = absa / absb;
+  return absb * std::sqrt(1.0 + r * r);
+}
+
+// Implicit-shift QL iteration on a tridiagonal matrix, accumulating the
+// eigenvectors into z (Numerical Recipes "tqli").
+void Tqli(std::vector<double>& d, std::vector<double>& e, size_t n,
+          std::vector<double>& z) {
+  for (size_t i = 1; i < n; ++i) e[i - 1] = e[i];
+  e[n - 1] = 0.0;
+  for (size_t l = 0; l < n; ++l) {
+    int iterations = 0;
+    size_t m;
+    do {
+      for (m = l; m + 1 < n; ++m) {
+        const double dd = std::fabs(d[m]) + std::fabs(d[m + 1]);
+        if (std::fabs(e[m]) <= 1e-15 * dd) break;
+      }
+      if (m != l) {
+        // 50 iterations is far beyond the worst case for well-formed input;
+        // bail rather than loop forever on pathological NaN data.
+        if (++iterations == 50) return;
+        double g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+        double r = Pythag(g, 1.0);
+        const double sign_r = (g >= 0.0) ? std::fabs(r) : -std::fabs(r);
+        g = d[m] - d[l] + e[l] / (g + sign_r);
+        double s = 1.0;
+        double c = 1.0;
+        double p = 0.0;
+        for (size_t i = m; i-- > l;) {
+          double f = s * e[i];
+          const double b = c * e[i];
+          r = Pythag(f, g);
+          e[i + 1] = r;
+          if (r == 0.0) {
+            d[i + 1] -= p;
+            e[m] = 0.0;
+            break;
+          }
+          s = f / r;
+          c = g / r;
+          g = d[i + 1] - p;
+          r = (d[i] - g) * s + 2.0 * c * b;
+          p = s * r;
+          d[i + 1] = g + p;
+          g = c * r - b;
+          for (size_t k = 0; k < n; ++k) {
+            f = z[k * n + i + 1];
+            z[k * n + i + 1] = s * z[k * n + i] + c * f;
+            z[k * n + i] = c * z[k * n + i] - s * f;
+          }
+        }
+        if (r == 0.0 && m > l) continue;
+        d[l] -= p;
+        e[l] = g;
+        e[m] = 0.0;
+      }
+    } while (m != l);
+  }
+}
+
+}  // namespace
+
+EigenDecomposition TridiagonalEigenSymmetric(const Matrix& a) {
+  const size_t n = a.rows();
+  assert(a.cols() == n);
+  assert(n >= 1);
+
+  std::vector<double> z(n * n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) z[i * n + j] = a.At(i, j);
+  }
+  std::vector<double> d(n, 0.0);
+  std::vector<double> e(n, 0.0);
+  if (n == 1) {
+    d[0] = z[0];
+    z[0] = 1.0;
+  } else {
+    Tred2(z, n, d, e);
+    Tqli(d, e, n, z);
+  }
+
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t x, size_t y) { return d[x] > d[y]; });
+
+  EigenDecomposition out;
+  out.eigenvalues.resize(n);
+  out.eigenvectors = Matrix(n, n);
+  for (size_t rank = 0; rank < n; ++rank) {
+    const size_t src = order[rank];
+    out.eigenvalues[rank] = static_cast<float>(d[src]);
+    for (size_t row = 0; row < n; ++row) {
+      out.eigenvectors.At(row, rank) = static_cast<float>(z[row * n + src]);
+    }
+  }
+  return out;
+}
+
+EigenDecomposition SymmetricEigen(const Matrix& a) {
+  // Jacobi is more accurate on tiny systems and trivially correct; the
+  // tridiagonal path wins decisively beyond ~32x32.
+  if (a.rows() <= 32) return JacobiEigenSymmetric(a);
+  return TridiagonalEigenSymmetric(a);
+}
+
+}  // namespace pdx

@@ -1,0 +1,41 @@
+#ifndef PDX_LINALG_EIGEN_H_
+#define PDX_LINALG_EIGEN_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace pdx {
+
+/// Eigendecomposition of a symmetric matrix: A = V diag(w) V^T.
+///
+/// `eigenvalues` are sorted in descending order; column i of `eigenvectors`
+/// is the unit eigenvector for eigenvalues[i].
+struct EigenDecomposition {
+  std::vector<float> eigenvalues;
+  Matrix eigenvectors;
+};
+
+/// Cyclic Jacobi eigensolver for symmetric matrices.
+///
+/// Runs sweeps of Jacobi rotations until the off-diagonal Frobenius mass
+/// falls below `tolerance` (relative to the diagonal mass) or `max_sweeps`
+/// is reached. O(D^3) *per sweep*, so only suitable for small matrices;
+/// kept as a slow-but-simple oracle that the production solver is
+/// cross-checked against in tests.
+EigenDecomposition JacobiEigenSymmetric(const Matrix& a, int max_sweeps = 64,
+                                        double tolerance = 1e-12);
+
+/// Householder tridiagonalization + implicit-shift QL eigensolver.
+///
+/// The production path: a single O(D^3) reduction followed by O(D^2)
+/// iterations, fast enough to fit PCA on D=1536 covariance matrices in
+/// seconds (preprocessing time; the BSA paper flags this cost itself).
+EigenDecomposition TridiagonalEigenSymmetric(const Matrix& a);
+
+/// Dispatches to Jacobi for tiny matrices and tridiagonal QL otherwise.
+EigenDecomposition SymmetricEigen(const Matrix& a);
+
+}  // namespace pdx
+
+#endif  // PDX_LINALG_EIGEN_H_

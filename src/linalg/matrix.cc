@@ -1,0 +1,119 @@
+#include "linalg/matrix.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/parallel.h"
+
+namespace pdx {
+
+Matrix::Matrix(size_t rows, size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m.At(i, i) = 1.0f;
+  return m;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix t(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) {
+      t.At(c, r) = At(r, c);
+    }
+  }
+  return t;
+}
+
+Matrix Matrix::Multiply(const Matrix& other) const {
+  assert(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_);
+  // i-k-j loop order: streams through `other` row-wise, auto-vectorizes.
+  for (size_t i = 0; i < rows_; ++i) {
+    const float* a_row = Row(i);
+    float* out_row = out.Row(i);
+    for (size_t k = 0; k < cols_; ++k) {
+      const float a = a_row[k];
+      const float* b_row = other.Row(k);
+      for (size_t j = 0; j < other.cols_; ++j) {
+        out_row[j] += a * b_row[j];
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<float> Matrix::Apply(const std::vector<float>& x) const {
+  assert(x.size() == cols_);
+  std::vector<float> y(rows_, 0.0f);
+  Apply(x.data(), y.data());
+  return y;
+}
+
+void Matrix::Apply(const float* x, float* y) const {
+  for (size_t r = 0; r < rows_; ++r) {
+    const float* row = Row(r);
+    // Accumulate in double: projection quality feeds pruning-bound
+    // correctness, so keep the per-row dot product well conditioned.
+    double sum = 0.0;
+    for (size_t c = 0; c < cols_; ++c) sum += double(row[c]) * double(x[c]);
+    y[r] = static_cast<float>(sum);
+  }
+}
+
+double Matrix::FrobeniusDistance(const Matrix& other) const {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  double sum = 0.0;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    const double d = double(data_[i]) - double(other.data_[i]);
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+void ProjectBatch(const Matrix& proj, const float* data, size_t count,
+                  float* out) {
+  const size_t out_dim = proj.rows();
+  const size_t in_dim = proj.cols();
+  const Matrix proj_t = proj.Transposed();  // in_dim x out_dim.
+  // Rows are independent: spread them over threads (preprocessing path).
+  ParallelFor(count, [&](size_t i) {
+    const float* x = data + i * in_dim;
+    float* y = out + i * out_dim;
+    for (size_t j = 0; j < out_dim; ++j) y[j] = 0.0f;
+    for (size_t k = 0; k < in_dim; ++k) {
+      const float xk = x[k];
+      const float* pt_row = proj_t.Row(k);
+      for (size_t j = 0; j < out_dim; ++j) y[j] += xk * pt_row[j];
+    }
+  });
+}
+
+void ApplyPretransposed(const Matrix& proj_t, const float* x, float* y) {
+  const size_t in_dim = proj_t.rows();
+  const size_t out_dim = proj_t.cols();
+  for (size_t j = 0; j < out_dim; ++j) y[j] = 0.0f;
+  for (size_t k = 0; k < in_dim; ++k) {
+    const float xk = x[k];
+    const float* row = proj_t.Row(k);
+    for (size_t j = 0; j < out_dim; ++j) y[j] += xk * row[j];
+  }
+}
+
+double Matrix::OrthogonalityError() const {
+  double worst = 0.0;
+  for (size_t i = 0; i < cols_; ++i) {
+    for (size_t j = i; j < cols_; ++j) {
+      double dot = 0.0;
+      for (size_t r = 0; r < rows_; ++r) {
+        dot += double(At(r, i)) * double(At(r, j));
+      }
+      const double expected = (i == j) ? 1.0 : 0.0;
+      worst = std::max(worst, std::fabs(dot - expected));
+    }
+  }
+  return worst;
+}
+
+}  // namespace pdx

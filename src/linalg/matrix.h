@@ -1,0 +1,89 @@
+#ifndef PDX_LINALG_MATRIX_H_
+#define PDX_LINALG_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace pdx {
+
+class Matrix;
+
+/// Projects `count` row-major `in_dim`-vectors through `proj`
+/// (out_dim x in_dim): out_row_i = proj * data_row_i.
+///
+/// Uses an i-k-j loop over a pre-transposed copy of `proj` so the inner
+/// loop is a unit-stride FMA stream that auto-vectorizes; this is the hot
+/// path when ADSampling/BSA preprocess a whole collection.
+void ProjectBatch(const Matrix& proj, const float* data, size_t count,
+                  float* out);
+
+/// y = proj * x given the *pre-transposed* projection (in_dim x out_dim).
+///
+/// The k-j loop runs unit-stride over the output, so it auto-vectorizes —
+/// unlike the row-wise dot products of Matrix::Apply, whose float
+/// reductions the compiler must keep serial. This is the per-query
+/// transform of ADSampling/BSA (Table 7's "query preprocessing" phase);
+/// callers cache the transpose once per collection.
+void ApplyPretransposed(const Matrix& proj_t, const float* x, float* y);
+
+/// Dense row-major matrix of floats.
+///
+/// A deliberately small linear-algebra core: just what the ADSampling and
+/// BSA preprocessing steps need (projection matrices, covariance,
+/// mat-vec/mat-mat products). Heavy numerical work (QR, eigen) lives in
+/// qr.h and eigen.h and runs once per collection, not per query.
+class Matrix {
+ public:
+  Matrix() = default;
+  /// Creates a rows x cols matrix filled with zeros.
+  Matrix(size_t rows, size_t cols);
+
+  Matrix(const Matrix&) = default;
+  Matrix& operator=(const Matrix&) = default;
+  Matrix(Matrix&&) = default;
+  Matrix& operator=(Matrix&&) = default;
+
+  /// Identity matrix of size n x n.
+  static Matrix Identity(size_t n);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  float& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  float At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Pointer to the start of row r.
+  float* Row(size_t r) { return data_.data() + r * cols_; }
+  const float* Row(size_t r) const { return data_.data() + r * cols_; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  /// Matrix transpose.
+  Matrix Transposed() const;
+
+  /// Matrix-matrix product (this * other). Dimensions must agree.
+  Matrix Multiply(const Matrix& other) const;
+
+  /// Matrix-vector product y = this * x; `x` has cols() entries.
+  std::vector<float> Apply(const std::vector<float>& x) const;
+
+  /// y = this * x with raw pointers; `x` has cols() entries, `y` rows().
+  void Apply(const float* x, float* y) const;
+
+  /// Frobenius distance to another matrix of identical shape.
+  double FrobeniusDistance(const Matrix& other) const;
+
+  /// Maximum absolute deviation of (this^T * this) from identity; a measure
+  /// of column orthonormality.
+  double OrthogonalityError() const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace pdx
+
+#endif  // PDX_LINALG_MATRIX_H_

@@ -1,0 +1,97 @@
+#include "linalg/pca.h"
+
+#include <cassert>
+#include <vector>
+
+#include "linalg/eigen.h"
+
+namespace pdx {
+
+void Pca::Fit(const float* data, size_t count, size_t dim,
+              size_t max_samples) {
+  assert(count > 0 && dim > 0);
+  dim_ = dim;
+
+  // Deterministic strided subsample for covariance estimation.
+  const size_t stride =
+      (max_samples > 0 && count > max_samples) ? count / max_samples : 1;
+  size_t sampled = 0;
+
+  mean_.assign(dim, 0.0f);
+  {
+    std::vector<double> acc(dim, 0.0);
+    for (size_t i = 0; i < count; i += stride) {
+      const float* row = data + i * dim;
+      for (size_t d = 0; d < dim; ++d) acc[d] += row[d];
+      ++sampled;
+    }
+    for (size_t d = 0; d < dim; ++d) {
+      mean_[d] = static_cast<float>(acc[d] / static_cast<double>(sampled));
+    }
+  }
+
+  // Covariance in double precision, upper triangle then mirrored.
+  std::vector<double> cov(dim * dim, 0.0);
+  std::vector<double> centered(dim);
+  for (size_t i = 0; i < count; i += stride) {
+    const float* row = data + i * dim;
+    for (size_t d = 0; d < dim; ++d) centered[d] = row[d] - mean_[d];
+    for (size_t r = 0; r < dim; ++r) {
+      const double cr = centered[r];
+      double* cov_row = cov.data() + r * dim;
+      for (size_t c = r; c < dim; ++c) cov_row[c] += cr * centered[c];
+    }
+  }
+  const double scale = 1.0 / static_cast<double>(sampled);
+  Matrix cov_matrix(dim, dim);
+  for (size_t r = 0; r < dim; ++r) {
+    for (size_t c = r; c < dim; ++c) {
+      const float value = static_cast<float>(cov[r * dim + c] * scale);
+      cov_matrix.At(r, c) = value;
+      cov_matrix.At(c, r) = value;
+    }
+  }
+
+  EigenDecomposition eig = SymmetricEigen(cov_matrix);
+  explained_variance_ = std::move(eig.eigenvalues);
+  // Eigenvectors arrive as columns; store components as rows for cheap
+  // row-major mat-vec in Transform, plus the transpose for the fast
+  // per-query path.
+  components_ = eig.eigenvectors.Transposed();
+  components_t_ = eig.eigenvectors;
+}
+
+void Pca::Transform(const float* x, float* out) const {
+  assert(fitted());
+  std::vector<float> centered(dim_);
+  for (size_t d = 0; d < dim_; ++d) centered[d] = x[d] - mean_[d];
+  ApplyPretransposed(components_t_, centered.data(), out);
+}
+
+void Pca::TransformBatch(const float* data, size_t count, float* out) const {
+  assert(fitted());
+  // proj(x - mean) == proj*x - proj*mean: run the fast batched GEMM and
+  // subtract the precomputed mean offset afterwards.
+  ProjectBatch(components_, data, count, out);
+  std::vector<float> offset(dim_);
+  components_.Apply(mean_.data(), offset.data());
+  for (size_t i = 0; i < count; ++i) {
+    float* row = out + i * dim_;
+    for (size_t d = 0; d < dim_; ++d) row[d] -= offset[d];
+  }
+}
+
+void Pca::InverseTransform(const float* projected, size_t k,
+                           float* out) const {
+  assert(fitted());
+  assert(k <= dim_);
+  std::vector<double> acc(mean_.begin(), mean_.end());
+  for (size_t i = 0; i < k; ++i) {
+    const float* component = components_.Row(i);
+    const double weight = projected[i];
+    for (size_t d = 0; d < dim_; ++d) acc[d] += weight * component[d];
+  }
+  for (size_t d = 0; d < dim_; ++d) out[d] = static_cast<float>(acc[d]);
+}
+
+}  // namespace pdx

@@ -1,0 +1,71 @@
+#ifndef PDX_LINALG_PCA_H_
+#define PDX_LINALG_PCA_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace pdx {
+
+/// Principal component analysis fitted on a sample of vectors.
+///
+/// This is the preprocessing transform of BSA: projecting onto the PCA
+/// basis concentrates the collection's energy in the leading dimensions, so
+/// the residual ("not yet scanned") tail of a distance computation is small
+/// and tightly bounded early — which is exactly what BSA's Cauchy-Schwarz
+/// pruning bound exploits.
+class Pca {
+ public:
+  Pca() = default;
+
+  /// Fits the PCA basis on `count` row-major `dim`-dimensional vectors.
+  /// The basis always keeps all `dim` components (BSA projects to the full
+  /// dimensionality; it reorders energy rather than truncating).
+  ///
+  /// When `max_samples` > 0 and `count` exceeds it, the covariance is
+  /// estimated on an evenly strided deterministic subsample — the covariance
+  /// estimate converges long before 10^5 vectors, while full-collection
+  /// fitting is O(count * dim^2).
+  void Fit(const float* data, size_t count, size_t dim,
+           size_t max_samples = 0);
+
+  /// True once Fit has been called.
+  bool fitted() const { return dim_ > 0; }
+
+  size_t dim() const { return dim_; }
+
+  /// Per-component variances (descending).
+  const std::vector<float>& explained_variance() const {
+    return explained_variance_;
+  }
+
+  /// Mean vector subtracted before projection.
+  const std::vector<float>& mean() const { return mean_; }
+
+  /// Projection matrix: rows are principal components (descending variance).
+  const Matrix& components() const { return components_; }
+
+  /// Projects one vector: out = components * (x - mean). `out` has dim()
+  /// entries and may not alias `x`.
+  void Transform(const float* x, float* out) const;
+
+  /// Projects `count` vectors in-place semantics: `out` is count x dim.
+  void TransformBatch(const float* data, size_t count, float* out) const;
+
+  /// Reconstructs from the leading `k` components:
+  /// out = mean + sum_{i<k} proj_i * component_i. Used by tests to verify
+  /// that reconstruction error shrinks as k grows.
+  void InverseTransform(const float* projected, size_t k, float* out) const;
+
+ private:
+  size_t dim_ = 0;
+  std::vector<float> mean_;
+  std::vector<float> explained_variance_;
+  Matrix components_;    // dim x dim, rows = components.
+  Matrix components_t_;  // Cached transpose for the fast query transform.
+};
+
+}  // namespace pdx
+
+#endif  // PDX_LINALG_PCA_H_

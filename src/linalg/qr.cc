@@ -1,0 +1,84 @@
+#include "linalg/qr.h"
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace pdx {
+
+QrDecomposition HouseholderQr(const Matrix& a) {
+  const size_t m = a.rows();
+  const size_t n = a.cols();
+  assert(m >= n);
+
+  // Work in double precision internally; the factors are converted back to
+  // float at the end. For D up to a few thousand this is fast enough and
+  // avoids accumulating rounding error over the reflector sweep.
+  std::vector<double> r(m * n);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) r[i * n + j] = a.At(i, j);
+  }
+  std::vector<double> q(m * m, 0.0);
+  for (size_t i = 0; i < m; ++i) q[i * m + i] = 1.0;
+
+  std::vector<double> v(m);
+  for (size_t k = 0; k < n; ++k) {
+    // Build the Householder reflector that zeroes column k below the
+    // diagonal.
+    double norm = 0.0;
+    for (size_t i = k; i < m; ++i) norm += r[i * n + k] * r[i * n + k];
+    norm = std::sqrt(norm);
+    if (norm == 0.0) continue;
+
+    const double alpha = (r[k * n + k] >= 0.0) ? -norm : norm;
+    double vnorm2 = 0.0;
+    for (size_t i = k; i < m; ++i) {
+      v[i] = r[i * n + k];
+      if (i == k) v[i] -= alpha;
+      vnorm2 += v[i] * v[i];
+    }
+    if (vnorm2 == 0.0) continue;
+
+    // R <- (I - 2 v v^T / v^T v) R, applied to columns k..n-1.
+    for (size_t j = k; j < n; ++j) {
+      double dot = 0.0;
+      for (size_t i = k; i < m; ++i) dot += v[i] * r[i * n + j];
+      const double scale = 2.0 * dot / vnorm2;
+      for (size_t i = k; i < m; ++i) r[i * n + j] -= scale * v[i];
+    }
+    // Q <- Q (I - 2 v v^T / v^T v); accumulate the product of reflectors.
+    for (size_t i = 0; i < m; ++i) {
+      double dot = 0.0;
+      for (size_t l = k; l < m; ++l) dot += q[i * m + l] * v[l];
+      const double scale = 2.0 * dot / vnorm2;
+      for (size_t l = k; l < m; ++l) q[i * m + l] -= scale * v[l];
+    }
+  }
+
+  // Normalize signs: make diag(R) positive so Q is Haar-distributed when A
+  // has i.i.d. Gaussian entries (Mezzadri 2007).
+  for (size_t k = 0; k < n; ++k) {
+    if (r[k * n + k] < 0.0) {
+      for (size_t j = k; j < n; ++j) r[k * n + j] = -r[k * n + j];
+      for (size_t i = 0; i < m; ++i) q[i * m + k] = -q[i * m + k];
+    }
+  }
+
+  QrDecomposition out;
+  out.q = Matrix(m, m);
+  out.r = Matrix(m, n);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < m; ++j) {
+      out.q.At(i, j) = static_cast<float>(q[i * m + j]);
+    }
+  }
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      // Zero out the numerically tiny sub-diagonal residue.
+      out.r.At(i, j) = (i > j) ? 0.0f : static_cast<float>(r[i * n + j]);
+    }
+  }
+  return out;
+}
+
+}  // namespace pdx

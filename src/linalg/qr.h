@@ -1,0 +1,25 @@
+#ifndef PDX_LINALG_QR_H_
+#define PDX_LINALG_QR_H_
+
+#include "linalg/matrix.h"
+
+namespace pdx {
+
+/// Result of a QR decomposition A = Q * R with Q orthogonal and R upper
+/// triangular.
+struct QrDecomposition {
+  Matrix q;
+  Matrix r;
+};
+
+/// Householder QR decomposition of a square (or tall) matrix.
+///
+/// Used to orthogonalize a matrix of i.i.d. Gaussian entries into the random
+/// orthogonal projection required by ADSampling. The R factor's diagonal
+/// signs are normalized to be positive so that Q is drawn from the Haar
+/// distribution rather than a biased one.
+QrDecomposition HouseholderQr(const Matrix& a);
+
+}  // namespace pdx
+
+#endif  // PDX_LINALG_QR_H_

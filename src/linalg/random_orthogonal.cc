@@ -1,0 +1,17 @@
+#include "linalg/random_orthogonal.h"
+
+#include "linalg/qr.h"
+
+namespace pdx {
+
+Matrix RandomOrthogonalMatrix(size_t dim, Rng& rng) {
+  Matrix gaussian(dim, dim);
+  for (size_t r = 0; r < dim; ++r) {
+    for (size_t c = 0; c < dim; ++c) {
+      gaussian.At(r, c) = static_cast<float>(rng.Gaussian());
+    }
+  }
+  return HouseholderQr(gaussian).q;
+}
+
+}  // namespace pdx

@@ -1,0 +1,24 @@
+#ifndef PDX_LINALG_RANDOM_ORTHOGONAL_H_
+#define PDX_LINALG_RANDOM_ORTHOGONAL_H_
+
+#include "common/random.h"
+#include "linalg/matrix.h"
+
+namespace pdx {
+
+/// Draws a D x D random orthogonal matrix from the Haar distribution.
+///
+/// This is the preprocessing transform of ADSampling: rotating the
+/// collection (and queries) with a random orthogonal matrix makes every
+/// dimension prefix of a vector an unbiased random sample of its direction,
+/// which is what licenses the hypothesis-test distance approximation after
+/// scanning only `d` of `D` dimensions.
+///
+/// Implementation: fill a matrix with i.i.d. N(0,1) entries and
+/// orthogonalize it with Householder QR, normalizing diag(R) > 0 so the
+/// result is Haar-distributed (Mezzadri 2007).
+Matrix RandomOrthogonalMatrix(size_t dim, Rng& rng);
+
+}  // namespace pdx
+
+#endif  // PDX_LINALG_RANDOM_ORTHOGONAL_H_

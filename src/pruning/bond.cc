@@ -1,0 +1,165 @@
+#include "pruning/bond.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace pdx {
+
+const char* DimensionOrderName(DimensionOrder order) {
+  switch (order) {
+    case DimensionOrder::kSequential:
+      return "sequential";
+    case DimensionOrder::kDecreasingQuery:
+      return "decreasing";
+    case DimensionOrder::kDistanceToMeans:
+      return "distance-to-means";
+    case DimensionOrder::kDimensionZones:
+      return "dimension-zones";
+  }
+  return "unknown";
+}
+
+std::vector<uint32_t> ComputeVisitOrder(const float* query,
+                                        const std::vector<float>& means,
+                                        DimensionOrder order,
+                                        size_t zone_size) {
+  const size_t dim = means.size();
+  std::vector<uint32_t> visit(dim);
+  std::iota(visit.begin(), visit.end(), 0);
+
+  switch (order) {
+    case DimensionOrder::kSequential:
+      return visit;
+
+    case DimensionOrder::kDecreasingQuery: {
+      std::stable_sort(visit.begin(), visit.end(),
+                       [&](uint32_t a, uint32_t b) {
+                         return std::fabs(query[a]) > std::fabs(query[b]);
+                       });
+      return visit;
+    }
+
+    case DimensionOrder::kDistanceToMeans: {
+      std::stable_sort(visit.begin(), visit.end(),
+                       [&](uint32_t a, uint32_t b) {
+                         return std::fabs(query[a] - means[a]) >
+                                std::fabs(query[b] - means[b]);
+                       });
+      return visit;
+    }
+
+    case DimensionOrder::kDimensionZones: {
+      assert(zone_size > 0);
+      const size_t num_zones = (dim + zone_size - 1) / zone_size;
+      // Rank zones by mean distance-to-means of their dimensions.
+      std::vector<double> zone_score(num_zones, 0.0);
+      for (size_t z = 0; z < num_zones; ++z) {
+        const size_t lo = z * zone_size;
+        const size_t hi = std::min(lo + zone_size, dim);
+        for (size_t d = lo; d < hi; ++d) {
+          zone_score[z] += std::fabs(query[d] - means[d]);
+        }
+        zone_score[z] /= static_cast<double>(hi - lo);
+      }
+      std::vector<uint32_t> zone_order(num_zones);
+      std::iota(zone_order.begin(), zone_order.end(), 0);
+      std::stable_sort(zone_order.begin(), zone_order.end(),
+                       [&](uint32_t a, uint32_t b) {
+                         return zone_score[a] > zone_score[b];
+                       });
+      // Emit zones in rank order, dimensions inside a zone in physical
+      // order (the sequential stretch the criterion exists for).
+      size_t out = 0;
+      for (uint32_t z : zone_order) {
+        const size_t lo = size_t(z) * zone_size;
+        const size_t hi = std::min(lo + zone_size, dim);
+        for (size_t d = lo; d < hi; ++d) {
+          visit[out++] = static_cast<uint32_t>(d);
+        }
+      }
+      return visit;
+    }
+  }
+  return visit;
+}
+
+std::vector<Neighbor> ClassicBondSearch(const DsmStore& store,
+                                        const DimensionStats& stats,
+                                        const float* query, size_t k,
+                                        DimensionOrder order) {
+  const size_t dim = store.dim();
+  const size_t count = store.count();
+  if (count == 0) return {};
+  const size_t result_k = std::min(k, count);
+
+  const std::vector<uint32_t> visit =
+      ComputeVisitOrder(query, stats.means, order);
+  const std::vector<float> ub_suffix =
+      BondUpperBoundSuffix(query, stats, visit);
+
+  std::vector<float> partial(count, 0.0f);
+  std::vector<uint32_t> alive(count);
+  std::iota(alive.begin(), alive.end(), 0);
+  std::vector<float> upper;
+
+  for (size_t j = 0; j < dim && alive.size() > result_k; ++j) {
+    const uint32_t d = visit[j];
+    const float qd = query[d];
+    const float* column = store.Dimension(d);
+    for (uint32_t id : alive) {
+      const float diff = qd - column[id];
+      partial[id] += diff * diff;
+    }
+    // Threshold = k-th smallest upper bound among alive candidates.
+    const float remaining = ub_suffix[j + 1];
+    upper.resize(alive.size());
+    for (size_t i = 0; i < alive.size(); ++i) {
+      upper[i] = partial[alive[i]] + remaining;
+    }
+    std::nth_element(upper.begin(), upper.begin() + (result_k - 1),
+                     upper.end());
+    const float threshold = upper[result_k - 1];
+    // Drop candidates whose lower bound (the partial itself) exceeds it.
+    size_t out = 0;
+    for (uint32_t id : alive) {
+      alive[out] = id;
+      out += static_cast<size_t>(partial[id] <= threshold);
+    }
+    alive.resize(out);
+  }
+
+  // Finish the survivors exactly. The survivor set is small, so a full
+  // strided recomputation is simpler than tracking which visited prefix
+  // each partial covers.
+  TopK heap(result_k);
+  for (uint32_t id : alive) {
+    float distance = 0.0f;
+    for (size_t d = 0; d < dim; ++d) {
+      const float diff = query[d] - store.Dimension(d)[id];
+      distance += diff * diff;
+    }
+    heap.Push(id, distance);
+  }
+  return heap.SortedResults();
+}
+
+std::vector<float> BondUpperBoundSuffix(
+    const float* query, const DimensionStats& stats,
+    const std::vector<uint32_t>& visit_order) {
+  const size_t dim = visit_order.size();
+  assert(stats.dim() == dim);
+  std::vector<float> suffix(dim + 1, 0.0f);
+  double acc = 0.0;
+  for (size_t j = dim; j-- > 0;) {
+    const uint32_t d = visit_order[j];
+    const double lo = double(query[d]) - double(stats.minimums[d]);
+    const double hi = double(query[d]) - double(stats.maximums[d]);
+    acc += std::max(lo * lo, hi * hi);
+    suffix[j] = static_cast<float>(acc);
+  }
+  return suffix;
+}
+
+}  // namespace pdx

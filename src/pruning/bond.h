@@ -1,0 +1,77 @@
+#ifndef PDX_PRUNING_BOND_H_
+#define PDX_PRUNING_BOND_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "index/topk.h"
+#include "storage/block_stats.h"
+#include "storage/dsm_store.h"
+
+namespace pdx {
+
+/// Query-aware criteria for the order in which dimensions are visited
+/// (Figure 5). All three make the partial distance grow as fast as
+/// possible so that the exact partial-distance lower bound crosses the
+/// pruning threshold early.
+enum class DimensionOrder : uint8_t {
+  /// Physical order; no reordering (what ADSampling/BSA effectively use —
+  /// the projection already sorted dimensions by usefulness).
+  kSequential = 0,
+  /// BOND's original criterion: highest query value first. Only effective
+  /// when query values are outliers relative to the collection.
+  kDecreasingQuery = 1,
+  /// PDX-BOND's criterion: dimensions whose collection mean is farthest
+  /// from the query value first.
+  kDistanceToMeans = 2,
+  /// PDX-BOND for small blocks: rank fixed-size zones of *consecutive*
+  /// dimensions by their summed distance-to-means, visiting whole zones —
+  /// trades a little pruning power for long sequential memory stretches.
+  kDimensionZones = 3,
+};
+
+/// Human-readable criterion name.
+const char* DimensionOrderName(DimensionOrder order);
+
+/// Computes the dimension visit order for `query` under `order`.
+///
+/// `means` are the collection (or block) per-dimension means; `zone_size`
+/// applies to kDimensionZones only. The result is a permutation of
+/// [0, dim).
+std::vector<uint32_t> ComputeVisitOrder(const float* query,
+                                        const std::vector<float>& means,
+                                        DimensionOrder order,
+                                        size_t zone_size = 16);
+
+/// Classic BOND upper bound for the squared Euclidean distance: the
+/// worst-case contribution of every *unseen* dimension is
+/// max((q_d - min_d)^2, (q_d - max_d)^2). Added to a partial distance it
+/// upper-bounds the true distance, which lets a search establish pruning
+/// thresholds without fully scanning any vector (de Vries et al., 2002).
+///
+/// Returns suffix worst-case mass: out[j] = sum over visit positions >= j
+/// of the per-dimension worst case, following `visit_order`; out has
+/// dim+1 entries, out[dim] == 0.
+std::vector<float> BondUpperBoundSuffix(const float* query,
+                                        const DimensionStats& stats,
+                                        const std::vector<uint32_t>&
+                                            visit_order);
+
+/// The *original* BOND algorithm (de Vries et al., SIGMOD 2002) as an
+/// exact baseline: a column-at-a-time scan over fully decomposed storage.
+///
+/// Unlike PDX-BOND it never fully scans any vector up front — the pruning
+/// threshold is the k-th smallest *upper bound* (partial + worst-case
+/// remainder from per-dimension min/max statistics), re-derived after each
+/// visited dimension; vectors whose partial (lower bound) exceeds it are
+/// dropped. Exact for L2; this is the baseline whose bound-maintenance
+/// latency limited BOND to ~1.6x, motivating PDX-BOND's design.
+std::vector<Neighbor> ClassicBondSearch(
+    const DsmStore& store, const DimensionStats& stats, const float* query,
+    size_t k, DimensionOrder order = DimensionOrder::kDecreasingQuery);
+
+}  // namespace pdx
+
+#endif  // PDX_PRUNING_BOND_H_

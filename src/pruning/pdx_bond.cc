@@ -1,0 +1,35 @@
+#include "pruning/pdx_bond.h"
+
+#include <utility>
+
+namespace pdx {
+
+PdxBondPruner::PdxBondPruner(std::vector<float> means, DimensionOrder order,
+                             size_t zone_size)
+    : means_(std::move(means)), order_(order), zone_size_(zone_size) {}
+
+PdxBondPruner::QueryState PdxBondPruner::PrepareQuery(
+    const float* raw_query) const {
+  QueryState qs;
+  qs.query = raw_query;
+  if (has_visit_order()) {
+    qs.visit_order = ComputeVisitOrder(raw_query, means_, order_, zone_size_);
+  }
+  return qs;
+}
+
+size_t PdxBondPruner::FilterSurvivors(const QueryState&, size_t,
+                                      const float* distances,
+                                      size_t /*dims_scanned*/,
+                                      float threshold, uint32_t* positions,
+                                      size_t count) const {
+  size_t out = 0;
+  for (size_t p = 0; p < count; ++p) {
+    const uint32_t lane = positions[p];
+    positions[out] = lane;
+    out += static_cast<size_t>(distances[lane] < threshold);
+  }
+  return out;
+}
+
+}  // namespace pdx

@@ -1,0 +1,73 @@
+#include "quant/quantized_kernels.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "kernels/nary_kernels.h"
+
+namespace pdx {
+
+void QuantizedPdxAccumulate(const float* query_prime, const float* weights,
+                            const uint8_t* block, size_t n, size_t d_start,
+                            size_t d_end, float* distances) {
+  for (size_t d = d_start; d < d_end; ++d) {
+    const float qd = query_prime[d];
+    const float wd = weights[d];
+    const uint8_t* codes = block + d * n;
+    for (size_t i = 0; i < n; ++i) {
+      const float diff = qd - float(codes[i]);
+      distances[i] += wd * diff * diff;
+    }
+  }
+}
+
+void QuantizedPdxLinearScan(const QuantizedPdxStore& store,
+                            const float* query_prime, const float* weights,
+                            float* out) {
+  std::memset(out, 0, store.count() * sizeof(float));
+  size_t row = 0;
+  for (size_t b = 0; b < store.num_blocks(); ++b) {
+    const size_t n = store.BlockCount(b);
+    QuantizedPdxAccumulate(query_prime, weights, store.BlockData(b), n, 0,
+                           store.dim(), out + row);
+    row += n;
+  }
+}
+
+std::vector<Neighbor> QuantizedFlatSearch(const QuantizedPdxStore& store,
+                                          const VectorSet& originals,
+                                          const float* query, size_t k,
+                                          size_t rerank_factor) {
+  assert(originals.count() == store.count());
+  assert(originals.dim() == store.dim());
+  const size_t dim = store.dim();
+  std::vector<float> query_prime(dim);
+  std::vector<float> weights(dim);
+  store.TransformQuery(query, query_prime.data(), weights.data());
+
+  std::vector<float> distances(store.count());
+  QuantizedPdxLinearScan(store, query_prime.data(), weights.data(),
+                         distances.data());
+
+  if (rerank_factor == 0) {
+    TopK collector(k);
+    for (size_t i = 0; i < store.count(); ++i) {
+      collector.Push(static_cast<VectorId>(i), distances[i]);
+    }
+    return collector.SortedResults();
+  }
+
+  // Over-fetch candidates on codes, then re-rank with exact distances.
+  TopK candidates(std::max<size_t>(k * rerank_factor, k));
+  for (size_t i = 0; i < store.count(); ++i) {
+    candidates.Push(static_cast<VectorId>(i), distances[i]);
+  }
+  TopK reranked(k);
+  for (const Neighbor& candidate : candidates.SortedResults()) {
+    reranked.Push(candidate.id,
+                  NaryL2(query, originals.Vector(candidate.id), dim));
+  }
+  return reranked.SortedResults();
+}
+
+}  // namespace pdx

@@ -1,0 +1,40 @@
+#ifndef PDX_QUANT_QUANTIZED_KERNELS_H_
+#define PDX_QUANT_QUANTIZED_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "index/topk.h"
+#include "quant/quantized_store.h"
+#include "storage/vector_set.h"
+
+namespace pdx {
+
+/// Vertical L2 kernel over quantized PDX blocks: accumulates
+/// weight[d] * (query_prime[d] - code)^2 into per-lane distances.
+/// Same loop structure as the float PDX kernels — dimension-outer,
+/// lane-inner, branchless, auto-vectorizing — with one u8->f32 convert per
+/// value and a quarter of the memory traffic.
+void QuantizedPdxAccumulate(const float* query_prime, const float* weights,
+                            const uint8_t* block, size_t n, size_t d_start,
+                            size_t d_end, float* distances);
+
+/// Exact-on-codes linear scan of the whole quantized store: out[i] is the
+/// quantized squared L2 of vector i (row order).
+void QuantizedPdxLinearScan(const QuantizedPdxStore& store,
+                            const float* query_prime, const float* weights,
+                            float* out);
+
+/// Approximate k-NN over the quantized store, optionally re-ranked:
+/// the quantized scan selects `k * rerank_factor` candidates, whose exact
+/// distances are then recomputed on the full-precision `originals`
+/// (rerank_factor = 0 skips re-ranking and returns quantized distances).
+std::vector<Neighbor> QuantizedFlatSearch(const QuantizedPdxStore& store,
+                                          const VectorSet& originals,
+                                          const float* query, size_t k,
+                                          size_t rerank_factor = 4);
+
+}  // namespace pdx
+
+#endif  // PDX_QUANT_QUANTIZED_KERNELS_H_

@@ -1,0 +1,92 @@
+#include "quant/quantized_store.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "storage/block_stats.h"
+
+namespace pdx {
+
+QuantizedPdxStore QuantizedPdxStore::FromVectorSet(const VectorSet& vectors,
+                                                   size_t block_capacity) {
+  assert(block_capacity > 0);
+  QuantizedPdxStore store;
+  store.dim_ = vectors.dim();
+  store.count_ = vectors.count();
+
+  const DimensionStats stats =
+      ComputeStats(vectors.data(), vectors.count(), vectors.dim());
+  store.offsets_.resize(store.dim_);
+  store.scales_.resize(store.dim_);
+  for (size_t d = 0; d < store.dim_; ++d) {
+    store.offsets_[d] = stats.minimums[d];
+    const float range = stats.maximums[d] - stats.minimums[d];
+    // Guard degenerate (constant) dimensions against divide-by-zero.
+    store.scales_[d] = std::max(range / 255.0f, 1e-30f);
+  }
+
+  store.codes_.resize(store.count_ * store.dim_);
+  size_t offset = 0;
+  size_t row = 0;
+  while (row < store.count_) {
+    const size_t n = std::min(block_capacity, store.count_ - row);
+    store.block_offsets_.push_back(offset);
+    store.block_counts_.push_back(n);
+    store.block_first_row_.push_back(row);
+    uint8_t* block = store.codes_.data() + offset;
+    for (size_t i = 0; i < n; ++i) {
+      const float* v = vectors.Vector(static_cast<VectorId>(row + i));
+      for (size_t d = 0; d < store.dim_; ++d) {
+        const float code =
+            std::round((v[d] - store.offsets_[d]) / store.scales_[d]);
+        block[d * n + i] =
+            static_cast<uint8_t>(std::clamp(code, 0.0f, 255.0f));
+      }
+    }
+    offset += n * store.dim_;
+    row += n;
+  }
+  return store;
+}
+
+void QuantizedPdxStore::Dequantize(VectorId id, float* out) const {
+  assert(id < count_);
+  // Locate the block (blocks are equally sized except the tail).
+  size_t b = 0;
+  while (b + 1 < block_first_row_.size() && block_first_row_[b + 1] <= id) {
+    ++b;
+  }
+  const size_t lane = id - block_first_row_[b];
+  const uint8_t* block = BlockData(b);
+  const size_t n = block_counts_[b];
+  for (size_t d = 0; d < dim_; ++d) {
+    out[d] = offsets_[d] + scales_[d] * float(block[d * n + lane]);
+  }
+}
+
+void QuantizedPdxStore::TransformQuery(const float* query, float* out_prime,
+                                       float* out_weight) const {
+  for (size_t d = 0; d < dim_; ++d) {
+    out_prime[d] = (query[d] - offsets_[d]) / scales_[d];
+    out_weight[d] = scales_[d] * scales_[d];
+  }
+}
+
+double QuantizedPdxStore::MaxDistanceError(const float* query) const {
+  // |d2(q,v) - d2(q,v~)| <= sum_d (2|q_d - v_d| + e_d) e_d with per-dim
+  // rounding radius e_d = scale_d/2; bound |q_d - v_d| by the dimension
+  // range (codes span [min,max]).
+  double bound = 0.0;
+  for (size_t d = 0; d < dim_; ++d) {
+    const double radius = scales_[d] * 0.5;
+    const double range = scales_[d] * 255.0;
+    const double reach =
+        std::max(std::fabs(double(query[d]) - offsets_[d]),
+                 std::fabs(double(query[d]) - (offsets_[d] + range)));
+    bound += (2.0 * reach + radius) * radius;
+  }
+  return bound;
+}
+
+}  // namespace pdx

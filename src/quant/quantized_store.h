@@ -1,0 +1,88 @@
+#ifndef PDX_QUANT_QUANTIZED_STORE_H_
+#define PDX_QUANT_QUANTIZED_STORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "storage/vector_set.h"
+
+namespace pdx {
+
+/// Scalar (u8) quantization of a PDX store — the paper's Section 7
+/// follow-up: "efficient compressed representations of dimensions within
+/// blocks", which quarters memory/bandwidth for the memory-bound PDX
+/// kernels.
+///
+/// Quantization is per-dimension affine: dimension d maps value x to
+/// round((x - offset_d) / scale_d) clamped to [0, 255], with offset/scale
+/// derived from the collection's per-dimension min/max. Per-dimension
+/// parameters matter: embedding dimensions have heterogeneous ranges, and
+/// a global scale would waste most of the 8-bit budget on a few wide
+/// dimensions.
+///
+/// Distances are computed asymmetrically (float query against u8 codes)
+/// in *code space*: with q'_d = (q_d - offset_d)/scale_d and w_d =
+/// scale_d^2, the L2 contribution of dimension d is w_d * (q'_d - code)^2
+/// — one u8->f32 convert and one FMA per lane, still branchless and
+/// auto-vectorizable.
+class QuantizedPdxStore {
+ public:
+  QuantizedPdxStore() = default;
+
+  QuantizedPdxStore(QuantizedPdxStore&&) = default;
+  QuantizedPdxStore& operator=(QuantizedPdxStore&&) = default;
+  QuantizedPdxStore(const QuantizedPdxStore&) = delete;
+  QuantizedPdxStore& operator=(const QuantizedPdxStore&) = delete;
+
+  /// Quantizes `vectors` into dimension-major u8 blocks of at most
+  /// `block_capacity` lanes (horizontal partitioning, row order).
+  static QuantizedPdxStore FromVectorSet(
+      const VectorSet& vectors, size_t block_capacity = kPdxBlockSize);
+
+  size_t dim() const { return dim_; }
+  size_t count() const { return count_; }
+  size_t num_blocks() const { return block_offsets_.size(); }
+
+  /// Lanes in block b.
+  size_t BlockCount(size_t b) const { return block_counts_[b]; }
+  /// Dimension-major codes of block b: value(d, i) at [d*BlockCount(b)+i].
+  const uint8_t* BlockData(size_t b) const {
+    return codes_.data() + block_offsets_[b];
+  }
+  /// Global id of lane i in block b (row order here).
+  VectorId BlockId(size_t b, size_t i) const {
+    return static_cast<VectorId>(block_first_row_[b] + i);
+  }
+
+  const std::vector<float>& offsets() const { return offsets_; }
+  const std::vector<float>& scales() const { return scales_; }
+
+  /// Dequantizes one vector (for tests / reranking fallbacks).
+  void Dequantize(VectorId id, float* out) const;
+
+  /// Transforms a raw query into code space: out_prime[d] =
+  /// (q_d - offset_d)/scale_d and out_weight[d] = scale_d^2.
+  void TransformQuery(const float* query, float* out_prime,
+                      float* out_weight) const;
+
+  /// Worst-case squared-L2 error of the quantized distance vs the exact
+  /// one, per vector pair: sum_d (scale_d/2)^2 rounding radius, amplified
+  /// by the triangle inequality. Used by tests to bound the approximation.
+  double MaxDistanceError(const float* query) const;
+
+ private:
+  size_t dim_ = 0;
+  size_t count_ = 0;
+  std::vector<float> offsets_;  // Per-dimension min.
+  std::vector<float> scales_;   // Per-dimension (max-min)/255, >= epsilon.
+  std::vector<uint8_t> codes_;  // All blocks, contiguous.
+  std::vector<size_t> block_offsets_;
+  std::vector<size_t> block_counts_;
+  std::vector<size_t> block_first_row_;
+};
+
+}  // namespace pdx
+
+#endif  // PDX_QUANT_QUANTIZED_STORE_H_

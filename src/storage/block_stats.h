@@ -1,0 +1,41 @@
+#ifndef PDX_STORAGE_BLOCK_STATS_H_
+#define PDX_STORAGE_BLOCK_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace pdx {
+
+class PdxBlock;
+
+/// Per-dimension summary statistics of one PDX block (or of a whole
+/// collection).
+///
+/// The paper's "metadata per block" (Section 3): like DuckDB's per-rowgroup
+/// zone maps, blocks carry statistics that search algorithms exploit —
+/// PDX-BOND ranks dimensions by the distance between the query value and
+/// the collection mean; BSA can watch variances for distribution shift.
+struct DimensionStats {
+  std::vector<float> means;
+  std::vector<float> variances;
+  std::vector<float> minimums;
+  std::vector<float> maximums;
+
+  size_t dim() const { return means.size(); }
+};
+
+/// Computes stats over one block. Cheap in PDX layout: each dimension's
+/// values are contiguous.
+DimensionStats ComputeBlockStats(const PdxBlock& block);
+
+/// Computes stats over `count` horizontal row-major vectors.
+DimensionStats ComputeStats(const float* data, size_t count, size_t dim);
+
+/// Merges partial stats weighted by the observation counts (parallel-merge
+/// formula for mean/variance; min/max by comparison).
+DimensionStats MergeStats(const DimensionStats& a, size_t count_a,
+                          const DimensionStats& b, size_t count_b);
+
+}  // namespace pdx
+
+#endif  // PDX_STORAGE_BLOCK_STATS_H_

@@ -1,0 +1,19 @@
+#include "storage/dsm_store.h"
+
+namespace pdx {
+
+DsmStore DsmStore::FromVectorSet(const VectorSet& vectors) {
+  DsmStore store;
+  store.dim_ = vectors.dim();
+  store.count_ = vectors.count();
+  store.data_.Reset(store.dim_ * store.count_);
+  for (size_t i = 0; i < store.count_; ++i) {
+    const float* row = vectors.Vector(static_cast<VectorId>(i));
+    for (size_t d = 0; d < store.dim_; ++d) {
+      store.data_[d * store.count_ + i] = row[d];
+    }
+  }
+  return store;
+}
+
+}  // namespace pdx

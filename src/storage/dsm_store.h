@@ -1,0 +1,46 @@
+#ifndef PDX_STORAGE_DSM_STORE_H_
+#define PDX_STORAGE_DSM_STORE_H_
+
+#include <cstddef>
+
+#include "common/aligned_buffer.h"
+#include "common/types.h"
+#include "storage/vector_set.h"
+
+namespace pdx {
+
+/// Fully decomposed (DSM) layout: each dimension of the *entire* collection
+/// is one contiguous column — the degenerate PDX case of a single block
+/// spanning all vectors (Section 7, "PDX vs DSM").
+///
+/// Maximizes sequential access per dimension but forces the running
+/// distances array (count() floats) through load/store on every dimension,
+/// which is why the paper finds it ~1.5x slower than PDX linear scans in
+/// memory.
+class DsmStore {
+ public:
+  DsmStore() = default;
+
+  DsmStore(DsmStore&&) = default;
+  DsmStore& operator=(DsmStore&&) = default;
+  DsmStore(const DsmStore&) = delete;
+  DsmStore& operator=(const DsmStore&) = delete;
+
+  /// Transposes a horizontal collection into columns.
+  static DsmStore FromVectorSet(const VectorSet& vectors);
+
+  size_t dim() const { return dim_; }
+  size_t count() const { return count_; }
+
+  /// Column d: count() contiguous floats.
+  const float* Dimension(size_t d) const { return data_.data() + d * count_; }
+
+ private:
+  size_t dim_ = 0;
+  size_t count_ = 0;
+  AlignedBuffer data_;
+};
+
+}  // namespace pdx
+
+#endif  // PDX_STORAGE_DSM_STORE_H_

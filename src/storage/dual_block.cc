@@ -1,0 +1,32 @@
+#include "storage/dual_block.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace pdx {
+
+DualBlockStore DualBlockStore::FromVectorSet(const VectorSet& vectors,
+                                             size_t split_dim) {
+  DualBlockStore store;
+  store.dim_ = vectors.dim();
+  store.count_ = vectors.count();
+  store.split_dim_ = std::min(split_dim, store.dim_);
+  const size_t head_dim = store.split_dim_;
+  const size_t tail_dim = store.dim_ - head_dim;
+  store.heads_.Reset(store.count_ * head_dim);
+  store.tails_.Reset(store.count_ * tail_dim);
+  for (size_t i = 0; i < store.count_; ++i) {
+    const float* row = vectors.Vector(static_cast<VectorId>(i));
+    if (head_dim > 0) {
+      std::memcpy(store.heads_.data() + i * head_dim, row,
+                  head_dim * sizeof(float));
+    }
+    if (tail_dim > 0) {
+      std::memcpy(store.tails_.data() + i * tail_dim, row + head_dim,
+                  tail_dim * sizeof(float));
+    }
+  }
+  return store;
+}
+
+}  // namespace pdx

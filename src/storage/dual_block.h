@@ -1,0 +1,55 @@
+#ifndef PDX_STORAGE_DUAL_BLOCK_H_
+#define PDX_STORAGE_DUAL_BLOCK_H_
+
+#include <cstddef>
+
+#include "common/aligned_buffer.h"
+#include "common/types.h"
+#include "storage/vector_set.h"
+
+namespace pdx {
+
+/// ADSampling's dual-block horizontal layout: every vector is split at
+/// `split_dim` into a head segment and a tail segment, and all heads are
+/// stored contiguously ahead of all tails.
+///
+/// The head block (first Δd dims of every vector) is always scanned, so it
+/// caches well; the tail block is touched only for vectors that survive the
+/// first hypothesis test. This is the layout the original ADSampling/BSA
+/// implementations use and the horizontal baseline PDX is compared against.
+class DualBlockStore {
+ public:
+  DualBlockStore() = default;
+
+  DualBlockStore(DualBlockStore&&) = default;
+  DualBlockStore& operator=(DualBlockStore&&) = default;
+  DualBlockStore(const DualBlockStore&) = delete;
+  DualBlockStore& operator=(const DualBlockStore&) = delete;
+
+  /// Splits each vector at `split_dim` (clamped to [0, dim]).
+  static DualBlockStore FromVectorSet(const VectorSet& vectors,
+                                      size_t split_dim);
+
+  size_t dim() const { return dim_; }
+  size_t count() const { return count_; }
+  size_t split_dim() const { return split_dim_; }
+
+  /// First split_dim() dims of vector i (contiguous with other heads).
+  const float* Head(size_t i) const { return heads_.data() + i * split_dim_; }
+
+  /// Remaining dim()-split_dim() dims of vector i.
+  const float* Tail(size_t i) const {
+    return tails_.data() + i * (dim_ - split_dim_);
+  }
+
+ private:
+  size_t dim_ = 0;
+  size_t count_ = 0;
+  size_t split_dim_ = 0;
+  AlignedBuffer heads_;
+  AlignedBuffer tails_;
+};
+
+}  // namespace pdx
+
+#endif  // PDX_STORAGE_DUAL_BLOCK_H_

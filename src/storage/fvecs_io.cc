@@ -1,0 +1,181 @@
+#include "storage/fvecs_io.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+namespace pdx {
+
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FileHandle = std::unique_ptr<std::FILE, FileCloser>;
+
+FileHandle OpenForRead(const std::string& path, Status& status) {
+  FileHandle f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) status = Status::IoError("cannot open " + path);
+  return f;
+}
+
+FileHandle OpenForWrite(const std::string& path, Status& status) {
+  FileHandle f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) {
+    status = Status::IoError("cannot open " + path + " for writing");
+  }
+  return f;
+}
+
+// Reads one record header; returns false on clean EOF.
+bool ReadDimHeader(std::FILE* f, int32_t& dim, Status& status,
+                   const std::string& path) {
+  const size_t got = std::fread(&dim, sizeof(int32_t), 1, f);
+  if (got == 0) {
+    if (std::feof(f)) return false;
+    status = Status::IoError("read failure in " + path);
+    return false;
+  }
+  if (dim <= 0 || dim > (1 << 24)) {
+    status = Status::Corruption("implausible dimensionality " +
+                                std::to_string(dim) + " in " + path);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<VectorSet> ReadFvecs(const std::string& path) {
+  Status status;
+  FileHandle f = OpenForRead(path, status);
+  if (!status.ok()) return status;
+
+  VectorSet vectors;
+  std::vector<float> row;
+  int32_t dim = 0;
+  while (ReadDimHeader(f.get(), dim, status, path)) {
+    if (vectors.dim() == 0 && vectors.count() == 0) {
+      vectors = VectorSet(static_cast<size_t>(dim));
+    } else if (static_cast<size_t>(dim) != vectors.dim()) {
+      return Status::Corruption("inconsistent dimensionality in " + path);
+    }
+    row.resize(static_cast<size_t>(dim));
+    if (std::fread(row.data(), sizeof(float), row.size(), f.get()) !=
+        row.size()) {
+      return Status::Corruption("truncated record in " + path);
+    }
+    vectors.Append(row.data());
+  }
+  if (!status.ok()) return status;
+  return vectors;
+}
+
+Status WriteFvecs(const std::string& path, const VectorSet& vectors) {
+  Status status;
+  FileHandle f = OpenForWrite(path, status);
+  if (!status.ok()) return status;
+
+  const int32_t dim = static_cast<int32_t>(vectors.dim());
+  for (size_t i = 0; i < vectors.count(); ++i) {
+    if (std::fwrite(&dim, sizeof(int32_t), 1, f.get()) != 1 ||
+        std::fwrite(vectors.Vector(static_cast<VectorId>(i)), sizeof(float),
+                    vectors.dim(), f.get()) != vectors.dim()) {
+      return Status::IoError("write failure in " + path);
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::vector<int32_t>>> ReadIvecs(const std::string& path) {
+  Status status;
+  FileHandle f = OpenForRead(path, status);
+  if (!status.ok()) return status;
+
+  std::vector<std::vector<int32_t>> rows;
+  int32_t dim = 0;
+  while (ReadDimHeader(f.get(), dim, status, path)) {
+    std::vector<int32_t> row(static_cast<size_t>(dim));
+    if (std::fread(row.data(), sizeof(int32_t), row.size(), f.get()) !=
+        row.size()) {
+      return Status::Corruption("truncated record in " + path);
+    }
+    rows.push_back(std::move(row));
+  }
+  if (!status.ok()) return status;
+  return rows;
+}
+
+Status WriteIvecs(const std::string& path,
+                  const std::vector<std::vector<int32_t>>& rows) {
+  Status status;
+  FileHandle f = OpenForWrite(path, status);
+  if (!status.ok()) return status;
+
+  for (const std::vector<int32_t>& row : rows) {
+    if (!rows.empty() && row.size() != rows.front().size()) {
+      return Status::InvalidArgument("ragged rows in ivecs write");
+    }
+    const int32_t dim = static_cast<int32_t>(row.size());
+    if (std::fwrite(&dim, sizeof(int32_t), 1, f.get()) != 1 ||
+        std::fwrite(row.data(), sizeof(int32_t), row.size(), f.get()) !=
+            row.size()) {
+      return Status::IoError("write failure in " + path);
+    }
+  }
+  return Status::OK();
+}
+
+Result<VectorSet> ReadBvecs(const std::string& path) {
+  Status status;
+  FileHandle f = OpenForRead(path, status);
+  if (!status.ok()) return status;
+
+  VectorSet vectors;
+  std::vector<uint8_t> raw;
+  std::vector<float> row;
+  int32_t dim = 0;
+  while (ReadDimHeader(f.get(), dim, status, path)) {
+    if (vectors.dim() == 0 && vectors.count() == 0) {
+      vectors = VectorSet(static_cast<size_t>(dim));
+    } else if (static_cast<size_t>(dim) != vectors.dim()) {
+      return Status::Corruption("inconsistent dimensionality in " + path);
+    }
+    raw.resize(static_cast<size_t>(dim));
+    if (std::fread(raw.data(), sizeof(uint8_t), raw.size(), f.get()) !=
+        raw.size()) {
+      return Status::Corruption("truncated record in " + path);
+    }
+    row.assign(raw.begin(), raw.end());
+    vectors.Append(row.data());
+  }
+  if (!status.ok()) return status;
+  return vectors;
+}
+
+Status WriteBvecs(const std::string& path, const VectorSet& vectors) {
+  Status status;
+  FileHandle f = OpenForWrite(path, status);
+  if (!status.ok()) return status;
+
+  const int32_t dim = static_cast<int32_t>(vectors.dim());
+  std::vector<uint8_t> raw(vectors.dim());
+  for (size_t i = 0; i < vectors.count(); ++i) {
+    const float* row = vectors.Vector(static_cast<VectorId>(i));
+    for (size_t d = 0; d < vectors.dim(); ++d) {
+      raw[d] = static_cast<uint8_t>(
+          std::clamp(std::lround(row[d]), 0L, 255L));
+    }
+    if (std::fwrite(&dim, sizeof(int32_t), 1, f.get()) != 1 ||
+        std::fwrite(raw.data(), sizeof(uint8_t), raw.size(), f.get()) !=
+            raw.size()) {
+      return Status::IoError("write failure in " + path);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace pdx

@@ -1,0 +1,45 @@
+#ifndef PDX_STORAGE_FVECS_IO_H_
+#define PDX_STORAGE_FVECS_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/vector_set.h"
+
+namespace pdx {
+
+/// Readers and writers for the INRIA vector exchange formats (Section 8,
+/// "Data formats for vectors"):
+///
+///   .fvecs — records of [int32 dim][dim x float32]
+///   .ivecs — records of [int32 dim][dim x int32]   (ground-truth ids)
+///   .bvecs — records of [int32 dim][dim x uint8]
+///
+/// All records in one file must share the same dimensionality; readers
+/// validate this and fail with Status::Corruption on malformed input.
+
+/// Reads a whole .fvecs file into a horizontal VectorSet.
+Result<VectorSet> ReadFvecs(const std::string& path);
+
+/// Writes a collection as .fvecs.
+Status WriteFvecs(const std::string& path, const VectorSet& vectors);
+
+/// Reads a .ivecs file (e.g., ground-truth neighbor lists).
+Result<std::vector<std::vector<int32_t>>> ReadIvecs(const std::string& path);
+
+/// Writes integer lists as .ivecs. All rows must have equal length.
+Status WriteIvecs(const std::string& path,
+                  const std::vector<std::vector<int32_t>>& rows);
+
+/// Reads a .bvecs file, widening bytes to float32.
+Result<VectorSet> ReadBvecs(const std::string& path);
+
+/// Writes a collection as .bvecs; values are clamped to [0, 255] and
+/// rounded.
+Status WriteBvecs(const std::string& path, const VectorSet& vectors);
+
+}  // namespace pdx
+
+#endif  // PDX_STORAGE_FVECS_IO_H_

@@ -1,0 +1,35 @@
+#include "storage/pdx_block.h"
+
+#include <cassert>
+
+namespace pdx {
+
+PdxBlock::PdxBlock(size_t dim, size_t count)
+    : dim_(dim),
+      count_(count),
+      owned_(dim * count),
+      data_(owned_.data()),
+      ids_(count, kInvalidVectorId) {}
+
+PdxBlock::PdxBlock(size_t dim, size_t count, float* external)
+    : dim_(dim),
+      count_(count),
+      data_(external),
+      ids_(count, kInvalidVectorId) {}
+
+void PdxBlock::FillLane(size_t i, const float* row, VectorId id) {
+  assert(i < count_);
+  for (size_t d = 0; d < dim_; ++d) {
+    data_[d * count_ + i] = row[d];
+  }
+  ids_[i] = id;
+}
+
+void PdxBlock::ExtractLane(size_t i, float* out) const {
+  assert(i < count_);
+  for (size_t d = 0; d < dim_; ++d) {
+    out[d] = data_[d * count_ + i];
+  }
+}
+
+}  // namespace pdx

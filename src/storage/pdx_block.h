@@ -1,0 +1,74 @@
+#ifndef PDX_STORAGE_PDX_BLOCK_H_
+#define PDX_STORAGE_PDX_BLOCK_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/aligned_buffer.h"
+#include "common/types.h"
+
+namespace pdx {
+
+/// One PDX block: up to `capacity` vectors stored dimension-major.
+///
+/// Within a block the values of dimension d for all vectors are contiguous:
+/// value(d, i) lives at data()[d * count + i]. This is the core layout idea
+/// of the paper (Figure 1) — a vertical layout *inside* a horizontal
+/// partition, analogous to a Parquet row-group with columnar pages.
+///
+/// Small blocks (kPdxBlockSize = 64) give tight register-resident loops for
+/// IVF buckets; large blocks (<= ~10K vectors, Section 6.5) trade the tight
+/// loop for longer sequential runs per dimension during exact search.
+/// Blocks either own their storage (standalone construction, tests) or
+/// view a slice of a PdxStore's contiguous arena — consecutive blocks of a
+/// store are adjacent in memory, so a block-by-block scan is one long
+/// sequential stream (essential for hardware prefetching; see Section 5).
+class PdxBlock {
+ public:
+  PdxBlock() = default;
+  /// Creates a self-owning block for exactly `count` vectors of `dim`
+  /// dimensions, zero-initialized.
+  PdxBlock(size_t dim, size_t count);
+  /// Creates a view over `external` (dim*count floats, dimension-major),
+  /// owned by the caller (PdxStore's arena).
+  PdxBlock(size_t dim, size_t count, float* external);
+
+  PdxBlock(PdxBlock&&) = default;
+  PdxBlock& operator=(PdxBlock&&) = default;
+  PdxBlock(const PdxBlock&) = delete;
+  PdxBlock& operator=(const PdxBlock&) = delete;
+
+  size_t dim() const { return dim_; }
+  size_t count() const { return count_; }
+
+  /// Start of dimension d's value run (count() floats).
+  const float* Dimension(size_t d) const { return data_ + d * count_; }
+  float* MutableDimension(size_t d) { return data_ + d * count_; }
+
+  float At(size_t d, size_t i) const { return data_[d * count_ + i]; }
+  void Set(size_t d, size_t i, float v) { data_[d * count_ + i] = v; }
+
+  const float* data() const { return data_; }
+
+  /// Global id of the block-local vector i.
+  VectorId id(size_t i) const { return ids_[i]; }
+  const std::vector<VectorId>& ids() const { return ids_; }
+
+  /// Writes vector `row` (horizontal, dim() floats) into lane i and records
+  /// its global id — i.e., transposes one vector into the block.
+  void FillLane(size_t i, const float* row, VectorId id);
+
+  /// Reconstructs lane i into `out[0..dim)` (transpose back).
+  void ExtractLane(size_t i, float* out) const;
+
+ private:
+  size_t dim_ = 0;
+  size_t count_ = 0;
+  AlignedBuffer owned_;   // Empty when viewing external storage.
+  float* data_ = nullptr;
+  std::vector<VectorId> ids_;
+};
+
+}  // namespace pdx
+
+#endif  // PDX_STORAGE_PDX_BLOCK_H_

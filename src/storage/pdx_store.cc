@@ -1,0 +1,104 @@
+#include "storage/pdx_store.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace pdx {
+
+namespace {
+
+// Blocks start on 16-float (64-byte) boundaries within the arena.
+size_t AlignedBlockFloats(size_t dim, size_t n) {
+  const size_t floats = dim * n;
+  return (floats + 15) / 16 * 16;
+}
+
+}  // namespace
+
+void PdxStore::AppendGroup(const VectorSet& vectors,
+                           const std::vector<VectorId>& ids,
+                           size_t block_capacity, size_t& arena_offset,
+                           PdxStore& store) {
+  size_t offset = 0;
+  while (offset < ids.size()) {
+    const size_t n = std::min(block_capacity, ids.size() - offset);
+    PdxBlock block(vectors.dim(), n, store.arena_.data() + arena_offset);
+    arena_offset += AlignedBlockFloats(vectors.dim(), n);
+    for (size_t i = 0; i < n; ++i) {
+      const VectorId id = ids[offset + i];
+      block.FillLane(i, vectors.Vector(id), id);
+    }
+    store.block_stats_.push_back(ComputeBlockStats(block));
+    store.blocks_.push_back(std::move(block));
+    offset += n;
+  }
+}
+
+PdxStore PdxStore::FromVectorSet(const VectorSet& vectors,
+                                 size_t block_capacity) {
+  assert(block_capacity > 0);
+  std::vector<VectorId> all(vectors.count());
+  std::iota(all.begin(), all.end(), 0);
+  return FromGroups(vectors, {all}, block_capacity);
+}
+
+PdxStore PdxStore::FromGroups(const VectorSet& vectors,
+                              const std::vector<std::vector<VectorId>>& groups,
+                              size_t block_capacity) {
+  assert(block_capacity > 0);
+  PdxStore store;
+  store.dim_ = vectors.dim();
+
+  // Size the arena: every group contributes ceil(|g|/capacity) blocks.
+  size_t total_floats = 0;
+  for (const std::vector<VectorId>& group : groups) {
+    size_t remaining = group.size();
+    while (remaining > 0) {
+      const size_t n = std::min(block_capacity, remaining);
+      total_floats += AlignedBlockFloats(vectors.dim(), n);
+      remaining -= n;
+    }
+  }
+  store.arena_.Reset(total_floats);
+
+  size_t arena_offset = 0;
+  store.group_block_start_.push_back(0);
+  for (const std::vector<VectorId>& group : groups) {
+    AppendGroup(vectors, group, block_capacity, arena_offset, store);
+    store.group_block_start_.push_back(store.blocks_.size());
+    store.count_ += group.size();
+  }
+  // Collection-level stats: merge the per-block stats.
+  if (!store.blocks_.empty()) {
+    DimensionStats merged = store.block_stats_[0];
+    size_t merged_count = store.blocks_[0].count();
+    for (size_t b = 1; b < store.blocks_.size(); ++b) {
+      merged = MergeStats(merged, merged_count, store.block_stats_[b],
+                          store.blocks_[b].count());
+      merged_count += store.blocks_[b].count();
+    }
+    store.stats_ = std::move(merged);
+  }
+  return store;
+}
+
+VectorSet PdxStore::ToVectorSet() const {
+  // Rebuild rows in global-id order so the result is comparable to the
+  // original collection (blocks may hold vectors in bucket order).
+  VectorSet out(dim_, count_);
+  std::vector<float> row(dim_ * count_, 0.0f);
+  for (const PdxBlock& block : blocks_) {
+    std::vector<float> lane(dim_);
+    for (size_t i = 0; i < block.count(); ++i) {
+      block.ExtractLane(i, lane.data());
+      const VectorId id = block.id(i);
+      assert(id < count_);
+      std::copy(lane.begin(), lane.end(), row.begin() + size_t(id) * dim_);
+    }
+  }
+  out.AppendBatch(row.data(), count_);
+  return out;
+}
+
+}  // namespace pdx

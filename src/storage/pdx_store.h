@@ -1,0 +1,89 @@
+#ifndef PDX_STORAGE_PDX_STORE_H_
+#define PDX_STORAGE_PDX_STORE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+#include "storage/block_stats.h"
+#include "storage/pdx_block.h"
+#include "storage/vector_set.h"
+
+namespace pdx {
+
+/// A collection stored in the PDX layout: a sequence of dimension-major
+/// blocks plus collection-level dimension statistics.
+///
+/// Blocks either follow the original order (horizontal partitioning, used
+/// for exact search) or an explicit grouping (IVF buckets — Figure 2: the
+/// bucket structure naturally maps to PDX blocks). Each block keeps the
+/// global ids of its vectors so search results refer to the original rows.
+class PdxStore {
+ public:
+  PdxStore() = default;
+
+  PdxStore(PdxStore&&) = default;
+  PdxStore& operator=(PdxStore&&) = default;
+  PdxStore(const PdxStore&) = delete;
+  PdxStore& operator=(const PdxStore&) = delete;
+
+  /// Builds a store by horizontally partitioning `vectors` into blocks of at
+  /// most `block_capacity` vectors, in row order.
+  static PdxStore FromVectorSet(const VectorSet& vectors,
+                                size_t block_capacity = kPdxBlockSize);
+
+  /// Builds a store whose blocks follow an explicit grouping: group g
+  /// becomes ceil(|g| / block_capacity) consecutive blocks. Used to lay IVF
+  /// buckets out as PDX blocks; `GroupBlockRange` recovers which blocks
+  /// belong to which group.
+  static PdxStore FromGroups(const VectorSet& vectors,
+                             const std::vector<std::vector<VectorId>>& groups,
+                             size_t block_capacity = kPdxBlockSize);
+
+  size_t dim() const { return dim_; }
+  size_t count() const { return count_; }
+  size_t num_blocks() const { return blocks_.size(); }
+
+  const PdxBlock& block(size_t b) const { return blocks_[b]; }
+
+  /// Number of vector groups (1 for FromVectorSet; #buckets for
+  /// FromGroups).
+  size_t num_groups() const { return group_block_start_.size() - 1; }
+
+  /// Half-open block range [first, last) of group g.
+  std::pair<size_t, size_t> GroupBlockRange(size_t g) const {
+    return {group_block_start_[g], group_block_start_[g + 1]};
+  }
+
+  /// Collection-level per-dimension statistics (merged over blocks).
+  const DimensionStats& stats() const { return stats_; }
+
+  /// Per-block statistics, parallel to blocks().
+  const std::vector<DimensionStats>& block_stats() const {
+    return block_stats_;
+  }
+
+  /// Reconstructs the horizontal layout (transpose back); used by tests to
+  /// verify the round-trip and by re-ranking paths.
+  VectorSet ToVectorSet() const;
+
+ private:
+  static void AppendGroup(const VectorSet& vectors,
+                          const std::vector<VectorId>& ids,
+                          size_t block_capacity, size_t& arena_offset,
+                          PdxStore& store);
+
+  size_t dim_ = 0;
+  size_t count_ = 0;
+  /// One contiguous allocation backing every block, in block order: a
+  /// block-by-block scan is a single sequential memory stream.
+  AlignedBuffer arena_;
+  std::vector<PdxBlock> blocks_;
+  std::vector<DimensionStats> block_stats_;
+  std::vector<size_t> group_block_start_;
+  DimensionStats stats_;
+};
+
+}  // namespace pdx
+
+#endif  // PDX_STORAGE_PDX_STORE_H_

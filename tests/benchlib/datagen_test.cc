@@ -1,0 +1,116 @@
+#include "benchlib/datagen.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "benchlib/workloads.h"
+#include "common/math_utils.h"
+
+namespace pdx {
+namespace {
+
+SyntheticSpec BasicSpec(ValueDistribution distribution) {
+  SyntheticSpec spec;
+  spec.name = "datagen";
+  spec.dim = 12;
+  spec.count = 3000;
+  spec.num_queries = 50;
+  spec.num_clusters = 6;
+  spec.seed = 3;
+  spec.distribution = distribution;
+  return spec;
+}
+
+TEST(DatagenTest, ShapesMatchSpec) {
+  Dataset dataset = GenerateDataset(BasicSpec(ValueDistribution::kNormal));
+  EXPECT_EQ(dataset.data.count(), 3000u);
+  EXPECT_EQ(dataset.data.dim(), 12u);
+  EXPECT_EQ(dataset.queries.count(), 50u);
+  EXPECT_EQ(dataset.queries.dim(), 12u);
+}
+
+TEST(DatagenTest, DeterministicPerSeed) {
+  Dataset a = GenerateDataset(BasicSpec(ValueDistribution::kNormal));
+  Dataset b = GenerateDataset(BasicSpec(ValueDistribution::kNormal));
+  for (size_t i = 0; i < 100; ++i) {
+    for (size_t d = 0; d < 12; ++d) {
+      ASSERT_EQ(a.data.Vector(i)[d], b.data.Vector(i)[d]);
+    }
+  }
+}
+
+TEST(DatagenTest, DifferentSeedsDiffer) {
+  SyntheticSpec spec = BasicSpec(ValueDistribution::kNormal);
+  Dataset a = GenerateDataset(spec);
+  spec.seed = 4;
+  Dataset b = GenerateDataset(spec);
+  EXPECT_NE(a.data.Vector(0)[0], b.data.Vector(0)[0]);
+}
+
+TEST(DatagenTest, SkewedDataIsNonNegativeAndSkewed) {
+  Dataset dataset = GenerateDataset(BasicSpec(ValueDistribution::kSkewed));
+  std::vector<float> dim0;
+  for (size_t i = 0; i < dataset.data.count(); ++i) {
+    const float v = dataset.data.Vector(i)[0];
+    ASSERT_GT(v, 0.0f);  // exp() transform.
+    dim0.push_back(v);
+  }
+  // Positive skew: mean > median for a long right tail.
+  const double mean = Mean(dim0);
+  const double median = Percentile(dim0, 50);
+  EXPECT_GT(mean, median);
+}
+
+TEST(DatagenTest, NormalDataRoughlySymmetric) {
+  Dataset dataset = GenerateDataset(BasicSpec(ValueDistribution::kNormal));
+  std::vector<float> dim0;
+  for (size_t i = 0; i < dataset.data.count(); ++i) {
+    dim0.push_back(dataset.data.Vector(i)[0]);
+  }
+  const double mean = Mean(dim0);
+  const double median = Percentile(dim0, 50);
+  EXPECT_NEAR(mean, median, 0.5 * std::sqrt(Variance(dim0)) + 0.2);
+}
+
+TEST(DatagenTest, HasClusterStructure) {
+  // Between-cluster spread should make variance much larger than the
+  // within-cluster noise (scale <= 1.6).
+  Dataset dataset = GenerateDataset(BasicSpec(ValueDistribution::kNormal));
+  std::vector<float> dim3;
+  for (size_t i = 0; i < dataset.data.count(); ++i) {
+    dim3.push_back(dataset.data.Vector(i)[3]);
+  }
+  EXPECT_GT(Variance(dim3), 1.0);
+}
+
+TEST(WorkloadsTest, PaperRosterHasTenDatasets) {
+  const auto roster = PaperWorkloads();
+  ASSERT_EQ(roster.size(), 10u);
+  EXPECT_EQ(roster.front().dim, 16u);   // NYTimes.
+  EXPECT_EQ(roster.back().dim, 1536u);  // OpenAI.
+}
+
+TEST(WorkloadsTest, ScaleMultipliesCounts) {
+  const auto base = PaperWorkloads(1.0);
+  const auto half = PaperWorkloads(0.5);
+  for (size_t i = 0; i < base.size(); ++i) {
+    EXPECT_NEAR(static_cast<double>(half[i].count),
+                static_cast<double>(base[i].count) * 0.5,
+                static_cast<double>(base[i].count) * 0.1 + 1001.0);
+  }
+}
+
+TEST(WorkloadsTest, DistributionsMatchPaperTable) {
+  const auto roster = PaperWorkloads();
+  // SIFT-128 (index 3) and OpenAI-1536 (index 9) are skewed.
+  EXPECT_EQ(roster[3].distribution, ValueDistribution::kSkewed);
+  EXPECT_EQ(roster[9].distribution, ValueDistribution::kSkewed);
+  // GloVe-50 (index 1) and Contriever-768 (index 6) are normal.
+  EXPECT_EQ(roster[1].distribution, ValueDistribution::kNormal);
+  EXPECT_EQ(roster[6].distribution, ValueDistribution::kNormal);
+}
+
+}  // namespace
+}  // namespace pdx

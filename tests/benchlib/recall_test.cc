@@ -1,0 +1,73 @@
+#include "benchlib/recall.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "benchlib/datagen.h"
+#include "index/flat.h"
+
+namespace pdx {
+namespace {
+
+TEST(RecallTest, PerfectResultScoresOne) {
+  const std::vector<VectorId> truth = {1, 2, 3};
+  const std::vector<Neighbor> result = {{1, 0.1f}, {2, 0.2f}, {3, 0.3f}};
+  EXPECT_DOUBLE_EQ(RecallAtK(result, truth, 3), 1.0);
+}
+
+TEST(RecallTest, OrderDoesNotMatter) {
+  const std::vector<VectorId> truth = {1, 2, 3};
+  const std::vector<Neighbor> result = {{3, 0.1f}, {1, 0.2f}, {2, 0.3f}};
+  EXPECT_DOUBLE_EQ(RecallAtK(result, truth, 3), 1.0);
+}
+
+TEST(RecallTest, PartialOverlap) {
+  const std::vector<VectorId> truth = {1, 2, 3, 4};
+  const std::vector<Neighbor> result = {{1, 0.1f}, {9, 0.2f}, {3, 0.3f},
+                                        {8, 0.4f}};
+  EXPECT_DOUBLE_EQ(RecallAtK(result, truth, 4), 0.5);
+}
+
+TEST(RecallTest, EmptyResultScoresZero) {
+  const std::vector<VectorId> truth = {1, 2};
+  EXPECT_DOUBLE_EQ(RecallAtK({}, truth, 2), 0.0);
+}
+
+TEST(RecallTest, OnlyFirstKOfResultCounts) {
+  const std::vector<VectorId> truth = {1};
+  const std::vector<Neighbor> result = {{9, 0.1f}, {1, 0.2f}};
+  EXPECT_DOUBLE_EQ(RecallAtK(result, truth, 1), 0.0);
+}
+
+TEST(RecallTest, MeanRecall) {
+  const std::vector<std::vector<VectorId>> truth = {{1}, {2}};
+  const std::vector<std::vector<Neighbor>> results = {{{1, 0.0f}},
+                                                      {{3, 0.0f}}};
+  EXPECT_DOUBLE_EQ(MeanRecallAtK(results, truth, 1), 0.5);
+}
+
+TEST(RecallTest, GroundTruthMatchesFlatSearch) {
+  SyntheticSpec spec;
+  spec.name = "recall";
+  spec.dim = 10;
+  spec.count = 800;
+  spec.num_queries = 6;
+  spec.seed = 1;
+  Dataset dataset = GenerateDataset(spec);
+  const auto truth =
+      ComputeGroundTruth(dataset.data, dataset.queries, 5, Metric::kL2);
+  ASSERT_EQ(truth.size(), 6u);
+  for (size_t q = 0; q < 6; ++q) {
+    const auto expected =
+        FlatSearchNary(dataset.data, dataset.queries.Vector(q), 5,
+                       Metric::kL2);
+    ASSERT_EQ(truth[q].size(), 5u);
+    for (size_t i = 0; i < 5; ++i) {
+      ASSERT_EQ(truth[q][i], expected[i].id) << "query " << q;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pdx

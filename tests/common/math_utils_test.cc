@@ -1,0 +1,80 @@
+#include "common/math_utils.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace pdx {
+namespace {
+
+TEST(MathUtilsTest, SquaredNorm) {
+  const float values[] = {3.0f, 4.0f};
+  EXPECT_FLOAT_EQ(SquaredNorm(values, 2), 25.0f);
+  EXPECT_FLOAT_EQ(Norm(values, 2), 5.0f);
+}
+
+TEST(MathUtilsTest, NormOfEmpty) {
+  EXPECT_FLOAT_EQ(SquaredNorm(nullptr, 0), 0.0f);
+}
+
+TEST(MathUtilsTest, MeanAndVariance) {
+  const std::vector<float> values = {2.0f, 4.0f, 4.0f, 4.0f,
+                                     5.0f, 5.0f, 7.0f, 9.0f};
+  EXPECT_DOUBLE_EQ(Mean(values), 5.0);
+  EXPECT_DOUBLE_EQ(Variance(values), 4.0);
+}
+
+TEST(MathUtilsTest, MeanOfEmpty) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({1.0f}), 0.0);
+}
+
+TEST(MathUtilsTest, PercentileEndpoints) {
+  std::vector<float> values = {1.0f, 2.0f, 3.0f, 4.0f};
+  EXPECT_DOUBLE_EQ(Percentile(values, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(values, 100), 4.0);
+}
+
+TEST(MathUtilsTest, PercentileInterpolates) {
+  std::vector<float> values = {10.0f, 20.0f};
+  EXPECT_DOUBLE_EQ(Percentile(values, 50), 15.0);
+  EXPECT_DOUBLE_EQ(Percentile(values, 25), 12.5);
+}
+
+TEST(MathUtilsTest, PercentileUnsortedInput) {
+  std::vector<float> values = {5.0f, 1.0f, 3.0f};
+  EXPECT_DOUBLE_EQ(Percentile(values, 50), 3.0);
+}
+
+TEST(MathUtilsTest, PercentileEmptyAndSingle) {
+  EXPECT_DOUBLE_EQ(Percentile({}, 50), 0.0);
+  EXPECT_DOUBLE_EQ(Percentile({7.0f}, 99), 7.0);
+}
+
+TEST(MathUtilsTest, GeometricMean) {
+  EXPECT_NEAR(GeometricMean({2.0, 8.0}), 4.0, 1e-12);
+  EXPECT_NEAR(GeometricMean({3.0, 3.0, 3.0}), 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(GeometricMean({}), 0.0);
+}
+
+TEST(MathUtilsTest, RoundUp) {
+  EXPECT_EQ(RoundUp(0, 8), 0u);
+  EXPECT_EQ(RoundUp(1, 8), 8u);
+  EXPECT_EQ(RoundUp(8, 8), 8u);
+  EXPECT_EQ(RoundUp(9, 8), 16u);
+  EXPECT_EQ(RoundUp(17, 5), 20u);
+}
+
+TEST(MathUtilsTest, ApproxEqual) {
+  EXPECT_TRUE(ApproxEqual(1.0, 1.0));
+  EXPECT_TRUE(ApproxEqual(1.0, 1.0 + 1e-9));
+  EXPECT_TRUE(ApproxEqual(1e6, 1e6 * (1 + 1e-6)));
+  EXPECT_FALSE(ApproxEqual(1.0, 1.1));
+  EXPECT_TRUE(ApproxEqual(0.0, 1e-9));
+  EXPECT_FALSE(ApproxEqual(0.0, 1e-3));
+}
+
+}  // namespace
+}  // namespace pdx

@@ -1,0 +1,99 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace pdx {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.message(), "");
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) {
+  EXPECT_TRUE(Status::OK().ok());
+}
+
+TEST(StatusTest, InvalidArgument) {
+  Status status = Status::InvalidArgument("bad dim");
+  EXPECT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsInvalidArgument());
+  EXPECT_FALSE(status.IsIoError());
+  EXPECT_EQ(status.message(), "bad dim");
+  EXPECT_EQ(status.ToString(), "InvalidArgument: bad dim");
+}
+
+TEST(StatusTest, IoError) {
+  Status status = Status::IoError("disk");
+  EXPECT_TRUE(status.IsIoError());
+  EXPECT_EQ(status.ToString(), "IoError: disk");
+}
+
+TEST(StatusTest, NotFound) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+}
+
+TEST(StatusTest, Corruption) {
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+}
+
+TEST(StatusTest, Unsupported) {
+  EXPECT_TRUE(Status::Unsupported("x").IsUnsupported());
+}
+
+TEST(StatusTest, CopySemantics) {
+  Status a = Status::Corruption("truncated");
+  Status b = a;
+  EXPECT_TRUE(b.IsCorruption());
+  EXPECT_EQ(b.message(), "truncated");
+  a = Status::OK();
+  EXPECT_TRUE(a.ok());
+  EXPECT_TRUE(b.IsCorruption());  // b unaffected.
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result(7);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 7);
+  EXPECT_EQ(result.value_or(-1), 7);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result(Status::NotFound("nope"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsNotFound());
+  EXPECT_EQ(result.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> result(std::string("payload"));
+  std::string taken = std::move(result).value();
+  EXPECT_EQ(taken, "payload");
+}
+
+namespace {
+Status FailsInner() { return Status::IoError("inner"); }
+Status Propagates() {
+  PDX_RETURN_IF_ERROR(FailsInner());
+  return Status::OK();  // Unreachable.
+}
+Status PropagatesOk() {
+  PDX_RETURN_IF_ERROR(Status::OK());
+  return Status::InvalidArgument("reached end");
+}
+}  // namespace
+
+TEST(StatusTest, ReturnIfErrorPropagatesFailure) {
+  EXPECT_TRUE(Propagates().IsIoError());
+}
+
+TEST(StatusTest, ReturnIfErrorPassesOk) {
+  EXPECT_TRUE(PropagatesOk().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace pdx

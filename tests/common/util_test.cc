@@ -1,0 +1,101 @@
+// Tests for the small utility substrates: Timer, ParallelFor, cache
+// detection, byte formatting, bench text tables.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "benchlib/bench_utils.h"
+#include "benchlib/profile.h"
+#include "common/parallel.h"
+#include "common/timer.h"
+
+namespace pdx {
+namespace {
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double ms = timer.ElapsedMillis();
+  EXPECT_GE(ms, 15.0);
+  EXPECT_LT(ms, 500.0);
+  EXPECT_NEAR(timer.ElapsedSeconds(), timer.ElapsedMillis() / 1000.0, 0.01);
+}
+
+TEST(TimerTest, ResetRestarts) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  timer.Reset();
+  EXPECT_LT(timer.ElapsedMillis(), 10.0);
+}
+
+TEST(TimerTest, Monotone) {
+  Timer timer;
+  const int64_t a = timer.ElapsedNanos();
+  const int64_t b = timer.ElapsedNanos();
+  EXPECT_GE(b, a);
+}
+
+TEST(ParallelForTest, VisitsEveryIndexOnce) {
+  const size_t n = 10000;
+  std::vector<std::atomic<int>> hits(n);
+  ParallelFor(n, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, ZeroCount) {
+  bool called = false;
+  ParallelFor(0, [&](size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, SingleItem) {
+  int value = 0;
+  ParallelFor(1, [&](size_t i) { value = static_cast<int>(i) + 7; });
+  EXPECT_EQ(value, 7);
+}
+
+TEST(ProfileTest, CacheLevelsOrdered) {
+  const CacheInfo info = DetectCaches();
+  EXPECT_GT(info.l1d_bytes, 0u);
+  EXPECT_GE(info.l2_bytes, info.l1d_bytes);
+  EXPECT_GE(info.l3_bytes, info.l2_bytes);
+}
+
+TEST(ProfileTest, CacheLevelNames) {
+  CacheInfo info;
+  info.l1d_bytes = 32 << 10;
+  info.l2_bytes = 1 << 20;
+  info.l3_bytes = 32 << 20;
+  EXPECT_EQ(CacheLevelName(16 << 10, info), "L1");
+  EXPECT_EQ(CacheLevelName(512 << 10, info), "L2");
+  EXPECT_EQ(CacheLevelName(16 << 20, info), "L3");
+  EXPECT_EQ(CacheLevelName(256 << 20, info), "DRAM");
+}
+
+TEST(ProfileTest, FormatBytes) {
+  EXPECT_EQ(FormatBytes(512), "512B");
+  EXPECT_EQ(FormatBytes(2048), "2.0KiB");
+  EXPECT_EQ(FormatBytes(3 << 20), "3.0MiB");
+  EXPECT_EQ(FormatBytes(size_t(2) << 30), "2.0GiB");
+}
+
+TEST(BenchUtilsTest, MedianRunNanosPositive) {
+  const double ns = MedianRunNanos([]() {
+    volatile int x = 0;
+    for (int i = 0; i < 1000; ++i) x += i;
+  });
+  EXPECT_GT(ns, 0.0);
+}
+
+TEST(BenchUtilsTest, TextTableNumFormatting) {
+  EXPECT_EQ(TextTable::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::Num(1234.0, 0), "1234");
+}
+
+}  // namespace
+}  // namespace pdx

@@ -1,0 +1,168 @@
+#include "core/searcher.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "benchlib/datagen.h"
+#include "benchlib/recall.h"
+#include "index/flat.h"
+
+namespace pdx {
+namespace {
+
+struct Fixture {
+  Dataset dataset;
+  IvfIndex index;
+  BucketOrderedSet ordered;
+  std::vector<std::vector<VectorId>> truth;
+};
+
+Fixture MakeFixture(size_t dim, ValueDistribution distribution,
+                    uint64_t seed) {
+  SyntheticSpec spec;
+  spec.name = "searcher-test";
+  spec.dim = dim;
+  spec.count = 3000;
+  spec.num_queries = 15;
+  spec.num_clusters = 10;
+  spec.seed = seed;
+  spec.distribution = distribution;
+  Fixture fx{GenerateDataset(spec), {}, {}, {}};
+  fx.index = IvfIndex::Build(fx.dataset.data, {});
+  fx.ordered = ReorderByBuckets(fx.dataset.data, fx.index);
+  fx.truth =
+      ComputeGroundTruth(fx.dataset.data, fx.dataset.queries, 10, Metric::kL2);
+  return fx;
+}
+
+double SearcherRecall(Fixture& fx,
+                      const std::function<std::vector<Neighbor>(
+                          const float*, size_t, size_t)>& search,
+                      size_t nprobe) {
+  double sum = 0.0;
+  for (size_t q = 0; q < fx.dataset.queries.count(); ++q) {
+    const auto result = search(fx.dataset.queries.Vector(q), 10, nprobe);
+    sum += RecallAtK(result, fx.truth[q], 10);
+  }
+  return sum / fx.dataset.queries.count();
+}
+
+TEST(SearcherTest, AdsIvfFullProbeHighRecall) {
+  Fixture fx = MakeFixture(32, ValueDistribution::kNormal, 41);
+  auto ads = MakeAdsIvfSearcher(fx.dataset.data, fx.index, {});
+  const double recall = SearcherRecall(
+      fx,
+      [&](const float* q, size_t k, size_t nprobe) {
+        return ads->Search(q, k, nprobe);
+      },
+      fx.index.num_buckets());
+  EXPECT_GT(recall, 0.95);
+}
+
+TEST(SearcherTest, BsaIvfFullProbeExactWithUnitMultiplier) {
+  Fixture fx = MakeFixture(24, ValueDistribution::kSkewed, 42);
+  auto bsa = MakeBsaIvfSearcher(fx.dataset.data, fx.index, {});
+  const double recall = SearcherRecall(
+      fx,
+      [&](const float* q, size_t k, size_t nprobe) {
+        return bsa->Search(q, k, nprobe);
+      },
+      fx.index.num_buckets());
+  EXPECT_DOUBLE_EQ(recall, 1.0);
+}
+
+TEST(SearcherTest, BondIvfFullProbeExact) {
+  Fixture fx = MakeFixture(24, ValueDistribution::kNormal, 43);
+  auto bond = MakeBondIvfSearcher(fx.dataset.data, fx.index, {});
+  const double recall = SearcherRecall(
+      fx,
+      [&](const float* q, size_t k, size_t nprobe) {
+        return bond->Search(q, k, nprobe);
+      },
+      fx.index.num_buckets());
+  EXPECT_DOUBLE_EQ(recall, 1.0);
+}
+
+TEST(SearcherTest, LinearIvfMatchesNaryIvf) {
+  Fixture fx = MakeFixture(16, ValueDistribution::kNormal, 44);
+  auto linear = MakeLinearIvfSearcher(fx.dataset.data, fx.index);
+  for (size_t q = 0; q < 5; ++q) {
+    const float* query = fx.dataset.queries.Vector(q);
+    // Full probe: bucket ranking differences cannot change the result set.
+    const auto expected = IvfNarySearch(fx.index, fx.ordered, query, 10,
+                                        fx.index.num_buckets());
+    const auto actual = linear->Search(query, 10, fx.index.num_buckets());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      ASSERT_EQ(actual[i].id, expected[i].id) << "query " << q;
+    }
+  }
+}
+
+TEST(SearcherTest, RecallImprovesWithNprobe) {
+  Fixture fx = MakeFixture(48, ValueDistribution::kNormal, 45);
+  auto ads = MakeAdsIvfSearcher(fx.dataset.data, fx.index, {});
+  auto search = [&](const float* q, size_t k, size_t nprobe) {
+    return ads->Search(q, k, nprobe);
+  };
+  const double recall_small = SearcherRecall(fx, search, 1);
+  const double recall_medium = SearcherRecall(fx, search, 8);
+  const double recall_full =
+      SearcherRecall(fx, search, fx.index.num_buckets());
+  EXPECT_LE(recall_small, recall_medium + 0.05);
+  EXPECT_LE(recall_medium, recall_full + 0.05);
+  EXPECT_GT(recall_full, recall_small);
+}
+
+TEST(SearcherTest, FlatAdsVsFlatBruteForce) {
+  Fixture fx = MakeFixture(40, ValueDistribution::kSkewed, 46);
+  auto ads = MakeAdsFlatSearcher(fx.dataset.data, {});
+  double sum = 0.0;
+  for (size_t q = 0; q < fx.dataset.queries.count(); ++q) {
+    const auto result = ads->Search(fx.dataset.queries.Vector(q), 10);
+    sum += RecallAtK(result, fx.truth[q], 10);
+  }
+  EXPECT_GT(sum / fx.dataset.queries.count(), 0.95);
+}
+
+TEST(SearcherTest, FlatLinearSearcherExact) {
+  Fixture fx = MakeFixture(16, ValueDistribution::kNormal, 47);
+  auto linear = MakeLinearFlatSearcher(fx.dataset.data);
+  for (size_t q = 0; q < 5; ++q) {
+    const float* query = fx.dataset.queries.Vector(q);
+    const auto expected =
+        FlatSearchNary(fx.dataset.data, query, 10, Metric::kL2);
+    const auto actual = linear->Search(query, 10);
+    for (size_t i = 0; i < expected.size(); ++i) {
+      ASSERT_EQ(actual[i].id, expected[i].id);
+    }
+  }
+}
+
+TEST(SearcherTest, ProfileExposesPreprocessingCosts) {
+  // High dimensionality so the D x D mat-vec of ADSampling dominates the
+  // D log D sort of PDX-BOND (Table 7's "almost free" claim holds at the
+  // paper's D=1536; 512 suffices to separate the costs robustly).
+  Fixture fx = MakeFixture(512, ValueDistribution::kNormal, 48);
+  AdsConfig ads_config;
+  ads_config.search.collect_phase_times = true;
+  auto ads = MakeAdsIvfSearcher(fx.dataset.data, fx.index, ads_config);
+  BondConfig bond_config;
+  bond_config.search.collect_phase_times = true;
+  auto bond = MakeBondIvfSearcher(fx.dataset.data, fx.index, bond_config);
+
+  double ads_ms = 0.0;
+  double bond_ms = 0.0;
+  for (size_t q = 0; q < fx.dataset.queries.count(); ++q) {
+    const float* query = fx.dataset.queries.Vector(q);
+    ads->Search(query, 10, 8);
+    ads_ms += ads->last_profile().preprocess_ms;
+    bond->Search(query, 10, 8);
+    bond_ms += bond->last_profile().preprocess_ms;
+  }
+  EXPECT_GT(ads_ms, 0.0);
+  EXPECT_LT(bond_ms, ads_ms);
+}
+
+}  // namespace
+}  // namespace pdx

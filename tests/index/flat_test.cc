@@ -1,0 +1,96 @@
+#include "index/flat.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "benchlib/datagen.h"
+#include "storage/dsm_store.h"
+#include "storage/pdx_store.h"
+
+namespace pdx {
+namespace {
+
+Dataset SmallDataset(size_t dim, ValueDistribution distribution) {
+  SyntheticSpec spec;
+  spec.name = "flat-test";
+  spec.dim = dim;
+  spec.count = 1500;
+  spec.num_queries = 8;
+  spec.num_clusters = 6;
+  spec.seed = 11 + dim;
+  spec.distribution = distribution;
+  return GenerateDataset(spec);
+}
+
+using FlatParam = std::tuple<Metric, size_t, ValueDistribution>;
+
+class FlatSearchAgreementTest : public ::testing::TestWithParam<FlatParam> {};
+
+// Every layout/kernel combination must return the same exact top-k.
+TEST_P(FlatSearchAgreementTest, AllLayoutsAgree) {
+  const auto [metric, dim, distribution] = GetParam();
+  Dataset dataset = SmallDataset(dim, distribution);
+  PdxStore pdx_store = PdxStore::FromVectorSet(dataset.data);
+  PdxStore pdx_large = PdxStore::FromVectorSet(dataset.data, 500);
+  DsmStore dsm_store = DsmStore::FromVectorSet(dataset.data);
+
+  for (size_t q = 0; q < dataset.queries.count(); ++q) {
+    const float* query = dataset.queries.Vector(q);
+    const auto oracle = FlatSearchScalar(dataset.data, query, 10, metric);
+    const auto nary = FlatSearchNary(dataset.data, query, 10, metric);
+    const auto pdx = FlatSearchPdx(pdx_store, query, 10, metric);
+    const auto pdx_big = FlatSearchPdx(pdx_large, query, 10, metric);
+    const auto dsm = FlatSearchDsm(dsm_store, query, 10, metric);
+    const auto gather = FlatSearchGather(dataset.data, query, 10, metric);
+
+    ASSERT_EQ(oracle.size(), 10u);
+    for (size_t i = 0; i < 10; ++i) {
+      ASSERT_EQ(nary[i].id, oracle[i].id) << "nary q" << q << " rank " << i;
+      ASSERT_EQ(pdx[i].id, oracle[i].id) << "pdx q" << q << " rank " << i;
+      ASSERT_EQ(pdx_big[i].id, oracle[i].id) << "pdx-large q" << q;
+      ASSERT_EQ(dsm[i].id, oracle[i].id) << "dsm q" << q << " rank " << i;
+      ASSERT_EQ(gather[i].id, oracle[i].id) << "gather q" << q;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FlatSearchAgreementTest,
+    ::testing::Combine(
+        ::testing::Values(Metric::kL2, Metric::kIp, Metric::kL1),
+        ::testing::Values(8, 33, 96),
+        ::testing::Values(ValueDistribution::kNormal,
+                          ValueDistribution::kSkewed)),
+    [](const ::testing::TestParamInfo<FlatParam>& info) {
+      return std::string(MetricName(std::get<0>(info.param))) + "_d" +
+             std::to_string(std::get<1>(info.param)) + "_" +
+             ValueDistributionName(std::get<2>(info.param));
+    });
+
+TEST(FlatSearchTest, KLargerThanCollection) {
+  Dataset dataset = SmallDataset(8, ValueDistribution::kNormal);
+  VectorSet tiny = dataset.data.Select({0, 1, 2});
+  const auto result =
+      FlatSearchNary(tiny, dataset.queries.Vector(0), 10, Metric::kL2);
+  EXPECT_EQ(result.size(), 3u);
+}
+
+TEST(FlatSearchTest, IsaTiersAgree) {
+  Dataset dataset = SmallDataset(64, ValueDistribution::kNormal);
+  const float* query = dataset.queries.Vector(0);
+  const auto scalar =
+      FlatSearchNary(dataset.data, query, 10, Metric::kL2, Isa::kScalar);
+  for (Isa isa : {Isa::kAvx2, Isa::kAvx512, Isa::kBest}) {
+    const auto result = FlatSearchNary(dataset.data, query, 10, Metric::kL2,
+                                       isa);
+    for (size_t i = 0; i < 10; ++i) {
+      ASSERT_EQ(result[i].id, scalar[i].id) << IsaName(isa) << " rank " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pdx

@@ -1,0 +1,151 @@
+#include "index/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+#include "kernels/scalar_kernels.h"
+
+namespace pdx {
+namespace {
+
+// Three well-separated blobs in 2D.
+VectorSet ThreeBlobs(size_t per_blob, uint64_t seed) {
+  Rng rng(seed);
+  VectorSet set(2, per_blob * 3);
+  const float centers[3][2] = {{0, 0}, {50, 0}, {0, 50}};
+  for (int blob = 0; blob < 3; ++blob) {
+    for (size_t i = 0; i < per_blob; ++i) {
+      const float row[2] = {
+          centers[blob][0] + static_cast<float>(rng.Gaussian()),
+          centers[blob][1] + static_cast<float>(rng.Gaussian())};
+      set.Append(row);
+    }
+  }
+  return set;
+}
+
+TEST(KMeansTest, RecoversSeparatedBlobs) {
+  VectorSet data = ThreeBlobs(100, 1);
+  KMeansOptions options;
+  options.num_clusters = 3;
+  KMeansResult result = RunKMeans(data, options);
+
+  // Each blob must map to a single distinct cluster.
+  std::set<uint32_t> blob_clusters;
+  for (int blob = 0; blob < 3; ++blob) {
+    const uint32_t first = result.assignment[blob * 100];
+    for (size_t i = 0; i < 100; ++i) {
+      ASSERT_EQ(result.assignment[blob * 100 + i], first)
+          << "blob " << blob << " item " << i;
+    }
+    blob_clusters.insert(first);
+  }
+  EXPECT_EQ(blob_clusters.size(), 3u);
+}
+
+TEST(KMeansTest, AssignmentIsNearestCentroid) {
+  VectorSet data = ThreeBlobs(50, 2);
+  KMeansOptions options;
+  options.num_clusters = 5;
+  KMeansResult result = RunKMeans(data, options);
+  for (size_t i = 0; i < data.count(); ++i) {
+    const uint32_t assigned = result.assignment[i];
+    const float assigned_d2 =
+        ScalarL2(data.Vector(i), result.centroids.Vector(assigned), 2);
+    for (size_t c = 0; c < 5; ++c) {
+      const float d2 = ScalarL2(data.Vector(i), result.centroids.Vector(c), 2);
+      ASSERT_GE(d2 + 1e-4f, assigned_d2)
+          << "vector " << i << " closer to centroid " << c;
+    }
+  }
+}
+
+TEST(KMeansTest, ObjectiveMatchesAssignments) {
+  VectorSet data = ThreeBlobs(30, 3);
+  KMeansOptions options;
+  options.num_clusters = 3;
+  KMeansResult result = RunKMeans(data, options);
+  double expected = 0.0;
+  for (size_t i = 0; i < data.count(); ++i) {
+    expected += ScalarL2(data.Vector(i),
+                         result.centroids.Vector(result.assignment[i]), 2);
+  }
+  EXPECT_NEAR(result.objective, expected, 1e-2 * (1.0 + expected));
+}
+
+TEST(KMeansTest, DeterministicForSeed) {
+  VectorSet data = ThreeBlobs(40, 4);
+  KMeansOptions options;
+  options.num_clusters = 4;
+  options.seed = 99;
+  KMeansResult a = RunKMeans(data, options);
+  KMeansResult b = RunKMeans(data, options);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_DOUBLE_EQ(a.objective, b.objective);
+}
+
+TEST(KMeansTest, SingleCluster) {
+  VectorSet data = ThreeBlobs(20, 5);
+  KMeansOptions options;
+  options.num_clusters = 1;
+  KMeansResult result = RunKMeans(data, options);
+  EXPECT_EQ(result.centroids.count(), 1u);
+  for (uint32_t a : result.assignment) ASSERT_EQ(a, 0u);
+  // Single centroid converges to the global mean.
+  const auto means = data.DimensionMeans();
+  EXPECT_NEAR(result.centroids.Vector(0)[0], means[0], 0.5f);
+  EXPECT_NEAR(result.centroids.Vector(0)[1], means[1], 0.5f);
+}
+
+TEST(KMeansTest, KEqualsN) {
+  VectorSet data(1);
+  for (float v : {1.0f, 5.0f, 9.0f}) data.Append(&v);
+  KMeansOptions options;
+  options.num_clusters = 3;
+  options.max_points_per_centroid = 0;  // Train on everything.
+  KMeansResult result = RunKMeans(data, options);
+  // Every point gets its own cluster; objective ~0.
+  EXPECT_NEAR(result.objective, 0.0, 1e-6);
+}
+
+TEST(KMeansTest, KMeansPlusPlusBeatsOrMatchesRandomSeeding) {
+  VectorSet data = ThreeBlobs(60, 6);
+  KMeansOptions pp;
+  pp.num_clusters = 3;
+  pp.use_kmeans_pp = true;
+  KMeansOptions random_seed = pp;
+  random_seed.use_kmeans_pp = false;
+  const double pp_objective = RunKMeans(data, pp).objective;
+  const double random_objective = RunKMeans(data, random_seed).objective;
+  // k-means++ should never be drastically worse on separated blobs.
+  EXPECT_LE(pp_objective, random_objective * 1.5 + 1e-3);
+}
+
+TEST(KMeansTest, NearestCentroidHelper) {
+  VectorSet centroids(2);
+  const float c0[2] = {0, 0};
+  const float c1[2] = {10, 10};
+  centroids.Append(c0);
+  centroids.Append(c1);
+  const float q[2] = {9, 9};
+  EXPECT_EQ(NearestCentroid(centroids, q), 1u);
+}
+
+TEST(KMeansTest, TrainingSampleCapStillCoversSpace) {
+  VectorSet data = ThreeBlobs(200, 7);
+  KMeansOptions options;
+  options.num_clusters = 3;
+  options.max_points_per_centroid = 20;  // Heavy subsampling.
+  KMeansResult result = RunKMeans(data, options);
+  // All three blobs still discovered.
+  std::set<uint32_t> clusters(result.assignment.begin(),
+                              result.assignment.end());
+  EXPECT_EQ(clusters.size(), 3u);
+}
+
+}  // namespace
+}  // namespace pdx

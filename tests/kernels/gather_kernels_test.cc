@@ -1,0 +1,59 @@
+#include "kernels/gather_kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/random.h"
+#include "kernels/scalar_kernels.h"
+
+namespace pdx {
+namespace {
+
+using GatherParam = std::tuple<Metric, size_t, size_t>;  // metric, count, dim
+
+class GatherKernelTest : public ::testing::TestWithParam<GatherParam> {};
+
+TEST_P(GatherKernelTest, MatchesScalarOracle) {
+  const auto [metric, count, dim] = GetParam();
+  Rng rng(count * 3 + dim);
+  std::vector<float> data(count * dim);
+  std::vector<float> query(dim);
+  for (float& v : data) v = static_cast<float>(rng.Gaussian());
+  for (float& v : query) v = static_cast<float>(rng.Gaussian());
+
+  std::vector<float> out(count, -1.0f);
+  NaryGatherDistanceBatch(metric, query.data(), data.data(), count, dim,
+                          out.data());
+  for (size_t i = 0; i < count; ++i) {
+    const float expected =
+        ScalarDistance(metric, query.data(), data.data() + i * dim, dim);
+    ASSERT_NEAR(out[i], expected,
+                1e-4f + 1e-5f * std::fabs(expected) * std::sqrt(float(dim)))
+        << "vector " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GatherKernelTest,
+    ::testing::Combine(
+        ::testing::Values(Metric::kL2, Metric::kIp, Metric::kL1),
+        ::testing::Values(1, 63, 64, 65, 128, 200),  // Group tails.
+        ::testing::Values(4, 16, 96)),
+    [](const ::testing::TestParamInfo<GatherParam>& info) {
+      return std::string(MetricName(std::get<0>(info.param))) + "_n" +
+             std::to_string(std::get<1>(info.param)) + "_d" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(GatherKernelTest, EmptyCollection) {
+  std::vector<float> query(8, 1.0f);
+  NaryGatherDistanceBatch(Metric::kL2, query.data(), nullptr, 0, 8, nullptr);
+  // No crash is the assertion.
+}
+
+}  // namespace
+}  // namespace pdx

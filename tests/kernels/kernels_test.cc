@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/random.h"
+#include "kernels/kernel_dispatch.h"
+#include "kernels/nary_kernels.h"
+#include "kernels/scalar_kernels.h"
+
+namespace pdx {
+namespace {
+
+std::vector<float> RandomValues(size_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> values(count);
+  for (float& v : values) v = static_cast<float>(rng.Gaussian());
+  return values;
+}
+
+TEST(ScalarKernelsTest, KnownL2) {
+  const float a[3] = {1, 2, 3};
+  const float b[3] = {4, 6, 3};
+  EXPECT_FLOAT_EQ(ScalarL2(a, b, 3), 9.0f + 16.0f);
+}
+
+TEST(ScalarKernelsTest, KnownIpIsNegated) {
+  const float a[2] = {1, 2};
+  const float b[2] = {3, 4};
+  EXPECT_FLOAT_EQ(ScalarIp(a, b, 2), -11.0f);
+}
+
+TEST(ScalarKernelsTest, KnownL1) {
+  const float a[3] = {1, -2, 3};
+  const float b[3] = {4, 2, 3};
+  EXPECT_FLOAT_EQ(ScalarL1(a, b, 3), 3.0f + 4.0f + 0.0f);
+}
+
+TEST(ScalarKernelsTest, ZeroDim) {
+  EXPECT_FLOAT_EQ(ScalarL2(nullptr, nullptr, 0), 0.0f);
+  EXPECT_FLOAT_EQ(ScalarIp(nullptr, nullptr, 0), 0.0f);
+}
+
+TEST(ScalarKernelsTest, IdenticalVectors) {
+  const auto v = RandomValues(100, 1);
+  EXPECT_FLOAT_EQ(ScalarL2(v.data(), v.data(), 100), 0.0f);
+  EXPECT_FLOAT_EQ(ScalarL1(v.data(), v.data(), 100), 0.0f);
+}
+
+// ---------------------------------------------------------------------------
+// Parameterized ISA x metric x dimensionality agreement with the scalar
+// oracle. Covers tails (non-multiples of SIMD width) on purpose.
+// ---------------------------------------------------------------------------
+
+using KernelParam = std::tuple<Metric, Isa, size_t>;
+
+class NaryKernelAgreementTest : public ::testing::TestWithParam<KernelParam> {
+};
+
+TEST_P(NaryKernelAgreementTest, MatchesScalarOracle) {
+  const auto [metric, isa, dim] = GetParam();
+  if (!IsaAvailable(isa)) GTEST_SKIP() << "ISA not compiled in";
+
+  const auto a = RandomValues(dim, 100 + dim);
+  const auto b = RandomValues(dim, 200 + dim);
+  const float expected = ScalarDistance(metric, a.data(), b.data(), dim);
+  const float actual = GetNaryKernel(metric, isa)(a.data(), b.data(), dim);
+  // Reassociated summation differs from strict scalar order; allow a
+  // relative tolerance scaled by the magnitude of the result.
+  const float tolerance =
+      1e-4f + 2e-5f * std::max(std::fabs(expected), 1.0f) *
+                  std::sqrt(static_cast<float>(dim));
+  EXPECT_NEAR(actual, expected, tolerance)
+      << MetricName(metric) << "/" << IsaName(isa) << "/D=" << dim;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, NaryKernelAgreementTest,
+    ::testing::Combine(
+        ::testing::Values(Metric::kL2, Metric::kIp, Metric::kL1),
+        ::testing::Values(Isa::kScalar, Isa::kAvx2, Isa::kAvx512, Isa::kBest),
+        ::testing::Values(1, 2, 3, 7, 8, 15, 16, 17, 31, 32, 33, 64, 100,
+                          128, 250, 960, 1536)),
+    [](const ::testing::TestParamInfo<KernelParam>& info) {
+      return std::string(MetricName(std::get<0>(info.param))) + "_" +
+             IsaName(std::get<1>(info.param)) + "_d" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(NaryKernelsTest, BatchMatchesPairwise) {
+  const size_t dim = 48;
+  const size_t count = 37;
+  const auto query = RandomValues(dim, 1);
+  const auto data = RandomValues(dim * count, 2);
+  for (Metric metric : {Metric::kL2, Metric::kIp, Metric::kL1}) {
+    std::vector<float> out(count);
+    NaryDistanceBatch(metric, query.data(), data.data(), count, dim,
+                      out.data());
+    for (size_t i = 0; i < count; ++i) {
+      ASSERT_NEAR(out[i],
+                  NaryDistance(metric, query.data(), data.data() + i * dim,
+                               dim),
+                  1e-4f)
+          << MetricName(metric) << " vector " << i;
+    }
+  }
+}
+
+TEST(KernelDispatchTest, IsaNames) {
+  EXPECT_STREQ(IsaName(Isa::kScalar), "scalar");
+  EXPECT_STREQ(IsaName(Isa::kAvx2), "avx2");
+  EXPECT_STREQ(IsaName(Isa::kAvx512), "avx512");
+  EXPECT_STREQ(IsaName(Isa::kBest), "best");
+}
+
+TEST(KernelDispatchTest, ScalarAndBestAlwaysAvailable) {
+  EXPECT_TRUE(IsaAvailable(Isa::kScalar));
+  EXPECT_TRUE(IsaAvailable(Isa::kBest));
+}
+
+TEST(KernelDispatchTest, BatchIsaMatchesOracle) {
+  const size_t dim = 33;
+  const size_t count = 20;
+  const auto query = RandomValues(dim, 3);
+  const auto data = RandomValues(dim * count, 4);
+  std::vector<float> expected(count);
+  ScalarDistanceBatch(Metric::kL2, query.data(), data.data(), count, dim,
+                      expected.data());
+  std::vector<float> out(count);
+  NaryDistanceBatchIsa(Metric::kL2, Isa::kBest, query.data(), data.data(),
+                       count, dim, out.data());
+  for (size_t i = 0; i < count; ++i) {
+    ASSERT_NEAR(out[i], expected[i], 1e-3f);
+  }
+}
+
+}  // namespace
+}  // namespace pdx

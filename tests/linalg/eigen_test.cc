@@ -1,0 +1,129 @@
+#include "linalg/eigen.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+#include "linalg/matrix.h"
+
+namespace pdx {
+namespace {
+
+Matrix RandomSymmetric(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(n, n);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = r; c < n; ++c) {
+      const float v = static_cast<float>(rng.Gaussian());
+      m.At(r, c) = v;
+      m.At(c, r) = v;
+    }
+  }
+  return m;
+}
+
+// Residual ||A v - lambda v|| for every eigenpair.
+double MaxEigenResidual(const Matrix& a, const EigenDecomposition& eig) {
+  const size_t n = a.rows();
+  double worst = 0.0;
+  for (size_t j = 0; j < n; ++j) {
+    double residual = 0.0;
+    for (size_t r = 0; r < n; ++r) {
+      double av = 0.0;
+      for (size_t c = 0; c < n; ++c) {
+        av += double(a.At(r, c)) * double(eig.eigenvectors.At(c, j));
+      }
+      const double diff =
+          av - double(eig.eigenvalues[j]) * double(eig.eigenvectors.At(r, j));
+      residual += diff * diff;
+    }
+    worst = std::max(worst, std::sqrt(residual));
+  }
+  return worst;
+}
+
+class EigenSolverTest
+    : public ::testing::TestWithParam<std::tuple<size_t, bool>> {};
+
+TEST_P(EigenSolverTest, SatisfiesEigenEquation) {
+  const auto [n, use_jacobi] = GetParam();
+  Matrix a = RandomSymmetric(n, 100 + n);
+  EigenDecomposition eig =
+      use_jacobi ? JacobiEigenSymmetric(a) : TridiagonalEigenSymmetric(a);
+  EXPECT_LT(MaxEigenResidual(a, eig), 5e-4 * double(n));
+}
+
+TEST_P(EigenSolverTest, EigenvaluesDescending) {
+  const auto [n, use_jacobi] = GetParam();
+  Matrix a = RandomSymmetric(n, 200 + n);
+  EigenDecomposition eig =
+      use_jacobi ? JacobiEigenSymmetric(a) : TridiagonalEigenSymmetric(a);
+  for (size_t i = 1; i < n; ++i) {
+    ASSERT_GE(eig.eigenvalues[i - 1], eig.eigenvalues[i]);
+  }
+}
+
+TEST_P(EigenSolverTest, EigenvectorsOrthonormal) {
+  const auto [n, use_jacobi] = GetParam();
+  Matrix a = RandomSymmetric(n, 300 + n);
+  EigenDecomposition eig =
+      use_jacobi ? JacobiEigenSymmetric(a) : TridiagonalEigenSymmetric(a);
+  EXPECT_LT(eig.eigenvectors.OrthogonalityError(), 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, EigenSolverTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5, 16, 40),
+                       ::testing::Bool()));
+
+TEST(EigenSolverTest, SolversAgreeOnEigenvalues) {
+  Matrix a = RandomSymmetric(24, 7);
+  EigenDecomposition jacobi = JacobiEigenSymmetric(a);
+  EigenDecomposition tri = TridiagonalEigenSymmetric(a);
+  for (size_t i = 0; i < 24; ++i) {
+    ASSERT_NEAR(jacobi.eigenvalues[i], tri.eigenvalues[i], 1e-3)
+        << "eigenvalue " << i;
+  }
+}
+
+TEST(EigenSolverTest, DiagonalMatrix) {
+  Matrix a(3, 3);
+  a.At(0, 0) = 1.0f;
+  a.At(1, 1) = 5.0f;
+  a.At(2, 2) = 3.0f;
+  EigenDecomposition eig = SymmetricEigen(a);
+  EXPECT_NEAR(eig.eigenvalues[0], 5.0f, 1e-5);
+  EXPECT_NEAR(eig.eigenvalues[1], 3.0f, 1e-5);
+  EXPECT_NEAR(eig.eigenvalues[2], 1.0f, 1e-5);
+}
+
+TEST(EigenSolverTest, KnownTwoByTwo) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1.
+  Matrix a(2, 2);
+  a.At(0, 0) = 2;
+  a.At(0, 1) = 1;
+  a.At(1, 0) = 1;
+  a.At(1, 1) = 2;
+  EigenDecomposition eig = SymmetricEigen(a);
+  EXPECT_NEAR(eig.eigenvalues[0], 3.0f, 1e-5);
+  EXPECT_NEAR(eig.eigenvalues[1], 1.0f, 1e-5);
+}
+
+TEST(EigenSolverTest, PsdMatrixNonNegativeEigenvalues) {
+  // B^T B is positive semi-definite.
+  Rng rng(9);
+  Matrix b(10, 6);
+  for (size_t r = 0; r < 10; ++r) {
+    for (size_t c = 0; c < 6; ++c) {
+      b.At(r, c) = static_cast<float>(rng.Gaussian());
+    }
+  }
+  Matrix a = b.Transposed().Multiply(b);
+  EigenDecomposition eig = SymmetricEigen(a);
+  for (float value : eig.eigenvalues) EXPECT_GE(value, -1e-3);
+}
+
+}  // namespace
+}  // namespace pdx

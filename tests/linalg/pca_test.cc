@@ -1,0 +1,156 @@
+#include "linalg/pca.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+#include "kernels/scalar_kernels.h"
+
+namespace pdx {
+namespace {
+
+// Correlated Gaussian data: strong variance along a few directions.
+std::vector<float> CorrelatedData(size_t count, size_t dim, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> data(count * dim);
+  for (size_t i = 0; i < count; ++i) {
+    const double shared1 = rng.Gaussian() * 4.0;
+    const double shared2 = rng.Gaussian() * 2.0;
+    for (size_t d = 0; d < dim; ++d) {
+      const double weight1 = std::sin(0.3 * double(d));
+      const double weight2 = std::cos(0.7 * double(d));
+      data[i * dim + d] = static_cast<float>(
+          shared1 * weight1 + shared2 * weight2 + 0.3 * rng.Gaussian());
+    }
+  }
+  return data;
+}
+
+TEST(PcaTest, ComponentsOrthonormal) {
+  const size_t dim = 24;
+  const auto data = CorrelatedData(500, dim, 1);
+  Pca pca;
+  pca.Fit(data.data(), 500, dim);
+  // Rows are components: check row-orthonormality via the transpose.
+  EXPECT_LT(pca.components().Transposed().OrthogonalityError(), 1e-3);
+}
+
+TEST(PcaTest, VariancesDescending) {
+  const size_t dim = 16;
+  const auto data = CorrelatedData(400, dim, 2);
+  Pca pca;
+  pca.Fit(data.data(), 400, dim);
+  const auto& variances = pca.explained_variance();
+  for (size_t i = 1; i < variances.size(); ++i) {
+    ASSERT_GE(variances[i - 1], variances[i] - 1e-4f);
+  }
+}
+
+TEST(PcaTest, LeadingComponentsCarryMostEnergy) {
+  const size_t dim = 32;
+  const auto data = CorrelatedData(600, dim, 3);
+  Pca pca;
+  pca.Fit(data.data(), 600, dim);
+  const auto& v = pca.explained_variance();
+  double total = 0.0;
+  double top4 = 0.0;
+  for (size_t i = 0; i < v.size(); ++i) {
+    total += v[i];
+    if (i < 4) top4 += v[i];
+  }
+  // Two shared factors + small noise: the top handful dominates.
+  EXPECT_GT(top4 / total, 0.7);
+}
+
+TEST(PcaTest, TransformPreservesL2Distances) {
+  const size_t dim = 20;
+  const size_t count = 300;
+  const auto data = CorrelatedData(count, dim, 4);
+  Pca pca;
+  pca.Fit(data.data(), count, dim);
+
+  std::vector<float> pa(dim);
+  std::vector<float> pb(dim);
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t i = rng.UniformInt(count);
+    const size_t j = rng.UniformInt(count);
+    pca.Transform(data.data() + i * dim, pa.data());
+    pca.Transform(data.data() + j * dim, pb.data());
+    const float original =
+        ScalarL2(data.data() + i * dim, data.data() + j * dim, dim);
+    const float projected = ScalarL2(pa.data(), pb.data(), dim);
+    ASSERT_NEAR(projected, original, 1e-2 + 1e-3 * original);
+  }
+}
+
+TEST(PcaTest, TransformBatchMatchesSingle) {
+  const size_t dim = 12;
+  const size_t count = 64;
+  const auto data = CorrelatedData(count, dim, 6);
+  Pca pca;
+  pca.Fit(data.data(), count, dim);
+
+  std::vector<float> batch(count * dim);
+  pca.TransformBatch(data.data(), count, batch.data());
+  std::vector<float> single(dim);
+  for (size_t i = 0; i < count; ++i) {
+    pca.Transform(data.data() + i * dim, single.data());
+    for (size_t d = 0; d < dim; ++d) {
+      ASSERT_NEAR(batch[i * dim + d], single[d], 2e-3);
+    }
+  }
+}
+
+TEST(PcaTest, ReconstructionErrorShrinksWithMoreComponents) {
+  const size_t dim = 16;
+  const size_t count = 256;
+  const auto data = CorrelatedData(count, dim, 7);
+  Pca pca;
+  pca.Fit(data.data(), count, dim);
+
+  std::vector<float> projected(dim);
+  std::vector<float> restored(dim);
+  double err_few = 0.0;
+  double err_many = 0.0;
+  for (size_t i = 0; i < count; ++i) {
+    pca.Transform(data.data() + i * dim, projected.data());
+    pca.InverseTransform(projected.data(), 2, restored.data());
+    err_few += ScalarL2(restored.data(), data.data() + i * dim, dim);
+    pca.InverseTransform(projected.data(), dim, restored.data());
+    err_many += ScalarL2(restored.data(), data.data() + i * dim, dim);
+  }
+  EXPECT_LT(err_many, err_few);
+  EXPECT_NEAR(err_many / count, 0.0, 1e-2);  // Full rank reconstructs.
+}
+
+TEST(PcaTest, SampledFitApproximatesFullFit) {
+  const size_t dim = 10;
+  const size_t count = 4000;
+  const auto data = CorrelatedData(count, dim, 8);
+  Pca full;
+  full.Fit(data.data(), count, dim);
+  Pca sampled;
+  sampled.Fit(data.data(), count, dim, /*max_samples=*/500);
+
+  // Leading explained variances should be close in relative terms.
+  for (size_t i = 0; i < 3; ++i) {
+    const double f = full.explained_variance()[i];
+    const double s = sampled.explained_variance()[i];
+    ASSERT_NEAR(s / f, 1.0, 0.25) << "component " << i;
+  }
+}
+
+TEST(PcaTest, FittedFlag) {
+  Pca pca;
+  EXPECT_FALSE(pca.fitted());
+  const auto data = CorrelatedData(10, 4, 9);
+  pca.Fit(data.data(), 10, 4);
+  EXPECT_TRUE(pca.fitted());
+  EXPECT_EQ(pca.dim(), 4u);
+}
+
+}  // namespace
+}  // namespace pdx

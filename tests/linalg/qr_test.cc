@@ -1,0 +1,75 @@
+#include "linalg/qr.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "linalg/matrix.h"
+
+namespace pdx {
+namespace {
+
+Matrix RandomMatrix(size_t rows, size_t cols, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(rows, cols);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      m.At(r, c) = static_cast<float>(rng.Gaussian());
+    }
+  }
+  return m;
+}
+
+class QrTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(QrTest, ReconstructsInput) {
+  const size_t n = GetParam();
+  Matrix a = RandomMatrix(n, n, 100 + n);
+  QrDecomposition qr = HouseholderQr(a);
+  Matrix reconstructed = qr.q.Multiply(qr.r);
+  // Tolerance scales with problem size (float storage of the factors).
+  EXPECT_LT(reconstructed.FrobeniusDistance(a), 1e-3 * double(n));
+}
+
+TEST_P(QrTest, QIsOrthogonal) {
+  const size_t n = GetParam();
+  Matrix a = RandomMatrix(n, n, 200 + n);
+  QrDecomposition qr = HouseholderQr(a);
+  EXPECT_LT(qr.q.OrthogonalityError(), 1e-4);
+}
+
+TEST_P(QrTest, RIsUpperTriangularWithPositiveDiagonal) {
+  const size_t n = GetParam();
+  Matrix a = RandomMatrix(n, n, 300 + n);
+  QrDecomposition qr = HouseholderQr(a);
+  for (size_t r = 0; r < n; ++r) {
+    EXPECT_GT(qr.r.At(r, r), 0.0f) << "diagonal " << r;
+    for (size_t c = 0; c < r; ++c) {
+      ASSERT_EQ(qr.r.At(r, c), 0.0f) << "below-diagonal " << r << "," << c;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, QrTest,
+                         ::testing::Values(1, 2, 3, 8, 16, 33, 64));
+
+TEST(QrTest, TallMatrix) {
+  Matrix a = RandomMatrix(10, 4, 999);
+  QrDecomposition qr = HouseholderQr(a);
+  EXPECT_EQ(qr.q.rows(), 10u);
+  EXPECT_EQ(qr.q.cols(), 10u);
+  EXPECT_EQ(qr.r.rows(), 10u);
+  EXPECT_EQ(qr.r.cols(), 4u);
+  Matrix reconstructed = qr.q.Multiply(qr.r);
+  EXPECT_LT(reconstructed.FrobeniusDistance(a), 1e-3);
+}
+
+TEST(QrTest, RankDeficientDoesNotCrash) {
+  Matrix a(4, 4);  // All zeros.
+  QrDecomposition qr = HouseholderQr(a);
+  EXPECT_LT(qr.q.Multiply(qr.r).FrobeniusDistance(a), 1e-5);
+}
+
+}  // namespace
+}  // namespace pdx

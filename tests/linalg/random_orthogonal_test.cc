@@ -1,0 +1,81 @@
+#include "linalg/random_orthogonal.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "kernels/scalar_kernels.h"
+
+namespace pdx {
+namespace {
+
+class RandomOrthogonalTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(RandomOrthogonalTest, IsOrthogonal) {
+  Rng rng(42);
+  Matrix q = RandomOrthogonalMatrix(GetParam(), rng);
+  EXPECT_LT(q.OrthogonalityError(), 1e-4);
+}
+
+TEST_P(RandomOrthogonalTest, PreservesDistances) {
+  const size_t dim = GetParam();
+  Rng rng(43);
+  Matrix q = RandomOrthogonalMatrix(dim, rng);
+
+  std::vector<float> a(dim);
+  std::vector<float> b(dim);
+  for (size_t d = 0; d < dim; ++d) {
+    a[d] = static_cast<float>(rng.Gaussian());
+    b[d] = static_cast<float>(rng.Gaussian());
+  }
+  std::vector<float> qa(dim);
+  std::vector<float> qb(dim);
+  q.Apply(a.data(), qa.data());
+  q.Apply(b.data(), qb.data());
+
+  const float original = ScalarL2(a.data(), b.data(), dim);
+  const float rotated = ScalarL2(qa.data(), qb.data(), dim);
+  EXPECT_NEAR(rotated, original, 1e-3 + 1e-4 * original);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, RandomOrthogonalTest,
+                         ::testing::Values(2, 8, 16, 50, 96));
+
+TEST(RandomOrthogonalTest, DeterministicPerSeed) {
+  Rng rng1(7);
+  Rng rng2(7);
+  Matrix a = RandomOrthogonalMatrix(12, rng1);
+  Matrix b = RandomOrthogonalMatrix(12, rng2);
+  EXPECT_DOUBLE_EQ(a.FrobeniusDistance(b), 0.0);
+}
+
+TEST(RandomOrthogonalTest, DifferentSeedsDiffer) {
+  Rng rng1(7);
+  Rng rng2(8);
+  Matrix a = RandomOrthogonalMatrix(12, rng1);
+  Matrix b = RandomOrthogonalMatrix(12, rng2);
+  EXPECT_GT(a.FrobeniusDistance(b), 0.1);
+}
+
+TEST(RandomOrthogonalTest, RotationMixesCoordinates) {
+  // The whole point of ADSampling's rotation: a vector concentrated on one
+  // coordinate gets spread across all of them.
+  const size_t dim = 64;
+  Rng rng(11);
+  Matrix q = RandomOrthogonalMatrix(dim, rng);
+  std::vector<float> basis(dim, 0.0f);
+  basis[0] = 1.0f;
+  std::vector<float> rotated(dim);
+  q.Apply(basis.data(), rotated.data());
+  // Max |component| of a random unit vector in R^64 is far below 1.
+  float max_abs = 0.0f;
+  for (float v : rotated) max_abs = std::max(max_abs, std::abs(v));
+  EXPECT_LT(max_abs, 0.9f);
+  EXPECT_NEAR(ScalarL2(rotated.data(), std::vector<float>(dim, 0.0f).data(),
+                       dim),
+              1.0f, 1e-3);
+}
+
+}  // namespace
+}  // namespace pdx

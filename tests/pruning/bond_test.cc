@@ -1,0 +1,175 @@
+#include "pruning/bond.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+#include "kernels/scalar_kernels.h"
+
+namespace pdx {
+namespace {
+
+bool IsPermutation(const std::vector<uint32_t>& order, size_t dim) {
+  if (order.size() != dim) return false;
+  std::set<uint32_t> seen(order.begin(), order.end());
+  return seen.size() == dim && *seen.rbegin() == dim - 1;
+}
+
+class VisitOrderTest : public ::testing::TestWithParam<DimensionOrder> {};
+
+TEST_P(VisitOrderTest, IsAlwaysAPermutation) {
+  const size_t dim = 37;
+  Rng rng(1);
+  std::vector<float> query(dim);
+  std::vector<float> means(dim);
+  for (size_t d = 0; d < dim; ++d) {
+    query[d] = static_cast<float>(rng.Gaussian());
+    means[d] = static_cast<float>(rng.Gaussian());
+  }
+  const auto order = ComputeVisitOrder(query.data(), means, GetParam(), 8);
+  EXPECT_TRUE(IsPermutation(order, dim))
+      << DimensionOrderName(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Criteria, VisitOrderTest,
+    ::testing::Values(DimensionOrder::kSequential,
+                      DimensionOrder::kDecreasingQuery,
+                      DimensionOrder::kDistanceToMeans,
+                      DimensionOrder::kDimensionZones));
+
+TEST(VisitOrderTest, SequentialIsIdentity) {
+  std::vector<float> query(5, 0.0f);
+  std::vector<float> means(5, 0.0f);
+  const auto order =
+      ComputeVisitOrder(query.data(), means, DimensionOrder::kSequential);
+  for (uint32_t d = 0; d < 5; ++d) EXPECT_EQ(order[d], d);
+}
+
+TEST(VisitOrderTest, DecreasingSortsByAbsoluteQueryValue) {
+  const std::vector<float> query = {0.5f, -3.0f, 1.0f, 2.0f};
+  const std::vector<float> means(4, 0.0f);
+  const auto order = ComputeVisitOrder(query.data(), means,
+                                       DimensionOrder::kDecreasingQuery);
+  EXPECT_EQ(order[0], 1u);  // |-3| biggest.
+  EXPECT_EQ(order[1], 3u);
+  EXPECT_EQ(order[2], 2u);
+  EXPECT_EQ(order[3], 0u);
+}
+
+TEST(VisitOrderTest, DistanceToMeansUsesMeans) {
+  // Query value 5 everywhere; means differ -> ranking by |5 - mean|.
+  const std::vector<float> query = {5.0f, 5.0f, 5.0f};
+  const std::vector<float> means = {5.0f, 0.0f, 3.0f};
+  const auto order = ComputeVisitOrder(query.data(), means,
+                                       DimensionOrder::kDistanceToMeans);
+  EXPECT_EQ(order[0], 1u);  // Distance 5.
+  EXPECT_EQ(order[1], 2u);  // Distance 2.
+  EXPECT_EQ(order[2], 0u);  // Distance 0.
+}
+
+TEST(VisitOrderTest, ZonesKeepDimensionsContiguous) {
+  const size_t dim = 32;
+  const size_t zone_size = 8;
+  Rng rng(2);
+  std::vector<float> query(dim);
+  std::vector<float> means(dim, 0.0f);
+  for (float& v : query) v = static_cast<float>(rng.Gaussian());
+  const auto order = ComputeVisitOrder(query.data(), means,
+                                       DimensionOrder::kDimensionZones,
+                                       zone_size);
+  ASSERT_TRUE(IsPermutation(order, dim));
+  // Within every zone-size window of the order, dims must be consecutive
+  // and ascending (whole zones are emitted atomically).
+  for (size_t z = 0; z < dim / zone_size; ++z) {
+    const uint32_t base = order[z * zone_size];
+    EXPECT_EQ(base % zone_size, 0u) << "zone " << z << " starts mid-zone";
+    for (size_t j = 1; j < zone_size; ++j) {
+      ASSERT_EQ(order[z * zone_size + j], base + j);
+    }
+  }
+}
+
+TEST(VisitOrderTest, ZonesRankedByDistanceToMeans) {
+  // Two zones of two dims; second zone has far larger |q - mean|.
+  const std::vector<float> query = {0.1f, 0.1f, 9.0f, 9.0f};
+  const std::vector<float> means = {0.0f, 0.0f, 0.0f, 0.0f};
+  const auto order = ComputeVisitOrder(query.data(), means,
+                                       DimensionOrder::kDimensionZones, 2);
+  EXPECT_EQ(order[0], 2u);
+  EXPECT_EQ(order[1], 3u);
+  EXPECT_EQ(order[2], 0u);
+  EXPECT_EQ(order[3], 1u);
+}
+
+TEST(VisitOrderTest, ZoneSizeLargerThanDim) {
+  const std::vector<float> query = {1.0f, 2.0f};
+  const std::vector<float> means = {0.0f, 0.0f};
+  const auto order = ComputeVisitOrder(query.data(), means,
+                                       DimensionOrder::kDimensionZones, 64);
+  EXPECT_TRUE(IsPermutation(order, 2));
+}
+
+TEST(BondBoundTest, UpperBoundDominatesTrueDistance) {
+  const size_t dim = 12;
+  Rng rng(3);
+  const size_t count = 200;
+  std::vector<float> data(count * dim);
+  for (float& v : data) v = static_cast<float>(rng.Gaussian());
+  DimensionStats stats = ComputeStats(data.data(), count, dim);
+
+  std::vector<float> query(dim);
+  for (float& v : query) v = static_cast<float>(rng.Gaussian());
+
+  std::vector<uint32_t> order(dim);
+  std::iota(order.begin(), order.end(), 0);
+  const auto suffix = BondUpperBoundSuffix(query.data(), stats, order);
+  ASSERT_EQ(suffix.size(), dim + 1);
+  EXPECT_FLOAT_EQ(suffix[dim], 0.0f);
+
+  // partial(j) + suffix[j] >= full distance for every vector and depth.
+  for (size_t i = 0; i < count; ++i) {
+    const float* v = data.data() + i * dim;
+    const float full = ScalarL2(query.data(), v, dim);
+    float partial = 0.0f;
+    for (size_t j = 0; j <= dim; ++j) {
+      ASSERT_GE(partial + suffix[j], full * (1.0f - 1e-5f) - 1e-4f)
+          << "vector " << i << " depth " << j;
+      if (j < dim) {
+        const float diff = query[order[j]] - v[order[j]];
+        partial += diff * diff;
+      }
+    }
+  }
+}
+
+TEST(BondBoundTest, SuffixDecreasesMonotonically) {
+  const size_t dim = 6;
+  Rng rng(4);
+  std::vector<float> data(50 * dim);
+  for (float& v : data) v = static_cast<float>(rng.Gaussian());
+  DimensionStats stats = ComputeStats(data.data(), 50, dim);
+  std::vector<float> query(dim, 0.5f);
+  std::vector<uint32_t> order(dim);
+  std::iota(order.begin(), order.end(), 0);
+  const auto suffix = BondUpperBoundSuffix(query.data(), stats, order);
+  for (size_t j = 1; j <= dim; ++j) ASSERT_LE(suffix[j], suffix[j - 1]);
+}
+
+TEST(BondTest, OrderNames) {
+  EXPECT_STREQ(DimensionOrderName(DimensionOrder::kSequential), "sequential");
+  EXPECT_STREQ(DimensionOrderName(DimensionOrder::kDecreasingQuery),
+               "decreasing");
+  EXPECT_STREQ(DimensionOrderName(DimensionOrder::kDistanceToMeans),
+               "distance-to-means");
+  EXPECT_STREQ(DimensionOrderName(DimensionOrder::kDimensionZones),
+               "dimension-zones");
+}
+
+}  // namespace
+}  // namespace pdx

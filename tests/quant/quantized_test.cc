@@ -1,0 +1,186 @@
+#include "quant/quantized_store.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "benchlib/datagen.h"
+#include "benchlib/recall.h"
+#include "index/flat.h"
+#include "kernels/scalar_kernels.h"
+#include "quant/quantized_kernels.h"
+
+namespace pdx {
+namespace {
+
+Dataset MakeDataset(size_t dim, ValueDistribution distribution,
+                    uint64_t seed) {
+  SyntheticSpec spec;
+  spec.name = "quant-test";
+  spec.dim = dim;
+  spec.count = 2000;
+  spec.num_queries = 10;
+  spec.num_clusters = 8;
+  spec.seed = seed;
+  spec.distribution = distribution;
+  return GenerateDataset(spec);
+}
+
+TEST(QuantizedStoreTest, RoundTripWithinHalfStep) {
+  Dataset dataset = MakeDataset(12, ValueDistribution::kNormal, 1);
+  QuantizedPdxStore store = QuantizedPdxStore::FromVectorSet(dataset.data);
+  std::vector<float> restored(12);
+  for (VectorId id = 0; id < 200; ++id) {
+    store.Dequantize(id, restored.data());
+    for (size_t d = 0; d < 12; ++d) {
+      const float tolerance = store.scales()[d] * 0.5f + 1e-6f;
+      ASSERT_NEAR(restored[d], dataset.data.Vector(id)[d], tolerance)
+          << "vector " << id << " dim " << d;
+    }
+  }
+}
+
+TEST(QuantizedStoreTest, CodesCoverFullRangePerDimension) {
+  Dataset dataset = MakeDataset(6, ValueDistribution::kSkewed, 2);
+  QuantizedPdxStore store = QuantizedPdxStore::FromVectorSet(dataset.data);
+  // Min and max of every dimension land on codes 0 and 255 respectively,
+  // so the whole budget is used.
+  for (size_t d = 0; d < 6; ++d) {
+    uint8_t lo = 255;
+    uint8_t hi = 0;
+    for (size_t b = 0; b < store.num_blocks(); ++b) {
+      const uint8_t* codes = store.BlockData(b) + d * store.BlockCount(b);
+      for (size_t i = 0; i < store.BlockCount(b); ++i) {
+        lo = std::min(lo, codes[i]);
+        hi = std::max(hi, codes[i]);
+      }
+    }
+    EXPECT_EQ(lo, 0) << "dim " << d;
+    EXPECT_EQ(hi, 255) << "dim " << d;
+  }
+}
+
+TEST(QuantizedStoreTest, ConstantDimensionSafe) {
+  VectorSet vectors(2);
+  for (int i = 0; i < 10; ++i) {
+    const float row[2] = {5.0f, float(i)};
+    vectors.Append(row);
+  }
+  QuantizedPdxStore store = QuantizedPdxStore::FromVectorSet(vectors);
+  std::vector<float> restored(2);
+  store.Dequantize(3, restored.data());
+  EXPECT_FLOAT_EQ(restored[0], 5.0f);
+  EXPECT_NEAR(restored[1], 3.0f, 0.02f);
+}
+
+TEST(QuantizedKernelsTest, DistanceMatchesDequantizedReference) {
+  Dataset dataset = MakeDataset(24, ValueDistribution::kNormal, 3);
+  QuantizedPdxStore store = QuantizedPdxStore::FromVectorSet(dataset.data);
+  const float* query = dataset.queries.Vector(0);
+
+  std::vector<float> query_prime(24);
+  std::vector<float> weights(24);
+  store.TransformQuery(query, query_prime.data(), weights.data());
+  std::vector<float> out(store.count());
+  QuantizedPdxLinearScan(store, query_prime.data(), weights.data(),
+                         out.data());
+
+  std::vector<float> restored(24);
+  for (VectorId id = 0; id < 100; ++id) {
+    store.Dequantize(id, restored.data());
+    const float expected = ScalarL2(query, restored.data(), 24);
+    ASSERT_NEAR(out[id], expected, 1e-2f + 1e-3f * expected)
+        << "vector " << id;
+  }
+}
+
+TEST(QuantizedKernelsTest, QuantizedDistanceWithinErrorBound) {
+  Dataset dataset = MakeDataset(16, ValueDistribution::kSkewed, 4);
+  QuantizedPdxStore store = QuantizedPdxStore::FromVectorSet(dataset.data);
+  for (size_t q = 0; q < 3; ++q) {
+    const float* query = dataset.queries.Vector(q);
+    std::vector<float> query_prime(16);
+    std::vector<float> weights(16);
+    store.TransformQuery(query, query_prime.data(), weights.data());
+    std::vector<float> out(store.count());
+    QuantizedPdxLinearScan(store, query_prime.data(), weights.data(),
+                           out.data());
+    const double bound = store.MaxDistanceError(query);
+    for (size_t i = 0; i < store.count(); ++i) {
+      const float exact = ScalarL2(query, dataset.data.Vector(i), 16);
+      ASSERT_LE(std::fabs(out[i] - exact), bound * (1.0 + 1e-3) + 1e-2)
+          << "vector " << i;
+    }
+  }
+}
+
+using QuantSearchParam = std::tuple<size_t, ValueDistribution>;
+
+class QuantizedSearchTest
+    : public ::testing::TestWithParam<QuantSearchParam> {};
+
+TEST_P(QuantizedSearchTest, RerankedSearchNearExactRecall) {
+  const auto [dim, distribution] = GetParam();
+  Dataset dataset = MakeDataset(dim, distribution, 50 + dim);
+  QuantizedPdxStore store = QuantizedPdxStore::FromVectorSet(dataset.data);
+  const auto truth =
+      ComputeGroundTruth(dataset.data, dataset.queries, 10, Metric::kL2);
+
+  double recall_sum = 0.0;
+  for (size_t q = 0; q < dataset.queries.count(); ++q) {
+    const auto result = QuantizedFlatSearch(
+        store, dataset.data, dataset.queries.Vector(q), 10,
+        /*rerank_factor=*/4);
+    recall_sum += RecallAtK(result, truth[q], 10);
+  }
+  EXPECT_GT(recall_sum / dataset.queries.count(), 0.97);
+}
+
+TEST_P(QuantizedSearchTest, UnrerankedStillDecent) {
+  const auto [dim, distribution] = GetParam();
+  Dataset dataset = MakeDataset(dim, distribution, 70 + dim);
+  QuantizedPdxStore store = QuantizedPdxStore::FromVectorSet(dataset.data);
+  const auto truth =
+      ComputeGroundTruth(dataset.data, dataset.queries, 10, Metric::kL2);
+  double recall_sum = 0.0;
+  for (size_t q = 0; q < dataset.queries.count(); ++q) {
+    const auto result = QuantizedFlatSearch(
+        store, dataset.data, dataset.queries.Vector(q), 10,
+        /*rerank_factor=*/0);
+    recall_sum += RecallAtK(result, truth[q], 10);
+  }
+  EXPECT_GT(recall_sum / dataset.queries.count(), 0.8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, QuantizedSearchTest,
+    ::testing::Combine(::testing::Values(16, 64),
+                       ::testing::Values(ValueDistribution::kNormal,
+                                         ValueDistribution::kSkewed)),
+    [](const ::testing::TestParamInfo<QuantSearchParam>& info) {
+      return "d" + std::to_string(std::get<0>(info.param)) + "_" +
+             ValueDistributionName(std::get<1>(info.param));
+    });
+
+TEST(QuantizedSearchTest, RerankFactorImprovesRecall) {
+  Dataset dataset = MakeDataset(32, ValueDistribution::kNormal, 90);
+  QuantizedPdxStore store = QuantizedPdxStore::FromVectorSet(dataset.data);
+  const auto truth =
+      ComputeGroundTruth(dataset.data, dataset.queries, 10, Metric::kL2);
+  auto recall_at_factor = [&](size_t factor) {
+    double sum = 0.0;
+    for (size_t q = 0; q < dataset.queries.count(); ++q) {
+      const auto result = QuantizedFlatSearch(
+          store, dataset.data, dataset.queries.Vector(q), 10, factor);
+      sum += RecallAtK(result, truth[q], 10);
+    }
+    return sum / dataset.queries.count();
+  };
+  EXPECT_GE(recall_at_factor(8) + 1e-9, recall_at_factor(1));
+}
+
+}  // namespace
+}  // namespace pdx

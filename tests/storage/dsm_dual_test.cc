@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "storage/dsm_store.h"
+#include "storage/dual_block.h"
+#include "storage/vector_set.h"
+
+namespace pdx {
+namespace {
+
+VectorSet RandomVectors(size_t count, size_t dim, uint64_t seed) {
+  Rng rng(seed);
+  VectorSet set(dim, count);
+  std::vector<float> row(dim);
+  for (size_t i = 0; i < count; ++i) {
+    for (float& v : row) v = static_cast<float>(rng.Gaussian());
+    set.Append(row.data());
+  }
+  return set;
+}
+
+TEST(DsmStoreTest, ColumnsHoldDimensionValues) {
+  VectorSet vectors = RandomVectors(50, 6, 1);
+  DsmStore store = DsmStore::FromVectorSet(vectors);
+  EXPECT_EQ(store.count(), 50u);
+  EXPECT_EQ(store.dim(), 6u);
+  for (size_t d = 0; d < 6; ++d) {
+    const float* column = store.Dimension(d);
+    for (size_t i = 0; i < 50; ++i) {
+      ASSERT_EQ(column[i], vectors.Vector(i)[d]) << "dim " << d << " i " << i;
+    }
+  }
+}
+
+TEST(DsmStoreTest, EmptyCollection) {
+  VectorSet vectors(4);
+  DsmStore store = DsmStore::FromVectorSet(vectors);
+  EXPECT_EQ(store.count(), 0u);
+}
+
+class DualBlockTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(DualBlockTest, HeadTailReconstruct) {
+  const size_t split = GetParam();
+  const size_t dim = 12;
+  VectorSet vectors = RandomVectors(20, dim, 2);
+  DualBlockStore store = DualBlockStore::FromVectorSet(vectors, split);
+  EXPECT_EQ(store.split_dim(), std::min(split, dim));
+
+  for (size_t i = 0; i < 20; ++i) {
+    const float* original = vectors.Vector(i);
+    for (size_t d = 0; d < store.split_dim(); ++d) {
+      ASSERT_EQ(store.Head(i)[d], original[d]);
+    }
+    for (size_t d = store.split_dim(); d < dim; ++d) {
+      ASSERT_EQ(store.Tail(i)[d - store.split_dim()], original[d]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Splits, DualBlockTest,
+                         ::testing::Values(0, 1, 4, 11, 12, 50));
+
+TEST(DualBlockTest, HeadsAreContiguous) {
+  const size_t dim = 8;
+  const size_t split = 3;
+  VectorSet vectors = RandomVectors(5, dim, 3);
+  DualBlockStore store = DualBlockStore::FromVectorSet(vectors, split);
+  // Head(i+1) should start exactly split floats after Head(i).
+  for (size_t i = 0; i + 1 < 5; ++i) {
+    EXPECT_EQ(store.Head(i) + split, store.Head(i + 1));
+  }
+}
+
+}  // namespace
+}  // namespace pdx

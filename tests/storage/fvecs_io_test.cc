@@ -1,0 +1,148 @@
+#include "storage/fvecs_io.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+namespace pdx {
+namespace {
+
+class FvecsIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("pdx_fvecs_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+VectorSet RandomVectors(size_t count, size_t dim, uint64_t seed) {
+  Rng rng(seed);
+  VectorSet set(dim, count);
+  std::vector<float> row(dim);
+  for (size_t i = 0; i < count; ++i) {
+    for (float& v : row) v = static_cast<float>(rng.Gaussian());
+    set.Append(row.data());
+  }
+  return set;
+}
+
+TEST_F(FvecsIoTest, FvecsRoundTrip) {
+  VectorSet original = RandomVectors(37, 9, 1);
+  ASSERT_TRUE(WriteFvecs(Path("a.fvecs"), original).ok());
+  Result<VectorSet> restored = ReadFvecs(Path("a.fvecs"));
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ASSERT_EQ(restored.value().count(), 37u);
+  ASSERT_EQ(restored.value().dim(), 9u);
+  for (size_t i = 0; i < 37; ++i) {
+    for (size_t d = 0; d < 9; ++d) {
+      ASSERT_EQ(restored.value().Vector(i)[d], original.Vector(i)[d]);
+    }
+  }
+}
+
+TEST_F(FvecsIoTest, EmptyFvecsFile) {
+  VectorSet empty(5);
+  ASSERT_TRUE(WriteFvecs(Path("empty.fvecs"), empty).ok());
+  Result<VectorSet> restored = ReadFvecs(Path("empty.fvecs"));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value().count(), 0u);
+}
+
+TEST_F(FvecsIoTest, MissingFileIsIoError) {
+  Result<VectorSet> result = ReadFvecs(Path("does_not_exist.fvecs"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsIoError());
+}
+
+TEST_F(FvecsIoTest, TruncatedRecordIsCorruption) {
+  // Write a header claiming 8 floats but provide only 2.
+  std::FILE* f = std::fopen(Path("trunc.fvecs").c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const int32_t dim = 8;
+  const float values[2] = {1.0f, 2.0f};
+  std::fwrite(&dim, sizeof(dim), 1, f);
+  std::fwrite(values, sizeof(float), 2, f);
+  std::fclose(f);
+
+  Result<VectorSet> result = ReadFvecs(Path("trunc.fvecs"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCorruption());
+}
+
+TEST_F(FvecsIoTest, InconsistentDimIsCorruption) {
+  std::FILE* f = std::fopen(Path("mixed.fvecs").c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const float values[4] = {1, 2, 3, 4};
+  int32_t dim = 2;
+  std::fwrite(&dim, sizeof(dim), 1, f);
+  std::fwrite(values, sizeof(float), 2, f);
+  dim = 4;
+  std::fwrite(&dim, sizeof(dim), 1, f);
+  std::fwrite(values, sizeof(float), 4, f);
+  std::fclose(f);
+
+  Result<VectorSet> result = ReadFvecs(Path("mixed.fvecs"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCorruption());
+}
+
+TEST_F(FvecsIoTest, NegativeDimIsCorruption) {
+  std::FILE* f = std::fopen(Path("neg.fvecs").c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const int32_t dim = -3;
+  std::fwrite(&dim, sizeof(dim), 1, f);
+  std::fclose(f);
+  Result<VectorSet> result = ReadFvecs(Path("neg.fvecs"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCorruption());
+}
+
+TEST_F(FvecsIoTest, IvecsRoundTrip) {
+  std::vector<std::vector<int32_t>> rows = {
+      {1, 2, 3}, {4, 5, 6}, {-1, 0, 7}};
+  ASSERT_TRUE(WriteIvecs(Path("gt.ivecs"), rows).ok());
+  auto restored = ReadIvecs(Path("gt.ivecs"));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value(), rows);
+}
+
+TEST_F(FvecsIoTest, IvecsRaggedRowsRejected) {
+  std::vector<std::vector<int32_t>> rows = {{1, 2}, {3}};
+  Status status = WriteIvecs(Path("ragged.ivecs"), rows);
+  ASSERT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsInvalidArgument());
+}
+
+TEST_F(FvecsIoTest, BvecsRoundTripWithClamping) {
+  VectorSet original(3);
+  const float r0[3] = {0.0f, 128.0f, 255.0f};
+  const float r1[3] = {-5.0f, 300.0f, 12.4f};  // Clamp + round.
+  original.Append(r0);
+  original.Append(r1);
+  ASSERT_TRUE(WriteBvecs(Path("b.bvecs"), original).ok());
+  auto restored = ReadBvecs(Path("b.bvecs"));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_FLOAT_EQ(restored.value().Vector(0)[1], 128.0f);
+  EXPECT_FLOAT_EQ(restored.value().Vector(1)[0], 0.0f);    // Clamped up.
+  EXPECT_FLOAT_EQ(restored.value().Vector(1)[1], 255.0f);  // Clamped down.
+  EXPECT_FLOAT_EQ(restored.value().Vector(1)[2], 12.0f);   // Rounded.
+}
+
+}  // namespace
+}  // namespace pdx

@@ -1,0 +1,150 @@
+#include "storage/pdx_store.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+#include "storage/vector_set.h"
+
+namespace pdx {
+namespace {
+
+VectorSet RandomVectors(size_t count, size_t dim, uint64_t seed) {
+  Rng rng(seed);
+  VectorSet set(dim, count);
+  std::vector<float> row(dim);
+  for (size_t i = 0; i < count; ++i) {
+    for (float& v : row) v = static_cast<float>(rng.Gaussian());
+    set.Append(row.data());
+  }
+  return set;
+}
+
+class PdxStoreRoundTripTest
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t, size_t>> {};
+
+TEST_P(PdxStoreRoundTripTest, TransposeRoundTrip) {
+  const auto [count, dim, block_capacity] = GetParam();
+  VectorSet original = RandomVectors(count, dim, count * 31 + dim);
+  PdxStore store = PdxStore::FromVectorSet(original, block_capacity);
+  EXPECT_EQ(store.count(), count);
+  EXPECT_EQ(store.dim(), dim);
+
+  VectorSet restored = store.ToVectorSet();
+  ASSERT_EQ(restored.count(), count);
+  for (size_t i = 0; i < count; ++i) {
+    for (size_t d = 0; d < dim; ++d) {
+      ASSERT_EQ(restored.Vector(i)[d], original.Vector(i)[d])
+          << "vector " << i << " dim " << d;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PdxStoreRoundTripTest,
+    ::testing::Values(std::make_tuple(1, 4, 64), std::make_tuple(64, 8, 64),
+                      std::make_tuple(65, 8, 64), std::make_tuple(100, 3, 16),
+                      std::make_tuple(130, 5, 64),
+                      std::make_tuple(1000, 12, 256),
+                      std::make_tuple(63, 7, 64)));
+
+TEST(PdxStoreTest, BlockCountAndSizes) {
+  VectorSet vectors = RandomVectors(130, 4, 1);
+  PdxStore store = PdxStore::FromVectorSet(vectors, 64);
+  ASSERT_EQ(store.num_blocks(), 3u);
+  EXPECT_EQ(store.block(0).count(), 64u);
+  EXPECT_EQ(store.block(1).count(), 64u);
+  EXPECT_EQ(store.block(2).count(), 2u);
+}
+
+TEST(PdxStoreTest, DimensionMajorWithinBlock) {
+  VectorSet vectors(2);
+  const float r0[2] = {1.0f, 2.0f};
+  const float r1[2] = {3.0f, 4.0f};
+  vectors.Append(r0);
+  vectors.Append(r1);
+  PdxStore store = PdxStore::FromVectorSet(vectors, 64);
+  const PdxBlock& block = store.block(0);
+  // Dimension 0 of both vectors adjacent, then dimension 1.
+  EXPECT_FLOAT_EQ(block.Dimension(0)[0], 1.0f);
+  EXPECT_FLOAT_EQ(block.Dimension(0)[1], 3.0f);
+  EXPECT_FLOAT_EQ(block.Dimension(1)[0], 2.0f);
+  EXPECT_FLOAT_EQ(block.Dimension(1)[1], 4.0f);
+}
+
+TEST(PdxStoreTest, GroupsMapToBlocks) {
+  VectorSet vectors = RandomVectors(200, 6, 2);
+  std::vector<std::vector<VectorId>> groups(3);
+  for (VectorId id = 0; id < 200; ++id) groups[id % 3].push_back(id);
+  PdxStore store = PdxStore::FromGroups(vectors, groups, 32);
+  ASSERT_EQ(store.num_groups(), 3u);
+
+  // Every group's blocks hold exactly the group's ids.
+  for (size_t g = 0; g < 3; ++g) {
+    const auto [first, last] = store.GroupBlockRange(g);
+    std::set<VectorId> found;
+    for (size_t b = first; b < last; ++b) {
+      for (VectorId id : store.block(b).ids()) found.insert(id);
+    }
+    std::set<VectorId> expected(groups[g].begin(), groups[g].end());
+    EXPECT_EQ(found, expected) << "group " << g;
+  }
+}
+
+TEST(PdxStoreTest, GroupsWithEmptyGroup) {
+  VectorSet vectors = RandomVectors(10, 3, 3);
+  std::vector<std::vector<VectorId>> groups(3);
+  for (VectorId id = 0; id < 10; ++id) groups[2].push_back(id);
+  PdxStore store = PdxStore::FromGroups(vectors, groups, 4);
+  const auto [f0, l0] = store.GroupBlockRange(0);
+  EXPECT_EQ(f0, l0);  // Empty group -> empty block range.
+  const auto [f2, l2] = store.GroupBlockRange(2);
+  EXPECT_EQ(l2 - f2, 3u);  // ceil(10/4).
+}
+
+TEST(PdxStoreTest, CollectionStatsMatchDirectComputation) {
+  VectorSet vectors = RandomVectors(300, 5, 4);
+  PdxStore store = PdxStore::FromVectorSet(vectors, 64);
+  const DimensionStats direct =
+      ComputeStats(vectors.data(), vectors.count(), vectors.dim());
+  for (size_t d = 0; d < 5; ++d) {
+    EXPECT_NEAR(store.stats().means[d], direct.means[d], 1e-4);
+    EXPECT_NEAR(store.stats().variances[d], direct.variances[d], 1e-3);
+    EXPECT_EQ(store.stats().minimums[d], direct.minimums[d]);
+    EXPECT_EQ(store.stats().maximums[d], direct.maximums[d]);
+  }
+}
+
+TEST(PdxStoreTest, BlockStatsPerBlock) {
+  VectorSet vectors(1);
+  for (float v : {1.0f, 2.0f, 3.0f, 10.0f}) vectors.Append(&v);
+  PdxStore store = PdxStore::FromVectorSet(vectors, 2);
+  ASSERT_EQ(store.num_blocks(), 2u);
+  EXPECT_FLOAT_EQ(store.block_stats()[0].means[0], 1.5f);
+  EXPECT_FLOAT_EQ(store.block_stats()[1].means[0], 6.5f);
+  EXPECT_FLOAT_EQ(store.stats().means[0], 4.0f);
+}
+
+TEST(PdxBlockTest, FillAndExtractLane) {
+  PdxBlock block(3, 4);
+  const float row[3] = {7.0f, 8.0f, 9.0f};
+  block.FillLane(2, row, 42);
+  EXPECT_EQ(block.id(2), 42u);
+  float out[3];
+  block.ExtractLane(2, out);
+  EXPECT_FLOAT_EQ(out[0], 7.0f);
+  EXPECT_FLOAT_EQ(out[1], 8.0f);
+  EXPECT_FLOAT_EQ(out[2], 9.0f);
+}
+
+TEST(PdxBlockTest, UnfilledLanesAreZero) {
+  PdxBlock block(2, 3);
+  EXPECT_FLOAT_EQ(block.At(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(block.At(1, 2), 0.0f);
+}
+
+}  // namespace
+}  // namespace pdx

@@ -1,0 +1,123 @@
+#include "storage/vector_set.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+
+namespace pdx {
+namespace {
+
+std::vector<float> MakeRow(size_t dim, float base) {
+  std::vector<float> row(dim);
+  for (size_t d = 0; d < dim; ++d) row[d] = base + float(d);
+  return row;
+}
+
+TEST(VectorSetTest, EmptyConstruction) {
+  VectorSet set(8);
+  EXPECT_EQ(set.dim(), 8u);
+  EXPECT_EQ(set.count(), 0u);
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(VectorSetTest, AppendAssignsSequentialIds) {
+  VectorSet set(4);
+  const auto r0 = MakeRow(4, 0.0f);
+  const auto r1 = MakeRow(4, 10.0f);
+  EXPECT_EQ(set.Append(r0.data()), 0u);
+  EXPECT_EQ(set.Append(r1.data()), 1u);
+  EXPECT_EQ(set.count(), 2u);
+  EXPECT_FLOAT_EQ(set.Vector(1)[2], 12.0f);
+}
+
+TEST(VectorSetTest, AppendBatch) {
+  std::vector<float> rows = {1, 2, 3, 4, 5, 6};
+  VectorSet set(3);
+  set.AppendBatch(rows.data(), 2);
+  EXPECT_EQ(set.count(), 2u);
+  EXPECT_FLOAT_EQ(set.Vector(0)[0], 1.0f);
+  EXPECT_FLOAT_EQ(set.Vector(1)[2], 6.0f);
+}
+
+TEST(VectorSetTest, GrowthBeyondInitialCapacity) {
+  VectorSet set(2, 1);
+  for (int i = 0; i < 100; ++i) {
+    const float row[2] = {float(i), float(-i)};
+    set.Append(row);
+  }
+  EXPECT_EQ(set.count(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_FLOAT_EQ(set.Vector(i)[0], float(i));
+    ASSERT_FLOAT_EQ(set.Vector(i)[1], float(-i));
+  }
+}
+
+TEST(VectorSetTest, UpdateInPlace) {
+  VectorSet set(3);
+  set.Append(MakeRow(3, 0.0f).data());
+  const float updated[3] = {9, 8, 7};
+  set.Update(0, updated);
+  EXPECT_FLOAT_EQ(set.Vector(0)[0], 9.0f);
+  EXPECT_FLOAT_EQ(set.Vector(0)[2], 7.0f);
+}
+
+TEST(VectorSetTest, CloneIsDeep) {
+  VectorSet set(2);
+  const float row[2] = {1.0f, 2.0f};
+  set.Append(row);
+  VectorSet copy = set.Clone();
+  const float changed[2] = {5.0f, 5.0f};
+  copy.Update(0, changed);
+  EXPECT_FLOAT_EQ(set.Vector(0)[0], 1.0f);
+  EXPECT_FLOAT_EQ(copy.Vector(0)[0], 5.0f);
+}
+
+TEST(VectorSetTest, SelectPreservesOrder) {
+  VectorSet set(2);
+  for (int i = 0; i < 5; ++i) {
+    const float row[2] = {float(i), 0.0f};
+    set.Append(row);
+  }
+  VectorSet selected = set.Select({4, 0, 2});
+  ASSERT_EQ(selected.count(), 3u);
+  EXPECT_FLOAT_EQ(selected.Vector(0)[0], 4.0f);
+  EXPECT_FLOAT_EQ(selected.Vector(1)[0], 0.0f);
+  EXPECT_FLOAT_EQ(selected.Vector(2)[0], 2.0f);
+}
+
+TEST(VectorSetTest, DimensionMeans) {
+  VectorSet set(2);
+  const float r0[2] = {1.0f, 10.0f};
+  const float r1[2] = {3.0f, 30.0f};
+  set.Append(r0);
+  set.Append(r1);
+  const auto means = set.DimensionMeans();
+  ASSERT_EQ(means.size(), 2u);
+  EXPECT_FLOAT_EQ(means[0], 2.0f);
+  EXPECT_FLOAT_EQ(means[1], 20.0f);
+}
+
+TEST(VectorSetTest, DimensionMeansOfEmpty) {
+  VectorSet set(3);
+  const auto means = set.DimensionMeans();
+  for (float m : means) EXPECT_FLOAT_EQ(m, 0.0f);
+}
+
+TEST(VectorSetTest, FromRowMajor) {
+  Rng rng(1);
+  std::vector<float> data(12 * 7);
+  for (float& v : data) v = static_cast<float>(rng.Gaussian());
+  VectorSet set = VectorSet::FromRowMajor(data.data(), 12, 7);
+  EXPECT_EQ(set.count(), 12u);
+  EXPECT_EQ(set.dim(), 7u);
+  for (size_t i = 0; i < 12; ++i) {
+    for (size_t d = 0; d < 7; ++d) {
+      ASSERT_EQ(set.Vector(i)[d], data[i * 7 + d]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pdx

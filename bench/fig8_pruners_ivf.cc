@@ -19,32 +19,39 @@ namespace {
 void RunDataset(const SyntheticSpec& spec) {
   bench::IvfScenario s = bench::BuildIvfScenario(spec);
 
-  auto ads = MakeAdsIvfSearcher(s.dataset.data, s.index, {});
-  BsaConfig bsa_config;
-  // The paper tunes BSA's multiplier per dataset to match ADSampling's
-  // recall; the m-scaled bound is far too aggressive at low D (few suffix
-  // dims to absorb the estimate's error), so keep the exact bound there.
-  bsa_config.multiplier = s.dataset.dim() >= 128 ? 0.8f : 1.0f;
-  auto bsa = MakeBsaIvfSearcher(s.dataset.data, s.index, bsa_config);
-  auto bond = MakeBondIvfSearcher(s.dataset.data, s.index, {});
+  // The whole pruner roster through the runtime facade, sharing one IVF
+  // index (threads = 1: the paper's single-threaded query methodology).
+  std::vector<NamedSearcher> roster = BuildPrunerRoster(
+      s.dataset.data, &s.index, SearcherLayout::kIvf, s.k,
+      /*nprobe=*/16, /*threads=*/1,
+      [&](const std::string&, SearcherConfig& config) {
+        if (config.pruner == PrunerKind::kLinear) {
+          return false;  // The FAISS-like scan below is the baseline here.
+        }
+        // The paper tunes BSA's multiplier per dataset to match
+        // ADSampling's recall; the m-scaled bound is far too aggressive at
+        // low D (few suffix dims to absorb the estimate's error), so keep
+        // the exact bound there.
+        if (config.pruner == PrunerKind::kBsa) {
+          config.bsa_multiplier = s.dataset.dim() >= 128 ? 0.8f : 1.0f;
+        }
+        return true;
+      });
 
   TextTable table({"dataset", "nprobe", "method", "recall@10",
                           "QPS"});
   for (size_t nprobe : bench::NprobeLadder(s.index.num_buckets())) {
-    auto add = [&](const char* method, const bench::SweepResult& r) {
+    auto add = [&](const std::string& method, const bench::SweepResult& r) {
       table.AddRow({spec.name, std::to_string(nprobe), method,
                     TextTable::Num(r.recall, 3),
                     TextTable::Num(r.qps, 0)});
     };
-    add("PDX-ADS", bench::MeasureSweep(s, [&](size_t q) {
-          return ads->Search(s.dataset.queries.Vector(q), s.k, nprobe);
-        }));
-    add("PDX-BSA", bench::MeasureSweep(s, [&](size_t q) {
-          return bsa->Search(s.dataset.queries.Vector(q), s.k, nprobe);
-        }));
-    add("PDX-BOND", bench::MeasureSweep(s, [&](size_t q) {
-          return bond->Search(s.dataset.queries.Vector(q), s.k, nprobe);
-        }));
+    for (NamedSearcher& entry : roster) {
+      entry.searcher->set_nprobe(nprobe);
+      add(entry.name, bench::MeasureSweep(s, [&](size_t q) {
+            return entry.searcher->Search(s.dataset.queries.Vector(q));
+          }));
+    }
     add("FAISS-like", bench::MeasureSweep(s, [&](size_t q) {
           return IvfNarySearch(s.index, s.ordered,
                                s.dataset.queries.Vector(q), s.k, nprobe);

@@ -35,12 +35,15 @@ int main() {
   pdx::Dataset dataset = pdx::GenerateDataset(spec);
   const size_t k = 10;
 
-  // Competing exact searchers over the same collection.
+  // Competing exact searchers over the same collection. PDX-BOND goes
+  // through the runtime facade (flat layout is its default).
   pdx::PdxStore pdx_store = pdx::PdxStore::FromVectorSet(dataset.data);
   pdx::DsmStore dsm_store = pdx::DsmStore::FromVectorSet(dataset.data);
-  pdx::BondConfig bond_config = pdx::DefaultFlatBondConfig();
+  pdx::SearcherConfig bond_config;
+  bond_config.pruner = pdx::PrunerKind::kBond;
+  bond_config.k = k;
   bond_config.block_capacity = 1024;  // ~8 partitions for 8K vectors.
-  auto bond = pdx::MakeBondFlatSearcher(dataset.data, bond_config);
+  auto bond = pdx::MakeSearcher(dataset.data, bond_config).value();
 
   std::vector<std::vector<pdx::Neighbor>> reference;
   const double nary_ms = MeasureMillisPerQuery(
@@ -66,7 +69,7 @@ int main() {
   size_t query_index = 0;
   const double bond_ms = MeasureMillisPerQuery(
       dataset.queries, [&](const float* q) {
-        const auto result = bond->Search(q, k);
+        const auto result = bond->Search(q);
         const auto& expected = reference[query_index++];
         for (size_t i = 0; i < k; ++i) {
           if (result[i].id != expected[i].id) ++mismatches;

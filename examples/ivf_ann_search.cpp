@@ -3,15 +3,17 @@
 //
 // The service trades a little recall for large speedups: an IVF index
 // narrows the search to a few buckets, and ADSampling + PDXearch prunes
-// most dimension values inside them. This example sweeps nprobe and prints
-// the recall/QPS frontier, plus PDX-BOND as the "no preprocessing" option.
+// most dimension values inside them. Both searchers are built through the
+// runtime facade over ONE shared index; the example sweeps nprobe, prints
+// the recall/QPS frontier, then serves the whole query set as a
+// multi-threaded batch — the "heavy traffic" path.
 
 #include <cstdio>
+#include <utility>
 #include <vector>
 
 #include "benchlib/datagen.h"
 #include "benchlib/recall.h"
-#include "common/timer.h"
 #include "core/pdx.h"
 
 int main() {
@@ -30,8 +32,13 @@ int main() {
   std::printf("  %zu buckets\n", index.num_buckets());
 
   std::printf("preprocessing (ADSampling rotation, PDX layout) ...\n");
-  auto ads = pdx::MakeAdsIvfSearcher(dataset.data, index, {});
-  auto bond = pdx::MakeBondIvfSearcher(dataset.data, index, {});
+  pdx::SearcherConfig config;
+  config.layout = pdx::SearcherLayout::kIvf;
+  config.k = k;
+  config.pruner = pdx::PrunerKind::kAdsampling;
+  auto ads = pdx::MakeSearcher(dataset.data, index, config).value();
+  config.pruner = pdx::PrunerKind::kBond;  // The "no preprocessing" option.
+  auto bond = pdx::MakeSearcher(dataset.data, index, config).value();
   const auto truth =
       pdx::ComputeGroundTruth(dataset.data, dataset.queries, k);
 
@@ -40,25 +47,33 @@ int main() {
   for (size_t nprobe : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
     if (nprobe > index.num_buckets()) break;
 
-    auto sweep = [&](auto& searcher) {
-      std::vector<std::vector<pdx::Neighbor>> results;
-      pdx::Timer timer;
-      for (size_t q = 0; q < dataset.queries.count(); ++q) {
-        results.push_back(
-            searcher->Search(dataset.queries.Vector(q), k, nprobe));
-      }
-      const double seconds = timer.ElapsedSeconds();
+    // Sequential batches (threads = 1): per-query latency methodology.
+    auto sweep = [&](pdx::Searcher& searcher) {
+      searcher.set_nprobe(nprobe);
+      const auto results = searcher.SearchBatch(dataset.queries.data(),
+                                                dataset.queries.count());
       return std::make_pair(pdx::MeanRecallAtK(results, truth, k),
-                            dataset.queries.count() / seconds);
+                            searcher.last_batch_profile().qps());
     };
 
-    const auto [ads_recall, ads_qps] = sweep(ads);
-    const auto [bond_recall, bond_qps] = sweep(bond);
+    const auto [ads_recall, ads_qps] = sweep(*ads);
+    const auto [bond_recall, bond_qps] = sweep(*bond);
     std::printf("%8zu %12.3f %12.0f %12.3f %12.0f\n", nprobe, ads_recall,
                 ads_qps, bond_recall, bond_qps);
   }
+
+  // Serving mode: same API, multiple workers per batch.
+  ads->set_nprobe(16);
+  for (size_t threads : {1u, 4u}) {
+    ads->set_threads(threads);
+    ads->SearchBatch(dataset.queries.data(), dataset.queries.count());
+    std::printf("\nbatched ADS @ nprobe=16, threads=%zu: %.2f ms wall "
+                "(%.0f QPS)",
+                threads, ads->last_batch_profile().wall_ms,
+                ads->last_batch_profile().qps());
+  }
   std::printf(
-      "\nNote: PDX-BOND recall == recall of the probed buckets (exact "
+      "\n\nNote: PDX-BOND recall == recall of the probed buckets (exact "
       "within them); ADSampling adds probabilistic dimension pruning on "
       "top.\n");
   return 0;

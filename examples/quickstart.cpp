@@ -4,7 +4,8 @@
 //   $ ./quickstart
 //
 // This is the smallest end-to-end use of the library: generate a toy
-// embedding collection, build a flat PDX-BOND searcher, and query it.
+// embedding collection, build a searcher through the runtime facade, and
+// query it one query at a time and as a batch.
 
 #include <cstdio>
 
@@ -23,18 +24,27 @@ int main() {
   std::printf("collection: %zu vectors x %zu dims\n", dataset.data.count(),
               dataset.dim());
 
-  // 2. Build a PDX-BOND searcher straight from the raw floats. Vectors are
-  //    transposed into dimension-major PDX blocks; per-dimension statistics
-  //    are collected for the query-aware dimension ordering.
-  auto searcher = pdx::MakeBondFlatSearcher(dataset.data);
-  std::printf("PDX store: %zu blocks, block capacity %zu\n",
-              searcher->store().num_blocks(),
-              pdx::kExactSearchBlockCapacity);
+  // 2. Build a searcher straight from the raw floats. The default config is
+  //    flat PDX-BOND: vectors are transposed into dimension-major PDX
+  //    blocks, per-dimension statistics drive the query-aware dimension
+  //    ordering, and no transformation touches the data.
+  pdx::SearcherConfig config;
+  config.k = 5;
+  auto made = pdx::MakeSearcher(dataset.data, config);
+  if (!made.ok()) {
+    std::printf("MakeSearcher failed: %s\n", made.status().ToString().c_str());
+    return 1;
+  }
+  auto searcher = std::move(made).value();
+  std::printf("searcher: %s layout, %s pruner, %zu PDX blocks\n",
+              pdx::SearcherLayoutName(searcher->options().layout),
+              pdx::PrunerKindName(searcher->options().pruner),
+              searcher->store().num_blocks());
 
   // 3. Query. Results are exact (identical to brute force), but most
   //    dimension values are never touched thanks to pruning.
   for (size_t q = 0; q < dataset.queries.count(); ++q) {
-    const auto neighbors = searcher->Search(dataset.queries.Vector(q), 5);
+    const auto neighbors = searcher->Search(dataset.queries.Vector(q));
     const auto& profile = searcher->last_profile();
     std::printf("query %zu: ", q);
     for (const pdx::Neighbor& n : neighbors) {
@@ -43,5 +53,15 @@ int main() {
     std::printf("| pruned %.1f%% of values\n",
                 100.0 * profile.pruning_power());
   }
-  return 0;
+
+  // 4. The same queries as one batched call — the serving-path API. With
+  //    config.threads > 1 the batch fans out over a persistent thread pool
+  //    and still returns exactly the sequential results.
+  searcher->set_threads(2);
+  const auto batch =
+      searcher->SearchBatch(dataset.queries.data(), dataset.queries.count());
+  const pdx::BatchProfile& bp = searcher->last_batch_profile();
+  std::printf("batch: %zu queries in %.2f ms (%.0f QPS), pruned %.1f%%\n",
+              bp.queries, bp.wall_ms, bp.qps(), 100.0 * bp.pruning_power());
+  return batch.size() == dataset.queries.count() ? 0 : 1;
 }

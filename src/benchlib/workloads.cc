@@ -1,6 +1,7 @@
 #include "benchlib/workloads.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 
@@ -55,6 +56,57 @@ double BenchScaleFromEnv() {
   if (value == nullptr) return 1.0;
   const double scale = std::atof(value);
   return scale > 0.0 ? scale : 1.0;
+}
+
+std::vector<std::pair<std::string, SearcherConfig>> PrunerRoster(
+    SearcherLayout layout, size_t k, size_t nprobe, size_t threads) {
+  // Paper-style display names (Figure 8 / Figure 9 legends).
+  const std::pair<PrunerKind, const char*> entries[] = {
+      {PrunerKind::kAdsampling, "PDX-ADS"},
+      {PrunerKind::kBsa, "PDX-BSA"},
+      {PrunerKind::kBond, "PDX-BOND"},
+      {PrunerKind::kLinear, "PDX-LINEAR"},
+  };
+  std::vector<std::pair<std::string, SearcherConfig>> roster;
+  for (const auto& [pruner, name] : entries) {
+    SearcherConfig config;
+    config.layout = layout;
+    config.pruner = pruner;
+    config.k = k;
+    config.nprobe = nprobe;
+    config.threads = threads;
+    roster.emplace_back(name, config);
+  }
+  return roster;
+}
+
+std::vector<NamedSearcher> BuildPrunerRoster(
+    const VectorSet& vectors, const IvfIndex* index, SearcherLayout layout,
+    size_t k, size_t nprobe, size_t threads,
+    const std::function<bool(const std::string&, SearcherConfig&)>&
+        customize) {
+  std::vector<NamedSearcher> searchers;
+  if (layout == SearcherLayout::kIvf && index == nullptr) {
+    // Building a private index per entry would break the shared-bucket
+    // methodology this helper exists to uphold; refuse loudly.
+    std::fprintf(stderr,
+                 "BuildPrunerRoster: kIvf requires a shared IvfIndex\n");
+    return searchers;
+  }
+  for (auto& [name, config] : PrunerRoster(layout, k, nprobe, threads)) {
+    if (customize && !customize(name, config)) continue;
+    Result<std::unique_ptr<Searcher>> made =
+        layout == SearcherLayout::kIvf
+            ? MakeSearcher(vectors, *index, config)
+            : MakeSearcher(vectors, config);
+    if (!made.ok()) {
+      std::fprintf(stderr, "BuildPrunerRoster: skipping %s: %s\n",
+                   name.c_str(), made.status().ToString().c_str());
+      continue;
+    }
+    searchers.push_back({name, std::move(made).value()});
+  }
+  return searchers;
 }
 
 }  // namespace pdx

@@ -2,9 +2,14 @@
 #define PDX_BENCHLIB_WORKLOADS_H_
 
 #include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "benchlib/datagen.h"
+#include "core/any_searcher.h"
 
 namespace pdx {
 
@@ -26,6 +31,34 @@ std::vector<SyntheticSpec> CoreWorkloads(double scale = 1.0);
 /// Scale factor taken from the PDX_BENCH_SCALE environment variable
 /// (default 1.0). Benchmarks multiply their dataset sizes by this.
 double BenchScaleFromEnv();
+
+/// A facade searcher with the display name benchmarks print for it.
+struct NamedSearcher {
+  std::string name;
+  std::unique_ptr<Searcher> searcher;
+};
+
+/// The paper's pruner roster (Figure 8's competitors) as facade configs
+/// over one layout: PDX-ADS, PDX-BSA, PDX-BOND, and the PDX linear scan.
+/// `threads` = 1 keeps the paper's single-threaded query methodology.
+std::vector<std::pair<std::string, SearcherConfig>> PrunerRoster(
+    SearcherLayout layout, size_t k = 10, size_t nprobe = 16,
+    size_t threads = 1);
+
+/// Builds one searcher per roster entry through MakeSearcher. On kIvf an
+/// index is required and all entries share `*index` (must outlive the
+/// searchers — the paper's "all competitors share the same IVF index"
+/// methodology; a null index returns an empty roster with a note on
+/// stderr); on kFlat pass nullptr.
+/// `customize`, when set, runs per entry before construction and
+/// may tweak the config (per-dataset tuning) or return false to drop the
+/// entry. Configs that fail to build are skipped with a note on stderr so
+/// a benchmark table never silently loses a competitor.
+std::vector<NamedSearcher> BuildPrunerRoster(
+    const VectorSet& vectors, const IvfIndex* index, SearcherLayout layout,
+    size_t k = 10, size_t nprobe = 16, size_t threads = 1,
+    const std::function<bool(const std::string& name, SearcherConfig&)>&
+        customize = nullptr);
 
 }  // namespace pdx
 

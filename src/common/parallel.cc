@@ -1,32 +1,157 @@
 #include "common/parallel.h"
 
 #include <algorithm>
-#include <atomic>
-#include <thread>
-#include <vector>
 
 namespace pdx {
 
-void ParallelFor(size_t count, const std::function<void(size_t)>& fn) {
-  const size_t workers = std::min<size_t>(
-      count, std::max(1u, std::thread::hardware_concurrency()));
-  if (workers <= 1) {
-    for (size_t i = 0; i < count; ++i) fn(i);
+namespace {
+
+// The pool jobs this thread is currently executing, innermost last, with
+// the worker id held in each. Lets a re-entrant ParallelFor on any pool
+// already on this thread's stack run inline under its existing worker id —
+// no deadlock on submit_mutex_, and per-worker scratch indexed by worker id
+// never aliases another thread's slot.
+struct PoolFrame {
+  const ThreadPool* pool;
+  size_t worker;
+};
+thread_local std::vector<PoolFrame> tls_pool_frames;
+
+// Innermost frame for `pool` on this thread, or nullptr.
+const PoolFrame* FindFrame(const ThreadPool* pool) {
+  for (auto it = tls_pool_frames.rbegin(); it != tls_pool_frames.rend();
+       ++it) {
+    if (it->pool == pool) return &*it;
+  }
+  return nullptr;
+}
+
+// RAII frame push/pop, exception-safe for the inline paths.
+class FrameGuard {
+ public:
+  FrameGuard(const ThreadPool* pool, size_t worker) {
+    tls_pool_frames.push_back(PoolFrame{pool, worker});
+  }
+  ~FrameGuard() { tls_pool_frames.pop_back(); }
+  FrameGuard(const FrameGuard&) = delete;
+  FrameGuard& operator=(const FrameGuard&) = delete;
+};
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads - 1);
+  for (size_t w = 1; w < num_threads; ++w) {
+    workers_.emplace_back([this, w] { WorkerMain(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::ParallelFor(size_t count,
+                             const std::function<void(size_t, size_t)>& fn) {
+  if (count == 0) return;
+
+  // Re-entrant call from inside one of this pool's jobs on this thread
+  // (directly, or sandwiched through another pool): run inline under the
+  // enclosing job's worker id. The id is already exclusively this thread's,
+  // so per-worker scratch stays race-free, and submit_mutex_ (held by the
+  // enclosing job's caller) is never touched — no deadlock.
+  if (const PoolFrame* frame = FindFrame(this)) {
+    for (size_t i = 0; i < count; ++i) fn(i, frame->worker);
     return;
   }
-  std::atomic<size_t> next{0};
-  std::vector<std::thread> threads;
-  threads.reserve(workers);
-  for (size_t w = 0; w < workers; ++w) {
-    threads.emplace_back([&]() {
-      for (;;) {
-        const size_t i = next.fetch_add(1);
-        if (i >= count) return;
-        fn(i);
-      }
-    });
+
+  // Sequential pool or trivially small job: still serialize through
+  // submit_mutex_ so concurrent callers never both run as worker 0.
+  if (workers_.empty() || count == 1) {
+    std::lock_guard<std::mutex> submission(submit_mutex_);
+    FrameGuard guard(this, 0);
+    for (size_t i = 0; i < count; ++i) fn(i, 0);
+    return;
   }
-  for (std::thread& t : threads) t.join();
+
+  std::lock_guard<std::mutex> submission(submit_mutex_);
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;
+  job->count = count;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = job;
+    ++generation_;
+  }
+  wake_cv_.notify_all();
+
+  RunJob(*job, 0);
+
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    // Wait for items, not for workers: a late-waking worker that never got
+    // a slice must not delay the caller. It wakes eventually, finds
+    // job->next exhausted (or job_ null) and goes back to sleep.
+    done_cv_.wait(lock, [&] {
+      return job->done.load(std::memory_order_acquire) >= count;
+    });
+    job_ = nullptr;
+  }
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool pool(0);
+  return pool;
+}
+
+void ThreadPool::WorkerMain(size_t worker_id) {
+  uint64_t seen_generation = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    wake_cv_.wait(lock, [&] {
+      return stopping_ || generation_ != seen_generation;
+    });
+    if (stopping_) return;
+    seen_generation = generation_;
+    std::shared_ptr<Job> job = job_;  // Own a reference before unlocking.
+    if (job == nullptr) continue;     // Raced with completion; nothing to do.
+    lock.unlock();
+    RunJob(*job, worker_id);
+    lock.lock();
+  }
+}
+
+void ThreadPool::RunJob(Job& job, size_t worker_id) {
+  FrameGuard guard(this, worker_id);
+  for (;;) {
+    const size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job.count) return;
+    try {
+      (*job.fn)(i, worker_id);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(job.error_mutex);
+      if (!job.error) job.error = std::current_exception();
+    }
+    if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 == job.count) {
+      // Last item: wake the caller. Locking mutex_ orders this notify
+      // against the caller's predicate check, so the wakeup can't be lost.
+      std::lock_guard<std::mutex> lock(mutex_);
+      done_cv_.notify_one();
+    }
+  }
+}
+
+void ParallelFor(size_t count, const std::function<void(size_t)>& fn) {
+  ThreadPool::Shared().ParallelFor(count,
+                                   [&fn](size_t i, size_t) { fn(i); });
 }
 
 }  // namespace pdx

@@ -1,17 +1,100 @@
 #ifndef PDX_COMMON_PARALLEL_H_
 #define PDX_COMMON_PARALLEL_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
+#include <exception>
 #include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 namespace pdx {
 
-/// Runs fn(i) for i in [0, count) across hardware threads.
+/// A persistent pool of worker threads executing counted parallel loops.
 ///
-/// Used only on *setup* paths (index construction, collection
+/// Workers are spawned once and reused across ParallelFor calls, so the
+/// per-call cost is a wakeup rather than thread creation — cheap enough to
+/// sit on the query path (Searcher::SearchBatch) as well as on setup paths.
+///
+/// `num_threads` counts the *calling* thread too: a pool of size 1 spawns
+/// nothing and runs every loop inline on the caller, byte-for-byte
+/// identical to a sequential loop. This is the paper-methodology mode —
+/// benchmarks that must stay single-threaded use threads = 1 and measure
+/// exactly the code they measured before.
+class ThreadPool {
+ public:
+  /// `num_threads` = total threads including the caller; 0 = one per
+  /// hardware thread. A pool of size n spawns n-1 workers.
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total threads a loop can run on (spawned workers + the caller).
+  size_t num_threads() const { return workers_.size() + 1; }
+
+  /// Runs fn(item, worker) for item in [0, count); `worker` is a dense id
+  /// in [0, num_threads()), stable within one call — per-worker scratch
+  /// (e.g. one PdxearchEngine each) can be indexed by it. The caller
+  /// participates as worker 0 and returns as soon as every item is done
+  /// (not when every woken worker has gone idle again). Exceptions thrown
+  /// by `fn` are rethrown on the caller (first one wins). Re-entrant calls
+  /// from inside this pool's own job on the same thread — directly, or
+  /// sandwiched through another pool — run inline under the enclosing
+  /// job's worker id, so scratch indexed by worker id stays race-free
+  /// across nesting, and no deadlock occurs. The one unsupported topology
+  /// is *cyclic pools across threads*: pool B's spawned worker calling
+  /// back into pool A while A's job is still in flight blocks on A; keep
+  /// pool call graphs acyclic.
+  void ParallelFor(size_t count,
+                   const std::function<void(size_t, size_t)>& fn);
+
+  /// Process-wide pool sized to the hardware, used by the free ParallelFor
+  /// below. Constructed on first use.
+  static ThreadPool& Shared();
+
+ private:
+  // One parallel loop's shared state. Heap-allocated and held via
+  // shared_ptr so a worker that wakes late (after the caller has already
+  // returned, possibly after a newer job was submitted) still holds a
+  // consistent {fn, count, next} triple: it finds `next` exhausted and
+  // leaves, instead of racing a newer job's counters.
+  struct Job {
+    const std::function<void(size_t, size_t)>* fn = nullptr;
+    size_t count = 0;
+    std::atomic<size_t> next{0};  ///< Next item to claim.
+    std::atomic<size_t> done{0};  ///< Items fully processed.
+    std::exception_ptr error;
+    std::mutex error_mutex;
+  };
+
+  void WorkerMain(size_t worker_id);
+  // Caller/worker loop: claim items until `job` is exhausted.
+  void RunJob(Job& job, size_t worker_id);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable wake_cv_;  // generation_ bumped or stopping_.
+  std::condition_variable done_cv_;  // job->done reached job->count.
+  uint64_t generation_ = 0;
+  bool stopping_ = false;
+  std::shared_ptr<Job> job_;  // Current job; null between loops.
+
+  // One loop at a time; callers queue up here.
+  std::mutex submit_mutex_;
+};
+
+/// Runs fn(i) for i in [0, count) across hardware threads, on the shared
+/// pool. Used on *setup* paths (index construction, collection
 /// transformation, ground-truth computation). Measured search code stays
-/// single-threaded, matching the paper's methodology of deactivating
-/// multi-threading in all benchmarks.
+/// single-threaded unless it opts into a pool explicitly, matching the
+/// paper's methodology of deactivating multi-threading in benchmarks.
 void ParallelFor(size_t count, const std::function<void(size_t)>& fn);
 
 }  // namespace pdx

@@ -1,0 +1,351 @@
+#include "core/any_searcher.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "common/parallel.h"
+#include "common/timer.h"
+#include "core/searcher.h"
+
+namespace pdx {
+
+const char* SearcherLayoutName(SearcherLayout layout) {
+  switch (layout) {
+    case SearcherLayout::kFlat:
+      return "flat";
+    case SearcherLayout::kIvf:
+      return "ivf";
+  }
+  return "unknown";
+}
+
+const char* PrunerKindName(PrunerKind pruner) {
+  switch (pruner) {
+    case PrunerKind::kLinear:
+      return "linear";
+    case PrunerKind::kAdsampling:
+      return "adsampling";
+    case PrunerKind::kBsa:
+      return "bsa";
+    case PrunerKind::kBond:
+      return "bond";
+  }
+  return "unknown";
+}
+
+Status ValidateSearcherConfig(const SearcherConfig& config) {
+  // Out-of-range enum values (a config deserialized from disk, say) must
+  // fail here, not as a null searcher later.
+  if (config.layout != SearcherLayout::kFlat &&
+      config.layout != SearcherLayout::kIvf) {
+    return Status::InvalidArgument("SearcherConfig: unknown layout value");
+  }
+  if (config.pruner != PrunerKind::kLinear &&
+      config.pruner != PrunerKind::kAdsampling &&
+      config.pruner != PrunerKind::kBsa && config.pruner != PrunerKind::kBond) {
+    return Status::InvalidArgument("SearcherConfig: unknown pruner value");
+  }
+  if (config.metric != Metric::kL2 && config.metric != Metric::kIp &&
+      config.metric != Metric::kL1) {
+    return Status::InvalidArgument("SearcherConfig: unknown metric value");
+  }
+  if (config.k == 0) {
+    return Status::InvalidArgument("SearcherConfig: k must be > 0");
+  }
+  if (config.pruner == PrunerKind::kBond && config.bond_zone_size == 0) {
+    return Status::InvalidArgument(
+        "SearcherConfig: bond_zone_size must be > 0");
+  }
+  if (config.layout == SearcherLayout::kIvf && config.nprobe == 0) {
+    return Status::InvalidArgument(
+        "SearcherConfig: nprobe must be > 0 on the IVF layout");
+  }
+  switch (config.pruner) {
+    case PrunerKind::kLinear:
+      break;  // Pure scan: every metric works.
+    case PrunerKind::kAdsampling:
+    case PrunerKind::kBsa:
+      if (config.metric != Metric::kL2) {
+        return Status::Unsupported(
+            std::string("SearcherConfig: the ") +
+            PrunerKindName(config.pruner) +
+            " pruner's bounds are only valid for the L2 metric");
+      }
+      break;
+    case PrunerKind::kBond:
+      if (config.metric == Metric::kIp) {
+        return Status::Unsupported(
+            "SearcherConfig: PDX-BOND needs a monotone metric (L2/L1); "
+            "inner-product partials can still decrease");
+      }
+      break;
+  }
+  return Status::OK();
+}
+
+void BatchProfile::Accumulate(const PdxearchProfile& profile) {
+  sum += profile;
+}
+
+namespace {
+
+/// Fills in the derived fields the user left at their "default" markers so
+/// the construction code below never re-derives them.
+SearcherConfig ResolveConfig(SearcherConfig config) {
+  config.search.k = config.k;
+  config.search.metric = config.metric;
+  if (config.block_capacity == 0) {
+    // Flat PDX-BOND uses the paper's large exact-search partitions
+    // (Section 6.5); everything else uses register-resident blocks.
+    config.block_capacity = (config.layout == SearcherLayout::kFlat &&
+                             config.pruner == PrunerKind::kBond)
+                                ? kExactSearchBlockCapacity
+                                : kPdxBlockSize;
+  }
+  if (!config.bond_order.has_value()) {
+    config.bond_order = config.layout == SearcherLayout::kFlat
+                            ? DimensionOrder::kDistanceToMeans
+                            : DimensionOrder::kDimensionZones;
+  }
+  return config;
+}
+
+AdsConfig ToAdsConfig(const SearcherConfig& config) {
+  AdsConfig ads;
+  ads.epsilon0 = config.ads_epsilon0;
+  ads.seed = config.ads_seed;
+  ads.block_capacity = config.block_capacity;
+  ads.search = config.search;
+  return ads;
+}
+
+BsaConfig ToBsaConfig(const SearcherConfig& config) {
+  BsaConfig bsa;
+  bsa.multiplier = config.bsa_multiplier;
+  bsa.max_fit_samples = config.bsa_max_fit_samples;
+  bsa.block_capacity = config.block_capacity;
+  bsa.search = config.search;
+  return bsa;
+}
+
+BondConfig ToBondConfig(const SearcherConfig& config) {
+  BondConfig bond;
+  bond.order = *config.bond_order;
+  bond.zone_size = config.bond_zone_size;
+  bond.block_capacity = config.block_capacity;
+  bond.search = config.search;
+  return bond;
+}
+
+/// The one concrete facade implementation: holds either a flat or an IVF
+/// searcher for pruner P, plus the per-worker engines SearchBatch fans out
+/// over. Worker engines share the inner searcher's (read-only) store and
+/// pruner, so a batch costs no extra copies of the collection.
+template <typename P>
+class AnySearcherImpl final : public Searcher {
+ public:
+  AnySearcherImpl(SearcherConfig config,
+                  std::unique_ptr<FlatPdxSearcher<P>> flat)
+      : Searcher(std::move(config)), flat_(std::move(flat)) {}
+
+  /// `owned_index` is null when the caller keeps ownership of `index`.
+  AnySearcherImpl(SearcherConfig config, std::unique_ptr<IvfIndex> owned_index,
+                  const IvfIndex* index, std::unique_ptr<IvfPdxSearcher<P>> ivf)
+      : Searcher(std::move(config)),
+        owned_index_(std::move(owned_index)),
+        index_(index),
+        ivf_(std::move(ivf)) {}
+
+  std::vector<Neighbor> Search(const float* query) override {
+    if (flat_ != nullptr) return flat_->Search(query, config_.k);
+    return ivf_->Search(query, config_.k, config_.nprobe);
+  }
+
+  std::vector<std::vector<Neighbor>> SearchBatch(const float* queries,
+                                                 size_t num_queries) override {
+    batch_profile_ = BatchProfile{};
+    batch_profile_.queries = num_queries;
+    std::vector<std::vector<Neighbor>> results(num_queries);
+    if (num_queries == 0) return results;
+
+    const size_t d = dim();
+    size_t threads =
+        config_.threads == 0
+            ? std::max<size_t>(1, std::thread::hardware_concurrency())
+            : config_.threads;
+    // A step observer is single-consumer state; don't race on it.
+    if (config_.search.step_observer) threads = 1;
+
+    if (threads <= 1 || num_queries == 1) {
+      Timer wall;
+      for (size_t q = 0; q < num_queries; ++q) {
+        results[q] = Search(queries + q * d);
+        batch_profile_.Accumulate(last_profile());
+      }
+      batch_profile_.wall_ms = wall.ElapsedMillis();
+    } else {
+      // Pool and engines are sized to the configured thread count, not the
+      // batch size: small batches leave workers idle for one wakeup instead
+      // of tearing the "persistent" pool down. Setup stays outside the
+      // wall-clock so qps() reflects steady-state serving.
+      EnsureWorkers(threads);
+      std::vector<BatchProfile> worker_profiles(threads);
+      Timer wall;
+      pool_->ParallelFor(num_queries, [&](size_t q, size_t w) {
+        PdxearchEngine<P>& engine = *engines_[w];
+        results[q] = flat_ != nullptr
+                         ? engine.SearchFlat(queries + q * d)
+                         : engine.SearchIvf(*index_, queries + q * d,
+                                            config_.nprobe);
+        worker_profiles[w].Accumulate(engine.last_profile());
+      });
+      batch_profile_.wall_ms = wall.ElapsedMillis();
+      for (const BatchProfile& wp : worker_profiles) {
+        batch_profile_.Accumulate(wp.sum);
+      }
+    }
+    return results;
+  }
+
+  const PdxearchProfile& last_profile() const override {
+    return flat_ != nullptr ? flat_->last_profile() : ivf_->last_profile();
+  }
+
+  const PdxStore& store() const override {
+    return flat_ != nullptr ? flat_->store() : ivf_->store();
+  }
+
+  const IvfIndex* index() const override { return index_; }
+
+ private:
+  const P& pruner() const {
+    return flat_ != nullptr ? flat_->pruner() : ivf_->pruner();
+  }
+
+  // Lazily sizes the pool and the per-worker engines, and pushes the
+  // current knobs (k may have changed since the last batch) into each.
+  void EnsureWorkers(size_t threads) {
+    if (pool_ == nullptr || pool_->num_threads() != threads) {
+      pool_ = std::make_unique<ThreadPool>(threads);
+    }
+    while (engines_.size() < threads) {
+      engines_.push_back(std::make_unique<PdxearchEngine<P>>(
+          &store(), &pruner(), config_.search));
+    }
+    for (size_t w = 0; w < threads; ++w) {
+      engines_[w]->mutable_options() = config_.search;
+    }
+  }
+
+  // Declaration order doubles as lifetime order: engines_ and pool_ sit on
+  // top of the inner searcher's store/pruner, which sit on top of the
+  // (possibly owned) index — members below destroy first.
+  std::unique_ptr<IvfIndex> owned_index_;
+  const IvfIndex* index_ = nullptr;
+  std::unique_ptr<FlatPdxSearcher<P>> flat_;
+  std::unique_ptr<IvfPdxSearcher<P>> ivf_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<std::unique_ptr<PdxearchEngine<P>>> engines_;
+};
+
+template <typename P>
+std::unique_ptr<Searcher> WrapFlat(SearcherConfig config,
+                                   std::unique_ptr<FlatPdxSearcher<P>> flat) {
+  return std::make_unique<AnySearcherImpl<P>>(std::move(config),
+                                              std::move(flat));
+}
+
+template <typename P>
+std::unique_ptr<Searcher> WrapIvf(SearcherConfig config,
+                                  std::unique_ptr<IvfIndex> owned_index,
+                                  const IvfIndex* index,
+                                  std::unique_ptr<IvfPdxSearcher<P>> ivf) {
+  return std::make_unique<AnySearcherImpl<P>>(
+      std::move(config), std::move(owned_index), index, std::move(ivf));
+}
+
+std::unique_ptr<Searcher> MakeFlatSearcher(const VectorSet& vectors,
+                                           SearcherConfig config) {
+  switch (config.pruner) {
+    case PrunerKind::kLinear:
+      return WrapFlat<NoPruner>(
+          config, MakeLinearFlatSearcher(vectors, config.search,
+                                         config.block_capacity));
+    case PrunerKind::kAdsampling:
+      return WrapFlat<AdSamplingPruner>(
+          config, MakeAdsFlatSearcher(vectors, ToAdsConfig(config)));
+    case PrunerKind::kBsa:
+      return WrapFlat<BsaPruner>(
+          config, MakeBsaFlatSearcher(vectors, ToBsaConfig(config)));
+    case PrunerKind::kBond:
+      return WrapFlat<PdxBondPruner>(
+          config, MakeBondFlatSearcher(vectors, ToBondConfig(config)));
+  }
+  return nullptr;
+}
+
+std::unique_ptr<Searcher> MakeIvfSearcher(const VectorSet& vectors,
+                                          std::unique_ptr<IvfIndex> owned,
+                                          const IvfIndex& index,
+                                          SearcherConfig config) {
+  switch (config.pruner) {
+    case PrunerKind::kLinear:
+      return WrapIvf<NoPruner>(
+          config, std::move(owned), &index,
+          MakeLinearIvfSearcher(vectors, index, config.search,
+                                config.block_capacity));
+    case PrunerKind::kAdsampling:
+      return WrapIvf<AdSamplingPruner>(
+          config, std::move(owned), &index,
+          MakeAdsIvfSearcher(vectors, index, ToAdsConfig(config)));
+    case PrunerKind::kBsa:
+      return WrapIvf<BsaPruner>(
+          config, std::move(owned), &index,
+          MakeBsaIvfSearcher(vectors, index, ToBsaConfig(config)));
+    case PrunerKind::kBond:
+      return WrapIvf<PdxBondPruner>(
+          config, std::move(owned), &index,
+          MakeBondIvfSearcher(vectors, index, ToBondConfig(config)));
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Searcher>> MakeSearcher(const VectorSet& vectors,
+                                               SearcherConfig config) {
+  PDX_RETURN_IF_ERROR(ValidateSearcherConfig(config));
+  if (vectors.empty()) {
+    return Status::InvalidArgument("MakeSearcher: empty collection");
+  }
+  config = ResolveConfig(config);
+  if (config.layout == SearcherLayout::kFlat) {
+    return MakeFlatSearcher(vectors, std::move(config));
+  }
+  auto owned = std::make_unique<IvfIndex>(IvfIndex::Build(vectors, config.ivf));
+  const IvfIndex& index = *owned;
+  return MakeIvfSearcher(vectors, std::move(owned), index, std::move(config));
+}
+
+Result<std::unique_ptr<Searcher>> MakeSearcher(const VectorSet& vectors,
+                                               const IvfIndex& index,
+                                               SearcherConfig config) {
+  PDX_RETURN_IF_ERROR(ValidateSearcherConfig(config));
+  if (vectors.empty()) {
+    return Status::InvalidArgument("MakeSearcher: empty collection");
+  }
+  if (config.layout != SearcherLayout::kIvf) {
+    return Status::InvalidArgument(
+        "MakeSearcher: an external IVF index requires layout = kIvf");
+  }
+  if (index.dim() != vectors.dim() || index.count() != vectors.count()) {
+    return Status::InvalidArgument(
+        "MakeSearcher: index was not built over this collection "
+        "(dim/count mismatch)");
+  }
+  config = ResolveConfig(config);
+  return MakeIvfSearcher(vectors, nullptr, index, std::move(config));
+}
+
+}  // namespace pdx

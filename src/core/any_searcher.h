@@ -1,0 +1,172 @@
+#ifndef PDX_CORE_ANY_SEARCHER_H_
+#define PDX_CORE_ANY_SEARCHER_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "core/pdxearch.h"
+#include "index/ivf.h"
+#include "pruning/bond.h"
+#include "storage/pdx_store.h"
+#include "storage/vector_set.h"
+
+namespace pdx {
+
+/// How the collection is blocked and visited (Sections 4.2/6.5).
+enum class SearcherLayout : uint8_t {
+  kFlat = 0,  ///< Horizontal partitions, every block visited (exact search).
+  kIvf = 1,   ///< IVF buckets as block groups, `nprobe` buckets visited.
+};
+
+/// Which distance-computation pruner PDXearch runs with (Sections 3 & 5).
+enum class PrunerKind : uint8_t {
+  kLinear = 0,      ///< No pruning: blockwise linear scan.
+  kAdsampling = 1,  ///< ADSampling: random rotation + hypothesis test.
+  kBsa = 2,         ///< BSA: PCA projection + learned error bounds.
+  kBond = 3,        ///< PDX-BOND: exact partial-distance bound.
+};
+
+const char* SearcherLayoutName(SearcherLayout layout);
+const char* PrunerKindName(PrunerKind pruner);
+
+/// Everything needed to build and query any layout x pruner combination
+/// through one factory. The per-pruner knobs keep the paper's defaults; a
+/// zero/unset value means "resolve the layout-appropriate default".
+struct SearcherConfig {
+  SearcherLayout layout = SearcherLayout::kFlat;
+  PrunerKind pruner = PrunerKind::kBond;
+  Metric metric = Metric::kL2;
+  size_t k = 10;        ///< Neighbors per query; must be > 0.
+  size_t nprobe = 16;   ///< IVF buckets per query; must be > 0 on kIvf.
+  /// Worker threads for SearchBatch, caller included: 1 = sequential (the
+  /// paper-methodology default), 0 = one per hardware thread. Single-query
+  /// Search is always sequential.
+  size_t threads = 1;
+  /// Vectors per PDX block; 0 = layout default (kPdxBlockSize, or the
+  /// paper's 10K partitions for flat PDX-BOND).
+  size_t block_capacity = 0;
+  /// IVF build options, used only when the factory builds its own index.
+  IvfOptions ivf;
+
+  // Pruner knobs (ignored by the other pruners).
+  float ads_epsilon0 = 2.1f;
+  uint64_t ads_seed = 42;
+  float bsa_multiplier = 1.0f;
+  size_t bsa_max_fit_samples = 4096;
+  /// unset = layout default: dimension zones on IVF's small blocks,
+  /// distance-to-means on flat's large partitions (Section 6.5).
+  std::optional<DimensionOrder> bond_order;
+  size_t bond_zone_size = 16;
+
+  /// PDXearch engine knobs. `k` and `metric` here are overwritten by the
+  /// fields above; a step_observer forces SearchBatch sequential.
+  PdxearchOptions search;
+};
+
+/// Rejects configurations that would silently return garbage: k == 0,
+/// nprobe == 0 on kIvf, or a metric the chosen pruner's bound is invalid
+/// for (ADSampling/BSA require L2; PDX-BOND requires a monotone metric).
+Status ValidateSearcherConfig(const SearcherConfig& config);
+
+/// Aggregate measurements of one SearchBatch call.
+struct BatchProfile {
+  size_t queries = 0;
+  double wall_ms = 0.0;     ///< Wall clock around the whole batch.
+  PdxearchProfile sum;      ///< Per-query profiles, summed.
+
+  void Accumulate(const PdxearchProfile& profile);
+  double qps() const {
+    return wall_ms > 0.0 ? 1000.0 * static_cast<double>(queries) / wall_ms
+                         : 0.0;
+  }
+  /// Pruning power over the whole batch.
+  double pruning_power() const { return sum.pruning_power(); }
+};
+
+/// Runtime-polymorphic facade over the eight concrete searcher variants
+/// (IvfPdxSearcher<P> / FlatPdxSearcher<P> for the four pruners): one type
+/// to hold, one factory to call, whichever layout and pruner the config
+/// picked. Obtain through MakeSearcher.
+///
+/// Thread safety: Search and sequential SearchBatch mutate per-searcher
+/// scratch, so one Searcher must not be queried from multiple threads
+/// concurrently. SearchBatch with threads != 1 parallelizes *internally*
+/// (per-worker engines over the shared read-only store) and returns
+/// exactly the neighbors the sequential path returns, query by query.
+class Searcher {
+ public:
+  virtual ~Searcher() = default;
+
+  Searcher(const Searcher&) = delete;
+  Searcher& operator=(const Searcher&) = delete;
+
+  /// k-NN of `query` (dim() floats) under options().k / options().nprobe.
+  virtual std::vector<Neighbor> Search(const float* query) = 0;
+
+  /// k-NN of `num_queries` row-major queries, executed on options().threads
+  /// workers. results[q] corresponds to queries + q * dim().
+  virtual std::vector<std::vector<Neighbor>> SearchBatch(
+      const float* queries, size_t num_queries) = 0;
+
+  /// Profile of the most recent single Search (or of the last query the
+  /// sequential batch path ran).
+  virtual const PdxearchProfile& last_profile() const = 0;
+
+  /// Aggregate profile of the most recent SearchBatch.
+  const BatchProfile& last_batch_profile() const { return batch_profile_; }
+
+  /// The PDX store backing this searcher (post-transformation layout).
+  virtual const PdxStore& store() const = 0;
+
+  /// The IVF index queries are routed through; nullptr on the flat layout.
+  virtual const IvfIndex* index() const = 0;
+
+  const SearcherConfig& options() const { return config_; }
+  size_t dim() const { return store().dim(); }
+
+  // Runtime-adjustable query knobs (build-time knobs are fixed). Zero is a
+  // programming error (asserted in debug builds) and clamped to 1 in
+  // release builds so a bad runtime value can't silently turn every result
+  // set empty.
+  void set_k(size_t k) {
+    assert(k > 0);
+    config_.k = std::max<size_t>(1, k);
+    config_.search.k = config_.k;
+  }
+  void set_nprobe(size_t nprobe) {
+    assert(nprobe > 0);
+    config_.nprobe = std::max<size_t>(1, nprobe);
+  }
+  void set_threads(size_t threads) { config_.threads = threads; }
+
+ protected:
+  explicit Searcher(SearcherConfig config) : config_(std::move(config)) {}
+
+  SearcherConfig config_;
+  BatchProfile batch_profile_;
+};
+
+/// Builds the searcher `config` describes over `vectors`. On the kIvf
+/// layout the factory builds (and owns) an IvfIndex with config.ivf.
+/// Fails with InvalidArgument/Unsupported on bad configs — see
+/// ValidateSearcherConfig — or an empty collection.
+Result<std::unique_ptr<Searcher>> MakeSearcher(const VectorSet& vectors,
+                                               SearcherConfig config);
+
+/// Same, but over a caller-owned IVF index (the paper's methodology: every
+/// competitor shares one bucket structure). `index` must outlive the
+/// searcher and have been built over `vectors`; layout must be kIvf.
+Result<std::unique_ptr<Searcher>> MakeSearcher(const VectorSet& vectors,
+                                               const IvfIndex& index,
+                                               SearcherConfig config);
+
+}  // namespace pdx
+
+#endif  // PDX_CORE_ANY_SEARCHER_H_

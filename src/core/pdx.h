@@ -8,20 +8,30 @@
 /// search: blocks of vectors stored dimension-major, searched dimension-by-
 /// dimension with pruning (Kuffo, Krippner & Boncz, SIGMOD 2025).
 ///
-/// Typical usage — exact search without preprocessing:
+/// Typical usage — the runtime facade (any layout x pruner combination):
 ///
 ///   pdx::VectorSet data = ...;                         // N x D float32
-///   auto searcher = pdx::MakeBondFlatSearcher(data);   // PDX-BOND
-///   auto nn = searcher->Search(query, /*k=*/10);
+///   pdx::SearcherConfig config;                        // flat PDX-BOND
+///   config.k = 10;
+///   auto searcher = pdx::MakeSearcher(data, config).value();
+///   auto nn = searcher->Search(query);
 ///
-/// Approximate search on an IVF index with ADSampling pruning:
+/// Approximate search on an IVF index with ADSampling pruning, served in
+/// multi-threaded batches:
 ///
-///   pdx::IvfIndex index = pdx::IvfIndex::Build(data, {});
-///   auto ads = pdx::MakeAdsIvfSearcher(data, index, {});
-///   auto nn = ads->Search(query, /*k=*/10, /*nprobe=*/32);
+///   config.layout = pdx::SearcherLayout::kIvf;
+///   config.pruner = pdx::PrunerKind::kAdsampling;
+///   config.nprobe = 32;
+///   config.threads = 8;
+///   auto ads = pdx::MakeSearcher(data, config).value();
+///   auto all_nn = ads->SearchBatch(queries, num_queries);
+///
+/// The compile-time factories (MakeBondFlatSearcher, MakeAdsIvfSearcher,
+/// ...) remain for benchmark code that wants the concrete types.
 
 #include "common/status.h"    // IWYU pragma: export
 #include "common/types.h"     // IWYU pragma: export
+#include "core/any_searcher.h"   // IWYU pragma: export
 #include "core/pdxearch.h"    // IWYU pragma: export
 #include "core/pruning_trace.h"  // IWYU pragma: export
 #include "core/searcher.h"    // IWYU pragma: export

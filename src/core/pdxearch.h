@@ -56,6 +56,18 @@ struct PdxearchProfile {
   double total_ms() const {
     return preprocess_ms + find_buckets_ms + bounds_ms + distance_ms;
   }
+  /// Field-wise sum; keeps aggregation (batch profiles) next to the fields
+  /// so a new counter can't be silently dropped from it.
+  PdxearchProfile& operator+=(const PdxearchProfile& other) {
+    preprocess_ms += other.preprocess_ms;
+    find_buckets_ms += other.find_buckets_ms;
+    bounds_ms += other.bounds_ms;
+    distance_ms += other.distance_ms;
+    values_scanned += other.values_scanned;
+    values_total += other.values_total;
+    predicate_evaluations += other.predicate_evaluations;
+    return *this;
+  }
   /// Pruning power: fraction of values avoided (0 when nothing visited).
   double pruning_power() const {
     return values_total == 0
@@ -220,9 +232,15 @@ class PdxearchEngine {
     size_t dims_done = 0;
     size_t next_step = options_.adaptive_steps ? options_.initial_step
                                                : options_.fixed_step;
-    const size_t prune_entry = std::max<size_t>(
-        1, static_cast<size_t>(options_.selection_fraction *
-                               static_cast<float>(n)));
+    // Clamped to [0, n-1]: selection_fraction >= 1.0 would otherwise put
+    // every block straight into PRUNE (positions-gather kernels for all
+    // lanes), and an n == 1 block would enter PRUNE before its single lane
+    // was ever tested. prune_entry == 0 (only possible when n == 1) means
+    // the block completes in WARMUP.
+    const size_t prune_entry = std::min<size_t>(
+        n - 1, std::max<size_t>(
+                   1, static_cast<size_t>(options_.selection_fraction *
+                                          static_cast<float>(n))));
     bool pruning_phase = false;
 
     while (dims_done < dim && alive > 0) {

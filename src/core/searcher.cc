@@ -42,8 +42,9 @@ std::unique_ptr<BondIvfSearcher> MakeBondIvfSearcher(
 
 std::unique_ptr<LinearIvfSearcher> MakeLinearIvfSearcher(
     const VectorSet& vectors, const IvfIndex& index,
-    const PdxearchOptions& search) {
-  PdxStore store = PdxStore::FromGroups(vectors, index.buckets());
+    const PdxearchOptions& search, size_t block_capacity) {
+  PdxStore store =
+      PdxStore::FromGroups(vectors, index.buckets(), block_capacity);
   return std::make_unique<LinearIvfSearcher>(&index, std::move(store),
                                              NoPruner{}, search);
 }

@@ -145,7 +145,8 @@ std::unique_ptr<BondIvfSearcher> MakeBondIvfSearcher(const VectorSet& vectors,
 /// PDX linear scan (no pruning) over the IVF layout.
 std::unique_ptr<LinearIvfSearcher> MakeLinearIvfSearcher(
     const VectorSet& vectors, const IvfIndex& index,
-    const PdxearchOptions& search = {});
+    const PdxearchOptions& search = {},
+    size_t block_capacity = kPdxBlockSize);
 
 // --- Flat (exact) searcher factories --------------------------------------
 

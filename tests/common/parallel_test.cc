@@ -1,0 +1,175 @@
+#include "common/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace pdx {
+namespace {
+
+TEST(ThreadPoolTest, EveryIndexRunsExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  constexpr size_t kCount = 1000;
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.ParallelFor(kCount, [&](size_t i, size_t) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, WorkerIdsAreDense) {
+  ThreadPool pool(3);
+  std::atomic<size_t> max_worker{0};
+  pool.ParallelFor(500, [&](size_t, size_t worker) {
+    size_t seen = max_worker.load();
+    while (worker > seen && !max_worker.compare_exchange_weak(seen, worker)) {
+    }
+  });
+  EXPECT_LT(max_worker.load(), 3u);
+}
+
+TEST(ThreadPoolTest, SizeOneRunsInlineAndInOrder) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  const std::thread::id caller = std::this_thread::get_id();
+  // No synchronization needed below precisely because the loop is inline.
+  std::vector<size_t> order;
+  pool.ParallelFor(64, [&](size_t i, size_t worker) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    EXPECT_EQ(worker, 0u);
+    order.push_back(i);
+  });
+  std::vector<size_t> expected(64);
+  std::iota(expected.begin(), expected.end(), 0u);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossCalls) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<size_t> sum{0};
+    pool.ParallelFor(100, [&](size_t i, size_t) {
+      sum.fetch_add(i, std::memory_order_relaxed);
+    });
+    ASSERT_EQ(sum.load(), 4950u) << "round " << round;
+  }
+}
+
+TEST(ThreadPoolTest, SmallJobsTouchAtMostOneThreadPerItem) {
+  ThreadPool pool(8);
+  std::mutex mu;
+  std::set<std::thread::id> executors;
+  pool.ParallelFor(3, [&](size_t, size_t) {
+    std::lock_guard<std::mutex> lock(mu);
+    executors.insert(std::this_thread::get_id());
+  });
+  // 3 items -> at most 3 distinct executing threads, however many wake.
+  EXPECT_LE(executors.size(), 3u);
+}
+
+TEST(ThreadPoolTest, VaryingJobSizesReuseThePoolCorrectly) {
+  ThreadPool pool(6);
+  for (size_t count : {2u, 500u, 3u, 64u, 1u, 200u}) {
+    std::atomic<size_t> sum{0};
+    pool.ParallelFor(count, [&](size_t i, size_t) {
+      sum.fetch_add(i, std::memory_order_relaxed);
+    });
+    ASSERT_EQ(sum.load(), count * (count - 1) / 2) << "count " << count;
+  }
+}
+
+TEST(ThreadPoolTest, NestedCallsRunInlineWithEnclosingWorkerId) {
+  ThreadPool pool(2);
+  std::atomic<size_t> inner_total{0};
+  pool.ParallelFor(8, [&](size_t, size_t outer_worker) {
+    pool.ParallelFor(10, [&](size_t i, size_t worker) {
+      // Re-entrant loops stay on the worker and keep its id, so per-worker
+      // scratch indexed by `worker` never aliases another thread's slot.
+      EXPECT_EQ(worker, outer_worker);
+      inner_total.fetch_add(i, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(inner_total.load(), 8u * 45u);
+}
+
+TEST(ThreadPoolTest, CrossPoolCallsStayParallelAndComplete) {
+  // Only *same-pool* re-entrancy runs inline; a different pool reached from
+  // inside a job keeps its own workers (the serving topology: SearchBatch's
+  // pool driven from a task on the shared pool).
+  ThreadPool outer(2);
+  ThreadPool inner(3);
+  std::atomic<size_t> total{0};
+  std::atomic<size_t> inner_max_worker{0};
+  outer.ParallelFor(6, [&](size_t, size_t) {
+    inner.ParallelFor(50, [&](size_t i, size_t worker) {
+      size_t seen = inner_max_worker.load();
+      while (worker > seen &&
+             !inner_max_worker.compare_exchange_weak(seen, worker)) {
+      }
+      total.fetch_add(i, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(total.load(), 6u * 1225u);
+  EXPECT_LT(inner_max_worker.load(), 3u);
+}
+
+TEST(ThreadPoolTest, SandwichedReentrancyRunsInlineWithOriginalWorkerId) {
+  // A -> B -> A on one thread: the innermost A-loop must find A's frame
+  // below B's on the stack and run inline as A's worker — not block on A's
+  // submit_mutex_ (held by A's original caller: deadlock).
+  ThreadPool a(2);
+  ThreadPool b(2);
+  std::atomic<size_t> total{0};
+  a.ParallelFor(4, [&](size_t, size_t outer_worker) {
+    // count == 1 keeps b's part on this thread, so the chain is
+    // deterministic.
+    b.ParallelFor(1, [&](size_t, size_t) {
+      a.ParallelFor(5, [&](size_t i, size_t worker) {
+        EXPECT_EQ(worker, outer_worker);
+        total.fetch_add(i, std::memory_order_relaxed);
+      });
+    });
+  });
+  EXPECT_EQ(total.load(), 4u * 10u);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.ParallelFor(100,
+                                [&](size_t i, size_t) {
+                                  if (i == 13) {
+                                    throw std::runtime_error("boom");
+                                  }
+                                }),
+               std::runtime_error);
+  // The pool survives a throwing job.
+  std::atomic<size_t> count{0};
+  pool.ParallelFor(10, [&](size_t, size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10u);
+}
+
+TEST(ThreadPoolTest, ZeroCountIsANoOp) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [&](size_t, size_t) { FAIL(); });
+}
+
+TEST(ParallelForTest, FreeFunctionCoversAllIndices) {
+  constexpr size_t kCount = 333;
+  std::vector<std::atomic<int>> hits(kCount);
+  ParallelFor(kCount, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+}  // namespace
+}  // namespace pdx

@@ -1,0 +1,325 @@
+#include "core/any_searcher.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "benchlib/datagen.h"
+#include "benchlib/recall.h"
+#include "core/searcher.h"
+
+namespace pdx {
+namespace {
+
+struct Fixture {
+  Dataset dataset;
+  IvfIndex index;
+};
+
+Fixture MakeFixture(size_t dim = 24, uint64_t seed = 71) {
+  SyntheticSpec spec;
+  spec.name = "any-searcher-test";
+  spec.dim = dim;
+  spec.count = 2000;
+  spec.num_queries = 10;
+  spec.num_clusters = 8;
+  spec.seed = seed;
+  spec.distribution = ValueDistribution::kNormal;
+  Fixture fx{GenerateDataset(spec), {}};
+  fx.index = IvfIndex::Build(fx.dataset.data, {});
+  return fx;
+}
+
+void ExpectSameNeighbors(const std::vector<Neighbor>& actual,
+                         const std::vector<Neighbor>& expected,
+                         const char* label, size_t query) {
+  ASSERT_EQ(actual.size(), expected.size()) << label << " query " << query;
+  for (size_t i = 0; i < actual.size(); ++i) {
+    ASSERT_EQ(actual[i].id, expected[i].id)
+        << label << " query " << query << " rank " << i;
+    ASSERT_FLOAT_EQ(actual[i].distance, expected[i].distance)
+        << label << " query " << query << " rank " << i;
+  }
+}
+
+SearcherConfig IvfConfig(PrunerKind pruner, size_t nprobe) {
+  SearcherConfig config;
+  config.layout = SearcherLayout::kIvf;
+  config.pruner = pruner;
+  config.k = 10;
+  config.nprobe = nprobe;
+  return config;
+}
+
+// The facade must be byte-for-byte the concrete searcher it erases: same
+// store construction, same pruner parameters, same engine — so ids AND
+// distances must match exactly for every layout x pruner combination.
+
+TEST(AnySearcherTest, IvfParityWithDirectFactories) {
+  Fixture fx = MakeFixture();
+  const size_t nprobe = 4;
+
+  auto ads = MakeAdsIvfSearcher(fx.dataset.data, fx.index, {});
+  auto bsa = MakeBsaIvfSearcher(fx.dataset.data, fx.index, {});
+  auto bond = MakeBondIvfSearcher(fx.dataset.data, fx.index, {});
+  auto linear = MakeLinearIvfSearcher(fx.dataset.data, fx.index);
+
+  struct Case {
+    PrunerKind pruner;
+    std::function<std::vector<Neighbor>(const float*)> direct;
+  };
+  const std::vector<Case> cases = {
+      {PrunerKind::kAdsampling,
+       [&](const float* q) { return ads->Search(q, 10, nprobe); }},
+      {PrunerKind::kBsa,
+       [&](const float* q) { return bsa->Search(q, 10, nprobe); }},
+      {PrunerKind::kBond,
+       [&](const float* q) { return bond->Search(q, 10, nprobe); }},
+      {PrunerKind::kLinear,
+       [&](const float* q) { return linear->Search(q, 10, nprobe); }},
+  };
+
+  for (const Case& c : cases) {
+    auto made = MakeSearcher(fx.dataset.data, fx.index,
+                             IvfConfig(c.pruner, nprobe));
+    ASSERT_TRUE(made.ok()) << made.status().ToString();
+    auto& facade = *made.value();
+    EXPECT_EQ(facade.index(), &fx.index);
+    EXPECT_EQ(facade.dim(), fx.dataset.dim());
+    for (size_t q = 0; q < fx.dataset.queries.count(); ++q) {
+      const float* query = fx.dataset.queries.Vector(q);
+      ExpectSameNeighbors(facade.Search(query), c.direct(query),
+                          PrunerKindName(c.pruner), q);
+    }
+  }
+}
+
+TEST(AnySearcherTest, FlatParityWithDirectFactories) {
+  Fixture fx = MakeFixture(20, 72);
+
+  auto ads = MakeAdsFlatSearcher(fx.dataset.data, {});
+  auto bsa = MakeBsaFlatSearcher(fx.dataset.data, {});
+  auto bond = MakeBondFlatSearcher(fx.dataset.data);
+  auto linear = MakeLinearFlatSearcher(fx.dataset.data);
+
+  struct Case {
+    PrunerKind pruner;
+    std::function<std::vector<Neighbor>(const float*)> direct;
+  };
+  const std::vector<Case> cases = {
+      {PrunerKind::kAdsampling,
+       [&](const float* q) { return ads->Search(q, 10); }},
+      {PrunerKind::kBsa, [&](const float* q) { return bsa->Search(q, 10); }},
+      {PrunerKind::kBond, [&](const float* q) { return bond->Search(q, 10); }},
+      {PrunerKind::kLinear,
+       [&](const float* q) { return linear->Search(q, 10); }},
+  };
+
+  for (const Case& c : cases) {
+    SearcherConfig config;
+    config.layout = SearcherLayout::kFlat;
+    config.pruner = c.pruner;
+    config.k = 10;
+    auto made = MakeSearcher(fx.dataset.data, config);
+    ASSERT_TRUE(made.ok()) << made.status().ToString();
+    auto& facade = *made.value();
+    EXPECT_EQ(facade.index(), nullptr);
+    for (size_t q = 0; q < fx.dataset.queries.count(); ++q) {
+      const float* query = fx.dataset.queries.Vector(q);
+      ExpectSameNeighbors(facade.Search(query), c.direct(query),
+                          PrunerKindName(c.pruner), q);
+    }
+  }
+}
+
+TEST(AnySearcherTest, FlatDefaultsMatchPaperBondSetup) {
+  Fixture fx = MakeFixture(16, 73);
+  auto made = MakeSearcher(fx.dataset.data, {});
+  ASSERT_TRUE(made.ok());
+  // Flat PDX-BOND resolves to the paper's 10K-vector exact-search
+  // partitions: 2000 vectors -> one block.
+  EXPECT_EQ(made.value()->options().block_capacity,
+            kExactSearchBlockCapacity);
+  EXPECT_EQ(made.value()->store().num_blocks(), 1u);
+}
+
+TEST(AnySearcherTest, OwnedIndexPathReachesFullRecall) {
+  Fixture fx = MakeFixture(24, 74);
+  SearcherConfig config = IvfConfig(PrunerKind::kBond, 64);
+  // No external index: the factory builds and owns one.
+  auto made = MakeSearcher(fx.dataset.data, config);
+  ASSERT_TRUE(made.ok()) << made.status().ToString();
+  auto& searcher = *made.value();
+  ASSERT_NE(searcher.index(), nullptr);
+  searcher.set_nprobe(searcher.index()->num_buckets());
+
+  const auto truth =
+      ComputeGroundTruth(fx.dataset.data, fx.dataset.queries, 10, Metric::kL2);
+  double sum = 0.0;
+  for (size_t q = 0; q < fx.dataset.queries.count(); ++q) {
+    sum += RecallAtK(searcher.Search(fx.dataset.queries.Vector(q)), truth[q],
+                     10);
+  }
+  // Full probe + exact pruner == exact search.
+  EXPECT_DOUBLE_EQ(sum / fx.dataset.queries.count(), 1.0);
+}
+
+TEST(AnySearcherTest, BatchMatchesSequentialAcrossThreadCounts) {
+  Fixture fx = MakeFixture(24, 75);
+  for (PrunerKind pruner :
+       {PrunerKind::kAdsampling, PrunerKind::kBsa, PrunerKind::kBond,
+        PrunerKind::kLinear}) {
+    auto made =
+        MakeSearcher(fx.dataset.data, fx.index, IvfConfig(pruner, 4));
+    ASSERT_TRUE(made.ok());
+    auto& searcher = *made.value();
+
+    std::vector<std::vector<Neighbor>> expected;
+    for (size_t q = 0; q < fx.dataset.queries.count(); ++q) {
+      expected.push_back(searcher.Search(fx.dataset.queries.Vector(q)));
+    }
+    for (size_t threads : {1u, 2u, 4u, 7u}) {
+      searcher.set_threads(threads);
+      const auto batch = searcher.SearchBatch(fx.dataset.queries.data(),
+                                              fx.dataset.queries.count());
+      ASSERT_EQ(batch.size(), expected.size());
+      for (size_t q = 0; q < batch.size(); ++q) {
+        ExpectSameNeighbors(batch[q], expected[q], PrunerKindName(pruner), q);
+      }
+    }
+  }
+}
+
+TEST(AnySearcherTest, FlatBatchMatchesSequential) {
+  Fixture fx = MakeFixture(20, 76);
+  SearcherConfig config;
+  config.pruner = PrunerKind::kBond;
+  config.threads = 3;
+  auto made = MakeSearcher(fx.dataset.data, config);
+  ASSERT_TRUE(made.ok());
+  auto& searcher = *made.value();
+  const auto batch = searcher.SearchBatch(fx.dataset.queries.data(),
+                                          fx.dataset.queries.count());
+  for (size_t q = 0; q < fx.dataset.queries.count(); ++q) {
+    ExpectSameNeighbors(batch[q],
+                        searcher.Search(fx.dataset.queries.Vector(q)), "bond",
+                        q);
+  }
+}
+
+TEST(AnySearcherTest, BatchProfileAggregates) {
+  Fixture fx = MakeFixture(16, 77);
+  SearcherConfig config = IvfConfig(PrunerKind::kBond, 4);
+  config.threads = 2;
+  auto made = MakeSearcher(fx.dataset.data, fx.index, config);
+  ASSERT_TRUE(made.ok());
+  auto& searcher = *made.value();
+  const size_t nq = fx.dataset.queries.count();
+  searcher.SearchBatch(fx.dataset.queries.data(), nq);
+  const BatchProfile& profile = searcher.last_batch_profile();
+  EXPECT_EQ(profile.queries, nq);
+  EXPECT_GT(profile.wall_ms, 0.0);
+  EXPECT_GT(profile.sum.values_total, 0u);
+  EXPECT_LE(profile.sum.values_scanned, profile.sum.values_total);
+  EXPECT_GT(profile.qps(), 0.0);
+  EXPECT_GE(profile.pruning_power(), 0.0);
+}
+
+TEST(AnySearcherTest, SetKTakesEffect) {
+  Fixture fx = MakeFixture(16, 78);
+  auto made = MakeSearcher(fx.dataset.data, fx.index,
+                           IvfConfig(PrunerKind::kLinear, 4));
+  ASSERT_TRUE(made.ok());
+  auto& searcher = *made.value();
+  EXPECT_EQ(searcher.Search(fx.dataset.queries.Vector(0)).size(), 10u);
+  searcher.set_k(3);
+  EXPECT_EQ(searcher.Search(fx.dataset.queries.Vector(0)).size(), 3u);
+  searcher.set_threads(2);
+  const auto batch = searcher.SearchBatch(fx.dataset.queries.data(), 4);
+  for (const auto& result : batch) EXPECT_EQ(result.size(), 3u);
+}
+
+// --- Config validation ----------------------------------------------------
+
+TEST(AnySearcherTest, RejectsZeroK) {
+  Fixture fx = MakeFixture(16, 79);
+  SearcherConfig config;
+  config.k = 0;
+  const auto made = MakeSearcher(fx.dataset.data, config);
+  ASSERT_FALSE(made.ok());
+  EXPECT_TRUE(made.status().IsInvalidArgument());
+}
+
+TEST(AnySearcherTest, RejectsZeroNprobeOnIvfOnly) {
+  Fixture fx = MakeFixture(16, 80);
+  SearcherConfig config = IvfConfig(PrunerKind::kBond, 0);
+  ASSERT_FALSE(MakeSearcher(fx.dataset.data, config).ok());
+  // The same nprobe is irrelevant (and legal) on the flat layout.
+  config.layout = SearcherLayout::kFlat;
+  EXPECT_TRUE(MakeSearcher(fx.dataset.data, config).ok());
+}
+
+TEST(AnySearcherTest, RejectsMetricsThePrunerCannotBound) {
+  Fixture fx = MakeFixture(16, 81);
+  SearcherConfig config;
+  config.pruner = PrunerKind::kAdsampling;
+  config.metric = Metric::kIp;
+  EXPECT_TRUE(MakeSearcher(fx.dataset.data, config).status().IsUnsupported());
+  config.pruner = PrunerKind::kBsa;
+  config.metric = Metric::kL1;
+  EXPECT_TRUE(MakeSearcher(fx.dataset.data, config).status().IsUnsupported());
+  config.pruner = PrunerKind::kBond;
+  config.metric = Metric::kIp;
+  EXPECT_TRUE(MakeSearcher(fx.dataset.data, config).status().IsUnsupported());
+  // The linear scan has no bound to invalidate.
+  config.pruner = PrunerKind::kLinear;
+  config.metric = Metric::kIp;
+  EXPECT_TRUE(MakeSearcher(fx.dataset.data, config).ok());
+}
+
+TEST(AnySearcherTest, RejectsZeroBondZoneSize) {
+  Fixture fx = MakeFixture(16, 85);
+  SearcherConfig config;
+  config.pruner = PrunerKind::kBond;
+  config.bond_zone_size = 0;
+  EXPECT_TRUE(
+      MakeSearcher(fx.dataset.data, config).status().IsInvalidArgument());
+}
+
+TEST(AnySearcherTest, RejectsOutOfRangeEnumValues) {
+  Fixture fx = MakeFixture(16, 84);
+  SearcherConfig config;
+  config.pruner = static_cast<PrunerKind>(7);
+  EXPECT_TRUE(
+      MakeSearcher(fx.dataset.data, config).status().IsInvalidArgument());
+  config = SearcherConfig{};
+  config.layout = static_cast<SearcherLayout>(9);
+  EXPECT_TRUE(
+      MakeSearcher(fx.dataset.data, config).status().IsInvalidArgument());
+}
+
+TEST(AnySearcherTest, RejectsEmptyCollection) {
+  VectorSet empty(8);
+  EXPECT_TRUE(
+      MakeSearcher(empty, SearcherConfig{}).status().IsInvalidArgument());
+}
+
+TEST(AnySearcherTest, RejectsMismatchedExternalIndex) {
+  Fixture fx = MakeFixture(16, 82);
+  // Flat layout with an external IVF index makes no sense.
+  SearcherConfig config;
+  config.layout = SearcherLayout::kFlat;
+  EXPECT_TRUE(MakeSearcher(fx.dataset.data, fx.index, config)
+                  .status()
+                  .IsInvalidArgument());
+  // Index built over a different collection shape.
+  Fixture other = MakeFixture(32, 83);
+  EXPECT_TRUE(MakeSearcher(other.dataset.data, fx.index,
+                           IvfConfig(PrunerKind::kBond, 4))
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace pdx

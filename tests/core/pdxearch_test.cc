@@ -90,6 +90,46 @@ TEST(PdxearchTest, SelectionFractionDoesNotChangeExactResults) {
   }
 }
 
+TEST(PdxearchTest, SelectionFractionOneStaysExact) {
+  // selection_fraction >= 1.0 used to drop every post-START block straight
+  // into PRUNE; the clamped prune_entry must keep results exact and keep
+  // the all-lanes WARMUP kernels in use until something is pruned.
+  Dataset dataset = MakeDataset(20, 19);
+  for (float fraction : {1.0f, 1.5f}) {
+    BondConfig config;
+    config.search.selection_fraction = fraction;
+    config.block_capacity = 256;
+    auto searcher = MakeBondFlatSearcher(dataset.data, config);
+    const float* query = dataset.queries.Vector(0);
+    const auto expected = FlatSearchNary(dataset.data, query, 10, Metric::kL2);
+    const auto actual = searcher->Search(query, 10);
+    ASSERT_EQ(actual.size(), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      ASSERT_EQ(actual[i].id, expected[i].id) << "fraction " << fraction;
+    }
+  }
+}
+
+TEST(PdxearchTest, SingleVectorBlocksNeverEnterPrune) {
+  // n == 1 blocks: prune_entry clamps to 0, so the lone lane finishes in
+  // WARMUP (alive can only drop to 0, which ends the loop anyway).
+  Dataset dataset = MakeDataset(16, 20, /*count=*/120);
+  PdxStore store = PdxStore::FromVectorSet(dataset.data, /*block_capacity=*/1);
+  ASSERT_EQ(store.num_blocks(), dataset.data.count());
+  PdxBondPruner pruner(store.stats().means, DimensionOrder::kSequential);
+  PdxearchEngine<PdxBondPruner> engine(&store, &pruner, {});
+  for (size_t q = 0; q < dataset.queries.count(); ++q) {
+    const float* query = dataset.queries.Vector(q);
+    const auto expected = FlatSearchNary(dataset.data, query, 10, Metric::kL2);
+    const auto actual = engine.SearchFlat(query);
+    ASSERT_EQ(actual.size(), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      ASSERT_EQ(actual[i].id, expected[i].id) << "query " << q;
+      ASSERT_FLOAT_EQ(actual[i].distance, expected[i].distance);
+    }
+  }
+}
+
 TEST(PdxearchTest, ProfileValuesAreConsistent) {
   Dataset dataset = MakeDataset(28, 12);
   // Small blocks so the 2000-vector collection spans many blocks and the

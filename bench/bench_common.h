@@ -10,6 +10,7 @@
 
 #include "benchlib/bench_utils.h"
 #include "benchlib/datagen.h"
+#include "benchlib/latency.h"
 #include "benchlib/recall.h"
 #include "benchlib/workloads.h"
 #include "common/timer.h"
@@ -38,10 +39,12 @@ inline IvfScenario BuildIvfScenario(const SyntheticSpec& spec,
   return s;
 }
 
-/// Runs `search(query_index)` for every query; returns {mean recall, QPS}.
+/// Runs `search(query_index)` for every query; returns mean recall, QPS,
+/// and the per-query latency distribution (p50/p95/p99).
 struct SweepResult {
   double recall = 0.0;
   double qps = 0.0;
+  LatencySummary latency;
 };
 
 inline SweepResult MeasureSweep(
@@ -50,12 +53,18 @@ inline SweepResult MeasureSweep(
   const size_t nq = s.dataset.queries.count();
   std::vector<std::vector<Neighbor>> results;
   results.reserve(nq);
+  LatencyRecorder latencies;
   Timer timer;
-  for (size_t q = 0; q < nq; ++q) results.push_back(search(q));
+  for (size_t q = 0; q < nq; ++q) {
+    Timer per_query;
+    results.push_back(search(q));
+    latencies.Record(per_query.ElapsedMillis());
+  }
   const double seconds = timer.ElapsedSeconds();
   SweepResult out;
   out.qps = static_cast<double>(nq) / seconds;
   out.recall = MeanRecallAtK(results, s.truth, s.k);
+  out.latency = latencies.Summary();
   return out;
 }
 

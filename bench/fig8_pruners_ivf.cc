@@ -38,13 +38,15 @@ void RunDataset(const SyntheticSpec& spec) {
         return true;
       });
 
-  TextTable table({"dataset", "nprobe", "method", "recall@10",
-                          "QPS"});
+  TextTable table({"dataset", "nprobe", "method", "recall@10", "QPS",
+                   "p50(ms)", "p95(ms)", "p99(ms)"});
   for (size_t nprobe : bench::NprobeLadder(s.index.num_buckets())) {
     auto add = [&](const std::string& method, const bench::SweepResult& r) {
       table.AddRow({spec.name, std::to_string(nprobe), method,
-                    TextTable::Num(r.recall, 3),
-                    TextTable::Num(r.qps, 0)});
+                    TextTable::Num(r.recall, 3), TextTable::Num(r.qps, 0),
+                    TextTable::Num(r.latency.p50_ms, 3),
+                    TextTable::Num(r.latency.p95_ms, 3),
+                    TextTable::Num(r.latency.p99_ms, 3)});
     };
     for (NamedSearcher& entry : roster) {
       entry.searcher->set_nprobe(nprobe);

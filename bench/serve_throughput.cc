@@ -1,0 +1,102 @@
+// Serving-layer benchmark: throughput under concurrency through the async
+// SearchService — N client threads multiplexed over ONE shared pool, with
+// FIFO admission and opportunistic micro-batching — against the direct
+// single-caller SearchBatch baseline on the same collections.
+//
+// Expected shape: service QPS grows with submitters until the pool
+// saturates (on a many-core host); tail latency (p99) grows with the queue
+// depth the extra submitters sustain. The "direct" row is the zero-shell
+// upper bound for one caller.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "serve/search_service.h"
+
+namespace pdx {
+namespace {
+
+void RunDataset(const SyntheticSpec& spec) {
+  bench::IvfScenario s = bench::BuildIvfScenario(spec);
+
+  SearcherConfig bond = {};
+  bond.layout = SearcherLayout::kIvf;
+  bond.pruner = PrunerKind::kBond;
+  bond.nprobe = 16;
+  SearcherConfig ads = bond;
+  ads.pruner = PrunerKind::kAdsampling;
+
+  TextTable table({"dataset", "mode", "submitters", "QPS", "p50(ms)",
+                   "p95(ms)", "p99(ms)", "rejected"});
+
+  // Baseline: one caller, direct batched searcher, same pool size.
+  {
+    auto direct = MakeSearcher(s.dataset.data, s.index, [&] {
+      SearcherConfig config = bond;
+      config.threads = 0;
+      return config;
+    }());
+    if (direct.ok()) {
+      direct.value()->SearchBatch(s.dataset.queries.data(),
+                                  s.dataset.queries.count());
+      const BatchProfile& bp = direct.value()->last_batch_profile();
+      const LatencySummary lat = bp.latency_summary();
+      table.AddRow({spec.name, "direct", "1", TextTable::Num(bp.qps(), 0),
+                    TextTable::Num(lat.p50_ms, 3),
+                    TextTable::Num(lat.p95_ms, 3),
+                    TextTable::Num(lat.p99_ms, 3), "0"});
+    }
+  }
+
+  for (size_t submitters : {1u, 2u, 4u, 8u}) {
+    // Fresh service per rung so the stats (percentiles, QPS span) describe
+    // exactly this concurrency level.
+    ServiceConfig sc;
+    sc.threads = 0;  // One worker per hardware thread.
+    sc.max_pending = 4096;
+    SearchService service(sc);
+    if (!service.AddCollection("bond", s.dataset.data, s.index, bond).ok() ||
+        !service.AddCollection("ads", s.dataset.data, s.index, ads).ok()) {
+      std::fprintf(stderr, "serve_throughput: AddCollection failed\n");
+      return;
+    }
+    ServiceLoadOptions load;
+    load.submitters = submitters;
+    load.queries_per_submitter = 200;
+    const ServiceLoadResult result = RunServiceLoad(
+        service, {"bond", "ads"}, s.dataset.queries, load);
+    // Percentiles from the service's own per-collection recorders, merged
+    // across the two collections by taking the worse (serving headline
+    // numbers are per-collection; the table wants one line).
+    const ServiceStats stats = service.Stats();
+    LatencySummary worst;
+    for (const auto& [name, cs] : stats.collections) {
+      if (cs.latency.p99_ms >= worst.p99_ms) worst = cs.latency;
+    }
+    table.AddRow({spec.name, "service", std::to_string(submitters),
+                  TextTable::Num(result.qps(), 0),
+                  TextTable::Num(worst.p50_ms, 3),
+                  TextTable::Num(worst.p95_ms, 3),
+                  TextTable::Num(worst.p99_ms, 3),
+                  std::to_string(result.rejected)});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace pdx
+
+int main() {
+  using namespace pdx;
+  PrintBanner(
+      "Serving: SearchService throughput under concurrency (2 collections, "
+      "one shared pool)");
+  const double scale = BenchScaleFromEnv();
+  for (SyntheticSpec spec : CoreWorkloads(scale * 0.5)) {
+    spec.num_queries = 100;
+    RunDataset(spec);
+  }
+  return 0;
+}

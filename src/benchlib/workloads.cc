@@ -1,9 +1,14 @@
 #include "benchlib/workloads.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <deque>
 #include <string>
+#include <thread>
+
+#include "common/timer.h"
 
 namespace pdx {
 
@@ -107,6 +112,61 @@ std::vector<NamedSearcher> BuildPrunerRoster(
     searchers.push_back({name, std::move(made).value()});
   }
   return searchers;
+}
+
+ServiceLoadResult RunServiceLoad(SearchService& service,
+                                 const std::vector<std::string>& collections,
+                                 const VectorSet& queries,
+                                 const ServiceLoadOptions& options) {
+  ServiceLoadResult result;
+  if (collections.empty() || queries.count() == 0 ||
+      options.submitters == 0) {
+    return result;
+  }
+  const size_t window = std::max<size_t>(1, options.window);
+  std::atomic<size_t> completed{0};
+  std::atomic<size_t> rejected{0};
+  std::atomic<size_t> failed{0};
+
+  Timer wall;
+  std::vector<std::thread> clients;
+  clients.reserve(options.submitters);
+  for (size_t t = 0; t < options.submitters; ++t) {
+    clients.emplace_back([&, t] {
+      auto tally = [&](QueryResult r) {
+        if (r.status.ok()) {
+          completed.fetch_add(1, std::memory_order_relaxed);
+        } else if (r.status.IsResourceExhausted()) {
+          rejected.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          failed.fetch_add(1, std::memory_order_relaxed);
+        }
+      };
+      std::deque<std::future<QueryResult>> outstanding;
+      for (size_t i = 0; i < options.queries_per_submitter; ++i) {
+        const size_t q = (t * options.queries_per_submitter + i) %
+                         queries.count();
+        const std::string& name =
+            collections[(t + i) % collections.size()];
+        outstanding.push_back(
+            service.Submit(name, queries.Vector(q), options.query).result);
+        if (outstanding.size() >= window) {
+          tally(outstanding.front().get());
+          outstanding.pop_front();
+        }
+      }
+      while (!outstanding.empty()) {
+        tally(outstanding.front().get());
+        outstanding.pop_front();
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  result.wall_ms = wall.ElapsedMillis();
+  result.completed = completed.load();
+  result.rejected = rejected.load();
+  result.failed = failed.load();
+  return result;
 }
 
 }  // namespace pdx

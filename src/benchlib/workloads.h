@@ -10,6 +10,7 @@
 
 #include "benchlib/datagen.h"
 #include "core/any_searcher.h"
+#include "serve/search_service.h"
 
 namespace pdx {
 
@@ -59,6 +60,39 @@ std::vector<NamedSearcher> BuildPrunerRoster(
     size_t k = 10, size_t nprobe = 16, size_t threads = 1,
     const std::function<bool(const std::string& name, SearcherConfig&)>&
         customize = nullptr);
+
+/// Shape of one throughput-under-concurrency run against a SearchService.
+struct ServiceLoadOptions {
+  size_t submitters = 4;             ///< Concurrent client threads.
+  size_t queries_per_submitter = 64; ///< Submissions per client.
+  /// Outstanding futures each client keeps before waiting on the oldest —
+  /// a closed loop that bounds queue depth at submitters * window.
+  size_t window = 16;
+  QueryOptions query;                ///< Per-query options (k, timeout, ...).
+};
+
+/// Outcome of RunServiceLoad, tallied across every submitter.
+struct ServiceLoadResult {
+  size_t completed = 0;  ///< status OK.
+  size_t rejected = 0;   ///< kResourceExhausted backpressure.
+  size_t failed = 0;     ///< Everything else (expired, cancelled, ...).
+  double wall_ms = 0.0;  ///< First submit to last result, all clients.
+  double qps() const {
+    return wall_ms > 0.0
+               ? 1000.0 * static_cast<double>(completed) / wall_ms
+               : 0.0;
+  }
+};
+
+/// Drives `service` from `options.submitters` client threads, each
+/// submitting `queries_per_submitter` queries round-robin across
+/// `collections` and over the `queries` set. The serving-layer benchmark
+/// workload: all clients multiplex onto the service's one shared pool.
+/// Collections must already be hosted; `collections` must be non-empty.
+ServiceLoadResult RunServiceLoad(SearchService& service,
+                                 const std::vector<std::string>& collections,
+                                 const VectorSet& queries,
+                                 const ServiceLoadOptions& options = {});
 
 }  // namespace pdx
 

@@ -37,12 +37,26 @@ class FrameGuard {
   FrameGuard& operator=(const FrameGuard&) = delete;
 };
 
+// Relaxed is enough: the counter is a test/diagnostic aid, never a
+// synchronization point.
+std::atomic<uint64_t> pool_creation_counter{0};
+
 }  // namespace
 
-ThreadPool::ThreadPool(size_t num_threads) {
+size_t ResolveThreadCount(size_t num_threads) {
   if (num_threads == 0) {
     num_threads = std::max(1u, std::thread::hardware_concurrency());
   }
+  return std::min(num_threads, kMaxPoolThreads);
+}
+
+uint64_t ThreadPool::num_created() {
+  return pool_creation_counter.load(std::memory_order_relaxed);
+}
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  pool_creation_counter.fetch_add(1, std::memory_order_relaxed);
+  num_threads = ResolveThreadCount(num_threads);
   workers_.reserve(num_threads - 1);
   for (size_t w = 1; w < num_threads; ++w) {
     workers_.emplace_back([this, w] { WorkerMain(w); });

@@ -14,6 +14,19 @@
 
 namespace pdx {
 
+/// Upper bound on any thread-count knob (ThreadPool size,
+/// SearcherConfig::threads, ServiceConfig::threads). A value above this is
+/// almost certainly a unit mistake (microseconds, bytes); construction-time
+/// validation rejects it and runtime setters clamp to it.
+inline constexpr size_t kMaxPoolThreads = 256;
+
+/// The one place the thread-count semantic lives, shared by ThreadPool,
+/// Searcher::SearchBatch, ValidateSearcherConfig and the serving layer:
+/// 0 = one thread per hardware thread (at least 1); anything else is taken
+/// literally, clamped to kMaxPoolThreads. The returned count includes the
+/// calling thread, so 1 means "fully sequential, spawn nothing".
+size_t ResolveThreadCount(size_t num_threads);
+
 /// A persistent pool of worker threads executing counted parallel loops.
 ///
 /// Workers are spawned once and reused across ParallelFor calls, so the
@@ -27,8 +40,9 @@ namespace pdx {
 /// exactly the code they measured before.
 class ThreadPool {
  public:
-  /// `num_threads` = total threads including the caller; 0 = one per
-  /// hardware thread. A pool of size n spawns n-1 workers.
+  /// `num_threads` = total threads including the caller, resolved through
+  /// ResolveThreadCount (0 = one per hardware thread). A pool of size n
+  /// spawns n-1 workers.
   explicit ThreadPool(size_t num_threads = 0);
   ~ThreadPool();
 
@@ -37,6 +51,16 @@ class ThreadPool {
 
   /// Total threads a loop can run on (spawned workers + the caller).
   size_t num_threads() const { return workers_.size() + 1; }
+
+  /// True when the pool spawned no workers: every loop runs inline on the
+  /// caller, byte-for-byte a sequential loop.
+  bool is_sequential() const { return workers_.empty(); }
+
+  /// Process-wide count of ThreadPool constructions. Serving code shares
+  /// one pool across searchers; tests snapshot this before a query burst
+  /// and assert it did not move — proof no pool was built on the query
+  /// path.
+  static uint64_t num_created();
 
   /// Runs fn(item, worker) for item in [0, count); `worker` is a dense id
   /// in [0, num_threads()), stable within one call — per-worker scratch

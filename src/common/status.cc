@@ -18,6 +18,14 @@ const char* CodeName(Status::Code code) {
       return "Corruption";
     case Status::Code::kUnsupported:
       return "Unsupported";
+    case Status::Code::kResourceExhausted:
+      return "ResourceExhausted";
+    case Status::Code::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case Status::Code::kCancelled:
+      return "Cancelled";
+    case Status::Code::kInternal:
+      return "Internal";
   }
   return "Unknown";
 }

@@ -22,6 +22,10 @@ class Status {
     kNotFound,
     kCorruption,
     kUnsupported,
+    kResourceExhausted,  ///< A bounded resource (queue, pool) is full.
+    kDeadlineExceeded,   ///< The caller's deadline passed before completion.
+    kCancelled,          ///< The operation was cancelled before it ran.
+    kInternal,           ///< An invariant broke (e.g. a search threw).
   };
 
   /// Constructs an OK status.
@@ -48,6 +52,18 @@ class Status {
   static Status Unsupported(std::string msg) {
     return Status(Code::kUnsupported, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(Code::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(Code::kCancelled, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
@@ -55,6 +71,12 @@ class Status {
   bool IsNotFound() const { return code_ == Code::kNotFound; }
   bool IsCorruption() const { return code_ == Code::kCorruption; }
   bool IsUnsupported() const { return code_ == Code::kUnsupported; }
+  bool IsResourceExhausted() const {
+    return code_ == Code::kResourceExhausted;
+  }
+  bool IsDeadlineExceeded() const { return code_ == Code::kDeadlineExceeded; }
+  bool IsCancelled() const { return code_ == Code::kCancelled; }
+  bool IsInternal() const { return code_ == Code::kInternal; }
 
   Code code() const { return code_; }
 

@@ -1,7 +1,7 @@
 #include "core/any_searcher.h"
 
 #include <algorithm>
-#include <thread>
+#include <string>
 #include <utility>
 
 #include "common/parallel.h"
@@ -60,6 +60,14 @@ Status ValidateSearcherConfig(const SearcherConfig& config) {
   if (config.layout == SearcherLayout::kIvf && config.nprobe == 0) {
     return Status::InvalidArgument(
         "SearcherConfig: nprobe must be > 0 on the IVF layout");
+  }
+  // Same discipline as Searcher::set_threads, which clamps at runtime:
+  // ResolveThreadCount (common/parallel.h) owns the 0 = one-per-hardware-
+  // thread semantic; counts above kMaxPoolThreads are unit mistakes.
+  if (config.threads > kMaxPoolThreads) {
+    return Status::InvalidArgument(
+        "SearcherConfig: threads must be <= " +
+        std::to_string(kMaxPoolThreads) + " (0 = one per hardware thread)");
   }
   switch (config.pruner) {
     case PrunerKind::kLinear:
@@ -170,39 +178,47 @@ class AnySearcherImpl final : public Searcher {
     if (num_queries == 0) return results;
 
     const size_t d = dim();
-    size_t threads =
-        config_.threads == 0
-            ? std::max<size_t>(1, std::thread::hardware_concurrency())
-            : config_.threads;
+    size_t threads = ResolveThreadCount(config_.threads);
     // A step observer is single-consumer state; don't race on it.
     if (config_.search.step_observer) threads = 1;
+    // An injected pool (one shared across searchers — the serving layer)
+    // replaces the private pool and dictates the worker count; threads == 1
+    // keeps its sequential meaning even then.
+    ThreadPool* shared = threads > 1 ? config_.pool : nullptr;
+    if (shared != nullptr) threads = shared->num_threads();
 
     if (threads <= 1 || num_queries == 1) {
       Timer wall;
       for (size_t q = 0; q < num_queries; ++q) {
+        Timer per_query;
         results[q] = Search(queries + q * d);
+        batch_profile_.latency.Record(per_query.ElapsedMillis());
         batch_profile_.Accumulate(last_profile());
       }
       batch_profile_.wall_ms = wall.ElapsedMillis();
     } else {
-      // Pool and engines are sized to the configured thread count, not the
-      // batch size: small batches leave workers idle for one wakeup instead
-      // of tearing the "persistent" pool down. Setup stays outside the
+      // Pool and engines are sized to the thread count, not the batch
+      // size: small batches leave workers idle for one wakeup instead of
+      // tearing the "persistent" pool down. Setup stays outside the
       // wall-clock so qps() reflects steady-state serving.
-      EnsureWorkers(threads);
+      ThreadPool& pool = shared != nullptr ? *shared : EnsureOwnPool(threads);
+      EnsureEngines(threads);
       std::vector<BatchProfile> worker_profiles(threads);
       Timer wall;
-      pool_->ParallelFor(num_queries, [&](size_t q, size_t w) {
+      pool.ParallelFor(num_queries, [&](size_t q, size_t w) {
+        Timer per_query;
         PdxearchEngine<P>& engine = *engines_[w];
         results[q] = flat_ != nullptr
                          ? engine.SearchFlat(queries + q * d)
                          : engine.SearchIvf(*index_, queries + q * d,
                                             config_.nprobe);
+        worker_profiles[w].latency.Record(per_query.ElapsedMillis());
         worker_profiles[w].Accumulate(engine.last_profile());
       });
       batch_profile_.wall_ms = wall.ElapsedMillis();
       for (const BatchProfile& wp : worker_profiles) {
         batch_profile_.Accumulate(wp.sum);
+        batch_profile_.latency.Merge(wp.latency);
       }
     }
     return results;
@@ -223,12 +239,18 @@ class AnySearcherImpl final : public Searcher {
     return flat_ != nullptr ? flat_->pruner() : ivf_->pruner();
   }
 
-  // Lazily sizes the pool and the per-worker engines, and pushes the
-  // current knobs (k may have changed since the last batch) into each.
-  void EnsureWorkers(size_t threads) {
+  // Lazily constructs/resizes the private pool; never reached with an
+  // injected shared pool (the query path then constructs no pool at all).
+  ThreadPool& EnsureOwnPool(size_t threads) {
     if (pool_ == nullptr || pool_->num_threads() != threads) {
       pool_ = std::make_unique<ThreadPool>(threads);
     }
+    return *pool_;
+  }
+
+  // Lazily grows the per-worker engines and pushes the current knobs (k
+  // may have changed since the last batch) into each.
+  void EnsureEngines(size_t threads) {
     while (engines_.size() < threads) {
       engines_.push_back(std::make_unique<PdxearchEngine<P>>(
           &store(), &pruner(), config_.search));

@@ -9,6 +9,8 @@
 #include <optional>
 #include <vector>
 
+#include "benchlib/latency.h"
+#include "common/parallel.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "core/pdxearch.h"
@@ -46,9 +48,19 @@ struct SearcherConfig {
   size_t k = 10;        ///< Neighbors per query; must be > 0.
   size_t nprobe = 16;   ///< IVF buckets per query; must be > 0 on kIvf.
   /// Worker threads for SearchBatch, caller included: 1 = sequential (the
-  /// paper-methodology default), 0 = one per hardware thread. Single-query
-  /// Search is always sequential.
+  /// paper-methodology default); see ResolveThreadCount in common/parallel.h
+  /// for the 0 = one-per-hardware-thread semantic and the kMaxPoolThreads
+  /// ceiling ValidateSearcherConfig enforces. Single-query Search is always
+  /// sequential.
   size_t threads = 1;
+  /// Optional non-owning shared pool for SearchBatch — the serving layer
+  /// (src/serve/) injects one pool across every hosted collection. nullptr
+  /// (default) keeps today's behavior: the searcher lazily owns a private
+  /// pool sized to `threads`. With a pool injected, `threads` keeps only
+  /// its sequential escape hatch (1 = sequential); any other value runs on
+  /// the injected pool at the pool's size. The pool must outlive the
+  /// searcher.
+  ThreadPool* pool = nullptr;
   /// Vectors per PDX block; 0 = layout default (kPdxBlockSize, or the
   /// paper's 10K partitions for flat PDX-BOND).
   size_t block_capacity = 0;
@@ -80,8 +92,11 @@ struct BatchProfile {
   size_t queries = 0;
   double wall_ms = 0.0;     ///< Wall clock around the whole batch.
   PdxearchProfile sum;      ///< Per-query profiles, summed.
+  LatencyRecorder latency;  ///< Per-query wall latencies (p50/p95/p99).
 
   void Accumulate(const PdxearchProfile& profile);
+  /// Percentile snapshot of the per-query latencies.
+  LatencySummary latency_summary() const { return latency.Summary(); }
   double qps() const {
     return wall_ms > 0.0 ? 1000.0 * static_cast<double>(queries) / wall_ms
                          : 0.0;
@@ -144,7 +159,19 @@ class Searcher {
     assert(nprobe > 0);
     config_.nprobe = std::max<size_t>(1, nprobe);
   }
-  void set_threads(size_t threads) { config_.threads = threads; }
+  /// Same validate-or-clamp discipline as set_k/set_nprobe: a count above
+  /// kMaxPoolThreads is a programming error (asserted in debug builds) and
+  /// clamped in release builds. 0 stays legal — ResolveThreadCount in
+  /// common/parallel.h is the single home of the "0 = one per hardware
+  /// thread" semantic.
+  void set_threads(size_t threads) {
+    assert(threads <= kMaxPoolThreads);
+    config_.threads = std::min(threads, kMaxPoolThreads);
+  }
+  /// Injects (or with nullptr removes) a shared batch pool at runtime —
+  /// the serving layer calls this on adopted searchers. See
+  /// SearcherConfig::pool for the semantics and lifetime requirement.
+  void set_pool(ThreadPool* pool) { config_.pool = pool; }
 
  protected:
   explicit Searcher(SearcherConfig config) : config_(std::move(config)) {}

@@ -26,6 +26,14 @@
 ///   auto ads = pdx::MakeSearcher(data, config).value();
 ///   auto all_nn = ads->SearchBatch(queries, num_queries);
 ///
+/// Serving many clients asynchronously — named collections, one shared
+/// pool, futures with admission control (src/serve/):
+///
+///   pdx::SearchService service;
+///   service.AddCollection("docs", data, config);
+///   auto ticket = service.Submit("docs", query);
+///   pdx::QueryResult result = ticket.result.get();
+///
 /// The compile-time factories (MakeBondFlatSearcher, MakeAdsIvfSearcher,
 /// ...) remain for benchmark code that wants the concrete types.
 
@@ -42,6 +50,7 @@
 #include "pruning/bond.h"        // IWYU pragma: export
 #include "pruning/bsa.h"         // IWYU pragma: export
 #include "pruning/pdx_bond.h"    // IWYU pragma: export
+#include "serve/search_service.h"  // IWYU pragma: export
 #include "storage/fvecs_io.h"    // IWYU pragma: export
 #include "storage/pdx_store.h"   // IWYU pragma: export
 #include "storage/vector_set.h"  // IWYU pragma: export

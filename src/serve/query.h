@@ -1,0 +1,61 @@
+#ifndef PDX_SERVE_QUERY_H_
+#define PDX_SERVE_QUERY_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace pdx {
+
+/// Per-query knobs for SearchService::Submit. Zero means "use the hosted
+/// collection's configured default"; overrides are clamped with the same
+/// discipline as Searcher::set_k / set_nprobe.
+struct QueryOptions {
+  size_t k = 0;       ///< Neighbors to return; 0 = collection default.
+  size_t nprobe = 0;  ///< IVF buckets to probe; 0 = default, ignored on flat.
+  /// Deadline relative to admission; <= 0 = none. A query whose deadline
+  /// passes while it waits in the queue completes with kDeadlineExceeded
+  /// and is never dispatched (load shedding: late answers are wasted work).
+  std::chrono::milliseconds timeout{0};
+};
+
+/// What a submitted query resolves to — through the future or the
+/// callback. `status` is OK exactly when `neighbors` is meaningful:
+///   kNotFound          — no collection under that name
+///   kResourceExhausted — admission queue full (backpressure; retry later)
+///   kDeadlineExceeded  — QueryOptions::timeout passed before dispatch
+///   kCancelled         — Cancel()/RemoveCollection/Shutdown got there first
+struct QueryResult {
+  Status status;
+  std::vector<Neighbor> neighbors;
+  uint64_t id = 0;          ///< The ticket id this result answers.
+  std::string collection;   ///< Collection the query was addressed to.
+  double queue_ms = 0.0;    ///< Admission -> dispatch (0 if never dispatched).
+  double total_ms = 0.0;    ///< Admission -> completion.
+};
+
+/// Handle for one submitted query: a future for the result plus the id
+/// Cancel() takes. Rejected submissions (unknown collection, full queue,
+/// shut-down service) still return a ticket — with the future already
+/// resolved to the failure, so callers have exactly one error path.
+struct QueryTicket {
+  uint64_t id = 0;
+  std::future<QueryResult> result;
+};
+
+/// Completion callback for the callback overload of Submit. Invoked exactly
+/// once, on the service's dispatcher thread (or inline on the submitting
+/// thread when admission itself fails) — return quickly, do not throw, and
+/// do not call SearchService::Shutdown or the destructor from inside it.
+using QueryCallback = std::function<void(QueryResult)>;
+
+}  // namespace pdx
+
+#endif  // PDX_SERVE_QUERY_H_

@@ -1,0 +1,497 @@
+#include "serve/search_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace pdx {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr Clock::time_point kNoDeadline = Clock::time_point::max();
+
+double MillisBetween(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+ServiceConfig Sanitize(ServiceConfig config) {
+  config.max_pending = std::max<size_t>(1, config.max_pending);
+  config.max_batch = std::max<size_t>(1, config.max_batch);
+  config.latency_window = std::max<size_t>(1, config.latency_window);
+  return config;
+}
+
+}  // namespace
+
+/// One hosted collection. The searcher is only ever touched by the
+/// dispatcher thread (the facade's single-querier contract); the counters
+/// are guarded by the service mutex.
+struct SearchService::Collection {
+  std::string name;
+  std::unique_ptr<Searcher> searcher;
+  // Defaults and ceilings captured at AddCollection time — the live
+  // searcher config mutates as per-query overrides are applied, so it is
+  // not the source of truth. The ceilings clamp untrusted per-query
+  // overrides at admission: more neighbors than vectors or more probes
+  // than buckets is never meaningful, and an absurd k must not reach the
+  // top-k heap's reserve().
+  size_t default_k = 10;
+  size_t default_nprobe = 1;
+  size_t max_k = 1;
+  size_t max_nprobe = 1;
+
+  size_t admitted = 0;
+  size_t completed = 0;
+  size_t rejected = 0;
+  size_t expired = 0;
+  size_t cancelled = 0;
+  size_t dispatches = 0;
+  LatencyRecorder queue_wait;
+  LatencyRecorder latency;
+  Clock::time_point first_done{};
+  Clock::time_point last_done{};
+};
+
+/// One admitted (or about-to-be-rejected) query. Owns a copy of the query
+/// vector so the caller's buffer may die the moment Submit returns.
+struct SearchService::Pending {
+  uint64_t id = 0;
+  std::shared_ptr<Collection> collection;  ///< Null when the name was unknown.
+  std::string collection_name;
+  std::vector<float> query;
+  size_t k = 0;
+  size_t nprobe = 0;
+  Clock::time_point submitted{};
+  Clock::time_point deadline = kNoDeadline;
+  Clock::time_point dispatched{};
+  std::promise<QueryResult> promise;
+  QueryCallback callback;
+};
+
+SearchService::SearchService(ServiceConfig config)
+    : config_(Sanitize(config)), pool_(config_.threads) {
+  dispatcher_ = std::thread([this] { DispatcherMain(); });
+}
+
+SearchService::~SearchService() { Shutdown(); }
+
+void SearchService::Shutdown() {
+  // Serialized so two concurrent callers never race on join().
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mutex_);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  dispatch_cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+Status SearchService::Adopt(const std::string& name,
+                            std::unique_ptr<Searcher>& searcher) {
+  if (searcher == nullptr) {
+    return Status::InvalidArgument("AddCollection: null searcher");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  // All failure checks precede the move: on error the caller keeps the
+  // (possibly expensive) searcher untouched and can retry.
+  if (stopping_) return Status::Cancelled("service shut down");
+  if (collections_.count(name) != 0) {
+    return Status::InvalidArgument("AddCollection: name already hosted: " +
+                                   name);
+  }
+  // The whole point of the service: every collection's batches run on the
+  // one shared pool, never on a private per-searcher pool.
+  searcher->set_pool(&pool_);
+  searcher->set_threads(0);
+
+  auto collection = std::make_shared<Collection>();
+  collection->name = name;
+  collection->default_k = std::max<size_t>(1, searcher->options().k);
+  collection->default_nprobe = std::max<size_t>(1, searcher->options().nprobe);
+  collection->max_k = std::max<size_t>(1, searcher->store().count());
+  collection->max_nprobe = searcher->index() != nullptr
+                               ? std::max<size_t>(1, searcher->index()->num_buckets())
+                               : 1;
+  collection->queue_wait = LatencyRecorder(config_.latency_window);
+  collection->latency = LatencyRecorder(config_.latency_window);
+  collection->searcher = std::move(searcher);
+  collections_.emplace(name, std::move(collection));
+  return Status::OK();
+}
+
+Status SearchService::AddCollection(const std::string& name,
+                                    const VectorSet& vectors,
+                                    SearcherConfig config) {
+  config.pool = &pool_;
+  config.threads = 0;
+  auto made = MakeSearcher(vectors, std::move(config));
+  if (!made.ok()) return made.status();
+  std::unique_ptr<Searcher> searcher = std::move(made).value();
+  return Adopt(name, searcher);
+}
+
+Status SearchService::AddCollection(const std::string& name,
+                                    const VectorSet& vectors,
+                                    const IvfIndex& index,
+                                    SearcherConfig config) {
+  config.pool = &pool_;
+  config.threads = 0;
+  auto made = MakeSearcher(vectors, index, std::move(config));
+  if (!made.ok()) return made.status();
+  std::unique_ptr<Searcher> searcher = std::move(made).value();
+  return Adopt(name, searcher);
+}
+
+Status SearchService::AddCollection(const std::string& name,
+                                    std::unique_ptr<Searcher>& searcher) {
+  return Adopt(name, searcher);
+}
+
+Status SearchService::RemoveCollection(const std::string& name) {
+  std::vector<std::unique_ptr<Pending>> orphans;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = collections_.find(name);
+    if (it == collections_.end()) {
+      return Status::NotFound("no collection named " + name);
+    }
+    const std::shared_ptr<Collection> removed = it->second;
+    collections_.erase(it);
+    for (auto q = queue_.begin(); q != queue_.end();) {
+      if ((*q)->collection == removed) {
+        orphans.push_back(std::move(*q));
+        q = queue_.erase(q);
+      } else {
+        ++q;
+      }
+    }
+  }
+  // An in-flight batch keeps the collection alive through its own
+  // shared_ptr; only the queued queries are failed here.
+  for (auto& pending : orphans) {
+    Complete(std::move(pending), Status::Cancelled("collection removed: " + name),
+             {}, /*was_dispatched=*/false);
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> SearchService::CollectionNames() const {
+  std::vector<std::string> names;
+  std::lock_guard<std::mutex> lock(mutex_);
+  names.reserve(collections_.size());
+  for (const auto& [name, collection] : collections_) names.push_back(name);
+  return names;
+}
+
+QueryTicket SearchService::Submit(const std::string& collection,
+                                  const float* query, QueryOptions options) {
+  QueryTicket ticket;
+  ticket.id =
+      SubmitInternal(collection, query, options, nullptr, &ticket.result);
+  return ticket;
+}
+
+uint64_t SearchService::Submit(const std::string& collection,
+                               const float* query, QueryOptions options,
+                               QueryCallback callback) {
+  return SubmitInternal(collection, query, options, std::move(callback),
+                        nullptr);
+}
+
+uint64_t SearchService::SubmitInternal(const std::string& collection,
+                                       const float* query,
+                                       const QueryOptions& options,
+                                       QueryCallback callback,
+                                       std::future<QueryResult>* future_out) {
+  auto pending = std::make_unique<Pending>();
+  pending->id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  pending->collection_name = collection;
+  pending->callback = std::move(callback);
+  pending->submitted = Clock::now();
+  if (future_out != nullptr) *future_out = pending->promise.get_future();
+  const uint64_t id = pending->id;
+
+  Status admitted = Enqueue(collection, query, options, pending);
+  if (!admitted.ok()) {
+    // Rejection resolves through the same future/callback as success, so
+    // backpressure (kResourceExhausted) is explicit, immediate, and never
+    // silently dropped.
+    Complete(std::move(pending), std::move(admitted), {},
+             /*was_dispatched=*/false);
+  }
+  return id;
+}
+
+Status SearchService::Enqueue(const std::string& collection,
+                              const float* query, const QueryOptions& options,
+                              std::unique_ptr<Pending>& pending) {
+  if (query == nullptr) {
+    return Status::InvalidArgument("Submit: null query");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (stopping_) return Status::Cancelled("service shut down");
+  auto it = collections_.find(collection);
+  if (it == collections_.end()) {
+    return Status::NotFound("no collection named " + collection);
+  }
+  // Attributed before the admission check so a rejection is counted
+  // against the collection it targeted.
+  pending->collection = it->second;
+  if (queue_.size() >= config_.max_pending) {
+    return Status::ResourceExhausted(
+        "admission queue full (" + std::to_string(config_.max_pending) +
+        " pending); retry later");
+  }
+  Collection& host = *it->second;
+  const size_t d = host.searcher->dim();
+  pending->query.assign(query, query + d);
+  pending->k =
+      std::min(options.k > 0 ? options.k : host.default_k, host.max_k);
+  pending->nprobe = std::min(
+      options.nprobe > 0 ? options.nprobe : host.default_nprobe,
+      host.max_nprobe);
+  if (options.timeout.count() > 0) {
+    pending->deadline = pending->submitted + options.timeout;
+  }
+  ++host.admitted;
+  queue_.push_back(std::move(pending));
+  dispatch_cv_.notify_one();
+  return Status::OK();
+}
+
+bool SearchService::Cancel(uint64_t id) {
+  std::unique_ptr<Pending> found;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if ((*it)->id == id) {
+        found = std::move(*it);
+        queue_.erase(it);
+        break;
+      }
+    }
+  }
+  if (found == nullptr) return false;  // Unknown, dispatched, or done.
+  Complete(std::move(found), Status::Cancelled("cancelled by caller"), {},
+           /*was_dispatched=*/false);
+  return true;
+}
+
+void SearchService::Pause() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  paused_ = true;
+}
+
+void SearchService::Resume() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    paused_ = false;
+  }
+  dispatch_cv_.notify_all();
+}
+
+size_t SearchService::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+ServiceStats SearchService::Stats() const {
+  ServiceStats stats;
+  stats.pool_threads = pool_.num_threads();
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats.queue_depth = queue_.size();
+  for (const auto& [name, collection] : collections_) {
+    CollectionStats cs;
+    cs.admitted = collection->admitted;
+    cs.completed = collection->completed;
+    cs.rejected = collection->rejected;
+    cs.expired = collection->expired;
+    cs.cancelled = collection->cancelled;
+    cs.dispatches = collection->dispatches;
+    cs.queue_wait = collection->queue_wait.Summary();
+    cs.latency = collection->latency.Summary();
+    if (collection->completed >= 2) {
+      const double span_s =
+          MillisBetween(collection->first_done, collection->last_done) / 1e3;
+      if (span_s > 0.0) {
+        // completed results bound completed-1 intervals.
+        cs.qps = static_cast<double>(collection->completed - 1) / span_s;
+      }
+    }
+    stats.collections.emplace(name, cs);
+  }
+  return stats;
+}
+
+void SearchService::DispatcherMain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    dispatch_cv_.wait(lock, [&] {
+      return stopping_ || (!paused_ && !queue_.empty());
+    });
+    if (stopping_) break;
+    std::vector<std::unique_ptr<Pending>> batch = CollectBatchLocked();
+    lock.unlock();
+    DispatchBatch(std::move(batch));
+    lock.lock();
+  }
+  // Shutdown drain: nothing queued may be left unresolved.
+  std::vector<std::unique_ptr<Pending>> drained;
+  drained.reserve(queue_.size());
+  for (auto& pending : queue_) drained.push_back(std::move(pending));
+  queue_.clear();
+  lock.unlock();
+  for (auto& pending : drained) {
+    Complete(std::move(pending), Status::Cancelled("service shut down"), {},
+             /*was_dispatched=*/false);
+  }
+}
+
+std::vector<std::unique_ptr<SearchService::Pending>>
+SearchService::CollectBatchLocked() {
+  std::vector<std::unique_ptr<Pending>> batch;
+  batch.push_back(std::move(queue_.front()));
+  queue_.pop_front();
+  // Opportunistic micro-batching: pull every queued query that can share
+  // one SearchBatch call with the head (same collection and same effective
+  // k/nprobe — the knobs are per-call on the searcher). The head of the
+  // queue always dispatches first, so no query starves, but coalesced
+  // queries from deeper in the queue do jump ahead of work under other
+  // batch keys — other collections, or the same collection with different
+  // k/nprobe.
+  const Pending& head = *batch.front();
+  for (auto it = queue_.begin();
+       it != queue_.end() && batch.size() < config_.max_batch;) {
+    const Pending& candidate = **it;
+    if (candidate.collection == head.collection && candidate.k == head.k &&
+        candidate.nprobe == head.nprobe) {
+      batch.push_back(std::move(*it));
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return batch;
+}
+
+void SearchService::DispatchBatch(
+    std::vector<std::unique_ptr<Pending>> batch) {
+  // Deadline shedding: a query whose deadline already passed gets failed
+  // here, before any distance computation is spent on it.
+  const Clock::time_point now = Clock::now();
+  std::vector<std::unique_ptr<Pending>> live;
+  live.reserve(batch.size());
+  for (auto& pending : batch) {
+    if (pending->deadline != kNoDeadline && now >= pending->deadline) {
+      Complete(std::move(pending),
+               Status::DeadlineExceeded("deadline passed before dispatch"),
+               {}, /*was_dispatched=*/false);
+    } else {
+      live.push_back(std::move(pending));
+    }
+  }
+  if (live.empty()) return;
+
+  const std::shared_ptr<Collection> host = live.front()->collection;
+  // Exception barrier: anything escaping here would fly out of the
+  // dispatcher's thread entry and terminate the process, leaving every
+  // outstanding future unresolved. A failed batch instead fails its own
+  // queries with kInternal and the dispatcher lives on.
+  try {
+    Searcher& searcher = *host->searcher;
+    searcher.set_k(live.front()->k);
+    if (searcher.options().layout == SearcherLayout::kIvf) {
+      searcher.set_nprobe(live.front()->nprobe);
+    }
+
+    const size_t d = searcher.dim();
+    batch_scratch_.resize(live.size() * d);
+    const Clock::time_point dispatch_start = Clock::now();
+    for (size_t i = 0; i < live.size(); ++i) {
+      std::copy(live[i]->query.begin(), live[i]->query.end(),
+                batch_scratch_.begin() + i * d);
+      live[i]->dispatched = dispatch_start;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++host->dispatches;
+    }
+    std::vector<std::vector<Neighbor>> results =
+        searcher.SearchBatch(batch_scratch_.data(), live.size());
+    for (size_t i = 0; i < live.size(); ++i) {
+      Complete(std::move(live[i]), Status::OK(), std::move(results[i]),
+               /*was_dispatched=*/true);
+    }
+  } catch (const std::exception& e) {
+    FailBatch(live, std::string("search failed: ") + e.what());
+  } catch (...) {
+    FailBatch(live, "search failed: unknown exception");
+  }
+}
+
+void SearchService::FailBatch(std::vector<std::unique_ptr<Pending>>& live,
+                              const std::string& reason) {
+  for (auto& pending : live) {
+    if (pending == nullptr) continue;  // Already completed before the throw.
+    Complete(std::move(pending), Status::Internal(reason), {},
+             /*was_dispatched=*/false);
+  }
+}
+
+void SearchService::Complete(std::unique_ptr<Pending> pending, Status status,
+                             std::vector<Neighbor> neighbors,
+                             bool was_dispatched) {
+  const Clock::time_point now = Clock::now();
+  QueryResult result;
+  result.status = std::move(status);
+  result.neighbors = std::move(neighbors);
+  result.id = pending->id;
+  result.collection = pending->collection_name;
+  result.total_ms = MillisBetween(pending->submitted, now);
+  result.queue_ms =
+      was_dispatched ? MillisBetween(pending->submitted, pending->dispatched)
+                     : 0.0;
+
+  if (pending->collection != nullptr) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Collection& host = *pending->collection;
+    switch (result.status.code()) {
+      case Status::Code::kOk:
+        ++host.completed;
+        host.latency.Record(result.total_ms);
+        host.queue_wait.Record(result.queue_ms);
+        if (host.completed == 1) host.first_done = now;
+        host.last_done = now;
+        break;
+      case Status::Code::kResourceExhausted:
+        ++host.rejected;
+        break;
+      case Status::Code::kDeadlineExceeded:
+        ++host.expired;
+        break;
+      case Status::Code::kCancelled:
+        ++host.cancelled;
+        break;
+      default:
+        break;  // InvalidArgument etc.: attributed to no bucket.
+    }
+  }
+
+  // Delivery happens outside the lock: a callback may re-enter the service
+  // (Submit a follow-up query, read Stats) without deadlocking. A throwing
+  // callback is contained here — on the dispatcher thread it would
+  // otherwise kill the process (QueryCallback's contract says don't throw;
+  // this is the backstop, not the interface).
+  if (pending->callback) {
+    try {
+      pending->callback(std::move(result));
+    } catch (...) {
+    }
+  } else {
+    pending->promise.set_value(std::move(result));
+  }
+}
+
+}  // namespace pdx

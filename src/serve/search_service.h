@@ -1,0 +1,193 @@
+#ifndef PDX_SERVE_SEARCH_SERVICE_H_
+#define PDX_SERVE_SEARCH_SERVICE_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/status.h"
+#include "core/any_searcher.h"
+#include "serve/query.h"
+#include "serve/service_stats.h"
+#include "storage/vector_set.h"
+
+namespace pdx {
+
+/// Construction-time knobs for SearchService.
+struct ServiceConfig {
+  /// Size of the one shared ThreadPool every hosted collection's batches
+  /// run on; 0 = one per hardware thread (ResolveThreadCount semantics).
+  size_t threads = 0;
+  /// Admission bound: queries waiting for dispatch beyond this are turned
+  /// away with kResourceExhausted instead of growing the queue (or
+  /// blocking the submitter). Must be > 0.
+  size_t max_pending = 1024;
+  /// Micro-batching cap: the dispatcher coalesces up to this many queued
+  /// queries for the same (collection, k, nprobe) into one SearchBatch
+  /// call. 1 disables batching. Must be > 0.
+  size_t max_batch = 8;
+  /// Sliding-window size of the per-collection latency recorders.
+  size_t latency_window = LatencyRecorder::kDefaultWindow;
+};
+
+/// An async serving shell over the Searcher facade: hosts multiple named
+/// collections, multiplexes every client over ONE shared ThreadPool, and
+/// answers Submit with a future (or callback) instead of blocking the
+/// caller on the search.
+///
+/// Architecture — one dispatcher thread drains a bounded FIFO admission
+/// queue; per pop it opportunistically coalesces queued queries for the
+/// same collection (and same k/nprobe) into one SearchBatch call, which
+/// fans out over the shared pool (the searchers are built with
+/// SearcherConfig::pool injected, so the query path never constructs a
+/// pool). Because only the dispatcher touches the searchers, the facade's
+/// single-querier thread-safety contract holds while any number of client
+/// threads submit concurrently.
+///
+/// Results are exactly what a direct sequential Searcher::Search over the
+/// same collection returns — SearchBatch's parity guarantee, end to end.
+///
+/// Thread safety: every public member is safe to call from any thread.
+/// Destruction shuts the service down: in-flight searches finish, queries
+/// still queued complete with kCancelled, and every future ever handed out
+/// is resolved.
+class SearchService {
+ public:
+  explicit SearchService(ServiceConfig config = {});
+  ~SearchService();
+
+  SearchService(const SearchService&) = delete;
+  SearchService& operator=(const SearchService&) = delete;
+
+  /// Hosts `vectors` under `name`, building the searcher with MakeSearcher
+  /// (the service injects its shared pool into `config`). Fails with
+  /// InvalidArgument on a duplicate name or whatever MakeSearcher rejects.
+  /// `vectors` must outlive the collection.
+  Status AddCollection(const std::string& name, const VectorSet& vectors,
+                       SearcherConfig config);
+
+  /// Same, over a caller-owned IVF index (`index` must outlive the
+  /// collection; layout must be kIvf).
+  Status AddCollection(const std::string& name, const VectorSet& vectors,
+                       const IvfIndex& index, SearcherConfig config);
+
+  /// Adopts an already-built searcher. On success the pointer is moved
+  /// from, the service injects its shared pool (set_pool) and takes over
+  /// the threads knob, and the searcher must not be queried by the caller
+  /// again. On failure (duplicate name, shut down) the caller keeps the
+  /// searcher untouched — an expensively built index is never silently
+  /// destroyed.
+  Status AddCollection(const std::string& name,
+                       std::unique_ptr<Searcher>& searcher);
+
+  /// Unhosts `name`. Queries still queued for it complete with kCancelled;
+  /// an in-flight batch finishes first (the dispatcher keeps the
+  /// collection alive until it is done with it).
+  Status RemoveCollection(const std::string& name);
+
+  /// Names of the hosted collections, sorted.
+  std::vector<std::string> CollectionNames() const;
+
+  /// Submits `query` (collection-dim floats, copied — the pointer need not
+  /// outlive the call) against `collection`. Never blocks on the search:
+  /// returns a ticket whose future resolves when the query completes, is
+  /// rejected (kNotFound / kResourceExhausted — the future is then already
+  /// ready), expires, or is cancelled.
+  QueryTicket Submit(const std::string& collection, const float* query,
+                     QueryOptions options = {});
+
+  /// Callback flavor: instead of a future, `callback` fires exactly once
+  /// with the QueryResult (see QueryCallback for the threading contract).
+  /// Returns the query id usable with Cancel.
+  uint64_t Submit(const std::string& collection, const float* query,
+                  QueryOptions options, QueryCallback callback);
+
+  /// Cancels a still-queued query: its future/callback resolves with
+  /// kCancelled and it is never dispatched. Returns false when the query
+  /// is unknown, already dispatched, or already complete — best effort,
+  /// never blocks.
+  bool Cancel(uint64_t id);
+
+  /// Pauses dispatch (the current batch finishes; queued queries hold, and
+  /// admission control keeps applying). For drain-style maintenance and
+  /// deterministic tests.
+  void Pause();
+  /// Resumes dispatch after Pause().
+  void Resume();
+
+  /// Queries waiting for dispatch right now.
+  size_t queue_depth() const;
+
+  /// Point-in-time counters: queue depth, pool size, per-collection
+  /// QPS/latency percentiles.
+  ServiceStats Stats() const;
+
+  /// Stops the dispatcher: in-flight work finishes, everything still
+  /// queued completes with kCancelled, later Submits are rejected with
+  /// kCancelled. Idempotent; the destructor calls it. Must not be called
+  /// from a query callback (it joins the thread callbacks run on).
+  void Shutdown();
+
+  const ServiceConfig& options() const { return config_; }
+  size_t pool_threads() const { return pool_.num_threads(); }
+
+ private:
+  struct Collection;
+  struct Pending;
+
+  /// Validates + registers a built searcher under `name`; moves from
+  /// `searcher` only on success.
+  Status Adopt(const std::string& name, std::unique_ptr<Searcher>& searcher);
+  /// Admission: queues `pending` (moving it out) or returns why not (queue
+  /// full, unknown collection, shut down), leaving `pending` to the caller
+  /// to fail. On success fills the query payload and per-collection
+  /// defaults in first.
+  Status Enqueue(const std::string& collection, const float* query,
+                 const QueryOptions& options,
+                 std::unique_ptr<Pending>& pending);
+  uint64_t SubmitInternal(const std::string& collection, const float* query,
+                          const QueryOptions& options, QueryCallback callback,
+                          std::future<QueryResult>* future_out);
+  /// Resolves one query (promise or callback) and records its stats.
+  /// `was_dispatched` is false for queries that never reached a searcher.
+  void Complete(std::unique_ptr<Pending> pending, Status status,
+                std::vector<Neighbor> neighbors, bool was_dispatched);
+  void DispatcherMain();
+  /// Pops the front query plus every coalescable follower (same
+  /// collection/k/nprobe, up to max_batch). Caller holds mutex_.
+  std::vector<std::unique_ptr<Pending>> CollectBatchLocked();
+  void DispatchBatch(std::vector<std::unique_ptr<Pending>> batch);
+  /// Fails every not-yet-completed query in `live` with kInternal — the
+  /// dispatcher's exception barrier.
+  void FailBatch(std::vector<std::unique_ptr<Pending>>& live,
+                 const std::string& reason);
+
+  const ServiceConfig config_;
+  ThreadPool pool_;  ///< The one pool every collection's batches share.
+
+  mutable std::mutex mutex_;
+  std::condition_variable dispatch_cv_;
+  std::map<std::string, std::shared_ptr<Collection>> collections_;
+  std::deque<std::unique_ptr<Pending>> queue_;
+  bool paused_ = false;
+  bool stopping_ = false;
+
+  std::atomic<uint64_t> next_id_{1};
+  std::vector<float> batch_scratch_;  ///< Dispatcher-only contiguous buffer.
+  std::mutex shutdown_mutex_;  ///< Serializes concurrent Shutdown callers.
+  std::thread dispatcher_;
+};
+
+}  // namespace pdx
+
+#endif  // PDX_SERVE_SEARCH_SERVICE_H_

@@ -1,0 +1,40 @@
+#ifndef PDX_SERVE_SERVICE_STATS_H_
+#define PDX_SERVE_SERVICE_STATS_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+#include "benchlib/latency.h"
+
+namespace pdx {
+
+/// Per-collection serving counters. Every admitted query ends in exactly
+/// one of completed/expired/cancelled; rejected queries were never
+/// admitted.
+struct CollectionStats {
+  size_t admitted = 0;    ///< Accepted into the queue.
+  size_t completed = 0;   ///< Searched and delivered OK.
+  size_t rejected = 0;    ///< Turned away with kResourceExhausted.
+  size_t expired = 0;     ///< Deadline passed before dispatch.
+  size_t cancelled = 0;   ///< Cancel()/RemoveCollection/Shutdown.
+  size_t dispatches = 0;  ///< SearchBatch calls; completed/dispatches is
+                          ///< the achieved micro-batch size.
+  /// Completions per second over the span between this collection's first
+  /// and last completion (0 until there are two).
+  double qps = 0.0;
+  LatencySummary queue_wait;  ///< Admission -> dispatch, ms.
+  LatencySummary latency;     ///< Admission -> completion, ms (p50/p95/p99).
+};
+
+/// Snapshot returned by SearchService::Stats(): consistent at the instant
+/// it was taken, then a plain value the caller owns.
+struct ServiceStats {
+  size_t queue_depth = 0;   ///< Queries waiting for dispatch right now.
+  size_t pool_threads = 0;  ///< Size of the one shared pool.
+  std::map<std::string, CollectionStats> collections;
+};
+
+}  // namespace pdx
+
+#endif  // PDX_SERVE_SERVICE_STATS_H_

@@ -45,6 +45,20 @@ TEST(StatusTest, Unsupported) {
   EXPECT_TRUE(Status::Unsupported("x").IsUnsupported());
 }
 
+TEST(StatusTest, ServingCodes) {
+  Status full = Status::ResourceExhausted("queue full");
+  EXPECT_TRUE(full.IsResourceExhausted());
+  EXPECT_FALSE(full.ok());
+  EXPECT_EQ(full.ToString(), "ResourceExhausted: queue full");
+  EXPECT_TRUE(Status::DeadlineExceeded("late").IsDeadlineExceeded());
+  EXPECT_EQ(Status::DeadlineExceeded("late").ToString(),
+            "DeadlineExceeded: late");
+  EXPECT_TRUE(Status::Cancelled("gone").IsCancelled());
+  EXPECT_EQ(Status::Cancelled("gone").ToString(), "Cancelled: gone");
+  EXPECT_TRUE(Status::Internal("broke").IsInternal());
+  EXPECT_EQ(Status::Internal("broke").ToString(), "Internal: broke");
+}
+
 TEST(StatusTest, CopySemantics) {
   Status a = Status::Corruption("truncated");
   Status b = a;

@@ -208,6 +208,88 @@ TEST(AnySearcherTest, FlatBatchMatchesSequential) {
   }
 }
 
+TEST(AnySearcherTest, InjectedPoolIsSharedAcrossSearchers) {
+  Fixture fx = MakeFixture(24, 86);
+  ThreadPool pool(3);
+
+  SearcherConfig config = IvfConfig(PrunerKind::kBond, 4);
+  config.threads = 0;  // Non-1: defer to the injected pool's size.
+  config.pool = &pool;
+  auto a = MakeSearcher(fx.dataset.data, fx.index, config);
+  config.pruner = PrunerKind::kLinear;
+  auto b = MakeSearcher(fx.dataset.data, fx.index, config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+
+  std::vector<std::vector<Neighbor>> expected_a, expected_b;
+  for (size_t q = 0; q < fx.dataset.queries.count(); ++q) {
+    expected_a.push_back(a.value()->Search(fx.dataset.queries.Vector(q)));
+    expected_b.push_back(b.value()->Search(fx.dataset.queries.Vector(q)));
+  }
+
+  // Batches on both searchers must run on `pool` — no private pool may be
+  // constructed on the query path — and still return the sequential
+  // results exactly.
+  const uint64_t pools_before = ThreadPool::num_created();
+  const auto batch_a = a.value()->SearchBatch(fx.dataset.queries.data(),
+                                              fx.dataset.queries.count());
+  const auto batch_b = b.value()->SearchBatch(fx.dataset.queries.data(),
+                                              fx.dataset.queries.count());
+  EXPECT_EQ(ThreadPool::num_created(), pools_before);
+  for (size_t q = 0; q < fx.dataset.queries.count(); ++q) {
+    ExpectSameNeighbors(batch_a[q], expected_a[q], "injected-pool bond", q);
+    ExpectSameNeighbors(batch_b[q], expected_b[q], "injected-pool linear", q);
+  }
+}
+
+TEST(AnySearcherTest, InjectedPoolKeepsSequentialEscapeHatch) {
+  Fixture fx = MakeFixture(16, 87);
+  ThreadPool pool(3);
+  SearcherConfig config = IvfConfig(PrunerKind::kBond, 4);
+  config.threads = 1;  // Paper methodology: sequential even with a pool.
+  config.pool = &pool;
+  auto made = MakeSearcher(fx.dataset.data, fx.index, config);
+  ASSERT_TRUE(made.ok());
+  const auto batch = made.value()->SearchBatch(fx.dataset.queries.data(),
+                                               fx.dataset.queries.count());
+  for (size_t q = 0; q < fx.dataset.queries.count(); ++q) {
+    ExpectSameNeighbors(batch[q],
+                        made.value()->Search(fx.dataset.queries.Vector(q)),
+                        "sequential with pool", q);
+  }
+}
+
+TEST(AnySearcherTest, BatchProfileTracksLatencyPercentiles) {
+  Fixture fx = MakeFixture(16, 88);
+  SearcherConfig config = IvfConfig(PrunerKind::kBond, 4);
+  config.threads = 2;
+  auto made = MakeSearcher(fx.dataset.data, fx.index, config);
+  ASSERT_TRUE(made.ok());
+  const size_t nq = fx.dataset.queries.count();
+  made.value()->SearchBatch(fx.dataset.queries.data(), nq);
+  const LatencySummary latency =
+      made.value()->last_batch_profile().latency_summary();
+  EXPECT_EQ(latency.count, nq);
+  EXPECT_GT(latency.p50_ms, 0.0);
+  EXPECT_LE(latency.p50_ms, latency.p95_ms);
+  EXPECT_LE(latency.p95_ms, latency.p99_ms);
+  EXPECT_LE(latency.p99_ms, latency.max_ms + 1e-9);
+}
+
+TEST(AnySearcherTest, RejectsAbsurdThreadCounts) {
+  Fixture fx = MakeFixture(16, 89);
+  SearcherConfig config;
+  config.threads = kMaxPoolThreads + 1;
+  const auto made = MakeSearcher(fx.dataset.data, config);
+  ASSERT_FALSE(made.ok());
+  EXPECT_TRUE(made.status().IsInvalidArgument());
+  // The ceiling itself (and 0 = hardware) stay legal.
+  config.threads = kMaxPoolThreads;
+  EXPECT_TRUE(ValidateSearcherConfig(config).ok());
+  config.threads = 0;
+  EXPECT_TRUE(ValidateSearcherConfig(config).ok());
+}
+
 TEST(AnySearcherTest, BatchProfileAggregates) {
   Fixture fx = MakeFixture(16, 77);
   SearcherConfig config = IvfConfig(PrunerKind::kBond, 4);

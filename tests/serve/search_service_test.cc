@@ -1,0 +1,545 @@
+#include "serve/search_service.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "benchlib/datagen.h"
+#include "benchlib/workloads.h"
+
+namespace pdx {
+namespace {
+
+using namespace std::chrono_literals;
+
+struct Fixture {
+  Dataset dataset;
+  IvfIndex index;
+};
+
+Fixture MakeFixture(size_t dim = 24, uint64_t seed = 91, size_t count = 2000,
+                    size_t num_queries = 10) {
+  SyntheticSpec spec;
+  spec.name = "serve-test";
+  spec.dim = dim;
+  spec.count = count;
+  spec.num_queries = num_queries;
+  spec.num_clusters = 8;
+  spec.seed = seed;
+  spec.distribution = ValueDistribution::kNormal;
+  Fixture fx{GenerateDataset(spec), {}};
+  fx.index = IvfIndex::Build(fx.dataset.data, {});
+  return fx;
+}
+
+SearcherConfig Config(SearcherLayout layout, PrunerKind pruner,
+                      size_t nprobe = 4) {
+  SearcherConfig config;
+  config.layout = layout;
+  config.pruner = pruner;
+  config.k = 10;
+  config.nprobe = nprobe;
+  return config;
+}
+
+void ExpectSameNeighbors(const std::vector<Neighbor>& actual,
+                         const std::vector<Neighbor>& expected,
+                         const std::string& label) {
+  ASSERT_EQ(actual.size(), expected.size()) << label;
+  for (size_t i = 0; i < actual.size(); ++i) {
+    ASSERT_EQ(actual[i].id, expected[i].id) << label << " rank " << i;
+    ASSERT_FLOAT_EQ(actual[i].distance, expected[i].distance)
+        << label << " rank " << i;
+  }
+}
+
+// --- Acceptance (a): service results == direct sequential Search ---------
+
+TEST(SearchServiceTest, SubmitMatchesSequentialSearchAllCombinations) {
+  Fixture fx = MakeFixture();
+  ServiceConfig sc;
+  sc.threads = 3;
+  SearchService service(sc);
+
+  struct Combo {
+    std::string name;
+    SearcherConfig config;
+  };
+  std::vector<Combo> combos;
+  for (SearcherLayout layout : {SearcherLayout::kFlat, SearcherLayout::kIvf}) {
+    for (PrunerKind pruner :
+         {PrunerKind::kLinear, PrunerKind::kAdsampling, PrunerKind::kBsa,
+          PrunerKind::kBond}) {
+      combos.push_back({std::string(SearcherLayoutName(layout)) + "/" +
+                            PrunerKindName(pruner),
+                        Config(layout, pruner)});
+    }
+  }
+
+  for (const Combo& combo : combos) {
+    // Hosted searcher and sequential reference share the IVF index on the
+    // IVF layout, mirroring the paper's shared-bucket methodology.
+    Status added = combo.config.layout == SearcherLayout::kIvf
+                       ? service.AddCollection(combo.name, fx.dataset.data,
+                                               fx.index, combo.config)
+                       : service.AddCollection(combo.name, fx.dataset.data,
+                                               combo.config);
+    ASSERT_TRUE(added.ok()) << combo.name << ": " << added.ToString();
+
+    auto reference = combo.config.layout == SearcherLayout::kIvf
+                         ? MakeSearcher(fx.dataset.data, fx.index, combo.config)
+                         : MakeSearcher(fx.dataset.data, combo.config);
+    ASSERT_TRUE(reference.ok()) << combo.name;
+
+    std::vector<QueryTicket> tickets;
+    for (size_t q = 0; q < fx.dataset.queries.count(); ++q) {
+      tickets.push_back(service.Submit(combo.name, fx.dataset.queries.Vector(q)));
+    }
+    for (size_t q = 0; q < tickets.size(); ++q) {
+      QueryResult result = tickets[q].result.get();
+      ASSERT_TRUE(result.status.ok())
+          << combo.name << ": " << result.status.ToString();
+      EXPECT_EQ(result.collection, combo.name);
+      ExpectSameNeighbors(
+          result.neighbors,
+          reference.value()->Search(fx.dataset.queries.Vector(q)),
+          combo.name + " query " + std::to_string(q));
+    }
+  }
+}
+
+TEST(SearchServiceTest, PerQueryOverridesApply) {
+  Fixture fx = MakeFixture();
+  SearchService service;
+  ASSERT_TRUE(service
+                  .AddCollection("ivf", fx.dataset.data, fx.index,
+                                 Config(SearcherLayout::kIvf, PrunerKind::kBond))
+                  .ok());
+  QueryOptions options;
+  options.k = 3;
+  QueryResult result =
+      service.Submit("ivf", fx.dataset.queries.Vector(0), options).result.get();
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_EQ(result.neighbors.size(), 3u);
+
+  // And the override matches a direct searcher with the same knobs.
+  auto reference =
+      MakeSearcher(fx.dataset.data, fx.index,
+                   Config(SearcherLayout::kIvf, PrunerKind::kBond));
+  ASSERT_TRUE(reference.ok());
+  reference.value()->set_k(3);
+  ExpectSameNeighbors(result.neighbors,
+                      reference.value()->Search(fx.dataset.queries.Vector(0)),
+                      "k=3 override");
+}
+
+// --- Acceptance (b): explicit backpressure --------------------------------
+
+TEST(SearchServiceTest, FullQueueRejectsWithResourceExhausted) {
+  Fixture fx = MakeFixture();
+  ServiceConfig sc;
+  sc.max_pending = 2;
+  SearchService service(sc);
+  ASSERT_TRUE(service
+                  .AddCollection("flat", fx.dataset.data,
+                                 Config(SearcherLayout::kFlat, PrunerKind::kBond))
+                  .ok());
+
+  service.Pause();  // Deterministic: nothing drains while we fill the queue.
+  QueryTicket a = service.Submit("flat", fx.dataset.queries.Vector(0));
+  QueryTicket b = service.Submit("flat", fx.dataset.queries.Vector(1));
+  EXPECT_EQ(service.queue_depth(), 2u);
+
+  QueryTicket rejected = service.Submit("flat", fx.dataset.queries.Vector(2));
+  // Rejection is immediate — the future is ready before Resume().
+  ASSERT_EQ(rejected.result.wait_for(0s), std::future_status::ready);
+  QueryResult result = rejected.result.get();
+  EXPECT_TRUE(result.status.IsResourceExhausted())
+      << result.status.ToString();
+  EXPECT_TRUE(result.neighbors.empty());
+
+  service.Resume();
+  EXPECT_TRUE(a.result.get().status.ok());
+  EXPECT_TRUE(b.result.get().status.ok());
+
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.collections.at("flat").rejected, 1u);
+  EXPECT_EQ(stats.collections.at("flat").completed, 2u);
+}
+
+// --- Deadlines ------------------------------------------------------------
+
+TEST(SearchServiceTest, DeadlineExpiryBeforeDispatch) {
+  Fixture fx = MakeFixture();
+  SearchService service;
+  ASSERT_TRUE(service
+                  .AddCollection("flat", fx.dataset.data,
+                                 Config(SearcherLayout::kFlat, PrunerKind::kBond))
+                  .ok());
+  service.Pause();
+  QueryOptions options;
+  options.timeout = 1ms;
+  QueryTicket doomed =
+      service.Submit("flat", fx.dataset.queries.Vector(0), options);
+  QueryTicket fine = service.Submit("flat", fx.dataset.queries.Vector(1));
+  std::this_thread::sleep_for(10ms);  // Let the deadline pass while queued.
+  service.Resume();
+
+  QueryResult expired = doomed.result.get();
+  EXPECT_TRUE(expired.status.IsDeadlineExceeded())
+      << expired.status.ToString();
+  EXPECT_TRUE(expired.neighbors.empty());
+  EXPECT_TRUE(fine.result.get().status.ok());
+  EXPECT_EQ(service.Stats().collections.at("flat").expired, 1u);
+}
+
+// --- Cancellation ---------------------------------------------------------
+
+TEST(SearchServiceTest, CancelQueuedQuery) {
+  Fixture fx = MakeFixture();
+  SearchService service;
+  ASSERT_TRUE(service
+                  .AddCollection("flat", fx.dataset.data,
+                                 Config(SearcherLayout::kFlat, PrunerKind::kBond))
+                  .ok());
+  service.Pause();
+  QueryTicket doomed = service.Submit("flat", fx.dataset.queries.Vector(0));
+  QueryTicket fine = service.Submit("flat", fx.dataset.queries.Vector(1));
+
+  EXPECT_TRUE(service.Cancel(doomed.id));
+  EXPECT_FALSE(service.Cancel(doomed.id));  // Already resolved.
+  EXPECT_FALSE(service.Cancel(99999));      // Never existed.
+
+  QueryResult cancelled = doomed.result.get();
+  EXPECT_TRUE(cancelled.status.IsCancelled()) << cancelled.status.ToString();
+
+  service.Resume();
+  EXPECT_TRUE(fine.result.get().status.ok());
+  EXPECT_EQ(service.Stats().collections.at("flat").cancelled, 1u);
+}
+
+TEST(SearchServiceTest, RemoveCollectionCancelsItsQueuedQueries) {
+  Fixture fx = MakeFixture();
+  SearchService service;
+  ASSERT_TRUE(service
+                  .AddCollection("a", fx.dataset.data,
+                                 Config(SearcherLayout::kFlat, PrunerKind::kBond))
+                  .ok());
+  ASSERT_TRUE(service
+                  .AddCollection("b", fx.dataset.data,
+                                 Config(SearcherLayout::kFlat, PrunerKind::kLinear))
+                  .ok());
+  service.Pause();
+  QueryTicket doomed = service.Submit("a", fx.dataset.queries.Vector(0));
+  QueryTicket fine = service.Submit("b", fx.dataset.queries.Vector(1));
+  ASSERT_TRUE(service.RemoveCollection("a").ok());
+  EXPECT_TRUE(service.RemoveCollection("a").IsNotFound());
+  service.Resume();
+
+  EXPECT_TRUE(doomed.result.get().status.IsCancelled());
+  EXPECT_TRUE(fine.result.get().status.ok());
+  EXPECT_EQ(service.CollectionNames(), std::vector<std::string>{"b"});
+  // Submitting to the removed name now fails fast.
+  EXPECT_TRUE(service.Submit("a", fx.dataset.queries.Vector(0))
+                  .result.get()
+                  .status.IsNotFound());
+}
+
+// --- Shutdown -------------------------------------------------------------
+
+TEST(SearchServiceTest, ShutdownResolvesEveryFuture) {
+  Fixture fx = MakeFixture(24, 92, 4000, 40);
+  auto service = std::make_unique<SearchService>();
+  ASSERT_TRUE(service
+                  ->AddCollection("ivf", fx.dataset.data, fx.index,
+                                  Config(SearcherLayout::kIvf, PrunerKind::kBond,
+                                         16))
+                  .ok());
+  std::vector<QueryTicket> tickets;
+  for (size_t q = 0; q < fx.dataset.queries.count(); ++q) {
+    tickets.push_back(service->Submit("ivf", fx.dataset.queries.Vector(q)));
+  }
+  // Destroy with work in flight: in-flight batches finish, queued queries
+  // cancel, nothing hangs and nothing is dropped.
+  service.reset();
+  size_t ok = 0, cancelled = 0;
+  for (QueryTicket& ticket : tickets) {
+    ASSERT_EQ(ticket.result.wait_for(0s), std::future_status::ready);
+    QueryResult result = ticket.result.get();
+    if (result.status.ok()) {
+      ++ok;
+    } else {
+      EXPECT_TRUE(result.status.IsCancelled()) << result.status.ToString();
+      ++cancelled;
+    }
+  }
+  EXPECT_EQ(ok + cancelled, tickets.size());
+}
+
+TEST(SearchServiceTest, SubmitAfterShutdownIsRejected) {
+  Fixture fx = MakeFixture();
+  SearchService service;
+  ASSERT_TRUE(service
+                  .AddCollection("flat", fx.dataset.data,
+                                 Config(SearcherLayout::kFlat, PrunerKind::kBond))
+                  .ok());
+  service.Shutdown();
+  service.Shutdown();  // Idempotent.
+  QueryResult result =
+      service.Submit("flat", fx.dataset.queries.Vector(0)).result.get();
+  EXPECT_TRUE(result.status.IsCancelled()) << result.status.ToString();
+}
+
+// --- Callback overload ----------------------------------------------------
+
+TEST(SearchServiceTest, CallbackOverloadDelivers) {
+  Fixture fx = MakeFixture();
+  SearchService service;
+  ASSERT_TRUE(service
+                  .AddCollection("flat", fx.dataset.data,
+                                 Config(SearcherLayout::kFlat, PrunerKind::kBond))
+                  .ok());
+  std::promise<QueryResult> delivered;
+  uint64_t id = service.Submit(
+      "flat", fx.dataset.queries.Vector(0), {},
+      [&](QueryResult result) { delivered.set_value(std::move(result)); });
+  QueryResult result = delivered.get_future().get();
+  EXPECT_EQ(result.id, id);
+  ASSERT_TRUE(result.status.ok());
+  auto reference = MakeSearcher(
+      fx.dataset.data, Config(SearcherLayout::kFlat, PrunerKind::kBond));
+  ASSERT_TRUE(reference.ok());
+  ExpectSameNeighbors(result.neighbors,
+                      reference.value()->Search(fx.dataset.queries.Vector(0)),
+                      "callback");
+}
+
+// --- Admission / config edge cases ----------------------------------------
+
+TEST(SearchServiceTest, RejectsBadCollections) {
+  Fixture fx = MakeFixture();
+  SearchService service;
+  ASSERT_TRUE(service
+                  .AddCollection("dup", fx.dataset.data,
+                                 Config(SearcherLayout::kFlat, PrunerKind::kBond))
+                  .ok());
+  EXPECT_TRUE(service
+                  .AddCollection("dup", fx.dataset.data,
+                                 Config(SearcherLayout::kFlat, PrunerKind::kLinear))
+                  .IsInvalidArgument());
+  SearcherConfig bad = Config(SearcherLayout::kFlat, PrunerKind::kBond);
+  bad.k = 0;
+  EXPECT_TRUE(
+      service.AddCollection("bad", fx.dataset.data, bad).IsInvalidArgument());
+  std::unique_ptr<Searcher> null_searcher;
+  EXPECT_TRUE(
+      service.AddCollection("null", null_searcher).IsInvalidArgument());
+  EXPECT_TRUE(service.Submit("ghost", fx.dataset.queries.Vector(0))
+                  .result.get()
+                  .status.IsNotFound());
+  EXPECT_TRUE(service.Submit("dup", nullptr)
+                  .result.get()
+                  .status.IsInvalidArgument());
+}
+
+TEST(SearchServiceTest, AdoptedSearcherIsServed) {
+  Fixture fx = MakeFixture();
+  auto made = MakeSearcher(fx.dataset.data,
+                           Config(SearcherLayout::kFlat, PrunerKind::kBond));
+  ASSERT_TRUE(made.ok());
+  SearchService service;
+  std::unique_ptr<Searcher> searcher = std::move(made).value();
+  ASSERT_TRUE(service.AddCollection("adopted", searcher).ok());
+  EXPECT_EQ(searcher, nullptr);  // Moved from on success.
+  EXPECT_TRUE(service.Submit("adopted", fx.dataset.queries.Vector(0))
+                  .result.get()
+                  .status.ok());
+
+  // A failed adoption (duplicate name) must NOT consume the caller's
+  // searcher — it stays usable and can be hosted under another name.
+  auto again = MakeSearcher(fx.dataset.data,
+                            Config(SearcherLayout::kFlat, PrunerKind::kBond));
+  ASSERT_TRUE(again.ok());
+  std::unique_ptr<Searcher> survivor = std::move(again).value();
+  EXPECT_TRUE(service.AddCollection("adopted", survivor).IsInvalidArgument());
+  ASSERT_NE(survivor, nullptr);
+  EXPECT_EQ(survivor->Search(fx.dataset.queries.Vector(0)).size(), 10u);
+  EXPECT_TRUE(service.AddCollection("adopted-2", survivor).ok());
+}
+
+TEST(SearchServiceTest, AbsurdPerQueryOverridesAreClamped) {
+  Fixture fx = MakeFixture();
+  SearchService service;
+  ASSERT_TRUE(service
+                  .AddCollection("ivf", fx.dataset.data, fx.index,
+                                 Config(SearcherLayout::kIvf, PrunerKind::kBond))
+                  .ok());
+  // k far beyond the collection size and nprobe beyond the bucket count
+  // must not crash the dispatcher (e.g. a huge heap reserve) — they clamp
+  // to "everything", which with an exact pruner is exact search.
+  QueryOptions options;
+  options.k = static_cast<size_t>(-1);
+  options.nprobe = static_cast<size_t>(-1);
+  QueryResult result =
+      service.Submit("ivf", fx.dataset.queries.Vector(0), options).result.get();
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_EQ(result.neighbors.size(), fx.dataset.data.count());
+  // And the service keeps serving afterwards.
+  EXPECT_TRUE(
+      service.Submit("ivf", fx.dataset.queries.Vector(1)).result.get().status.ok());
+}
+
+// --- Micro-batching and stats ---------------------------------------------
+
+TEST(SearchServiceTest, PausedBacklogCoalescesIntoBatches) {
+  Fixture fx = MakeFixture(24, 93, 2000, 12);
+  ServiceConfig sc;
+  sc.max_batch = 4;
+  SearchService service(sc);
+  ASSERT_TRUE(service
+                  .AddCollection("flat", fx.dataset.data,
+                                 Config(SearcherLayout::kFlat, PrunerKind::kBond))
+                  .ok());
+  service.Pause();
+  std::vector<QueryTicket> tickets;
+  for (size_t q = 0; q < fx.dataset.queries.count(); ++q) {
+    tickets.push_back(service.Submit("flat", fx.dataset.queries.Vector(q)));
+  }
+  service.Resume();
+  auto reference = MakeSearcher(
+      fx.dataset.data, Config(SearcherLayout::kFlat, PrunerKind::kBond));
+  ASSERT_TRUE(reference.ok());
+  for (size_t q = 0; q < tickets.size(); ++q) {
+    QueryResult result = tickets[q].result.get();
+    ASSERT_TRUE(result.status.ok());
+    ExpectSameNeighbors(result.neighbors,
+                        reference.value()->Search(fx.dataset.queries.Vector(q)),
+                        "batched query " + std::to_string(q));
+  }
+  const CollectionStats cs = service.Stats().collections.at("flat");
+  EXPECT_EQ(cs.completed, tickets.size());
+  // A 12-query backlog at max_batch=4 needs at least 3 dispatches but —
+  // micro-batching being the point — far fewer than one per query.
+  EXPECT_GE(cs.dispatches, 3u);
+  EXPECT_LT(cs.dispatches, tickets.size());
+  EXPECT_EQ(cs.latency.count, tickets.size());
+  EXPECT_GT(cs.latency.p50_ms, 0.0);
+  EXPECT_LE(cs.latency.p50_ms, cs.latency.p99_ms);
+}
+
+// --- Acceptance (c): concurrent submitters share ONE pool ------------------
+
+TEST(SearchServiceTest, ConcurrentSubmittersShareOnePoolWithParity) {
+  Fixture fx = MakeFixture(24, 94, 3000, 24);
+  ServiceConfig sc;
+  sc.threads = 3;
+  SearchService service(sc);
+  ASSERT_TRUE(service
+                  .AddCollection("ivf-bond", fx.dataset.data, fx.index,
+                                 Config(SearcherLayout::kIvf, PrunerKind::kBond))
+                  .ok());
+  ASSERT_TRUE(service
+                  .AddCollection("flat-ads", fx.dataset.data,
+                                 Config(SearcherLayout::kFlat,
+                                        PrunerKind::kAdsampling))
+                  .ok());
+
+  // Sequential ground truth per collection, computed up front.
+  auto ref_bond = MakeSearcher(fx.dataset.data, fx.index,
+                               Config(SearcherLayout::kIvf, PrunerKind::kBond));
+  auto ref_ads = MakeSearcher(
+      fx.dataset.data, Config(SearcherLayout::kFlat, PrunerKind::kAdsampling));
+  ASSERT_TRUE(ref_bond.ok());
+  ASSERT_TRUE(ref_ads.ok());
+  const size_t nq = fx.dataset.queries.count();
+  std::vector<std::vector<Neighbor>> expected_bond(nq), expected_ads(nq);
+  for (size_t q = 0; q < nq; ++q) {
+    expected_bond[q] = ref_bond.value()->Search(fx.dataset.queries.Vector(q));
+    expected_ads[q] = ref_ads.value()->Search(fx.dataset.queries.Vector(q));
+  }
+
+  // From here on, the query path must construct no ThreadPool: every batch
+  // runs on the service's one injected pool.
+  const uint64_t pools_before = ThreadPool::num_created();
+
+  constexpr size_t kSubmitters = 4;
+  constexpr size_t kRounds = 3;
+  std::atomic<size_t> mismatches{0};
+  std::vector<std::thread> submitters;
+  for (size_t t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&, t] {
+      for (size_t round = 0; round < kRounds; ++round) {
+        std::vector<std::pair<size_t, QueryTicket>> bond_tickets, ads_tickets;
+        for (size_t q = t; q < nq; q += kSubmitters) {
+          bond_tickets.emplace_back(
+              q, service.Submit("ivf-bond", fx.dataset.queries.Vector(q)));
+          ads_tickets.emplace_back(
+              q, service.Submit("flat-ads", fx.dataset.queries.Vector(q)));
+        }
+        auto check = [&](std::vector<std::pair<size_t, QueryTicket>>& tickets,
+                         const std::vector<std::vector<Neighbor>>& expected) {
+          for (auto& [q, ticket] : tickets) {
+            QueryResult result = ticket.result.get();
+            if (!result.status.ok() ||
+                result.neighbors.size() != expected[q].size()) {
+              mismatches.fetch_add(1);
+              continue;
+            }
+            for (size_t i = 0; i < expected[q].size(); ++i) {
+              if (result.neighbors[i].id != expected[q][i].id ||
+                  result.neighbors[i].distance != expected[q][i].distance) {
+                mismatches.fetch_add(1);
+                break;
+              }
+            }
+          }
+        };
+        check(bond_tickets, expected_bond);
+        check(ads_tickets, expected_ads);
+      }
+    });
+  }
+  for (std::thread& submitter : submitters) submitter.join();
+
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_EQ(ThreadPool::num_created(), pools_before)
+      << "a searcher constructed a private pool on the query path";
+
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.pool_threads, 3u);
+  EXPECT_EQ(stats.collections.at("ivf-bond").completed, kRounds * nq);
+  EXPECT_EQ(stats.collections.at("flat-ads").completed, kRounds * nq);
+}
+
+TEST(SearchServiceTest, ServiceLoadHelperDrivesTheService) {
+  Fixture fx = MakeFixture(16, 95, 2000, 20);
+  ServiceConfig sc;
+  sc.threads = 2;
+  SearchService service(sc);
+  ASSERT_TRUE(service
+                  .AddCollection("a", fx.dataset.data,
+                                 Config(SearcherLayout::kFlat, PrunerKind::kBond))
+                  .ok());
+  ASSERT_TRUE(service
+                  .AddCollection("b", fx.dataset.data,
+                                 Config(SearcherLayout::kFlat, PrunerKind::kLinear))
+                  .ok());
+  ServiceLoadOptions load;
+  load.submitters = 3;
+  load.queries_per_submitter = 20;
+  const ServiceLoadResult result =
+      RunServiceLoad(service, {"a", "b"}, fx.dataset.queries, load);
+  EXPECT_EQ(result.completed, 60u);
+  EXPECT_EQ(result.rejected, 0u);
+  EXPECT_EQ(result.failed, 0u);
+  EXPECT_GT(result.qps(), 0.0);
+}
+
+}  // namespace
+}  // namespace pdx

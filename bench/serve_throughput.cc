@@ -7,8 +7,16 @@
 // saturates (on a many-core host); tail latency (p99) grows with the queue
 // depth the extra submitters sustain. The "direct" row is the zero-shell
 // upper bound for one caller.
+//
+// The --shards=N[,M,...] axis (default 1,2,4) additionally hosts ONE hot
+// collection sharded across that many searchers and drives it alone: on a
+// multi-core host the sharded rungs beat shards=1 because every query fans
+// out over the whole pool instead of serializing behind one searcher.
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <numeric>
 #include <string>
 #include <vector>
 
@@ -85,18 +93,90 @@ void RunDataset(const SyntheticSpec& spec) {
   table.Print();
 }
 
+// One hot collection sharded N ways: the scatter-gather scaling axis.
+void RunShardScaling(const SyntheticSpec& spec,
+                     const std::vector<size_t>& shard_counts) {
+  Dataset dataset = GenerateDataset(spec);
+
+  SearcherConfig bond = {};
+  bond.layout = SearcherLayout::kIvf;
+  bond.pruner = PrunerKind::kBond;
+  bond.nprobe = 16;
+
+  TextTable table({"dataset", "shards", "QPS", "p50(ms)", "p95(ms)",
+                   "p99(ms)", "shard dispatches"});
+  for (size_t shards : shard_counts) {
+    ServiceConfig sc;
+    sc.threads = 0;  // One worker per hardware thread.
+    sc.max_pending = 4096;
+    SearchService service(sc);
+    ShardingOptions sharding;
+    sharding.num_shards = shards;
+    if (!service.AddCollection("hot", dataset.data, bond, sharding).ok()) {
+      std::fprintf(stderr, "serve_throughput: sharded AddCollection failed\n");
+      return;
+    }
+    ServiceLoadOptions load;
+    load.submitters = 4;
+    load.queries_per_submitter = 200;
+    const ServiceLoadResult result =
+        RunServiceLoad(service, {"hot"}, dataset.queries, load);
+    const CollectionStats cs = service.Stats().collections.at("hot");
+    // An unsharded searcher keeps no per-shard counters; "-" beats a
+    // misleading 0 next to the sharded rows.
+    const std::string fanouts =
+        cs.shard_dispatches.empty()
+            ? "-"
+            : std::to_string(std::accumulate(cs.shard_dispatches.begin(),
+                                             cs.shard_dispatches.end(),
+                                             uint64_t{0}));
+    table.AddRow({spec.name, std::to_string(shards),
+                  TextTable::Num(result.qps(), 0),
+                  TextTable::Num(cs.latency.p50_ms, 3),
+                  TextTable::Num(cs.latency.p95_ms, 3),
+                  TextTable::Num(cs.latency.p99_ms, 3), fanouts});
+  }
+  table.Print();
+}
+
+std::vector<size_t> ParseShardsFlag(int argc, char** argv) {
+  std::vector<size_t> shard_counts = {1, 2, 4};
+  for (int i = 1; i < argc; ++i) {
+    const char* prefix = "--shards=";
+    if (std::strncmp(argv[i], prefix, std::strlen(prefix)) != 0) continue;
+    shard_counts.clear();
+    for (const char* p = argv[i] + std::strlen(prefix); *p != '\0';) {
+      char* end = nullptr;
+      const unsigned long value = std::strtoul(p, &end, 10);
+      if (end == p) break;  // Not a number: stop parsing the list.
+      if (value > 0) shard_counts.push_back(static_cast<size_t>(value));
+      p = *end == ',' ? end + 1 : end;
+    }
+    if (shard_counts.empty()) shard_counts = {1};
+  }
+  return shard_counts;
+}
+
 }  // namespace
 }  // namespace pdx
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pdx;
   PrintBanner(
       "Serving: SearchService throughput under concurrency (2 collections, "
       "one shared pool)");
   const double scale = BenchScaleFromEnv();
+  const std::vector<size_t> shard_counts = ParseShardsFlag(argc, argv);
   for (SyntheticSpec spec : CoreWorkloads(scale * 0.5)) {
     spec.num_queries = 100;
     RunDataset(spec);
+  }
+  PrintBanner(
+      "Serving: one hot collection sharded across searchers "
+      "(scatter-gather top-k, --shards axis)");
+  for (SyntheticSpec spec : CoreWorkloads(scale * 0.5)) {
+    spec.num_queries = 100;
+    RunShardScaling(spec, shard_counts);
   }
   return 0;
 }

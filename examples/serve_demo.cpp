@@ -36,8 +36,9 @@ int main() {
   img_spec.distribution = pdx::ValueDistribution::kSkewed;
   pdx::Dataset images = pdx::GenerateDataset(img_spec);
 
-  // 2. One service, one shared pool. "docs" serves exact flat PDX-BOND;
-  //    "images" serves approximate IVF + ADSampling.
+  // 2. One service, one shared pool. "docs" serves exact flat PDX-BOND,
+  //    sharded across two searchers so one hot collection can use the
+  //    whole pool; "images" serves approximate IVF + ADSampling.
   pdx::ServiceConfig service_config;
   service_config.threads = 4;
   service_config.max_pending = 256;
@@ -45,13 +46,16 @@ int main() {
 
   pdx::SearcherConfig docs_config;  // Defaults: flat PDX-BOND, k=10.
   docs_config.k = 5;
+  pdx::ShardingOptions docs_sharding;
+  docs_sharding.num_shards = 2;
   pdx::SearcherConfig images_config;
   images_config.layout = pdx::SearcherLayout::kIvf;
   images_config.pruner = pdx::PrunerKind::kAdsampling;
   images_config.k = 5;
   images_config.nprobe = 16;
 
-  for (auto status : {service.AddCollection("docs", docs.data, docs_config),
+  for (auto status : {service.AddCollection("docs", docs.data, docs_config,
+                                            docs_sharding),
                       service.AddCollection("images", images.data,
                                             images_config)}) {
     if (!status.ok()) {
@@ -94,13 +98,18 @@ int main() {
                  });
   callback_done.get_future().wait();
 
-  // 5. Stats snapshot: per-collection QPS and latency percentiles.
+  // 5. Stats snapshot: per-collection QPS, latency percentiles, and — for
+  //    sharded collections — the per-shard fan-out counts.
   const pdx::ServiceStats stats = service.Stats();
   for (const auto& [name, cs] : stats.collections) {
-    std::printf("  %s: admitted=%zu completed=%zu dispatches=%zu "
+    std::printf("  %s: admitted=%zu completed=%zu dispatches=%zu shards=%zu "
                 "latency{%s}\n",
                 name.c_str(), cs.admitted, cs.completed, cs.dispatches,
-                cs.latency.ToString().c_str());
+                cs.shards, cs.latency.ToString().c_str());
+    for (size_t s = 0; s < cs.shard_dispatches.size(); ++s) {
+      std::printf("    shard %zu: %llu searches\n", s,
+                  static_cast<unsigned long long>(cs.shard_dispatches[s]));
+    }
   }
   // Destruction shuts down cleanly: in-flight work finishes, queued
   // queries cancel, every future resolves.

@@ -96,6 +96,17 @@ void BatchProfile::Accumulate(const PdxearchProfile& profile) {
   sum += profile;
 }
 
+ThreadPool* Searcher::BatchPool() {
+  size_t threads = ResolveThreadCount(config_.threads);
+  if (config_.search.step_observer) threads = 1;
+  if (threads <= 1) return nullptr;
+  if (config_.pool != nullptr) return config_.pool;
+  if (owned_pool_ == nullptr || owned_pool_->num_threads() != threads) {
+    owned_pool_ = std::make_unique<ThreadPool>(threads);
+  }
+  return owned_pool_.get();
+}
+
 namespace {
 
 /// Fills in the derived fields the user left at their "default" markers so
@@ -178,16 +189,12 @@ class AnySearcherImpl final : public Searcher {
     if (num_queries == 0) return results;
 
     const size_t d = dim();
-    size_t threads = ResolveThreadCount(config_.threads);
-    // A step observer is single-consumer state; don't race on it.
-    if (config_.search.step_observer) threads = 1;
-    // An injected pool (one shared across searchers — the serving layer)
-    // replaces the private pool and dictates the worker count; threads == 1
-    // keeps its sequential meaning even then.
-    ThreadPool* shared = threads > 1 ? config_.pool : nullptr;
-    if (shared != nullptr) threads = shared->num_threads();
+    // BatchPool owns the fan-out policy (sequential vs injected shared pool
+    // vs lazily owned pool); a one-query batch stays sequential without
+    // ever constructing a pool.
+    ThreadPool* pool = num_queries == 1 ? nullptr : BatchPool();
 
-    if (threads <= 1 || num_queries == 1) {
+    if (pool == nullptr) {
       Timer wall;
       for (size_t q = 0; q < num_queries; ++q) {
         Timer per_query;
@@ -197,15 +204,15 @@ class AnySearcherImpl final : public Searcher {
       }
       batch_profile_.wall_ms = wall.ElapsedMillis();
     } else {
-      // Pool and engines are sized to the thread count, not the batch
-      // size: small batches leave workers idle for one wakeup instead of
-      // tearing the "persistent" pool down. Setup stays outside the
-      // wall-clock so qps() reflects steady-state serving.
-      ThreadPool& pool = shared != nullptr ? *shared : EnsureOwnPool(threads);
+      // Engines are sized to the thread count, not the batch size: small
+      // batches leave workers idle for one wakeup instead of tearing the
+      // "persistent" pool down. Setup stays outside the wall-clock so
+      // qps() reflects steady-state serving.
+      const size_t threads = pool->num_threads();
       EnsureEngines(threads);
       std::vector<BatchProfile> worker_profiles(threads);
       Timer wall;
-      pool.ParallelFor(num_queries, [&](size_t q, size_t w) {
+      pool->ParallelFor(num_queries, [&](size_t q, size_t w) {
         Timer per_query;
         PdxearchEngine<P>& engine = *engines_[w];
         results[q] = flat_ != nullptr
@@ -234,18 +241,25 @@ class AnySearcherImpl final : public Searcher {
 
   const IvfIndex* index() const override { return index_; }
 
+  void ReserveScratch(size_t slots) override { EnsureEngines(slots); }
+
+  std::vector<Neighbor> SearchWith(size_t slot, const float* query,
+                                   PdxearchProfile* profile) override {
+    // Lazy growth keeps single-threaded callers convenient; concurrent
+    // callers must have called ReserveScratch first (growth reallocates
+    // engines_).
+    if (slot >= engines_.size()) EnsureEngines(slot + 1);
+    PdxearchEngine<P>& engine = *engines_[slot];
+    std::vector<Neighbor> result =
+        flat_ != nullptr ? engine.SearchFlat(query)
+                         : engine.SearchIvf(*index_, query, config_.nprobe);
+    if (profile != nullptr) *profile = engine.last_profile();
+    return result;
+  }
+
  private:
   const P& pruner() const {
     return flat_ != nullptr ? flat_->pruner() : ivf_->pruner();
-  }
-
-  // Lazily constructs/resizes the private pool; never reached with an
-  // injected shared pool (the query path then constructs no pool at all).
-  ThreadPool& EnsureOwnPool(size_t threads) {
-    if (pool_ == nullptr || pool_->num_threads() != threads) {
-      pool_ = std::make_unique<ThreadPool>(threads);
-    }
-    return *pool_;
   }
 
   // Lazily grows the per-worker engines and pushes the current knobs (k
@@ -260,14 +274,14 @@ class AnySearcherImpl final : public Searcher {
     }
   }
 
-  // Declaration order doubles as lifetime order: engines_ and pool_ sit on
-  // top of the inner searcher's store/pruner, which sit on top of the
-  // (possibly owned) index — members below destroy first.
+  // Declaration order doubles as lifetime order: engines_ sits on top of
+  // the inner searcher's store/pruner, which sit on top of the (possibly
+  // owned) index — members below destroy first. (The lazily owned batch
+  // pool lives in the Searcher base and is idle between calls.)
   std::unique_ptr<IvfIndex> owned_index_;
   const IvfIndex* index_ = nullptr;
   std::unique_ptr<FlatPdxSearcher<P>> flat_;
   std::unique_ptr<IvfPdxSearcher<P>> ivf_;
-  std::unique_ptr<ThreadPool> pool_;
   std::vector<std::unique_ptr<PdxearchEngine<P>>> engines_;
 };
 

@@ -137,11 +137,56 @@ class Searcher {
   /// Aggregate profile of the most recent SearchBatch.
   const BatchProfile& last_batch_profile() const { return batch_profile_; }
 
-  /// The PDX store backing this searcher (post-transformation layout).
+  /// The PDX store backing this searcher (post-transformation layout). A
+  /// sharded searcher returns its first shard's store; use count() for the
+  /// logical collection size.
   virtual const PdxStore& store() const = 0;
 
-  /// The IVF index queries are routed through; nullptr on the flat layout.
+  /// The IVF index queries are routed through; nullptr on the flat layout
+  /// and on sharded searchers (each shard routes through its own index).
   virtual const IvfIndex* index() const = 0;
+
+  /// Vectors searchable through this facade. Equals store().count() for the
+  /// single-store searchers; a sharded searcher reports the sum over its
+  /// shards.
+  virtual size_t count() const { return store().count(); }
+
+  /// Ceiling for runtime nprobe overrides: the IVF index's bucket count (1
+  /// on the flat layout, where nprobe is ignored). A sharded searcher
+  /// reports its largest shard's ceiling — nprobe applies per shard.
+  virtual size_t max_nprobe() const {
+    return index() != nullptr ? index()->num_buckets() : 1;
+  }
+
+  /// Shards fanned out to per query: 1 unless built by MakeShardedSearcher.
+  virtual size_t num_shards() const { return 1; }
+
+  /// Per-shard count of shard-level searches (how many times each shard ran
+  /// a query), empty when unsharded. Safe to call from any thread while
+  /// another thread queries the searcher — the counters are atomic.
+  virtual std::vector<uint64_t> ShardDispatchCounts() const { return {}; }
+
+  /// Pre-sizes per-slot scratch (one search engine per slot) and pushes the
+  /// current query knobs into it, so SearchWith calls on distinct slots in
+  /// [0, slots) may run concurrently. Call after the last set_k/set_nprobe
+  /// and before the parallel region; not thread-safe itself.
+  virtual void ReserveScratch(size_t slots) { (void)slots; }
+
+  /// Search through slot `slot`'s scratch engine instead of the searcher's
+  /// main scratch: after ReserveScratch(n), calls on distinct slots < n are
+  /// safe to run concurrently (the store and pruner are read-only shared).
+  /// Does not update last_profile()/last_batch_profile(); the call's own
+  /// profile is copied into `*profile` when non-null. This is the hook the
+  /// sharded facade tiles (shard x query) work over one ThreadPool with.
+  /// The base implementation forwards to Search (main scratch — NOT
+  /// slot-safe); every MakeSearcher-built searcher overrides it.
+  virtual std::vector<Neighbor> SearchWith(size_t slot, const float* query,
+                                           PdxearchProfile* profile = nullptr) {
+    (void)slot;
+    std::vector<Neighbor> result = Search(query);
+    if (profile != nullptr) *profile = last_profile();
+    return result;
+  }
 
   const SearcherConfig& options() const { return config_; }
   size_t dim() const { return store().dim(); }
@@ -176,8 +221,18 @@ class Searcher {
  protected:
   explicit Searcher(SearcherConfig config) : config_(std::move(config)) {}
 
+  /// The one home of the batch fan-out policy, shared by every facade
+  /// implementation so they cannot drift: nullptr = run sequentially
+  /// (threads resolves to 1, or a step_observer — single-consumer state —
+  /// is set); otherwise the injected shared pool wins, else a lazily owned
+  /// pool sized to `threads` (reused across calls).
+  ThreadPool* BatchPool();
+
   SearcherConfig config_;
   BatchProfile batch_profile_;
+
+ private:
+  std::unique_ptr<ThreadPool> owned_pool_;  ///< Only without an injected pool.
 };
 
 /// Builds the searcher `config` describes over `vectors`. On the kIvf

@@ -34,6 +34,14 @@
 ///   auto ticket = service.Submit("docs", query);
 ///   pdx::QueryResult result = ticket.result.get();
 ///
+/// Sharding one hot collection across searchers (scatter-gather top-k,
+/// exact merge — core/sharded_searcher.h):
+///
+///   pdx::ShardingOptions sharding;
+///   sharding.num_shards = 4;
+///   auto sharded = pdx::MakeShardedSearcher(data, config, sharding).value();
+///   service.AddCollection("hot", data, config, sharding);  // or hosted
+///
 /// The compile-time factories (MakeBondFlatSearcher, MakeAdsIvfSearcher,
 /// ...) remain for benchmark code that wants the concrete types.
 
@@ -43,6 +51,7 @@
 #include "core/pdxearch.h"    // IWYU pragma: export
 #include "core/pruning_trace.h"  // IWYU pragma: export
 #include "core/searcher.h"    // IWYU pragma: export
+#include "core/sharded_searcher.h"  // IWYU pragma: export
 #include "index/flat.h"       // IWYU pragma: export
 #include "index/ivf.h"        // IWYU pragma: export
 #include "index/topk.h"       // IWYU pragma: export

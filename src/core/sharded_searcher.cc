@@ -1,0 +1,312 @@
+#include "core/sharded_searcher.h"
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/timer.h"
+
+namespace pdx {
+
+const char* ShardAssignmentName(ShardAssignment assignment) {
+  switch (assignment) {
+    case ShardAssignment::kContiguous:
+      return "contiguous";
+    case ShardAssignment::kRoundRobin:
+      return "round-robin";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Scatter-gather facade over N per-shard searchers (the IndexShards idea
+/// from the Faiss library, over PDXearch shards): every query runs on every
+/// shard, and only the k-sized per-shard result lists are merged — block
+/// skipping inside each shard stays intact, ids are remapped to global.
+class ShardedSearcher final : public Searcher {
+ public:
+  /// Global-id remap for one shard. A contiguous shard is just a base
+  /// offset; only round-robin needs the explicit table — the distinction
+  /// keeps the facade's footprint O(1) per vector count on the common
+  /// contiguous assignment.
+  struct ShardMap {
+    VectorId base = 0;
+    std::vector<VectorId> ids;  ///< Empty => global = base + local.
+    VectorId Global(VectorId local) const {
+      return ids.empty() ? base + local : ids[local];
+    }
+  };
+
+  ShardedSearcher(SearcherConfig config,
+                  std::vector<std::unique_ptr<Searcher>> shards,
+                  std::vector<ShardMap> shard_maps, size_t total_count)
+      : Searcher(std::move(config)),
+        shards_(std::move(shards)),
+        shard_maps_(std::move(shard_maps)),
+        shard_dispatches_(shards_.size()),
+        total_count_(total_count) {}
+
+  std::vector<Neighbor> Search(const float* query) override {
+    PushKnobs();
+    ThreadPool* pool = BatchPool();
+    CountDispatches(1);
+    if (pool == nullptr) return SearchSequential(query);
+
+    // One task per shard: each shard searcher is driven by exactly one
+    // worker, so the per-shard single-querier contract holds.
+    const size_t num_shards = shards_.size();
+    std::vector<std::vector<Neighbor>> partial(num_shards);
+    pool->ParallelFor(num_shards, [&](size_t s, size_t) {
+      partial[s] = shards_[s]->Search(query);
+    });
+    profile_ = PdxearchProfile{};
+    for (const auto& shard : shards_) profile_ += shard->last_profile();
+    return MergeShards(partial);
+  }
+
+  std::vector<std::vector<Neighbor>> SearchBatch(const float* queries,
+                                                 size_t num_queries) override {
+    batch_profile_ = BatchProfile{};
+    batch_profile_.queries = num_queries;
+    std::vector<std::vector<Neighbor>> results(num_queries);
+    if (num_queries == 0) return results;
+
+    PushKnobs();
+    const size_t num_shards = shards_.size();
+    const size_t d = dim();
+    ThreadPool* pool = BatchPool();
+    CountDispatches(num_queries);
+
+    if (pool == nullptr) {
+      Timer wall;
+      for (size_t q = 0; q < num_queries; ++q) {
+        Timer per_query;
+        results[q] = SearchSequential(queries + q * d);
+        batch_profile_.latency.Record(per_query.ElapsedMillis());
+        batch_profile_.Accumulate(profile_);
+      }
+      batch_profile_.wall_ms = wall.ElapsedMillis();
+      return results;
+    }
+
+    // (shard x query) tiling: the task grid is every shard-query pair, so
+    // one large batch against one collection saturates the whole pool.
+    // Worker w always drives shard s through scratch slot w — distinct
+    // (shard, slot) pairs never share engine state, so any interleaving of
+    // claims is race-free. On this path the latency window holds
+    // per-(shard, query) shard-search times, not whole-query times.
+    const size_t workers = pool->num_threads();
+    for (auto& shard : shards_) shard->ReserveScratch(workers);
+    std::vector<std::vector<std::vector<Neighbor>>> partial(
+        num_shards, std::vector<std::vector<Neighbor>>(num_queries));
+    std::vector<BatchProfile> worker_profiles(workers);
+    Timer wall;
+    pool->ParallelFor(num_shards * num_queries, [&](size_t t, size_t w) {
+      const size_t s = t / num_queries;
+      const size_t q = t % num_queries;
+      Timer per_task;
+      PdxearchProfile profile;
+      partial[s][q] = shards_[s]->SearchWith(w, queries + q * d, &profile);
+      worker_profiles[w].latency.Record(per_task.ElapsedMillis());
+      worker_profiles[w].Accumulate(profile);
+    });
+    std::vector<std::vector<Neighbor>> per_shard(num_shards);
+    for (size_t q = 0; q < num_queries; ++q) {
+      for (size_t s = 0; s < num_shards; ++s) {
+        per_shard[s] = std::move(partial[s][q]);
+      }
+      results[q] = MergeShards(per_shard);
+    }
+    batch_profile_.wall_ms = wall.ElapsedMillis();
+    for (const BatchProfile& wp : worker_profiles) {
+      batch_profile_.Accumulate(wp.sum);
+      batch_profile_.latency.Merge(wp.latency);
+    }
+    return results;
+  }
+
+  void ReserveScratch(size_t slots) override {
+    PushKnobs();
+    for (auto& shard : shards_) shard->ReserveScratch(slots);
+  }
+
+  std::vector<Neighbor> SearchWith(size_t slot, const float* query,
+                                   PdxearchProfile* profile) override {
+    std::vector<std::vector<Neighbor>> partial(shards_.size());
+    PdxearchProfile sum;
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      PdxearchProfile shard_profile;
+      partial[s] = shards_[s]->SearchWith(
+          slot, query, profile != nullptr ? &shard_profile : nullptr);
+      if (profile != nullptr) sum += shard_profile;
+    }
+    if (profile != nullptr) *profile = sum;
+    CountDispatches(1);
+    return MergeShards(partial);
+  }
+
+  const PdxearchProfile& last_profile() const override { return profile_; }
+
+  const PdxStore& store() const override { return shards_.front()->store(); }
+
+  const IvfIndex* index() const override { return nullptr; }
+
+  size_t count() const override { return total_count_; }
+
+  size_t max_nprobe() const override {
+    size_t ceiling = 1;
+    for (const auto& shard : shards_) {
+      ceiling = std::max(ceiling, shard->max_nprobe());
+    }
+    return ceiling;
+  }
+
+  size_t num_shards() const override { return shards_.size(); }
+
+  std::vector<uint64_t> ShardDispatchCounts() const override {
+    std::vector<uint64_t> counts(shard_dispatches_.size());
+    for (size_t s = 0; s < counts.size(); ++s) {
+      counts[s] = shard_dispatches_[s].load(std::memory_order_relaxed);
+    }
+    return counts;
+  }
+
+ private:
+  /// Runtime knobs live on the facade (set_k/set_nprobe mutate config_);
+  /// pushed down to every shard once per Search/SearchBatch call.
+  void PushKnobs() {
+    for (auto& shard : shards_) {
+      shard->set_k(config_.k);
+      if (config_.layout == SearcherLayout::kIvf) {
+        shard->set_nprobe(config_.nprobe);
+      }
+    }
+  }
+
+  std::vector<Neighbor> SearchSequential(const float* query) {
+    profile_ = PdxearchProfile{};
+    std::vector<std::vector<Neighbor>> partial(shards_.size());
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      partial[s] = shards_[s]->Search(query);
+      profile_ += shards_[s]->last_profile();
+    }
+    return MergeShards(partial);
+  }
+
+  /// Exact global top-k over the per-shard top-k lists, shard-local ids
+  /// remapped to global. Ordered exactly as TopK::SortedResults orders the
+  /// unsharded result (ascending distance, ties by id), so exact pruners
+  /// stay byte-identical across shard counts.
+  std::vector<Neighbor> MergeShards(
+      const std::vector<std::vector<Neighbor>>& per_shard) const {
+    size_t total = 0;
+    for (const auto& p : per_shard) total += p.size();
+    std::vector<Neighbor> all;
+    all.reserve(total);
+    for (size_t s = 0; s < per_shard.size(); ++s) {
+      const ShardMap& map = shard_maps_[s];
+      for (const Neighbor& n : per_shard[s]) {
+        all.push_back({map.Global(n.id), n.distance});
+      }
+    }
+    std::sort(all.begin(), all.end(),
+              [](const Neighbor& a, const Neighbor& b) {
+                if (a.distance != b.distance) return a.distance < b.distance;
+                return a.id < b.id;
+              });
+    if (all.size() > config_.k) all.resize(config_.k);
+    return all;
+  }
+
+  void CountDispatches(size_t queries) {
+    for (auto& counter : shard_dispatches_) {
+      counter.fetch_add(queries, std::memory_order_relaxed);
+    }
+  }
+
+  std::vector<std::unique_ptr<Searcher>> shards_;
+  std::vector<ShardMap> shard_maps_;
+  std::vector<std::atomic<uint64_t>> shard_dispatches_;
+  size_t total_count_ = 0;
+  PdxearchProfile profile_;  ///< Shard-summed, most recent query.
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Searcher>> MakeShardedSearcher(
+    const VectorSet& vectors, SearcherConfig config,
+    ShardingOptions sharding) {
+  PDX_RETURN_IF_ERROR(ValidateSearcherConfig(config));
+  if (vectors.empty()) {
+    return Status::InvalidArgument("MakeShardedSearcher: empty collection");
+  }
+  if (sharding.num_shards == 0) {
+    return Status::InvalidArgument(
+        "ShardingOptions: num_shards must be > 0");
+  }
+  if (sharding.assignment != ShardAssignment::kContiguous &&
+      sharding.assignment != ShardAssignment::kRoundRobin) {
+    return Status::InvalidArgument(
+        "ShardingOptions: unknown assignment value");
+  }
+  const size_t count = vectors.count();
+  const size_t num_shards = std::min(sharding.num_shards, count);
+  if (num_shards == 1) return MakeSearcher(vectors, std::move(config));
+
+  // Per-shard id lists feed VectorSet::Select; the retained remap is a
+  // base offset for contiguous shards and the explicit list only for
+  // round-robin.
+  std::vector<std::vector<VectorId>> shard_ids(num_shards);
+  std::vector<ShardedSearcher::ShardMap> shard_maps(num_shards);
+  if (sharding.assignment == ShardAssignment::kContiguous) {
+    // Balanced ranges: the first count % num_shards shards get one extra.
+    size_t begin = 0;
+    for (size_t s = 0; s < num_shards; ++s) {
+      const size_t len =
+          count / num_shards + (s < count % num_shards ? 1 : 0);
+      shard_maps[s].base = static_cast<VectorId>(begin);
+      shard_ids[s].reserve(len);
+      for (size_t i = 0; i < len; ++i) {
+        shard_ids[s].push_back(static_cast<VectorId>(begin + i));
+      }
+      begin += len;
+    }
+  } else {
+    for (auto& ids : shard_ids) ids.reserve(count / num_shards + 1);
+    for (size_t i = 0; i < count; ++i) {
+      shard_ids[i % num_shards].push_back(static_cast<VectorId>(i));
+    }
+  }
+
+  // Shards are sequential leaves — the sharded facade owns all the
+  // parallelism, so a shard must never pull the shared pool into a nested
+  // loop of its own.
+  SearcherConfig shard_config = config;
+  shard_config.pool = nullptr;
+  shard_config.threads = 1;
+
+  std::vector<std::unique_ptr<Searcher>> shards;
+  shards.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    // The slice (and the contiguous id list) is a temporary: searchers
+    // copy everything they keep into their own PdxStore / pruner / index.
+    const VectorSet slice = vectors.Select(shard_ids[s]);
+    auto made = MakeSearcher(slice, shard_config);
+    if (!made.ok()) return made.status();
+    shards.push_back(std::move(made).value());
+  }
+  // Round-robin keeps the explicit id tables; moved (not copied) into the
+  // maps now that Select no longer needs them.
+  if (sharding.assignment == ShardAssignment::kRoundRobin) {
+    for (size_t s = 0; s < num_shards; ++s) {
+      shard_maps[s].ids = std::move(shard_ids[s]);
+    }
+  }
+  return std::unique_ptr<Searcher>(new ShardedSearcher(
+      std::move(config), std::move(shards), std::move(shard_maps), count));
+}
+
+}  // namespace pdx

@@ -1,0 +1,70 @@
+#ifndef PDX_CORE_SHARDED_SEARCHER_H_
+#define PDX_CORE_SHARDED_SEARCHER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "common/status.h"
+#include "core/any_searcher.h"
+#include "storage/vector_set.h"
+
+namespace pdx {
+
+/// How MakeShardedSearcher assigns vectors to shards.
+enum class ShardAssignment : uint8_t {
+  /// Shard s owns one contiguous global-id range — preserves any locality
+  /// already present in the ingestion order.
+  kContiguous = 0,
+  /// Vector i goes to shard i % num_shards — deliberately spreads hot
+  /// ranges so every shard sees a similar slice of the distribution.
+  kRoundRobin = 1,
+};
+
+const char* ShardAssignmentName(ShardAssignment assignment);
+
+/// Knobs for splitting one logical collection across several searchers.
+struct ShardingOptions {
+  /// Shards to partition into. Must be > 0; silently clamped to the vector
+  /// count so every shard holds at least one vector. 1 builds a plain
+  /// (unsharded) searcher.
+  size_t num_shards = 1;
+  ShardAssignment assignment = ShardAssignment::kContiguous;
+};
+
+/// Partitions `vectors` into `sharding.num_shards` shards, builds one
+/// searcher per shard through MakeSearcher (any layout x pruner — on kIvf
+/// each shard builds its own IVF index over its slice with config.ivf),
+/// and returns a facade that scatter-gathers every query:
+///
+///   - Search fans the query out to all shards — in parallel on
+///     config.pool (or a lazily owned pool) when threads != 1, sequential
+///     when threads == 1 — and merges the per-shard top-k heaps into one
+///     exact global top-k, shard-local ids remapped to global ids. The
+///     merge is the same (distance, id) order TopK::SortedResults emits,
+///     so with an exact pruner the result is identical to the equivalent
+///     unsharded searcher over the same data. One caveat at the k
+///     boundary: when candidates are tied at *exactly* the k-th distance
+///     (duplicate vectors), the unsharded heap keeps the first one its
+///     visit order met while the merge keeps the lowest global id — the
+///     distances returned are identical either way, the tied ids may not
+///     be (same caveat as any scatter-gather merge, e.g. Faiss
+///     IndexShards).
+///   - SearchBatch tiles (shard x query) tasks over the pool via the
+///     facade's per-slot scratch (Searcher::SearchWith), so one large
+///     batch against one collection saturates the whole pool. Only
+///     k-sized result lists cross shard boundaries.
+///
+/// The per-shard searchers are built sequential (threads = 1, no pool);
+/// the sharded facade owns all parallelism, so nesting it under the
+/// serving layer's one shared pool composes without pool cycles.
+///
+/// Thread safety matches the facade contract: one querier at a time;
+/// ShardDispatchCounts() alone may be read concurrently.
+Result<std::unique_ptr<Searcher>> MakeShardedSearcher(
+    const VectorSet& vectors, SearcherConfig config,
+    ShardingOptions sharding);
+
+}  // namespace pdx
+
+#endif  // PDX_CORE_SHARDED_SEARCHER_H_

@@ -20,6 +20,9 @@ ServiceConfig Sanitize(ServiceConfig config) {
   config.max_pending = std::max<size_t>(1, config.max_pending);
   config.max_batch = std::max<size_t>(1, config.max_batch);
   config.latency_window = std::max<size_t>(1, config.latency_window);
+  if (config.qps_window.count() <= 0) {
+    config.qps_window = ServiceConfig{}.qps_window;
+  }
   return config;
 }
 
@@ -41,6 +44,10 @@ struct SearchService::Collection {
   size_t default_nprobe = 1;
   size_t max_k = 1;
   size_t max_nprobe = 1;
+  /// Captured at AddCollection time: the batch key ignores nprobe on kFlat
+  /// (the search ignores it there, so keying on it would only fragment
+  /// coalescable batches).
+  SearcherLayout layout = SearcherLayout::kFlat;
 
   size_t admitted = 0;
   size_t completed = 0;
@@ -50,8 +57,21 @@ struct SearchService::Collection {
   size_t dispatches = 0;
   LatencyRecorder queue_wait;
   LatencyRecorder latency;
-  Clock::time_point first_done{};
-  Clock::time_point last_done{};
+  /// Ring of the most recent completion timestamps — the windowed QPS
+  /// gauge. A lifetime first-done/last-done span would decay across idle
+  /// gaps and never recover.
+  std::vector<Clock::time_point> done_ring;
+  size_t done_ring_capacity = 1;
+  size_t done_next = 0;
+
+  void RecordDone(Clock::time_point now) {
+    if (done_ring.size() < done_ring_capacity) {
+      done_ring.push_back(now);
+    } else {
+      done_ring[done_next] = now;
+    }
+    done_next = (done_next + 1) % done_ring_capacity;
+  }
 };
 
 /// One admitted (or about-to-be-rejected) query. Owns a copy of the query
@@ -110,12 +130,16 @@ Status SearchService::Adopt(const std::string& name,
   collection->name = name;
   collection->default_k = std::max<size_t>(1, searcher->options().k);
   collection->default_nprobe = std::max<size_t>(1, searcher->options().nprobe);
-  collection->max_k = std::max<size_t>(1, searcher->store().count());
-  collection->max_nprobe = searcher->index() != nullptr
-                               ? std::max<size_t>(1, searcher->index()->num_buckets())
-                               : 1;
+  // count()/max_nprobe() see through sharding: the logical collection
+  // size, and the largest shard's bucket count (nprobe applies per shard).
+  collection->max_k = std::max<size_t>(1, searcher->count());
+  collection->max_nprobe = std::max<size_t>(1, searcher->max_nprobe());
+  collection->layout = searcher->options().layout;
   collection->queue_wait = LatencyRecorder(config_.latency_window);
   collection->latency = LatencyRecorder(config_.latency_window);
+  collection->done_ring_capacity = config_.latency_window;
+  collection->done_ring.reserve(
+      std::min<size_t>(config_.latency_window, 4096));
   collection->searcher = std::move(searcher);
   collections_.emplace(name, std::move(collection));
   return Status::OK();
@@ -139,6 +163,18 @@ Status SearchService::AddCollection(const std::string& name,
   config.pool = &pool_;
   config.threads = 0;
   auto made = MakeSearcher(vectors, index, std::move(config));
+  if (!made.ok()) return made.status();
+  std::unique_ptr<Searcher> searcher = std::move(made).value();
+  return Adopt(name, searcher);
+}
+
+Status SearchService::AddCollection(const std::string& name,
+                                    const VectorSet& vectors,
+                                    SearcherConfig config,
+                                    ShardingOptions sharding) {
+  config.pool = &pool_;
+  config.threads = 0;
+  auto made = MakeShardedSearcher(vectors, std::move(config), sharding);
   if (!made.ok()) return made.status();
   std::unique_ptr<Searcher> searcher = std::move(made).value();
   return Adopt(name, searcher);
@@ -249,9 +285,12 @@ Status SearchService::Enqueue(const std::string& collection,
   pending->query.assign(query, query + d);
   pending->k =
       std::min(options.k > 0 ? options.k : host.default_k, host.max_k);
-  pending->nprobe = std::min(
-      options.nprobe > 0 ? options.nprobe : host.default_nprobe,
-      host.max_nprobe);
+  // The bucket-count clamp only makes sense where nprobe is applied; on
+  // kFlat the knob never reaches the searcher.
+  pending->nprobe = options.nprobe > 0 ? options.nprobe : host.default_nprobe;
+  if (host.layout == SearcherLayout::kIvf) {
+    pending->nprobe = std::min(pending->nprobe, host.max_nprobe);
+  }
   if (options.timeout.count() > 0) {
     pending->deadline = pending->submitted + options.timeout;
   }
@@ -300,6 +339,8 @@ size_t SearchService::queue_depth() const {
 ServiceStats SearchService::Stats() const {
   ServiceStats stats;
   stats.pool_threads = pool_.num_threads();
+  const Clock::time_point now = Clock::now();
+  const Clock::time_point cutoff = now - config_.qps_window;
   std::lock_guard<std::mutex> lock(mutex_);
   stats.queue_depth = queue_.size();
   for (const auto& [name, collection] : collections_) {
@@ -310,15 +351,36 @@ ServiceStats SearchService::Stats() const {
     cs.expired = collection->expired;
     cs.cancelled = collection->cancelled;
     cs.dispatches = collection->dispatches;
+    // num_shards() reads a constant and ShardDispatchCounts() reads
+    // atomics, so these are safe against the dispatcher's concurrent use
+    // of the searcher (which mutex_ does not serialize).
+    cs.shards = collection->searcher->num_shards();
+    cs.shard_dispatches = collection->searcher->ShardDispatchCounts();
     cs.queue_wait = collection->queue_wait.Summary();
     cs.latency = collection->latency.Summary();
-    if (collection->completed >= 2) {
-      const double span_s =
-          MillisBetween(collection->first_done, collection->last_done) / 1e3;
-      if (span_s > 0.0) {
-        // completed results bound completed-1 intervals.
-        cs.qps = static_cast<double>(collection->completed - 1) / span_s;
-      }
+    // QPS over the completions inside the recent window only: a lifetime
+    // first-to-last span would report near-zero forever after one long
+    // idle gap. n samples bound n-1 intervals; a single in-window sample
+    // is scored against the whole window.
+    size_t in_window = 0;
+    Clock::time_point oldest = Clock::time_point::max();
+    Clock::time_point newest = Clock::time_point::min();
+    for (const Clock::time_point done : collection->done_ring) {
+      if (done < cutoff) continue;
+      ++in_window;
+      oldest = std::min(oldest, done);
+      newest = std::max(newest, done);
+    }
+    // oldest/newest are sentinels until the first in-window sample; only
+    // subtract them once at least two real timestamps are in hand.
+    const double span_s =
+        in_window >= 2 ? MillisBetween(oldest, newest) / 1e3 : 0.0;
+    if (in_window >= 2 && span_s > 0.0) {
+      cs.qps = static_cast<double>(in_window - 1) / span_s;
+    } else if (in_window >= 1) {
+      const double window_s =
+          std::chrono::duration<double>(config_.qps_window).count();
+      cs.qps = static_cast<double>(in_window) / window_s;
     }
     stats.collections.emplace(name, cs);
   }
@@ -362,11 +424,15 @@ SearchService::CollectBatchLocked() {
   // batch keys — other collections, or the same collection with different
   // k/nprobe.
   const Pending& head = *batch.front();
+  // nprobe only keys IVF collections: a flat search ignores it, so two
+  // flat queries with different nprobe overrides still share one batch.
+  const bool key_nprobe = head.collection != nullptr &&
+                          head.collection->layout == SearcherLayout::kIvf;
   for (auto it = queue_.begin();
        it != queue_.end() && batch.size() < config_.max_batch;) {
     const Pending& candidate = **it;
     if (candidate.collection == head.collection && candidate.k == head.k &&
-        candidate.nprobe == head.nprobe) {
+        (!key_nprobe || candidate.nprobe == head.nprobe)) {
       batch.push_back(std::move(*it));
       it = queue_.erase(it);
     } else {
@@ -450,9 +516,13 @@ void SearchService::Complete(std::unique_ptr<Pending> pending, Status status,
   result.id = pending->id;
   result.collection = pending->collection_name;
   result.total_ms = MillisBetween(pending->submitted, now);
+  // A query that never reached a searcher spent its whole life in the
+  // queue: submitted -> now IS its queue wait. Reporting 0 here would
+  // survivorship-bias the queue-wait percentiles exactly when the queue is
+  // in trouble (sheds happen because the wait was long).
   result.queue_ms =
       was_dispatched ? MillisBetween(pending->submitted, pending->dispatched)
-                     : 0.0;
+                     : result.total_ms;
 
   if (pending->collection != nullptr) {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -462,17 +532,20 @@ void SearchService::Complete(std::unique_ptr<Pending> pending, Status status,
         ++host.completed;
         host.latency.Record(result.total_ms);
         host.queue_wait.Record(result.queue_ms);
-        if (host.completed == 1) host.first_done = now;
-        host.last_done = now;
+        host.RecordDone(now);
         break;
       case Status::Code::kResourceExhausted:
+        // Turned away at admission — it never waited in the queue, so it
+        // contributes no queue_wait sample.
         ++host.rejected;
         break;
       case Status::Code::kDeadlineExceeded:
         ++host.expired;
+        host.queue_wait.Record(result.queue_ms);
         break;
       case Status::Code::kCancelled:
         ++host.cancelled;
+        host.queue_wait.Record(result.queue_ms);
         break;
       default:
         break;  // InvalidArgument etc.: attributed to no bucket.

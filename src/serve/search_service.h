@@ -17,6 +17,7 @@
 #include "common/parallel.h"
 #include "common/status.h"
 #include "core/any_searcher.h"
+#include "core/sharded_searcher.h"
 #include "serve/query.h"
 #include "serve/service_stats.h"
 #include "storage/vector_set.h"
@@ -36,8 +37,13 @@ struct ServiceConfig {
   /// queries for the same (collection, k, nprobe) into one SearchBatch
   /// call. 1 disables batching. Must be > 0.
   size_t max_batch = 8;
-  /// Sliding-window size of the per-collection latency recorders.
+  /// Sliding-window size of the per-collection latency recorders (also the
+  /// capacity of the completion-timestamp ring behind the QPS gauge).
   size_t latency_window = LatencyRecorder::kDefaultWindow;
+  /// Horizon of the per-collection QPS gauge: Stats() computes QPS over
+  /// the completions inside this window, so an idle gap drops the gauge to
+  /// zero instead of diluting a lifetime average. Must be > 0.
+  std::chrono::milliseconds qps_window{10'000};
 };
 
 /// An async serving shell over the Searcher facade: hosts multiple named
@@ -80,6 +86,14 @@ class SearchService {
   /// collection; layout must be kIvf).
   Status AddCollection(const std::string& name, const VectorSet& vectors,
                        const IvfIndex& index, SearcherConfig config);
+
+  /// Hosts `vectors` sharded across `sharding.num_shards` searchers behind
+  /// one collection name (MakeShardedSearcher): every query fans out to
+  /// all shards on the service's shared pool and merges into one exact
+  /// global top-k. Submit/admission/micro-batching are unchanged;
+  /// ServiceStats reports the per-shard dispatch counts.
+  Status AddCollection(const std::string& name, const VectorSet& vectors,
+                       SearcherConfig config, ShardingOptions sharding);
 
   /// Adopts an already-built searcher. On success the pointer is moved
   /// from, the service injects its shared pool (set_pool) and takes over

@@ -2,8 +2,10 @@
 #define PDX_SERVE_SERVICE_STATS_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "benchlib/latency.h"
 
@@ -20,8 +22,16 @@ struct CollectionStats {
   size_t cancelled = 0;   ///< Cancel()/RemoveCollection/Shutdown.
   size_t dispatches = 0;  ///< SearchBatch calls; completed/dispatches is
                           ///< the achieved micro-batch size.
-  /// Completions per second over the span between this collection's first
-  /// and last completion (0 until there are two).
+  /// Shards the hosted searcher fans each query out to (1 = unsharded).
+  size_t shards = 1;
+  /// Per-shard count of shard-level query executions (each dispatched
+  /// query bumps every shard it fanned out to); empty when unsharded.
+  std::vector<uint64_t> shard_dispatches;
+  /// Completions per second over the recent ServiceConfig::qps_window:
+  /// (n - 1) / span of the completions inside the window. 0 when the
+  /// collection has been idle longer than the window — this is a *current*
+  /// throughput gauge, not a lifetime average, so idle gaps do not dilute
+  /// it forever.
   double qps = 0.0;
   LatencySummary queue_wait;  ///< Admission -> dispatch, ms.
   LatencySummary latency;     ///< Admission -> completion, ms (p50/p95/p99).

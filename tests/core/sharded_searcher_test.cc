@@ -1,0 +1,277 @@
+#include "core/sharded_searcher.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "benchlib/datagen.h"
+#include "common/parallel.h"
+
+namespace pdx {
+namespace {
+
+Dataset MakeData(size_t dim = 24, size_t count = 2000, size_t num_queries = 8,
+                 uint64_t seed = 7) {
+  SyntheticSpec spec;
+  spec.name = "sharded-test";
+  spec.dim = dim;
+  spec.count = count;
+  spec.num_queries = num_queries;
+  spec.num_clusters = 8;
+  spec.seed = seed;
+  spec.distribution = ValueDistribution::kNormal;
+  return GenerateDataset(spec);
+}
+
+SearcherConfig Config(SearcherLayout layout, PrunerKind pruner,
+                      size_t nprobe = 16) {
+  SearcherConfig config;
+  config.layout = layout;
+  config.pruner = pruner;
+  config.k = 10;
+  config.nprobe = nprobe;
+  return config;
+}
+
+void ExpectSameNeighbors(const std::vector<Neighbor>& actual,
+                         const std::vector<Neighbor>& expected,
+                         const std::string& label) {
+  ASSERT_EQ(actual.size(), expected.size()) << label;
+  for (size_t i = 0; i < actual.size(); ++i) {
+    ASSERT_EQ(actual[i].id, expected[i].id) << label << " rank " << i;
+    ASSERT_FLOAT_EQ(actual[i].distance, expected[i].distance)
+        << label << " rank " << i;
+  }
+}
+
+// --- Acceptance: sharded == unsharded, flat and IVF, two exact pruners ----
+
+TEST(ShardedSearcherTest, MatchesUnshardedExactPruners) {
+  Dataset data = MakeData();
+  // IVF candidate generation is itself approximate and each shard builds
+  // its own bucket structure, so IVF parity is asserted where both sides
+  // are exhaustive: nprobe covering every bucket. Flat parity holds at the
+  // paper-default knobs. Linear and PDX-BOND are the exact pruners —
+  // pruning changes work done, never the accepted set.
+  const size_t all_buckets = 1u << 20;
+  for (SearcherLayout layout : {SearcherLayout::kFlat, SearcherLayout::kIvf}) {
+    for (PrunerKind pruner : {PrunerKind::kLinear, PrunerKind::kBond}) {
+      SearcherConfig config = Config(layout, pruner, all_buckets);
+      auto reference = MakeSearcher(data.data, config);
+      ASSERT_TRUE(reference.ok());
+      for (ShardAssignment assignment :
+           {ShardAssignment::kContiguous, ShardAssignment::kRoundRobin}) {
+        for (size_t shards : {2u, 5u}) {
+          ShardingOptions sharding;
+          sharding.num_shards = shards;
+          sharding.assignment = assignment;
+          auto sharded = MakeShardedSearcher(data.data, config, sharding);
+          ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+          const std::string label =
+              std::string(SearcherLayoutName(layout)) + "/" +
+              PrunerKindName(pruner) + "/" + ShardAssignmentName(assignment) +
+              "/" + std::to_string(shards);
+          EXPECT_EQ(sharded.value()->num_shards(), shards) << label;
+          EXPECT_EQ(sharded.value()->count(), data.data.count()) << label;
+          for (size_t q = 0; q < data.queries.count(); ++q) {
+            ExpectSameNeighbors(
+                sharded.value()->Search(data.queries.Vector(q)),
+                reference.value()->Search(data.queries.Vector(q)),
+                label + " query " + std::to_string(q));
+          }
+        }
+      }
+    }
+  }
+}
+
+// --- SearchBatch: sequential, own pool, and injected pool all agree ------
+
+TEST(ShardedSearcherTest, BatchMatchesSearchAcrossThreadModes) {
+  Dataset data = MakeData(16, 1500, 12, 11);
+  ShardingOptions sharding;
+  sharding.num_shards = 3;
+
+  SearcherConfig sequential = Config(SearcherLayout::kFlat, PrunerKind::kBond);
+  auto seq = MakeShardedSearcher(data.data, sequential, sharding);
+  ASSERT_TRUE(seq.ok());
+
+  SearcherConfig own_pool = sequential;
+  own_pool.threads = 4;
+  auto own = MakeShardedSearcher(data.data, own_pool, sharding);
+  ASSERT_TRUE(own.ok());
+
+  ThreadPool pool(4);
+  SearcherConfig injected = sequential;
+  injected.threads = 4;
+  injected.pool = &pool;
+  auto shared = MakeShardedSearcher(data.data, injected, sharding);
+  ASSERT_TRUE(shared.ok());
+
+  const size_t nq = data.queries.count();
+  const uint64_t pools_before = ThreadPool::num_created();
+  auto seq_batch = seq.value()->SearchBatch(data.queries.data(), nq);
+  auto own_batch = own.value()->SearchBatch(data.queries.data(), nq);
+  auto shared_batch = shared.value()->SearchBatch(data.queries.data(), nq);
+  // The injected-pool searcher must not have built a pool of its own (the
+  // sequential one spawns nothing; the own-pool one builds exactly one).
+  EXPECT_EQ(ThreadPool::num_created(), pools_before + 1);
+
+  for (size_t q = 0; q < nq; ++q) {
+    const std::vector<Neighbor> expected =
+        seq.value()->Search(data.queries.Vector(q));
+    ExpectSameNeighbors(seq_batch[q], expected,
+                        "seq batch q" + std::to_string(q));
+    ExpectSameNeighbors(own_batch[q], expected,
+                        "own-pool batch q" + std::to_string(q));
+    ExpectSameNeighbors(shared_batch[q], expected,
+                        "injected-pool batch q" + std::to_string(q));
+  }
+  EXPECT_EQ(shared.value()->last_batch_profile().queries, nq);
+  EXPECT_GT(shared.value()->last_batch_profile().wall_ms, 0.0);
+}
+
+// --- Approximate pruners: the scatter-gather merge itself is exact -------
+
+TEST(ShardedSearcherTest, ApproximatePrunerEqualsManualScatterGather) {
+  Dataset data = MakeData(24, 1800, 6, 13);
+  SearcherConfig config = Config(SearcherLayout::kFlat, PrunerKind::kAdsampling);
+  constexpr size_t kShards = 3;
+  ShardingOptions sharding;
+  sharding.num_shards = kShards;
+  auto sharded = MakeShardedSearcher(data.data, config, sharding);
+  ASSERT_TRUE(sharded.ok());
+
+  // Rebuild the same contiguous slices by hand and run the same per-shard
+  // searchers directly: the sharded result must be exactly the (distance,
+  // id)-merged union of the per-shard top-k lists, ids remapped to global.
+  const size_t count = data.data.count();
+  std::vector<std::vector<VectorId>> shard_ids(kShards);
+  size_t begin = 0;
+  for (size_t s = 0; s < kShards; ++s) {
+    const size_t len = count / kShards + (s < count % kShards ? 1 : 0);
+    for (size_t i = 0; i < len; ++i) {
+      shard_ids[s].push_back(static_cast<VectorId>(begin + i));
+    }
+    begin += len;
+  }
+  std::vector<std::unique_ptr<Searcher>> manual;
+  for (size_t s = 0; s < kShards; ++s) {
+    VectorSet slice = data.data.Select(shard_ids[s]);
+    auto made = MakeSearcher(slice, config);
+    ASSERT_TRUE(made.ok());
+    manual.push_back(std::move(made).value());
+  }
+
+  for (size_t q = 0; q < data.queries.count(); ++q) {
+    std::vector<Neighbor> merged;
+    for (size_t s = 0; s < kShards; ++s) {
+      for (const Neighbor& n : manual[s]->Search(data.queries.Vector(q))) {
+        merged.push_back({shard_ids[s][n.id], n.distance});
+      }
+    }
+    std::sort(merged.begin(), merged.end(),
+              [](const Neighbor& a, const Neighbor& b) {
+                if (a.distance != b.distance) return a.distance < b.distance;
+                return a.id < b.id;
+              });
+    if (merged.size() > config.k) merged.resize(config.k);
+    ExpectSameNeighbors(sharded.value()->Search(data.queries.Vector(q)),
+                        merged, "ads query " + std::to_string(q));
+  }
+}
+
+// --- Runtime knobs, counters, and facade accessors ------------------------
+
+TEST(ShardedSearcherTest, KnobsCountersAndAccessors) {
+  Dataset data = MakeData(16, 900, 4, 17);
+  ShardingOptions sharding;
+  sharding.num_shards = 4;
+  auto sharded = MakeShardedSearcher(
+      data.data, Config(SearcherLayout::kIvf, PrunerKind::kBond), sharding);
+  ASSERT_TRUE(sharded.ok());
+  Searcher& s = *sharded.value();
+
+  EXPECT_EQ(s.num_shards(), 4u);
+  EXPECT_EQ(s.count(), data.data.count());
+  EXPECT_EQ(s.index(), nullptr);
+  // Each shard routes through its own IVF index; the nprobe ceiling is the
+  // largest shard's bucket count, well above the flat sentinel of 1.
+  EXPECT_GT(s.max_nprobe(), 1u);
+
+  // set_k applies on the next call, through the merge truncation and the
+  // per-shard searchers alike.
+  s.set_k(3);
+  EXPECT_EQ(s.Search(data.queries.Vector(0)).size(), 3u);
+  s.set_k(25);
+  EXPECT_EQ(s.Search(data.queries.Vector(0)).size(), 25u);
+
+  std::vector<uint64_t> counts = s.ShardDispatchCounts();
+  ASSERT_EQ(counts.size(), 4u);
+  for (uint64_t c : counts) EXPECT_EQ(c, 2u);  // Two Search calls so far.
+  s.SearchBatch(data.queries.data(), data.queries.count());
+  counts = s.ShardDispatchCounts();
+  for (uint64_t c : counts) EXPECT_EQ(c, 2u + data.queries.count());
+
+  // An unsharded facade reports the degenerate values.
+  auto plain =
+      MakeSearcher(data.data, Config(SearcherLayout::kFlat, PrunerKind::kBond));
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain.value()->num_shards(), 1u);
+  EXPECT_TRUE(plain.value()->ShardDispatchCounts().empty());
+  EXPECT_EQ(plain.value()->count(), data.data.count());
+}
+
+TEST(ShardedSearcherTest, ValidatesAndClamps) {
+  Dataset data = MakeData(8, 30, 2, 19);
+  SearcherConfig config = Config(SearcherLayout::kFlat, PrunerKind::kLinear);
+
+  ShardingOptions zero;
+  zero.num_shards = 0;
+  EXPECT_TRUE(
+      MakeShardedSearcher(data.data, config, zero).status().IsInvalidArgument());
+
+  ShardingOptions bad_assignment;
+  bad_assignment.num_shards = 2;
+  bad_assignment.assignment = static_cast<ShardAssignment>(99);
+  EXPECT_TRUE(MakeShardedSearcher(data.data, config, bad_assignment)
+                  .status()
+                  .IsInvalidArgument());
+
+  SearcherConfig bad_config = config;
+  bad_config.k = 0;
+  ShardingOptions two;
+  two.num_shards = 2;
+  EXPECT_TRUE(MakeShardedSearcher(data.data, bad_config, two)
+                  .status()
+                  .IsInvalidArgument());
+
+  // More shards than vectors clamps to one vector per shard.
+  ShardingOptions excessive;
+  excessive.num_shards = 64;
+  auto clamped = MakeShardedSearcher(data.data, config, excessive);
+  ASSERT_TRUE(clamped.ok());
+  EXPECT_EQ(clamped.value()->num_shards(), data.data.count());
+
+  // num_shards == 1 degrades to a plain searcher.
+  ShardingOptions one;
+  one.num_shards = 1;
+  auto plain = MakeShardedSearcher(data.data, config, one);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain.value()->num_shards(), 1u);
+
+  // k larger than any single shard still returns the global top-k: shards
+  // contribute fewer than k candidates each and the merge fills from all.
+  auto reference = MakeSearcher(data.data, config);
+  ASSERT_TRUE(reference.ok());
+  reference.value()->set_k(20);
+  clamped.value()->set_k(20);
+  ExpectSameNeighbors(clamped.value()->Search(data.queries.Vector(0)),
+                      reference.value()->Search(data.queries.Vector(0)),
+                      "k beyond shard size");
+}
+
+}  // namespace
+}  // namespace pdx

@@ -517,6 +517,228 @@ TEST(SearchServiceTest, ConcurrentSubmittersShareOnePoolWithParity) {
   EXPECT_EQ(stats.collections.at("flat-ads").completed, kRounds * nq);
 }
 
+// --- Sharded collections ---------------------------------------------------
+
+TEST(SearchServiceTest, ShardedCollectionMatchesUnshardedWithShardStats) {
+  Fixture fx = MakeFixture(24, 96, 3000, 12);
+  ServiceConfig sc;
+  sc.threads = 3;
+  SearchService service(sc);
+  ShardingOptions sharding;
+  sharding.num_shards = 4;
+  ASSERT_TRUE(service
+                  .AddCollection("sharded", fx.dataset.data,
+                                 Config(SearcherLayout::kFlat, PrunerKind::kBond),
+                                 sharding)
+                  .ok());
+
+  auto reference = MakeSearcher(
+      fx.dataset.data, Config(SearcherLayout::kFlat, PrunerKind::kBond));
+  ASSERT_TRUE(reference.ok());
+
+  std::vector<QueryTicket> tickets;
+  for (size_t q = 0; q < fx.dataset.queries.count(); ++q) {
+    tickets.push_back(service.Submit("sharded", fx.dataset.queries.Vector(q)));
+  }
+  for (size_t q = 0; q < tickets.size(); ++q) {
+    QueryResult result = tickets[q].result.get();
+    ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+    ExpectSameNeighbors(result.neighbors,
+                        reference.value()->Search(fx.dataset.queries.Vector(q)),
+                        "sharded query " + std::to_string(q));
+  }
+
+  const CollectionStats cs = service.Stats().collections.at("sharded");
+  EXPECT_EQ(cs.completed, tickets.size());
+  EXPECT_EQ(cs.shards, 4u);
+  ASSERT_EQ(cs.shard_dispatches.size(), 4u);
+  // Every dispatched query fans out to every shard.
+  for (uint64_t per_shard : cs.shard_dispatches) {
+    EXPECT_EQ(per_shard, tickets.size());
+  }
+}
+
+// --- Regression: flat batches must not fragment on nprobe ------------------
+
+TEST(SearchServiceTest, FlatBatchCoalescesAcrossNprobeOverrides) {
+  Fixture fx = MakeFixture();
+  SearchService service;  // max_batch default 8 >= the 4 queries below.
+  ASSERT_TRUE(service
+                  .AddCollection("flat", fx.dataset.data,
+                                 Config(SearcherLayout::kFlat, PrunerKind::kBond))
+                  .ok());
+  service.Pause();
+  std::vector<QueryTicket> tickets;
+  for (size_t q = 0; q < 4; ++q) {
+    // Distinct nprobe per query: a flat search ignores nprobe entirely, so
+    // all four must still share ONE SearchBatch dispatch.
+    QueryOptions options;
+    options.nprobe = q + 1;
+    tickets.push_back(
+        service.Submit("flat", fx.dataset.queries.Vector(q), options));
+  }
+  service.Resume();
+  for (QueryTicket& ticket : tickets) {
+    EXPECT_TRUE(ticket.result.get().status.ok());
+  }
+  const CollectionStats cs = service.Stats().collections.at("flat");
+  EXPECT_EQ(cs.completed, 4u);
+  EXPECT_EQ(cs.dispatches, 1u)
+      << "flat-layout batch was fragmented by the ignored nprobe knob";
+}
+
+// --- Regression: shed queries keep their real queue wait -------------------
+
+TEST(SearchServiceTest, ShedQueriesReportQueueWait) {
+  Fixture fx = MakeFixture();
+  SearchService service;
+  ASSERT_TRUE(service
+                  .AddCollection("flat", fx.dataset.data,
+                                 Config(SearcherLayout::kFlat, PrunerKind::kBond))
+                  .ok());
+  service.Pause();
+  QueryOptions options;
+  options.timeout = 1ms;
+  QueryTicket doomed =
+      service.Submit("flat", fx.dataset.queries.Vector(0), options);
+  QueryTicket axed = service.Submit("flat", fx.dataset.queries.Vector(1));
+  std::this_thread::sleep_for(30ms);
+  EXPECT_TRUE(service.Cancel(axed.id));
+  service.Resume();
+
+  QueryResult expired = doomed.result.get();
+  EXPECT_TRUE(expired.status.IsDeadlineExceeded());
+  QueryResult cancelled = axed.result.get();
+  EXPECT_TRUE(cancelled.status.IsCancelled());
+  // Both queries sat in the queue for the whole sleep; their reported
+  // queue wait is that real wait, not zero.
+  EXPECT_GT(expired.queue_ms, 5.0);
+  EXPECT_GT(cancelled.queue_ms, 5.0);
+
+  const CollectionStats cs = service.Stats().collections.at("flat");
+  EXPECT_EQ(cs.expired, 1u);
+  EXPECT_EQ(cs.cancelled, 1u);
+  // ...and both waits entered the queue-wait percentiles: exactly the
+  // samples that used to be dropped when the queue was in trouble.
+  EXPECT_EQ(cs.queue_wait.count, 2u);
+  EXPECT_GT(cs.queue_wait.p50_ms, 5.0);
+}
+
+// --- Regression: QPS must not decay across idle gaps -----------------------
+
+TEST(SearchServiceTest, QpsTracksRecentWindowAcrossIdleGap) {
+  Fixture fx = MakeFixture(8, 97, 400, 8);
+  ServiceConfig sc;
+  sc.qps_window = 250ms;
+  SearchService service(sc);
+  ASSERT_TRUE(service
+                  .AddCollection("flat", fx.dataset.data,
+                                 Config(SearcherLayout::kFlat, PrunerKind::kBond))
+                  .ok());
+  auto burst = [&] {
+    std::vector<QueryTicket> tickets;
+    for (size_t q = 0; q < fx.dataset.queries.count(); ++q) {
+      tickets.push_back(service.Submit("flat", fx.dataset.queries.Vector(q)));
+    }
+    for (QueryTicket& ticket : tickets) {
+      ASSERT_TRUE(ticket.result.get().status.ok());
+    }
+  };
+
+  burst();
+  EXPECT_GT(service.Stats().collections.at("flat").qps, 0.0);
+
+  // Idle past the window: the gauge reads 0 (no recent completions), not a
+  // stale lifetime average.
+  std::this_thread::sleep_for(600ms);
+  EXPECT_EQ(service.Stats().collections.at("flat").qps, 0.0);
+
+  // Fresh traffic after the gap: QPS reflects the recent rate. The old
+  // first-to-last-completion span included the 600ms gap and could never
+  // report more than ~(completed-1)/0.6s again.
+  burst();
+  EXPECT_GT(service.Stats().collections.at("flat").qps, 25.0);
+}
+
+// --- RemoveCollection vs an in-flight batch --------------------------------
+
+/// Wraps a real searcher, signalling when SearchBatch starts and blocking
+/// it until released — a deterministic in-flight window for the test.
+class SlowSearcher : public Searcher {
+ public:
+  SlowSearcher(std::unique_ptr<Searcher> inner,
+               std::shared_future<void> release, std::promise<void>* started)
+      : Searcher(inner->options()),
+        inner_(std::move(inner)),
+        release_(std::move(release)),
+        started_(started) {}
+
+  std::vector<Neighbor> Search(const float* query) override {
+    return inner_->Search(query);
+  }
+  std::vector<std::vector<Neighbor>> SearchBatch(const float* queries,
+                                                 size_t num_queries) override {
+    if (started_ != nullptr) {
+      started_->set_value();
+      started_ = nullptr;
+    }
+    release_.wait();
+    return inner_->SearchBatch(queries, num_queries);
+  }
+  const PdxearchProfile& last_profile() const override {
+    return inner_->last_profile();
+  }
+  const PdxStore& store() const override { return inner_->store(); }
+  const IvfIndex* index() const override { return inner_->index(); }
+
+ private:
+  std::unique_ptr<Searcher> inner_;
+  std::shared_future<void> release_;
+  std::promise<void>* started_;
+};
+
+TEST(SearchServiceTest, RemoveCollectionWithInFlightBatch) {
+  Fixture fx = MakeFixture();
+  ServiceConfig sc;
+  sc.max_batch = 2;
+  SearchService service(sc);
+
+  auto inner = MakeSearcher(fx.dataset.data,
+                            Config(SearcherLayout::kFlat, PrunerKind::kBond));
+  ASSERT_TRUE(inner.ok());
+  std::promise<void> release;
+  std::promise<void> started;
+  std::unique_ptr<Searcher> slow = std::make_unique<SlowSearcher>(
+      std::move(inner).value(), release.get_future().share(), &started);
+  ASSERT_TRUE(service.AddCollection("slow", slow).ok());
+
+  service.Pause();
+  std::vector<QueryTicket> tickets;
+  for (size_t q = 0; q < 4; ++q) {
+    tickets.push_back(service.Submit("slow", fx.dataset.queries.Vector(q)));
+  }
+  service.Resume();
+  // The dispatcher is now inside SearchBatch with queries 0-1 (max_batch
+  // 2); queries 2-3 are still queued.
+  started.get_future().wait();
+  ASSERT_TRUE(service.RemoveCollection("slow").ok());
+
+  // Queued queries fail fast, while the batch is still running.
+  EXPECT_TRUE(tickets[2].result.get().status.IsCancelled());
+  EXPECT_TRUE(tickets[3].result.get().status.IsCancelled());
+  ASSERT_EQ(tickets[0].result.wait_for(0s), std::future_status::timeout);
+
+  // Unblock the batch: the dispatcher's shared_ptr kept the collection
+  // alive, so the in-flight queries still resolve OK.
+  release.set_value();
+  for (size_t q = 0; q < 2; ++q) {
+    QueryResult result = tickets[q].result.get();
+    EXPECT_TRUE(result.status.ok()) << result.status.ToString();
+    EXPECT_EQ(result.neighbors.size(), 10u);
+  }
+  EXPECT_TRUE(service.CollectionNames().empty());
+}
+
 TEST(SearchServiceTest, ServiceLoadHelperDrivesTheService) {
   Fixture fx = MakeFixture(16, 95, 2000, 20);
   ServiceConfig sc;

@@ -8,11 +8,20 @@
 // depth the extra submitters sustain. The "direct" row is the zero-shell
 // upper bound for one caller.
 //
+// The --dispatchers=N[,M,...] axis (default 1,2,4) replicates the
+// dispatcher: each rung runs the same multi-collection load with that many
+// concurrent dispatch threads, all over the one shared pool. With >1
+// dispatcher, batches for the two collections — and back-to-back batches
+// for one hot collection — run concurrently on disjoint slot bands, so
+// aggregate QPS should beat the dispatchers=1 rung once submitters keep
+// the queue non-empty.
+//
 // The --shards=N[,M,...] axis (default 1,2,4) additionally hosts ONE hot
 // collection sharded across that many searchers and drives it alone: on a
 // multi-core host the sharded rungs beat shards=1 because every query fans
 // out over the whole pool instead of serializing behind one searcher.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -26,7 +35,8 @@
 namespace pdx {
 namespace {
 
-void RunDataset(const SyntheticSpec& spec) {
+void RunDataset(const SyntheticSpec& spec,
+                const std::vector<size_t>& dispatcher_counts) {
   bench::IvfScenario s = bench::BuildIvfScenario(spec);
 
   SearcherConfig bond = {};
@@ -36,7 +46,7 @@ void RunDataset(const SyntheticSpec& spec) {
   SearcherConfig ads = bond;
   ads.pruner = PrunerKind::kAdsampling;
 
-  TextTable table({"dataset", "mode", "submitters", "QPS", "p50(ms)",
+  TextTable table({"dataset", "mode", "disp", "submitters", "QPS", "p50(ms)",
                    "p95(ms)", "p99(ms)", "rejected"});
 
   // Baseline: one caller, direct batched searcher, same pool size.
@@ -51,51 +61,58 @@ void RunDataset(const SyntheticSpec& spec) {
                                   s.dataset.queries.count());
       const BatchProfile& bp = direct.value()->last_batch_profile();
       const LatencySummary lat = bp.latency_summary();
-      table.AddRow({spec.name, "direct", "1", TextTable::Num(bp.qps(), 0),
+      table.AddRow({spec.name, "direct", "-", "1", TextTable::Num(bp.qps(), 0),
                     TextTable::Num(lat.p50_ms, 3),
                     TextTable::Num(lat.p95_ms, 3),
                     TextTable::Num(lat.p99_ms, 3), "0"});
     }
   }
 
-  for (size_t submitters : {1u, 2u, 4u, 8u}) {
-    // Fresh service per rung so the stats (percentiles, QPS span) describe
-    // exactly this concurrency level.
-    ServiceConfig sc;
-    sc.threads = 0;  // One worker per hardware thread.
-    sc.max_pending = 4096;
-    SearchService service(sc);
-    if (!service.AddCollection("bond", s.dataset.data, s.index, bond).ok() ||
-        !service.AddCollection("ads", s.dataset.data, s.index, ads).ok()) {
-      std::fprintf(stderr, "serve_throughput: AddCollection failed\n");
-      return;
+  for (size_t dispatchers : dispatcher_counts) {
+    for (size_t submitters : {1u, 4u, 8u}) {
+      // Fresh service per rung so the stats (percentiles, QPS span)
+      // describe exactly this concurrency level.
+      ServiceConfig sc;
+      sc.threads = 0;  // One worker per hardware thread.
+      sc.max_pending = 4096;
+      sc.dispatchers = dispatchers;
+      SearchService service(sc);
+      if (!service.AddCollection("bond", s.dataset.data, s.index, bond).ok() ||
+          !service.AddCollection("ads", s.dataset.data, s.index, ads).ok()) {
+        std::fprintf(stderr, "serve_throughput: AddCollection failed\n");
+        return;
+      }
+      ServiceLoadOptions load;
+      load.submitters = submitters;
+      load.queries_per_submitter = 200;
+      const ServiceLoadResult result = RunServiceLoad(
+          service, {"bond", "ads"}, s.dataset.queries, load);
+      // Percentiles from the service's own per-collection recorders, merged
+      // across the two collections by taking the worse (serving headline
+      // numbers are per-collection; the table wants one line).
+      const ServiceStats stats = service.Stats();
+      LatencySummary worst;
+      for (const auto& [name, cs] : stats.collections) {
+        if (cs.latency.p99_ms >= worst.p99_ms) worst = cs.latency;
+      }
+      table.AddRow({spec.name, "service", std::to_string(dispatchers),
+                    std::to_string(submitters),
+                    TextTable::Num(result.qps(), 0),
+                    TextTable::Num(worst.p50_ms, 3),
+                    TextTable::Num(worst.p95_ms, 3),
+                    TextTable::Num(worst.p99_ms, 3),
+                    std::to_string(result.rejected)});
     }
-    ServiceLoadOptions load;
-    load.submitters = submitters;
-    load.queries_per_submitter = 200;
-    const ServiceLoadResult result = RunServiceLoad(
-        service, {"bond", "ads"}, s.dataset.queries, load);
-    // Percentiles from the service's own per-collection recorders, merged
-    // across the two collections by taking the worse (serving headline
-    // numbers are per-collection; the table wants one line).
-    const ServiceStats stats = service.Stats();
-    LatencySummary worst;
-    for (const auto& [name, cs] : stats.collections) {
-      if (cs.latency.p99_ms >= worst.p99_ms) worst = cs.latency;
-    }
-    table.AddRow({spec.name, "service", std::to_string(submitters),
-                  TextTable::Num(result.qps(), 0),
-                  TextTable::Num(worst.p50_ms, 3),
-                  TextTable::Num(worst.p95_ms, 3),
-                  TextTable::Num(worst.p99_ms, 3),
-                  std::to_string(result.rejected)});
   }
   table.Print();
 }
 
 // One hot collection sharded N ways: the scatter-gather scaling axis.
+// `dispatchers` replicates the dispatcher so several batches for the one
+// hot name can be in flight at once.
 void RunShardScaling(const SyntheticSpec& spec,
-                     const std::vector<size_t>& shard_counts) {
+                     const std::vector<size_t>& shard_counts,
+                     size_t dispatchers) {
   Dataset dataset = GenerateDataset(spec);
 
   SearcherConfig bond = {};
@@ -109,6 +126,7 @@ void RunShardScaling(const SyntheticSpec& spec,
     ServiceConfig sc;
     sc.threads = 0;  // One worker per hardware thread.
     sc.max_pending = 4096;
+    sc.dispatchers = dispatchers;
     SearchService service(sc);
     ShardingOptions sharding;
     sharding.num_shards = shards;
@@ -139,22 +157,25 @@ void RunShardScaling(const SyntheticSpec& spec,
   table.Print();
 }
 
-std::vector<size_t> ParseShardsFlag(int argc, char** argv) {
-  std::vector<size_t> shard_counts = {1, 2, 4};
+/// Parses `--<name>=N[,M,...]` from argv into a size list; `fallback` when
+/// the flag is absent or empty.
+std::vector<size_t> ParseSizeListFlag(int argc, char** argv,
+                                      const char* prefix,
+                                      std::vector<size_t> fallback) {
+  std::vector<size_t> counts = std::move(fallback);
   for (int i = 1; i < argc; ++i) {
-    const char* prefix = "--shards=";
     if (std::strncmp(argv[i], prefix, std::strlen(prefix)) != 0) continue;
-    shard_counts.clear();
+    counts.clear();
     for (const char* p = argv[i] + std::strlen(prefix); *p != '\0';) {
       char* end = nullptr;
       const unsigned long value = std::strtoul(p, &end, 10);
       if (end == p) break;  // Not a number: stop parsing the list.
-      if (value > 0) shard_counts.push_back(static_cast<size_t>(value));
+      if (value > 0) counts.push_back(static_cast<size_t>(value));
       p = *end == ',' ? end + 1 : end;
     }
-    if (shard_counts.empty()) shard_counts = {1};
+    if (counts.empty()) counts = {1};
   }
-  return shard_counts;
+  return counts;
 }
 
 }  // namespace
@@ -164,19 +185,27 @@ int main(int argc, char** argv) {
   using namespace pdx;
   PrintBanner(
       "Serving: SearchService throughput under concurrency (2 collections, "
-      "one shared pool)");
+      "one shared pool, --dispatchers axis)");
   const double scale = BenchScaleFromEnv();
-  const std::vector<size_t> shard_counts = ParseShardsFlag(argc, argv);
+  const std::vector<size_t> shard_counts =
+      ParseSizeListFlag(argc, argv, "--shards=", {1, 2, 4});
+  const std::vector<size_t> dispatcher_counts =
+      ParseSizeListFlag(argc, argv, "--dispatchers=", {1, 2, 4});
   for (SyntheticSpec spec : CoreWorkloads(scale * 0.5)) {
     spec.num_queries = 100;
-    RunDataset(spec);
+    RunDataset(spec, dispatcher_counts);
   }
+  // The shard sweep runs at the deepest requested replication so the one
+  // hot collection actually has several batches in flight.
+  const size_t max_dispatchers = *std::max_element(dispatcher_counts.begin(),
+                                                   dispatcher_counts.end());
   PrintBanner(
       "Serving: one hot collection sharded across searchers "
-      "(scatter-gather top-k, --shards axis)");
+      "(scatter-gather top-k, --shards axis, dispatchers=" +
+      std::to_string(max_dispatchers) + ")");
   for (SyntheticSpec spec : CoreWorkloads(scale * 0.5)) {
     spec.num_queries = 100;
-    RunShardScaling(spec, shard_counts);
+    RunShardScaling(spec, shard_counts, max_dispatchers);
   }
   return 0;
 }

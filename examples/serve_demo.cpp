@@ -4,9 +4,11 @@
 //   $ ./serve_demo
 //
 // The service owns ONE thread pool shared by every collection; client
-// threads submit and get a std::future per query (or a callback), while a
-// dispatcher micro-batches queued queries for the same collection into one
-// SearchBatch call. Results are identical to direct sequential Search.
+// threads submit and get a std::future per query (or a callback), while
+// replicated dispatcher threads each micro-batch queued queries for the
+// same collection into one knob-explicit SearchBatchWith call on their own
+// slot band — so batches run concurrently, even against one hot
+// collection. Results are identical to direct sequential Search.
 
 #include <chrono>
 #include <cstdio>
@@ -42,6 +44,10 @@ int main() {
   pdx::ServiceConfig service_config;
   service_config.threads = 4;
   service_config.max_pending = 256;
+  // Two replicated dispatchers: batches for "docs" and "images" (or two
+  // batches for one hot collection) dispatch concurrently, each on its own
+  // slot band of the shared pool's engines.
+  service_config.dispatchers = 2;
   pdx::SearchService service(service_config);
 
   pdx::SearcherConfig docs_config;  // Defaults: flat PDX-BOND, k=10.
@@ -63,8 +69,11 @@ int main() {
       return 1;
     }
   }
-  std::printf("serving %zu collections on a %zu-thread shared pool\n",
-              service.CollectionNames().size(), service.pool_threads());
+  std::printf(
+      "serving %zu collections on a %zu-thread shared pool, "
+      "%zu dispatchers\n",
+      service.CollectionNames().size(), service.pool_threads(),
+      service.options().dispatchers);
 
   // 3. Futures: fire every query at both collections, then gather. The
   //    submitting thread never runs a search itself.
@@ -98,9 +107,15 @@ int main() {
                  });
   callback_done.get_future().wait();
 
-  // 5. Stats snapshot: per-collection QPS, latency percentiles, and — for
-  //    sharded collections — the per-shard fan-out counts.
+  // 5. Stats snapshot: per-collection QPS, latency percentiles, per-shard
+  //    fan-out counts for sharded collections, and how the replicated
+  //    dispatchers split the dispatch work.
   const pdx::ServiceStats stats = service.Stats();
+  for (size_t d = 0; d < stats.dispatchers.size(); ++d) {
+    std::printf("  dispatcher %zu: %llu batches, busy %.1f%%\n", d,
+                static_cast<unsigned long long>(stats.dispatchers[d].dispatches),
+                100.0 * stats.dispatchers[d].busy_fraction);
+  }
   for (const auto& [name, cs] : stats.collections) {
     std::printf("  %s: admitted=%zu completed=%zu dispatches=%zu shards=%zu "
                 "latency{%s}\n",

@@ -79,29 +79,27 @@ void ThreadPool::ParallelFor(size_t count,
   // Re-entrant call from inside one of this pool's jobs on this thread
   // (directly, or sandwiched through another pool): run inline under the
   // enclosing job's worker id. The id is already exclusively this thread's,
-  // so per-worker scratch stays race-free, and submit_mutex_ (held by the
-  // enclosing job's caller) is never touched — no deadlock.
+  // so per-worker scratch stays race-free and no deadlock occurs.
   if (const PoolFrame* frame = FindFrame(this)) {
     for (size_t i = 0; i < count; ++i) fn(i, frame->worker);
     return;
   }
 
-  // Sequential pool or trivially small job: still serialize through
-  // submit_mutex_ so concurrent callers never both run as worker 0.
+  // Sequential pool or trivially small job: run inline as worker 0. A
+  // concurrent caller also runs as worker 0 — of its own loop, on its own
+  // thread; see the header's worker-id exclusivity caveat.
   if (workers_.empty() || count == 1) {
-    std::lock_guard<std::mutex> submission(submit_mutex_);
     FrameGuard guard(this, 0);
     for (size_t i = 0; i < count; ++i) fn(i, 0);
     return;
   }
 
-  std::lock_guard<std::mutex> submission(submit_mutex_);
   auto job = std::make_shared<Job>();
   job->fn = &fn;
   job->count = count;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    job_ = job;
+    active_jobs_.push_back(job);
     ++generation_;
   }
   wake_cv_.notify_all();
@@ -111,12 +109,13 @@ void ThreadPool::ParallelFor(size_t count,
   {
     std::unique_lock<std::mutex> lock(mutex_);
     // Wait for items, not for workers: a late-waking worker that never got
-    // a slice must not delay the caller. It wakes eventually, finds
-    // job->next exhausted (or job_ null) and goes back to sleep.
+    // a slice must not delay the caller. It wakes eventually, finds every
+    // active job's `next` exhausted and goes back to sleep.
     done_cv_.wait(lock, [&] {
       return job->done.load(std::memory_order_acquire) >= count;
     });
-    job_ = nullptr;
+    active_jobs_.erase(
+        std::find(active_jobs_.begin(), active_jobs_.end(), job));
   }
   if (job->error) std::rethrow_exception(job->error);
 }
@@ -135,11 +134,24 @@ void ThreadPool::WorkerMain(size_t worker_id) {
     });
     if (stopping_) return;
     seen_generation = generation_;
-    std::shared_ptr<Job> job = job_;  // Own a reference before unlocking.
-    if (job == nullptr) continue;     // Raced with completion; nothing to do.
-    lock.unlock();
-    RunJob(*job, worker_id);
-    lock.lock();
+    // Drain every claimable in-flight loop before sleeping again: with
+    // concurrent callers, more than one job may hold unclaimed items. A
+    // job submitted mid-drain is caught either by the rescan or by the
+    // generation bump on the next wait.
+    for (;;) {
+      std::shared_ptr<Job> job;  // Own a reference before unlocking.
+      for (const std::shared_ptr<Job>& candidate : active_jobs_) {
+        if (candidate->next.load(std::memory_order_relaxed) <
+            candidate->count) {
+          job = candidate;
+          break;
+        }
+      }
+      if (job == nullptr) break;  // Everything claimed; back to sleep.
+      lock.unlock();
+      RunJob(*job, worker_id);
+      lock.lock();
+    }
   }
 }
 
@@ -156,9 +168,11 @@ void ThreadPool::RunJob(Job& job, size_t worker_id) {
     }
     if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 == job.count) {
       // Last item: wake the caller. Locking mutex_ orders this notify
-      // against the caller's predicate check, so the wakeup can't be lost.
+      // against the caller's predicate check, so the wakeup can't be lost;
+      // notify_all because several callers may be waiting, each on its own
+      // job's completion.
       std::lock_guard<std::mutex> lock(mutex_);
-      done_cv_.notify_one();
+      done_cv_.notify_all();
     }
   }
 }

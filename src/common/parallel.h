@@ -38,6 +38,14 @@ size_t ResolveThreadCount(size_t num_threads);
 /// identical to a sequential loop. This is the paper-methodology mode —
 /// benchmarks that must stay single-threaded use threads = 1 and measure
 /// exactly the code they measured before.
+///
+/// Several threads may call ParallelFor concurrently: in-flight loops run
+/// side by side, sharing the spawned workers (the serving layer's N
+/// dispatchers each fan a batch out over the one shared pool). Each caller
+/// participates only in its *own* loop, as worker 0; spawned workers
+/// (ids 1..num_threads()-1) claim items from any in-flight loop, one item
+/// at a time. Because a caller always drives its own loop, every loop
+/// completes even when all workers are busy elsewhere.
 class ThreadPool {
  public:
   /// `num_threads` = total threads including the caller, resolved through
@@ -71,10 +79,17 @@ class ThreadPool {
   /// from inside this pool's own job on the same thread — directly, or
   /// sandwiched through another pool — run inline under the enclosing
   /// job's worker id, so scratch indexed by worker id stays race-free
-  /// across nesting, and no deadlock occurs. The one unsupported topology
-  /// is *cyclic pools across threads*: pool B's spawned worker calling
-  /// back into pool A while A's job is still in flight blocks on A; keep
-  /// pool call graphs acyclic.
+  /// across nesting, and no deadlock occurs.
+  ///
+  /// Concurrent calls from distinct threads are supported and their loops
+  /// run side by side. Worker-id exclusivity then has one caveat: a
+  /// spawned worker's id is exclusive to its OS thread at all times, but
+  /// EVERY concurrent caller runs as worker 0 of its own loop. Code that
+  /// indexes scratch on one shared object by worker id must therefore
+  /// either guarantee a single concurrent caller per object (the facade's
+  /// single-querier SearchBatch contract) or partition the scratch per
+  /// caller (the serving layer's per-dispatcher slot bands over
+  /// SearchBatchWith).
   void ParallelFor(size_t count,
                    const std::function<void(size_t, size_t)>& fn);
 
@@ -105,13 +120,13 @@ class ThreadPool {
 
   std::mutex mutex_;
   std::condition_variable wake_cv_;  // generation_ bumped or stopping_.
-  std::condition_variable done_cv_;  // job->done reached job->count.
+  std::condition_variable done_cv_;  // some job's done reached its count.
   uint64_t generation_ = 0;
   bool stopping_ = false;
-  std::shared_ptr<Job> job_;  // Current job; null between loops.
-
-  // One loop at a time; callers queue up here.
-  std::mutex submit_mutex_;
+  // Every loop currently in flight, oldest first. Each caller appends its
+  // own job, drives it as worker 0, and removes it once done; spawned
+  // workers claim items from whichever active job still has some.
+  std::vector<std::shared_ptr<Job>> active_jobs_;
 };
 
 /// Runs fn(i) for i in [0, count) across hardware threads, on the shared

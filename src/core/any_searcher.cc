@@ -1,6 +1,7 @@
 #include "core/any_searcher.h"
 
 #include <algorithm>
+#include <stdexcept>
 #include <string>
 #include <utility>
 
@@ -105,6 +106,39 @@ ThreadPool* Searcher::BatchPool() {
     owned_pool_ = std::make_unique<ThreadPool>(threads);
   }
   return owned_pool_.get();
+}
+
+std::vector<Neighbor> Searcher::SearchWith(size_t slot, QueryKnobs knobs,
+                                           const float* query,
+                                           PdxearchProfile* profile) {
+  (void)slot;
+  (void)knobs;
+  (void)query;
+  (void)profile;
+  throw std::logic_error(
+      "Searcher::SearchWith: this searcher does not implement per-slot "
+      "scratch; a silent forward to Search would race under concurrent "
+      "dispatch. Override SearchWith, or stay on the single-querier "
+      "Search/SearchBatch surface.");
+}
+
+std::vector<std::vector<Neighbor>> Searcher::SearchBatchWith(
+    size_t slot, QueryKnobs knobs, const float* queries, size_t num_queries,
+    BatchProfile* profile) {
+  (void)slot;
+  // Compatibility fallback: route the knob-explicit call through the
+  // legacy mutating surface, one batch at a time. Concurrent dispatchers
+  // stay correct (the mutex serializes the set_k/SearchBatch pair) but
+  // gain no concurrency on this searcher — facade products override this
+  // with the per-band implementation that needs neither the mutex nor the
+  // setters.
+  std::lock_guard<std::mutex> lock(legacy_dispatch_mutex_);
+  if (knobs.k > 0) set_k(knobs.k);
+  if (knobs.nprobe > 0) set_nprobe(knobs.nprobe);
+  std::vector<std::vector<Neighbor>> results =
+      SearchBatch(queries, num_queries);
+  if (profile != nullptr) *profile = last_batch_profile();
+  return results;
 }
 
 namespace {
@@ -241,20 +275,78 @@ class AnySearcherImpl final : public Searcher {
 
   const IvfIndex* index() const override { return index_; }
 
-  void ReserveScratch(size_t slots) override { EnsureEngines(slots); }
+  void ReserveScratch(size_t slots) override { GrowEngines(slots); }
 
-  std::vector<Neighbor> SearchWith(size_t slot, const float* query,
+  using Searcher::SearchWith;
+
+  std::vector<Neighbor> SearchWith(size_t slot, QueryKnobs knobs,
+                                   const float* query,
                                    PdxearchProfile* profile) override {
     // Lazy growth keeps single-threaded callers convenient; concurrent
     // callers must have called ReserveScratch first (growth reallocates
     // engines_).
-    if (slot >= engines_.size()) EnsureEngines(slot + 1);
+    if (slot >= engines_.size()) GrowEngines(slot + 1);
     PdxearchEngine<P>& engine = *engines_[slot];
+    // The knobs live on the slot's engine (k) or the call itself (nprobe),
+    // never on the shared config — distinct slots never share engine
+    // state, so per-call overrides are race-free under concurrent
+    // dispatch.
+    engine.mutable_options().k = knobs.k > 0 ? knobs.k : config_.k;
+    const size_t nprobe = knobs.nprobe > 0 ? knobs.nprobe : config_.nprobe;
     std::vector<Neighbor> result =
         flat_ != nullptr ? engine.SearchFlat(query)
-                         : engine.SearchIvf(*index_, query, config_.nprobe);
+                         : engine.SearchIvf(*index_, query, nprobe);
     if (profile != nullptr) *profile = engine.last_profile();
     return result;
+  }
+
+  std::vector<std::vector<Neighbor>> SearchBatchWith(
+      size_t slot, QueryKnobs knobs, const float* queries, size_t num_queries,
+      BatchProfile* profile) override {
+    BatchProfile local;
+    local.queries = num_queries;
+    std::vector<std::vector<Neighbor>> results(num_queries);
+    if (num_queries == 0) {
+      if (profile != nullptr) *profile = std::move(local);
+      return results;
+    }
+    const size_t d = dim();
+    ThreadPool* pool = num_queries == 1 ? nullptr : BatchPool();
+    if (pool == nullptr) {
+      Timer wall;
+      for (size_t q = 0; q < num_queries; ++q) {
+        Timer per_query;
+        PdxearchProfile query_profile;
+        results[q] = SearchWith(slot, knobs, queries + q * d, &query_profile);
+        local.latency.Record(per_query.ElapsedMillis());
+        local.Accumulate(query_profile);
+      }
+      local.wall_ms = wall.ElapsedMillis();
+    } else {
+      // Fan out over the band [slot, slot + workers): worker w of this
+      // loop owns slot + w, so concurrent batches on disjoint bands never
+      // share an engine. Growth here is for single-caller convenience
+      // only — concurrent callers have reserved their bands up front.
+      const size_t workers = pool->num_threads();
+      if (slot + workers > engines_.size()) GrowEngines(slot + workers);
+      std::vector<BatchProfile> worker_profiles(workers);
+      Timer wall;
+      pool->ParallelFor(num_queries, [&](size_t q, size_t w) {
+        Timer per_query;
+        PdxearchProfile query_profile;
+        results[q] =
+            SearchWith(slot + w, knobs, queries + q * d, &query_profile);
+        worker_profiles[w].latency.Record(per_query.ElapsedMillis());
+        worker_profiles[w].Accumulate(query_profile);
+      });
+      local.wall_ms = wall.ElapsedMillis();
+      for (const BatchProfile& wp : worker_profiles) {
+        local.Accumulate(wp.sum);
+        local.latency.Merge(wp.latency);
+      }
+    }
+    if (profile != nullptr) *profile = std::move(local);
+    return results;
   }
 
  private:
@@ -262,13 +354,20 @@ class AnySearcherImpl final : public Searcher {
     return flat_ != nullptr ? flat_->pruner() : ivf_->pruner();
   }
 
-  // Lazily grows the per-worker engines and pushes the current knobs (k
-  // may have changed since the last batch) into each.
-  void EnsureEngines(size_t threads) {
-    while (engines_.size() < threads) {
+  // Appends engines until `n` slots exist. Growth only — knobs are pushed
+  // per call (SearchWith) or per batch (EnsureEngines), never here, so a
+  // reserved band carries no state another band could observe.
+  void GrowEngines(size_t n) {
+    while (engines_.size() < n) {
       engines_.push_back(std::make_unique<PdxearchEngine<P>>(
           &store(), &pruner(), config_.search));
     }
+  }
+
+  // Legacy batch path: grows the per-worker engines and pushes the current
+  // config (k may have changed via set_k since the last batch) into each.
+  void EnsureEngines(size_t threads) {
+    GrowEngines(threads);
     for (size_t w = 0; w < threads; ++w) {
       engines_[w]->mutable_options() = config_.search;
     }

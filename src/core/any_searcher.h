@@ -6,6 +6,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -105,6 +106,16 @@ struct BatchProfile {
   double pruning_power() const { return sum.pruning_power(); }
 };
 
+/// Per-call query knobs for the knob-explicit concurrent entry points
+/// (SearchWith / SearchBatchWith). 0 means "the searcher's configured
+/// default" — the same resolution set_k/set_nprobe would have applied,
+/// minus the shared-config mutation that made those setters unsafe under
+/// concurrent dispatch. nprobe is ignored on the flat layout.
+struct QueryKnobs {
+  size_t k = 0;
+  size_t nprobe = 0;
+};
+
 /// Runtime-polymorphic facade over the eight concrete searcher variants
 /// (IvfPdxSearcher<P> / FlatPdxSearcher<P> for the four pruners): one type
 /// to hold, one factory to call, whichever layout and pruner the config
@@ -115,6 +126,10 @@ struct BatchProfile {
 /// concurrently. SearchBatch with threads != 1 parallelizes *internally*
 /// (per-worker engines over the shared read-only store) and returns
 /// exactly the neighbors the sequential path returns, query by query.
+/// The one multi-querier surface is the knob-explicit per-slot family:
+/// after ReserveScratch, SearchWith/SearchBatchWith calls on disjoint
+/// slots (bands) may run concurrently from several threads — they mutate
+/// no shared searcher state, only the slot engines they name.
 class Searcher {
  public:
   virtual ~Searcher() = default;
@@ -166,27 +181,61 @@ class Searcher {
   /// another thread queries the searcher — the counters are atomic.
   virtual std::vector<uint64_t> ShardDispatchCounts() const { return {}; }
 
-  /// Pre-sizes per-slot scratch (one search engine per slot) and pushes the
-  /// current query knobs into it, so SearchWith calls on distinct slots in
-  /// [0, slots) may run concurrently. Call after the last set_k/set_nprobe
-  /// and before the parallel region; not thread-safe itself.
+  /// Pre-sizes per-slot scratch (one search engine per slot), so
+  /// SearchWith/SearchBatchWith calls on distinct slots in [0, slots) may
+  /// run concurrently. Growth reallocates the engine table, so call this
+  /// before the first concurrent use (the serving layer reserves every
+  /// dispatcher's band at adoption time); not thread-safe itself. Knobs
+  /// are resolved per call, never baked into the reserved engines.
   virtual void ReserveScratch(size_t slots) { (void)slots; }
 
   /// Search through slot `slot`'s scratch engine instead of the searcher's
   /// main scratch: after ReserveScratch(n), calls on distinct slots < n are
   /// safe to run concurrently (the store and pruner are read-only shared).
-  /// Does not update last_profile()/last_batch_profile(); the call's own
-  /// profile is copied into `*profile` when non-null. This is the hook the
-  /// sharded facade tiles (shard x query) work over one ThreadPool with.
-  /// The base implementation forwards to Search (main scratch — NOT
-  /// slot-safe); every MakeSearcher-built searcher overrides it.
-  virtual std::vector<Neighbor> SearchWith(size_t slot, const float* query,
-                                           PdxearchProfile* profile = nullptr) {
-    (void)slot;
-    std::vector<Neighbor> result = Search(query);
-    if (profile != nullptr) *profile = last_profile();
-    return result;
+  /// `knobs` override k/nprobe for this call only — no set_k/set_nprobe,
+  /// no shared-config mutation. Does not update
+  /// last_profile()/last_batch_profile(); the call's own profile is copied
+  /// into `*profile` when non-null. This is the hook the sharded facade
+  /// tiles (shard x query) work over one ThreadPool with.
+  ///
+  /// The base implementation fails loudly (std::logic_error): silently
+  /// forwarding to Search — the pre-concurrency behavior — would route
+  /// "per-slot" calls onto the main scratch, which races undetected the
+  /// moment two slots run concurrently. Every MakeSearcher /
+  /// MakeShardedSearcher product overrides it.
+  virtual std::vector<Neighbor> SearchWith(size_t slot, QueryKnobs knobs,
+                                           const float* query,
+                                           PdxearchProfile* profile = nullptr);
+
+  /// Knob-implicit convenience: SearchWith under the configured defaults.
+  std::vector<Neighbor> SearchWith(size_t slot, const float* query,
+                                   PdxearchProfile* profile = nullptr) {
+    return SearchWith(slot, QueryKnobs{}, query, profile);
   }
+
+  /// k-NN of `num_queries` row-major queries through the slot band
+  /// starting at `slot`, under per-call `knobs` — the knob-explicit batch
+  /// entry point the serving layer's replicated dispatchers use. With a
+  /// pool (see BatchPool) the batch fans out over slots
+  /// [slot, slot + pool_threads); sequentially it stays on `slot` alone.
+  /// Concurrent calls are safe when (a) their bands are disjoint and
+  /// reserved up front via ReserveScratch and (b) the pool is an injected
+  /// shared pool (SearcherConfig::pool) — the lazily owned pool is not
+  /// built concurrency-safe. On MakeSearcher / MakeShardedSearcher
+  /// products the call mutates no shared searcher state (options() keeps
+  /// the configured defaults) and leaves last_batch_profile() alone; the
+  /// batch's own profile is written to `*profile` when non-null.
+  ///
+  /// The base implementation is a serialized compatibility fallback for
+  /// searcher implementations that predate per-slot scratch (e.g. adopted
+  /// custom facades): correct under concurrent dispatch, but one batch at
+  /// a time — and, unlike the overrides, it routes the knobs through
+  /// set_k/set_nprobe (they persist in options()) and through SearchBatch
+  /// (last_batch_profile() is overwritten). Facade products override it
+  /// with the genuinely concurrent, mutation-free per-band implementation.
+  virtual std::vector<std::vector<Neighbor>> SearchBatchWith(
+      size_t slot, QueryKnobs knobs, const float* queries, size_t num_queries,
+      BatchProfile* profile = nullptr);
 
   const SearcherConfig& options() const { return config_; }
   size_t dim() const { return store().dim(); }
@@ -233,6 +282,10 @@ class Searcher {
 
  private:
   std::unique_ptr<ThreadPool> owned_pool_;  ///< Only without an injected pool.
+  /// Serializes the base SearchBatchWith fallback (legacy searchers with
+  /// no per-slot scratch) so concurrent dispatchers queue instead of
+  /// racing the shared config and main scratch.
+  std::mutex legacy_dispatch_mutex_;
 };
 
 /// Builds the searcher `config` describes over `vectors`. On the kIvf

@@ -64,7 +64,7 @@ class ShardedSearcher final : public Searcher {
     });
     profile_ = PdxearchProfile{};
     for (const auto& shard : shards_) profile_ += shard->last_profile();
-    return MergeShards(partial);
+    return MergeShards(partial, config_.k);
   }
 
   std::vector<std::vector<Neighbor>> SearchBatch(const float* queries,
@@ -118,7 +118,7 @@ class ShardedSearcher final : public Searcher {
       for (size_t s = 0; s < num_shards; ++s) {
         per_shard[s] = std::move(partial[s][q]);
       }
-      results[q] = MergeShards(per_shard);
+      results[q] = MergeShards(per_shard, config_.k);
     }
     batch_profile_.wall_ms = wall.ElapsedMillis();
     for (const BatchProfile& wp : worker_profiles) {
@@ -129,23 +129,92 @@ class ShardedSearcher final : public Searcher {
   }
 
   void ReserveScratch(size_t slots) override {
-    PushKnobs();
     for (auto& shard : shards_) shard->ReserveScratch(slots);
   }
 
-  std::vector<Neighbor> SearchWith(size_t slot, const float* query,
+  using Searcher::SearchWith;
+
+  std::vector<Neighbor> SearchWith(size_t slot, QueryKnobs knobs,
+                                   const float* query,
                                    PdxearchProfile* profile) override {
-    std::vector<std::vector<Neighbor>> partial(shards_.size());
-    PdxearchProfile sum;
-    for (size_t s = 0; s < shards_.size(); ++s) {
-      PdxearchProfile shard_profile;
-      partial[s] = shards_[s]->SearchWith(
-          slot, query, profile != nullptr ? &shard_profile : nullptr);
-      if (profile != nullptr) sum += shard_profile;
-    }
-    if (profile != nullptr) *profile = sum;
     CountDispatches(1);
-    return MergeShards(partial);
+    return ScatterGather(slot, knobs, query, profile);
+  }
+
+  std::vector<std::vector<Neighbor>> SearchBatchWith(
+      size_t slot, QueryKnobs knobs, const float* queries, size_t num_queries,
+      BatchProfile* profile) override {
+    BatchProfile local;
+    local.queries = num_queries;
+    std::vector<std::vector<Neighbor>> results(num_queries);
+    if (num_queries == 0) {
+      if (profile != nullptr) *profile = std::move(local);
+      return results;
+    }
+    // Resolve defaults ONCE at the facade: the shards' construction-time
+    // configs may be stale relative to facade-level set_k/set_nprobe, so
+    // an unresolved (zero) knob must never reach them — a shard would
+    // quietly fall back to ITS default while the merge used the facade's.
+    knobs.k = knobs.k > 0 ? knobs.k : config_.k;
+    knobs.nprobe = knobs.nprobe > 0 ? knobs.nprobe : config_.nprobe;
+    const size_t num_shards = shards_.size();
+    const size_t d = dim();
+    const size_t k = knobs.k;
+    ThreadPool* pool = BatchPool();
+    CountDispatches(num_queries);
+
+    if (pool == nullptr) {
+      Timer wall;
+      for (size_t q = 0; q < num_queries; ++q) {
+        Timer per_query;
+        PdxearchProfile query_profile;
+        results[q] =
+            ScatterGather(slot, knobs, queries + q * d, &query_profile);
+        local.latency.Record(per_query.ElapsedMillis());
+        local.Accumulate(query_profile);
+      }
+      local.wall_ms = wall.ElapsedMillis();
+      if (profile != nullptr) *profile = std::move(local);
+      return results;
+    }
+
+    // Same (shard x query) tiling as SearchBatch, shifted onto this call's
+    // slot band: worker w of this loop drives every shard through slot
+    // `slot + w`, so concurrent batches on disjoint bands never share a
+    // shard engine and no shared knob is touched. Pre-growing on the
+    // calling thread (a no-op once bands are reserved) keeps the workers'
+    // lazy-growth path out of the parallel region.
+    const size_t workers = pool->num_threads();
+    for (auto& shard : shards_) shard->ReserveScratch(slot + workers);
+    std::vector<std::vector<std::vector<Neighbor>>> partial(
+        num_shards, std::vector<std::vector<Neighbor>>(num_queries));
+    std::vector<BatchProfile> worker_profiles(workers);
+    Timer wall;
+    pool->ParallelFor(num_shards * num_queries, [&](size_t t, size_t w) {
+      const size_t s = t / num_queries;
+      const size_t q = t % num_queries;
+      Timer per_task;
+      PdxearchProfile task_profile;
+      partial[s][q] =
+          shards_[s]->SearchWith(slot + w, knobs, queries + q * d,
+                                 &task_profile);
+      worker_profiles[w].latency.Record(per_task.ElapsedMillis());
+      worker_profiles[w].Accumulate(task_profile);
+    });
+    std::vector<std::vector<Neighbor>> per_shard(num_shards);
+    for (size_t q = 0; q < num_queries; ++q) {
+      for (size_t s = 0; s < num_shards; ++s) {
+        per_shard[s] = std::move(partial[s][q]);
+      }
+      results[q] = MergeShards(per_shard, k);
+    }
+    local.wall_ms = wall.ElapsedMillis();
+    for (const BatchProfile& wp : worker_profiles) {
+      local.Accumulate(wp.sum);
+      local.latency.Merge(wp.latency);
+    }
+    if (profile != nullptr) *profile = std::move(local);
+    return results;
   }
 
   const PdxearchProfile& last_profile() const override { return profile_; }
@@ -193,15 +262,38 @@ class ShardedSearcher final : public Searcher {
       partial[s] = shards_[s]->Search(query);
       profile_ += shards_[s]->last_profile();
     }
-    return MergeShards(partial);
+    return MergeShards(partial, config_.k);
+  }
+
+  /// One knob-explicit scatter-gather through slot `slot` of every shard,
+  /// with no dispatch counting (callers count per their own granularity)
+  /// and no shared-state mutation. Resolves default (zero) knobs against
+  /// the FACADE config before forwarding — the shards' own defaults may
+  /// be stale relative to facade-level set_k/set_nprobe.
+  std::vector<Neighbor> ScatterGather(size_t slot, QueryKnobs knobs,
+                                      const float* query,
+                                      PdxearchProfile* profile) {
+    knobs.k = knobs.k > 0 ? knobs.k : config_.k;
+    knobs.nprobe = knobs.nprobe > 0 ? knobs.nprobe : config_.nprobe;
+    std::vector<std::vector<Neighbor>> partial(shards_.size());
+    PdxearchProfile sum;
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      PdxearchProfile shard_profile;
+      partial[s] = shards_[s]->SearchWith(
+          slot, knobs, query, profile != nullptr ? &shard_profile : nullptr);
+      if (profile != nullptr) sum += shard_profile;
+    }
+    if (profile != nullptr) *profile = sum;
+    return MergeShards(partial, knobs.k);
   }
 
   /// Exact global top-k over the per-shard top-k lists, shard-local ids
   /// remapped to global. Ordered exactly as TopK::SortedResults orders the
   /// unsharded result (ascending distance, ties by id), so exact pruners
-  /// stay byte-identical across shard counts.
+  /// stay byte-identical across shard counts. `k` is a parameter (not
+  /// config_.k) so the knob-explicit paths never read mutable config.
   std::vector<Neighbor> MergeShards(
-      const std::vector<std::vector<Neighbor>>& per_shard) const {
+      const std::vector<std::vector<Neighbor>>& per_shard, size_t k) const {
     size_t total = 0;
     for (const auto& p : per_shard) total += p.size();
     std::vector<Neighbor> all;
@@ -217,7 +309,7 @@ class ShardedSearcher final : public Searcher {
                 if (a.distance != b.distance) return a.distance < b.distance;
                 return a.id < b.id;
               });
-    if (all.size() > config_.k) all.resize(config_.k);
+    if (all.size() > k) all.resize(k);
     return all;
   }
 

@@ -59,8 +59,13 @@ struct ShardingOptions {
 /// the sharded facade owns all parallelism, so nesting it under the
 /// serving layer's one shared pool composes without pool cycles.
 ///
-/// Thread safety matches the facade contract: one querier at a time;
-/// ShardDispatchCounts() alone may be read concurrently.
+/// Thread safety matches the facade contract: one querier at a time on
+/// the Search/SearchBatch surface (ShardDispatchCounts() alone may be
+/// read concurrently), while the knob-explicit SearchWith/SearchBatchWith
+/// family supports concurrent callers on disjoint, pre-reserved slot
+/// bands — each call pushes k/nprobe down to the shards per call, so no
+/// shared knob is mutated (the serving layer's replicated dispatchers
+/// rely on this).
 Result<std::unique_ptr<Searcher>> MakeShardedSearcher(
     const VectorSet& vectors, SearcherConfig config,
     ShardingOptions sharding);

@@ -37,8 +37,16 @@ struct QueryResult {
   std::vector<Neighbor> neighbors;
   uint64_t id = 0;          ///< The ticket id this result answers.
   std::string collection;   ///< Collection the query was addressed to.
-  double queue_ms = 0.0;    ///< Admission -> dispatch (0 if never dispatched).
-  double total_ms = 0.0;    ///< Admission -> completion.
+  /// Time spent in the admission queue, ms:
+  ///   - dispatched (status OK, or kInternal from a failed batch):
+  ///     submission -> dispatch — time after dispatch is search, not queue;
+  ///   - shed or cancelled while queued (kDeadlineExceeded, kCancelled):
+  ///     submission -> resolution — the query's whole life WAS queue wait;
+  ///   - never queued (kNotFound, kInvalidArgument, and admission-rejected
+  ///     kResourceExhausted): 0 — a rejection that waited nowhere must not
+  ///     masquerade as queueing delay.
+  double queue_ms = 0.0;
+  double total_ms = 0.0;    ///< Submission -> completion.
 };
 
 /// Handle for one submitted query: a future for the result plus the id

@@ -19,6 +19,8 @@ double MillisBetween(Clock::time_point from, Clock::time_point to) {
 ServiceConfig Sanitize(ServiceConfig config) {
   config.max_pending = std::max<size_t>(1, config.max_pending);
   config.max_batch = std::max<size_t>(1, config.max_batch);
+  config.dispatchers =
+      std::min(std::max<size_t>(1, config.dispatchers), kMaxPoolThreads);
   config.latency_window = std::max<size_t>(1, config.latency_window);
   if (config.qps_window.count() <= 0) {
     config.qps_window = ServiceConfig{}.qps_window;
@@ -28,9 +30,10 @@ ServiceConfig Sanitize(ServiceConfig config) {
 
 }  // namespace
 
-/// One hosted collection. The searcher is only ever touched by the
-/// dispatcher thread (the facade's single-querier contract); the counters
-/// are guarded by the service mutex.
+/// One hosted collection. The searcher is only ever touched by dispatcher
+/// threads through the knob-explicit per-slot-band SearchBatchWith entry
+/// point (each dispatcher owns a disjoint band, so concurrent batches are
+/// race-free); the counters are guarded by the service mutex.
 struct SearchService::Collection {
   std::string name;
   std::unique_ptr<Searcher> searcher;
@@ -86,13 +89,22 @@ struct SearchService::Pending {
   Clock::time_point submitted{};
   Clock::time_point deadline = kNoDeadline;
   Clock::time_point dispatched{};
+  /// True once the query entered queue_. Distinguishes "waited and was
+  /// shed" (queue_ms = its whole life) from "turned away at admission"
+  /// (queue_ms = 0 — it never waited anywhere).
+  bool queued = false;
   std::promise<QueryResult> promise;
   QueryCallback callback;
 };
 
 SearchService::SearchService(ServiceConfig config)
-    : config_(Sanitize(config)), pool_(config_.threads) {
-  dispatcher_ = std::thread([this] { DispatcherMain(); });
+    : config_(Sanitize(config)),
+      pool_(config_.threads),
+      started_(Clock::now()),
+      dispatchers_(config_.dispatchers) {
+  for (size_t d = 0; d < dispatchers_.size(); ++d) {
+    dispatchers_[d].thread = std::thread([this, d] { DispatcherMain(d); });
+  }
 }
 
 SearchService::~SearchService() { Shutdown(); }
@@ -105,7 +117,9 @@ void SearchService::Shutdown() {
     stopping_ = true;
   }
   dispatch_cv_.notify_all();
-  if (dispatcher_.joinable()) dispatcher_.join();
+  for (Dispatcher& dispatcher : dispatchers_) {
+    if (dispatcher.thread.joinable()) dispatcher.thread.join();
+  }
 }
 
 Status SearchService::Adopt(const std::string& name,
@@ -125,6 +139,13 @@ Status SearchService::Adopt(const std::string& name,
   // one shared pool, never on a private per-searcher pool.
   searcher->set_pool(&pool_);
   searcher->set_threads(0);
+  // Reserve every dispatcher's slot band up front: per-slot scratch growth
+  // reallocates (not thread-safe), so the dispatch path must never grow
+  // it. Dispatcher d then runs its batches on the disjoint band
+  // [d * pool_threads, (d+1) * pool_threads). A no-op for custom adopted
+  // searchers without per-slot scratch — those serve through the base
+  // class's serialized SearchBatchWith fallback.
+  searcher->ReserveScratch(config_.dispatchers * pool_.num_threads());
 
   auto collection = std::make_shared<Collection>();
   collection->name = name;
@@ -197,6 +218,7 @@ Status SearchService::RemoveCollection(const std::string& name) {
     collections_.erase(it);
     for (auto q = queue_.begin(); q != queue_.end();) {
       if ((*q)->collection == removed) {
+        NoteDequeuedLocked(**q);
         orphans.push_back(std::move(*q));
         q = queue_.erase(q);
       } else {
@@ -207,8 +229,7 @@ Status SearchService::RemoveCollection(const std::string& name) {
   // An in-flight batch keeps the collection alive through its own
   // shared_ptr; only the queued queries are failed here.
   for (auto& pending : orphans) {
-    Complete(std::move(pending), Status::Cancelled("collection removed: " + name),
-             {}, /*was_dispatched=*/false);
+    Complete(std::move(pending), Status::Cancelled("collection removed: " + name), {});
   }
   return Status::OK();
 }
@@ -254,8 +275,7 @@ uint64_t SearchService::SubmitInternal(const std::string& collection,
     // Rejection resolves through the same future/callback as success, so
     // backpressure (kResourceExhausted) is explicit, immediate, and never
     // silently dropped.
-    Complete(std::move(pending), std::move(admitted), {},
-             /*was_dispatched=*/false);
+    Complete(std::move(pending), std::move(admitted), {});
   }
   return id;
 }
@@ -293,8 +313,10 @@ Status SearchService::Enqueue(const std::string& collection,
   }
   if (options.timeout.count() > 0) {
     pending->deadline = pending->submitted + options.timeout;
+    ++deadline_queued_;
   }
   ++host.admitted;
+  pending->queued = true;
   queue_.push_back(std::move(pending));
   dispatch_cv_.notify_one();
   return Status::OK();
@@ -306,6 +328,7 @@ bool SearchService::Cancel(uint64_t id) {
     std::lock_guard<std::mutex> lock(mutex_);
     for (auto it = queue_.begin(); it != queue_.end(); ++it) {
       if ((*it)->id == id) {
+        NoteDequeuedLocked(**it);
         found = std::move(*it);
         queue_.erase(it);
         break;
@@ -313,8 +336,7 @@ bool SearchService::Cancel(uint64_t id) {
     }
   }
   if (found == nullptr) return false;  // Unknown, dispatched, or done.
-  Complete(std::move(found), Status::Cancelled("cancelled by caller"), {},
-           /*was_dispatched=*/false);
+  Complete(std::move(found), Status::Cancelled("cancelled by caller"), {});
   return true;
 }
 
@@ -343,6 +365,21 @@ ServiceStats SearchService::Stats() const {
   const Clock::time_point cutoff = now - config_.qps_window;
   std::lock_guard<std::mutex> lock(mutex_);
   stats.queue_depth = queue_.size();
+  // Per-dispatcher accounting: how evenly the replicated dispatchers split
+  // the load, and how saturated each is. Busy covers completed
+  // DispatchBatch calls only (an in-flight batch lands on the next
+  // snapshot), so the fraction trails reality by at most one batch.
+  const double uptime_ms = MillisBetween(started_, now);
+  stats.dispatchers.reserve(dispatchers_.size());
+  for (const Dispatcher& dispatcher : dispatchers_) {
+    DispatcherStats ds;
+    ds.dispatches = dispatcher.dispatches;
+    const double busy_ms =
+        std::chrono::duration<double, std::milli>(dispatcher.busy).count();
+    ds.busy_fraction =
+        uptime_ms > 0.0 ? std::min(1.0, busy_ms / uptime_ms) : 0.0;
+    stats.dispatchers.push_back(ds);
+  }
   for (const auto& [name, collection] : collections_) {
     CollectionStats cs;
     cs.admitted = collection->admitted;
@@ -387,33 +424,91 @@ ServiceStats SearchService::Stats() const {
   return stats;
 }
 
-void SearchService::DispatcherMain() {
+void SearchService::DispatcherMain(size_t dispatcher) {
+  Dispatcher& self = dispatchers_[dispatcher];
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
-    dispatch_cv_.wait(lock, [&] {
-      return stopping_ || (!paused_ && !queue_.empty());
-    });
+    // Deadline shedding first, independent of paused_: a query whose
+    // deadline passed while it waited — behind other batch keys, or
+    // behind a Pause() — must resolve now, not when a dispatch happens to
+    // pop it (or never, while paused).
+    std::vector<std::unique_ptr<Pending>> expired;
+    const Clock::time_point earliest = SweepDeadlinesLocked(&expired);
+    if (!expired.empty()) {
+      lock.unlock();
+      for (auto& pending : expired) {
+        Complete(std::move(pending),
+                 Status::DeadlineExceeded("deadline passed in queue"), {});
+      }
+      lock.lock();
+      continue;  // Re-evaluate: the queue changed.
+    }
     if (stopping_) break;
-    std::vector<std::unique_ptr<Pending>> batch = CollectBatchLocked();
-    lock.unlock();
-    DispatchBatch(std::move(batch));
-    lock.lock();
+    if (!paused_ && !queue_.empty()) {
+      std::vector<std::unique_ptr<Pending>> batch = CollectBatchLocked();
+      lock.unlock();
+      const Clock::time_point begin = Clock::now();
+      DispatchBatch(dispatcher, std::move(batch));
+      const Clock::duration busy = Clock::now() - begin;
+      lock.lock();
+      self.busy += busy;
+      continue;
+    }
+    // Nothing dispatchable: sleep until new work arrives — or, when a
+    // queued query carries a deadline, only until that deadline, so the
+    // shed above runs on time even if no Submit/Resume ever wakes us.
+    if (earliest == kNoDeadline) {
+      dispatch_cv_.wait(lock);
+    } else {
+      dispatch_cv_.wait_until(lock, earliest);
+    }
   }
-  // Shutdown drain: nothing queued may be left unresolved.
+  // Shutdown drain: nothing queued may be left unresolved. Every
+  // dispatcher passes through here; whichever arrives first takes the
+  // remainder.
   std::vector<std::unique_ptr<Pending>> drained;
   drained.reserve(queue_.size());
   for (auto& pending : queue_) drained.push_back(std::move(pending));
   queue_.clear();
+  deadline_queued_ = 0;
   lock.unlock();
   for (auto& pending : drained) {
-    Complete(std::move(pending), Status::Cancelled("service shut down"), {},
-             /*was_dispatched=*/false);
+    Complete(std::move(pending), Status::Cancelled("service shut down"), {});
   }
+}
+
+Clock::time_point SearchService::SweepDeadlinesLocked(
+    std::vector<std::unique_ptr<Pending>>* expired) {
+  // Common case first: no queued query carries a deadline, so there is
+  // nothing to shed and nothing to timed-wait on — skip the queue scan
+  // entirely (it runs on every dispatcher loop iteration).
+  if (deadline_queued_ == 0) return kNoDeadline;
+  const Clock::time_point now = Clock::now();
+  Clock::time_point earliest = kNoDeadline;
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    const Clock::time_point deadline = (*it)->deadline;
+    if (deadline == kNoDeadline) {
+      ++it;
+    } else if (now >= deadline) {
+      NoteDequeuedLocked(**it);
+      expired->push_back(std::move(*it));
+      it = queue_.erase(it);
+    } else {
+      earliest = std::min(earliest, deadline);
+      ++it;
+    }
+  }
+  return earliest;
+}
+
+void SearchService::NoteDequeuedLocked(const Pending& pending) {
+  if (pending.deadline != kNoDeadline) --deadline_queued_;
 }
 
 std::vector<std::unique_ptr<SearchService::Pending>>
 SearchService::CollectBatchLocked() {
   std::vector<std::unique_ptr<Pending>> batch;
+  NoteDequeuedLocked(*queue_.front());
   batch.push_back(std::move(queue_.front()));
   queue_.pop_front();
   // Opportunistic micro-batching: pull every queued query that can share
@@ -433,6 +528,7 @@ SearchService::CollectBatchLocked() {
     const Pending& candidate = **it;
     if (candidate.collection == head.collection && candidate.k == head.k &&
         (!key_nprobe || candidate.nprobe == head.nprobe)) {
+      NoteDequeuedLocked(candidate);
       batch.push_back(std::move(*it));
       it = queue_.erase(it);
     } else {
@@ -443,7 +539,7 @@ SearchService::CollectBatchLocked() {
 }
 
 void SearchService::DispatchBatch(
-    std::vector<std::unique_ptr<Pending>> batch) {
+    size_t dispatcher, std::vector<std::unique_ptr<Pending>> batch) {
   // Deadline shedding: a query whose deadline already passed gets failed
   // here, before any distance computation is spent on it.
   const Clock::time_point now = Clock::now();
@@ -452,43 +548,49 @@ void SearchService::DispatchBatch(
   for (auto& pending : batch) {
     if (pending->deadline != kNoDeadline && now >= pending->deadline) {
       Complete(std::move(pending),
-               Status::DeadlineExceeded("deadline passed before dispatch"),
-               {}, /*was_dispatched=*/false);
+               Status::DeadlineExceeded("deadline passed before dispatch"), {});
     } else {
       live.push_back(std::move(pending));
     }
   }
   if (live.empty()) return;
 
+  Dispatcher& self = dispatchers_[dispatcher];
   const std::shared_ptr<Collection> host = live.front()->collection;
   // Exception barrier: anything escaping here would fly out of the
   // dispatcher's thread entry and terminate the process, leaving every
   // outstanding future unresolved. A failed batch instead fails its own
-  // queries with kInternal and the dispatcher lives on.
+  // queries with kInternal and the dispatcher lives on. (It also catches
+  // the base SearchWith/SearchBatchWith logic_error from a custom
+  // searcher with a broken per-slot override — loud, not a race.)
   try {
     Searcher& searcher = *host->searcher;
-    searcher.set_k(live.front()->k);
-    if (searcher.options().layout == SearcherLayout::kIvf) {
-      searcher.set_nprobe(live.front()->nprobe);
-    }
+    // Knob-explicit dispatch: k/nprobe ride on the call, NOT on the shared
+    // searcher config — set_k/set_nprobe here would race the moment two
+    // dispatchers touch the same collection. Dispatcher d always uses its
+    // own slot band, so concurrent batches (even for the same batch key)
+    // run on disjoint engines.
+    const QueryKnobs knobs{live.front()->k, live.front()->nprobe};
+    const size_t slot = dispatcher * pool_.num_threads();
 
     const size_t d = searcher.dim();
-    batch_scratch_.resize(live.size() * d);
+    self.scratch.resize(live.size() * d);
     const Clock::time_point dispatch_start = Clock::now();
     for (size_t i = 0; i < live.size(); ++i) {
       std::copy(live[i]->query.begin(), live[i]->query.end(),
-                batch_scratch_.begin() + i * d);
+                self.scratch.begin() + i * d);
       live[i]->dispatched = dispatch_start;
     }
     {
       std::lock_guard<std::mutex> lock(mutex_);
       ++host->dispatches;
+      ++self.dispatches;
     }
     std::vector<std::vector<Neighbor>> results =
-        searcher.SearchBatch(batch_scratch_.data(), live.size());
+        searcher.SearchBatchWith(slot, knobs, self.scratch.data(),
+                                 live.size());
     for (size_t i = 0; i < live.size(); ++i) {
-      Complete(std::move(live[i]), Status::OK(), std::move(results[i]),
-               /*was_dispatched=*/true);
+      Complete(std::move(live[i]), Status::OK(), std::move(results[i]));
     }
   } catch (const std::exception& e) {
     FailBatch(live, std::string("search failed: ") + e.what());
@@ -501,14 +603,12 @@ void SearchService::FailBatch(std::vector<std::unique_ptr<Pending>>& live,
                               const std::string& reason) {
   for (auto& pending : live) {
     if (pending == nullptr) continue;  // Already completed before the throw.
-    Complete(std::move(pending), Status::Internal(reason), {},
-             /*was_dispatched=*/false);
+    Complete(std::move(pending), Status::Internal(reason), {});
   }
 }
 
 void SearchService::Complete(std::unique_ptr<Pending> pending, Status status,
-                             std::vector<Neighbor> neighbors,
-                             bool was_dispatched) {
+                             std::vector<Neighbor> neighbors) {
   const Clock::time_point now = Clock::now();
   QueryResult result;
   result.status = std::move(status);
@@ -516,13 +616,23 @@ void SearchService::Complete(std::unique_ptr<Pending> pending, Status status,
   result.id = pending->id;
   result.collection = pending->collection_name;
   result.total_ms = MillisBetween(pending->submitted, now);
-  // A query that never reached a searcher spent its whole life in the
-  // queue: submitted -> now IS its queue wait. Reporting 0 here would
-  // survivorship-bias the queue-wait percentiles exactly when the queue is
-  // in trouble (sheds happen because the wait was long).
-  result.queue_ms =
-      was_dispatched ? MillisBetween(pending->submitted, pending->dispatched)
-                     : result.total_ms;
+  // queue_ms semantics (documented on QueryResult): a query that reached
+  // dispatch — even one whose batch then failed with kInternal — reports
+  // submitted -> dispatched; anything after dispatch was search time, not
+  // queueing. A query shed/cancelled while QUEUED spent its whole life in
+  // the queue, so submitted -> now IS its queue wait — reporting 0 would
+  // survivorship-bias the queue-wait percentiles exactly when the queue
+  // is in trouble. A submission that never entered the queue (kNotFound,
+  // kInvalidArgument, admission-rejected kResourceExhausted) reports 0:
+  // it waited nowhere, and counting its bookkeeping time as "queue" would
+  // smear the gauge the other way.
+  if (pending->dispatched != Clock::time_point{}) {
+    result.queue_ms = MillisBetween(pending->submitted, pending->dispatched);
+  } else if (pending->queued) {
+    result.queue_ms = result.total_ms;
+  } else {
+    result.queue_ms = 0.0;
+  }
 
   if (pending->collection != nullptr) {
     std::lock_guard<std::mutex> lock(mutex_);

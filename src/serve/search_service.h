@@ -33,10 +33,17 @@ struct ServiceConfig {
   /// away with kResourceExhausted instead of growing the queue (or
   /// blocking the submitter). Must be > 0.
   size_t max_pending = 1024;
-  /// Micro-batching cap: the dispatcher coalesces up to this many queued
-  /// queries for the same (collection, k, nprobe) into one SearchBatch
+  /// Micro-batching cap: a dispatcher coalesces up to this many queued
+  /// queries for the same (collection, k, nprobe) into one SearchBatchWith
   /// call. 1 disables batching. Must be > 0.
   size_t max_batch = 8;
+  /// Dispatcher threads draining the admission queue concurrently. Each
+  /// pops a batch independently and runs it through the knob-explicit
+  /// Searcher::SearchBatchWith on its own slot band, so batches for
+  /// different collections — and consecutive batches against one hot
+  /// collection — execute in parallel over the shared pool. 1 restores
+  /// the strictly serial dispatch order. Clamped to [1, kMaxPoolThreads].
+  size_t dispatchers = 2;
   /// Sliding-window size of the per-collection latency recorders (also the
   /// capacity of the completion-timestamp ring behind the QPS gauge).
   size_t latency_window = LatencyRecorder::kDefaultWindow;
@@ -51,17 +58,25 @@ struct ServiceConfig {
 /// answers Submit with a future (or callback) instead of blocking the
 /// caller on the search.
 ///
-/// Architecture — one dispatcher thread drains a bounded FIFO admission
-/// queue; per pop it opportunistically coalesces queued queries for the
-/// same collection (and same k/nprobe) into one SearchBatch call, which
-/// fans out over the shared pool (the searchers are built with
+/// Architecture — ServiceConfig::dispatchers replicated dispatcher
+/// threads drain a bounded FIFO admission queue; per pop a dispatcher
+/// opportunistically coalesces queued queries for the same collection
+/// (and same k/nprobe) into one knob-explicit
+/// Searcher::SearchBatchWith(slot, QueryKnobs, ...) call, which fans out
+/// over the shared pool (the searchers are built with
 /// SearcherConfig::pool injected, so the query path never constructs a
-/// pool). Because only the dispatcher touches the searchers, the facade's
-/// single-querier thread-safety contract holds while any number of client
-/// threads submit concurrently.
+/// pool). Dispatcher d owns slot band
+/// [d * pool_threads, (d+1) * pool_threads) of every hosted searcher's
+/// per-slot scratch — reserved at adoption time — so two batches against
+/// the SAME collection proceed concurrently on disjoint engines, with no
+/// set_k/set_nprobe (no shared-config mutation) anywhere on the dispatch
+/// path. Dispatchers also timed-wait on the earliest queued deadline and
+/// shed expired queries even while paused, so a deadline never strands a
+/// future behind other batch keys or a Pause().
 ///
 /// Results are exactly what a direct sequential Searcher::Search over the
-/// same collection returns — SearchBatch's parity guarantee, end to end.
+/// same collection returns — SearchBatchWith's parity guarantee, end to
+/// end, regardless of which dispatcher ran the batch.
 ///
 /// Thread safety: every public member is safe to call from any thread.
 /// Destruction shuts the service down: in-flight searches finish, queries
@@ -132,9 +147,11 @@ class SearchService {
   /// never blocks.
   bool Cancel(uint64_t id);
 
-  /// Pauses dispatch (the current batch finishes; queued queries hold, and
-  /// admission control keeps applying). For drain-style maintenance and
-  /// deterministic tests.
+  /// Pauses dispatch (in-flight batches finish; queued queries hold, and
+  /// admission control keeps applying). Deadline shedding keeps running:
+  /// a queued query whose deadline passes completes with
+  /// kDeadlineExceeded even while paused — Pause() must never strand a
+  /// future. For drain-style maintenance and deterministic tests.
   void Pause();
   /// Resumes dispatch after Pause().
   void Resume();
@@ -172,34 +189,64 @@ class SearchService {
   uint64_t SubmitInternal(const std::string& collection, const float* query,
                           const QueryOptions& options, QueryCallback callback,
                           std::future<QueryResult>* future_out);
-  /// Resolves one query (promise or callback) and records its stats.
-  /// `was_dispatched` is false for queries that never reached a searcher.
+  /// Resolves one query (promise or callback) and records its stats. The
+  /// queue_ms attribution is derived from the Pending itself: dispatched
+  /// timestamp set -> waited submitted->dispatched; queued but never
+  /// dispatched -> its whole life was queue wait; never queued -> 0.
   void Complete(std::unique_ptr<Pending> pending, Status status,
-                std::vector<Neighbor> neighbors, bool was_dispatched);
-  void DispatcherMain();
+                std::vector<Neighbor> neighbors);
+  void DispatcherMain(size_t dispatcher);
+  /// Single queue scan under mutex_: moves every expired query into
+  /// `*expired` and returns the earliest deadline still pending (or
+  /// "none"). Runs regardless of paused_ — load shedding must not wait
+  /// for Resume().
+  std::chrono::steady_clock::time_point SweepDeadlinesLocked(
+      std::vector<std::unique_ptr<Pending>>* expired);
   /// Pops the front query plus every coalescable follower (same
   /// collection/k/nprobe, up to max_batch). Caller holds mutex_.
   std::vector<std::unique_ptr<Pending>> CollectBatchLocked();
-  void DispatchBatch(std::vector<std::unique_ptr<Pending>> batch);
+  /// Bookkeeping for every removal from queue_: keeps deadline_queued_
+  /// exact so the deadline sweep can early-out. Caller holds mutex_.
+  void NoteDequeuedLocked(const Pending& pending);
+  void DispatchBatch(size_t dispatcher,
+                     std::vector<std::unique_ptr<Pending>> batch);
   /// Fails every not-yet-completed query in `live` with kInternal — the
   /// dispatcher's exception barrier.
   void FailBatch(std::vector<std::unique_ptr<Pending>>& live,
                  const std::string& reason);
 
+  /// One replicated dispatcher: its thread, its private batch staging
+  /// buffer, and its share of the dispatch accounting. Dispatcher d runs
+  /// every batch through slot band
+  /// [d * pool_threads, (d+1) * pool_threads) of the hosted searchers'
+  /// per-slot scratch (reserved at Adopt time), so two dispatchers never
+  /// share engine state even on the same collection.
+  struct Dispatcher {
+    std::thread thread;
+    std::vector<float> scratch;  ///< This dispatcher's query staging buffer.
+    uint64_t dispatches = 0;     ///< Batches dispatched; guarded by mutex_.
+    /// Wall time spent inside DispatchBatch; guarded by mutex_.
+    std::chrono::steady_clock::duration busy{};
+  };
+
   const ServiceConfig config_;
   ThreadPool pool_;  ///< The one pool every collection's batches share.
+  const std::chrono::steady_clock::time_point started_;
 
   mutable std::mutex mutex_;
   std::condition_variable dispatch_cv_;
   std::map<std::string, std::shared_ptr<Collection>> collections_;
   std::deque<std::unique_ptr<Pending>> queue_;
+  /// Queued queries carrying a deadline — the per-iteration deadline sweep
+  /// skips its O(queue) scan while this is zero (the common case). Every
+  /// removal from queue_ goes through NoteDequeuedLocked to keep it exact.
+  size_t deadline_queued_ = 0;
   bool paused_ = false;
   bool stopping_ = false;
 
   std::atomic<uint64_t> next_id_{1};
-  std::vector<float> batch_scratch_;  ///< Dispatcher-only contiguous buffer.
   std::mutex shutdown_mutex_;  ///< Serializes concurrent Shutdown callers.
-  std::thread dispatcher_;
+  std::vector<Dispatcher> dispatchers_;  ///< Sized once; never reallocated.
 };
 
 }  // namespace pdx

@@ -20,8 +20,8 @@ struct CollectionStats {
   size_t rejected = 0;    ///< Turned away with kResourceExhausted.
   size_t expired = 0;     ///< Deadline passed before dispatch.
   size_t cancelled = 0;   ///< Cancel()/RemoveCollection/Shutdown.
-  size_t dispatches = 0;  ///< SearchBatch calls; completed/dispatches is
-                          ///< the achieved micro-batch size.
+  size_t dispatches = 0;  ///< Batched search calls; completed/dispatches
+                          ///< is the achieved micro-batch size.
   /// Shards the hosted searcher fans each query out to (1 = unsharded).
   size_t shards = 1;
   /// Per-shard count of shard-level query executions (each dispatched
@@ -37,11 +37,25 @@ struct CollectionStats {
   LatencySummary latency;     ///< Admission -> completion, ms (p50/p95/p99).
 };
 
+/// One replicated dispatcher's share of the serving work.
+struct DispatcherStats {
+  /// Batches this dispatcher popped and ran (sums to the total of the
+  /// per-collection CollectionStats::dispatches across the service).
+  uint64_t dispatches = 0;
+  /// Fraction of the service's lifetime this dispatcher spent inside
+  /// dispatch (staging + search + result delivery), in [0, 1]. Near-equal
+  /// busy fractions mean the replicas split the load evenly; all near 1.0
+  /// means dispatch itself is the bottleneck — add dispatchers.
+  double busy_fraction = 0.0;
+};
+
 /// Snapshot returned by SearchService::Stats(): consistent at the instant
 /// it was taken, then a plain value the caller owns.
 struct ServiceStats {
   size_t queue_depth = 0;   ///< Queries waiting for dispatch right now.
   size_t pool_threads = 0;  ///< Size of the one shared pool.
+  /// One entry per dispatcher thread (ServiceConfig::dispatchers).
+  std::vector<DispatcherStats> dispatchers;
   std::map<std::string, CollectionStats> collections;
 };
 

@@ -124,8 +124,9 @@ TEST(ThreadPoolTest, CrossPoolCallsStayParallelAndComplete) {
 
 TEST(ThreadPoolTest, SandwichedReentrancyRunsInlineWithOriginalWorkerId) {
   // A -> B -> A on one thread: the innermost A-loop must find A's frame
-  // below B's on the stack and run inline as A's worker — not block on A's
-  // submit_mutex_ (held by A's original caller: deadlock).
+  // below B's on the stack and run inline as A's worker — not submit a
+  // fresh job to A under a second worker id (which would alias per-worker
+  // scratch indexed by A's ids on this thread).
   ThreadPool a(2);
   ThreadPool b(2);
   std::atomic<size_t> total{0};
@@ -140,6 +141,60 @@ TEST(ThreadPoolTest, SandwichedReentrancyRunsInlineWithOriginalWorkerId) {
     });
   });
   EXPECT_EQ(total.load(), 4u * 10u);
+}
+
+TEST(ThreadPoolTest, ConcurrentCallersShareTheWorkers) {
+  // The replicated-dispatcher topology: several threads each submit their
+  // own loop to ONE pool. Loops run side by side (no caller blocks until
+  // another caller's whole loop finishes), every index of every loop runs
+  // exactly once, and each caller only ever participates in its own loop.
+  ThreadPool pool(4);
+  constexpr size_t kCallers = 3;
+  constexpr size_t kRounds = 20;
+  constexpr size_t kCount = 257;
+  std::vector<std::thread> callers;
+  std::atomic<size_t> failures{0};
+  for (size_t c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      for (size_t round = 0; round < kRounds; ++round) {
+        std::vector<std::atomic<int>> hits(kCount);
+        std::atomic<size_t> sum{0};
+        pool.ParallelFor(kCount, [&](size_t i, size_t worker) {
+          if (worker >= pool.num_threads()) failures.fetch_add(1);
+          hits[i].fetch_add(1, std::memory_order_relaxed);
+          sum.fetch_add(i + c, std::memory_order_relaxed);
+        });
+        for (size_t i = 0; i < kCount; ++i) {
+          if (hits[i].load() != 1) failures.fetch_add(1);
+        }
+        if (sum.load() != kCount * (kCount - 1) / 2 + c * kCount) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  EXPECT_EQ(failures.load(), 0u);
+}
+
+TEST(ThreadPoolTest, ConcurrentCallersOnSequentialPoolRunInline) {
+  // A size-1 pool runs every loop inline on its caller; concurrent callers
+  // are each their own loop's worker 0 on their own thread, so nothing
+  // serializes and nothing races.
+  ThreadPool pool(1);
+  std::vector<std::thread> callers;
+  std::atomic<size_t> total{0};
+  for (size_t c = 0; c < 4; ++c) {
+    callers.emplace_back([&] {
+      for (int round = 0; round < 50; ++round) {
+        pool.ParallelFor(64, [&](size_t, size_t worker) {
+          if (worker == 0) total.fetch_add(1, std::memory_order_relaxed);
+        });
+      }
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  EXPECT_EQ(total.load(), 4u * 50u * 64u);
 }
 
 TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {

@@ -133,6 +133,79 @@ TEST(ShardedSearcherTest, BatchMatchesSearchAcrossThreadModes) {
   EXPECT_GT(shared.value()->last_batch_profile().wall_ms, 0.0);
 }
 
+// --- Knob-explicit batches: the serving dispatch path ---------------------
+
+TEST(ShardedSearcherTest, SearchBatchWithMatchesMutatingKnobPath) {
+  // The replicated-dispatcher entry point: SearchBatchWith(slot, knobs)
+  // must equal set_k/set_nprobe + SearchBatch, and mutate nothing.
+  Dataset data = MakeData(16, 1500, 10, 17);
+  ShardingOptions sharding;
+  sharding.num_shards = 3;
+  ThreadPool pool(3);
+
+  for (SearcherLayout layout : {SearcherLayout::kFlat, SearcherLayout::kIvf}) {
+    SearcherConfig config = Config(layout, PrunerKind::kBond, 8);
+    config.threads = 0;
+    config.pool = &pool;
+    auto knob_explicit = MakeShardedSearcher(data.data, config, sharding);
+    auto mutating = MakeShardedSearcher(data.data, config, sharding);
+    ASSERT_TRUE(knob_explicit.ok());
+    ASSERT_TRUE(mutating.ok());
+    const std::string label = SearcherLayoutName(layout);
+
+    mutating.value()->set_k(4);
+    mutating.value()->set_nprobe(3);
+    const size_t nq = data.queries.count();
+    const auto expected =
+        mutating.value()->SearchBatch(data.queries.data(), nq);
+    // Band base 2 * pool size: any valid band works, not just 0.
+    const size_t slot = 2 * pool.num_threads();
+    knob_explicit.value()->ReserveScratch(slot + pool.num_threads());
+    BatchProfile profile;
+    const auto actual = knob_explicit.value()->SearchBatchWith(
+        slot, QueryKnobs{4, 3}, data.queries.data(), nq, &profile);
+    for (size_t q = 0; q < nq; ++q) {
+      ExpectSameNeighbors(actual[q], expected[q],
+                          label + " knob-explicit q" + std::to_string(q));
+    }
+    EXPECT_EQ(profile.queries, nq);
+    // No mutation: the facade's configured defaults are intact.
+    EXPECT_EQ(knob_explicit.value()->options().k, 10u);
+    EXPECT_EQ(knob_explicit.value()->Search(data.queries.Vector(0)).size(),
+              10u);
+    // Both batch paths bump every shard once per query.
+    const auto counts = knob_explicit.value()->ShardDispatchCounts();
+    ASSERT_EQ(counts.size(), 3u);
+    // SearchBatchWith(nq) + the one Search above.
+    for (uint64_t per_shard : counts) EXPECT_EQ(per_shard, nq + 1);
+  }
+}
+
+TEST(ShardedSearcherTest, KnobImplicitSlotSearchSeesFacadeSetters) {
+  // Regression: default (zero) knobs must resolve against the FACADE
+  // config, not each shard's stale construction-time config — otherwise
+  // set_k(25) followed by a knob-implicit per-slot search returns 3x10
+  // merged-then-truncated candidates instead of the true top-25.
+  Dataset data = MakeData(16, 1500, 4, 19);
+  ShardingOptions sharding;
+  sharding.num_shards = 3;
+  SearcherConfig config = Config(SearcherLayout::kFlat, PrunerKind::kBond);
+  auto sharded = MakeShardedSearcher(data.data, config, sharding);
+  auto reference = MakeSearcher(data.data, config);
+  ASSERT_TRUE(sharded.ok());
+  ASSERT_TRUE(reference.ok());
+
+  sharded.value()->set_k(25);
+  reference.value()->set_k(25);
+  sharded.value()->ReserveScratch(1);
+  for (size_t q = 0; q < data.queries.count(); ++q) {
+    const auto got = sharded.value()->SearchWith(0, data.queries.Vector(q));
+    ASSERT_EQ(got.size(), 25u) << "query " << q;
+    ExpectSameNeighbors(got, reference.value()->Search(data.queries.Vector(q)),
+                        "knob-implicit slot q" + std::to_string(q));
+  }
+}
+
 // --- Approximate pruners: the scatter-gather merge itself is exact -------
 
 TEST(ShardedSearcherTest, ApproximatePrunerEqualsManualScatterGather) {

@@ -199,6 +199,111 @@ TEST(SearchServiceTest, DeadlineExpiryBeforeDispatch) {
   EXPECT_EQ(service.Stats().collections.at("flat").expired, 1u);
 }
 
+// --- Regression: deadlines must fire while paused / never dispatched -------
+
+TEST(SearchServiceTest, DeadlineShedsWhilePausedWithoutResume) {
+  Fixture fx = MakeFixture();
+  SearchService service;
+  ASSERT_TRUE(service
+                  .AddCollection("flat", fx.dataset.data,
+                                 Config(SearcherLayout::kFlat, PrunerKind::kBond))
+                  .ok());
+  service.Pause();
+  QueryOptions options;
+  options.timeout = 5ms;
+  QueryTicket doomed =
+      service.Submit("flat", fx.dataset.queries.Vector(0), options);
+  QueryTicket survivor = service.Submit("flat", fx.dataset.queries.Vector(1));
+
+  // No Resume(): the dispatchers must still timed-wait on the queued
+  // deadline and shed the query when it passes. Before the fix this future
+  // stayed unresolved until Resume()/Shutdown — here it must be ready
+  // long before the generous bound.
+  ASSERT_EQ(doomed.result.wait_for(2s), std::future_status::ready)
+      << "deadline-bearing query stranded behind Pause()";
+  QueryResult expired = doomed.result.get();
+  EXPECT_TRUE(expired.status.IsDeadlineExceeded())
+      << expired.status.ToString();
+
+  // The deadline-free query holds (paused means paused for live work).
+  EXPECT_EQ(survivor.result.wait_for(0s), std::future_status::timeout);
+  EXPECT_EQ(service.Stats().collections.at("flat").expired, 1u);
+  EXPECT_EQ(service.queue_depth(), 1u);
+
+  service.Resume();
+  EXPECT_TRUE(survivor.result.get().status.ok());
+}
+
+// --- Regression: never-queued rejections must not report queue time --------
+
+TEST(SearchServiceTest, RejectionsReportZeroQueueMs) {
+  Fixture fx = MakeFixture();
+  ServiceConfig sc;
+  sc.max_pending = 1;
+  SearchService service(sc);
+  ASSERT_TRUE(service
+                  .AddCollection("flat", fx.dataset.data,
+                                 Config(SearcherLayout::kFlat, PrunerKind::kBond))
+                  .ok());
+  service.Pause();
+  QueryTicket held = service.Submit("flat", fx.dataset.queries.Vector(0));
+
+  // Admission-rejected: the queue was full, the query never entered it —
+  // it spent zero time queued, and must say so (it used to report
+  // queue_ms == total_ms despite never waiting anywhere).
+  QueryResult rejected =
+      service.Submit("flat", fx.dataset.queries.Vector(1)).result.get();
+  ASSERT_TRUE(rejected.status.IsResourceExhausted())
+      << rejected.status.ToString();
+  EXPECT_EQ(rejected.queue_ms, 0.0);
+  EXPECT_GE(rejected.total_ms, 0.0);
+
+  // Same for the other never-queued rejections.
+  QueryResult unknown =
+      service.Submit("ghost", fx.dataset.queries.Vector(0)).result.get();
+  ASSERT_TRUE(unknown.status.IsNotFound());
+  EXPECT_EQ(unknown.queue_ms, 0.0);
+
+  service.Resume();
+  QueryResult ok = held.result.get();
+  ASSERT_TRUE(ok.status.ok());
+  // A dispatched query still reports its real (positive) queue wait.
+  EXPECT_GT(ok.queue_ms, 0.0);
+}
+
+// --- Per-dispatcher stats ---------------------------------------------------
+
+TEST(SearchServiceTest, PerDispatcherStatsSplitTheDispatches) {
+  Fixture fx = MakeFixture(24, 98, 2000, 16);
+  ServiceConfig sc;
+  sc.dispatchers = 3;
+  sc.threads = 2;
+  SearchService service(sc);
+  ASSERT_TRUE(service
+                  .AddCollection("flat", fx.dataset.data,
+                                 Config(SearcherLayout::kFlat, PrunerKind::kBond))
+                  .ok());
+  std::vector<QueryTicket> tickets;
+  for (size_t q = 0; q < fx.dataset.queries.count(); ++q) {
+    tickets.push_back(service.Submit("flat", fx.dataset.queries.Vector(q)));
+  }
+  for (QueryTicket& ticket : tickets) {
+    ASSERT_TRUE(ticket.result.get().status.ok());
+  }
+
+  const ServiceStats stats = service.Stats();
+  ASSERT_EQ(stats.dispatchers.size(), 3u);
+  uint64_t dispatcher_total = 0;
+  for (const DispatcherStats& ds : stats.dispatchers) {
+    dispatcher_total += ds.dispatches;
+    EXPECT_GE(ds.busy_fraction, 0.0);
+    EXPECT_LE(ds.busy_fraction, 1.0);
+  }
+  // Every batch was popped by exactly one dispatcher: the per-dispatcher
+  // counts partition the per-collection dispatch count.
+  EXPECT_EQ(dispatcher_total, stats.collections.at("flat").dispatches);
+}
+
 // --- Cancellation ---------------------------------------------------------
 
 TEST(SearchServiceTest, CancelQueuedQuery) {
@@ -439,6 +544,7 @@ TEST(SearchServiceTest, ConcurrentSubmittersShareOnePoolWithParity) {
   Fixture fx = MakeFixture(24, 94, 3000, 24);
   ServiceConfig sc;
   sc.threads = 3;
+  sc.dispatchers = 4;  // Replicated dispatch must preserve exact parity.
   SearchService service(sc);
   ASSERT_TRUE(service
                   .AddCollection("ivf-bond", fx.dataset.data, fx.index,
@@ -606,13 +712,20 @@ TEST(SearchServiceTest, ShedQueriesReportQueueWait) {
   EXPECT_TRUE(service.Cancel(axed.id));
   service.Resume();
 
+  // The doomed query is shed AT its deadline (dispatchers timed-wait on
+  // the earliest queued deadline, even while paused): its future must be
+  // ready without Resume() having run — asserted before Resume() in
+  // DeadlineShedsWhilePausedWithoutResume; here the paused window already
+  // elapsed, so readiness is immediate — and its queue wait is the ~1ms
+  // it actually sat queued. (No wall-clock upper bound: that would flake
+  // on a descheduled CI host.)
   QueryResult expired = doomed.result.get();
   EXPECT_TRUE(expired.status.IsDeadlineExceeded());
+  EXPECT_GE(expired.queue_ms, 1.0);
+  // The cancelled query sat queued until the Cancel 30ms in; its reported
+  // queue wait is that real wait, not zero.
   QueryResult cancelled = axed.result.get();
   EXPECT_TRUE(cancelled.status.IsCancelled());
-  // Both queries sat in the queue for the whole sleep; their reported
-  // queue wait is that real wait, not zero.
-  EXPECT_GT(expired.queue_ms, 5.0);
   EXPECT_GT(cancelled.queue_ms, 5.0);
 
   const CollectionStats cs = service.Stats().collections.at("flat");
@@ -621,7 +734,7 @@ TEST(SearchServiceTest, ShedQueriesReportQueueWait) {
   // ...and both waits entered the queue-wait percentiles: exactly the
   // samples that used to be dropped when the queue was in trouble.
   EXPECT_EQ(cs.queue_wait.count, 2u);
-  EXPECT_GT(cs.queue_wait.p50_ms, 5.0);
+  EXPECT_GT(cs.queue_wait.p99_ms, 5.0);
 }
 
 // --- Regression: QPS must not decay across idle gaps -----------------------
@@ -701,6 +814,11 @@ TEST(SearchServiceTest, RemoveCollectionWithInFlightBatch) {
   Fixture fx = MakeFixture();
   ServiceConfig sc;
   sc.max_batch = 2;
+  // One dispatcher keeps the scenario deterministic: with replicas, a
+  // second dispatcher would pop queries 2-3 as a second in-flight batch
+  // (queued behind SlowSearcher's serialized fallback) instead of leaving
+  // them queued for RemoveCollection to cancel.
+  sc.dispatchers = 1;
   SearchService service(sc);
 
   auto inner = MakeSearcher(fx.dataset.data,

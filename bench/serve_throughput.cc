@@ -21,19 +21,119 @@
 // multi-core host the sharded rungs beat shards=1 because every query fans
 // out over the whole pool instead of serializing behind one searcher.
 
+// The --http flag appends a wire rung: the same service behind the
+// dependency-free HTTP front end (src/net/), driven by pipelined
+// HttpClient loadgen threads over loopback sockets. The delta between the
+// in-process "service" rows and the "http" rows is the wire tax: JSON
+// encode/decode + socket hops + connection handling.
+
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <numeric>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.h"
+#include "common/timer.h"
+#include "net/http_client.h"
+#include "net/http_server.h"
+#include "net/json.h"
+#include "net/search_handler.h"
 #include "serve/search_service.h"
 
 namespace pdx {
 namespace {
+
+struct HttpLoadResult {
+  size_t completed = 0;
+  size_t failed = 0;
+  double wall_ms = 0.0;
+  LatencyRecorder latency{1 << 16};  ///< Per-request wire round trips, ms.
+  double qps() const {
+    return wall_ms > 0.0 ? 1000.0 * static_cast<double>(completed) / wall_ms
+                         : 0.0;
+  }
+};
+
+/// Drives the wire front end at `port` from `submitters` client threads,
+/// each pipelining `window` POST /search requests round-robin across
+/// `collections` — the HTTP analog of RunServiceLoad.
+HttpLoadResult RunHttpLoad(uint16_t port,
+                           const std::vector<std::string>& collections,
+                           const VectorSet& queries, size_t submitters,
+                           size_t queries_per_submitter, size_t window = 16) {
+  // Request bodies are pre-serialized: the bench measures serving + wire,
+  // not the loadgen's own JSON formatting.
+  std::vector<std::string> bodies;
+  bodies.reserve(queries.count());
+  for (size_t q = 0; q < queries.count(); ++q) {
+    JsonValue request = JsonValue::Object();
+    JsonValue values = JsonValue::Array();
+    const float* vector = queries.Vector(static_cast<VectorId>(q));
+    for (size_t d = 0; d < queries.dim(); ++d) {
+      values.Append(static_cast<double>(vector[d]));
+    }
+    request.Set("query", std::move(values));
+    bodies.push_back(WriteJson(request));
+  }
+
+  std::vector<HttpLoadResult> per_thread(submitters);
+  Timer wall;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < submitters; ++t) {
+    threads.emplace_back([&, t] {
+      HttpLoadResult& mine = per_thread[t];
+      HttpClient client;
+      if (!client.Connect("127.0.0.1", port).ok()) {
+        mine.failed = queries_per_submitter;
+        return;
+      }
+      std::vector<Timer> started(window);
+      size_t sent = 0;
+      size_t received = 0;
+      while (received < queries_per_submitter) {
+        while (sent < queries_per_submitter &&
+               sent - received < window) {
+          const std::string& target =
+              collections[sent % collections.size()];
+          started[sent % window] = Timer();
+          if (!client
+                   .SendRequest("POST", "/collections/" + target + "/search",
+                                bodies[sent % bodies.size()])
+                   .ok()) {
+            mine.failed += queries_per_submitter - received;
+            return;
+          }
+          ++sent;
+        }
+        Result<HttpResponse> response = client.ReadResponse();
+        if (!response.ok()) {
+          mine.failed += queries_per_submitter - received;
+          return;
+        }
+        mine.latency.Record(started[received % window].ElapsedMillis());
+        ++received;
+        if (response.value().status == 200) {
+          ++mine.completed;
+        } else {
+          ++mine.failed;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  HttpLoadResult total;
+  total.wall_ms = wall.ElapsedMillis();
+  for (HttpLoadResult& mine : per_thread) {
+    total.completed += mine.completed;
+    total.failed += mine.failed;
+    total.latency.Merge(mine.latency);
+  }
+  return total;
+}
 
 void RunDataset(const SyntheticSpec& spec,
                 const std::vector<size_t>& dispatcher_counts) {
@@ -157,6 +257,51 @@ void RunShardScaling(const SyntheticSpec& spec,
   table.Print();
 }
 
+/// The --http rung: the same two-collection load as RunDataset's service
+/// rows, but arriving over loopback HTTP through pipelined wire clients.
+void RunHttpRung(const SyntheticSpec& spec, size_t dispatchers) {
+  bench::IvfScenario s = bench::BuildIvfScenario(spec);
+
+  SearcherConfig bond = {};
+  bond.layout = SearcherLayout::kIvf;
+  bond.pruner = PrunerKind::kBond;
+  bond.nprobe = 16;
+  SearcherConfig ads = bond;
+  ads.pruner = PrunerKind::kAdsampling;
+
+  TextTable table({"dataset", "mode", "submitters", "QPS", "p50(ms)",
+                   "p95(ms)", "p99(ms)", "failed"});
+  for (size_t submitters : {1u, 4u, 8u}) {
+    ServiceConfig sc;
+    sc.threads = 0;
+    sc.max_pending = 4096;
+    sc.dispatchers = dispatchers;
+    SearchService service(sc);
+    if (!service.AddCollection("bond", s.dataset.data, s.index, bond).ok() ||
+        !service.AddCollection("ads", s.dataset.data, s.index, ads).ok()) {
+      std::fprintf(stderr, "serve_throughput: AddCollection failed\n");
+      return;
+    }
+    SearchHandler handler(service);
+    HttpServer server;
+    if (!server.Start(handler.AsHttpHandler()).ok()) {
+      std::fprintf(stderr, "serve_throughput: HttpServer::Start failed\n");
+      return;
+    }
+    const HttpLoadResult result =
+        RunHttpLoad(server.port(), {"bond", "ads"}, s.dataset.queries,
+                    submitters, 200);
+    const LatencySummary lat = result.latency.Summary();
+    table.AddRow({spec.name, "http", std::to_string(submitters),
+                  TextTable::Num(result.qps(), 0),
+                  TextTable::Num(lat.p50_ms, 3), TextTable::Num(lat.p95_ms, 3),
+                  TextTable::Num(lat.p99_ms, 3),
+                  std::to_string(result.failed)});
+    server.Stop();
+  }
+  table.Print();
+}
+
 /// Parses `--<name>=N[,M,...]` from argv into a size list; `fallback` when
 /// the flag is absent or empty.
 std::vector<size_t> ParseSizeListFlag(int argc, char** argv,
@@ -191,9 +336,25 @@ int main(int argc, char** argv) {
       ParseSizeListFlag(argc, argv, "--shards=", {1, 2, 4});
   const std::vector<size_t> dispatcher_counts =
       ParseSizeListFlag(argc, argv, "--dispatchers=", {1, 2, 4});
+  bool http = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--http") == 0) http = true;
+  }
   for (SyntheticSpec spec : CoreWorkloads(scale * 0.5)) {
     spec.num_queries = 100;
     RunDataset(spec, dispatcher_counts);
+  }
+  if (http) {
+    const size_t wire_dispatchers = *std::max_element(
+        dispatcher_counts.begin(), dispatcher_counts.end());
+    PrintBanner(
+        "Serving: the same load over the HTTP front end (loopback sockets, "
+        "pipelined wire clients, dispatchers=" +
+        std::to_string(wire_dispatchers) + ")");
+    for (SyntheticSpec spec : CoreWorkloads(scale * 0.5)) {
+      spec.num_queries = 100;
+      RunHttpRung(spec, wire_dispatchers);
+    }
   }
   // The shard sweep runs at the deepest requested replication so the one
   // hot collection actually has several batches in flight.

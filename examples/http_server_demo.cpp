@@ -1,0 +1,157 @@
+// HTTP wire front end demo: hosts two collections (one IVF/BOND, one
+// sharded flat/BOND) behind the REST API and speaks to itself over a real
+// socket, printing the transcript as equivalent curl commands.
+//
+//   ./http_server_demo                 # self-test transcript, then exit
+//   ./http_server_demo --serve         # keep serving until stdin closes
+//   ./http_server_demo --port=8080     # fixed port (default: ephemeral)
+//
+// While serving, from another terminal (replace $PORT):
+//
+//   curl http://127.0.0.1:$PORT/healthz
+//   curl -X PUT http://127.0.0.1:$PORT/collections/mine \
+//        -d '{"vectors": [[0.1, 0.2], [0.3, 0.4]], "layout": "flat"}'
+//   curl -X POST http://127.0.0.1:$PORT/collections/mine/search \
+//        -d '{"query": [0.1, 0.2], "k": 1}'
+//   curl http://127.0.0.1:$PORT/stats
+//   curl -X DELETE http://127.0.0.1:$PORT/collections/mine
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "benchlib/datagen.h"
+#include "net/http_client.h"
+#include "net/http_server.h"
+#include "net/json.h"
+#include "net/search_handler.h"
+#include "serve/search_service.h"
+
+using namespace pdx;
+
+namespace {
+
+void Curl(HttpClient& client, const std::string& method,
+          const std::string& target, const std::string& body = "") {
+  std::printf("$ curl -s%s http://127.0.0.1:PORT%s%s%s%s\n",
+              method == "GET" ? "" : (" -X " + method).c_str(), target.c_str(),
+              body.empty() ? "" : " -d '", body.c_str(),
+              body.empty() ? "" : "'");
+  Result<HttpResponse> response = client.Roundtrip(method, target, body);
+  if (!response.ok()) {
+    std::printf("  (transport error: %s)\n",
+                response.status().ToString().c_str());
+    return;
+  }
+  std::string shown = response.value().body;
+  if (shown.size() > 400) shown = shown.substr(0, 400) + "...";
+  std::printf("  HTTP %d  %s\n\n", response.value().status, shown.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint16_t port = 0;
+  bool serve = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--port=", 7) == 0) {
+      port = static_cast<uint16_t>(std::atoi(argv[i] + 7));
+    } else if (std::strcmp(argv[i], "--serve") == 0) {
+      serve = true;
+    }
+  }
+
+  // A small synthetic workload (same generator as the tests/benches).
+  SyntheticSpec spec;
+  spec.name = "http-demo";
+  spec.dim = 32;
+  spec.count = 20000;
+  spec.num_queries = 4;
+  spec.num_clusters = 32;
+  spec.seed = 7;
+  spec.distribution = ValueDistribution::kNormal;
+  Dataset data = GenerateDataset(spec);
+
+  ServiceConfig service_config;
+  service_config.threads = 0;  // One worker per hardware thread.
+  SearchService service(service_config);
+
+  SearcherConfig ivf;
+  ivf.layout = SearcherLayout::kIvf;
+  ivf.pruner = PrunerKind::kBond;
+  ivf.nprobe = 8;
+  Status added = service.AddCollection("demo", data.data, ivf);
+  if (!added.ok()) {
+    std::fprintf(stderr, "AddCollection: %s\n", added.ToString().c_str());
+    return 1;
+  }
+  ShardingOptions sharding;
+  sharding.num_shards = 4;
+  SearcherConfig flat;  // flat / bond defaults
+  added = service.AddCollection("sharded", data.data, flat, sharding);
+  if (!added.ok()) {
+    std::fprintf(stderr, "AddCollection: %s\n", added.ToString().c_str());
+    return 1;
+  }
+
+  SearchHandler handler(service);
+  HttpServerConfig server_config;
+  server_config.port = port;
+  HttpServer server(server_config);
+  Status started = server.Start(handler.AsHttpHandler());
+  if (!started.ok()) {
+    std::fprintf(stderr, "Start: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("pdx wire front end listening on http://127.0.0.1:%u\n",
+              server.port());
+  std::printf("hosting: demo (ivf/bond, %zu vectors), sharded (flat/bond x%zu"
+              " shards)\n\n",
+              data.data.count(), sharding.num_shards);
+
+  // Self-test transcript: the demo is its own first client.
+  HttpClient client;
+  Status connected = client.Connect("127.0.0.1", server.port());
+  if (!connected.ok()) {
+    std::fprintf(stderr, "Connect: %s\n", connected.ToString().c_str());
+    return 1;
+  }
+  Curl(client, "GET", "/healthz");
+  Curl(client, "GET", "/collections");
+  Curl(client, "GET", "/collections/demo");
+
+  JsonValue query = JsonValue::Object();
+  JsonValue values = JsonValue::Array();
+  for (size_t d = 0; d < data.queries.dim(); ++d) {
+    values.Append(static_cast<double>(data.queries.Vector(0)[d]));
+  }
+  query.Set("query", std::move(values));
+  query.Set("k", static_cast<size_t>(5));
+  const std::string search_body = WriteJson(query);
+  Curl(client, "POST", "/collections/demo/search", search_body);
+  Curl(client, "POST", "/collections/sharded/search", search_body);
+
+  // A tiny PUT + DELETE round trip.
+  Curl(client, "PUT", "/collections/mine",
+       "{\"vectors\": [[0.1, 0.2], [0.3, 0.4], [0.5, 0.6]], "
+       "\"layout\": \"flat\", \"k\": 2}");
+  Curl(client, "POST", "/collections/mine/search",
+       "{\"query\": [0.1, 0.2], \"k\": 1}");
+  Curl(client, "DELETE", "/collections/mine");
+
+  // The error mappings, live.
+  Curl(client, "POST", "/collections/ghost/search", search_body);
+  Curl(client, "POST", "/collections/demo/search", "{\"query\": [1, 2,");
+
+  Curl(client, "GET", "/stats");
+
+  if (serve) {
+    std::printf("serving — press Enter (or close stdin) to stop\n");
+    std::getchar();
+  }
+  server.Stop();
+  service.Shutdown();
+  std::printf("done\n");
+  return 0;
+}

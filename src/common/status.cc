@@ -2,9 +2,7 @@
 
 namespace pdx {
 
-namespace {
-
-const char* CodeName(Status::Code code) {
+const char* StatusCodeName(Status::Code code) {
   switch (code) {
     case Status::Code::kOk:
       return "OK";
@@ -30,11 +28,21 @@ const char* CodeName(Status::Code code) {
   return "Unknown";
 }
 
-}  // namespace
+Status::Code StatusCodeFromName(const std::string& name) {
+  for (Status::Code code :
+       {Status::Code::kOk, Status::Code::kInvalidArgument,
+        Status::Code::kIoError, Status::Code::kNotFound,
+        Status::Code::kCorruption, Status::Code::kUnsupported,
+        Status::Code::kResourceExhausted, Status::Code::kDeadlineExceeded,
+        Status::Code::kCancelled, Status::Code::kInternal}) {
+    if (name == StatusCodeName(code)) return code;
+  }
+  return Status::Code::kInternal;
+}
 
 std::string Status::ToString() const {
   if (ok()) return "OK";
-  std::string out = CodeName(code_);
+  std::string out = StatusCodeName(code_);
   if (!message_.empty()) {
     out += ": ";
     out += message_;

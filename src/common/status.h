@@ -83,6 +83,14 @@ class Status {
   /// Failure message; empty for OK statuses.
   const std::string& message() const { return message_; }
 
+  /// Builds the status with code `code` and message `msg` — the inverse of
+  /// code()/message() for layers (e.g. the wire front end) that transport a
+  /// Status across a process boundary and reconstitute it on the far side.
+  static Status FromCode(Code code, std::string msg) {
+    if (code == Code::kOk) return Status();
+    return Status(code, std::move(msg));
+  }
+
   /// "OK" or "<code>: <message>"; suitable for logs and test output.
   std::string ToString() const;
 
@@ -130,6 +138,16 @@ class Result {
   Status status_;
   T value_{};
 };
+
+/// Stable name of a status code ("OK", "NotFound", ...): the wire form the
+/// HTTP front end puts in error bodies, and what ToString prefixes failures
+/// with. Never returns null.
+const char* StatusCodeName(Status::Code code);
+
+/// Inverse of StatusCodeName: resolves a wire name back to its code.
+/// Unknown names map to kInternal — a transported failure must stay a
+/// failure even when the peer speaks a newer code vocabulary.
+Status::Code StatusCodeFromName(const std::string& name);
 
 /// Propagates a failing Status to the caller.
 #define PDX_RETURN_IF_ERROR(expr)            \

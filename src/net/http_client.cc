@@ -1,0 +1,163 @@
+#include "net/http_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "net/wire_util.h"
+
+namespace pdx {
+
+namespace {
+
+using net_internal::ToLower;
+
+}  // namespace
+
+HttpClient::~HttpClient() { Close(); }
+
+Status HttpClient::Connect(const std::string& host, uint16_t port) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  // The pipelined tests send many small requests; batching them behind
+  // Nagle would serialize the pipeline on round trips.
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::InvalidArgument("bad host address: " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status failed =
+        Status::IoError(std::string("connect: ") + std::strerror(errno));
+    Close();
+    return failed;
+  }
+  return Status::OK();
+}
+
+void HttpClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  inflight_ = 0;
+  buffer_.clear();
+}
+
+Status HttpClient::SendRaw(const std::string& bytes) {
+  if (fd_ < 0) return Status::InvalidArgument("not connected");
+  if (!net_internal::SendAll(fd_, bytes)) {
+    return Status::IoError(std::string("send: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status HttpClient::SendRequest(
+    const std::string& method, const std::string& target,
+    const std::string& body,
+    const std::map<std::string, std::string>& headers) {
+  std::string wire = method + " " + target + " HTTP/1.1\r\n";
+  wire += "Host: pdx\r\n";
+  for (const auto& [name, value] : headers) {
+    wire += name + ": " + value + "\r\n";
+  }
+  if (!body.empty() || method == "POST" || method == "PUT") {
+    wire += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  wire += "\r\n";
+  wire += body;
+  PDX_RETURN_IF_ERROR(SendRaw(wire));
+  ++inflight_;
+  return Status::OK();
+}
+
+Result<HttpResponse> HttpClient::ReadResponse() {
+  if (fd_ < 0) return Status::InvalidArgument("not connected");
+  char chunk[64 * 1024];
+  // Frame the head.
+  size_t head_end;
+  while ((head_end = buffer_.find("\r\n\r\n")) == std::string::npos) {
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) return Status::IoError("connection closed mid-response");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("recv: ") + std::strerror(errno));
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+  const std::string head = buffer_.substr(0, head_end);
+  buffer_.erase(0, head_end + 4);
+
+  HttpResponse response;
+  const size_t line_end = head.find("\r\n");
+  const std::string status_line = head.substr(0, line_end);
+  // "HTTP/1.1 200 OK"
+  const size_t first_space = status_line.find(' ');
+  if (first_space == std::string::npos) {
+    return Status::IoError("malformed status line: " + status_line);
+  }
+  response.status = std::atoi(status_line.c_str() + first_space + 1);
+
+  size_t content_length = 0;
+  size_t pos = line_end == std::string::npos ? head.size() : line_end + 2;
+  while (pos < head.size()) {
+    const size_t eol = head.find("\r\n", pos);
+    const std::string line = head.substr(
+        pos, eol == std::string::npos ? std::string::npos : eol - pos);
+    pos = eol == std::string::npos ? head.size() : eol + 2;
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    std::string name = ToLower(line.substr(0, colon));
+    std::string value = line.substr(colon + 1);
+    while (!value.empty() && (value.front() == ' ' || value.front() == '\t')) {
+      value.erase(value.begin());
+    }
+    if (name == "content-length") {
+      content_length = static_cast<size_t>(std::strtoull(value.c_str(), nullptr, 10));
+    } else if (name == "content-type") {
+      response.content_type = value;
+    } else {
+      response.headers[name] = value;
+    }
+  }
+
+  while (buffer_.size() < content_length) {
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) return Status::IoError("connection closed mid-body");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("recv: ") + std::strerror(errno));
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+  response.body = buffer_.substr(0, content_length);
+  buffer_.erase(0, content_length);
+  if (inflight_ > 0) --inflight_;
+  return response;
+}
+
+Result<HttpResponse> HttpClient::Roundtrip(
+    const std::string& method, const std::string& target,
+    const std::string& body,
+    const std::map<std::string, std::string>& headers) {
+  if (inflight_ != 0) {
+    return Status::InvalidArgument(
+        "Roundtrip with pipelined responses outstanding");
+  }
+  PDX_RETURN_IF_ERROR(SendRequest(method, target, body, headers));
+  return ReadResponse();
+}
+
+}  // namespace pdx

@@ -1,0 +1,89 @@
+#ifndef PDX_NET_HTTP_CLIENT_H_
+#define PDX_NET_HTTP_CLIENT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "net/http_server.h"
+
+namespace pdx {
+
+/// A small blocking HTTP/1.1 client over one keep-alive connection: the
+/// test helper and bench loadgen for the wire front end (it is NOT a
+/// general-purpose client — one host, Content-Length framing only, no
+/// redirects, no TLS).
+///
+/// Supports explicit pipelining: SendRequest enqueues without reading,
+/// ReadResponse reads the next response in order — the stress tests drive
+/// M pipelined requests per connection through exactly this split.
+///
+/// Thread safety: none; one thread per client (the loadgen spawns one
+/// client per thread).
+class HttpClient {
+ public:
+  HttpClient() = default;
+  ~HttpClient();
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+  HttpClient(HttpClient&& other) noexcept
+      : fd_(other.fd_),
+        inflight_(other.inflight_),
+        buffer_(std::move(other.buffer_)) {
+    other.fd_ = -1;
+    other.inflight_ = 0;
+  }
+  HttpClient& operator=(HttpClient&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      inflight_ = other.inflight_;
+      buffer_ = std::move(other.buffer_);
+      other.fd_ = -1;
+      other.inflight_ = 0;
+    }
+    return *this;
+  }
+
+  /// Connects to host:port (host is a dotted IPv4 literal, e.g.
+  /// "127.0.0.1"). Reconnect after Close() is fine.
+  Status Connect(const std::string& host, uint16_t port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// One whole round trip: sends and waits for the response. Requires no
+  /// pipelined responses outstanding.
+  Result<HttpResponse> Roundtrip(const std::string& method,
+                                 const std::string& target,
+                                 const std::string& body = "",
+                                 const std::map<std::string, std::string>&
+                                     headers = {});
+
+  /// Pipelining half 1: writes the request and returns without reading.
+  Status SendRequest(const std::string& method, const std::string& target,
+                     const std::string& body = "",
+                     const std::map<std::string, std::string>& headers = {});
+
+  /// Pipelining half 2: blocks for the next in-order response.
+  Result<HttpResponse> ReadResponse();
+
+  /// Outstanding pipelined requests (sent, not yet read back).
+  size_t inflight() const { return inflight_; }
+
+  /// Writes raw bytes on the connection — malformed-request tests speak
+  /// broken HTTP on purpose.
+  Status SendRaw(const std::string& bytes);
+
+ private:
+  int fd_ = -1;
+  size_t inflight_ = 0;
+  std::string buffer_;  ///< Bytes read past the previous response.
+};
+
+}  // namespace pdx
+
+#endif  // PDX_NET_HTTP_CLIENT_H_

@@ -1,0 +1,484 @@
+#include "net/json.h"
+
+#include <cassert>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace pdx {
+
+bool JsonValue::AsBool() const {
+  assert(is_bool());
+  return is_bool() ? bool_ : false;
+}
+
+double JsonValue::AsNumber() const {
+  assert(is_number());
+  return is_number() ? number_ : 0.0;
+}
+
+const std::string& JsonValue::AsString() const {
+  assert(is_string());
+  static const std::string empty;
+  return is_string() ? string_ : empty;
+}
+
+size_t JsonValue::size() const {
+  if (is_array()) return items_.size();
+  if (is_object()) return members_.size();
+  return 0;
+}
+
+JsonValue& JsonValue::Append(JsonValue value) {
+  assert(is_array());
+  items_.push_back(std::move(value));
+  return items_.back();
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  for (const Member& member : members_) {
+    if (member.first == key) return &member.second;
+  }
+  return nullptr;
+}
+
+JsonValue& JsonValue::Set(std::string key, JsonValue value) {
+  assert(is_object());
+  for (Member& member : members_) {
+    if (member.first == key) {
+      member.second = std::move(value);
+      return member.second;
+    }
+  }
+  members_.emplace_back(std::move(key), std::move(value));
+  return members_.back().second;
+}
+
+bool JsonValue::operator==(const JsonValue& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case Kind::kNull:
+      return true;
+    case Kind::kBool:
+      return bool_ == other.bool_;
+    case Kind::kNumber:
+      return number_ == other.number_;
+    case Kind::kString:
+      return string_ == other.string_;
+    case Kind::kArray:
+      return items_ == other.items_;
+    case Kind::kObject:
+      return members_ == other.members_;
+  }
+  return false;
+}
+
+namespace {
+
+/// Recursive-descent parser over the whole document. Depth is tracked
+/// explicitly: the recursion mirrors the input's nesting, so the bound is
+/// what keeps "[[[[..." from becoming a stack overflow on the connection
+/// thread.
+class JsonParser {
+ public:
+  JsonParser(std::string_view text, size_t max_depth)
+      : text_(text), max_depth_(max_depth) {}
+
+  Result<JsonValue> Parse() {
+    JsonValue value;
+    PDX_RETURN_IF_ERROR(ParseValue(&value));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON value");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("JSON parse error at byte " +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char expected) {
+    if (pos_ < text_.size() && text_[pos_] == expected) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  Status ParseValue(JsonValue* out) {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(out);
+      case '[':
+        return ParseArray(out);
+      case '"': {
+        std::string s;
+        PDX_RETURN_IF_ERROR(ParseString(&s));
+        *out = JsonValue(std::move(s));
+        return Status::OK();
+      }
+      case 't':
+        if (!ConsumeLiteral("true")) return Error("invalid literal");
+        *out = JsonValue(true);
+        return Status::OK();
+      case 'f':
+        if (!ConsumeLiteral("false")) return Error("invalid literal");
+        *out = JsonValue(false);
+        return Status::OK();
+      case 'n':
+        if (!ConsumeLiteral("null")) return Error("invalid literal");
+        *out = JsonValue::Null();
+        return Status::OK();
+      default:
+        // Also the NaN/Infinity rejection path: neither is a JSON literal,
+        // so "NaN", "Infinity", and "-Infinity" all fail here or in the
+        // number grammar below.
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseObject(JsonValue* out) {
+    if (++depth_ > max_depth_) return Error("nesting too deep");
+    ++pos_;  // '{'
+    *out = JsonValue::Object();
+    SkipWhitespace();
+    if (Consume('}')) {
+      --depth_;
+      return Status::OK();
+    }
+    for (;;) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key string");
+      }
+      std::string key;
+      PDX_RETURN_IF_ERROR(ParseString(&key));
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' after object key");
+      JsonValue value;
+      PDX_RETURN_IF_ERROR(ParseValue(&value));
+      // Duplicate keys: last one wins (the common lenient choice; Set
+      // replaces in place so member order stays first-occurrence).
+      out->Set(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) break;
+      return Error("expected ',' or '}' in object");
+    }
+    --depth_;
+    return Status::OK();
+  }
+
+  Status ParseArray(JsonValue* out) {
+    if (++depth_ > max_depth_) return Error("nesting too deep");
+    ++pos_;  // '['
+    *out = JsonValue::Array();
+    SkipWhitespace();
+    if (Consume(']')) {
+      --depth_;
+      return Status::OK();
+    }
+    for (;;) {
+      JsonValue value;
+      PDX_RETURN_IF_ERROR(ParseValue(&value));
+      out->Append(std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) break;
+      return Error("expected ',' or ']' in array");
+    }
+    --depth_;
+    return Status::OK();
+  }
+
+  Status ParseHex4(uint32_t* out) {
+    if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+    uint32_t value = 0;
+    for (size_t i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + i];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Error("invalid hex digit in \\u escape");
+      }
+    }
+    pos_ += 4;
+    *out = value;
+    return Status::OK();
+  }
+
+  void AppendUtf8(uint32_t cp, std::string* out) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    ++pos_;  // '"'
+    out->clear();
+    for (;;) {
+      if (pos_ >= text_.size()) return Error("unterminated string");
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return Status::OK();
+      }
+      if (c < 0x20) return Error("raw control character in string");
+      if (c != '\\') {
+        // Bytes >= 0x80 pass through untouched: the document is treated as
+        // UTF-8 and re-emitted byte-identically by the writer.
+        out->push_back(static_cast<char>(c));
+        ++pos_;
+        continue;
+      }
+      ++pos_;  // '\'
+      if (pos_ >= text_.size()) return Error("truncated escape");
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"':
+          out->push_back('"');
+          break;
+        case '\\':
+          out->push_back('\\');
+          break;
+        case '/':
+          out->push_back('/');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'u': {
+          uint32_t cp = 0;
+          PDX_RETURN_IF_ERROR(ParseHex4(&cp));
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: must be followed by \uDC00..\uDFFF.
+            if (!ConsumeLiteral("\\u")) return Error("lone high surrogate");
+            uint32_t low = 0;
+            PDX_RETURN_IF_ERROR(ParseHex4(&low));
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return Error("invalid low surrogate");
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return Error("lone low surrogate");
+          }
+          AppendUtf8(cp, out);
+          break;
+        }
+        default:
+          return Error("invalid escape character");
+      }
+    }
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (Consume('-')) {
+      // fallthrough: digits must follow.
+    }
+    if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+      return Error("invalid number");
+    }
+    if (text_[pos_] == '0') {
+      ++pos_;  // Leading zero takes no more integer digits.
+    } else {
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (Consume('.')) {
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        return Error("digits required after decimal point");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        return Error("digits required in exponent");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    // strtod over a bounded copy of the token: unlike from_chars it
+    // distinguishes overflow (+-HUGE_VAL — reject: the wire must not
+    // smuggle infinities into distance kernels) from underflow (rounds to
+    // zero/denormal — harmless).
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || !std::isfinite(value)) {
+      return Error("number out of double range");
+    }
+    *out = JsonValue(value);
+    return Status::OK();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  size_t depth_ = 0;
+  const size_t max_depth_;
+};
+
+void WriteString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (const char ch : s) {
+    const unsigned char c = static_cast<unsigned char>(ch);
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\b':
+        out->append("\\b");
+        break;
+      case '\f':
+        out->append("\\f");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(ch);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void WriteNumber(double value, std::string* out) {
+  if (!std::isfinite(value)) {
+    // JSON has no NaN/Infinity. null is the only honest stand-in: a peer
+    // parsing the document back sees "no value" instead of a garbage 0.
+    assert(false && "WriteJson: non-finite number");
+    out->append("null");
+    return;
+  }
+  // Shortest representation that round-trips to the same double.
+  char buf[32];
+  const std::to_chars_result r = std::to_chars(buf, buf + sizeof(buf), value);
+  out->append(buf, r.ptr);
+}
+
+void WriteValue(const JsonValue& value, std::string* out) {
+  switch (value.kind()) {
+    case JsonValue::Kind::kNull:
+      out->append("null");
+      break;
+    case JsonValue::Kind::kBool:
+      out->append(value.AsBool() ? "true" : "false");
+      break;
+    case JsonValue::Kind::kNumber:
+      WriteNumber(value.AsNumber(), out);
+      break;
+    case JsonValue::Kind::kString:
+      WriteString(value.AsString(), out);
+      break;
+    case JsonValue::Kind::kArray: {
+      out->push_back('[');
+      bool first = true;
+      for (const JsonValue& item : value.items()) {
+        if (!first) out->push_back(',');
+        first = false;
+        WriteValue(item, out);
+      }
+      out->push_back(']');
+      break;
+    }
+    case JsonValue::Kind::kObject: {
+      out->push_back('{');
+      bool first = true;
+      for (const JsonValue::Member& member : value.members()) {
+        if (!first) out->push_back(',');
+        first = false;
+        WriteString(member.first, out);
+        out->push_back(':');
+        WriteValue(member.second, out);
+      }
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+Result<JsonValue> ParseJson(std::string_view text, size_t max_depth) {
+  return JsonParser(text, max_depth).Parse();
+}
+
+std::string WriteJson(const JsonValue& value) {
+  std::string out;
+  WriteValue(value, &out);
+  return out;
+}
+
+}  // namespace pdx

@@ -1,0 +1,122 @@
+#ifndef PDX_NET_JSON_H_
+#define PDX_NET_JSON_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pdx {
+
+/// A parsed JSON document node: one of null / bool / number / string /
+/// array / object. The value type behind the wire front end — requests are
+/// parsed into it, responses are built from it — so it stays deliberately
+/// small: no allocator tricks, no SAX interface, objects as insertion-
+/// ordered key/value vectors (wire objects are tiny; ordered output makes
+/// responses and the writer round-trip deterministic).
+///
+/// Numbers are IEEE doubles, like JavaScript's: integers round-trip
+/// exactly up to 2^53, which comfortably covers every count/id the service
+/// emits. NaN/Infinity are unrepresentable in JSON; the parser rejects the
+/// tokens and the writer maps non-finite values to null rather than
+/// emitting something a peer cannot parse back.
+class JsonValue {
+ public:
+  enum class Kind : uint8_t {
+    kNull = 0,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  using Member = std::pair<std::string, JsonValue>;
+
+  /// Null by default.
+  JsonValue() = default;
+  JsonValue(bool value) : kind_(Kind::kBool), bool_(value) {}
+  JsonValue(double value) : kind_(Kind::kNumber), number_(value) {}
+  JsonValue(int value) : JsonValue(static_cast<double>(value)) {}
+  JsonValue(size_t value) : JsonValue(static_cast<double>(value)) {}
+  JsonValue(std::string value)
+      : kind_(Kind::kString), string_(std::move(value)) {}
+  JsonValue(const char* value) : JsonValue(std::string(value)) {}
+
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Array() {
+    JsonValue v;
+    v.kind_ = Kind::kArray;
+    return v;
+  }
+  static JsonValue Object() {
+    JsonValue v;
+    v.kind_ = Kind::kObject;
+    return v;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; calling the wrong one is a programming error
+  /// (asserted in debug builds, the zero value in release builds).
+  bool AsBool() const;
+  double AsNumber() const;
+  const std::string& AsString() const;
+
+  /// Array access.
+  const std::vector<JsonValue>& items() const { return items_; }
+  size_t size() const;
+  JsonValue& Append(JsonValue value);
+
+  /// Object access: insertion-ordered members, linear lookup (wire objects
+  /// hold a handful of keys). Find returns null on a missing key.
+  const std::vector<Member>& members() const { return members_; }
+  const JsonValue* Find(std::string_view key) const;
+  /// Sets `key` (replacing an existing member) and returns the stored value.
+  JsonValue& Set(std::string key, JsonValue value);
+
+  bool operator==(const JsonValue& other) const;
+  bool operator!=(const JsonValue& other) const { return !(*this == other); }
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<Member> members_;
+};
+
+/// Strict-ish RFC 8259 parser over a complete in-memory document:
+///   - exactly one top-level value, trailing garbage rejected;
+///   - numbers must be finite (NaN/Infinity/overflow rejected — a wire
+///     payload must not smuggle non-finite floats into distance kernels);
+///   - \uXXXX escapes decoded to UTF-8, surrogate pairs included, lone
+///     surrogates rejected;
+///   - nesting bounded by `max_depth` so a "[[[[..." body cannot overflow
+///     the connection thread's stack;
+///   - truncated or malformed input returns InvalidArgument (with the byte
+///     offset), never crashes and never reads past `text`.
+Result<JsonValue> ParseJson(std::string_view text, size_t max_depth = 64);
+
+/// Serializes `value` compactly (no whitespace). Strings are escaped so
+/// the output always round-trips through ParseJson; numbers print the
+/// shortest form that parses back to the same double. Non-finite numbers
+/// are a programming error: asserted in debug builds, emitted as null in
+/// release builds (the one JSON value that cannot be mistaken for a
+/// measurement).
+std::string WriteJson(const JsonValue& value);
+
+}  // namespace pdx
+
+#endif  // PDX_NET_JSON_H_

@@ -1,0 +1,574 @@
+#include "net/search_handler.h"
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "core/sharded_searcher.h"
+#include "storage/vector_set.h"
+
+namespace pdx {
+
+namespace {
+
+JsonValue LatencyJson(const LatencySummary& summary) {
+  JsonValue out = JsonValue::Object();
+  out.Set("count", summary.count);
+  out.Set("p50_ms", summary.p50_ms);
+  out.Set("p95_ms", summary.p95_ms);
+  out.Set("p99_ms", summary.p99_ms);
+  return out;
+}
+
+JsonValue NeighborsJson(const std::vector<Neighbor>& neighbors) {
+  JsonValue out = JsonValue::Array();
+  for (const Neighbor& neighbor : neighbors) {
+    JsonValue hit = JsonValue::Object();
+    hit.Set("id", static_cast<size_t>(neighbor.id));
+    // A non-finite distance cannot ride JSON; null is the honest stand-in
+    // (it only arises from degenerate payloads an exact parser rejects).
+    if (std::isfinite(neighbor.distance)) {
+      hit.Set("distance", static_cast<double>(neighbor.distance));
+    } else {
+      hit.Set("distance", JsonValue::Null());
+    }
+    out.Append(std::move(hit));
+  }
+  return out;
+}
+
+/// One query's result as a wire object — the per-item shape of both the
+/// single and the batched response.
+JsonValue QueryResultJson(const QueryResult& result) {
+  JsonValue out = JsonValue::Object();
+  out.Set("status", StatusCodeName(result.status.code()));
+  if (result.status.ok()) {
+    out.Set("neighbors", NeighborsJson(result.neighbors));
+  } else {
+    out.Set("error", result.status.ToString());
+  }
+  out.Set("queue_ms", result.queue_ms);
+  out.Set("total_ms", result.total_ms);
+  return out;
+}
+
+JsonValue InfoJson(const CollectionInfo& info) {
+  JsonValue out = JsonValue::Object();
+  out.Set("name", info.name);
+  out.Set("dim", info.dim);
+  out.Set("count", info.count);
+  out.Set("k", info.default_k);
+  out.Set("nprobe", info.default_nprobe);
+  out.Set("max_nprobe", info.max_nprobe);
+  out.Set("shards", info.shards);
+  out.Set("layout", SearcherLayoutName(info.layout));
+  out.Set("pruner", PrunerKindName(info.pruner));
+  return out;
+}
+
+HttpResponse JsonResponse(int status, const JsonValue& body) {
+  HttpResponse response;
+  response.status = status;
+  response.body = WriteJson(body);
+  return response;
+}
+
+/// Reads an optional non-negative integer field; 0 when absent or null.
+Status ReadSizeField(const JsonValue& object, const char* key, size_t* out) {
+  *out = 0;
+  const JsonValue* field = object.Find(key);
+  if (field == nullptr || field->is_null()) return Status::OK();
+  if (!field->is_number()) {
+    return Status::InvalidArgument(std::string(key) + " must be a number");
+  }
+  const double value = field->AsNumber();
+  if (value < 0 || value != std::floor(value) || value > 9e15) {
+    return Status::InvalidArgument(std::string(key) +
+                                   " must be a non-negative integer");
+  }
+  *out = static_cast<size_t>(value);
+  return Status::OK();
+}
+
+/// Converts one JSON array of numbers into `dim` floats appended to `out`.
+Status AppendQueryVector(const JsonValue& array, size_t dim,
+                         std::vector<float>* out) {
+  if (!array.is_array()) {
+    return Status::InvalidArgument("query must be an array of numbers");
+  }
+  if (array.size() != dim) {
+    return Status::InvalidArgument(
+        "query has " + std::to_string(array.size()) + " dimensions, expected " +
+        std::to_string(dim));
+  }
+  for (const JsonValue& item : array.items()) {
+    if (!item.is_number()) {
+      return Status::InvalidArgument("query dimensions must be numbers");
+    }
+    const double value = item.AsNumber();
+    // The parser guarantees finite doubles, but the kernels run on floats:
+    // a finite 1e300 would still turn into +inf at the cast below. Clamp
+    // nothing — reject, so no non-finite value ever reaches a distance
+    // kernel through the wire.
+    if (value > std::numeric_limits<float>::max() ||
+        value < std::numeric_limits<float>::lowest()) {
+      return Status::InvalidArgument("vector value out of float range");
+    }
+    out->push_back(static_cast<float>(value));
+  }
+  return Status::OK();
+}
+
+/// Completion state shared by the N callbacks of one batched search:
+/// results land by index, the last arrival builds and sends the response.
+struct BatchState {
+  std::mutex mutex;
+  std::vector<QueryResult> results;
+  size_t remaining = 0;
+  HttpResponder respond;
+};
+
+}  // namespace
+
+HttpResponse MakeErrorResponse(const Status& status) {
+  JsonValue body = JsonValue::Object();
+  body.Set("error", status.message());
+  body.Set("status", StatusCodeName(status.code()));
+  HttpResponse response = JsonResponse(HttpStatusFromStatus(status), body);
+  if (status.IsResourceExhausted()) {
+    // Backpressure is explicitly retryable; tell the client when.
+    response.headers["Retry-After"] = "1";
+  }
+  return response;
+}
+
+void SearchHandler::Handle(HttpRequest request, HttpResponder respond) {
+  const std::string& path = request.path;
+  if (path == "/healthz") {
+    if (request.method != "GET") {
+      respond(MakeErrorResponse(Status::InvalidArgument("use GET /healthz")));
+      return;
+    }
+    HandleHealthz(std::move(respond));
+    return;
+  }
+  if (path == "/stats") {
+    if (request.method != "GET") {
+      respond(MakeErrorResponse(Status::InvalidArgument("use GET /stats")));
+      return;
+    }
+    HandleStats(std::move(respond));
+    return;
+  }
+  if (path == "/collections") {
+    if (request.method != "GET") {
+      respond(MakeErrorResponse(
+          Status::InvalidArgument("use GET /collections")));
+      return;
+    }
+    HandleListCollections(std::move(respond));
+    return;
+  }
+  const std::string prefix = "/collections/";
+  if (path.rfind(prefix, 0) == 0) {
+    std::string rest = path.substr(prefix.size());
+    const size_t slash = rest.find('/');
+    if (slash == std::string::npos) {
+      const std::string name = std::move(rest);
+      if (name.empty()) {
+        respond(MakeErrorResponse(
+            Status::InvalidArgument("collection name must be non-empty")));
+        return;
+      }
+      if (request.method == "PUT") {
+        HandlePut(name, request, std::move(respond));
+      } else if (request.method == "DELETE") {
+        HandleDelete(name, std::move(respond));
+      } else if (request.method == "GET") {
+        HandleGetCollection(name, std::move(respond));
+      } else {
+        respond(MakeErrorResponse(Status::InvalidArgument(
+            "use PUT/DELETE/GET on /collections/<name>")));
+      }
+      return;
+    }
+    const std::string name = rest.substr(0, slash);
+    const std::string action = rest.substr(slash + 1);
+    if (action == "search" && !name.empty()) {
+      if (request.method != "POST") {
+        respond(MakeErrorResponse(Status::InvalidArgument(
+            "use POST /collections/<name>/search")));
+        return;
+      }
+      HandleSearch(name, request, std::move(respond));
+      return;
+    }
+  }
+  respond(MakeErrorResponse(Status::NotFound("no route for " + path)));
+}
+
+void SearchHandler::HandleSearch(const std::string& collection,
+                                 const HttpRequest& request,
+                                 HttpResponder respond) {
+  Result<JsonValue> parsed = ParseJson(request.body);
+  if (!parsed.ok()) {
+    respond(MakeErrorResponse(parsed.status()));
+    return;
+  }
+  const JsonValue& body = parsed.value();
+  if (!body.is_object()) {
+    respond(MakeErrorResponse(
+        Status::InvalidArgument("search body must be a JSON object")));
+    return;
+  }
+
+  // Collection shape first: the query payload is validated against the
+  // hosted dimension BEFORE Submit copies dim floats from it (a short
+  // payload must be a 400, not an out-of-bounds read).
+  Result<CollectionInfo> info = service_.GetCollectionInfo(collection);
+  if (!info.ok()) {
+    respond(MakeErrorResponse(info.status()));
+    return;
+  }
+  const size_t dim = info.value().dim;
+
+  QueryOptions options;
+  size_t deadline_ms = 0;
+  Status knob = ReadSizeField(body, "k", &options.k);
+  if (knob.ok()) knob = ReadSizeField(body, "nprobe", &options.nprobe);
+  if (knob.ok()) knob = ReadSizeField(body, "deadline_ms", &deadline_ms);
+  if (!knob.ok()) {
+    respond(MakeErrorResponse(knob));
+    return;
+  }
+  options.timeout = std::chrono::milliseconds(deadline_ms);
+
+  const JsonValue* single = body.Find("query");
+  const JsonValue* batch = body.Find("queries");
+  if ((single == nullptr) == (batch == nullptr)) {
+    respond(MakeErrorResponse(Status::InvalidArgument(
+        "provide exactly one of \"query\" or \"queries\"")));
+    return;
+  }
+
+  if (single != nullptr) {
+    std::vector<float> query;
+    query.reserve(dim);
+    const Status converted = AppendQueryVector(*single, dim, &query);
+    if (!converted.ok()) {
+      respond(MakeErrorResponse(converted));
+      return;
+    }
+    const std::string name = collection;
+    // The service copies the query synchronously inside Submit, so the
+    // local buffer may die when this scope exits; the callback owns the
+    // responder and fires exactly once (SearchService's contract), from
+    // the dispatcher thread or inline on rejection.
+    service_.Submit(collection, query.data(), options,
+                    [respond, name](QueryResult result) {
+                      if (!result.status.ok()) {
+                        respond(MakeErrorResponse(result.status));
+                        return;
+                      }
+                      JsonValue out = QueryResultJson(result);
+                      out.Set("collection", name);
+                      respond(JsonResponse(200, out));
+                    });
+    return;
+  }
+
+  if (!batch->is_array() || batch->size() == 0) {
+    respond(MakeErrorResponse(Status::InvalidArgument(
+        "\"queries\" must be a non-empty array of query arrays")));
+    return;
+  }
+  const size_t num_queries = batch->size();
+  std::vector<float> queries;
+  queries.reserve(num_queries * dim);
+  for (const JsonValue& item : batch->items()) {
+    const Status converted = AppendQueryVector(item, dim, &queries);
+    if (!converted.ok()) {
+      respond(MakeErrorResponse(converted));
+      return;
+    }
+  }
+
+  auto state = std::make_shared<BatchState>();
+  state->results.resize(num_queries);
+  state->remaining = num_queries;
+  state->respond = std::move(respond);
+  const std::string name = collection;
+  for (size_t q = 0; q < num_queries; ++q) {
+    service_.Submit(
+        collection, queries.data() + q * dim, options,
+        [state, name, q](QueryResult result) {
+          JsonValue response_body;
+          {
+            std::lock_guard<std::mutex> lock(state->mutex);
+            state->results[q] = std::move(result);
+            if (--state->remaining != 0) return;
+            // Last arrival: assemble in submission order. HTTP status is
+            // 200 only when every query succeeded; a partial failure
+            // answers with the first failing query's mapping, body still
+            // carrying every per-query outcome.
+            response_body = JsonValue::Object();
+            response_body.Set("collection", name);
+            JsonValue results = JsonValue::Array();
+            for (const QueryResult& item : state->results) {
+              results.Append(QueryResultJson(item));
+            }
+            response_body.Set("results", std::move(results));
+          }
+          int http_status = 200;
+          for (const QueryResult& item : state->results) {
+            if (!item.status.ok()) {
+              http_status = HttpStatusFromStatus(item.status);
+              break;
+            }
+          }
+          HttpResponse response = JsonResponse(http_status, response_body);
+          if (http_status == 429) response.headers["Retry-After"] = "1";
+          state->respond(std::move(response));
+        });
+  }
+}
+
+void SearchHandler::HandlePut(const std::string& collection,
+                              const HttpRequest& request,
+                              HttpResponder respond) {
+  Result<JsonValue> parsed = ParseJson(request.body);
+  if (!parsed.ok()) {
+    respond(MakeErrorResponse(parsed.status()));
+    return;
+  }
+  const JsonValue& body = parsed.value();
+  if (!body.is_object()) {
+    respond(MakeErrorResponse(
+        Status::InvalidArgument("collection body must be a JSON object")));
+    return;
+  }
+  const JsonValue* vectors = body.Find("vectors");
+  if (vectors == nullptr || !vectors->is_array() || vectors->size() == 0) {
+    respond(MakeErrorResponse(Status::InvalidArgument(
+        "\"vectors\" must be a non-empty array of float arrays")));
+    return;
+  }
+  const size_t count = vectors->size();
+  const size_t dim = vectors->items().front().size();
+  if (dim == 0) {
+    respond(MakeErrorResponse(
+        Status::InvalidArgument("vectors must have at least one dimension")));
+    return;
+  }
+  std::vector<float> flat;
+  flat.reserve(count * dim);
+  for (const JsonValue& row : vectors->items()) {
+    const Status converted = AppendQueryVector(row, dim, &flat);
+    if (!converted.ok()) {
+      respond(MakeErrorResponse(converted));
+      return;
+    }
+  }
+
+  SearcherConfig config;
+  if (const JsonValue* layout = body.Find("layout"); layout != nullptr) {
+    if (!layout->is_string()) {
+      respond(MakeErrorResponse(
+          Status::InvalidArgument("layout must be \"flat\" or \"ivf\"")));
+      return;
+    }
+    const std::string& value = layout->AsString();
+    if (value == "flat") {
+      config.layout = SearcherLayout::kFlat;
+    } else if (value == "ivf") {
+      config.layout = SearcherLayout::kIvf;
+    } else {
+      respond(MakeErrorResponse(
+          Status::InvalidArgument("unknown layout: " + value)));
+      return;
+    }
+  }
+  if (const JsonValue* pruner = body.Find("pruner"); pruner != nullptr) {
+    if (!pruner->is_string()) {
+      respond(MakeErrorResponse(
+          Status::InvalidArgument("pruner must be a string")));
+      return;
+    }
+    const std::string& value = pruner->AsString();
+    if (value == "linear") {
+      config.pruner = PrunerKind::kLinear;
+    } else if (value == "adsampling") {
+      config.pruner = PrunerKind::kAdsampling;
+    } else if (value == "bsa") {
+      config.pruner = PrunerKind::kBsa;
+    } else if (value == "bond") {
+      config.pruner = PrunerKind::kBond;
+    } else {
+      respond(MakeErrorResponse(
+          Status::InvalidArgument("unknown pruner: " + value)));
+      return;
+    }
+  }
+  if (const JsonValue* metric = body.Find("metric"); metric != nullptr) {
+    if (!metric->is_string()) {
+      respond(MakeErrorResponse(
+          Status::InvalidArgument("metric must be a string")));
+      return;
+    }
+    const std::string& value = metric->AsString();
+    if (value == "l2") {
+      config.metric = Metric::kL2;
+    } else if (value == "ip") {
+      config.metric = Metric::kIp;
+    } else if (value == "l1") {
+      config.metric = Metric::kL1;
+    } else {
+      respond(MakeErrorResponse(
+          Status::InvalidArgument("unknown metric: " + value)));
+      return;
+    }
+  }
+  size_t value = 0;
+  Status knob = ReadSizeField(body, "k", &value);
+  if (knob.ok() && value > 0) config.k = value;
+  if (knob.ok()) knob = ReadSizeField(body, "nprobe", &value);
+  if (knob.ok() && value > 0) config.nprobe = value;
+  if (knob.ok()) knob = ReadSizeField(body, "block_capacity", &value);
+  if (knob.ok() && value > 0) config.block_capacity = value;
+  ShardingOptions sharding;
+  if (knob.ok()) knob = ReadSizeField(body, "shards", &value);
+  if (knob.ok() && value > 0) sharding.num_shards = value;
+  if (!knob.ok()) {
+    respond(MakeErrorResponse(knob));
+    return;
+  }
+  if (const JsonValue* assignment = body.Find("assignment");
+      assignment != nullptr) {
+    if (!assignment->is_string()) {
+      respond(MakeErrorResponse(
+          Status::InvalidArgument("assignment must be a string")));
+      return;
+    }
+    const std::string& mode = assignment->AsString();
+    if (mode == "contiguous") {
+      sharding.assignment = ShardAssignment::kContiguous;
+    } else if (mode == "round-robin" || mode == "round_robin") {
+      sharding.assignment = ShardAssignment::kRoundRobin;
+    } else {
+      respond(MakeErrorResponse(
+          Status::InvalidArgument("unknown assignment: " + mode)));
+      return;
+    }
+  }
+
+  // PUT replaces: an existing collection under the name is unhosted first
+  // (its queued queries complete with kCancelled -> the client sees 503).
+  // Safe to run on the connection thread — searchers copy the payload into
+  // their own PDX stores, so the VectorSet below can die at scope exit.
+  (void)service_.RemoveCollection(collection);
+  const VectorSet payload = VectorSet::FromRowMajor(flat.data(), count, dim);
+  const Status added =
+      sharding.num_shards > 1
+          ? service_.AddCollection(collection, payload, config, sharding)
+          : service_.AddCollection(collection, payload, config);
+  if (!added.ok()) {
+    respond(MakeErrorResponse(added));
+    return;
+  }
+  Result<CollectionInfo> info = service_.GetCollectionInfo(collection);
+  if (!info.ok()) {
+    // Raced with a concurrent DELETE — report what the service says now.
+    respond(MakeErrorResponse(info.status()));
+    return;
+  }
+  respond(JsonResponse(201, InfoJson(info.value())));
+}
+
+void SearchHandler::HandleDelete(const std::string& collection,
+                                 HttpResponder respond) {
+  const Status removed = service_.RemoveCollection(collection);
+  if (!removed.ok()) {
+    respond(MakeErrorResponse(removed));
+    return;
+  }
+  JsonValue body = JsonValue::Object();
+  body.Set("removed", collection);
+  respond(JsonResponse(200, body));
+}
+
+void SearchHandler::HandleGetCollection(const std::string& collection,
+                                        HttpResponder respond) {
+  Result<CollectionInfo> info = service_.GetCollectionInfo(collection);
+  if (!info.ok()) {
+    respond(MakeErrorResponse(info.status()));
+    return;
+  }
+  respond(JsonResponse(200, InfoJson(info.value())));
+}
+
+void SearchHandler::HandleListCollections(HttpResponder respond) {
+  JsonValue names = JsonValue::Array();
+  for (const std::string& name : service_.CollectionNames()) {
+    names.Append(name);
+  }
+  JsonValue body = JsonValue::Object();
+  body.Set("collections", std::move(names));
+  respond(JsonResponse(200, body));
+}
+
+void SearchHandler::HandleStats(HttpResponder respond) {
+  // ONE Stats() call builds the whole document. Stats() snapshots every
+  // counter under the service mutex in one critical section, so the
+  // response is internally consistent: the per-dispatcher dispatch counts
+  // sum exactly to the per-collection total. Composing the body from
+  // several service reads (queue_depth() here, Stats() there) would break
+  // that invariant under load — the regression test asserts it over the
+  // wire.
+  const ServiceStats stats = service_.Stats();
+  JsonValue body = JsonValue::Object();
+  body.Set("queue_depth", stats.queue_depth);
+  body.Set("pool_threads", stats.pool_threads);
+  JsonValue dispatchers = JsonValue::Array();
+  for (const DispatcherStats& ds : stats.dispatchers) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("dispatches", static_cast<size_t>(ds.dispatches));
+    entry.Set("busy_fraction", ds.busy_fraction);
+    dispatchers.Append(std::move(entry));
+  }
+  body.Set("dispatchers", std::move(dispatchers));
+  JsonValue collections = JsonValue::Object();
+  for (const auto& [name, cs] : stats.collections) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("admitted", cs.admitted);
+    entry.Set("completed", cs.completed);
+    entry.Set("rejected", cs.rejected);
+    entry.Set("expired", cs.expired);
+    entry.Set("cancelled", cs.cancelled);
+    entry.Set("dispatches", cs.dispatches);
+    entry.Set("shards", cs.shards);
+    JsonValue shard_dispatches = JsonValue::Array();
+    for (const uint64_t per_shard : cs.shard_dispatches) {
+      shard_dispatches.Append(static_cast<size_t>(per_shard));
+    }
+    entry.Set("shard_dispatches", std::move(shard_dispatches));
+    entry.Set("qps", cs.qps);
+    entry.Set("queue_wait", LatencyJson(cs.queue_wait));
+    entry.Set("latency", LatencyJson(cs.latency));
+    collections.Set(name, std::move(entry));
+  }
+  body.Set("collections", std::move(collections));
+  respond(JsonResponse(200, body));
+}
+
+void SearchHandler::HandleHealthz(HttpResponder respond) {
+  JsonValue body = JsonValue::Object();
+  body.Set("status", "ok");
+  body.Set("collections", service_.CollectionNames().size());
+  respond(JsonResponse(200, body));
+}
+
+}  // namespace pdx

@@ -1,0 +1,91 @@
+#ifndef PDX_NET_SEARCH_HANDLER_H_
+#define PDX_NET_SEARCH_HANDLER_H_
+
+#include <string>
+
+#include "net/http_server.h"
+#include "net/json.h"
+#include "serve/search_service.h"
+
+namespace pdx {
+
+/// Maps the REST surface onto a SearchService — the glue between
+/// HttpServer's transport and the serving layer:
+///
+///   POST   /collections/<name>/search  search (single or batched)
+///   PUT    /collections/<name>         build + host from a JSON payload
+///   DELETE /collections/<name>         unhost
+///   GET    /collections                hosted names
+///   GET    /collections/<name>         collection shape (dim, count, ...)
+///   GET    /stats                      one ServiceStats snapshot
+///   GET    /healthz                    liveness
+///
+/// Search requests ride SearchService::Submit's callback flavor: Handle
+/// returns the moment the query is admitted, and the HttpResponder fires
+/// from the service's dispatcher thread when the result is ready — the
+/// connection thread never blocks on a search. Control-plane requests
+/// (PUT builds an index) run synchronously on the connection thread.
+///
+/// Error mapping (HttpStatusFromStatus): kNotFound -> 404,
+/// kInvalidArgument -> 400, kResourceExhausted -> 429 + Retry-After,
+/// kDeadlineExceeded -> 504, kCancelled -> 503. Error bodies are
+/// {"error": <message>, "status": <StatusCodeName>}.
+///
+/// Search request body:
+///   {"query": [f, ...]}          one query, or
+///   {"queries": [[f, ...], ...]} a batch;
+///   plus optional "k", "nprobe" (0/absent = collection default) and
+///   "deadline_ms" (admission-relative deadline; late queries are shed
+///   with 504). Batched responses carry one entry per query in order; the
+///   HTTP status is 200 when every query succeeded, else the mapping of
+///   the first failure.
+///
+/// PUT body: {"vectors": [[f, ...], ...], "layout": "flat"|"ivf",
+/// "pruner": "linear"|"adsampling"|"bsa"|"bond", "metric": "l2"|"ip"|"l1",
+/// "k": n, "nprobe": n, "shards": n, "assignment":
+/// "contiguous"|"round-robin", "block_capacity": n}. Everything but
+/// "vectors" is optional. PUT to an existing name replaces it (queries
+/// queued for the old collection complete with 503).
+///
+/// Thread safety: Handle may run on any number of connection threads
+/// concurrently (the service is the synchronization point). The handler
+/// must outlive the HttpServer it is registered with.
+class SearchHandler {
+ public:
+  explicit SearchHandler(SearchService& service) : service_(service) {}
+
+  SearchHandler(const SearchHandler&) = delete;
+  SearchHandler& operator=(const SearchHandler&) = delete;
+
+  /// The HttpHandler entry point (bind via AsHttpHandler).
+  void Handle(HttpRequest request, HttpResponder respond);
+
+  /// Adapter for HttpServer::Start. The returned callable references this
+  /// handler; stop the server before destroying the handler.
+  HttpHandler AsHttpHandler() {
+    return [this](HttpRequest request, HttpResponder respond) {
+      Handle(std::move(request), std::move(respond));
+    };
+  }
+
+ private:
+  void HandleSearch(const std::string& collection, const HttpRequest& request,
+                    HttpResponder respond);
+  void HandlePut(const std::string& collection, const HttpRequest& request,
+                 HttpResponder respond);
+  void HandleDelete(const std::string& collection, HttpResponder respond);
+  void HandleGetCollection(const std::string& collection,
+                           HttpResponder respond);
+  void HandleListCollections(HttpResponder respond);
+  void HandleStats(HttpResponder respond);
+  void HandleHealthz(HttpResponder respond);
+
+  SearchService& service_;
+};
+
+/// The error-body shape every endpoint shares; exposed for tests.
+HttpResponse MakeErrorResponse(const Status& status);
+
+}  // namespace pdx
+
+#endif  // PDX_NET_SEARCH_HANDLER_H_

@@ -1,0 +1,59 @@
+#ifndef PDX_NET_WIRE_UTIL_H_
+#define PDX_NET_WIRE_UTIL_H_
+
+// Internal helpers shared by the net/ transport files (server and client
+// speak the same byte-level dialect; one copy keeps EINTR/SIGPIPE
+// semantics from diverging). Not part of the public wire API.
+
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstddef>
+#include <string>
+
+namespace pdx {
+namespace net_internal {
+
+inline std::string ToLower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+inline std::string Trim(const std::string& s) {
+  size_t begin = 0;
+  size_t end = s.size();
+  while (begin < end && (s[begin] == ' ' || s[begin] == '\t')) ++begin;
+  while (end > begin && (s[end - 1] == ' ' || s[end - 1] == '\t')) --end;
+  return s.substr(begin, end - begin);
+}
+
+/// Writes the whole buffer, riding out EINTR and partial sends.
+/// MSG_NOSIGNAL: a peer that hung up must surface as an error return, not
+/// a process-killing SIGPIPE on the caller's thread. Any other errno —
+/// including EAGAIN from an SO_SNDTIMEO-bounded socket whose peer stopped
+/// reading — fails the send (the caller closes the connection).
+inline bool SendAll(int fd, const char* data, size_t size) {
+  size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+inline bool SendAll(int fd, const std::string& data) {
+  return SendAll(fd, data.data(), data.size());
+}
+
+}  // namespace net_internal
+}  // namespace pdx
+
+#endif  // PDX_NET_WIRE_UTIL_H_

@@ -47,6 +47,9 @@ struct SearchService::Collection {
   size_t default_nprobe = 1;
   size_t max_k = 1;
   size_t max_nprobe = 1;
+  size_t dim = 0;    ///< Query vector length; the wire layer validates this.
+  size_t count = 0;  ///< Vectors hosted (collections are static once built).
+  PrunerKind pruner = PrunerKind::kBond;
   /// Captured at AddCollection time: the batch key ignores nprobe on kFlat
   /// (the search ignores it there, so keying on it would only fragment
   /// coalescable batches).
@@ -156,6 +159,9 @@ Status SearchService::Adopt(const std::string& name,
   collection->max_k = std::max<size_t>(1, searcher->count());
   collection->max_nprobe = std::max<size_t>(1, searcher->max_nprobe());
   collection->layout = searcher->options().layout;
+  collection->dim = searcher->dim();
+  collection->count = searcher->count();
+  collection->pruner = searcher->options().pruner;
   collection->queue_wait = LatencyRecorder(config_.latency_window);
   collection->latency = LatencyRecorder(config_.latency_window);
   collection->done_ring_capacity = config_.latency_window;
@@ -240,6 +246,28 @@ std::vector<std::string> SearchService::CollectionNames() const {
   names.reserve(collections_.size());
   for (const auto& [name, collection] : collections_) names.push_back(name);
   return names;
+}
+
+Result<CollectionInfo> SearchService::GetCollectionInfo(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = collections_.find(name);
+  if (it == collections_.end()) {
+    return Status::NotFound("no collection named " + name);
+  }
+  const Collection& host = *it->second;
+  CollectionInfo info;
+  info.name = name;
+  info.dim = host.dim;
+  info.count = host.count;
+  info.default_k = host.default_k;
+  info.default_nprobe = host.default_nprobe;
+  info.max_nprobe = host.max_nprobe;
+  // num_shards() reads a constant, safe against concurrent dispatch.
+  info.shards = host.searcher->num_shards();
+  info.layout = host.layout;
+  info.pruner = host.pruner;
+  return info;
 }
 
 QueryTicket SearchService::Submit(const std::string& collection,

@@ -53,6 +53,21 @@ struct ServiceConfig {
   std::chrono::milliseconds qps_window{10'000};
 };
 
+/// Shape of one hosted collection, as captured at AddCollection time plus
+/// the live count: what a wire front end needs to validate and describe
+/// requests without touching the searcher itself.
+struct CollectionInfo {
+  std::string name;
+  size_t dim = 0;
+  size_t count = 0;
+  size_t default_k = 0;
+  size_t default_nprobe = 0;
+  size_t max_nprobe = 0;
+  size_t shards = 1;
+  SearcherLayout layout = SearcherLayout::kFlat;
+  PrunerKind pruner = PrunerKind::kBond;
+};
+
 /// An async serving shell over the Searcher facade: hosts multiple named
 /// collections, multiplexes every client over ONE shared ThreadPool, and
 /// answers Submit with a future (or callback) instead of blocking the
@@ -126,6 +141,12 @@ class SearchService {
 
   /// Names of the hosted collections, sorted.
   std::vector<std::string> CollectionNames() const;
+
+  /// Shape of the hosted collection `name` (dimension, size, knob defaults
+  /// and ceilings) — what the HTTP front end validates query payloads
+  /// against before Submit copies dim() floats from them. NotFound when
+  /// the name is not hosted.
+  Result<CollectionInfo> GetCollectionInfo(const std::string& name) const;
 
   /// Submits `query` (collection-dim floats, copied — the pointer need not
   /// outlive the call) against `collection`. Never blocks on the search:

@@ -109,5 +109,30 @@ TEST(StatusTest, ReturnIfErrorPassesOk) {
   EXPECT_TRUE(PropagatesOk().IsInvalidArgument());
 }
 
+TEST(StatusTest, CodeNamesRoundTripEveryCode) {
+  // The wire form: a Status transported as {name, message} must
+  // reconstitute to the same code on the far side, for every code.
+  for (Status::Code code :
+       {Status::Code::kOk, Status::Code::kInvalidArgument,
+        Status::Code::kIoError, Status::Code::kNotFound,
+        Status::Code::kCorruption, Status::Code::kUnsupported,
+        Status::Code::kResourceExhausted, Status::Code::kDeadlineExceeded,
+        Status::Code::kCancelled, Status::Code::kInternal}) {
+    EXPECT_EQ(StatusCodeFromName(StatusCodeName(code)), code);
+    const Status rebuilt = Status::FromCode(code, "carried message");
+    EXPECT_EQ(rebuilt.code(), code);
+    if (code == Status::Code::kOk) {
+      // OK carries no message by construction.
+      EXPECT_TRUE(rebuilt.ok());
+      EXPECT_TRUE(rebuilt.message().empty());
+    } else {
+      EXPECT_EQ(rebuilt.message(), "carried message");
+    }
+  }
+  // A name from a newer peer's vocabulary must stay a failure.
+  EXPECT_EQ(StatusCodeFromName("SomeFutureCode"), Status::Code::kInternal);
+  EXPECT_EQ(StatusCodeFromName(""), Status::Code::kInternal);
+}
+
 }  // namespace
 }  // namespace pdx

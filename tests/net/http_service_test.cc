@@ -1,0 +1,680 @@
+// End-to-end wire tests: a real HttpServer on an ephemeral loopback port,
+// a real socket client, and the full stack underneath — SearchHandler ->
+// SearchService -> Searcher. Covers add/search/stats/remove round trips,
+// exact parity of wire results vs in-process Searcher::Search, and every
+// Status -> HTTP error mapping (404 unknown collection, 400 bad JSON,
+// 413 oversized body, 429 queue full, 504 expired deadline).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "benchlib/datagen.h"
+#include "core/sharded_searcher.h"
+#include "net/http_client.h"
+#include "net/http_server.h"
+#include "net/json.h"
+#include "net/search_handler.h"
+#include "serve/search_service.h"
+
+namespace pdx {
+namespace {
+
+using namespace std::chrono_literals;
+
+Dataset MakeData(size_t dim = 16, uint64_t seed = 77, size_t count = 1500,
+                 size_t num_queries = 8) {
+  SyntheticSpec spec;
+  spec.name = "net-test";
+  spec.dim = dim;
+  spec.count = count;
+  spec.num_queries = num_queries;
+  spec.num_clusters = 8;
+  spec.seed = seed;
+  spec.distribution = ValueDistribution::kNormal;
+  return GenerateDataset(spec);
+}
+
+/// The whole wire stack for one test: service + handler + server, torn
+/// down in the safe order (server first — responders reference the
+/// handler's service).
+struct WireStack {
+  explicit WireStack(ServiceConfig service_config = {},
+                     HttpServerConfig server_config = {})
+      : service(service_config), handler(service), server(server_config) {
+    Status started = server.Start(handler.AsHttpHandler());
+    EXPECT_TRUE(started.ok()) << started.ToString();
+  }
+  ~WireStack() { server.Stop(); }
+
+  HttpClient NewClient() {
+    HttpClient client;
+    Status connected = client.Connect("127.0.0.1", server.port());
+    EXPECT_TRUE(connected.ok()) << connected.ToString();
+    return client;
+  }
+
+  SearchService service;
+  SearchHandler handler;
+  HttpServer server;
+};
+
+/// Serializes `vectors` as the PUT payload's "vectors" array.
+JsonValue VectorsJson(const VectorSet& vectors) {
+  JsonValue rows = JsonValue::Array();
+  for (size_t i = 0; i < vectors.count(); ++i) {
+    JsonValue row = JsonValue::Array();
+    const float* v = vectors.Vector(static_cast<VectorId>(i));
+    for (size_t d = 0; d < vectors.dim(); ++d) {
+      row.Append(static_cast<double>(v[d]));
+    }
+    rows.Append(std::move(row));
+  }
+  return rows;
+}
+
+JsonValue QueryJson(const float* query, size_t dim) {
+  JsonValue out = JsonValue::Array();
+  for (size_t d = 0; d < dim; ++d) out.Append(static_cast<double>(query[d]));
+  return out;
+}
+
+JsonValue MustParseBody(const HttpResponse& response) {
+  Result<JsonValue> parsed = ParseJson(response.body);
+  EXPECT_TRUE(parsed.ok()) << response.body;
+  return parsed.ok() ? std::move(parsed).value() : JsonValue();
+}
+
+/// Client-side reconstitution of a transported failure: error bodies are
+/// {"error", "status"}, and StatusCodeFromName + Status::FromCode rebuild
+/// the Status a server-side caller would have seen.
+Status WireStatus(const HttpResponse& response) {
+  const JsonValue body = MustParseBody(response);
+  const JsonValue* code = body.Find("status");
+  const JsonValue* error = body.Find("error");
+  return Status::FromCode(
+      StatusCodeFromName(code != nullptr ? code->AsString() : ""),
+      error != nullptr && error->is_string() ? error->AsString() : "");
+}
+
+/// Asserts the wire "neighbors" array is exactly `expected` — id for id,
+/// distance for distance (the JSON number round trip is float-exact).
+void ExpectWireNeighbors(const JsonValue& neighbors,
+                         const std::vector<Neighbor>& expected,
+                         const std::string& label) {
+  ASSERT_TRUE(neighbors.is_array()) << label;
+  ASSERT_EQ(neighbors.size(), expected.size()) << label;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    const JsonValue& hit = neighbors.items()[i];
+    ASSERT_TRUE(hit.is_object()) << label;
+    EXPECT_EQ(static_cast<VectorId>(hit.Find("id")->AsNumber()),
+              expected[i].id)
+        << label << " rank " << i;
+    EXPECT_EQ(static_cast<float>(hit.Find("distance")->AsNumber()),
+              expected[i].distance)
+        << label << " rank " << i;
+  }
+}
+
+// --- Add / search / stats / remove over real sockets ------------------------
+
+TEST(HttpServiceTest, WireLifecycleWithExactSearchParity) {
+  Dataset data = MakeData();
+  WireStack stack;
+  HttpClient client = stack.NewClient();
+
+  // PUT: build an IVF/bond collection from a row-major float payload.
+  JsonValue put = JsonValue::Object();
+  put.Set("vectors", VectorsJson(data.data));
+  put.Set("layout", "ivf");
+  put.Set("pruner", "bond");
+  put.Set("k", static_cast<size_t>(10));
+  put.Set("nprobe", static_cast<size_t>(4));
+  Result<HttpResponse> created =
+      client.Roundtrip("PUT", "/collections/demo", WriteJson(put));
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  ASSERT_EQ(created.value().status, 201) << created.value().body;
+  {
+    const JsonValue info = MustParseBody(created.value());
+    EXPECT_EQ(info.Find("name")->AsString(), "demo");
+    EXPECT_EQ(info.Find("dim")->AsNumber(), data.data.dim());
+    EXPECT_EQ(info.Find("count")->AsNumber(), data.data.count());
+    EXPECT_EQ(info.Find("layout")->AsString(), "ivf");
+    EXPECT_EQ(info.Find("pruner")->AsString(), "bond");
+  }
+
+  // The in-process reference: the same floats (the JSON round trip is
+  // float-exact: float -> shortest double decimal -> float is identity),
+  // the same config — but its own index build. IVF build is seeded and
+  // deterministic over identical input, so parity is exact.
+  SearcherConfig reference_config;
+  reference_config.layout = SearcherLayout::kIvf;
+  reference_config.pruner = PrunerKind::kBond;
+  reference_config.k = 10;
+  reference_config.nprobe = 4;
+  auto reference = MakeSearcher(data.data, reference_config);
+  ASSERT_TRUE(reference.ok());
+
+  // Single-query searches: wire results must be the in-process results.
+  for (size_t q = 0; q < data.queries.count(); ++q) {
+    JsonValue request = JsonValue::Object();
+    request.Set("query",
+                QueryJson(data.queries.Vector(static_cast<VectorId>(q)),
+                          data.queries.dim()));
+    Result<HttpResponse> response = client.Roundtrip(
+        "POST", "/collections/demo/search", WriteJson(request));
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    ASSERT_EQ(response.value().status, 200) << response.value().body;
+    const JsonValue body = MustParseBody(response.value());
+    EXPECT_EQ(body.Find("collection")->AsString(), "demo");
+    EXPECT_EQ(body.Find("status")->AsString(), "OK");
+    EXPECT_GE(body.Find("total_ms")->AsNumber(), 0.0);
+    ExpectWireNeighbors(
+        *body.Find("neighbors"),
+        reference.value()->Search(data.queries.Vector(static_cast<VectorId>(q))),
+        "query " + std::to_string(q));
+  }
+
+  // Batched search: one POST, per-query results in order.
+  {
+    JsonValue request = JsonValue::Object();
+    JsonValue queries = JsonValue::Array();
+    for (size_t q = 0; q < data.queries.count(); ++q) {
+      queries.Append(QueryJson(data.queries.Vector(static_cast<VectorId>(q)),
+                               data.queries.dim()));
+    }
+    request.Set("queries", std::move(queries));
+    Result<HttpResponse> response = client.Roundtrip(
+        "POST", "/collections/demo/search", WriteJson(request));
+    ASSERT_TRUE(response.ok());
+    ASSERT_EQ(response.value().status, 200) << response.value().body;
+    const JsonValue body = MustParseBody(response.value());
+    const JsonValue* results = body.Find("results");
+    ASSERT_NE(results, nullptr);
+    ASSERT_EQ(results->size(), data.queries.count());
+    for (size_t q = 0; q < data.queries.count(); ++q) {
+      const JsonValue& item = results->items()[q];
+      EXPECT_EQ(item.Find("status")->AsString(), "OK");
+      ExpectWireNeighbors(
+          *item.Find("neighbors"),
+          reference.value()->Search(
+              data.queries.Vector(static_cast<VectorId>(q))),
+          "batched query " + std::to_string(q));
+    }
+  }
+
+  // GET /collections and /collections/demo.
+  {
+    Result<HttpResponse> list = client.Roundtrip("GET", "/collections");
+    ASSERT_TRUE(list.ok());
+    EXPECT_EQ(list.value().status, 200);
+    const JsonValue body = MustParseBody(list.value());
+    ASSERT_EQ(body.Find("collections")->size(), 1u);
+    EXPECT_EQ(body.Find("collections")->items()[0].AsString(), "demo");
+
+    Result<HttpResponse> info = client.Roundtrip("GET", "/collections/demo");
+    ASSERT_TRUE(info.ok());
+    EXPECT_EQ(info.value().status, 200);
+    EXPECT_EQ(MustParseBody(info.value()).Find("max_nprobe")->AsNumber(),
+              reference.value()->max_nprobe());
+  }
+
+  // GET /stats reflects the served traffic.
+  {
+    Result<HttpResponse> stats = client.Roundtrip("GET", "/stats");
+    ASSERT_TRUE(stats.ok());
+    ASSERT_EQ(stats.value().status, 200);
+    const JsonValue body = MustParseBody(stats.value());
+    const JsonValue* demo = body.Find("collections")->Find("demo");
+    ASSERT_NE(demo, nullptr);
+    // Every wire query completed: 8 single + 8 batched.
+    EXPECT_EQ(demo->Find("completed")->AsNumber(),
+              2.0 * static_cast<double>(data.queries.count()));
+    EXPECT_EQ(demo->Find("rejected")->AsNumber(), 0.0);
+    EXPECT_GE(demo->Find("dispatches")->AsNumber(), 1.0);
+    EXPECT_EQ(body.Find("pool_threads")->AsNumber(),
+              stack.service.pool_threads());
+  }
+
+  // GET /healthz.
+  {
+    Result<HttpResponse> health = client.Roundtrip("GET", "/healthz");
+    ASSERT_TRUE(health.ok());
+    EXPECT_EQ(health.value().status, 200);
+    EXPECT_EQ(MustParseBody(health.value()).Find("status")->AsString(), "ok");
+  }
+
+  // DELETE, then the collection is gone — over the wire and in process.
+  {
+    Result<HttpResponse> removed =
+        client.Roundtrip("DELETE", "/collections/demo");
+    ASSERT_TRUE(removed.ok());
+    EXPECT_EQ(removed.value().status, 200);
+    Result<HttpResponse> missing =
+        client.Roundtrip("DELETE", "/collections/demo");
+    ASSERT_TRUE(missing.ok());
+    EXPECT_EQ(missing.value().status, 404);
+    EXPECT_TRUE(stack.service.CollectionNames().empty());
+  }
+}
+
+TEST(HttpServiceTest, PerRequestKnobOverridesApply) {
+  Dataset data = MakeData();
+  WireStack stack;
+  SearcherConfig config;
+  config.layout = SearcherLayout::kIvf;
+  config.pruner = PrunerKind::kBond;
+  config.nprobe = 4;
+  ASSERT_TRUE(stack.service.AddCollection("ivf", data.data, config).ok());
+  HttpClient client = stack.NewClient();
+
+  JsonValue request = JsonValue::Object();
+  request.Set("query", QueryJson(data.queries.Vector(0), data.queries.dim()));
+  request.Set("k", static_cast<size_t>(3));
+  request.Set("nprobe", static_cast<size_t>(8));
+  Result<HttpResponse> response = client.Roundtrip(
+      "POST", "/collections/ivf/search", WriteJson(request));
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response.value().status, 200) << response.value().body;
+
+  auto reference = MakeSearcher(data.data, config);
+  ASSERT_TRUE(reference.ok());
+  reference.value()->set_k(3);
+  reference.value()->set_nprobe(8);
+  ExpectWireNeighbors(*MustParseBody(response.value()).Find("neighbors"),
+                      reference.value()->Search(data.queries.Vector(0)),
+                      "k=3 nprobe=8");
+}
+
+TEST(HttpServiceTest, ShardedCollectionOverTheWire) {
+  Dataset data = MakeData(16, 79, 2000, 4);
+  WireStack stack;
+  HttpClient client = stack.NewClient();
+
+  JsonValue put = JsonValue::Object();
+  put.Set("vectors", VectorsJson(data.data));
+  put.Set("layout", "flat");
+  put.Set("pruner", "bond");
+  put.Set("shards", static_cast<size_t>(3));
+  put.Set("assignment", "round-robin");
+  Result<HttpResponse> created =
+      client.Roundtrip("PUT", "/collections/sharded", WriteJson(put));
+  ASSERT_TRUE(created.ok());
+  ASSERT_EQ(created.value().status, 201) << created.value().body;
+  EXPECT_EQ(MustParseBody(created.value()).Find("shards")->AsNumber(), 3.0);
+
+  // Wire-vs-in-process parity: the reference is the SAME sharded build
+  // (shard slices change block boundaries, so distances can differ from an
+  // unsharded searcher by a few ULPs — sharded-vs-unsharded equivalence is
+  // core_sharded_searcher_test's business, not the wire's).
+  SearcherConfig config;  // Defaults: flat / bond / k=10.
+  ShardingOptions reference_sharding;
+  reference_sharding.num_shards = 3;
+  reference_sharding.assignment = ShardAssignment::kRoundRobin;
+  auto reference = MakeShardedSearcher(data.data, config, reference_sharding);
+  ASSERT_TRUE(reference.ok());
+  for (size_t q = 0; q < data.queries.count(); ++q) {
+    JsonValue request = JsonValue::Object();
+    request.Set("query",
+                QueryJson(data.queries.Vector(static_cast<VectorId>(q)),
+                          data.queries.dim()));
+    Result<HttpResponse> response = client.Roundtrip(
+        "POST", "/collections/sharded/search", WriteJson(request));
+    ASSERT_TRUE(response.ok());
+    ASSERT_EQ(response.value().status, 200) << response.value().body;
+    // Exact scatter-gather parity, served over a socket.
+    ExpectWireNeighbors(
+        *MustParseBody(response.value()).Find("neighbors"),
+        reference.value()->Search(data.queries.Vector(static_cast<VectorId>(q))),
+        "sharded query " + std::to_string(q));
+  }
+
+  // Per-shard dispatch counters ride /stats.
+  Result<HttpResponse> stats = client.Roundtrip("GET", "/stats");
+  ASSERT_TRUE(stats.ok());
+  const JsonValue stats_body = MustParseBody(stats.value());
+  const JsonValue* entry = stats_body.Find("collections")->Find("sharded");
+  ASSERT_NE(entry, nullptr);
+  ASSERT_EQ(entry->Find("shard_dispatches")->size(), 3u);
+  for (const JsonValue& per_shard : entry->Find("shard_dispatches")->items()) {
+    EXPECT_EQ(per_shard.AsNumber(),
+              static_cast<double>(data.queries.count()));
+  }
+}
+
+// --- Error mappings over real sockets ---------------------------------------
+
+TEST(HttpServiceTest, UnknownCollectionMapsTo404) {
+  WireStack stack;
+  HttpClient client = stack.NewClient();
+  JsonValue request = JsonValue::Object();
+  JsonValue query = JsonValue::Array();
+  query.Append(1.0);
+  request.Set("query", std::move(query));
+  Result<HttpResponse> response = client.Roundtrip(
+      "POST", "/collections/ghost/search", WriteJson(request));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value().status, 404);
+  const Status reconstituted = WireStatus(response.value());
+  EXPECT_TRUE(reconstituted.IsNotFound()) << reconstituted.ToString();
+  EXPECT_EQ(reconstituted.message(), "no collection named ghost");
+  // Unknown routes are 404 too.
+  Result<HttpResponse> route = client.Roundtrip("GET", "/nonsense");
+  ASSERT_TRUE(route.ok());
+  EXPECT_EQ(route.value().status, 404);
+}
+
+TEST(HttpServiceTest, BadJsonAndBadQueriesMapTo400) {
+  Dataset data = MakeData();
+  WireStack stack;
+  SearcherConfig config;
+  ASSERT_TRUE(stack.service.AddCollection("flat", data.data, config).ok());
+  HttpClient client = stack.NewClient();
+
+  // Malformed JSON.
+  Result<HttpResponse> bad_json = client.Roundtrip(
+      "POST", "/collections/flat/search", "{\"query\": [1, 2,");
+  ASSERT_TRUE(bad_json.ok());
+  EXPECT_EQ(bad_json.value().status, 400);
+  EXPECT_EQ(MustParseBody(bad_json.value()).Find("status")->AsString(),
+            "InvalidArgument");
+
+  // Valid JSON, wrong shape: dimension mismatch must be a 400, never an
+  // out-of-bounds read of the short payload.
+  Result<HttpResponse> short_query = client.Roundtrip(
+      "POST", "/collections/flat/search", "{\"query\": [1.0, 2.0]}");
+  ASSERT_TRUE(short_query.ok());
+  EXPECT_EQ(short_query.value().status, 400);
+
+  // NaN cannot enter through the wire.
+  Result<HttpResponse> nan_query = client.Roundtrip(
+      "POST", "/collections/flat/search", "{\"query\": [NaN]}");
+  ASSERT_TRUE(nan_query.ok());
+  EXPECT_EQ(nan_query.value().status, 400);
+
+  // Nor can a finite double that would overflow to float infinity at the
+  // kernel boundary (1e300 parses fine as a double).
+  std::string big_query = "{\"query\": [1e300";
+  for (size_t d = 1; d < data.data.dim(); ++d) big_query += ", 0";
+  big_query += "]}";
+  Result<HttpResponse> overflow_query =
+      client.Roundtrip("POST", "/collections/flat/search", big_query);
+  ASSERT_TRUE(overflow_query.ok());
+  EXPECT_EQ(overflow_query.value().status, 400);
+  EXPECT_TRUE(WireStatus(overflow_query.value()).IsInvalidArgument());
+
+  // Neither "query" nor "queries".
+  Result<HttpResponse> no_query =
+      client.Roundtrip("POST", "/collections/flat/search", "{}");
+  ASSERT_TRUE(no_query.ok());
+  EXPECT_EQ(no_query.value().status, 400);
+
+  // Wrong method on a search route.
+  Result<HttpResponse> wrong_method =
+      client.Roundtrip("GET", "/collections/flat/search");
+  ASSERT_TRUE(wrong_method.ok());
+  EXPECT_EQ(wrong_method.value().status, 400);
+}
+
+TEST(HttpServiceTest, OversizedBodyMapsTo413) {
+  HttpServerConfig server_config;
+  server_config.max_body_bytes = 1024;
+  WireStack stack({}, server_config);
+  HttpClient client = stack.NewClient();
+  const std::string big(4096, 'x');
+  Result<HttpResponse> response =
+      client.Roundtrip("POST", "/collections/any/search", big);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value().status, 413);
+}
+
+TEST(HttpServiceTest, QueueFullMapsTo429WithRetryAfter) {
+  Dataset data = MakeData();
+  ServiceConfig service_config;
+  service_config.max_pending = 2;
+  WireStack stack(service_config);
+  SearcherConfig config;
+  ASSERT_TRUE(stack.service.AddCollection("flat", data.data, config).ok());
+
+  // Deterministic backpressure: pause dispatch, fill the whole admission
+  // queue with pipelined wire queries, then one more must bounce.
+  stack.service.Pause();
+  HttpClient filler = stack.NewClient();
+  JsonValue request = JsonValue::Object();
+  request.Set("query", QueryJson(data.queries.Vector(0), data.queries.dim()));
+  const std::string body = WriteJson(request);
+  ASSERT_TRUE(filler.SendRequest("POST", "/collections/flat/search", body).ok());
+  ASSERT_TRUE(filler.SendRequest("POST", "/collections/flat/search", body).ok());
+  // Admission happens on the connection thread; wait until both queued.
+  for (int i = 0; i < 1000 && stack.service.queue_depth() < 2; ++i) {
+    std::this_thread::sleep_for(1ms);
+  }
+  ASSERT_EQ(stack.service.queue_depth(), 2u);
+
+  HttpClient overflow = stack.NewClient();
+  Result<HttpResponse> rejected =
+      overflow.Roundtrip("POST", "/collections/flat/search", body);
+  ASSERT_TRUE(rejected.ok()) << rejected.status().ToString();
+  EXPECT_EQ(rejected.value().status, 429);
+  EXPECT_TRUE(WireStatus(rejected.value()).IsResourceExhausted())
+      << rejected.value().body;
+  // Backpressure is retryable and says when.
+  ASSERT_EQ(rejected.value().headers.count("retry-after"), 1u);
+  EXPECT_EQ(rejected.value().headers.at("retry-after"), "1");
+
+  // Drain: the held queries complete once dispatch resumes.
+  stack.service.Resume();
+  for (int i = 0; i < 2; ++i) {
+    Result<HttpResponse> held = filler.ReadResponse();
+    ASSERT_TRUE(held.ok()) << held.status().ToString();
+    EXPECT_EQ(held.value().status, 200);
+  }
+}
+
+TEST(HttpServiceTest, ExpiredDeadlineMapsTo504) {
+  Dataset data = MakeData();
+  WireStack stack;
+  SearcherConfig config;
+  ASSERT_TRUE(stack.service.AddCollection("flat", data.data, config).ok());
+
+  // Paused service: the query's deadline passes in the queue, the sweep
+  // sheds it (even while paused), and the wire answer is 504 — without a
+  // Resume() ever happening.
+  stack.service.Pause();
+  HttpClient client = stack.NewClient();
+  JsonValue request = JsonValue::Object();
+  request.Set("query", QueryJson(data.queries.Vector(0), data.queries.dim()));
+  request.Set("deadline_ms", static_cast<size_t>(5));
+  Result<HttpResponse> response = client.Roundtrip(
+      "POST", "/collections/flat/search", WriteJson(request));
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response.value().status, 504);
+  EXPECT_TRUE(WireStatus(response.value()).IsDeadlineExceeded())
+      << response.value().body;
+  stack.service.Resume();
+}
+
+TEST(HttpServiceTest, MalformedHttpIsAnswered400AndClosed) {
+  WireStack stack;
+  {
+    HttpClient client = stack.NewClient();
+    ASSERT_TRUE(client.SendRaw("THIS IS NOT HTTP\r\n\r\n").ok());
+    Result<HttpResponse> response = client.ReadResponse();
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_EQ(response.value().status, 400);
+    // After a framing error the byte stream is garbage; the server closes.
+    Result<HttpResponse> after = client.ReadResponse();
+    EXPECT_FALSE(after.ok());
+  }
+  {
+    // An unsupported version string is a 400 as well.
+    HttpClient client = stack.NewClient();
+    ASSERT_TRUE(client.SendRaw("GET /healthz HTTP/2.0\r\n\r\n").ok());
+    Result<HttpResponse> response = client.ReadResponse();
+    ASSERT_TRUE(response.ok());
+    EXPECT_EQ(response.value().status, 400);
+  }
+  {
+    // Chunked bodies are out of the supported subset: 501, explicitly.
+    HttpClient client = stack.NewClient();
+    ASSERT_TRUE(client
+                    .SendRaw("POST /collections/x/search HTTP/1.1\r\n"
+                             "Transfer-Encoding: chunked\r\n\r\n")
+                    .ok());
+    Result<HttpResponse> response = client.ReadResponse();
+    ASSERT_TRUE(response.ok());
+    EXPECT_EQ(response.value().status, 501);
+  }
+  // The server survives all of it.
+  HttpClient client = stack.NewClient();
+  Result<HttpResponse> health = client.Roundtrip("GET", "/healthz");
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health.value().status, 200);
+}
+
+// --- Pipelining -------------------------------------------------------------
+
+TEST(HttpServiceTest, PipelinedResponsesArriveInRequestOrder) {
+  Dataset data = MakeData();
+  WireStack stack;
+  SearcherConfig config;
+  ASSERT_TRUE(stack.service.AddCollection("flat", data.data, config).ok());
+  auto reference = MakeSearcher(data.data, config);
+  ASSERT_TRUE(reference.ok());
+
+  HttpClient client = stack.NewClient();
+  // Distinct k per request: response i must carry exactly i+1 neighbors,
+  // so any reordering is visible.
+  constexpr size_t kPipelined = 6;
+  for (size_t i = 0; i < kPipelined; ++i) {
+    JsonValue request = JsonValue::Object();
+    request.Set("query",
+                QueryJson(data.queries.Vector(0), data.queries.dim()));
+    request.Set("k", i + 1);
+    ASSERT_TRUE(client
+                    .SendRequest("POST", "/collections/flat/search",
+                                 WriteJson(request))
+                    .ok());
+  }
+  EXPECT_EQ(client.inflight(), kPipelined);
+  for (size_t i = 0; i < kPipelined; ++i) {
+    Result<HttpResponse> response = client.ReadResponse();
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    ASSERT_EQ(response.value().status, 200);
+    const JsonValue body = MustParseBody(response.value());
+    EXPECT_EQ(body.Find("neighbors")->size(), i + 1)
+        << "pipelined response " << i << " out of order";
+  }
+}
+
+// --- Regression: /stats is ONE consistent snapshot --------------------------
+
+TEST(HttpServiceTest, StatsSnapshotKeepsDispatchInvariantUnderLoad) {
+  Dataset data = MakeData(16, 81, 1500, 8);
+  ServiceConfig service_config;
+  service_config.dispatchers = 3;
+  service_config.threads = 2;
+  WireStack stack(service_config);
+  SearcherConfig config;
+  ASSERT_TRUE(stack.service.AddCollection("a", data.data, config).ok());
+  SearcherConfig linear = config;
+  linear.pruner = PrunerKind::kLinear;
+  ASSERT_TRUE(stack.service.AddCollection("b", data.data, linear).ok());
+
+  // Client threads hammer both collections while the main thread polls
+  // GET /stats: in EVERY snapshot the per-dispatcher dispatch counts must
+  // sum exactly to the per-collection total — the whole snapshot is taken
+  // under one lock, so a half-updated pair can never be observed.
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> clients;
+  for (size_t t = 0; t < 3; ++t) {
+    clients.emplace_back([&, t] {
+      HttpClient client;
+      if (!client.Connect("127.0.0.1", stack.server.port()).ok()) return;
+      JsonValue request = JsonValue::Object();
+      request.Set("query",
+                  QueryJson(data.queries.Vector(t % data.queries.count()),
+                            data.queries.dim()));
+      const std::string body = WriteJson(request);
+      const std::string target =
+          t % 2 == 0 ? "/collections/a/search" : "/collections/b/search";
+      while (!stop.load()) {
+        Result<HttpResponse> response =
+            client.Roundtrip("POST", target, body);
+        if (!response.ok()) return;
+      }
+    });
+  }
+
+  HttpClient stats_client = stack.NewClient();
+  size_t snapshots_with_traffic = 0;
+  for (int poll = 0; poll < 50; ++poll) {
+    Result<HttpResponse> stats = stats_client.Roundtrip("GET", "/stats");
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    ASSERT_EQ(stats.value().status, 200);
+    const JsonValue body = MustParseBody(stats.value());
+    double dispatcher_total = 0;
+    ASSERT_EQ(body.Find("dispatchers")->size(), 3u);
+    for (const JsonValue& ds : body.Find("dispatchers")->items()) {
+      dispatcher_total += ds.Find("dispatches")->AsNumber();
+    }
+    double collection_total = 0;
+    for (const auto& [name, entry] : body.Find("collections")->members()) {
+      collection_total += entry.Find("dispatches")->AsNumber();
+    }
+    EXPECT_EQ(dispatcher_total, collection_total)
+        << "snapshot " << poll << " tore the dispatch accounting: "
+        << stats.value().body;
+    if (dispatcher_total > 0) ++snapshots_with_traffic;
+    std::this_thread::sleep_for(2ms);
+  }
+  stop.store(true);
+  for (std::thread& client : clients) client.join();
+  // The invariant must have been exercised against live counters, not a
+  // parked service.
+  EXPECT_GT(snapshots_with_traffic, 0u);
+}
+
+// --- Server lifecycle -------------------------------------------------------
+
+TEST(HttpServiceTest, ServerStopResolvesCleanly) {
+  Dataset data = MakeData();
+  auto stack = std::make_unique<WireStack>();
+  SearcherConfig config;
+  ASSERT_TRUE(stack->service.AddCollection("flat", data.data, config).ok());
+  HttpClient client = stack->NewClient();
+  JsonValue request = JsonValue::Object();
+  request.Set("query", QueryJson(data.queries.Vector(0), data.queries.dim()));
+  Result<HttpResponse> ok = client.Roundtrip(
+      "POST", "/collections/flat/search", WriteJson(request));
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value().status, 200);
+  // Destroy server + service with the client still connected: Stop() must
+  // not hang on the idle keep-alive connection.
+  stack.reset();
+  // The client now sees a closed connection.
+  Result<HttpResponse> gone = client.Roundtrip("GET", "/healthz");
+  EXPECT_FALSE(gone.ok());
+}
+
+TEST(HttpServiceTest, PortZeroPicksAnEphemeralPortAndRebindsFail) {
+  WireStack stack;
+  EXPECT_GT(stack.server.port(), 0);
+  // A second server on the same fixed port must fail loudly.
+  HttpServerConfig clash;
+  clash.port = stack.server.port();
+  HttpServer second(clash);
+  SearchService unused_service;
+  SearchHandler unused_handler(unused_service);
+  Status started = second.Start(unused_handler.AsHttpHandler());
+  EXPECT_FALSE(started.ok());
+  EXPECT_TRUE(started.IsIoError()) << started.ToString();
+}
+
+}  // namespace
+}  // namespace pdx

@@ -126,7 +126,6 @@ struct HttpServer::Connection {
   uint64_t next_seq = 0;     ///< Assigned to the next parsed request.
   bool writing = false;      ///< One flusher at a time.
   bool closed = false;       ///< Socket shut down; flushes become drops.
-  bool reader_stopped = false;
 
   void ShutdownLocked() {
     if (!closed) {
@@ -276,6 +275,23 @@ void HttpServer::AcceptLoop() {
       if (errno == EINTR) continue;
       if (stopping_.load()) return;
       if (errno == ECONNABORTED) continue;
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        // Transient fd/memory pressure (plausible at max_connections plus
+        // client churn): pending connections stay in the backlog, so back
+        // off briefly and retry instead of silently never accepting again
+        // while running() still reports true. Reap first — finished
+        // connections keep their fds until reaped, and reaping otherwise
+        // only runs after a successful accept, so skipping it here would
+        // livelock when the exhausted fds are our own. Stop() unblocks
+        // the sleep's follow-up accept by shutting the listener down.
+        {
+          std::lock_guard<std::mutex> lock(connections_mutex_);
+          ReapConnectionsLocked();
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        continue;
+      }
       return;  // Listener broken: nothing more to accept.
     }
     if (stopping_.load()) {
@@ -369,8 +385,17 @@ RequestHead ParseRequestHead(const std::string& head) {
       out.error = "malformed header line";
       return out;
     }
-    out.request.headers[ToLower(line.substr(0, colon))] =
-        Trim(line.substr(colon + 1));
+    const std::string name = ToLower(line.substr(0, colon));
+    if (name == "content-length" && out.request.headers.count(name) != 0) {
+      // Repeated framing headers must be a hard error, not last-one-wins:
+      // two conflicting Content-Length values are the classic
+      // request-smuggling vector behind an intermediary that picks the
+      // other one.
+      out.error_status = 400;
+      out.error = "duplicate Content-Length header";
+      return out;
+    }
+    out.request.headers[name] = Trim(line.substr(colon + 1));
   }
 
   const auto& headers = out.request.headers;
@@ -432,6 +457,7 @@ void HttpServer::ConnectionLoop(std::shared_ptr<Connection> conn) {
     while ((head_end = buffer.find("\r\n\r\n")) == std::string::npos) {
       if (buffer.size() > config_.max_header_bytes) break;
       const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+      if (n < 0 && errno == EINTR) continue;  // Signal, not a hang-up.
       if (n <= 0) {
         reading = false;
         break;
@@ -481,6 +507,7 @@ void HttpServer::ConnectionLoop(std::shared_ptr<Connection> conn) {
     }
     while (buffer.size() < head.content_length) {
       const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+      if (n < 0 && errno == EINTR) continue;  // Signal, not a hang-up.
       if (n <= 0) {
         reading = false;
         break;
@@ -531,7 +558,6 @@ void HttpServer::ConnectionLoop(std::shared_ptr<Connection> conn) {
   // client may have half-closed and still be reading answers.
   {
     std::unique_lock<std::mutex> lock(conn->mutex);
-    conn->reader_stopped = true;
     conn->cv.wait(lock, [&] {
       return (conn->slots.empty() && !conn->writing) || conn->closed;
     });

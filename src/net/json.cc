@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <charconv>
+#include <clocale>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -355,13 +356,19 @@ class JsonParser {
         ++pos_;
       }
     }
-    // strtod over a bounded copy of the token: unlike from_chars it
+    // strtod_l over a bounded copy of the token: unlike from_chars it
     // distinguishes overflow (+-HUGE_VAL — reject: the wire must not
     // smuggle infinities into distance kernels) from underflow (rounds to
-    // zero/denormal — harmless).
+    // zero/denormal — harmless), and the pinned "C" locale keeps '.' the
+    // radix even when the embedding process sets a comma-decimal
+    // LC_NUMERIC (plain strtod would then stop at the '.' and reject
+    // valid JSON like 1.5).
+    static const locale_t c_locale = ::newlocale(LC_ALL_MASK, "C", nullptr);
     const std::string token(text_.substr(start, pos_ - start));
     char* end = nullptr;
-    const double value = std::strtod(token.c_str(), &end);
+    const double value = c_locale != static_cast<locale_t>(nullptr)
+                             ? ::strtod_l(token.c_str(), &end, c_locale)
+                             : std::strtod(token.c_str(), &end);
     if (end != token.c_str() + token.size() || !std::isfinite(value)) {
       return Error("number out of double range");
     }

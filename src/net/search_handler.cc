@@ -228,7 +228,10 @@ void SearchHandler::HandleSearch(const std::string& collection,
 
   // Collection shape first: the query payload is validated against the
   // hosted dimension BEFORE Submit copies dim floats from it (a short
-  // payload must be a 400, not an out-of-bounds read).
+  // payload must be a 400, not an out-of-bounds read). The dim here is a
+  // snapshot, so query_len below makes Submit re-check it atomically with
+  // admission — a concurrent PUT swapping the name to a different-dim
+  // collection turns into a per-query 400, not a stale-offset read.
   Result<CollectionInfo> info = service_.GetCollectionInfo(collection);
   if (!info.ok()) {
     respond(MakeErrorResponse(info.status()));
@@ -237,6 +240,7 @@ void SearchHandler::HandleSearch(const std::string& collection,
   const size_t dim = info.value().dim;
 
   QueryOptions options;
+  options.query_len = dim;
   size_t deadline_ms = 0;
   Status knob = ReadSizeField(body, "k", &options.k);
   if (knob.ok()) knob = ReadSizeField(body, "nprobe", &options.nprobe);

@@ -24,6 +24,15 @@ struct QueryOptions {
   /// passes while it waits in the queue completes with kDeadlineExceeded
   /// and is never dispatched (load shedding: late answers are wasted work).
   std::chrono::milliseconds timeout{0};
+  /// Number of floats in the caller's query buffer; 0 = "trusted to hold
+  /// collection-dim floats" (an in-process caller that sized it off the
+  /// same searcher). Callers that validated against a dim SNAPSHOT — the
+  /// wire front end — must set it: the collection can be replaced with a
+  /// different dimension between that validation and admission, and the
+  /// service re-checks the length under its own mutex (where dim is
+  /// stable), failing a mismatch with kInvalidArgument instead of reading
+  /// past the buffer.
+  size_t query_len = 0;
 };
 
 /// What a submitted query resolves to — through the future or the

@@ -323,13 +323,24 @@ Status SearchService::Enqueue(const std::string& collection,
   // Attributed before the admission check so a rejection is counted
   // against the collection it targeted.
   pending->collection = it->second;
+  // The length check lives HERE, under mutex_, because dim is only stable
+  // under mutex_: a wire handler validates the payload against a
+  // CollectionInfo snapshot, and a concurrent PUT can swap the name to a
+  // different-dim collection between that snapshot and this Submit. The
+  // copy below reads dim() floats, so a stated length that no longer
+  // matches must be a kInvalidArgument, never an out-of-bounds read.
+  Collection& host = *it->second;
+  const size_t d = host.searcher->dim();
+  if (options.query_len != 0 && options.query_len != d) {
+    return Status::InvalidArgument(
+        "query has " + std::to_string(options.query_len) +
+        " dimensions, expected " + std::to_string(d));
+  }
   if (queue_.size() >= config_.max_pending) {
     return Status::ResourceExhausted(
         "admission queue full (" + std::to_string(config_.max_pending) +
         " pending); retry later");
   }
-  Collection& host = *it->second;
-  const size_t d = host.searcher->dim();
   pending->query.assign(query, query + d);
   pending->k =
       std::min(options.k > 0 ? options.k : host.default_k, host.max_k);

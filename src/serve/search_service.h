@@ -144,12 +144,19 @@ class SearchService {
 
   /// Shape of the hosted collection `name` (dimension, size, knob defaults
   /// and ceilings) — what the HTTP front end validates query payloads
-  /// against before Submit copies dim() floats from them. NotFound when
-  /// the name is not hosted.
+  /// against. The dim it reports is a SNAPSHOT: a caller sizing a query
+  /// buffer from it must also pass that size as QueryOptions::query_len so
+  /// Submit re-checks it atomically with admission (the collection may be
+  /// replaced, with a different dim, in between). NotFound when the name
+  /// is not hosted.
   Result<CollectionInfo> GetCollectionInfo(const std::string& name) const;
 
   /// Submits `query` (collection-dim floats, copied — the pointer need not
-  /// outlive the call) against `collection`. Never blocks on the search:
+  /// outlive the call) against `collection`. Set
+  /// QueryOptions::query_len when the buffer was sized from a
+  /// CollectionInfo snapshot rather than the live searcher: a length that
+  /// no longer matches the hosted dim fails with kInvalidArgument instead
+  /// of being read out of bounds. Never blocks on the search:
   /// returns a ticket whose future resolves when the query completes, is
   /// rejected (kNotFound / kResourceExhausted — the future is then already
   /// ready), expires, or is cancelled.

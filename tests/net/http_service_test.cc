@@ -537,6 +537,25 @@ TEST(HttpServiceTest, MalformedHttpIsAnswered400AndClosed) {
   EXPECT_EQ(health.value().status, 200);
 }
 
+TEST(HttpServiceTest, DuplicateContentLengthMapsTo400) {
+  WireStack stack;
+  HttpClient client = stack.NewClient();
+  // Two conflicting Content-Length values are the classic
+  // request-smuggling shape behind an intermediary that picks the other
+  // one; the server must refuse to pick either.
+  ASSERT_TRUE(client
+                  .SendRaw("GET /healthz HTTP/1.1\r\n"
+                           "Content-Length: 0\r\n"
+                           "Content-Length: 5\r\n\r\nhello")
+                  .ok());
+  Result<HttpResponse> response = client.ReadResponse();
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response.value().status, 400);
+  // Framing is unrecoverable after conflicting lengths: the server closes.
+  Result<HttpResponse> after = client.ReadResponse();
+  EXPECT_FALSE(after.ok());
+}
+
 // --- Pipelining -------------------------------------------------------------
 
 TEST(HttpServiceTest, PipelinedResponsesArriveInRequestOrder) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <clocale>
 #include <cmath>
 #include <limits>
 #include <random>
@@ -91,6 +92,29 @@ TEST(JsonTest, RejectsNonFiniteNumbers) {
   EXPECT_FALSE(Parse("-1e999").ok());
   // Underflow rounds to zero rather than failing.
   EXPECT_DOUBLE_EQ(MustParse("1e-999").AsNumber(), 0.0);
+}
+
+TEST(JsonTest, NumbersParseUnderCommaDecimalLocale) {
+  // The parser pins the "C" locale internally: an embedding process that
+  // sets a comma-decimal LC_NUMERIC must not make valid JSON like 1.5
+  // unparseable (plain strtod would stop at the '.').
+  const char* previous = std::setlocale(LC_NUMERIC, nullptr);
+  const std::string saved = previous != nullptr ? previous : "C";
+  bool switched = false;
+  for (const char* name : {"de_DE.UTF-8", "fr_FR.UTF-8", "de_DE", "fr_FR"}) {
+    if (std::setlocale(LC_NUMERIC, name) != nullptr) {
+      switched = true;
+      break;
+    }
+  }
+  if (!switched) {
+    GTEST_SKIP() << "no comma-decimal locale installed";
+  }
+  Result<JsonValue> parsed = Parse("[1.5, -2.25e1]");
+  std::setlocale(LC_NUMERIC, saved.c_str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_DOUBLE_EQ(parsed.value().items()[0].AsNumber(), 1.5);
+  EXPECT_DOUBLE_EQ(parsed.value().items()[1].AsNumber(), -22.5);
 }
 
 TEST(JsonTest, WriterRefusesNonFiniteAsNull) {

@@ -453,6 +453,53 @@ TEST(SearchServiceTest, RejectsBadCollections) {
                   .status.IsInvalidArgument());
 }
 
+TEST(SearchServiceTest, StaleQueryLenIsRejectedNotRead) {
+  // The wire handler validates a payload against a CollectionInfo dim
+  // snapshot, then Submits with query_len set to that snapshot. If the
+  // collection is replaced with a different dimension in between (a
+  // concurrent PUT), the service must answer kInvalidArgument under its
+  // own mutex — never copy the live dim() floats from the shorter buffer.
+  // Pre-fix, ASan flags this test as a heap out-of-bounds read.
+  Fixture small = MakeFixture(/*dim=*/8, /*seed=*/12, /*count=*/400);
+  Fixture big = MakeFixture(/*dim=*/32, /*seed=*/13, /*count=*/400);
+  SearchService service;
+  ASSERT_TRUE(
+      service
+          .AddCollection("swap", small.dataset.data,
+                         Config(SearcherLayout::kFlat, PrunerKind::kBond))
+          .ok());
+
+  // Exactly dim floats, heap-allocated, so the pre-fix copy of the live
+  // (larger) dim is a true out-of-bounds read ASan flags — not a quiet
+  // read into neighboring queries of a pooled buffer.
+  const std::vector<float> short_query(
+      small.dataset.queries.Vector(0),
+      small.dataset.queries.Vector(0) + small.dataset.data.dim());
+  QueryOptions options;
+  options.query_len = short_query.size();  // Snapshot taken here...
+  // ...and the collection replaced before Submit.
+  ASSERT_TRUE(service.RemoveCollection("swap").ok());
+  ASSERT_TRUE(
+      service
+          .AddCollection("swap", big.dataset.data,
+                         Config(SearcherLayout::kFlat, PrunerKind::kBond))
+          .ok());
+
+  QueryResult stale =
+      service.Submit("swap", short_query.data(), options).result.get();
+  EXPECT_TRUE(stale.status.IsInvalidArgument()) << stale.status.ToString();
+
+  // A stated length matching the live collection still serves; 0 keeps
+  // the trusted in-process fast path.
+  options.query_len = big.dataset.data.dim();
+  EXPECT_TRUE(service.Submit("swap", big.dataset.queries.Vector(0), options)
+                  .result.get()
+                  .status.ok());
+  EXPECT_TRUE(service.Submit("swap", big.dataset.queries.Vector(0))
+                  .result.get()
+                  .status.ok());
+}
+
 TEST(SearchServiceTest, AdoptedSearcherIsServed) {
   Fixture fx = MakeFixture();
   auto made = MakeSearcher(fx.dataset.data,

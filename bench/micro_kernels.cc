@@ -1,17 +1,28 @@
 // Google-benchmark microbenchmarks of the raw distance kernels — the
 // per-operation numbers behind Tables 4/5 and Figure 12, with
 // statistically managed timing.
+//
+// Every kernel family (n-ary batch, PDX linear scan, gather) is registered
+// once per ISA tier this binary carries AND the host can run, addressed
+// directly through GetKernelTable() — one run therefore measures the whole
+// scalar/AVX2/AVX-512 ladder, not just the dispatched tier.
+//
+// Pass --json=PATH (e.g. --json=BENCH_kernels.json) to additionally write a
+// machine-readable summary with per-tier GB/s and speedup-vs-scalar.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
 #include <vector>
 
 #include "common/random.h"
 #include "common/types.h"
-#include "kernels/gather_kernels.h"
-#include "kernels/nary_kernels.h"
-#include "kernels/pdx_kernels.h"
-#include "kernels/scalar_kernels.h"
+#include "kernels/kernel_dispatch.h"
+#include "net/json.h"
 #include "storage/pdx_store.h"
 #include "storage/vector_set.h"
 
@@ -43,57 +54,176 @@ Fixture MakeFixture(size_t dim) {
   return fx;
 }
 
-void BM_NaryL2(benchmark::State& state) {
-  Fixture fx = MakeFixture(state.range(0));
+// One registered benchmark: (family, tier, dim), keyed by the name google
+// benchmark reports so the JSON emitter can find its timing afterwards.
+struct Registration {
+  std::string run_name;  // e.g. "nary_l2/avx2/128"
+  std::string family;
+  Isa isa = Isa::kScalar;
+  size_t dim = 0;
+};
+
+std::vector<Registration>& Registrations() {
+  static std::vector<Registration> regs;
+  return regs;
+}
+
+void BenchNary(benchmark::State& state, const KernelTable* table,
+               size_t dim) {
+  Fixture fx = MakeFixture(dim);
   for (auto _ : state) {
-    NaryDistanceBatch(Metric::kL2, fx.query.data(), fx.nary.data(), kCount,
-                      fx.nary.dim(), fx.out.data());
+    table->nary_batch(Metric::kL2, fx.query.data(), fx.nary.data(), kCount,
+                      dim, fx.out.data());
     benchmark::DoNotOptimize(fx.out.data());
   }
   state.SetItemsProcessed(state.iterations() * kCount);
+  state.SetBytesProcessed(state.iterations() * kCount * dim * sizeof(float));
 }
 
-void BM_ScalarL2(benchmark::State& state) {
-  Fixture fx = MakeFixture(state.range(0));
-  for (auto _ : state) {
-    ScalarDistanceBatch(Metric::kL2, fx.query.data(), fx.nary.data(), kCount,
-                        fx.nary.dim(), fx.out.data());
-    benchmark::DoNotOptimize(fx.out.data());
-  }
-  state.SetItemsProcessed(state.iterations() * kCount);
-}
-
-void BM_PdxL2(benchmark::State& state) {
-  Fixture fx = MakeFixture(state.range(0));
+void BenchPdx(benchmark::State& state, const KernelTable* table, size_t dim) {
+  Fixture fx = MakeFixture(dim);
   for (auto _ : state) {
     size_t offset = 0;
     for (size_t b = 0; b < fx.pdx.num_blocks(); ++b) {
       const PdxBlock& block = fx.pdx.block(b);
-      PdxLinearScan(Metric::kL2, fx.query.data(), block.data(),
-                    block.count(), block.dim(), fx.out.data() + offset);
+      table->pdx_linear_scan(Metric::kL2, fx.query.data(), block.data(),
+                             block.count(), block.dim(),
+                             fx.out.data() + offset);
       offset += block.count();
     }
     benchmark::DoNotOptimize(fx.out.data());
   }
   state.SetItemsProcessed(state.iterations() * kCount);
+  state.SetBytesProcessed(state.iterations() * kCount * dim * sizeof(float));
 }
 
-void BM_GatherL2(benchmark::State& state) {
-  Fixture fx = MakeFixture(state.range(0));
+void BenchGather(benchmark::State& state, const KernelTable* table,
+                 size_t dim) {
+  Fixture fx = MakeFixture(dim);
   for (auto _ : state) {
-    NaryGatherDistanceBatch(Metric::kL2, fx.query.data(), fx.nary.data(),
-                            kCount, fx.nary.dim(), fx.out.data());
+    table->gather_batch(Metric::kL2, fx.query.data(), fx.nary.data(), kCount,
+                        dim, fx.out.data());
     benchmark::DoNotOptimize(fx.out.data());
   }
   state.SetItemsProcessed(state.iterations() * kCount);
+  state.SetBytesProcessed(state.iterations() * kCount * dim * sizeof(float));
 }
 
-BENCHMARK(BM_ScalarL2)->Arg(8)->Arg(128)->Arg(1024);
-BENCHMARK(BM_NaryL2)->Arg(8)->Arg(128)->Arg(1024);
-BENCHMARK(BM_PdxL2)->Arg(8)->Arg(128)->Arg(1024);
-BENCHMARK(BM_GatherL2)->Arg(128);
+void RegisterAll() {
+  using BenchFn = void (*)(benchmark::State&, const KernelTable*, size_t);
+  const std::pair<const char*, BenchFn> families[] = {
+      {"nary_l2", &BenchNary},
+      {"pdx_l2", &BenchPdx},
+      {"gather_l2", &BenchGather},
+  };
+  const size_t dims[] = {8, 128, 1024};
+  for (const Isa isa : {Isa::kScalar, Isa::kAvx2, Isa::kAvx512}) {
+    if (!IsaAvailable(isa)) continue;
+    const KernelTable* table = &GetKernelTable(isa);
+    for (const auto& [family, fn] : families) {
+      for (const size_t dim : dims) {
+        const std::string name =
+            std::string(family) + "/" + IsaName(isa) + "/" +
+            std::to_string(dim);
+        Registrations().push_back(Registration{name, family, isa, dim});
+        benchmark::RegisterBenchmark(name.c_str(), fn, table, dim);
+      }
+    }
+  }
+}
+
+// Console output plus a capture of every run's timing for the JSON emitter.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.iterations == 0) continue;
+      seconds_per_run_[run.benchmark_name()] =
+          run.real_accumulated_time / static_cast<double>(run.iterations);
+    }
+    benchmark::ConsoleReporter::ReportRuns(reports);
+  }
+  const std::map<std::string, double>& seconds_per_run() const {
+    return seconds_per_run_;
+  }
+
+ private:
+  std::map<std::string, double> seconds_per_run_;
+};
+
+int WriteJsonSummary(const std::string& path,
+                     const std::map<std::string, double>& seconds_per_run) {
+  // Scalar baselines per (family, dim) for speedup-vs-scalar.
+  std::map<std::string, double> scalar_seconds;
+  for (const Registration& reg : Registrations()) {
+    auto it = seconds_per_run.find(reg.run_name);
+    if (it == seconds_per_run.end()) continue;
+    if (reg.isa == Isa::kScalar) {
+      scalar_seconds[reg.family + "/" + std::to_string(reg.dim)] = it->second;
+    }
+  }
+
+  JsonValue results = JsonValue::Array();
+  for (const Registration& reg : Registrations()) {
+    auto it = seconds_per_run.find(reg.run_name);
+    if (it == seconds_per_run.end()) continue;
+    const double seconds = it->second;
+    const double bytes = static_cast<double>(kCount) * reg.dim *
+                         sizeof(float);
+    JsonValue entry = JsonValue::Object();
+    entry.Set("family", reg.family);
+    entry.Set("isa", IsaName(reg.isa));
+    entry.Set("dim", reg.dim);
+    entry.Set("ns_per_vector", seconds * 1e9 / static_cast<double>(kCount));
+    entry.Set("gb_per_s", seconds > 0.0 ? bytes / seconds / 1e9 : 0.0);
+    auto base = scalar_seconds.find(reg.family + "/" +
+                                    std::to_string(reg.dim));
+    if (base != scalar_seconds.end() && seconds > 0.0) {
+      entry.Set("speedup_vs_scalar", base->second / seconds);
+    }
+    results.Append(std::move(entry));
+  }
+
+  JsonValue doc = JsonValue::Object();
+  doc.Set("bench", "micro_kernels");
+  doc.Set("count", kCount);
+  doc.Set("dispatched_isa", IsaName(DispatchedIsa()));
+  doc.Set("results", std::move(results));
+
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "micro_kernels: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  out << WriteJson(doc) << "\n";
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
 
 }  // namespace
 }  // namespace pdx
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Peel off our own --json=PATH flag before google benchmark sees argv.
+  std::string json_path;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+
+  pdx::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  pdx::CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!json_path.empty()) {
+    return pdx::WriteJsonSummary(json_path, reporter.seconds_per_run());
+  }
+  return 0;
+}

@@ -14,6 +14,7 @@
 #include "bench_common.h"
 #include "common/math_utils.h"
 #include "common/random.h"
+#include "kernels/kernel_dispatch.h"
 #include "kernels/nary_kernels.h"
 #include "kernels/pdx_kernels.h"
 #include "storage/pdx_store.h"
@@ -76,8 +77,7 @@ int main() {
   using namespace pdx;
   const double scale = BenchScaleFromEnv();
   PrintBanner("Table 4: PDX auto-vectorized vs N-ary explicit-SIMD kernels");
-  std::printf("host SIMD tier: %s\n",
-              HasAvx512() ? "avx512" : (HasAvx2() ? "avx2" : "scalar"));
+  std::printf("dispatched SIMD tier: %s\n", IsaName(DispatchedIsa()));
 
   const std::vector<size_t> dims = {8,   16,  32,   64,   128, 192,
                                     256, 512, 1024, 1536, 4096};

@@ -111,6 +111,7 @@ int main() {
   //    fan-out counts for sharded collections, and how the replicated
   //    dispatchers split the dispatch work.
   const pdx::ServiceStats stats = service.Stats();
+  std::printf("  simd tier: %s\n", stats.isa.c_str());
   for (size_t d = 0; d < stats.dispatchers.size(); ++d) {
     std::printf("  dispatcher %zu: %llu batches, busy %.1f%%\n", d,
                 static_cast<unsigned long long>(stats.dispatchers[d].dispatches),

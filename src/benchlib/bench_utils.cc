@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "common/timer.h"
+#include "kernels/kernel_dispatch.h"
 
 namespace pdx {
 
@@ -62,7 +63,10 @@ void TextTable::Print() const {
 }
 
 void PrintBanner(const std::string& title) {
-  std::printf("\n== %s ==\n", title.c_str());
+  // Every bench header names the dispatched SIMD tier so saved outputs are
+  // attributable to the hardware tier that produced them.
+  std::printf("\n== %s (isa: %s) ==\n", title.c_str(),
+              IsaName(DispatchedIsa()));
 }
 
 }  // namespace pdx

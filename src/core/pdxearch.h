@@ -13,7 +13,7 @@
 #include "common/types.h"
 #include "index/ivf.h"
 #include "index/topk.h"
-#include "kernels/pdx_kernels.h"
+#include "kernels/kernel_dispatch.h"
 #include "storage/pdx_store.h"
 
 namespace pdx {
@@ -133,7 +133,10 @@ class PdxearchEngine {
   /// must already have been called with `store` where applicable.
   PdxearchEngine(const PdxStore* store, const Pruner* pruner,
                  PdxearchOptions options)
-      : store_(store), pruner_(pruner), options_(std::move(options)) {
+      : store_(store),
+        pruner_(pruner),
+        options_(std::move(options)),
+        kernels_(ActiveKernels()) {
     size_t max_lanes = kPdxBlockSize;
     for (size_t b = 0; b < store_->num_blocks(); ++b) {
       max_lanes = std::max(max_lanes, store_->block(b).count());
@@ -211,11 +214,11 @@ class PdxearchEngine {
       if (timed) timer.Reset();
       if (order != nullptr) {
         std::fill(distances, distances + n, 0.0f);
-        PdxAccumulateDims(options_.metric, query, block.data(), n,
-                          order->data(), dim, distances);
+        kernels_.pdx_accumulate_dims(options_.metric, query, block.data(), n,
+                                     order->data(), dim, distances);
       } else {
-        PdxLinearScan(options_.metric, query, block.data(), n, dim,
-                      distances);
+        kernels_.pdx_linear_scan(options_.metric, query, block.data(), n, dim,
+                                 distances);
       }
       profile_.values_scanned += uint64_t(n) * dim;
       for (size_t i = 0; i < n; ++i) heap.Push(block.id(i), distances[i]);
@@ -250,23 +253,24 @@ class PdxearchEngine {
       if (!pruning_phase) {
         // WARMUP: all lanes.
         if (order != nullptr) {
-          PdxAccumulateDims(options_.metric, query, block.data(), n,
-                            order->data() + dims_done, step, distances);
+          kernels_.pdx_accumulate_dims(options_.metric, query, block.data(),
+                                       n, order->data() + dims_done, step,
+                                       distances);
         } else {
-          PdxAccumulate(options_.metric, query, block.data(), n, dims_done,
-                        dims_done + step, distances);
+          kernels_.pdx_accumulate(options_.metric, query, block.data(), n,
+                                  dims_done, dims_done + step, distances);
         }
         profile_.values_scanned += uint64_t(n) * step;
       } else {
         // PRUNE: survivors only.
         if (order != nullptr) {
-          PdxAccumulateDimsPositions(options_.metric, query, block.data(), n,
-                                     order->data() + dims_done, step,
-                                     positions, alive, distances);
+          kernels_.pdx_accumulate_dims_positions(
+              options_.metric, query, block.data(), n,
+              order->data() + dims_done, step, positions, alive, distances);
         } else {
-          PdxAccumulatePositions(options_.metric, query, block.data(), n,
-                                 dims_done, dims_done + step, positions,
-                                 alive, distances);
+          kernels_.pdx_accumulate_positions(
+              options_.metric, query, block.data(), n, dims_done,
+              dims_done + step, positions, alive, distances);
         }
         profile_.values_scanned += uint64_t(alive) * step;
       }
@@ -303,6 +307,9 @@ class PdxearchEngine {
   const PdxStore* store_;
   const Pruner* pruner_;
   PdxearchOptions options_;
+  /// The runtime-dispatched kernel tier, resolved once at engine creation
+  /// so the block loop pays one indirect call per kernel, not a dispatch.
+  const KernelTable& kernels_;
   AlignedBuffer distances_;
   std::vector<uint32_t> positions_;
   PdxearchProfile profile_;

@@ -3,8 +3,7 @@
 #include <vector>
 
 #include "common/aligned_buffer.h"
-#include "kernels/gather_kernels.h"
-#include "kernels/pdx_kernels.h"
+#include "kernels/kernel_dispatch.h"
 #include "kernels/scalar_kernels.h"
 
 namespace pdx {
@@ -49,6 +48,7 @@ std::vector<Neighbor> FlatSearchScalar(const VectorSet& vectors,
 
 std::vector<Neighbor> FlatSearchPdx(const PdxStore& store, const float* query,
                                     size_t k, Metric metric) {
+  const KernelTable& kernels = ActiveKernels();
   TopK collector(k);
   AlignedBuffer distances(kPdxBlockSize);
   std::vector<float> large;
@@ -59,8 +59,8 @@ std::vector<Neighbor> FlatSearchPdx(const PdxStore& store, const float* query,
       large.resize(block.count());
       out = large.data();
     }
-    PdxLinearScan(metric, query, block.data(), block.count(), block.dim(),
-                  out);
+    kernels.pdx_linear_scan(metric, query, block.data(), block.count(),
+                            block.dim(), out);
     for (size_t i = 0; i < block.count(); ++i) {
       collector.Push(block.id(i), out[i]);
     }
@@ -73,10 +73,11 @@ std::vector<Neighbor> FlatSearchDsm(const DsmStore& store, const float* query,
   // Column-at-a-time over the whole collection: one running distances array
   // of count() floats updated per dimension (the extra load/store traffic
   // the paper contrasts with PDX).
+  const KernelTable& kernels = ActiveKernels();
   std::vector<float> distances(store.count(), 0.0f);
   for (size_t d = 0; d < store.dim(); ++d) {
-    PdxAccumulate(metric, query, store.Dimension(0), store.count(), d, d + 1,
-                  distances.data());
+    kernels.pdx_accumulate(metric, query, store.Dimension(0), store.count(),
+                           d, d + 1, distances.data());
   }
   return SelectTopK(distances.data(), distances.size(), k);
 }
@@ -85,8 +86,8 @@ std::vector<Neighbor> FlatSearchGather(const VectorSet& vectors,
                                        const float* query, size_t k,
                                        Metric metric) {
   std::vector<float> distances(vectors.count());
-  NaryGatherDistanceBatch(metric, query, vectors.data(), vectors.count(),
-                          vectors.dim(), distances.data());
+  ActiveKernels().gather_batch(metric, query, vectors.data(), vectors.count(),
+                               vectors.dim(), distances.data());
   return SelectTopK(distances.data(), distances.size(), k);
 }
 

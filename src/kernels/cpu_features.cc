@@ -1,0 +1,125 @@
+#include "kernels/cpu_features.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#define PDX_CPU_X86 1
+#include <cpuid.h>
+#endif
+
+#if defined(__aarch64__) && defined(__linux__)
+#define PDX_CPU_AARCH64_LINUX 1
+#include <sys/auxv.h>
+#ifndef HWCAP_ASIMD
+#define HWCAP_ASIMD (1 << 1)
+#endif
+#endif
+
+namespace pdx {
+
+const char* IsaName(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kAvx2:
+      return "avx2";
+    case Isa::kAvx512:
+      return "avx512";
+    case Isa::kBest:
+      return "best";
+  }
+  return "unknown";
+}
+
+bool ParseIsaName(std::string_view name, Isa* out) {
+  auto equals = [](std::string_view a, std::string_view b) {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      const char ca = (a[i] >= 'A' && a[i] <= 'Z') ? char(a[i] + 32) : a[i];
+      if (ca != b[i]) return false;
+    }
+    return true;
+  };
+  for (Isa isa : {Isa::kScalar, Isa::kAvx2, Isa::kAvx512, Isa::kBest}) {
+    if (equals(name, IsaName(isa))) {
+      *out = isa;
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+#if PDX_CPU_X86
+
+// xgetbv without requiring -mxsave at compile time: only executed after
+// cpuid confirms OSXSAVE, so the instruction is guaranteed to exist.
+uint64_t ReadXcr0() {
+  uint32_t lo = 0, hi = 0;
+  __asm__ volatile("xgetbv" : "=a"(lo), "=d"(hi) : "c"(0));
+  return (uint64_t(hi) << 32) | lo;
+}
+
+CpuFeatures ProbeX86() {
+  CpuFeatures f;
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (!__get_cpuid(1, &eax, &ebx, &ecx, &edx)) return f;
+  const bool osxsave = (ecx & bit_OSXSAVE) != 0;
+  const bool avx = (ecx & bit_AVX) != 0;
+  const bool fma = (ecx & bit_FMA) != 0;
+  if (!osxsave) return f;  // OS saves no extended state: scalar only.
+
+  const uint64_t xcr0 = ReadXcr0();
+  // XCR0 bits: 1 = SSE (XMM), 2 = AVX (YMM), 5..7 = opmask/ZMM_Hi256/Hi16_ZMM.
+  const bool ymm_enabled = (xcr0 & 0x6) == 0x6;
+  const bool zmm_enabled = (xcr0 & 0xE6) == 0xE6;
+
+  unsigned eax7 = 0, ebx7 = 0, ecx7 = 0, edx7 = 0;
+  if (!__get_cpuid_count(7, 0, &eax7, &ebx7, &ecx7, &edx7)) return f;
+  const bool avx2 = (ebx7 & bit_AVX2) != 0;
+  const bool avx512f = (ebx7 & bit_AVX512F) != 0;
+  const bool avx512dq = (ebx7 & bit_AVX512DQ) != 0;
+  const bool avx512bw = (ebx7 & bit_AVX512BW) != 0;
+
+  // The AVX2 nary kernels use FMA, so the tier requires both.
+  f.avx2 = avx && avx2 && fma && ymm_enabled;
+  // The AVX-512 TU is compiled with -mavx512f -mavx512dq -mavx512bw; all
+  // three must be present (Skylake-X and later server parts have them).
+  f.avx512 = avx512f && avx512dq && avx512bw && zmm_enabled;
+  return f;
+}
+
+#endif  // PDX_CPU_X86
+
+CpuFeatures Probe() {
+#if PDX_CPU_X86
+  return ProbeX86();
+#elif PDX_CPU_AARCH64_LINUX
+  CpuFeatures f;
+  f.neon = (getauxval(AT_HWCAP) & HWCAP_ASIMD) != 0;
+  return f;
+#else
+  return CpuFeatures{};
+#endif
+}
+
+}  // namespace
+
+const CpuFeatures& HostCpuFeatures() {
+  static const CpuFeatures features = Probe();
+  return features;
+}
+
+bool CpuSupportsIsa(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+    case Isa::kBest:
+      return true;
+    case Isa::kAvx2:
+      return HostCpuFeatures().avx2;
+    case Isa::kAvx512:
+      return HostCpuFeatures().avx512;
+  }
+  return false;
+}
+
+}  // namespace pdx

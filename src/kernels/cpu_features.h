@@ -1,0 +1,51 @@
+#ifndef PDX_KERNELS_CPU_FEATURES_H_
+#define PDX_KERNELS_CPU_FEATURES_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace pdx {
+
+/// ISA tiers carried by the binary (Figure 11's cross-architecture sweep:
+/// one binary, per-tier kernel columns, widest usable tier picked at load
+/// time by the runtime dispatcher in kernel_dispatch.h).
+enum class Isa : uint8_t {
+  kScalar = 0,  ///< Portable scalar code (the paper's "Scalar ISA" column).
+  kAvx2 = 1,    ///< 256-bit kernels (the paper's Zen3 tier).
+  kAvx512 = 2,  ///< 512-bit kernels (the paper's Intel SPR / Zen4 tier).
+  kBest = 3,    ///< Widest tier usable on this machine (resolved at load).
+};
+
+/// Human-readable tier name ("scalar", "avx2", "avx512", "best").
+const char* IsaName(Isa isa);
+
+/// Parses a tier name as accepted by the PDX_ISA environment override
+/// ("scalar", "avx2", "avx512", "best"; ASCII case-insensitive). Returns
+/// false (and leaves `out` untouched) on an unknown name.
+bool ParseIsaName(std::string_view name, Isa* out);
+
+/// What the *hardware and OS* support, probed once per process.
+///
+/// On x86-64 this is real cpuid plus xgetbv: a feature counts as usable
+/// only when the CPU reports it AND the OS has enabled the matching XSAVE
+/// state components (YMM for AVX2, ZMM/opmask/hi16 for AVX-512) — a kernel
+/// that does not context-switch ZMM state must not receive AVX-512 code.
+/// On AArch64 the probe reads getauxval(AT_HWCAP) for ASIMD. On anything
+/// else every vector flag is false and the scalar tier serves.
+struct CpuFeatures {
+  bool avx2 = false;    ///< AVX2 + FMA + OSXSAVE + OS YMM state.
+  bool avx512 = false;  ///< AVX-512 F/DQ/BW + OSXSAVE + OS ZMM state.
+  bool neon = false;    ///< AArch64 ASIMD (advisory; no NEON tier yet).
+};
+
+/// The host's probe result (cached after the first call; thread-safe).
+const CpuFeatures& HostCpuFeatures();
+
+/// True when the *CPU/OS* can execute kernels of `isa` (kScalar and kBest
+/// are always true). Says nothing about whether this binary carries the
+/// tier — see IsaCarried()/IsaAvailable() in kernel_dispatch.h.
+bool CpuSupportsIsa(Isa isa);
+
+}  // namespace pdx
+
+#endif  // PDX_KERNELS_CPU_FEATURES_H_

@@ -23,7 +23,8 @@ void NaryGatherDistanceBatch(Metric metric, const float* query,
                              const float* data, size_t count, size_t dim,
                              float* out);
 
-/// True when the binary was compiled with hardware gather support (AVX2).
+/// True when the hardware-gather (AVX2) path is runnable on this host —
+/// carried by the binary AND supported by the running CPU/OS.
 bool HasHardwareGather();
 
 }  // namespace pdx

@@ -1,0 +1,122 @@
+#ifndef PDX_KERNELS_GATHER_KERNELS_INL_H_
+#define PDX_KERNELS_GATHER_KERNELS_INL_H_
+
+// Implementation of the N-ary + Gather kernel (Section 7, Figure 12),
+// included by the per-ISA tier translation units. The AVX2 hardware-gather
+// path compiles only in TUs built with -mavx2 -mfma; the strided-loads
+// fallback (the paper's NEON case) compiles everywhere. `static inline`
+// keeps each TU's copy internal so codegen never leaks across tiers.
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+#include "common/types.h"
+
+namespace pdx {
+namespace gatherimpl {
+
+// Scalar on-the-fly transposition: strided loads standing in for the
+// gather instruction on ISAs that lack one.
+static inline void GatherGroupScalar(Metric metric, const float* query,
+                                     const float* rows, size_t group_n,
+                                     size_t dim, float* out) {
+  for (size_t i = 0; i < group_n; ++i) out[i] = 0.0f;
+  for (size_t d = 0; d < dim; ++d) {
+    const float query_value = query[d];
+    switch (metric) {
+      case Metric::kL2:
+        for (size_t i = 0; i < group_n; ++i) {
+          const float diff = query_value - rows[i * dim + d];
+          out[i] += diff * diff;
+        }
+        break;
+      case Metric::kIp:
+        for (size_t i = 0; i < group_n; ++i) {
+          out[i] -= query_value * rows[i * dim + d];
+        }
+        break;
+      case Metric::kL1:
+        for (size_t i = 0; i < group_n; ++i) {
+          out[i] += std::fabs(query_value - rows[i * dim + d]);
+        }
+        break;
+    }
+  }
+}
+
+#if defined(__AVX2__) && defined(__FMA__)
+#define PDX_GATHER_HAVE_AVX2 1
+
+// AVX2 gather path: 8 lanes per gather, 8 gathers per dimension for a full
+// 64-vector group. Index vector = {0, dim, 2*dim, ...} so lane l reads
+// rows[l*dim + d].
+static inline void GatherGroupAvx2(Metric metric, const float* query,
+                                   const float* rows, size_t dim,
+                                   float* out) {
+  constexpr size_t kLanes = 8;
+  constexpr size_t kGroups = kPdxBlockSize / kLanes;  // 8 gathers per dim.
+  const __m256i stride = _mm256_setr_epi32(
+      0, static_cast<int>(dim), static_cast<int>(2 * dim),
+      static_cast<int>(3 * dim), static_cast<int>(4 * dim),
+      static_cast<int>(5 * dim), static_cast<int>(6 * dim),
+      static_cast<int>(7 * dim));
+  __m256 acc[kGroups];
+  for (size_t g = 0; g < kGroups; ++g) acc[g] = _mm256_setzero_ps();
+  const __m256 sign_mask = _mm256_set1_ps(-0.0f);
+
+  for (size_t d = 0; d < dim; ++d) {
+    const __m256 qv = _mm256_set1_ps(query[d]);
+    for (size_t g = 0; g < kGroups; ++g) {
+      const float* base = rows + g * kLanes * dim + d;
+      const __m256 values = _mm256_i32gather_ps(base, stride, 4);
+      switch (metric) {
+        case Metric::kL2: {
+          const __m256 diff = _mm256_sub_ps(qv, values);
+          acc[g] = _mm256_fmadd_ps(diff, diff, acc[g]);
+          break;
+        }
+        case Metric::kIp:
+          acc[g] = _mm256_fnmadd_ps(qv, values, acc[g]);
+          break;
+        case Metric::kL1: {
+          const __m256 diff = _mm256_sub_ps(qv, values);
+          acc[g] = _mm256_add_ps(acc[g], _mm256_andnot_ps(sign_mask, diff));
+          break;
+        }
+      }
+    }
+  }
+  for (size_t g = 0; g < kGroups; ++g) {
+    _mm256_storeu_ps(out + g * kLanes, acc[g]);
+  }
+}
+
+#endif  // AVX2
+
+/// Full batch: 64-vector groups through the widest gather this TU carries,
+/// strided loads for the tail (and for everything on the scalar tier).
+static inline void GatherBatch(Metric metric, const float* query,
+                               const float* data, size_t count, size_t dim,
+                               float* out) {
+  size_t i = 0;
+#if PDX_GATHER_HAVE_AVX2
+  for (; i + kPdxBlockSize <= count; i += kPdxBlockSize) {
+    GatherGroupAvx2(metric, query, data + i * dim, dim, out + i);
+  }
+#endif
+  for (; i < count;) {
+    const size_t group_n = std::min(kPdxBlockSize, count - i);
+    GatherGroupScalar(metric, query, data + i * dim, group_n, dim, out + i);
+    i += group_n;
+  }
+}
+
+}  // namespace gatherimpl
+}  // namespace pdx
+
+#endif  // PDX_KERNELS_GATHER_KERNELS_INL_H_

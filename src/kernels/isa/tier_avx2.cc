@@ -1,0 +1,11 @@
+// AVX2 tier: built with -mavx2 -mfma (the paper's Zen3 tier). If the
+// toolchain cannot provide the flags, TierTableAvx2() returns nullptr and
+// the tier is not carried.
+
+#include "kernels/cpu_features.h"
+
+#define PDX_TIER_ISA Isa::kAvx2
+#define PDX_TIER_MAX 1
+#define PDX_TIER_TABLE_GETTER TierTableAvx2
+
+#include "kernels/isa/tier_impl_inc.h"

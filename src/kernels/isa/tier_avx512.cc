@@ -1,0 +1,12 @@
+// AVX-512 tier: built with -mavx512f -mavx512dq -mavx512bw (plus AVX2/FMA,
+// which those imply) — the paper's Intel SPR / Zen4 tier. If the toolchain
+// cannot provide the flags, TierTableAvx512() returns nullptr and the tier
+// is not carried.
+
+#include "kernels/cpu_features.h"
+
+#define PDX_TIER_ISA Isa::kAvx512
+#define PDX_TIER_MAX 2
+#define PDX_TIER_TABLE_GETTER TierTableAvx512
+
+#include "kernels/isa/tier_impl_inc.h"

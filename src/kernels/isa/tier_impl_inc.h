@@ -1,0 +1,206 @@
+// One ISA tier's column of every hot kernel family, included by exactly one
+// tier translation unit (tier_scalar.cc / tier_avx2.cc / tier_avx512.cc)
+// after defining:
+//
+//   PDX_TIER_ISA          — the Isa enumerator this TU implements
+//   PDX_TIER_MAX          — 0 scalar, 1 avx2, 2 avx512: the widest impl
+//                           this tier may select even if the TU's flags
+//                           would allow more
+//   PDX_TIER_TABLE_GETTER — name of the pdx::TierTable*() getter to define
+//
+// The TU is compiled by CMake with the tier's -m flags and with
+// -ffp-contract=off, so:
+//   * the PDX vertical templates (pdx_kernels_inl.h) auto-vectorize at
+//     exactly this tier's width, and with FMA contraction pinned off their
+//     per-lane results are bit-exact across every tier (the per-lane
+//     accumulation order is identical by construction — SIMD runs across
+//     lanes, never within one lane's sum);
+//   * the n-ary/gather intrinsics (nary_kernels_inl.h, gather_kernels_inl.h)
+//     compile only where the flags allow, and everything is internal
+//     linkage so no other tier can end up linking this TU's codegen.
+//
+// If the toolchain could not provide the tier's flags, the getter returns
+// nullptr and the dispatcher treats the tier as not carried.
+
+#include <cstring>
+
+#include "kernels/isa/tier_tables.h"
+#include "kernels/kernel_dispatch.h"
+#include "kernels/pdx_kernels_inl.h"
+#include "kernels/nary_kernels_inl.h"
+#include "kernels/gather_kernels_inl.h"
+#include "kernels/scalar_kernels.h"
+
+#if PDX_TIER_MAX == 0
+#define PDX_TIER_GENUINE 1
+#elif PDX_TIER_MAX == 1 && PDX_NARY_HAVE_AVX2
+#define PDX_TIER_GENUINE 1
+#elif PDX_TIER_MAX == 2 && PDX_NARY_HAVE_AVX512
+#define PDX_TIER_GENUINE 1
+#else
+#define PDX_TIER_GENUINE 0
+#endif
+
+namespace pdx {
+namespace {
+
+// --- PDX verticals: metric switch into this TU's template instantiations --
+
+void TierAccumulate(Metric metric, const float* query, const float* block,
+                    size_t n, size_t d_start, size_t d_end,
+                    float* distances) {
+  switch (metric) {
+    case Metric::kL2:
+      internal::Accumulate<Metric::kL2>(query, block, n, d_start, d_end,
+                                        distances);
+      break;
+    case Metric::kIp:
+      internal::Accumulate<Metric::kIp>(query, block, n, d_start, d_end,
+                                        distances);
+      break;
+    case Metric::kL1:
+      internal::Accumulate<Metric::kL1>(query, block, n, d_start, d_end,
+                                        distances);
+      break;
+  }
+}
+
+void TierAccumulateDims(Metric metric, const float* query, const float* block,
+                        size_t n, const uint32_t* dims, size_t dims_count,
+                        float* distances) {
+  switch (metric) {
+    case Metric::kL2:
+      internal::AccumulateDims<Metric::kL2>(query, block, n, dims, dims_count,
+                                            distances);
+      break;
+    case Metric::kIp:
+      internal::AccumulateDims<Metric::kIp>(query, block, n, dims, dims_count,
+                                            distances);
+      break;
+    case Metric::kL1:
+      internal::AccumulateDims<Metric::kL1>(query, block, n, dims, dims_count,
+                                            distances);
+      break;
+  }
+}
+
+void TierAccumulatePositions(Metric metric, const float* query,
+                             const float* block, size_t n, size_t d_start,
+                             size_t d_end, const uint32_t* positions,
+                             size_t position_count, float* distances) {
+  switch (metric) {
+    case Metric::kL2:
+      internal::AccumulatePositions<Metric::kL2>(query, block, n, d_start,
+                                                 d_end, positions,
+                                                 position_count, distances);
+      break;
+    case Metric::kIp:
+      internal::AccumulatePositions<Metric::kIp>(query, block, n, d_start,
+                                                 d_end, positions,
+                                                 position_count, distances);
+      break;
+    case Metric::kL1:
+      internal::AccumulatePositions<Metric::kL1>(query, block, n, d_start,
+                                                 d_end, positions,
+                                                 position_count, distances);
+      break;
+  }
+}
+
+void TierAccumulateDimsPositions(Metric metric, const float* query,
+                                 const float* block, size_t n,
+                                 const uint32_t* dims, size_t dims_count,
+                                 const uint32_t* positions,
+                                 size_t position_count, float* distances) {
+  switch (metric) {
+    case Metric::kL2:
+      internal::AccumulateDimsPositions<Metric::kL2>(
+          query, block, n, dims, dims_count, positions, position_count,
+          distances);
+      break;
+    case Metric::kIp:
+      internal::AccumulateDimsPositions<Metric::kIp>(
+          query, block, n, dims, dims_count, positions, position_count,
+          distances);
+      break;
+    case Metric::kL1:
+      internal::AccumulateDimsPositions<Metric::kL1>(
+          query, block, n, dims, dims_count, positions, position_count,
+          distances);
+      break;
+  }
+}
+
+void TierLinearScan(Metric metric, const float* query, const float* block,
+                    size_t n, size_t dim, float* distances) {
+  std::memset(distances, 0, n * sizeof(float));
+  TierAccumulate(metric, query, block, n, 0, dim, distances);
+}
+
+// --- N-ary pair kernels: the widest implementation this tier may use ------
+
+#if PDX_TIER_MAX >= 2 && PDX_NARY_HAVE_AVX512
+constexpr PairKernelFn kTierNaryL2 = &naryimpl::L2Avx512;
+constexpr PairKernelFn kTierNaryIp = &naryimpl::IpAvx512;
+constexpr PairKernelFn kTierNaryL1 = &naryimpl::L1Avx512;
+#elif PDX_TIER_MAX >= 1 && PDX_NARY_HAVE_AVX2
+constexpr PairKernelFn kTierNaryL2 = &naryimpl::L2Avx2;
+constexpr PairKernelFn kTierNaryIp = &naryimpl::IpAvx2;
+constexpr PairKernelFn kTierNaryL1 = &naryimpl::L1Avx2;
+#else
+constexpr PairKernelFn kTierNaryL2 = &ScalarL2;
+constexpr PairKernelFn kTierNaryIp = &ScalarIp;
+constexpr PairKernelFn kTierNaryL1 = &ScalarL1;
+#endif
+
+void TierNaryBatch(Metric metric, const float* query, const float* data,
+                   size_t count, size_t dim, float* out) {
+  // Per-metric loops over a constexpr kernel pointer: the calls resolve at
+  // compile time inside this TU (no per-vector indirect call).
+  switch (metric) {
+    case Metric::kL2:
+      for (size_t i = 0; i < count; ++i) {
+        out[i] = kTierNaryL2(query, data + i * dim, dim);
+      }
+      break;
+    case Metric::kIp:
+      for (size_t i = 0; i < count; ++i) {
+        out[i] = kTierNaryIp(query, data + i * dim, dim);
+      }
+      break;
+    case Metric::kL1:
+      for (size_t i = 0; i < count; ++i) {
+        out[i] = kTierNaryL1(query, data + i * dim, dim);
+      }
+      break;
+  }
+}
+
+void TierGatherBatch(Metric metric, const float* query, const float* data,
+                     size_t count, size_t dim, float* out) {
+  gatherimpl::GatherBatch(metric, query, data, count, dim, out);
+}
+
+const KernelTable kTierTable = {
+    /*isa=*/PDX_TIER_ISA,
+    /*nary=*/{kTierNaryL2, kTierNaryIp, kTierNaryL1},
+    /*nary_batch=*/&TierNaryBatch,
+    /*pdx_accumulate=*/&TierAccumulate,
+    /*pdx_accumulate_dims=*/&TierAccumulateDims,
+    /*pdx_accumulate_positions=*/&TierAccumulatePositions,
+    /*pdx_accumulate_dims_positions=*/&TierAccumulateDimsPositions,
+    /*pdx_linear_scan=*/&TierLinearScan,
+    /*gather_batch=*/&TierGatherBatch,
+};
+
+}  // namespace
+
+const KernelTable* PDX_TIER_TABLE_GETTER() {
+#if PDX_TIER_GENUINE
+  return &kTierTable;
+#else
+  return nullptr;
+#endif
+}
+
+}  // namespace pdx

@@ -1,0 +1,12 @@
+// Scalar tier: portable baseline codegen. Built with NO -m flags (and
+// -ffp-contract=off like every tier), so the vertical kernels are what any
+// x86-64/AArch64 baseline compiler produces — the cross-tier bit-exactness
+// oracle and the PDX_ISA=scalar CI fallback.
+
+#include "kernels/cpu_features.h"
+
+#define PDX_TIER_ISA Isa::kScalar
+#define PDX_TIER_MAX 0
+#define PDX_TIER_TABLE_GETTER TierTableScalar
+
+#include "kernels/isa/tier_impl_inc.h"

@@ -1,0 +1,20 @@
+#ifndef PDX_KERNELS_ISA_TIER_TABLES_H_
+#define PDX_KERNELS_ISA_TIER_TABLES_H_
+
+// Private seam between kernel_dispatch.cc and the per-ISA tier translation
+// units (tier_scalar.cc / tier_avx2.cc / tier_avx512.cc, each compiled as
+// its own CMake object library with explicit -m flags). A getter returns
+// nullptr when its TU was NOT compiled with the tier's ISA flags (e.g. a
+// non-x86 toolchain): the tier is then simply not carried by this binary.
+
+namespace pdx {
+
+struct KernelTable;
+
+const KernelTable* TierTableScalar();
+const KernelTable* TierTableAvx2();
+const KernelTable* TierTableAvx512();
+
+}  // namespace pdx
+
+#endif  // PDX_KERNELS_ISA_TIER_TABLES_H_

@@ -1,79 +1,110 @@
 #include "kernels/kernel_dispatch.h"
 
-#include "kernels/nary_kernels.h"
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+#include "kernels/isa/tier_tables.h"
 #include "kernels/scalar_kernels.h"
 
 namespace pdx {
 
-const char* IsaName(Isa isa) {
+namespace {
+
+// The tier tables this binary carries, widest first. A getter returns
+// nullptr when its translation unit could not be compiled with the tier's
+// ISA flags (e.g. a non-x86 toolchain); the scalar tier is always carried.
+const KernelTable* CarriedTable(Isa isa) {
   switch (isa) {
     case Isa::kScalar:
-      return "scalar";
+      return TierTableScalar();
     case Isa::kAvx2:
-      return "avx2";
+      return TierTableAvx2();
     case Isa::kAvx512:
-      return "avx512";
+      return TierTableAvx512();
     case Isa::kBest:
-      return "best";
+      return nullptr;  // kBest is a request, not a tier; resolved below.
   }
-  return "unknown";
+  return nullptr;
+}
+
+// Widest available tier at or below `isa` (kBest = widest of all).
+// The scalar table is always carried and needs no CPU support, so this
+// never fails.
+const KernelTable& ClampToAvailable(Isa isa) {
+  if (isa == Isa::kBest) isa = Isa::kAvx512;
+  for (;;) {
+    if (IsaAvailable(isa)) {
+      const KernelTable* table = CarriedTable(isa);
+      if (table != nullptr) return *table;
+    }
+    if (isa == Isa::kScalar) break;
+    isa = static_cast<Isa>(static_cast<uint8_t>(isa) - 1);
+  }
+  const KernelTable* scalar = TierTableScalar();
+  assert(scalar != nullptr && "scalar tier must always be carried");
+  return *scalar;
+}
+
+// Resolve the process-wide dispatch tier once: widest available, clamped by
+// the PDX_ISA override. Unknown or unavailable overrides warn on stderr and
+// degrade rather than abort — a portable binary should never refuse to run.
+const KernelTable& ResolveActiveTable() {
+  Isa want = Isa::kBest;
+  const char* env = std::getenv("PDX_ISA");
+  if (env != nullptr && env[0] != '\0') {
+    if (!ParseIsaName(env, &want)) {
+      std::fprintf(stderr,
+                   "pdx: unknown PDX_ISA=\"%s\" (expected scalar|avx2|avx512|"
+                   "best); using best available tier\n",
+                   env);
+      want = Isa::kBest;
+    } else if (want != Isa::kBest && !IsaAvailable(want)) {
+      std::fprintf(stderr,
+                   "pdx: PDX_ISA=%s not available on this host (carried by "
+                   "binary: %s, supported by cpu: %s); degrading to the "
+                   "widest available tier below it\n",
+                   IsaName(want), IsaCarried(want) ? "yes" : "no",
+                   CpuSupportsIsa(want) ? "yes" : "no");
+    }
+  }
+  return ClampToAvailable(want);
+}
+
+}  // namespace
+
+bool IsaCarried(Isa isa) {
+  if (isa == Isa::kBest) return true;
+  return CarriedTable(isa) != nullptr;
 }
 
 bool IsaAvailable(Isa isa) {
-  switch (isa) {
-    case Isa::kScalar:
-    case Isa::kBest:
-      return true;
-    case Isa::kAvx2:
-      return HasAvx2();
-    case Isa::kAvx512:
-      return HasAvx512();
-  }
-  return false;
+  if (isa == Isa::kBest) return true;
+  return IsaCarried(isa) && CpuSupportsIsa(isa);
 }
 
+const KernelTable& GetKernelTable(Isa isa) { return ClampToAvailable(isa); }
+
+const KernelTable& ActiveKernels() {
+  static const KernelTable& table = ResolveActiveTable();
+  return table;
+}
+
+Isa DispatchedIsa() { return ActiveKernels().isa; }
+
 PairKernelFn GetNaryKernel(Metric metric, Isa isa) {
-  switch (isa) {
-    case Isa::kScalar:
-      switch (metric) {
-        case Metric::kL2:
-          return &ScalarL2;
-        case Metric::kIp:
-          return &ScalarIp;
-        case Metric::kL1:
-          return &ScalarL1;
-      }
-      break;
-    case Isa::kAvx2:
-      switch (metric) {
-        case Metric::kL2:
-          return &NaryL2Avx2;
-        case Metric::kIp:
-          return &NaryIpAvx2;
-        case Metric::kL1:
-          return &NaryL1Avx2;
-      }
-      break;
-    case Isa::kAvx512:
-      switch (metric) {
-        case Metric::kL2:
-          return &NaryL2Avx512;
-        case Metric::kIp:
-          return &NaryIpAvx512;
-        case Metric::kL1:
-          return &NaryL1Avx512;
-      }
-      break;
-    case Isa::kBest:
-      switch (metric) {
-        case Metric::kL2:
-          return &NaryL2;
-        case Metric::kIp:
-          return &NaryIp;
-        case Metric::kL1:
-          return &NaryL1;
-      }
-      break;
+  const PairKernelFn fn = ClampToAvailable(isa).nary_pair(metric);
+  if (fn != nullptr) return fn;
+  // Unresolvable (metric, isa) pair: fall back to the scalar kernel of the
+  // *requested metric* — degrading the ISA is safe, switching metrics is not.
+  assert(false && "tier table is missing a metric kernel");
+  switch (metric) {
+    case Metric::kL2:
+      return &ScalarL2;
+    case Metric::kIp:
+      return &ScalarIp;
+    case Metric::kL1:
+      return &ScalarL1;
   }
   return &ScalarL2;
 }
@@ -81,10 +112,7 @@ PairKernelFn GetNaryKernel(Metric metric, Isa isa) {
 void NaryDistanceBatchIsa(Metric metric, Isa isa, const float* query,
                           const float* data, size_t count, size_t dim,
                           float* out) {
-  const PairKernelFn kernel = GetNaryKernel(metric, isa);
-  for (size_t i = 0; i < count; ++i) {
-    out[i] = kernel(query, data + i * dim, dim);
-  }
+  ClampToAvailable(isa).nary_batch(metric, query, data, count, dim, out);
 }
 
 }  // namespace pdx

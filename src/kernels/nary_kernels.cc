@@ -1,279 +1,70 @@
 #include "kernels/nary_kernels.h"
 
-#include <cmath>
+#include "kernels/kernel_dispatch.h"
 
-#if defined(__AVX2__) || defined(__AVX512F__)
-#include <immintrin.h>
-#endif
-
-// GCC's own _mm512_reduce_add_ps expands through _mm256_undefined_pd, which
-// trips -Wuninitialized inside the compiler's intrinsics headers.
-#if defined(__GNUC__) && !defined(__clang__)
-#pragma GCC diagnostic ignored "-Wuninitialized"
-#endif
-
-#include "kernels/scalar_kernels.h"
+// The intrinsics bodies live in nary_kernels_inl.h, compiled per ISA tier
+// inside src/kernels/isa/tier_*.cc. This TU only forwards the historical
+// public entry points into the runtime-dispatched kernel tables.
 
 namespace pdx {
 
-// ---------------------------------------------------------------------------
-// AVX-512 kernels (SimSIMD style: two accumulators, FMA, final reduce).
-// ---------------------------------------------------------------------------
-
-#if defined(__AVX512F__)
-
-bool HasAvx512() { return true; }
-
-float NaryL2Avx512(const float* a, const float* b, size_t dim) {
-  __m512 acc0 = _mm512_setzero_ps();
-  __m512 acc1 = _mm512_setzero_ps();
-  size_t d = 0;
-  for (; d + 32 <= dim; d += 32) {
-    const __m512 va0 = _mm512_loadu_ps(a + d);
-    const __m512 vb0 = _mm512_loadu_ps(b + d);
-    const __m512 va1 = _mm512_loadu_ps(a + d + 16);
-    const __m512 vb1 = _mm512_loadu_ps(b + d + 16);
-    const __m512 diff0 = _mm512_sub_ps(va0, vb0);
-    const __m512 diff1 = _mm512_sub_ps(va1, vb1);
-    acc0 = _mm512_fmadd_ps(diff0, diff0, acc0);
-    acc1 = _mm512_fmadd_ps(diff1, diff1, acc1);
-  }
-  if (d + 16 <= dim) {
-    const __m512 va = _mm512_loadu_ps(a + d);
-    const __m512 vb = _mm512_loadu_ps(b + d);
-    const __m512 diff = _mm512_sub_ps(va, vb);
-    acc0 = _mm512_fmadd_ps(diff, diff, acc0);
-    d += 16;
-  }
-  if (d < dim) {
-    // Masked tail load, as SimSIMD does on AVX-512.
-    const __mmask16 mask = static_cast<__mmask16>((1u << (dim - d)) - 1);
-    const __m512 va = _mm512_maskz_loadu_ps(mask, a + d);
-    const __m512 vb = _mm512_maskz_loadu_ps(mask, b + d);
-    const __m512 diff = _mm512_sub_ps(va, vb);
-    acc1 = _mm512_fmadd_ps(diff, diff, acc1);
-  }
-  return _mm512_reduce_add_ps(_mm512_add_ps(acc0, acc1));
-}
-
-float NaryIpAvx512(const float* a, const float* b, size_t dim) {
-  __m512 acc0 = _mm512_setzero_ps();
-  __m512 acc1 = _mm512_setzero_ps();
-  size_t d = 0;
-  for (; d + 32 <= dim; d += 32) {
-    acc0 = _mm512_fmadd_ps(_mm512_loadu_ps(a + d), _mm512_loadu_ps(b + d),
-                           acc0);
-    acc1 = _mm512_fmadd_ps(_mm512_loadu_ps(a + d + 16),
-                           _mm512_loadu_ps(b + d + 16), acc1);
-  }
-  if (d + 16 <= dim) {
-    acc0 = _mm512_fmadd_ps(_mm512_loadu_ps(a + d), _mm512_loadu_ps(b + d),
-                           acc0);
-    d += 16;
-  }
-  if (d < dim) {
-    const __mmask16 mask = static_cast<__mmask16>((1u << (dim - d)) - 1);
-    acc1 = _mm512_fmadd_ps(_mm512_maskz_loadu_ps(mask, a + d),
-                           _mm512_maskz_loadu_ps(mask, b + d), acc1);
-  }
-  return -_mm512_reduce_add_ps(_mm512_add_ps(acc0, acc1));
-}
-
-float NaryL1Avx512(const float* a, const float* b, size_t dim) {
-  const __m512 sign_mask = _mm512_set1_ps(-0.0f);
-  __m512 acc = _mm512_setzero_ps();
-  size_t d = 0;
-  for (; d + 16 <= dim; d += 16) {
-    const __m512 diff =
-        _mm512_sub_ps(_mm512_loadu_ps(a + d), _mm512_loadu_ps(b + d));
-    acc = _mm512_add_ps(acc, _mm512_andnot_ps(sign_mask, diff));
-  }
-  if (d < dim) {
-    const __mmask16 mask = static_cast<__mmask16>((1u << (dim - d)) - 1);
-    const __m512 diff = _mm512_sub_ps(_mm512_maskz_loadu_ps(mask, a + d),
-                                      _mm512_maskz_loadu_ps(mask, b + d));
-    acc = _mm512_add_ps(acc, _mm512_andnot_ps(sign_mask, diff));
-  }
-  return _mm512_reduce_add_ps(acc);
-}
-
-#else  // !__AVX512F__
-
-bool HasAvx512() { return false; }
-float NaryL2Avx512(const float* a, const float* b, size_t dim) {
-  return NaryL2Avx2(a, b, dim);
-}
-float NaryIpAvx512(const float* a, const float* b, size_t dim) {
-  return NaryIpAvx2(a, b, dim);
-}
-float NaryL1Avx512(const float* a, const float* b, size_t dim) {
-  return NaryL1Avx2(a, b, dim);
-}
-
-#endif  // __AVX512F__
-
-// ---------------------------------------------------------------------------
-// AVX2 kernels.
-// ---------------------------------------------------------------------------
-
-#if defined(__AVX2__)
-
-namespace {
-
-inline float ReduceAdd256(__m256 v) {
-  const __m128 lo = _mm256_castps256_ps128(v);
-  const __m128 hi = _mm256_extractf128_ps(v, 1);
-  __m128 sum = _mm_add_ps(lo, hi);
-  sum = _mm_add_ps(sum, _mm_movehl_ps(sum, sum));
-  sum = _mm_add_ss(sum, _mm_movehdup_ps(sum));
-  return _mm_cvtss_f32(sum);
-}
-
-}  // namespace
-
-bool HasAvx2() { return true; }
-
-float NaryL2Avx2(const float* a, const float* b, size_t dim) {
-  __m256 acc0 = _mm256_setzero_ps();
-  __m256 acc1 = _mm256_setzero_ps();
-  size_t d = 0;
-  for (; d + 16 <= dim; d += 16) {
-    const __m256 diff0 =
-        _mm256_sub_ps(_mm256_loadu_ps(a + d), _mm256_loadu_ps(b + d));
-    const __m256 diff1 =
-        _mm256_sub_ps(_mm256_loadu_ps(a + d + 8), _mm256_loadu_ps(b + d + 8));
-    acc0 = _mm256_fmadd_ps(diff0, diff0, acc0);
-    acc1 = _mm256_fmadd_ps(diff1, diff1, acc1);
-  }
-  if (d + 8 <= dim) {
-    const __m256 diff =
-        _mm256_sub_ps(_mm256_loadu_ps(a + d), _mm256_loadu_ps(b + d));
-    acc0 = _mm256_fmadd_ps(diff, diff, acc0);
-    d += 8;
-  }
-  float sum = ReduceAdd256(_mm256_add_ps(acc0, acc1));
-  for (; d < dim; ++d) {
-    const float diff = a[d] - b[d];
-    sum += diff * diff;
-  }
-  return sum;
-}
-
-float NaryIpAvx2(const float* a, const float* b, size_t dim) {
-  __m256 acc0 = _mm256_setzero_ps();
-  __m256 acc1 = _mm256_setzero_ps();
-  size_t d = 0;
-  for (; d + 16 <= dim; d += 16) {
-    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + d), _mm256_loadu_ps(b + d),
-                           acc0);
-    acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(a + d + 8),
-                           _mm256_loadu_ps(b + d + 8), acc1);
-  }
-  if (d + 8 <= dim) {
-    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + d), _mm256_loadu_ps(b + d),
-                           acc0);
-    d += 8;
-  }
-  float sum = ReduceAdd256(_mm256_add_ps(acc0, acc1));
-  for (; d < dim; ++d) sum += a[d] * b[d];
-  return -sum;
-}
-
-float NaryL1Avx2(const float* a, const float* b, size_t dim) {
-  const __m256 sign_mask = _mm256_set1_ps(-0.0f);
-  __m256 acc = _mm256_setzero_ps();
-  size_t d = 0;
-  for (; d + 8 <= dim; d += 8) {
-    const __m256 diff =
-        _mm256_sub_ps(_mm256_loadu_ps(a + d), _mm256_loadu_ps(b + d));
-    acc = _mm256_add_ps(acc, _mm256_andnot_ps(sign_mask, diff));
-  }
-  float sum = ReduceAdd256(acc);
-  for (; d < dim; ++d) sum += std::fabs(a[d] - b[d]);
-  return sum;
-}
-
-#else  // !__AVX2__
-
-bool HasAvx2() { return false; }
-float NaryL2Avx2(const float* a, const float* b, size_t dim) {
-  return ScalarL2(a, b, dim);
-}
-float NaryIpAvx2(const float* a, const float* b, size_t dim) {
-  return ScalarIp(a, b, dim);
-}
-float NaryL1Avx2(const float* a, const float* b, size_t dim) {
-  return ScalarL1(a, b, dim);
-}
-
-#endif  // __AVX2__
-
-// ---------------------------------------------------------------------------
-// Best-available dispatch.
-// ---------------------------------------------------------------------------
-
 float NaryL2(const float* a, const float* b, size_t dim) {
-#if defined(__AVX512F__)
-  return NaryL2Avx512(a, b, dim);
-#elif defined(__AVX2__)
-  return NaryL2Avx2(a, b, dim);
-#else
-  return ScalarL2(a, b, dim);
-#endif
+  return ActiveKernels().nary_pair(Metric::kL2)(a, b, dim);
 }
 
 float NaryIp(const float* a, const float* b, size_t dim) {
-#if defined(__AVX512F__)
-  return NaryIpAvx512(a, b, dim);
-#elif defined(__AVX2__)
-  return NaryIpAvx2(a, b, dim);
-#else
-  return ScalarIp(a, b, dim);
-#endif
+  return ActiveKernels().nary_pair(Metric::kIp)(a, b, dim);
 }
 
 float NaryL1(const float* a, const float* b, size_t dim) {
-#if defined(__AVX512F__)
-  return NaryL1Avx512(a, b, dim);
-#elif defined(__AVX2__)
-  return NaryL1Avx2(a, b, dim);
-#else
-  return ScalarL1(a, b, dim);
-#endif
+  return ActiveKernels().nary_pair(Metric::kL1)(a, b, dim);
 }
 
 float NaryDistance(Metric metric, const float* a, const float* b,
                    size_t dim) {
-  switch (metric) {
-    case Metric::kL2:
-      return NaryL2(a, b, dim);
-    case Metric::kIp:
-      return NaryIp(a, b, dim);
-    case Metric::kL1:
-      return NaryL1(a, b, dim);
-  }
-  return 0.0f;
+  return ActiveKernels().nary_pair(metric)(a, b, dim);
 }
 
 void NaryDistanceBatch(Metric metric, const float* query, const float* data,
                        size_t count, size_t dim, float* out) {
-  switch (metric) {
-    case Metric::kL2:
-      for (size_t i = 0; i < count; ++i) {
-        out[i] = NaryL2(query, data + i * dim, dim);
-      }
-      break;
-    case Metric::kIp:
-      for (size_t i = 0; i < count; ++i) {
-        out[i] = NaryIp(query, data + i * dim, dim);
-      }
-      break;
-    case Metric::kL1:
-      for (size_t i = 0; i < count; ++i) {
-        out[i] = NaryL1(query, data + i * dim, dim);
-      }
-      break;
-  }
+  ActiveKernels().nary_batch(metric, query, data, count, dim, out);
 }
+
+// Per-tier entry points: resolve the (metric, tier) kernel once, then call
+// straight through the cached pointer.
+
+float NaryL2Avx512(const float* a, const float* b, size_t dim) {
+  static const PairKernelFn fn = GetNaryKernel(Metric::kL2, Isa::kAvx512);
+  return fn(a, b, dim);
+}
+
+float NaryIpAvx512(const float* a, const float* b, size_t dim) {
+  static const PairKernelFn fn = GetNaryKernel(Metric::kIp, Isa::kAvx512);
+  return fn(a, b, dim);
+}
+
+float NaryL1Avx512(const float* a, const float* b, size_t dim) {
+  static const PairKernelFn fn = GetNaryKernel(Metric::kL1, Isa::kAvx512);
+  return fn(a, b, dim);
+}
+
+float NaryL2Avx2(const float* a, const float* b, size_t dim) {
+  static const PairKernelFn fn = GetNaryKernel(Metric::kL2, Isa::kAvx2);
+  return fn(a, b, dim);
+}
+
+float NaryIpAvx2(const float* a, const float* b, size_t dim) {
+  static const PairKernelFn fn = GetNaryKernel(Metric::kIp, Isa::kAvx2);
+  return fn(a, b, dim);
+}
+
+float NaryL1Avx2(const float* a, const float* b, size_t dim) {
+  static const PairKernelFn fn = GetNaryKernel(Metric::kL1, Isa::kAvx2);
+  return fn(a, b, dim);
+}
+
+bool HasAvx512() { return IsaAvailable(Isa::kAvx512); }
+
+bool HasAvx2() { return IsaAvailable(Isa::kAvx2); }
 
 }  // namespace pdx

@@ -11,11 +11,13 @@ namespace pdx {
 ///
 /// These mirror the state-of-the-art kernels the paper benchmarks against:
 /// the L2/IP kernels follow SimSIMD (used by USearch), the L1 kernel
-/// follows FAISS. Each metric has AVX-512, AVX2, and scalar-unrolled
-/// variants; the unsuffixed entry points pick the widest ISA the binary was
-/// compiled for. Like SimSIMD, each kernel processes one vector with
-/// multiple accumulator registers and finishes with a horizontal register
-/// reduction — the step the PDX layout eliminates.
+/// follows FAISS. Each metric has AVX-512, AVX2, and scalar variants,
+/// compiled per ISA tier (src/kernels/isa/); the unsuffixed entry points
+/// run the widest tier the *running CPU* supports, resolved once at load
+/// time by the runtime dispatcher (kernel_dispatch.h; overridable with
+/// PDX_ISA). Like SimSIMD, each kernel processes one vector with multiple
+/// accumulator registers and finishes with a horizontal register reduction
+/// — the step the PDX layout eliminates.
 ///
 /// Return values are ordering keys (squared L2 / negated IP / L1).
 
@@ -31,7 +33,8 @@ void NaryDistanceBatch(Metric metric, const float* query, const float* data,
                        size_t count, size_t dim, float* out);
 
 // Per-ISA entry points (for the cross-"architecture" sweep of Figure 11;
-// falls back to the next narrower tier when the binary lacks the ISA).
+// degrades to the widest *available* tier at or below the requested one
+// when the binary does not carry it or the CPU cannot run it).
 
 float NaryL2Avx512(const float* a, const float* b, size_t dim);
 float NaryIpAvx512(const float* a, const float* b, size_t dim);
@@ -41,8 +44,9 @@ float NaryL2Avx2(const float* a, const float* b, size_t dim);
 float NaryIpAvx2(const float* a, const float* b, size_t dim);
 float NaryL1Avx2(const float* a, const float* b, size_t dim);
 
-/// True when the binary was compiled with real AVX-512F (resp. AVX2)
-/// support; otherwise the *Avx512/*Avx2 symbols alias the next tier down.
+/// True when the AVX-512 (resp. AVX2) tier is *runnable here*: carried by
+/// the binary AND supported by the running CPU/OS. Shorthand for
+/// IsaAvailable(Isa::kAvx512) / IsaAvailable(Isa::kAvx2).
 bool HasAvx512();
 bool HasAvx2();
 

@@ -1,0 +1,198 @@
+#ifndef PDX_KERNELS_NARY_KERNELS_INL_H_
+#define PDX_KERNELS_NARY_KERNELS_INL_H_
+
+// Implementation of the horizontal ("N-ary") SIMD kernels, included by the
+// per-ISA tier translation units (src/kernels/isa/tier_*.cc). Each tier TU
+// is compiled with its own -m flags, so the preprocessor guards below
+// select exactly the intrinsics that TU may use; everything is
+// `static inline` so each TU gets an internal-linkage copy compiled under
+// its own flags (no COMDAT merging of, say, an AVX2 body compiled inside
+// the AVX-512 TU into the AVX2 tier).
+//
+// The kernels mirror the state of the art the paper benchmarks against:
+// L2/IP follow SimSIMD (used by USearch), L1 follows FAISS. Each processes
+// one vector pair with multiple accumulator registers and finishes with a
+// horizontal register reduction — the step the PDX layout eliminates.
+// Return values are ordering keys (squared L2 / negated IP / L1).
+
+#include <cmath>
+#include <cstddef>
+
+#if defined(__AVX2__) || defined(__AVX512F__)
+#include <immintrin.h>
+#endif
+
+// GCC's own _mm512_reduce_add_ps expands through _mm256_undefined_pd, which
+// trips -Wuninitialized inside the compiler's intrinsics headers.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+namespace pdx {
+namespace naryimpl {
+
+// ---------------------------------------------------------------------------
+// AVX-512 kernels (SimSIMD style: two accumulators, FMA, final reduce).
+// ---------------------------------------------------------------------------
+
+#if defined(__AVX512F__) && defined(__AVX512DQ__) && defined(__AVX512BW__)
+#define PDX_NARY_HAVE_AVX512 1
+
+static inline float L2Avx512(const float* a, const float* b, size_t dim) {
+  __m512 acc0 = _mm512_setzero_ps();
+  __m512 acc1 = _mm512_setzero_ps();
+  size_t d = 0;
+  for (; d + 32 <= dim; d += 32) {
+    const __m512 va0 = _mm512_loadu_ps(a + d);
+    const __m512 vb0 = _mm512_loadu_ps(b + d);
+    const __m512 va1 = _mm512_loadu_ps(a + d + 16);
+    const __m512 vb1 = _mm512_loadu_ps(b + d + 16);
+    const __m512 diff0 = _mm512_sub_ps(va0, vb0);
+    const __m512 diff1 = _mm512_sub_ps(va1, vb1);
+    acc0 = _mm512_fmadd_ps(diff0, diff0, acc0);
+    acc1 = _mm512_fmadd_ps(diff1, diff1, acc1);
+  }
+  if (d + 16 <= dim) {
+    const __m512 va = _mm512_loadu_ps(a + d);
+    const __m512 vb = _mm512_loadu_ps(b + d);
+    const __m512 diff = _mm512_sub_ps(va, vb);
+    acc0 = _mm512_fmadd_ps(diff, diff, acc0);
+    d += 16;
+  }
+  if (d < dim) {
+    // Masked tail load, as SimSIMD does on AVX-512.
+    const __mmask16 mask = static_cast<__mmask16>((1u << (dim - d)) - 1);
+    const __m512 va = _mm512_maskz_loadu_ps(mask, a + d);
+    const __m512 vb = _mm512_maskz_loadu_ps(mask, b + d);
+    const __m512 diff = _mm512_sub_ps(va, vb);
+    acc1 = _mm512_fmadd_ps(diff, diff, acc1);
+  }
+  return _mm512_reduce_add_ps(_mm512_add_ps(acc0, acc1));
+}
+
+static inline float IpAvx512(const float* a, const float* b, size_t dim) {
+  __m512 acc0 = _mm512_setzero_ps();
+  __m512 acc1 = _mm512_setzero_ps();
+  size_t d = 0;
+  for (; d + 32 <= dim; d += 32) {
+    acc0 = _mm512_fmadd_ps(_mm512_loadu_ps(a + d), _mm512_loadu_ps(b + d),
+                           acc0);
+    acc1 = _mm512_fmadd_ps(_mm512_loadu_ps(a + d + 16),
+                           _mm512_loadu_ps(b + d + 16), acc1);
+  }
+  if (d + 16 <= dim) {
+    acc0 = _mm512_fmadd_ps(_mm512_loadu_ps(a + d), _mm512_loadu_ps(b + d),
+                           acc0);
+    d += 16;
+  }
+  if (d < dim) {
+    const __mmask16 mask = static_cast<__mmask16>((1u << (dim - d)) - 1);
+    acc1 = _mm512_fmadd_ps(_mm512_maskz_loadu_ps(mask, a + d),
+                           _mm512_maskz_loadu_ps(mask, b + d), acc1);
+  }
+  return -_mm512_reduce_add_ps(_mm512_add_ps(acc0, acc1));
+}
+
+static inline float L1Avx512(const float* a, const float* b, size_t dim) {
+  const __m512 sign_mask = _mm512_set1_ps(-0.0f);
+  __m512 acc = _mm512_setzero_ps();
+  size_t d = 0;
+  for (; d + 16 <= dim; d += 16) {
+    const __m512 diff =
+        _mm512_sub_ps(_mm512_loadu_ps(a + d), _mm512_loadu_ps(b + d));
+    acc = _mm512_add_ps(acc, _mm512_andnot_ps(sign_mask, diff));
+  }
+  if (d < dim) {
+    const __mmask16 mask = static_cast<__mmask16>((1u << (dim - d)) - 1);
+    const __m512 diff = _mm512_sub_ps(_mm512_maskz_loadu_ps(mask, a + d),
+                                      _mm512_maskz_loadu_ps(mask, b + d));
+    acc = _mm512_add_ps(acc, _mm512_andnot_ps(sign_mask, diff));
+  }
+  return _mm512_reduce_add_ps(acc);
+}
+
+#endif  // AVX-512
+
+// ---------------------------------------------------------------------------
+// AVX2 kernels.
+// ---------------------------------------------------------------------------
+
+#if defined(__AVX2__) && defined(__FMA__)
+#define PDX_NARY_HAVE_AVX2 1
+
+static inline float ReduceAdd256(__m256 v) {
+  const __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  __m128 sum = _mm_add_ps(lo, hi);
+  sum = _mm_add_ps(sum, _mm_movehl_ps(sum, sum));
+  sum = _mm_add_ss(sum, _mm_movehdup_ps(sum));
+  return _mm_cvtss_f32(sum);
+}
+
+static inline float L2Avx2(const float* a, const float* b, size_t dim) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  size_t d = 0;
+  for (; d + 16 <= dim; d += 16) {
+    const __m256 diff0 =
+        _mm256_sub_ps(_mm256_loadu_ps(a + d), _mm256_loadu_ps(b + d));
+    const __m256 diff1 =
+        _mm256_sub_ps(_mm256_loadu_ps(a + d + 8), _mm256_loadu_ps(b + d + 8));
+    acc0 = _mm256_fmadd_ps(diff0, diff0, acc0);
+    acc1 = _mm256_fmadd_ps(diff1, diff1, acc1);
+  }
+  if (d + 8 <= dim) {
+    const __m256 diff =
+        _mm256_sub_ps(_mm256_loadu_ps(a + d), _mm256_loadu_ps(b + d));
+    acc0 = _mm256_fmadd_ps(diff, diff, acc0);
+    d += 8;
+  }
+  float sum = ReduceAdd256(_mm256_add_ps(acc0, acc1));
+  for (; d < dim; ++d) {
+    const float diff = a[d] - b[d];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+static inline float IpAvx2(const float* a, const float* b, size_t dim) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  size_t d = 0;
+  for (; d + 16 <= dim; d += 16) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + d), _mm256_loadu_ps(b + d),
+                           acc0);
+    acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(a + d + 8),
+                           _mm256_loadu_ps(b + d + 8), acc1);
+  }
+  if (d + 8 <= dim) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + d), _mm256_loadu_ps(b + d),
+                           acc0);
+    d += 8;
+  }
+  float sum = ReduceAdd256(_mm256_add_ps(acc0, acc1));
+  for (; d < dim; ++d) sum += a[d] * b[d];
+  return -sum;
+}
+
+static inline float L1Avx2(const float* a, const float* b, size_t dim) {
+  const __m256 sign_mask = _mm256_set1_ps(-0.0f);
+  __m256 acc = _mm256_setzero_ps();
+  size_t d = 0;
+  for (; d + 8 <= dim; d += 8) {
+    const __m256 diff =
+        _mm256_sub_ps(_mm256_loadu_ps(a + d), _mm256_loadu_ps(b + d));
+    acc = _mm256_add_ps(acc, _mm256_andnot_ps(sign_mask, diff));
+  }
+  float sum = ReduceAdd256(acc);
+  for (; d < dim; ++d) sum += std::fabs(a[d] - b[d]);
+  return sum;
+}
+
+#endif  // AVX2
+
+}  // namespace naryimpl
+}  // namespace pdx
+
+#endif  // PDX_KERNELS_NARY_KERNELS_INL_H_

@@ -1,69 +1,35 @@
 #include "kernels/pdx_kernels.h"
 
-#include <cstring>
+#include "kernels/kernel_dispatch.h"
 
-#include "kernels/pdx_kernels_inl.h"
+// The vertical kernel templates live in pdx_kernels_inl.h, compiled once
+// per ISA tier inside src/kernels/isa/tier_*.cc (each tier TU carries its
+// own auto-vectorized instantiations). This TU forwards the public entry
+// points into the table the runtime dispatcher resolved for this host.
+// The *Novec ablation variants stay in pdx_kernels_novec.cc.
 
 namespace pdx {
 
 void PdxAccumulate(Metric metric, const float* query, const float* block,
                    size_t n, size_t d_start, size_t d_end, float* distances) {
-  switch (metric) {
-    case Metric::kL2:
-      internal::Accumulate<Metric::kL2>(query, block, n, d_start, d_end,
-                                        distances);
-      break;
-    case Metric::kIp:
-      internal::Accumulate<Metric::kIp>(query, block, n, d_start, d_end,
-                                        distances);
-      break;
-    case Metric::kL1:
-      internal::Accumulate<Metric::kL1>(query, block, n, d_start, d_end,
-                                        distances);
-      break;
-  }
+  ActiveKernels().pdx_accumulate(metric, query, block, n, d_start, d_end,
+                                 distances);
 }
 
 void PdxAccumulateDims(Metric metric, const float* query, const float* block,
                        size_t n, const uint32_t* dims, size_t dims_count,
                        float* distances) {
-  switch (metric) {
-    case Metric::kL2:
-      internal::AccumulateDims<Metric::kL2>(query, block, n, dims, dims_count,
-                                            distances);
-      break;
-    case Metric::kIp:
-      internal::AccumulateDims<Metric::kIp>(query, block, n, dims, dims_count,
-                                            distances);
-      break;
-    case Metric::kL1:
-      internal::AccumulateDims<Metric::kL1>(query, block, n, dims, dims_count,
-                                            distances);
-      break;
-  }
+  ActiveKernels().pdx_accumulate_dims(metric, query, block, n, dims,
+                                      dims_count, distances);
 }
 
 void PdxAccumulatePositions(Metric metric, const float* query,
                             const float* block, size_t n, size_t d_start,
                             size_t d_end, const uint32_t* positions,
                             size_t position_count, float* distances) {
-  switch (metric) {
-    case Metric::kL2:
-      internal::AccumulatePositions<Metric::kL2>(query, block, n, d_start,
-                                                 d_end, positions,
-                                                 position_count, distances);
-      break;
-    case Metric::kIp:
-      internal::AccumulatePositions<Metric::kIp>(query, block, n, d_start,
-                                                 d_end, positions,
-                                                 position_count, distances);
-      break;
-    case Metric::kL1:
-      internal::AccumulatePositions<Metric::kL1>(query, block, n, d_start,
-                                                 d_end, positions,
-                                                 position_count, distances);
-      break;
-  }
+  ActiveKernels().pdx_accumulate_positions(metric, query, block, n, d_start,
+                                           d_end, positions, position_count,
+                                           distances);
 }
 
 void PdxAccumulateDimsPositions(Metric metric, const float* query,
@@ -71,29 +37,14 @@ void PdxAccumulateDimsPositions(Metric metric, const float* query,
                                 const uint32_t* dims, size_t dims_count,
                                 const uint32_t* positions,
                                 size_t position_count, float* distances) {
-  switch (metric) {
-    case Metric::kL2:
-      internal::AccumulateDimsPositions<Metric::kL2>(
-          query, block, n, dims, dims_count, positions, position_count,
-          distances);
-      break;
-    case Metric::kIp:
-      internal::AccumulateDimsPositions<Metric::kIp>(
-          query, block, n, dims, dims_count, positions, position_count,
-          distances);
-      break;
-    case Metric::kL1:
-      internal::AccumulateDimsPositions<Metric::kL1>(
-          query, block, n, dims, dims_count, positions, position_count,
-          distances);
-      break;
-  }
+  ActiveKernels().pdx_accumulate_dims_positions(metric, query, block, n, dims,
+                                                dims_count, positions,
+                                                position_count, distances);
 }
 
 void PdxLinearScan(Metric metric, const float* query, const float* block,
                    size_t n, size_t dim, float* distances) {
-  std::memset(distances, 0, n * sizeof(float));
-  PdxAccumulate(metric, query, block, n, 0, dim, distances);
+  ActiveKernels().pdx_linear_scan(metric, query, block, n, dim, distances);
 }
 
 }  // namespace pdx

@@ -20,6 +20,13 @@ namespace pdx {
 /// `block` points to dimension-major data where dimension d's values occupy
 /// block[d*n .. d*n+n). `distances` has n entries indexed by lane.
 ///
+/// The kernels are compiled once per ISA tier (scalar / AVX2 / AVX-512, see
+/// src/kernels/isa/) and these entry points forward to the tier the runtime
+/// dispatcher picked for this host (kernel_dispatch.h; PDX_ISA overrides).
+/// All tiers are built with -ffp-contract=off, so results are bit-exact
+/// across tiers. Hot loops should grab ActiveKernels() once instead of
+/// paying the forwarding call per block.
+///
 /// The *Novec variants are the same source compiled with auto-vectorization
 /// disabled (Section 6.3's ablation: PDX remains ~1.8x faster than
 /// horizontal search even without SIMD, thanks to access pattern and

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/sharded_searcher.h"
+#include "kernels/kernel_dispatch.h"
 #include "storage/vector_set.h"
 
 namespace pdx {
@@ -534,6 +535,7 @@ void SearchHandler::HandleStats(HttpResponder respond) {
   // wire.
   const ServiceStats stats = service_.Stats();
   JsonValue body = JsonValue::Object();
+  body.Set("isa", stats.isa);
   body.Set("queue_depth", stats.queue_depth);
   body.Set("pool_threads", stats.pool_threads);
   JsonValue dispatchers = JsonValue::Array();
@@ -571,6 +573,7 @@ void SearchHandler::HandleStats(HttpResponder respond) {
 void SearchHandler::HandleHealthz(HttpResponder respond) {
   JsonValue body = JsonValue::Object();
   body.Set("status", "ok");
+  body.Set("isa", IsaName(DispatchedIsa()));
   body.Set("collections", service_.CollectionNames().size());
   respond(JsonResponse(200, body));
 }

@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "common/random.h"
+#include "kernels/kernel_dispatch.h"
 #include "kernels/nary_kernels.h"
 #include "kernels/scalar_kernels.h"
 #include "linalg/random_orthogonal.h"
@@ -112,9 +113,10 @@ std::vector<Neighbor> IvfHorizontalAdsSearch(
   const std::vector<uint32_t> ranked = index.RankBucketsNary(raw_query);
   const size_t probes = std::min(nprobe, ranked.size());
 
-  const auto pair_kernel = (kernel == HorizontalKernel::kScalar)
-                               ? &ScalarL2
-                               : &NaryL2;
+  const PairKernelFn pair_kernel =
+      (kernel == HorizontalKernel::kScalar)
+          ? &ScalarL2
+          : ActiveKernels().nary_pair(Metric::kL2);
 
   TopK heap(k);
   for (size_t r = 0; r < probes; ++r) {

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <limits>
 
+#include "kernels/kernel_dispatch.h"
 #include "kernels/nary_kernels.h"
 #include "kernels/scalar_kernels.h"
 
@@ -103,7 +104,8 @@ std::vector<Neighbor> IvfHorizontalBsaSearch(
 
   const std::vector<uint32_t> ranked = index.RankBucketsNary(raw_query);
   const size_t probes = std::min(nprobe, ranked.size());
-  const auto pair_kernel = use_simd ? &NaryL2 : &ScalarL2;
+  const PairKernelFn pair_kernel =
+      use_simd ? ActiveKernels().nary_pair(Metric::kL2) : &ScalarL2;
   const float m = pruner.multiplier();
 
   TopK heap(k);

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <utility>
 
+#include "kernels/kernel_dispatch.h"
+
 namespace pdx {
 
 namespace {
@@ -400,6 +402,7 @@ size_t SearchService::queue_depth() const {
 ServiceStats SearchService::Stats() const {
   ServiceStats stats;
   stats.pool_threads = pool_.num_threads();
+  stats.isa = IsaName(DispatchedIsa());
   const Clock::time_point now = Clock::now();
   const Clock::time_point cutoff = now - config_.qps_window;
   std::lock_guard<std::mutex> lock(mutex_);

@@ -54,6 +54,9 @@ struct DispatcherStats {
 struct ServiceStats {
   size_t queue_depth = 0;   ///< Queries waiting for dispatch right now.
   size_t pool_threads = 0;  ///< Size of the one shared pool.
+  /// SIMD tier the runtime dispatcher resolved for this process
+  /// ("scalar", "avx2", "avx512"); fixed for the process lifetime.
+  std::string isa;
   /// One entry per dispatcher thread (ServiceConfig::dispatchers).
   std::vector<DispatcherStats> dispatchers;
   std::map<std::string, CollectionStats> collections;

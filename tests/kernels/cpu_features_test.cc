@@ -1,0 +1,112 @@
+// Runtime CPU feature probing and the PDX_ISA dispatch override.
+//
+// The override test MUST run before anything in this binary touches
+// ActiveKernels()/DispatchedIsa(): the dispatcher resolves the environment
+// exactly once and caches the result for the process lifetime, so the env
+// var is set in the very first test of the file (gtest runs tests in
+// declaration order within a translation unit).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "kernels/cpu_features.h"
+#include "kernels/kernel_dispatch.h"
+#include "kernels/nary_kernels.h"
+#include "kernels/gather_kernels.h"
+
+namespace pdx {
+namespace {
+
+TEST(PdxIsaOverrideTest, ScalarOverrideRoundTrips) {
+  // First dispatch resolution in this process happens under PDX_ISA=scalar;
+  // every later ActiveKernels() call must return the same pinned tier.
+  ASSERT_EQ(setenv("PDX_ISA", "scalar", /*overwrite=*/1), 0);
+  EXPECT_EQ(DispatchedIsa(), Isa::kScalar);
+  EXPECT_EQ(ActiveKernels().isa, Isa::kScalar);
+  EXPECT_STREQ(IsaName(DispatchedIsa()), "scalar");
+
+  // The override pins dispatch only: direct per-tier addressing and the
+  // availability probes still see the real hardware.
+  ASSERT_EQ(unsetenv("PDX_ISA"), 0);
+  EXPECT_EQ(DispatchedIsa(), Isa::kScalar) << "resolution must be cached";
+  if (IsaAvailable(Isa::kAvx2)) {
+    EXPECT_EQ(GetKernelTable(Isa::kAvx2).isa, Isa::kAvx2);
+  }
+}
+
+TEST(ParseIsaNameTest, AcceptsEveryTierName) {
+  for (Isa isa : {Isa::kScalar, Isa::kAvx2, Isa::kAvx512, Isa::kBest}) {
+    Isa parsed = Isa::kBest;
+    EXPECT_TRUE(ParseIsaName(IsaName(isa), &parsed)) << IsaName(isa);
+    EXPECT_EQ(parsed, isa);
+  }
+}
+
+TEST(ParseIsaNameTest, CaseInsensitive) {
+  Isa parsed = Isa::kBest;
+  EXPECT_TRUE(ParseIsaName("AVX2", &parsed));
+  EXPECT_EQ(parsed, Isa::kAvx2);
+  EXPECT_TRUE(ParseIsaName("Scalar", &parsed));
+  EXPECT_EQ(parsed, Isa::kScalar);
+  EXPECT_TRUE(ParseIsaName("AvX512", &parsed));
+  EXPECT_EQ(parsed, Isa::kAvx512);
+}
+
+TEST(ParseIsaNameTest, RejectsUnknownAndLeavesOutput) {
+  Isa parsed = Isa::kAvx2;
+  EXPECT_FALSE(ParseIsaName("", &parsed));
+  EXPECT_FALSE(ParseIsaName("avx", &parsed));
+  EXPECT_FALSE(ParseIsaName("avx1024", &parsed));
+  EXPECT_FALSE(ParseIsaName("scalar ", &parsed));
+  EXPECT_EQ(parsed, Isa::kAvx2) << "failed parse must not write output";
+}
+
+TEST(CpuFeaturesTest, ProbeIsStable) {
+  const CpuFeatures& first = HostCpuFeatures();
+  const CpuFeatures& second = HostCpuFeatures();
+  EXPECT_EQ(&first, &second) << "probe must be cached, not re-run";
+  // AVX-512-capable OS state implies AVX2-capable state (XCR0 superset),
+  // and our avx512 tier requires the avx2-class features anyway.
+  if (first.avx512) EXPECT_TRUE(first.avx2);
+}
+
+TEST(CpuFeaturesTest, AvailabilityIsCarriedAndSupported) {
+  EXPECT_TRUE(CpuSupportsIsa(Isa::kScalar));
+  EXPECT_TRUE(CpuSupportsIsa(Isa::kBest));
+  EXPECT_TRUE(IsaCarried(Isa::kScalar));
+  for (Isa isa : {Isa::kScalar, Isa::kAvx2, Isa::kAvx512}) {
+    EXPECT_EQ(IsaAvailable(isa), IsaCarried(isa) && CpuSupportsIsa(isa))
+        << IsaName(isa);
+  }
+  EXPECT_EQ(CpuSupportsIsa(Isa::kAvx2), HostCpuFeatures().avx2);
+  EXPECT_EQ(CpuSupportsIsa(Isa::kAvx512), HostCpuFeatures().avx512);
+}
+
+TEST(CpuFeaturesTest, LegacyProbesMatchDispatcher) {
+  EXPECT_EQ(HasAvx2(), IsaAvailable(Isa::kAvx2));
+  EXPECT_EQ(HasAvx512(), IsaAvailable(Isa::kAvx512));
+  EXPECT_EQ(HasHardwareGather(), IsaAvailable(Isa::kAvx2));
+}
+
+TEST(CpuFeaturesTest, TablesClampDownward) {
+  // Every concrete request resolves to an available tier at or below it.
+  for (Isa isa : {Isa::kScalar, Isa::kAvx2, Isa::kAvx512, Isa::kBest}) {
+    const KernelTable& table = GetKernelTable(isa);
+    EXPECT_TRUE(IsaAvailable(table.isa)) << IsaName(isa);
+    if (isa != Isa::kBest) {
+      EXPECT_LE(static_cast<int>(table.isa), static_cast<int>(isa))
+          << IsaName(isa);
+    }
+  }
+  // kBest resolves to the widest available tier.
+  const Isa best = GetKernelTable(Isa::kBest).isa;
+  for (Isa isa : {Isa::kAvx2, Isa::kAvx512}) {
+    if (IsaAvailable(isa)) {
+      EXPECT_GE(static_cast<int>(best), static_cast<int>(isa));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pdx

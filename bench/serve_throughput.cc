@@ -257,6 +257,59 @@ void RunShardScaling(const SyntheticSpec& spec,
   table.Print();
 }
 
+/// The --trace rung: the same service load twice — tracing off, then
+/// tracing on for EVERY query — so the delta is the whole cost of the
+/// observability path (stage stamping, counters, the per-query QueryTrace
+/// allocation). The acceptance bar is tracing OFF costing nothing: the
+/// off rows here should match RunDataset's service rows, and the on rows
+/// bound the worst case (real deployments trace a sample, not 100%).
+void RunTraceOverhead(const SyntheticSpec& spec, size_t dispatchers) {
+  bench::IvfScenario s = bench::BuildIvfScenario(spec);
+
+  SearcherConfig bond = {};
+  bond.layout = SearcherLayout::kIvf;
+  bond.pruner = PrunerKind::kBond;
+  bond.nprobe = 16;
+  SearcherConfig ads = bond;
+  ads.pruner = PrunerKind::kAdsampling;
+
+  TextTable table({"dataset", "tracing", "submitters", "QPS", "p50(ms)",
+                   "p99(ms)", "traced"});
+  for (const bool tracing : {false, true}) {
+    for (size_t submitters : {1u, 4u}) {
+      ServiceConfig sc;
+      sc.threads = 0;
+      sc.max_pending = 4096;
+      sc.dispatchers = dispatchers;
+      SearchService service(sc);
+      if (!service.AddCollection("bond", s.dataset.data, s.index, bond).ok() ||
+          !service.AddCollection("ads", s.dataset.data, s.index, ads).ok()) {
+        std::fprintf(stderr, "serve_throughput: AddCollection failed\n");
+        return;
+      }
+      ServiceLoadOptions load;
+      load.submitters = submitters;
+      load.queries_per_submitter = 200;
+      load.query.trace = tracing;
+      if (tracing) load.query.request_id = "bench";
+      const ServiceLoadResult result = RunServiceLoad(
+          service, {"bond", "ads"}, s.dataset.queries, load);
+      const ServiceStats stats = service.Stats();
+      LatencySummary worst;
+      for (const auto& [name, cs] : stats.collections) {
+        if (cs.latency.p99_ms >= worst.p99_ms) worst = cs.latency;
+      }
+      table.AddRow({spec.name, tracing ? "on" : "off",
+                    std::to_string(submitters),
+                    TextTable::Num(result.qps(), 0),
+                    TextTable::Num(worst.p50_ms, 3),
+                    TextTable::Num(worst.p99_ms, 3),
+                    tracing ? "100%" : "0%"});
+    }
+  }
+  table.Print();
+}
+
 /// The --http rung: the same two-collection load as RunDataset's service
 /// rows, but arriving over loopback HTTP through pipelined wire clients.
 void RunHttpRung(const SyntheticSpec& spec, size_t dispatchers) {
@@ -337,12 +390,26 @@ int main(int argc, char** argv) {
   const std::vector<size_t> dispatcher_counts =
       ParseSizeListFlag(argc, argv, "--dispatchers=", {1, 2, 4});
   bool http = false;
+  bool trace = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--http") == 0) http = true;
+    if (std::strcmp(argv[i], "--trace") == 0) trace = true;
   }
   for (SyntheticSpec spec : CoreWorkloads(scale * 0.5)) {
     spec.num_queries = 100;
     RunDataset(spec, dispatcher_counts);
+  }
+  if (trace) {
+    const size_t trace_dispatchers = *std::max_element(
+        dispatcher_counts.begin(), dispatcher_counts.end());
+    PrintBanner(
+        "Serving: per-query tracing overhead (off vs 100% traced, "
+        "dispatchers=" +
+        std::to_string(trace_dispatchers) + ")");
+    for (SyntheticSpec spec : CoreWorkloads(scale * 0.5)) {
+      spec.num_queries = 100;
+      RunTraceOverhead(spec, trace_dispatchers);
+    }
   }
   if (http) {
     const size_t wire_dispatchers = *std::max_element(

@@ -107,7 +107,32 @@ int main() {
                  });
   callback_done.get_future().wait();
 
-  // 5. Stats snapshot: per-collection QPS, latency percentiles, per-shard
+  // 5. Tracing: a query submitted with trace=true carries a QueryTrace —
+  //    the per-stage breakdown plus the engine's search-work counters
+  //    (what GET /metrics aggregates and "trace": true returns on the
+  //    wire). Untraced queries pay nothing for this.
+  pdx::QueryOptions traced;
+  traced.trace = true;
+  traced.request_id = "demo-trace-1";
+  pdx::QueryResult traced_result =
+      service.Submit("images", images.queries.Vector(1), traced).result.get();
+  if (traced_result.trace != nullptr) {
+    const pdx::QueryTrace& t = *traced_result.trace;
+    std::printf(
+        "  trace %s: queue %.3fms dispatch %.3fms search %.3fms "
+        "deliver %.3fms total %.3fms\n",
+        t.request_id.c_str(), t.queue_ms, t.stage_ms, t.search_ms,
+        t.deliver_ms, t.total_ms);
+    std::printf(
+        "    work: %llu blocks, %llu vectors pruned, %llu values scanned, "
+        "pruning power %.1f%%\n",
+        static_cast<unsigned long long>(t.counters.blocks_visited),
+        static_cast<unsigned long long>(t.counters.vectors_pruned),
+        static_cast<unsigned long long>(t.counters.values_scanned),
+        100.0 * t.counters.pruning_power());
+  }
+
+  // 6. Stats snapshot: per-collection QPS, latency percentiles, per-shard
   //    fan-out counts for sharded collections, and how the replicated
   //    dispatchers split the dispatch work.
   const pdx::ServiceStats stats = service.Stats();
@@ -125,6 +150,24 @@ int main() {
     for (size_t s = 0; s < cs.shard_dispatches.size(); ++s) {
       std::printf("    shard %zu: %llu searches\n", s,
                   static_cast<unsigned long long>(cs.shard_dispatches[s]));
+    }
+  }
+
+  // 7. The slow-query log: every collection retains its worst queries by
+  //    total latency (traced or not) — GET /collections/<name>/slowlog on
+  //    the wire, SlowLog() in process.
+  for (const auto& name : service.CollectionNames()) {
+    auto slowlog = service.SlowLog(name);
+    if (!slowlog.ok()) continue;
+    std::printf("  slowlog[%s]: %zu entries\n", name.c_str(),
+                slowlog.value().size());
+    for (const pdx::SlowQueryEntry& entry : slowlog.value()) {
+      std::printf(
+          "    #%llu %s: queue %.3fms search %.3fms total %.3fms "
+          "(%llu values scanned)\n",
+          static_cast<unsigned long long>(entry.id), entry.outcome.c_str(),
+          entry.queue_ms, entry.search_ms, entry.total_ms,
+          static_cast<unsigned long long>(entry.counters.values_scanned));
     }
   }
   // Destruction shuts down cleanly: in-flight work finishes, queued

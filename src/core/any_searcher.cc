@@ -124,8 +124,13 @@ std::vector<Neighbor> Searcher::SearchWith(size_t slot, QueryKnobs knobs,
 
 std::vector<std::vector<Neighbor>> Searcher::SearchBatchWith(
     size_t slot, QueryKnobs knobs, const float* queries, size_t num_queries,
-    BatchProfile* profile) {
+    BatchProfile* profile, SearchCounters* counters) {
   (void)slot;
+  if (counters != nullptr) {
+    // The legacy surface has no per-query profiles; all-zero counters are
+    // the documented "nothing measured" value, never stale garbage.
+    std::fill(counters, counters + num_queries, SearchCounters{});
+  }
   // Compatibility fallback: route the knob-explicit call through the
   // legacy mutating surface, one batch at a time. Concurrent dispatchers
   // stay correct (the mutex serializes the set_k/SearchBatch pair) but
@@ -302,7 +307,7 @@ class AnySearcherImpl final : public Searcher {
 
   std::vector<std::vector<Neighbor>> SearchBatchWith(
       size_t slot, QueryKnobs knobs, const float* queries, size_t num_queries,
-      BatchProfile* profile) override {
+      BatchProfile* profile, SearchCounters* counters) override {
     BatchProfile local;
     local.queries = num_queries;
     std::vector<std::vector<Neighbor>> results(num_queries);
@@ -320,6 +325,7 @@ class AnySearcherImpl final : public Searcher {
         results[q] = SearchWith(slot, knobs, queries + q * d, &query_profile);
         local.latency.Record(per_query.ElapsedMillis());
         local.Accumulate(query_profile);
+        if (counters != nullptr) counters[q] = query_profile.counters();
       }
       local.wall_ms = wall.ElapsedMillis();
     } else {
@@ -338,6 +344,9 @@ class AnySearcherImpl final : public Searcher {
             SearchWith(slot + w, knobs, queries + q * d, &query_profile);
         worker_profiles[w].latency.Record(per_query.ElapsedMillis());
         worker_profiles[w].Accumulate(query_profile);
+        // Exactly one task owns index q, so counters[q] is written by one
+        // worker only — race-free without any synchronization.
+        if (counters != nullptr) counters[q] = query_profile.counters();
       });
       local.wall_ms = wall.ElapsedMillis();
       for (const BatchProfile& wp : worker_profiles) {

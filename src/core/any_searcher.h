@@ -226,16 +226,26 @@ class Searcher {
   /// the configured defaults) and leaves last_batch_profile() alone; the
   /// batch's own profile is written to `*profile` when non-null.
   ///
+  /// When `counters` is non-null it must point at `num_queries` entries;
+  /// the call overwrites counters[q] with query q's OWN search work
+  /// (blocks visited, lanes pruned, values avoided — per query even
+  /// inside a pooled batch). Unlike `profile`, filling it allocates
+  /// nothing: the serving layer passes a per-dispatcher pre-reserved
+  /// array, so per-query observability rides the dispatch path for free
+  /// (a BatchProfile would drag a LatencyRecorder window along).
+  ///
   /// The base implementation is a serialized compatibility fallback for
   /// searcher implementations that predate per-slot scratch (e.g. adopted
   /// custom facades): correct under concurrent dispatch, but one batch at
   /// a time — and, unlike the overrides, it routes the knobs through
   /// set_k/set_nprobe (they persist in options()) and through SearchBatch
-  /// (last_batch_profile() is overwritten). Facade products override it
-  /// with the genuinely concurrent, mutation-free per-band implementation.
+  /// (last_batch_profile() is overwritten). It zero-fills `counters` (the
+  /// legacy surface has no per-query profiles to copy out). Facade
+  /// products override it with the genuinely concurrent, mutation-free
+  /// per-band implementation.
   virtual std::vector<std::vector<Neighbor>> SearchBatchWith(
       size_t slot, QueryKnobs knobs, const float* queries, size_t num_queries,
-      BatchProfile* profile = nullptr);
+      BatchProfile* profile = nullptr, SearchCounters* counters = nullptr);
 
   const SearcherConfig& options() const { return config_; }
   size_t dim() const { return store().dim(); }

@@ -14,6 +14,7 @@
 #include "index/ivf.h"
 #include "index/topk.h"
 #include "kernels/kernel_dispatch.h"
+#include "obs/search_counters.h"
 #include "storage/pdx_store.h"
 
 namespace pdx {
@@ -52,6 +53,11 @@ struct PdxearchProfile {
   uint64_t values_scanned = 0;  ///< Dimension values used in kernels.
   uint64_t values_total = 0;    ///< D x (vectors in visited blocks).
   uint64_t predicate_evaluations = 0;
+  uint64_t blocks_visited = 0;  ///< Blocks whose lanes were touched.
+  uint64_t vectors_pruned = 0;  ///< Lanes broken off before full distance.
+  /// Dimension steps walked, summed over blocks (== blocks * D with no
+  /// pruning; less when whole blocks die early).
+  uint64_t dims_scanned = 0;
 
   double total_ms() const {
     return preprocess_ms + find_buckets_ms + bounds_ms + distance_ms;
@@ -66,7 +72,22 @@ struct PdxearchProfile {
     values_scanned += other.values_scanned;
     values_total += other.values_total;
     predicate_evaluations += other.predicate_evaluations;
+    blocks_visited += other.blocks_visited;
+    vectors_pruned += other.vectors_pruned;
+    dims_scanned += other.dims_scanned;
     return *this;
+  }
+  /// The profile's work counters in the serving layer's wire shape.
+  SearchCounters counters() const {
+    SearchCounters c;
+    c.blocks_visited = blocks_visited;
+    c.vectors_pruned = vectors_pruned;
+    c.values_scanned = values_scanned;
+    c.values_avoided =
+        values_total > values_scanned ? values_total - values_scanned : 0;
+    c.dims_scanned = dims_scanned;
+    c.predicate_evaluations = predicate_evaluations;
+    return c;
   }
   /// Pruning power: fraction of values avoided (0 when nothing visited).
   double pruning_power() const {
@@ -205,6 +226,7 @@ class PdxearchEngine {
     const std::vector<uint32_t>* order = pruner_->VisitOrder(qs);
     float* distances = distances_.data();
     profile_.values_total += uint64_t(n) * dim;
+    ++profile_.blocks_visited;
 
     Timer timer;
     const bool timed = options_.collect_phase_times;
@@ -221,6 +243,7 @@ class PdxearchEngine {
                                  distances);
       }
       profile_.values_scanned += uint64_t(n) * dim;
+      profile_.dims_scanned += dim;
       for (size_t i = 0; i < n; ++i) heap.Push(block.id(i), distances[i]);
       if (timed) profile_.distance_ms += timer.ElapsedMillis();
       return;
@@ -294,6 +317,8 @@ class PdxearchEngine {
     }
 
     if (options_.step_observer) options_.step_observer(dim, alive, n);
+    profile_.dims_scanned += dims_done;
+    profile_.vectors_pruned += n - alive;
 
     // Merge survivors (their distances are complete).
     if (timed) timer.Reset();

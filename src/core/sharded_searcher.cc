@@ -143,7 +143,7 @@ class ShardedSearcher final : public Searcher {
 
   std::vector<std::vector<Neighbor>> SearchBatchWith(
       size_t slot, QueryKnobs knobs, const float* queries, size_t num_queries,
-      BatchProfile* profile) override {
+      BatchProfile* profile, SearchCounters* counters) override {
     BatchProfile local;
     local.queries = num_queries;
     std::vector<std::vector<Neighbor>> results(num_queries);
@@ -172,6 +172,7 @@ class ShardedSearcher final : public Searcher {
             ScatterGather(slot, knobs, queries + q * d, &query_profile);
         local.latency.Record(per_query.ElapsedMillis());
         local.Accumulate(query_profile);
+        if (counters != nullptr) counters[q] = query_profile.counters();
       }
       local.wall_ms = wall.ElapsedMillis();
       if (profile != nullptr) *profile = std::move(local);
@@ -189,6 +190,14 @@ class ShardedSearcher final : public Searcher {
     std::vector<std::vector<std::vector<Neighbor>>> partial(
         num_shards, std::vector<std::vector<Neighbor>>(num_queries));
     std::vector<BatchProfile> worker_profiles(workers);
+    // Tasks for the SAME query run concurrently across shards, so the
+    // per-query counters cannot be accumulated in place; each task drops
+    // its share into its own (s, q) grid cell and the calling thread
+    // reduces per query after the barrier. Allocated only when asked for —
+    // and the sharded pool path already allocates its partial grids, so
+    // this adds no new allocation class to the dispatch story.
+    std::vector<SearchCounters> task_counters(
+        counters != nullptr ? num_shards * num_queries : 0);
     Timer wall;
     pool->ParallelFor(num_shards * num_queries, [&](size_t t, size_t w) {
       const size_t s = t / num_queries;
@@ -200,6 +209,7 @@ class ShardedSearcher final : public Searcher {
                                  &task_profile);
       worker_profiles[w].latency.Record(per_task.ElapsedMillis());
       worker_profiles[w].Accumulate(task_profile);
+      if (counters != nullptr) task_counters[t] = task_profile.counters();
     });
     std::vector<std::vector<Neighbor>> per_shard(num_shards);
     for (size_t q = 0; q < num_queries; ++q) {
@@ -207,6 +217,12 @@ class ShardedSearcher final : public Searcher {
         per_shard[s] = std::move(partial[s][q]);
       }
       results[q] = MergeShards(per_shard, k);
+      if (counters != nullptr) {
+        counters[q] = SearchCounters{};
+        for (size_t s = 0; s < num_shards; ++s) {
+          counters[q] += task_counters[s * num_queries + q];
+        }
+      }
     }
     local.wall_ms = wall.ElapsedMillis();
     for (const BatchProfile& wp : worker_profiles) {

@@ -42,6 +42,33 @@ JsonValue NeighborsJson(const std::vector<Neighbor>& neighbors) {
   return out;
 }
 
+JsonValue CountersJson(const SearchCounters& counters) {
+  JsonValue out = JsonValue::Object();
+  out.Set("blocks_visited", static_cast<size_t>(counters.blocks_visited));
+  out.Set("vectors_pruned", static_cast<size_t>(counters.vectors_pruned));
+  out.Set("values_scanned", static_cast<size_t>(counters.values_scanned));
+  out.Set("values_avoided", static_cast<size_t>(counters.values_avoided));
+  out.Set("dims_scanned", static_cast<size_t>(counters.dims_scanned));
+  out.Set("predicate_evaluations",
+          static_cast<size_t>(counters.predicate_evaluations));
+  out.Set("pruning_power", counters.pruning_power());
+  return out;
+}
+
+JsonValue TraceJson(const QueryTrace& trace) {
+  JsonValue out = JsonValue::Object();
+  out.Set("request_id", trace.request_id);
+  JsonValue stages = JsonValue::Object();
+  stages.Set("queue_ms", trace.queue_ms);
+  stages.Set("dispatch_ms", trace.stage_ms);
+  stages.Set("search_ms", trace.search_ms);
+  stages.Set("deliver_ms", trace.deliver_ms);
+  stages.Set("total_ms", trace.total_ms);
+  out.Set("stages", std::move(stages));
+  out.Set("counters", CountersJson(trace.counters));
+  return out;
+}
+
 /// One query's result as a wire object — the per-item shape of both the
 /// single and the batched response.
 JsonValue QueryResultJson(const QueryResult& result) {
@@ -54,6 +81,7 @@ JsonValue QueryResultJson(const QueryResult& result) {
   }
   out.Set("queue_ms", result.queue_ms);
   out.Set("total_ms", result.total_ms);
+  if (result.trace != nullptr) out.Set("trace", TraceJson(*result.trace));
   return out;
 }
 
@@ -147,7 +175,30 @@ HttpResponse MakeErrorResponse(const Status& status) {
   return response;
 }
 
+std::string SearchHandler::ResolveRequestId(const HttpRequest& request) {
+  const auto it = request.headers.find("x-request-id");
+  if (it != request.headers.end() && !it->second.empty()) {
+    // Echoing a client string back into a response header: clamp the
+    // length and keep only header-safe printable characters, so a hostile
+    // id can neither bloat responses nor smuggle header syntax.
+    std::string id = it->second.substr(0, 128);
+    for (char& c : id) {
+      if (c < 0x21 || c > 0x7e) c = '_';
+    }
+    return id;
+  }
+  return "pdx-" + std::to_string(request_seq_.fetch_add(1) + 1);
+}
+
 void SearchHandler::Handle(HttpRequest request, HttpResponder respond) {
+  // Resolve the request id up front and wrap the responder so EVERY
+  // response — error paths, async search completions, the lot — carries
+  // the X-Request-Id header exactly once.
+  const std::string request_id = ResolveRequestId(request);
+  respond = [inner = std::move(respond), request_id](HttpResponse response) {
+    response.headers["X-Request-Id"] = request_id;
+    inner(std::move(response));
+  };
   const std::string& path = request.path;
   if (path == "/healthz") {
     if (request.method != "GET") {
@@ -163,6 +214,14 @@ void SearchHandler::Handle(HttpRequest request, HttpResponder respond) {
       return;
     }
     HandleStats(std::move(respond));
+    return;
+  }
+  if (path == "/metrics") {
+    if (request.method != "GET") {
+      respond(MakeErrorResponse(Status::InvalidArgument("use GET /metrics")));
+      return;
+    }
+    HandleMetrics(std::move(respond));
     return;
   }
   if (path == "/collections") {
@@ -205,7 +264,16 @@ void SearchHandler::Handle(HttpRequest request, HttpResponder respond) {
             "use POST /collections/<name>/search")));
         return;
       }
-      HandleSearch(name, request, std::move(respond));
+      HandleSearch(name, request, request_id, std::move(respond));
+      return;
+    }
+    if (action == "slowlog" && !name.empty()) {
+      if (request.method != "GET") {
+        respond(MakeErrorResponse(Status::InvalidArgument(
+            "use GET /collections/<name>/slowlog")));
+        return;
+      }
+      HandleSlowlog(name, std::move(respond));
       return;
     }
   }
@@ -214,6 +282,7 @@ void SearchHandler::Handle(HttpRequest request, HttpResponder respond) {
 
 void SearchHandler::HandleSearch(const std::string& collection,
                                  const HttpRequest& request,
+                                 const std::string& request_id,
                                  HttpResponder respond) {
   Result<JsonValue> parsed = ParseJson(request.body);
   if (!parsed.ok()) {
@@ -251,6 +320,17 @@ void SearchHandler::HandleSearch(const std::string& collection,
     return;
   }
   options.timeout = std::chrono::milliseconds(deadline_ms);
+  if (const JsonValue* trace = body.Find("trace"); trace != nullptr) {
+    if (!trace->is_bool()) {
+      respond(MakeErrorResponse(
+          Status::InvalidArgument("trace must be a boolean")));
+      return;
+    }
+    options.trace = trace->AsBool();
+    // The trace carries the response's X-Request-Id, so the wire trace,
+    // the slowlog entry, and the client's own logs correlate on one id.
+    if (options.trace) options.request_id = request_id;
+  }
 
   const JsonValue* single = body.Find("query");
   const JsonValue* batch = body.Find("queries");
@@ -570,11 +650,60 @@ void SearchHandler::HandleStats(HttpResponder respond) {
   respond(JsonResponse(200, body));
 }
 
+void SearchHandler::HandleMetrics(HttpResponder respond) {
+  // The registry serializes itself; the handler only picks the media type
+  // Prometheus scrapers expect for the text exposition format.
+  HttpResponse response;
+  response.status = 200;
+  response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+  response.body = service_.metrics().WritePrometheus();
+  respond(std::move(response));
+}
+
+void SearchHandler::HandleSlowlog(const std::string& collection,
+                                  HttpResponder respond) {
+  Result<std::vector<SlowQueryEntry>> entries = service_.SlowLog(collection);
+  if (!entries.ok()) {
+    respond(MakeErrorResponse(entries.status()));
+    return;
+  }
+  JsonValue body = JsonValue::Object();
+  body.Set("collection", collection);
+  JsonValue list = JsonValue::Array();
+  for (const SlowQueryEntry& entry : entries.value()) {
+    JsonValue item = JsonValue::Object();
+    item.Set("id", static_cast<size_t>(entry.id));
+    if (!entry.request_id.empty()) item.Set("request_id", entry.request_id);
+    item.Set("outcome", entry.outcome);
+    item.Set("k", entry.k);
+    item.Set("nprobe", entry.nprobe);
+    item.Set("queue_ms", entry.queue_ms);
+    item.Set("dispatch_ms", entry.stage_ms);
+    item.Set("search_ms", entry.search_ms);
+    item.Set("total_ms", entry.total_ms);
+    item.Set("counters", CountersJson(entry.counters));
+    list.Append(std::move(item));
+  }
+  body.Set("slowlog", std::move(list));
+  respond(JsonResponse(200, body));
+}
+
 void SearchHandler::HandleHealthz(HttpResponder respond) {
+  // One Stats() snapshot feeds the whole probe body, same consistency
+  // argument as HandleStats: queue depth and per-collection counts are
+  // from the same critical section.
+  const ServiceStats stats = service_.Stats();
   JsonValue body = JsonValue::Object();
   body.Set("status", "ok");
   body.Set("isa", IsaName(DispatchedIsa()));
-  body.Set("collections", service_.CollectionNames().size());
+  body.Set("queue_depth", stats.queue_depth);
+  JsonValue collections = JsonValue::Object();
+  for (const auto& [name, cs] : stats.collections) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("count", cs.count);
+    collections.Set(name, std::move(entry));
+  }
+  body.Set("collections", std::move(collections));
   respond(JsonResponse(200, body));
 }
 

@@ -1,6 +1,8 @@
 #ifndef PDX_NET_SEARCH_HANDLER_H_
 #define PDX_NET_SEARCH_HANDLER_H_
 
+#include <atomic>
+#include <cstdint>
 #include <string>
 
 #include "net/http_server.h"
@@ -17,8 +19,16 @@ namespace pdx {
 ///   DELETE /collections/<name>         unhost
 ///   GET    /collections                hosted names
 ///   GET    /collections/<name>         collection shape (dim, count, ...)
+///   GET    /collections/<name>/slowlog worst-latency queries, worst first
 ///   GET    /stats                      one ServiceStats snapshot
-///   GET    /healthz                    liveness
+///   GET    /metrics                    Prometheus text exposition
+///   GET    /healthz                    liveness + queue depth + counts
+///
+/// Every response carries an X-Request-Id header: the client's own (from
+/// the request's X-Request-Id, clamped and sanitized) or one the handler
+/// mints. A search submitted with "trace": true threads that id into the
+/// service's QueryTrace, so the wire response's "trace" object, the
+/// slowlog entry, and the client's logs all correlate on one id.
 ///
 /// Search requests ride SearchService::Submit's callback flavor: Handle
 /// returns the moment the query is admitted, and the HttpResponder fires
@@ -34,9 +44,11 @@ namespace pdx {
 /// Search request body:
 ///   {"query": [f, ...]}          one query, or
 ///   {"queries": [[f, ...], ...]} a batch;
-///   plus optional "k", "nprobe" (0/absent = collection default) and
+///   plus optional "k", "nprobe" (0/absent = collection default),
 ///   "deadline_ms" (admission-relative deadline; late queries are shed
-///   with 504). Batched responses carry one entry per query in order; the
+///   with 504) and "trace" (true = each result carries a "trace" object
+///   with the per-stage ms breakdown and the search-work counters).
+///   Batched responses carry one entry per query in order; the
 ///   HTTP status is 200 when every query succeeded, else the mapping of
 ///   the first failure.
 ///
@@ -70,17 +82,22 @@ class SearchHandler {
 
  private:
   void HandleSearch(const std::string& collection, const HttpRequest& request,
-                    HttpResponder respond);
+                    const std::string& request_id, HttpResponder respond);
   void HandlePut(const std::string& collection, const HttpRequest& request,
                  HttpResponder respond);
   void HandleDelete(const std::string& collection, HttpResponder respond);
   void HandleGetCollection(const std::string& collection,
                            HttpResponder respond);
+  void HandleSlowlog(const std::string& collection, HttpResponder respond);
   void HandleListCollections(HttpResponder respond);
   void HandleStats(HttpResponder respond);
+  void HandleMetrics(HttpResponder respond);
   void HandleHealthz(HttpResponder respond);
+  /// The request's sanitized X-Request-Id, or a freshly minted one.
+  std::string ResolveRequestId(const HttpRequest& request);
 
   SearchService& service_;
+  std::atomic<uint64_t> request_seq_{0};  ///< Feeds minted request ids.
 };
 
 /// The error-body shape every endpoint shares; exposed for tests.

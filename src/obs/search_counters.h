@@ -1,0 +1,48 @@
+#ifndef PDX_OBS_SEARCH_COUNTERS_H_
+#define PDX_OBS_SEARCH_COUNTERS_H_
+
+#include <cstdint>
+
+namespace pdx {
+
+/// Cheap per-query search-work counters, surfaced from the PDXearch block
+/// loop (core/pdxearch.h increments them on PdxearchProfile; the facade
+/// copies them out per query through SearchBatchWith's counters array).
+///
+/// Deliberately a plain trivially-copyable aggregate with no methods that
+/// allocate: the serving layer keeps one pre-reserved array of these per
+/// dispatcher, so collecting them on the dispatch path costs no heap
+/// traffic whatsoever — the satellite "tracing off adds zero allocations"
+/// contract rests on this type staying POD.
+struct SearchCounters {
+  uint64_t blocks_visited = 0;   ///< PDX blocks whose lanes were touched.
+  uint64_t vectors_pruned = 0;   ///< Lanes discarded before full distance.
+  uint64_t values_scanned = 0;   ///< Dimension values fed to kernels.
+  uint64_t values_avoided = 0;   ///< D x block vectors minus scanned.
+  uint64_t dims_scanned = 0;     ///< Dimension steps walked across blocks.
+  uint64_t predicate_evaluations = 0;  ///< Pruning-bound tests run.
+
+  SearchCounters& operator+=(const SearchCounters& other) {
+    blocks_visited += other.blocks_visited;
+    vectors_pruned += other.vectors_pruned;
+    values_scanned += other.values_scanned;
+    values_avoided += other.values_avoided;
+    dims_scanned += other.dims_scanned;
+    predicate_evaluations += other.predicate_evaluations;
+    return *this;
+  }
+
+  /// Fraction of dimension values never touched (the paper's pruning
+  /// power), 0 when nothing was visited.
+  double pruning_power() const {
+    const uint64_t total = values_scanned + values_avoided;
+    return total == 0
+               ? 0.0
+               : static_cast<double>(values_avoided) /
+                     static_cast<double>(total);
+  }
+};
+
+}  // namespace pdx
+
+#endif  // PDX_OBS_SEARCH_COUNTERS_H_

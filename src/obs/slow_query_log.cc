@@ -1,0 +1,38 @@
+#include "obs/slow_query_log.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace pdx {
+
+SlowQueryLog::SlowQueryLog(size_t capacity)
+    : capacity_(std::max<size_t>(1, capacity)) {}
+
+bool SlowQueryLog::Qualifies(double total_ms) const {
+  return total_ms > threshold_.load(std::memory_order_relaxed);
+}
+
+void SlowQueryLog::Add(SlowQueryEntry entry) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Re-check under the lock: the lock-free pre-check may have raced a
+  // concurrent Add that raised the threshold past this entry.
+  if (entries_.size() >= capacity_ &&
+      entry.total_ms <= entries_.back().total_ms) {
+    return;
+  }
+  const auto at = std::upper_bound(
+      entries_.begin(), entries_.end(), entry.total_ms,
+      [](double total, const SlowQueryEntry& e) { return total > e.total_ms; });
+  entries_.insert(at, std::move(entry));
+  if (entries_.size() > capacity_) entries_.pop_back();
+  if (entries_.size() >= capacity_) {
+    threshold_.store(entries_.back().total_ms, std::memory_order_relaxed);
+  }
+}
+
+std::vector<SlowQueryEntry> SlowQueryLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_;
+}
+
+}  // namespace pdx

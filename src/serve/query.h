@@ -6,11 +6,13 @@
 #include <cstdint>
 #include <functional>
 #include <future>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "common/types.h"
+#include "obs/query_trace.h"
 
 namespace pdx {
 
@@ -33,6 +35,14 @@ struct QueryOptions {
   /// stable), failing a mismatch with kInvalidArgument instead of reading
   /// past the buffer.
   size_t query_len = 0;
+  /// Attach a per-query stage trace: the QueryResult carries a QueryTrace
+  /// (stage breakdown + search-work counters). Off by default — and
+  /// genuinely zero-cost off: the serving layer allocates nothing for
+  /// tracing unless this is set.
+  bool trace = false;
+  /// Correlation id stamped into the trace (the wire layer passes the
+  /// request's X-Request-Id here when trace is on). Ignored untraced.
+  std::string request_id;
 };
 
 /// What a submitted query resolves to — through the future or the
@@ -56,6 +66,10 @@ struct QueryResult {
   ///     masquerade as queueing delay.
   double queue_ms = 0.0;
   double total_ms = 0.0;    ///< Submission -> completion.
+  /// Stage breakdown + search-work counters; non-null exactly when the
+  /// query was submitted with QueryOptions::trace. Shared (not owned) so
+  /// QueryResult stays cheaply copyable.
+  std::shared_ptr<const QueryTrace> trace;
 };
 
 /// Handle for one submitted query: a future for the result plus the id

@@ -27,8 +27,14 @@ ServiceConfig Sanitize(ServiceConfig config) {
   if (config.qps_window.count() <= 0) {
     config.qps_window = ServiceConfig{}.qps_window;
   }
+  config.slowlog_capacity = std::max<size_t>(1, config.slowlog_capacity);
   return config;
 }
+
+const char* kStageHelp =
+    "Per-stage serving latency in ms (stage: queue=admission->dequeue, "
+    "dispatch=dequeue->search, search=batched search wall, "
+    "total=admission->delivery)";
 
 }  // namespace
 
@@ -80,6 +86,32 @@ struct SearchService::Collection {
     }
     done_next = (done_next + 1) % done_ring_capacity;
   }
+
+  /// Metric instruments, resolved ONCE at adoption (get-or-create on the
+  /// service's registry, so a name removed and re-added keeps its
+  /// cumulative series). The dispatch/completion paths then touch only
+  /// these lock-free pointers — never the registry's mutex.
+  struct Instruments {
+    MetricCounter* completed = nullptr;
+    MetricCounter* rejected = nullptr;
+    MetricCounter* expired = nullptr;
+    MetricCounter* cancelled = nullptr;
+    MetricCounter* failed = nullptr;
+    MetricCounter* dispatches = nullptr;
+    MetricHistogram* queue_ms = nullptr;
+    MetricHistogram* dispatch_ms = nullptr;
+    MetricHistogram* search_ms = nullptr;
+    MetricHistogram* total_ms = nullptr;
+    MetricCounter* blocks_visited = nullptr;
+    MetricCounter* vectors_pruned = nullptr;
+    MetricCounter* values_scanned = nullptr;
+    MetricCounter* values_avoided = nullptr;
+    MetricCounter* dims_scanned = nullptr;
+    MetricGauge* vectors = nullptr;
+  } metric;
+
+  /// Worst-N queries this collection has served (GET .../slowlog).
+  std::unique_ptr<SlowQueryLog> slowlog;
 };
 
 /// One admitted (or about-to-be-rejected) query. Owns a copy of the query
@@ -98,16 +130,56 @@ struct SearchService::Pending {
   /// shed" (queue_ms = its whole life) from "turned away at admission"
   /// (queue_ms = 0 — it never waited anywhere).
   bool queued = false;
+  /// True once SearchBatchWith returned for this query: the stage timings
+  /// and counters below are meaningful.
+  bool searched = false;
+  bool trace = false;       ///< Build a QueryTrace at completion.
+  std::string request_id;   ///< Stamped into the trace; empty untraced.
+  double stage_ms = 0.0;    ///< dispatched -> the batched search began.
+  double search_ms = 0.0;   ///< Wall of the SearchBatchWith that ran it.
+  Clock::time_point search_end{};  ///< When that call returned.
+  /// This query's own search work, copied from the dispatcher's
+  /// pre-reserved scratch after the batch — a POD copy, no allocation.
+  SearchCounters counters;
   std::promise<QueryResult> promise;
   QueryCallback callback;
 };
 
 SearchService::SearchService(ServiceConfig config)
     : config_(Sanitize(config)),
+      metrics_(config_.metrics != nullptr ? config_.metrics
+                                          : &MetricsRegistry::Default()),
       pool_(config_.threads),
       started_(Clock::now()),
       dispatchers_(config_.dispatchers) {
+  // Process gauges: fixed-for-lifetime shape (pool size, dispatcher
+  // count, resolved SIMD tier as an info-style gauge) plus the live queue
+  // depth the dispatch path re-stamps.
+  queue_depth_gauge_ = metrics_->GetGauge(
+      "pdx_queue_depth", "Queries waiting for dispatch right now");
+  collections_gauge_ =
+      metrics_->GetGauge("pdx_collections", "Collections currently hosted");
+  metrics_
+      ->GetGauge("pdx_pool_threads", "Size of the shared search thread pool")
+      ->Set(static_cast<double>(pool_.num_threads()));
+  metrics_
+      ->GetGauge("pdx_dispatchers", "Replicated dispatcher threads")
+      ->Set(static_cast<double>(dispatchers_.size()));
+  metrics_
+      ->GetGauge("pdx_isa_tier",
+                 "Resolved SIMD tier (1 on the active tier's label)",
+                 {{"isa", IsaName(DispatchedIsa())}})
+      ->Set(1.0);
   for (size_t d = 0; d < dispatchers_.size(); ++d) {
+    // Pre-reserved per dispatcher: the dispatch path hands this array to
+    // SearchBatchWith instead of allocating per batch.
+    dispatchers_[d].counters_scratch.resize(config_.max_batch);
+    dispatchers_[d].busy_ring_capacity = config_.latency_window;
+    dispatchers_[d].busy_ring.reserve(
+        std::min<size_t>(config_.latency_window, 4096));
+    dispatchers_[d].batches_metric = metrics_->GetCounter(
+        "pdx_dispatcher_batches_total", "Batches run, per dispatcher thread",
+        {{"dispatcher", std::to_string(d)}});
     dispatchers_[d].thread = std::thread([this, d] { DispatcherMain(d); });
   }
 }
@@ -125,6 +197,48 @@ void SearchService::Shutdown() {
   for (Dispatcher& dispatcher : dispatchers_) {
     if (dispatcher.thread.joinable()) dispatcher.thread.join();
   }
+}
+
+void SearchService::ResolveCollectionMetrics(Collection& collection) {
+  const MetricLabels by_name = {{"collection", collection.name}};
+  auto outcome = [&](const char* value) -> MetricCounter* {
+    return metrics_->GetCounter(
+        "pdx_queries_total", "Queries resolved, by collection and outcome",
+        {{"collection", collection.name}, {"outcome", value}});
+  };
+  Collection::Instruments& m = collection.metric;
+  m.completed = outcome("completed");
+  m.rejected = outcome("rejected");
+  m.expired = outcome("expired");
+  m.cancelled = outcome("cancelled");
+  m.failed = outcome("failed");
+  m.dispatches = metrics_->GetCounter(
+      "pdx_dispatches_total", "Batched search calls, per collection",
+      by_name);
+  auto stage = [&](const char* value) -> MetricHistogram* {
+    return metrics_->GetHistogram(
+        "pdx_query_stage_ms", kStageHelp, DefaultLatencyBoundsMs(),
+        {{"collection", collection.name}, {"stage", value}});
+  };
+  m.queue_ms = stage("queue");
+  m.dispatch_ms = stage("dispatch");
+  m.search_ms = stage("search");
+  m.total_ms = stage("total");
+  auto work = [&](const char* metric_name, const char* help) {
+    return metrics_->GetCounter(metric_name, help, by_name);
+  };
+  m.blocks_visited = work("pdx_search_blocks_visited_total",
+                          "PDX blocks visited by served queries");
+  m.vectors_pruned = work("pdx_search_vectors_pruned_total",
+                          "Vector lanes pruned before full distance");
+  m.values_scanned = work("pdx_search_values_scanned_total",
+                          "Dimension values fed to distance kernels");
+  m.values_avoided = work("pdx_search_values_avoided_total",
+                          "Dimension values skipped by pruning");
+  m.dims_scanned = work("pdx_search_dims_scanned_total",
+                        "Dimension steps walked across visited blocks");
+  m.vectors = metrics_->GetGauge("pdx_collection_vectors",
+                                 "Vectors hosted, per collection", by_name);
 }
 
 Status SearchService::Adopt(const std::string& name,
@@ -169,8 +283,13 @@ Status SearchService::Adopt(const std::string& name,
   collection->done_ring_capacity = config_.latency_window;
   collection->done_ring.reserve(
       std::min<size_t>(config_.latency_window, 4096));
+  collection->slowlog =
+      std::make_unique<SlowQueryLog>(config_.slowlog_capacity);
+  ResolveCollectionMetrics(*collection);
+  collection->metric.vectors->Set(static_cast<double>(collection->count));
   collection->searcher = std::move(searcher);
   collections_.emplace(name, std::move(collection));
+  collections_gauge_->Set(static_cast<double>(collections_.size()));
   return Status::OK();
 }
 
@@ -233,6 +352,11 @@ Status SearchService::RemoveCollection(const std::string& name) {
         ++q;
       }
     }
+    SetQueueDepthLocked();
+    collections_gauge_->Set(static_cast<double>(collections_.size()));
+    // The counters keep their cumulative series (Prometheus semantics); a
+    // size gauge for an unhosted collection honestly reads 0.
+    removed->metric.vectors->Set(0.0);
   }
   // An in-flight batch keeps the collection alive through its own
   // shared_ptr; only the queued queries are failed here.
@@ -356,9 +480,14 @@ Status SearchService::Enqueue(const std::string& collection,
     pending->deadline = pending->submitted + options.timeout;
     ++deadline_queued_;
   }
+  // Tracing rides on the Pending; with trace off this copies a bool and
+  // an (empty) string — nothing is allocated for observability.
+  pending->trace = options.trace;
+  if (options.trace) pending->request_id = options.request_id;
   ++host.admitted;
   pending->queued = true;
   queue_.push_back(std::move(pending));
+  SetQueueDepthLocked();
   dispatch_cv_.notify_one();
   return Status::OK();
 }
@@ -372,6 +501,7 @@ bool SearchService::Cancel(uint64_t id) {
         NoteDequeuedLocked(**it);
         found = std::move(*it);
         queue_.erase(it);
+        SetQueueDepthLocked();
         break;
       }
     }
@@ -399,6 +529,27 @@ size_t SearchService::queue_depth() const {
   return queue_.size();
 }
 
+void SearchService::SetQueueDepthLocked() {
+  queue_depth_gauge_->Set(static_cast<double>(queue_.size()));
+}
+
+Result<std::vector<SlowQueryEntry>> SearchService::SlowLog(
+    const std::string& name) const {
+  std::shared_ptr<Collection> host;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = collections_.find(name);
+    if (it == collections_.end()) {
+      return Status::NotFound("no collection named " + name);
+    }
+    host = it->second;
+  }
+  // Snapshot outside the service mutex: the log has its own (briefly held)
+  // lock, and the shared_ptr keeps the collection alive across a
+  // concurrent RemoveCollection.
+  return host->slowlog->Snapshot();
+}
+
 ServiceStats SearchService::Stats() const {
   ServiceStats stats;
   stats.pool_threads = pool_.num_threads();
@@ -410,20 +561,34 @@ ServiceStats SearchService::Stats() const {
   // Per-dispatcher accounting: how evenly the replicated dispatchers split
   // the load, and how saturated each is. Busy covers completed
   // DispatchBatch calls only (an in-flight batch lands on the next
-  // snapshot), so the fraction trails reality by at most one batch.
-  const double uptime_ms = MillisBetween(started_, now);
+  // snapshot), so the fraction trails reality by at most one batch — and
+  // it is WINDOWED over qps_window, like the QPS gauge: summing lifetime
+  // busy over lifetime uptime would let one early idle stretch dilute the
+  // gauge forever (the same bug class the windowed QPS fix closed).
+  const double window_ms = std::min(
+      MillisBetween(started_, now),
+      std::chrono::duration<double, std::milli>(config_.qps_window).count());
   stats.dispatchers.reserve(dispatchers_.size());
   for (const Dispatcher& dispatcher : dispatchers_) {
     DispatcherStats ds;
     ds.dispatches = dispatcher.dispatches;
+    Clock::duration busy{};
+    for (const Dispatcher::BusySample& sample : dispatcher.busy_ring) {
+      // A batch is scored into the window its END falls in; a long batch
+      // straddling the cutoff counts whole (clamped below), which biases
+      // toward "busy" exactly when batches outlast the window — the
+      // honest direction for a saturation gauge.
+      if (sample.end >= cutoff) busy += sample.busy;
+    }
     const double busy_ms =
-        std::chrono::duration<double, std::milli>(dispatcher.busy).count();
+        std::chrono::duration<double, std::milli>(busy).count();
     ds.busy_fraction =
-        uptime_ms > 0.0 ? std::min(1.0, busy_ms / uptime_ms) : 0.0;
+        window_ms > 0.0 ? std::min(1.0, busy_ms / window_ms) : 0.0;
     stats.dispatchers.push_back(ds);
   }
   for (const auto& [name, collection] : collections_) {
     CollectionStats cs;
+    cs.count = collection->count;
     cs.admitted = collection->admitted;
     cs.completed = collection->completed;
     cs.rejected = collection->rejected;
@@ -477,6 +642,7 @@ void SearchService::DispatcherMain(size_t dispatcher) {
     std::vector<std::unique_ptr<Pending>> expired;
     const Clock::time_point earliest = SweepDeadlinesLocked(&expired);
     if (!expired.empty()) {
+      SetQueueDepthLocked();
       lock.unlock();
       for (auto& pending : expired) {
         Complete(std::move(pending),
@@ -488,12 +654,21 @@ void SearchService::DispatcherMain(size_t dispatcher) {
     if (stopping_) break;
     if (!paused_ && !queue_.empty()) {
       std::vector<std::unique_ptr<Pending>> batch = CollectBatchLocked();
+      SetQueueDepthLocked();
       lock.unlock();
       const Clock::time_point begin = Clock::now();
       DispatchBatch(dispatcher, std::move(batch));
-      const Clock::duration busy = Clock::now() - begin;
+      const Clock::time_point end = Clock::now();
       lock.lock();
-      self.busy += busy;
+      // Ring of (end, duration) samples: Stats() sums the ones ending
+      // inside qps_window for the windowed busy_fraction.
+      Dispatcher::BusySample sample{end, end - begin};
+      if (self.busy_ring.size() < self.busy_ring_capacity) {
+        self.busy_ring.push_back(sample);
+      } else {
+        self.busy_ring[self.busy_next] = sample;
+      }
+      self.busy_next = (self.busy_next + 1) % self.busy_ring_capacity;
       continue;
     }
     // Nothing dispatchable: sleep until new work arrives — or, when a
@@ -513,6 +688,7 @@ void SearchService::DispatcherMain(size_t dispatcher) {
   for (auto& pending : queue_) drained.push_back(std::move(pending));
   queue_.clear();
   deadline_queued_ = 0;
+  SetQueueDepthLocked();
   lock.unlock();
   for (auto& pending : drained) {
     Complete(std::move(pending), Status::Cancelled("service shut down"), {});
@@ -628,9 +804,33 @@ void SearchService::DispatchBatch(
       ++host->dispatches;
       ++self.dispatches;
     }
+    host->metric.dispatches->Inc();
+    self.batches_metric->Inc();
+    // Per-query search-work counters land in the dispatcher's
+    // pre-reserved scratch — observability adds no allocation here (a
+    // BatchProfile would drag a LatencyRecorder window along).
+    const Clock::time_point search_begin = Clock::now();
     std::vector<std::vector<Neighbor>> results =
         searcher.SearchBatchWith(slot, knobs, self.scratch.data(),
-                                 live.size());
+                                 live.size(), nullptr,
+                                 self.counters_scratch.data());
+    const Clock::time_point search_end = Clock::now();
+    const double stage_ms = MillisBetween(dispatch_start, search_begin);
+    const double search_ms = MillisBetween(search_begin, search_end);
+    SearchCounters batch_work;
+    for (size_t i = 0; i < live.size(); ++i) {
+      live[i]->searched = true;
+      live[i]->stage_ms = stage_ms;
+      live[i]->search_ms = search_ms;
+      live[i]->search_end = search_end;
+      live[i]->counters = self.counters_scratch[i];
+      batch_work += self.counters_scratch[i];
+    }
+    host->metric.blocks_visited->Inc(batch_work.blocks_visited);
+    host->metric.vectors_pruned->Inc(batch_work.vectors_pruned);
+    host->metric.values_scanned->Inc(batch_work.values_scanned);
+    host->metric.values_avoided->Inc(batch_work.values_avoided);
+    host->metric.dims_scanned->Inc(batch_work.dims_scanned);
     for (size_t i = 0; i < live.size(); ++i) {
       Complete(std::move(live[i]), Status::OK(), std::move(results[i]));
     }
@@ -702,6 +902,75 @@ void SearchService::Complete(std::unique_ptr<Pending> pending, Status status,
       default:
         break;  // InvalidArgument etc.: attributed to no bucket.
     }
+  }
+
+  // Observability lands OUTSIDE mutex_: the instruments are lock-free
+  // atomics (and the slowlog carries its own bounded lock), and the
+  // shared_ptr keeps the collection's instruments and slowlog alive even
+  // past RemoveCollection.
+  if (pending->collection != nullptr) {
+    Collection& host = *pending->collection;
+    switch (result.status.code()) {
+      case Status::Code::kOk:
+        host.metric.completed->Inc();
+        break;
+      case Status::Code::kResourceExhausted:
+        host.metric.rejected->Inc();
+        break;
+      case Status::Code::kDeadlineExceeded:
+        host.metric.expired->Inc();
+        break;
+      case Status::Code::kCancelled:
+        host.metric.cancelled->Inc();
+        break;
+      case Status::Code::kInternal:
+        host.metric.failed->Inc();
+        break;
+      default:
+        break;
+    }
+    // Stage histograms mirror the queue_ms attribution above: queue for
+    // anything that actually waited, dispatch/search only once a batch
+    // ran it, total only for delivered answers (mixing shed queries into
+    // the end-to-end histogram would make it bimodal by failure mode).
+    if (pending->queued) host.metric.queue_ms->Observe(result.queue_ms);
+    if (pending->searched) {
+      host.metric.dispatch_ms->Observe(pending->stage_ms);
+      host.metric.search_ms->Observe(pending->search_ms);
+    }
+    if (result.status.ok()) host.metric.total_ms->Observe(result.total_ms);
+    // Slow-query log. Qualifies is a lock-free threshold read, so the
+    // common case (fast query, full log of slower ones) never takes the
+    // slowlog lock and builds no entry.
+    if (pending->queued && host.slowlog->Qualifies(result.total_ms)) {
+      SlowQueryEntry entry;
+      entry.id = pending->id;
+      entry.request_id = pending->request_id;
+      entry.outcome = StatusCodeName(result.status.code());
+      entry.k = pending->k;
+      entry.nprobe = pending->nprobe;
+      entry.queue_ms = result.queue_ms;
+      entry.stage_ms = pending->stage_ms;
+      entry.search_ms = pending->search_ms;
+      entry.total_ms = result.total_ms;
+      entry.counters = pending->counters;
+      host.slowlog->Add(std::move(entry));
+    }
+  }
+
+  // The trace is the one heap allocation tracing costs — and only on
+  // traced queries; untraced ones leave result.trace null.
+  if (pending->trace) {
+    auto trace = std::make_shared<QueryTrace>();
+    trace->request_id = pending->request_id;
+    trace->queue_ms = result.queue_ms;
+    trace->stage_ms = pending->stage_ms;
+    trace->search_ms = pending->search_ms;
+    trace->deliver_ms =
+        pending->searched ? MillisBetween(pending->search_end, now) : 0.0;
+    trace->total_ms = result.total_ms;
+    trace->counters = pending->counters;
+    result.trace = std::move(trace);
   }
 
   // Delivery happens outside the lock: a callback may re-enter the service

@@ -18,6 +18,8 @@
 #include "common/status.h"
 #include "core/any_searcher.h"
 #include "core/sharded_searcher.h"
+#include "obs/metrics.h"
+#include "obs/slow_query_log.h"
 #include "serve/query.h"
 #include "serve/service_stats.h"
 #include "storage/vector_set.h"
@@ -49,8 +51,17 @@ struct ServiceConfig {
   size_t latency_window = LatencyRecorder::kDefaultWindow;
   /// Horizon of the per-collection QPS gauge: Stats() computes QPS over
   /// the completions inside this window, so an idle gap drops the gauge to
-  /// zero instead of diluting a lifetime average. Must be > 0.
+  /// zero instead of diluting a lifetime average. Also the horizon of
+  /// DispatcherStats::busy_fraction. Must be > 0.
   std::chrono::milliseconds qps_window{10'000};
+  /// Registry the service reports its serving metrics into (counters,
+  /// stage histograms, queue-depth gauge — scraped by GET /metrics).
+  /// nullptr = the process-global MetricsRegistry::Default(); tests inject
+  /// a local registry so their counts never bleed across cases. Must
+  /// outlive the service.
+  MetricsRegistry* metrics = nullptr;
+  /// Worst traces retained per collection (GET .../slowlog). Clamped >= 1.
+  size_t slowlog_capacity = 8;
 };
 
 /// Shape of one hosted collection, as captured at AddCollection time plus
@@ -191,6 +202,15 @@ class SearchService {
   /// QPS/latency percentiles.
   ServiceStats Stats() const;
 
+  /// The N worst queries (by total_ms) collection `name` has served,
+  /// worst first — populated for every served query, traced or not.
+  /// NotFound when the name is not hosted.
+  Result<std::vector<SlowQueryEntry>> SlowLog(const std::string& name) const;
+
+  /// The registry this service reports into (the injected one, or the
+  /// process default) — what a wire front end scrapes for GET /metrics.
+  MetricsRegistry& metrics() const { return *metrics_; }
+
   /// Stops the dispatcher: in-flight work finishes, everything still
   /// queued completes with kCancelled, later Submits are rejected with
   /// kCancelled. Idempotent; the destructor calls it. Must not be called
@@ -236,6 +256,12 @@ class SearchService {
   /// Bookkeeping for every removal from queue_: keeps deadline_queued_
   /// exact so the deadline sweep can early-out. Caller holds mutex_.
   void NoteDequeuedLocked(const Pending& pending);
+  /// Re-stamps the queue-depth gauge from queue_.size(); called at the end
+  /// of every critical section that mutates queue_. Caller holds mutex_.
+  void SetQueueDepthLocked();
+  /// Resolves collection `name`'s metric instruments (get-or-create, so a
+  /// re-added name keeps its cumulative series). Called from Adopt.
+  void ResolveCollectionMetrics(Collection& collection);
   void DispatchBatch(size_t dispatcher,
                      std::vector<std::unique_ptr<Pending>> batch);
   /// Fails every not-yet-completed query in `live` with kInternal — the
@@ -252,14 +278,33 @@ class SearchService {
   struct Dispatcher {
     std::thread thread;
     std::vector<float> scratch;  ///< This dispatcher's query staging buffer.
+    /// Per-query search-work counters for the batch in flight, sized
+    /// max_batch at construction so the dispatch path never allocates for
+    /// observability — the "tracing off costs nothing" contract.
+    std::vector<SearchCounters> counters_scratch;
     uint64_t dispatches = 0;     ///< Batches dispatched; guarded by mutex_.
-    /// Wall time spent inside DispatchBatch; guarded by mutex_.
-    std::chrono::steady_clock::duration busy{};
+    /// Ring of completed batches' (end time, busy duration) — the windowed
+    /// busy_fraction gauge. Guarded by mutex_.
+    struct BusySample {
+      std::chrono::steady_clock::time_point end{};
+      std::chrono::steady_clock::duration busy{};
+    };
+    std::vector<BusySample> busy_ring;
+    size_t busy_ring_capacity = 1;
+    size_t busy_next = 0;
+    MetricCounter* batches_metric = nullptr;  ///< Resolved at construction.
   };
 
   const ServiceConfig config_;
+  MetricsRegistry* const metrics_;  ///< Never null after construction.
   ThreadPool pool_;  ///< The one pool every collection's batches share.
   const std::chrono::steady_clock::time_point started_;
+
+  // Process-level gauges, resolved once. queue_depth_gauge_ is re-stamped
+  // at the end of every critical section that changes queue_ (see
+  // SetQueueDepthLocked), the others at construction / collection churn.
+  MetricGauge* queue_depth_gauge_ = nullptr;
+  MetricGauge* collections_gauge_ = nullptr;
 
   mutable std::mutex mutex_;
   std::condition_variable dispatch_cv_;

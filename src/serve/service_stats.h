@@ -15,6 +15,7 @@ namespace pdx {
 /// one of completed/expired/cancelled; rejected queries were never
 /// admitted.
 struct CollectionStats {
+  size_t count = 0;       ///< Vectors hosted (the collection's size).
   size_t admitted = 0;    ///< Accepted into the queue.
   size_t completed = 0;   ///< Searched and delivered OK.
   size_t rejected = 0;    ///< Turned away with kResourceExhausted.
@@ -42,10 +43,14 @@ struct DispatcherStats {
   /// Batches this dispatcher popped and ran (sums to the total of the
   /// per-collection CollectionStats::dispatches across the service).
   uint64_t dispatches = 0;
-  /// Fraction of the service's lifetime this dispatcher spent inside
-  /// dispatch (staging + search + result delivery), in [0, 1]. Near-equal
-  /// busy fractions mean the replicas split the load evenly; all near 1.0
-  /// means dispatch itself is the bottleneck — add dispatchers.
+  /// Fraction of the recent ServiceConfig::qps_window this dispatcher
+  /// spent inside dispatch (staging + search + result delivery), in
+  /// [0, 1]. Windowed like CollectionStats::qps — a lifetime fraction
+  /// would let one early idle period dilute the gauge forever — and
+  /// covering completed DispatchBatch calls only, so it trails reality by
+  /// at most one in-flight batch. Near-equal busy fractions mean the
+  /// replicas split the load evenly; all near 1.0 means dispatch itself
+  /// is the bottleneck — add dispatchers.
   double busy_fraction = 0.0;
 };
 

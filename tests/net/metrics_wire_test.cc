@@ -1,0 +1,349 @@
+// Observability over real sockets: GET /metrics returns a structurally
+// valid Prometheus exposition whose totals match a quiescent ServiceStats
+// snapshot; every response carries X-Request-Id (echoed or minted);
+// "trace": true returns the per-stage breakdown; /slowlog and the
+// upgraded /healthz round-trip.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "benchlib/datagen.h"
+#include "net/http_client.h"
+#include "net/http_server.h"
+#include "net/json.h"
+#include "net/search_handler.h"
+#include "serve/search_service.h"
+
+namespace pdx {
+namespace {
+
+Dataset MakeData(size_t dim = 16, uint64_t seed = 5, size_t count = 1200,
+                 size_t num_queries = 8) {
+  SyntheticSpec spec;
+  spec.name = "metrics-wire";
+  spec.dim = dim;
+  spec.count = count;
+  spec.num_queries = num_queries;
+  spec.num_clusters = 8;
+  spec.seed = seed;
+  spec.distribution = ValueDistribution::kNormal;
+  return GenerateDataset(spec);
+}
+
+/// The wire stack with an injected registry, so metric counts never bleed
+/// across test cases through the process-global default.
+struct WireStack {
+  WireStack() : service(MakeServiceConfig()), handler(service) {
+    Status started = server.Start(handler.AsHttpHandler());
+    EXPECT_TRUE(started.ok()) << started.ToString();
+  }
+  ~WireStack() { server.Stop(); }
+
+  ServiceConfig MakeServiceConfig() {
+    ServiceConfig config;
+    config.threads = 2;
+    config.metrics = &registry;
+    return config;
+  }
+
+  HttpClient NewClient() {
+    HttpClient client;
+    Status connected = client.Connect("127.0.0.1", server.port());
+    EXPECT_TRUE(connected.ok()) << connected.ToString();
+    return client;
+  }
+
+  MetricsRegistry registry;  ///< Declared first: must outlive the service.
+  SearchService service;
+  SearchHandler handler;
+  HttpServer server;
+};
+
+JsonValue VectorsJson(const VectorSet& vectors) {
+  JsonValue rows = JsonValue::Array();
+  for (size_t i = 0; i < vectors.count(); ++i) {
+    JsonValue row = JsonValue::Array();
+    const float* v = vectors.Vector(static_cast<VectorId>(i));
+    for (size_t d = 0; d < vectors.dim(); ++d) {
+      row.Append(static_cast<double>(v[d]));
+    }
+    rows.Append(std::move(row));
+  }
+  return rows;
+}
+
+JsonValue QueryJson(const float* query, size_t dim) {
+  JsonValue out = JsonValue::Array();
+  for (size_t d = 0; d < dim; ++d) out.Append(static_cast<double>(query[d]));
+  return out;
+}
+
+JsonValue MustParseBody(const HttpResponse& response) {
+  Result<JsonValue> parsed = ParseJson(response.body);
+  EXPECT_TRUE(parsed.ok()) << response.body;
+  return parsed.ok() ? std::move(parsed).value() : JsonValue();
+}
+
+void PutCollection(HttpClient& client, const Dataset& data,
+                   const std::string& name) {
+  JsonValue put = JsonValue::Object();
+  put.Set("vectors", VectorsJson(data.data));
+  put.Set("layout", "ivf");
+  put.Set("pruner", "bond");
+  put.Set("k", static_cast<size_t>(10));
+  put.Set("nprobe", static_cast<size_t>(4));
+  Result<HttpResponse> created =
+      client.Roundtrip("PUT", "/collections/" + name, WriteJson(put));
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  ASSERT_EQ(created.value().status, 201) << created.value().body;
+}
+
+void RunSearches(HttpClient& client, const Dataset& data,
+                 const std::string& name, size_t count) {
+  for (size_t q = 0; q < count; ++q) {
+    JsonValue body = JsonValue::Object();
+    body.Set("query",
+             QueryJson(data.queries.Vector(
+                           static_cast<VectorId>(q % data.queries.count())),
+                       data.dim()));
+    Result<HttpResponse> response = client.Roundtrip(
+        "POST", "/collections/" + name + "/search", WriteJson(body));
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    ASSERT_EQ(response.value().status, 200) << response.value().body;
+  }
+}
+
+/// Parses `name{labels} value` sample lines out of an exposition; returns
+/// the value of the exactly-matching series line, or -1.
+double SeriesValue(const std::string& exposition, const std::string& series) {
+  std::istringstream lines(exposition);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.compare(0, series.size() + 1, series + " ") == 0) {
+      return std::stod(line.substr(series.size() + 1));
+    }
+  }
+  return -1.0;
+}
+
+TEST(MetricsWireTest, MetricsExpositionMatchesQuiescentStats) {
+  Dataset data = MakeData();
+  WireStack stack;
+  HttpClient client = stack.NewClient();
+  PutCollection(client, data, "demo");
+  constexpr size_t kQueries = 6;
+  RunSearches(client, data, "demo", kQueries);
+
+  // Every search round-tripped synchronously above, so the service is
+  // quiescent: the scrape and the stats snapshot must agree exactly.
+  Result<HttpResponse> scrape = client.Roundtrip("GET", "/metrics");
+  ASSERT_TRUE(scrape.ok());
+  ASSERT_EQ(scrape.value().status, 200);
+  EXPECT_EQ(scrape.value().content_type.find("text/plain"), 0u)
+      << scrape.value().content_type;
+  const std::string& text = scrape.value().body;
+  const ServiceStats stats = stack.service.Stats();
+  const CollectionStats& cs = stats.collections.at("demo");
+  EXPECT_EQ(cs.completed, kQueries);
+
+  EXPECT_DOUBLE_EQ(
+      SeriesValue(
+          text, "pdx_queries_total{collection=\"demo\",outcome=\"completed\"}"),
+      static_cast<double>(cs.completed));
+  EXPECT_DOUBLE_EQ(
+      SeriesValue(text, "pdx_dispatches_total{collection=\"demo\"}"),
+      static_cast<double>(cs.dispatches));
+  EXPECT_DOUBLE_EQ(
+      SeriesValue(
+          text,
+          "pdx_query_stage_ms_count{collection=\"demo\",stage=\"total\"}"),
+      static_cast<double>(cs.completed));
+  EXPECT_DOUBLE_EQ(SeriesValue(text, "pdx_collection_vectors{collection"
+                                     "=\"demo\"}"),
+                   static_cast<double>(data.data.count()));
+  EXPECT_DOUBLE_EQ(SeriesValue(text, "pdx_queue_depth"), 0.0);
+  EXPECT_DOUBLE_EQ(SeriesValue(text, "pdx_collections"), 1.0);
+  EXPECT_GT(SeriesValue(
+                text, "pdx_search_values_scanned_total{collection=\"demo\"}"),
+            0.0);
+  // The ISA info gauge is present with some tier label.
+  EXPECT_NE(text.find("pdx_isa_tier{isa=\""), std::string::npos);
+
+  // Structural validation: every non-comment line is `series value`, and
+  // histogram buckets are cumulative per series block.
+  std::istringstream lines(text);
+  std::string line;
+  uint64_t previous_bucket = 0;
+  bool in_bucket_run = false;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty()) << "blank line in exposition";
+    if (line[0] == '#') {
+      EXPECT_TRUE(line.compare(0, 7, "# HELP ") == 0 ||
+                  line.compare(0, 7, "# TYPE ") == 0)
+          << line;
+      continue;
+    }
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    ASSERT_LT(space + 1, line.size()) << line;
+    const std::string value = line.substr(space + 1);
+    EXPECT_NO_THROW((void)std::stod(value)) << line;
+    const bool is_bucket = line.find("_bucket{") != std::string::npos;
+    if (is_bucket) {
+      const uint64_t bucket = std::stoull(value);
+      if (in_bucket_run) EXPECT_GE(bucket, previous_bucket) << line;
+      previous_bucket = bucket;
+      in_bucket_run = line.find("le=\"+Inf\"") == std::string::npos;
+    } else {
+      in_bucket_run = false;
+    }
+  }
+}
+
+TEST(MetricsWireTest, RequestIdIsEchoedOrMinted) {
+  Dataset data = MakeData();
+  WireStack stack;
+  HttpClient client = stack.NewClient();
+
+  // Minted when absent — present on every route, errors included.
+  Result<HttpResponse> health = client.Roundtrip("GET", "/healthz");
+  ASSERT_TRUE(health.ok());
+  const auto minted = health.value().headers.find("x-request-id");
+  ASSERT_NE(minted, health.value().headers.end());
+  EXPECT_FALSE(minted->second.empty());
+
+  Result<HttpResponse> missing = client.Roundtrip("GET", "/collections/nope");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing.value().status, 404);
+  EXPECT_NE(missing.value().headers.find("x-request-id"),
+            missing.value().headers.end());
+
+  // Echoed when supplied.
+  Result<HttpResponse> echoed = client.Roundtrip(
+      "GET", "/healthz", "", {{"X-Request-Id", "client-id-123"}});
+  ASSERT_TRUE(echoed.ok());
+  ASSERT_NE(echoed.value().headers.find("x-request-id"),
+            echoed.value().headers.end());
+  EXPECT_EQ(echoed.value().headers.at("x-request-id"), "client-id-123");
+
+  // A hostile id is clamped and sanitized, never reflected verbatim.
+  const std::string hostile(500, 'a');
+  Result<HttpResponse> clamped =
+      client.Roundtrip("GET", "/healthz", "", {{"X-Request-Id", hostile}});
+  ASSERT_TRUE(clamped.ok());
+  EXPECT_EQ(clamped.value().headers.at("x-request-id"), std::string(128, 'a'));
+}
+
+TEST(MetricsWireTest, TracedSearchReturnsStageBreakdown) {
+  Dataset data = MakeData();
+  WireStack stack;
+  HttpClient client = stack.NewClient();
+  PutCollection(client, data, "demo");
+
+  JsonValue body = JsonValue::Object();
+  body.Set("query", QueryJson(data.queries.Vector(0), data.dim()));
+  body.Set("trace", JsonValue(true));
+  Result<HttpResponse> response =
+      client.Roundtrip("POST", "/collections/demo/search", WriteJson(body),
+                       {{"X-Request-Id", "trace-req-1"}});
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response.value().status, 200) << response.value().body;
+  const JsonValue parsed = MustParseBody(response.value());
+  const JsonValue* trace = parsed.Find("trace");
+  ASSERT_NE(trace, nullptr) << response.value().body;
+  EXPECT_EQ(trace->Find("request_id")->AsString(), "trace-req-1");
+  const JsonValue* stages = trace->Find("stages");
+  ASSERT_NE(stages, nullptr);
+  for (const char* stage : {"queue_ms", "dispatch_ms", "search_ms",
+                            "deliver_ms", "total_ms"}) {
+    ASSERT_NE(stages->Find(stage), nullptr) << stage;
+    EXPECT_GE(stages->Find(stage)->AsNumber(), 0.0) << stage;
+  }
+  EXPECT_GT(stages->Find("search_ms")->AsNumber(), 0.0);
+  const JsonValue* counters = trace->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_GT(counters->Find("values_scanned")->AsNumber(), 0.0);
+  EXPECT_GT(counters->Find("blocks_visited")->AsNumber(), 0.0);
+  ASSERT_NE(counters->Find("pruning_power"), nullptr);
+
+  // An untraced search on the same stack carries no trace object.
+  JsonValue plain = JsonValue::Object();
+  plain.Set("query", QueryJson(data.queries.Vector(0), data.dim()));
+  Result<HttpResponse> untraced = client.Roundtrip(
+      "POST", "/collections/demo/search", WriteJson(plain));
+  ASSERT_TRUE(untraced.ok());
+  EXPECT_EQ(MustParseBody(untraced.value()).Find("trace"), nullptr);
+
+  // A non-boolean trace knob is a 400, not a silent default.
+  JsonValue bad = JsonValue::Object();
+  bad.Set("query", QueryJson(data.queries.Vector(0), data.dim()));
+  bad.Set("trace", "yes");
+  Result<HttpResponse> rejected = client.Roundtrip(
+      "POST", "/collections/demo/search", WriteJson(bad));
+  ASSERT_TRUE(rejected.ok());
+  EXPECT_EQ(rejected.value().status, 400);
+}
+
+TEST(MetricsWireTest, SlowlogRoundTrips) {
+  Dataset data = MakeData();
+  WireStack stack;
+  HttpClient client = stack.NewClient();
+  PutCollection(client, data, "demo");
+  RunSearches(client, data, "demo", 4);
+
+  Result<HttpResponse> slowlog =
+      client.Roundtrip("GET", "/collections/demo/slowlog");
+  ASSERT_TRUE(slowlog.ok());
+  ASSERT_EQ(slowlog.value().status, 200) << slowlog.value().body;
+  const JsonValue body = MustParseBody(slowlog.value());
+  EXPECT_EQ(body.Find("collection")->AsString(), "demo");
+  const JsonValue* entries = body.Find("slowlog");
+  ASSERT_NE(entries, nullptr);
+  ASSERT_TRUE(entries->is_array());
+  ASSERT_GE(entries->size(), 1u);
+  double previous = std::numeric_limits<double>::infinity();
+  for (const JsonValue& entry : entries->items()) {
+    EXPECT_EQ(entry.Find("outcome")->AsString(), "OK");
+    const double total = entry.Find("total_ms")->AsNumber();
+    EXPECT_LE(total, previous) << "slowlog must be worst-first";
+    previous = total;
+    ASSERT_NE(entry.Find("counters"), nullptr);
+    EXPECT_GT(entry.Find("counters")->Find("values_scanned")->AsNumber(), 0.0);
+  }
+
+  Result<HttpResponse> missing =
+      client.Roundtrip("GET", "/collections/nope/slowlog");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing.value().status, 404);
+}
+
+TEST(MetricsWireTest, HealthzCarriesQueueDepthAndCollectionCounts) {
+  Dataset data = MakeData();
+  WireStack stack;
+  HttpClient client = stack.NewClient();
+  PutCollection(client, data, "demo");
+
+  Result<HttpResponse> health = client.Roundtrip("GET", "/healthz");
+  ASSERT_TRUE(health.ok());
+  ASSERT_EQ(health.value().status, 200);
+  const JsonValue body = MustParseBody(health.value());
+  EXPECT_EQ(body.Find("status")->AsString(), "ok");
+  ASSERT_NE(body.Find("queue_depth"), nullptr);
+  EXPECT_EQ(body.Find("queue_depth")->AsNumber(), 0.0);
+  const JsonValue* collections = body.Find("collections");
+  ASSERT_NE(collections, nullptr);
+  ASSERT_TRUE(collections->is_object());
+  const JsonValue* demo = collections->Find("demo");
+  ASSERT_NE(demo, nullptr);
+  EXPECT_EQ(static_cast<size_t>(demo->Find("count")->AsNumber()),
+            data.data.count());
+}
+
+}  // namespace
+}  // namespace pdx

@@ -1,0 +1,220 @@
+// End-to-end tracing through a real SearchService: trace off yields a
+// null trace (and costs nothing visible), trace on yields a stage
+// breakdown whose parts sum to the whole plus nonzero search-work
+// counters; the slowlog retains the worst queries; the injected registry
+// agrees with ServiceStats once the service is quiescent.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "benchlib/datagen.h"
+#include "serve/search_service.h"
+
+namespace pdx {
+namespace {
+
+using namespace std::chrono_literals;
+
+Dataset MakeData(size_t dim = 24, uint64_t seed = 17, size_t count = 2000,
+                 size_t num_queries = 16) {
+  SyntheticSpec spec;
+  spec.name = "trace-test";
+  spec.dim = dim;
+  spec.count = count;
+  spec.num_queries = num_queries;
+  spec.num_clusters = 8;
+  spec.seed = seed;
+  spec.distribution = ValueDistribution::kNormal;
+  return GenerateDataset(spec);
+}
+
+SearcherConfig Config() {
+  SearcherConfig config;
+  config.layout = SearcherLayout::kIvf;
+  config.pruner = PrunerKind::kBond;
+  config.k = 10;
+  config.nprobe = 4;
+  return config;
+}
+
+TEST(QueryTraceTest, UntracedQueriesCarryNoTrace) {
+  Dataset data = MakeData();
+  MetricsRegistry registry;
+  ServiceConfig sc;
+  sc.threads = 2;
+  sc.metrics = &registry;
+  SearchService service(sc);
+  ASSERT_TRUE(service.AddCollection("docs", data.data, Config()).ok());
+
+  QueryTicket ticket = service.Submit("docs", data.queries.Vector(0));
+  QueryResult result = ticket.result.get();
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_EQ(result.trace, nullptr);
+}
+
+TEST(QueryTraceTest, TracedQueryReportsStagesAndCounters) {
+  Dataset data = MakeData();
+  MetricsRegistry registry;
+  ServiceConfig sc;
+  sc.threads = 2;
+  sc.metrics = &registry;
+  SearchService service(sc);
+  ASSERT_TRUE(service.AddCollection("docs", data.data, Config()).ok());
+
+  QueryOptions options;
+  options.trace = true;
+  options.request_id = "trace-me-7";
+  QueryTicket ticket = service.Submit("docs", data.queries.Vector(1), options);
+  QueryResult result = ticket.result.get();
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  ASSERT_NE(result.trace, nullptr);
+  const QueryTrace& trace = *result.trace;
+  EXPECT_EQ(trace.request_id, "trace-me-7");
+
+  // The four stages partition submission -> completion exactly (same
+  // clock, same endpoints); allow only fp rounding slack.
+  EXPECT_GE(trace.queue_ms, 0.0);
+  EXPECT_GE(trace.stage_ms, 0.0);
+  EXPECT_GT(trace.search_ms, 0.0);
+  EXPECT_GE(trace.deliver_ms, 0.0);
+  const double sum =
+      trace.queue_ms + trace.stage_ms + trace.search_ms + trace.deliver_ms;
+  EXPECT_NEAR(sum, trace.total_ms, 0.01) << "stages must partition total";
+  EXPECT_DOUBLE_EQ(trace.total_ms, result.total_ms);
+  EXPECT_DOUBLE_EQ(trace.queue_ms, result.queue_ms);
+
+  // A real search did real work: the counters came up from the engine.
+  EXPECT_GT(trace.counters.blocks_visited, 0u);
+  EXPECT_GT(trace.counters.values_scanned, 0u);
+  EXPECT_GT(trace.counters.dims_scanned, 0u);
+  // BOND pruned something on a clustered dataset; pruning power is a
+  // fraction of the scanned+avoided universe.
+  EXPECT_GE(trace.counters.pruning_power(), 0.0);
+  EXPECT_LE(trace.counters.pruning_power(), 1.0);
+}
+
+TEST(QueryTraceTest, TracedAndUntracedResultsAreIdentical) {
+  Dataset data = MakeData();
+  MetricsRegistry registry;
+  ServiceConfig sc;
+  sc.threads = 1;
+  sc.dispatchers = 1;
+  sc.metrics = &registry;
+  SearchService service(sc);
+  ASSERT_TRUE(service.AddCollection("docs", data.data, Config()).ok());
+
+  for (size_t q = 0; q < 4; ++q) {
+    QueryResult plain =
+        service.Submit("docs", data.queries.Vector(q)).result.get();
+    QueryOptions options;
+    options.trace = true;
+    QueryResult traced =
+        service.Submit("docs", data.queries.Vector(q), options).result.get();
+    ASSERT_TRUE(plain.status.ok());
+    ASSERT_TRUE(traced.status.ok());
+    ASSERT_EQ(plain.neighbors.size(), traced.neighbors.size());
+    for (size_t i = 0; i < plain.neighbors.size(); ++i) {
+      EXPECT_EQ(plain.neighbors[i].id, traced.neighbors[i].id);
+      EXPECT_EQ(plain.neighbors[i].distance, traced.neighbors[i].distance);
+    }
+  }
+}
+
+TEST(QueryTraceTest, SlowLogRetainsWorstQueriesWorstFirst) {
+  Dataset data = MakeData();
+  MetricsRegistry registry;
+  ServiceConfig sc;
+  sc.threads = 2;
+  sc.metrics = &registry;
+  sc.slowlog_capacity = 3;
+  SearchService service(sc);
+  ASSERT_TRUE(service.AddCollection("docs", data.data, Config()).ok());
+
+  for (size_t q = 0; q < 8; ++q) {
+    ASSERT_TRUE(
+        service.Submit("docs", data.queries.Vector(q)).result.get().status.ok());
+  }
+  Result<std::vector<SlowQueryEntry>> slowlog = service.SlowLog("docs");
+  ASSERT_TRUE(slowlog.ok());
+  const std::vector<SlowQueryEntry>& entries = slowlog.value();
+  ASSERT_LE(entries.size(), 3u);
+  ASSERT_GE(entries.size(), 1u);
+  for (size_t i = 1; i < entries.size(); ++i) {
+    EXPECT_GE(entries[i - 1].total_ms, entries[i].total_ms) << "not sorted";
+  }
+  for (const SlowQueryEntry& entry : entries) {
+    EXPECT_EQ(entry.outcome, "OK");
+    EXPECT_GT(entry.total_ms, 0.0);
+    EXPECT_GT(entry.counters.values_scanned, 0u);  // Populated untraced too.
+  }
+  EXPECT_FALSE(service.SlowLog("nope").ok());
+}
+
+TEST(QueryTraceTest, RegistryAgreesWithServiceStatsWhenQuiescent) {
+  Dataset data = MakeData();
+  MetricsRegistry registry;
+  ServiceConfig sc;
+  sc.threads = 2;
+  sc.metrics = &registry;
+  SearchService service(sc);
+  ASSERT_TRUE(service.AddCollection("docs", data.data, Config()).ok());
+
+  constexpr size_t kQueries = 12;
+  for (size_t q = 0; q < kQueries; ++q) {
+    ASSERT_TRUE(service
+                    .Submit("docs", data.queries.Vector(q % 16))
+                    .result.get()
+                    .status.ok());
+  }
+  // .get() returned for every query => the service is quiescent; both
+  // views must agree exactly.
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.collections.at("docs").completed, kQueries);
+  const std::string scrape = registry.WritePrometheus();
+  EXPECT_NE(
+      scrape.find(
+          "pdx_queries_total{collection=\"docs\",outcome=\"completed\"} " +
+          std::to_string(kQueries) + "\n"),
+      std::string::npos)
+      << scrape;
+  // Stage histograms observed every completion.
+  EXPECT_NE(
+      scrape.find("pdx_query_stage_ms_count{collection=\"docs\","
+                  "stage=\"total\"} " +
+                  std::to_string(kQueries) + "\n"),
+      std::string::npos)
+      << scrape;
+  // Process gauges carry the fixed shape.
+  EXPECT_NE(scrape.find("pdx_pool_threads 2\n"), std::string::npos) << scrape;
+  EXPECT_NE(scrape.find("pdx_queue_depth 0\n"), std::string::npos) << scrape;
+}
+
+TEST(QueryTraceTest, BusyFractionIsWindowedAndBounded) {
+  Dataset data = MakeData();
+  MetricsRegistry registry;
+  ServiceConfig sc;
+  sc.threads = 2;
+  sc.metrics = &registry;
+  SearchService service(sc);
+  ASSERT_TRUE(service.AddCollection("docs", data.data, Config()).ok());
+  for (size_t q = 0; q < 8; ++q) {
+    ASSERT_TRUE(
+        service.Submit("docs", data.queries.Vector(q)).result.get().status.ok());
+  }
+  const ServiceStats stats = service.Stats();
+  double total_busy = 0.0;
+  for (const DispatcherStats& ds : stats.dispatchers) {
+    EXPECT_GE(ds.busy_fraction, 0.0);
+    EXPECT_LE(ds.busy_fraction, 1.0);
+    total_busy += ds.busy_fraction;
+  }
+  // Something dispatched, so some dispatcher was busy inside the window.
+  EXPECT_GT(total_busy, 0.0);
+}
+
+}  // namespace
+}  // namespace pdx

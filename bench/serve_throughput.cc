@@ -26,11 +26,22 @@
 // HttpClient loadgen threads over loopback sockets. The delta between the
 // in-process "service" rows and the "http" rows is the wire tax: JSON
 // encode/decode + socket hops + connection handling.
+//
+// The --ingest flag appends a live-mutation rung: mutator threads stream
+// AddVectors batches into one mutable collection WHILE searchers drive it,
+// at several base sizes. Compaction is disabled for the rung so the add
+// column measures the pure append path (repack one partial tail block);
+// the headline is the p50 ratio across base sizes, which should sit near
+// 1.0 because append cost does not depend on how large the base is. Pass
+// --json=PATH (e.g. --json=BENCH_ingest.json) to also write the rung as
+// machine-readable JSON.
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <numeric>
 #include <string>
 #include <thread>
@@ -355,6 +366,186 @@ void RunHttpRung(const SyntheticSpec& spec, size_t dispatchers) {
   table.Print();
 }
 
+/// One base-size rung of the --ingest benchmark: what it measured and what
+/// came out, for both the text table and the JSON emission.
+struct IngestRungResult {
+  size_t base_rows = 0;
+  size_t rows_added = 0;
+  /// Per AddVectors batch (kIngestBatch rows) with no searches running —
+  /// the pure append path; this is the column the base-size-independence
+  /// claim is judged on.
+  LatencySummary idle_latency;
+  LatencySummary add_latency;   ///< Same, while searchers run (adds
+                                ///< writer-lock wait behind live scans).
+  double add_qps = 0.0;         ///< Rows ingested per second (live phase).
+  double search_qps = 0.0;      ///< Concurrent search throughput.
+  LatencySummary search_latency;
+};
+
+constexpr size_t kIngestBatch = 32;  ///< Rows per AddVectors call.
+
+/// Streams AddVectors batches into `collection` from `mutators` threads
+/// while the caller drives searches, until `stop` flips. Returns per-batch
+/// latency and the number of rows that landed.
+IngestRungResult RunIngestLoad(SearchService& service,
+                               const std::string& collection,
+                               const VectorSet& rows, size_t mutators,
+                               size_t max_rows_per_mutator,
+                               std::atomic<bool>& stop) {
+  std::vector<LatencyRecorder> per_thread(mutators);
+  std::vector<size_t> added(mutators, 0);
+  Timer wall;
+  std::vector<std::thread> threads;
+  for (size_t m = 0; m < mutators; ++m) {
+    threads.emplace_back([&, m] {
+      size_t cursor = m * kIngestBatch;  // Disjoint starting offsets.
+      while (!stop.load(std::memory_order_relaxed) &&
+             added[m] < max_rows_per_mutator) {
+        if (cursor + kIngestBatch > rows.count()) cursor = 0;
+        Timer batch;
+        const auto result = service.AddVectors(
+            collection, rows.Vector(cursor), kIngestBatch, rows.dim(),
+            nullptr);
+        if (!result.ok()) return;  // Surfaces as a short "added" column.
+        per_thread[m].Record(batch.ElapsedMillis());
+        added[m] += kIngestBatch;
+        cursor += kIngestBatch;
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  IngestRungResult out;
+  const double wall_ms = wall.ElapsedMillis();
+  LatencyRecorder merged;
+  for (size_t m = 0; m < mutators; ++m) {
+    merged.Merge(per_thread[m]);
+    out.rows_added += added[m];
+  }
+  out.add_latency = merged.Summary();
+  out.add_qps = wall_ms > 0.0
+                    ? 1000.0 * static_cast<double>(out.rows_added) / wall_ms
+                    : 0.0;
+  return out;
+}
+
+/// The --ingest rung: concurrent AddVectors + search against one mutable
+/// flat collection at base sizes {N/4, N/2, N}. Compaction is off
+/// (compact_threshold=0) so the add column is the pure append path; the
+/// p50 ratio across sizes is the "ingest latency is independent of base
+/// size" evidence.
+void RunIngestRung(const SyntheticSpec& spec, size_t dispatchers,
+                   JsonValue* json_datasets) {
+  Dataset dataset = GenerateDataset(spec);
+  const size_t dim = dataset.data.dim();
+
+  SearcherConfig config = {};
+  config.layout = SearcherLayout::kFlat;
+  config.pruner = PrunerKind::kLinear;
+
+  TextTable table({"dataset", "base", "added", "idle p50(ms)", "add p50(ms)",
+                   "add p95(ms)", "add rows/s", "search QPS",
+                   "search p50(ms)"});
+  std::vector<IngestRungResult> rungs;
+  for (const size_t divisor : {4u, 2u, 1u}) {
+    const size_t base_rows = std::max<size_t>(1, spec.count / divisor);
+    ServiceConfig sc;
+    sc.threads = 0;
+    sc.max_pending = 4096;
+    sc.dispatchers = dispatchers;
+    sc.mutation.compact_threshold = 0;  // Isolate the append path.
+    SearchService service(sc);
+    const VectorSet base =
+        VectorSet::FromRowMajor(dataset.data.Vector(0), base_rows, dim);
+    if (!service.AddCollection("live", base, config).ok()) {
+      std::fprintf(stderr, "serve_throughput: AddCollection failed\n");
+      return;
+    }
+
+    // Quiesced phase first: a bounded burst with no searches in flight, so
+    // the recorded latency is the append path alone (tail-block repack +
+    // id-map insert), not writer-lock wait behind live scans.
+    std::atomic<bool> stop{false};
+    const IngestRungResult idle =
+        RunIngestLoad(service, "live", dataset.data, /*mutators=*/2,
+                      /*max_rows_per_mutator=*/50 * kIngestBatch, stop);
+
+    // Live phase: mutators run for as long as the search load does (closed
+    // loop on the searcher side); the per-mutator cap bounds delta growth
+    // if searches finish slowly.
+    IngestRungResult rung;
+    std::thread ingest([&] {
+      rung = RunIngestLoad(service, "live", dataset.data, /*mutators=*/2,
+                           /*max_rows_per_mutator=*/base_rows, stop);
+    });
+    ServiceLoadOptions load;
+    load.submitters = 4;
+    load.queries_per_submitter = 200;
+    const ServiceLoadResult searches =
+        RunServiceLoad(service, {"live"}, dataset.queries, load);
+    stop.store(true, std::memory_order_relaxed);
+    ingest.join();
+
+    rung.base_rows = base_rows;
+    rung.idle_latency = idle.add_latency;
+    rung.rows_added += idle.rows_added;
+    rung.search_qps = searches.qps();
+    rung.search_latency = service.Stats().collections.at("live").latency;
+    rungs.push_back(rung);
+    table.AddRow({spec.name, std::to_string(base_rows),
+                  std::to_string(rung.rows_added),
+                  TextTable::Num(rung.idle_latency.p50_ms, 3),
+                  TextTable::Num(rung.add_latency.p50_ms, 3),
+                  TextTable::Num(rung.add_latency.p95_ms, 3),
+                  TextTable::Num(rung.add_qps, 0),
+                  TextTable::Num(rung.search_qps, 0),
+                  TextTable::Num(rung.search_latency.p50_ms, 3)});
+  }
+  table.Print();
+
+  // The claim under test: append cost must not grow with the base. Judged
+  // on the quiesced column — the live column additionally carries
+  // writer-lock wait behind in-flight scans, which DOES scale with scan
+  // time and is reported separately.
+  double min_p50 = 0.0, max_p50 = 0.0;
+  for (const IngestRungResult& rung : rungs) {
+    if (min_p50 == 0.0 || rung.idle_latency.p50_ms < min_p50) {
+      min_p50 = rung.idle_latency.p50_ms;
+    }
+    max_p50 = std::max(max_p50, rung.idle_latency.p50_ms);
+  }
+  if (min_p50 > 0.0) {
+    std::printf(
+        "%s: quiesced add p50 largest/smallest across base sizes = %.2fx "
+        "(flat ~1x means ingest latency is independent of base size)\n",
+        spec.name.c_str(), max_p50 / min_p50);
+  }
+
+  if (json_datasets == nullptr) return;
+  JsonValue results = JsonValue::Array();
+  for (const IngestRungResult& rung : rungs) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("base_rows", rung.base_rows);
+    entry.Set("rows_added", rung.rows_added);
+    entry.Set("add_batch_rows", kIngestBatch);
+    entry.Set("idle_add_p50_ms", rung.idle_latency.p50_ms);
+    entry.Set("add_p50_ms", rung.add_latency.p50_ms);
+    entry.Set("add_p95_ms", rung.add_latency.p95_ms);
+    entry.Set("add_rows_per_s", rung.add_qps);
+    entry.Set("search_qps", rung.search_qps);
+    entry.Set("search_p50_ms", rung.search_latency.p50_ms);
+    results.Append(std::move(entry));
+  }
+  JsonValue doc = JsonValue::Object();
+  doc.Set("dataset", spec.name);
+  doc.Set("dim", dim);
+  doc.Set("dispatchers", dispatchers);
+  if (min_p50 > 0.0) {
+    doc.Set("idle_add_p50_max_over_min", max_p50 / min_p50);
+  }
+  doc.Set("results", std::move(results));
+  json_datasets->Append(std::move(doc));
+}
+
 /// Parses `--<name>=N[,M,...]` from argv into a size list; `fallback` when
 /// the flag is absent or empty.
 std::vector<size_t> ParseSizeListFlag(int argc, char** argv,
@@ -391,9 +582,13 @@ int main(int argc, char** argv) {
       ParseSizeListFlag(argc, argv, "--dispatchers=", {1, 2, 4});
   bool http = false;
   bool trace = false;
+  bool ingest = false;
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--http") == 0) http = true;
     if (std::strcmp(argv[i], "--trace") == 0) trace = true;
+    if (std::strcmp(argv[i], "--ingest") == 0) ingest = true;
+    if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
   }
   for (SyntheticSpec spec : CoreWorkloads(scale * 0.5)) {
     spec.num_queries = 100;
@@ -421,6 +616,33 @@ int main(int argc, char** argv) {
     for (SyntheticSpec spec : CoreWorkloads(scale * 0.5)) {
       spec.num_queries = 100;
       RunHttpRung(spec, wire_dispatchers);
+    }
+  }
+  if (ingest) {
+    const size_t ingest_dispatchers = *std::max_element(
+        dispatcher_counts.begin(), dispatcher_counts.end());
+    PrintBanner(
+        "Serving: streaming ingest while serving (AddVectors vs base size, "
+        "compaction off, dispatchers=" +
+        std::to_string(ingest_dispatchers) + ")");
+    JsonValue datasets = JsonValue::Array();
+    for (SyntheticSpec spec : CoreWorkloads(scale * 0.5)) {
+      spec.num_queries = 100;
+      RunIngestRung(spec, ingest_dispatchers,
+                    json_path.empty() ? nullptr : &datasets);
+    }
+    if (!json_path.empty()) {
+      JsonValue doc = JsonValue::Object();
+      doc.Set("bench", "serve_ingest");
+      doc.Set("datasets", std::move(datasets));
+      std::ofstream out(json_path);
+      if (out) {
+        out << WriteJson(doc) << "\n";
+        std::printf("wrote %s\n", json_path.c_str());
+      } else {
+        std::fprintf(stderr, "serve_throughput: cannot write %s\n",
+                     json_path.c_str());
+      }
     }
   }
   // The shard sweep runs at the deepest requested replication so the one

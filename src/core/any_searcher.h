@@ -248,7 +248,9 @@ class Searcher {
       BatchProfile* profile = nullptr, SearchCounters* counters = nullptr);
 
   const SearcherConfig& options() const { return config_; }
-  size_t dim() const { return store().dim(); }
+  /// Vector dimensionality. Virtual so wrappers whose store() is swappable
+  /// (MutableSearcher under compaction) can answer from an immutable cache.
+  virtual size_t dim() const { return store().dim(); }
 
   // Runtime-adjustable query knobs (build-time knobs are fixed). Zero is a
   // programming error (asserted in debug builds) and clamped to 1 in

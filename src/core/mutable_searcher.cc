@@ -1,0 +1,443 @@
+#include "core/mutable_searcher.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <utility>
+
+#include "index/topk.h"
+#include "kernels/kernel_dispatch.h"
+
+namespace pdx {
+
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<MutableSearcher>> MutableSearcher::Make(
+    const VectorSet& vectors, SearcherConfig config, MutationConfig mutation,
+    ShardingOptions sharding) {
+  if (vectors.count() >= kInvalidVectorId) {
+    return Status::InvalidArgument(
+        "MutableSearcher: collection size exceeds the VectorId slot space");
+  }
+  auto built = sharding.num_shards > 1
+                   ? MakeShardedSearcher(vectors, config, sharding)
+                   : MakeSearcher(vectors, config);
+  if (!built.ok()) return built.status();
+  return std::unique_ptr<MutableSearcher>(
+      new MutableSearcher(std::move(config), mutation, sharding,
+                          std::move(built).value(), vectors.Clone()));
+}
+
+MutableSearcher::MutableSearcher(SearcherConfig config,
+                                 MutationConfig mutation,
+                                 ShardingOptions sharding,
+                                 std::unique_ptr<Searcher> inner,
+                                 VectorSet base_rows)
+    : Searcher(std::move(config)),
+      mutation_(mutation),
+      sharding_(sharding),
+      inner_(std::move(inner)),
+      base_rows_(std::move(base_rows)) {
+  base_count_ = base_rows_.count();
+  dim_ = base_rows_.dim();
+  delta_ = DeltaStore(dim_, mutation_.delta_block_capacity);
+  slot_ids_.resize(base_count_);
+  dead_.assign(base_count_, 0);
+  id_to_slot_.reserve(base_count_);
+  for (size_t slot = 0; slot < base_count_; ++slot) {
+    slot_ids_[slot] = slot;
+    id_to_slot_.emplace(slot, slot);
+  }
+  next_auto_id_ = base_count_;
+}
+
+// -- Mutation surface -------------------------------------------------------
+
+Status MutableSearcher::ValidateAddLocked(const float* rows, size_t count,
+                                          const uint64_t* ids) const {
+  if (rows == nullptr) {
+    return Status::InvalidArgument("Add: rows is null");
+  }
+  // Slots are stored as VectorId inside the delta blocks, so the slot space
+  // is bounded by kInvalidVectorId regardless of the 64-bit external ids.
+  if (slot_ids_.size() + count >= kInvalidVectorId) {
+    return Status::ResourceExhausted(
+        "Add: collection slot space exhausted (compact to reclaim "
+        "tombstoned slots)");
+  }
+  if (ids != nullptr) {
+    for (size_t r = 0; r < count; ++r) {
+      if (ids[r] >= kInvalidVectorId) {
+        return Status::InvalidArgument(
+            "Add: id " + std::to_string(ids[r]) +
+            " does not fit the VectorId result space (must be < " +
+            std::to_string(kInvalidVectorId) + ")");
+      }
+    }
+  } else if (next_auto_id_ + count >= kInvalidVectorId) {
+    return Status::ResourceExhausted("Add: auto-id space exhausted");
+  }
+  return Status::OK();
+}
+
+void MutableSearcher::TombstoneLocked(size_t slot) {
+  dead_[slot] = 1;
+  if (slot < base_count_) {
+    ++base_dead_;
+  } else {
+    ++delta_dead_;
+  }
+}
+
+Result<std::vector<uint64_t>> MutableSearcher::Add(const float* rows,
+                                                   size_t count,
+                                                   const uint64_t* ids) {
+  if (count == 0) return std::vector<uint64_t>{};
+  std::unique_lock<std::shared_mutex> lock(state_mutex_);
+  Status valid = ValidateAddLocked(rows, count, ids);
+  if (!valid.ok()) return valid;
+  std::vector<uint64_t> assigned;
+  assigned.reserve(count);
+  for (size_t r = 0; r < count; ++r) {
+    const uint64_t id = ids != nullptr ? ids[r] : next_auto_id_;
+    auto it = id_to_slot_.find(id);
+    if (it != id_to_slot_.end()) {
+      // Upsert: the old vector dies, the row below inherits the id.
+      TombstoneLocked(it->second);
+    }
+    const size_t slot = slot_ids_.size();
+    delta_.Append(rows + r * dim_, static_cast<VectorId>(slot));
+    slot_ids_.push_back(id);
+    dead_.push_back(0);
+    id_to_slot_[id] = slot;
+    if (id >= next_auto_id_) next_auto_id_ = id + 1;
+    assigned.push_back(id);
+  }
+  return assigned;
+}
+
+Status MutableSearcher::Delete(uint64_t id) {
+  std::unique_lock<std::shared_mutex> lock(state_mutex_);
+  auto it = id_to_slot_.find(id);
+  if (it == id_to_slot_.end()) {
+    return Status::NotFound("Delete: no vector with id " + std::to_string(id));
+  }
+  TombstoneLocked(it->second);
+  id_to_slot_.erase(it);
+  return Status::OK();
+}
+
+size_t MutableSearcher::DeleteBatch(const uint64_t* ids, size_t count,
+                                    std::vector<uint64_t>* missing) {
+  std::unique_lock<std::shared_mutex> lock(state_mutex_);
+  size_t deleted = 0;
+  for (size_t r = 0; r < count; ++r) {
+    auto it = id_to_slot_.find(ids[r]);
+    if (it == id_to_slot_.end()) {
+      if (missing != nullptr) missing->push_back(ids[r]);
+      continue;
+    }
+    TombstoneLocked(it->second);
+    id_to_slot_.erase(it);
+    ++deleted;
+  }
+  return deleted;
+}
+
+bool MutableSearcher::NeedsCompaction() const {
+  std::shared_lock<std::shared_mutex> lock(state_mutex_);
+  const size_t threshold = mutation_.compact_threshold;
+  if (threshold == 0) return false;
+  return delta_.count() >= threshold ||
+         base_dead_ + delta_dead_ >= threshold;
+}
+
+Status MutableSearcher::Compact() {
+  std::lock_guard<std::mutex> serialize(compact_mutex_);
+
+  // Phase 1: snapshot the survivors under a shared lock — searches keep
+  // flowing; mutations (exclusive) wait only for the copy, not the build.
+  VectorSet survivors;
+  std::vector<size_t> survivor_slots;
+  size_t snapshot_slots = 0;
+  SearcherConfig build_config;
+  {
+    std::shared_lock<std::shared_mutex> lock(state_mutex_);
+    const size_t live = LiveCountLocked();
+    if (live == 0) {
+      // MakeSearcher rejects empty collections; tombstone filtering already
+      // yields correct (empty) results, so there is nothing to fold.
+      return Status::OK();
+    }
+    snapshot_slots = slot_ids_.size();
+    survivors = VectorSet(dim_, live);
+    survivor_slots.reserve(live);
+    for (size_t slot = 0; slot < snapshot_slots; ++slot) {
+      if (dead_[slot]) continue;
+      survivors.Append(RowLocked(slot));
+      survivor_slots.push_back(slot);
+    }
+    build_config = config_;
+  }
+
+  // Phase 2: the expensive rebuild (k-means, transforms, block packing),
+  // with no lock held — dispatchers and mutators run undisturbed.
+  auto built = sharding_.num_shards > 1
+                   ? MakeShardedSearcher(survivors, build_config, sharding_)
+                   : MakeSearcher(survivors, build_config);
+  if (!built.ok()) return built.status();
+  std::unique_ptr<Searcher> fresh = std::move(built).value();
+
+  // Phase 3: swap under the exclusive lock, carrying over every mutation
+  // that raced the build. Tombstones are monotone (a dead slot never
+  // resurrects; upsert kills the old slot and appends a new one), so the
+  // current dead_ flags are exactly "deleted before or during the build",
+  // and slots >= snapshot_slots are exactly the rows appended during it.
+  {
+    std::unique_lock<std::shared_mutex> lock(state_mutex_);
+    fresh->ReserveScratch(reserved_slots_);
+    const size_t new_base = survivors.count();
+    const size_t total_slots = slot_ids_.size();
+    std::vector<uint64_t> new_slot_ids;
+    std::vector<uint8_t> new_dead;
+    new_slot_ids.reserve(new_base + (total_slots - snapshot_slots));
+    new_dead.reserve(new_base + (total_slots - snapshot_slots));
+    size_t new_base_dead = 0;
+    for (size_t r = 0; r < new_base; ++r) {
+      const size_t old_slot = survivor_slots[r];
+      new_slot_ids.push_back(slot_ids_[old_slot]);
+      new_dead.push_back(dead_[old_slot]);
+      if (dead_[old_slot]) ++new_base_dead;
+    }
+    DeltaStore new_delta(dim_, delta_.block_capacity());
+    size_t new_delta_dead = 0;
+    for (size_t old_slot = snapshot_slots; old_slot < total_slots;
+         ++old_slot) {
+      const size_t new_slot = new_slot_ids.size();
+      new_delta.Append(delta_.rows().Vector(old_slot - base_count_),
+                       static_cast<VectorId>(new_slot));
+      new_slot_ids.push_back(slot_ids_[old_slot]);
+      new_dead.push_back(dead_[old_slot]);
+      if (dead_[old_slot]) ++new_delta_dead;
+    }
+    std::unordered_map<uint64_t, size_t> new_map;
+    new_map.reserve(new_slot_ids.size());
+    for (size_t slot = 0; slot < new_slot_ids.size(); ++slot) {
+      if (!new_dead[slot]) new_map.emplace(new_slot_ids[slot], slot);
+    }
+    inner_ = std::move(fresh);
+    base_rows_ = std::move(survivors);
+    base_count_ = new_base;
+    delta_ = std::move(new_delta);
+    slot_ids_ = std::move(new_slot_ids);
+    dead_ = std::move(new_dead);
+    id_to_slot_ = std::move(new_map);
+    base_dead_ = new_base_dead;
+    delta_dead_ = new_delta_dead;
+    ++compactions_;
+  }
+  return Status::OK();
+}
+
+MutationStats MutableSearcher::mutation_stats() const {
+  std::shared_lock<std::shared_mutex> lock(state_mutex_);
+  MutationStats stats;
+  stats.live = LiveCountLocked();
+  stats.base_rows = base_count_;
+  stats.delta_rows = delta_.count();
+  // For a sharded base this is the first shard's store — a per-shard view,
+  // matching the facade's store() contract.
+  stats.base_blocks = inner_->store().num_blocks();
+  stats.delta_blocks = delta_.num_blocks();
+  stats.tombstones = base_dead_ + delta_dead_;
+  stats.compactions = compactions_;
+  return stats;
+}
+
+// -- Search surface ---------------------------------------------------------
+
+std::vector<Neighbor> MutableSearcher::MergeLocked(
+    std::vector<Neighbor> base, const float* query, size_t k,
+    SearchCounters* counters) const {
+  if (delta_.empty() && base_dead_ == 0) {
+    // Nothing to merge or filter: remap base slots to external ids in
+    // place. This keeps the unmutated serving path allocation-free beyond
+    // what the base searcher itself does.
+    for (Neighbor& n : base) {
+      n.id = static_cast<VectorId>(slot_ids_[n.id]);
+    }
+    return base;
+  }
+  TopK heap(std::max<size_t>(1, k));
+  for (const Neighbor& n : base) {
+    if (!dead_[n.id]) heap.Push(n.id, n.distance);
+  }
+  if (!delta_.empty()) {
+    const KernelTable& kernels = ActiveKernels();
+    std::vector<float> distances(delta_.block_capacity());
+    for (size_t b = 0; b < delta_.num_blocks(); ++b) {
+      const PdxBlock& block = delta_.block(b);
+      // The dispatched vertical kernel accumulates per lane in ascending
+      // dimension order — the same addition sequence the base engines run —
+      // so a vector's distance is bit-identical on either side of the
+      // base/delta boundary (the parity tests pin this).
+      kernels.pdx_linear_scan(config_.metric, query, block.data(),
+                              block.count(), dim_, distances.data());
+      for (size_t i = 0; i < block.count(); ++i) {
+        const VectorId slot = block.id(i);
+        if (!dead_[slot]) heap.Push(slot, distances[i]);
+      }
+      if (counters != nullptr) {
+        ++counters->blocks_visited;
+        counters->values_scanned +=
+            static_cast<uint64_t>(block.count()) * dim_;
+        counters->dims_scanned += dim_;
+      }
+    }
+  }
+  std::vector<Neighbor> merged = heap.SortedResults();
+  for (Neighbor& n : merged) {
+    n.id = static_cast<VectorId>(slot_ids_[n.id]);
+  }
+  return merged;
+}
+
+std::vector<Neighbor> MutableSearcher::Search(const float* query) {
+  std::shared_lock<std::shared_mutex> lock(state_mutex_);
+  profile_ = PdxearchProfile{};
+  if (LiveCountLocked() == 0) return {};
+  // Widen k by the base tombstone count so at least k live base candidates
+  // survive the filter (at most base_dead_ dead ones can outrank a live
+  // vector).
+  inner_->set_k(std::max<size_t>(1, config_.k + base_dead_));
+  std::vector<Neighbor> base = inner_->Search(query);
+  profile_ = inner_->last_profile();
+  SearchCounters delta_work;
+  std::vector<Neighbor> merged =
+      MergeLocked(std::move(base), query, config_.k, &delta_work);
+  profile_.blocks_visited += delta_work.blocks_visited;
+  profile_.values_scanned += delta_work.values_scanned;
+  profile_.values_total += delta_work.values_scanned;
+  profile_.dims_scanned += delta_work.dims_scanned;
+  return merged;
+}
+
+std::vector<std::vector<Neighbor>> MutableSearcher::SearchBatch(
+    const float* queries, size_t num_queries) {
+  batch_profile_ = BatchProfile{};
+  batch_profile_.queries = num_queries;
+  std::vector<std::vector<Neighbor>> results(num_queries);
+  const auto batch_start = std::chrono::steady_clock::now();
+  for (size_t q = 0; q < num_queries; ++q) {
+    const auto query_start = std::chrono::steady_clock::now();
+    results[q] = Search(queries + q * dim_);
+    batch_profile_.latency.Record(MsSince(query_start));
+    batch_profile_.Accumulate(profile_);
+  }
+  batch_profile_.wall_ms = MsSince(batch_start);
+  return results;
+}
+
+std::vector<Neighbor> MutableSearcher::SearchWith(size_t slot,
+                                                  QueryKnobs knobs,
+                                                  const float* query,
+                                                  PdxearchProfile* profile) {
+  std::shared_lock<std::shared_mutex> lock(state_mutex_);
+  const size_t k = knobs.k > 0 ? knobs.k : config_.k;
+  if (profile != nullptr) *profile = PdxearchProfile{};
+  if (LiveCountLocked() == 0) return {};
+  QueryKnobs base_knobs;
+  base_knobs.k = k + base_dead_;
+  base_knobs.nprobe = knobs.nprobe;
+  std::vector<Neighbor> base =
+      inner_->SearchWith(slot, base_knobs, query, profile);
+  SearchCounters delta_work;
+  std::vector<Neighbor> merged =
+      MergeLocked(std::move(base), query, k, &delta_work);
+  if (profile != nullptr) {
+    profile->blocks_visited += delta_work.blocks_visited;
+    profile->values_scanned += delta_work.values_scanned;
+    profile->values_total += delta_work.values_scanned;
+    profile->dims_scanned += delta_work.dims_scanned;
+  }
+  return merged;
+}
+
+std::vector<std::vector<Neighbor>> MutableSearcher::SearchBatchWith(
+    size_t slot, QueryKnobs knobs, const float* queries, size_t num_queries,
+    BatchProfile* profile, SearchCounters* counters) {
+  std::shared_lock<std::shared_mutex> lock(state_mutex_);
+  const size_t k = knobs.k > 0 ? knobs.k : config_.k;
+  if (LiveCountLocked() == 0) {
+    if (profile != nullptr) *profile = BatchProfile{};
+    if (counters != nullptr) {
+      std::fill_n(counters, num_queries, SearchCounters{});
+    }
+    return std::vector<std::vector<Neighbor>>(num_queries);
+  }
+  QueryKnobs base_knobs;
+  base_knobs.k = k + base_dead_;
+  base_knobs.nprobe = knobs.nprobe;
+  std::vector<std::vector<Neighbor>> results = inner_->SearchBatchWith(
+      slot, base_knobs, queries, num_queries, profile, counters);
+  if (delta_.empty() && base_dead_ == 0) {
+    for (std::vector<Neighbor>& list : results) {
+      for (Neighbor& n : list) {
+        n.id = static_cast<VectorId>(slot_ids_[n.id]);
+      }
+    }
+    return results;
+  }
+  for (size_t q = 0; q < num_queries; ++q) {
+    results[q] =
+        MergeLocked(std::move(results[q]), queries + q * dim_, k,
+                    counters != nullptr ? &counters[q] : nullptr);
+  }
+  return results;
+}
+
+void MutableSearcher::ReserveScratch(size_t slots) {
+  std::unique_lock<std::shared_mutex> lock(state_mutex_);
+  reserved_slots_ = std::max(reserved_slots_, slots);
+  inner_->ReserveScratch(slots);
+}
+
+const PdxStore& MutableSearcher::store() const {
+  std::shared_lock<std::shared_mutex> lock(state_mutex_);
+  return inner_->store();
+}
+
+const IvfIndex* MutableSearcher::index() const {
+  std::shared_lock<std::shared_mutex> lock(state_mutex_);
+  return inner_->index();
+}
+
+size_t MutableSearcher::count() const {
+  std::shared_lock<std::shared_mutex> lock(state_mutex_);
+  return LiveCountLocked();
+}
+
+size_t MutableSearcher::max_nprobe() const {
+  std::shared_lock<std::shared_mutex> lock(state_mutex_);
+  return inner_->max_nprobe();
+}
+
+size_t MutableSearcher::num_shards() const {
+  std::shared_lock<std::shared_mutex> lock(state_mutex_);
+  return inner_->num_shards();
+}
+
+std::vector<uint64_t> MutableSearcher::ShardDispatchCounts() const {
+  std::shared_lock<std::shared_mutex> lock(state_mutex_);
+  return inner_->ShardDispatchCounts();
+}
+
+}  // namespace pdx

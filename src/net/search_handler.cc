@@ -152,6 +152,157 @@ Status AppendQueryVector(const JsonValue& array, size_t dim,
   return Status::OK();
 }
 
+/// A decoded ingest payload: `count` row-major `dim`-float rows, plus the
+/// per-row ids when (and only when) the payload carried them.
+struct IngestRows {
+  std::vector<float> values;
+  std::vector<uint64_t> ids;
+  bool with_ids = false;
+  size_t count = 0;
+  size_t dim = 0;
+};
+
+/// Reads one external id: a non-negative integer that fits VectorId (merged
+/// results carry external ids in Neighbor::id, so the ceiling is the
+/// sentinel, not 2^53).
+Status ReadIdValue(const JsonValue& value, uint64_t* out) {
+  if (!value.is_number()) {
+    return Status::InvalidArgument("ids must be numbers");
+  }
+  const double number = value.AsNumber();
+  if (number < 0 || number != std::floor(number) ||
+      number >= static_cast<double>(kInvalidVectorId)) {
+    return Status::InvalidArgument("ids must be integers in [0, 4294967295)");
+  }
+  *out = static_cast<uint64_t>(number);
+  return Status::OK();
+}
+
+/// Appends one parsed NDJSON row — a plain float array or
+/// {"id": n, "vector": [...]} — enforcing the all-or-none id rule and a
+/// uniform dimension (both anchored by the first row).
+Status AppendIngestRow(const JsonValue& row, IngestRows* out) {
+  const JsonValue* vector = nullptr;
+  bool has_id = false;
+  uint64_t id = 0;
+  if (row.is_array()) {
+    vector = &row;
+  } else if (row.is_object()) {
+    vector = row.Find("vector");
+    if (vector == nullptr) {
+      return Status::InvalidArgument(
+          "row objects must carry a \"vector\" array");
+    }
+    if (const JsonValue* id_field = row.Find("id");
+        id_field != nullptr && !id_field->is_null()) {
+      PDX_RETURN_IF_ERROR(ReadIdValue(*id_field, &id));
+      has_id = true;
+    }
+  } else {
+    return Status::InvalidArgument(
+        "each row must be a float array or {\"id\": n, \"vector\": [...]}");
+  }
+  if (out->count == 0) {
+    out->dim = vector->size();
+    if (out->dim == 0) {
+      return Status::InvalidArgument(
+          "rows must have at least one dimension");
+    }
+    out->with_ids = has_id;
+  } else if (has_id != out->with_ids) {
+    return Status::InvalidArgument(
+        "either every row or no row carries an id");
+  }
+  PDX_RETURN_IF_ERROR(AppendQueryVector(*vector, out->dim, &out->values));
+  if (has_id) out->ids.push_back(id);
+  ++out->count;
+  return Status::OK();
+}
+
+/// Decodes an ingest body. A body opening with '{' is one JSON object
+/// {"vectors": [[...], ...], "ids": [...]} (ids optional); anything else is
+/// NDJSON — one row per line, blank lines skipped — which is how large
+/// ingests stream past the whole-body JSON size cap without ever holding
+/// one giant document.
+Result<IngestRows> ParseIngestBody(const std::string& body) {
+  IngestRows rows;
+  const size_t first = body.find_first_not_of(" \t\r\n");
+  if (first == std::string::npos) {
+    return Status::InvalidArgument("ingest body is empty");
+  }
+  // A '{' opener is ambiguous: both the whole-body object format and an
+  // NDJSON object row start with it. It is the whole-body format exactly
+  // when the body parses as ONE document carrying "vectors" — an NDJSON
+  // stream of object rows either fails the single-document parse (several
+  // values) or lacks the key.
+  Result<JsonValue> whole =
+      body[first] == '{' ? ParseJson(body) : Result<JsonValue>(Status::InvalidArgument(""));
+  if (whole.ok() && whole.value().Find("vectors") != nullptr) {
+    const JsonValue& doc = whole.value();
+    const JsonValue* vectors = doc.Find("vectors");
+    if (!vectors->is_array() || vectors->size() == 0) {
+      return Status::InvalidArgument(
+          "\"vectors\" must be a non-empty array of float arrays");
+    }
+    const JsonValue* ids = doc.Find("ids");
+    if (ids != nullptr && ids->is_null()) ids = nullptr;
+    if (ids != nullptr &&
+        (!ids->is_array() || ids->size() != vectors->size())) {
+      return Status::InvalidArgument(
+          "\"ids\" must be an array matching \"vectors\" in length");
+    }
+    rows.dim = vectors->items().front().size();
+    if (rows.dim == 0) {
+      return Status::InvalidArgument("rows must have at least one dimension");
+    }
+    rows.values.reserve(vectors->size() * rows.dim);
+    for (const JsonValue& row : vectors->items()) {
+      PDX_RETURN_IF_ERROR(AppendQueryVector(row, rows.dim, &rows.values));
+    }
+    rows.count = vectors->size();
+    if (ids != nullptr) {
+      rows.with_ids = true;
+      rows.ids.reserve(ids->size());
+      for (const JsonValue& id : ids->items()) {
+        uint64_t value = 0;
+        PDX_RETURN_IF_ERROR(ReadIdValue(id, &value));
+        rows.ids.push_back(value);
+      }
+    }
+    return rows;
+  }
+  // NDJSON: parse line by line so memory tracks one row, not the body.
+  size_t start = 0;
+  size_t line_number = 0;
+  while (start <= body.size()) {
+    size_t end = body.find('\n', start);
+    if (end == std::string::npos) end = body.size();
+    std::string_view line(body.data() + start, end - start);
+    start = end + 1;
+    ++line_number;
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ' ||
+                             line.back() == '\t')) {
+      line.remove_suffix(1);
+    }
+    while (!line.empty() && (line.front() == ' ' || line.front() == '\t')) {
+      line.remove_prefix(1);
+    }
+    if (line.empty()) continue;
+    Result<JsonValue> parsed = ParseJson(line);
+    Status row_status =
+        parsed.ok() ? AppendIngestRow(parsed.value(), &rows) : parsed.status();
+    if (!row_status.ok()) {
+      return Status::InvalidArgument("ingest line " +
+                                     std::to_string(line_number) + ": " +
+                                     row_status.message());
+    }
+  }
+  if (rows.count == 0) {
+    return Status::InvalidArgument("ingest body carries no rows");
+  }
+  return rows;
+}
+
 /// Completion state shared by the N callbacks of one batched search:
 /// results land by index, the last arrival builds and sends the response.
 struct BatchState {
@@ -267,6 +418,24 @@ void SearchHandler::Handle(HttpRequest request, HttpResponder respond) {
       HandleSearch(name, request, request_id, std::move(respond));
       return;
     }
+    if (action == "vectors" && !name.empty()) {
+      if (request.method != "POST") {
+        respond(MakeErrorResponse(Status::InvalidArgument(
+            "use POST /collections/<name>/vectors")));
+        return;
+      }
+      HandleAddVectors(name, request, std::move(respond));
+      return;
+    }
+    if (action.rfind("vectors/", 0) == 0 && !name.empty()) {
+      if (request.method != "DELETE") {
+        respond(MakeErrorResponse(Status::InvalidArgument(
+            "use DELETE /collections/<name>/vectors/<id>")));
+        return;
+      }
+      HandleDeleteVector(name, action.substr(8), std::move(respond));
+      return;
+    }
     if (action == "slowlog" && !name.empty()) {
       if (request.method != "GET") {
         respond(MakeErrorResponse(Status::InvalidArgument(
@@ -327,10 +496,13 @@ void SearchHandler::HandleSearch(const std::string& collection,
       return;
     }
     options.trace = trace->AsBool();
-    // The trace carries the response's X-Request-Id, so the wire trace,
-    // the slowlog entry, and the client's own logs correlate on one id.
-    if (options.trace) options.request_id = request_id;
   }
+  // The trace carries the response's X-Request-Id, so the wire trace, the
+  // slowlog entry, and the client's own logs correlate on one id. Set even
+  // without "trace": true, so a query promoted by the service's
+  // trace_sample_rate correlates too (the service only copies the string
+  // for queries actually selected).
+  options.request_id = request_id;
 
   const JsonValue* single = body.Find("query");
   const JsonValue* batch = body.Find("queries");
@@ -573,6 +745,69 @@ void SearchHandler::HandlePut(const std::string& collection,
   respond(JsonResponse(201, InfoJson(info.value())));
 }
 
+void SearchHandler::HandleAddVectors(const std::string& collection,
+                                     const HttpRequest& request,
+                                     HttpResponder respond) {
+  Result<IngestRows> parsed = ParseIngestBody(request.body);
+  if (!parsed.ok()) {
+    respond(MakeErrorResponse(parsed.status()));
+    return;
+  }
+  const IngestRows& rows = parsed.value();
+  // With ids this is the wire's upsert: AddVectors tombstones an existing
+  // id and appends the replacement under it, atomically per row.
+  Result<std::vector<uint64_t>> added = service_.AddVectors(
+      collection, rows.values.data(), rows.count, rows.dim,
+      rows.with_ids ? rows.ids.data() : nullptr);
+  if (!added.ok()) {
+    respond(MakeErrorResponse(added.status()));
+    return;
+  }
+  JsonValue body = JsonValue::Object();
+  body.Set("collection", collection);
+  body.Set("added", rows.count);
+  JsonValue ids = JsonValue::Array();
+  for (const uint64_t id : added.value()) {
+    ids.Append(static_cast<size_t>(id));
+  }
+  body.Set("ids", std::move(ids));
+  respond(JsonResponse(200, body));
+}
+
+void SearchHandler::HandleDeleteVector(const std::string& collection,
+                                       const std::string& id_text,
+                                       HttpResponder respond) {
+  // kInvalidVectorId is 10 decimal digits; anything longer cannot be a
+  // valid id, so the bound doubles as the overflow guard for stoull.
+  if (id_text.empty() || id_text.size() > 10 ||
+      id_text.find_first_not_of("0123456789") != std::string::npos) {
+    respond(MakeErrorResponse(Status::InvalidArgument(
+        "vector id must be a decimal integer in [0, 4294967295)")));
+    return;
+  }
+  const uint64_t id = std::stoull(id_text);
+  if (id >= kInvalidVectorId) {
+    respond(MakeErrorResponse(Status::InvalidArgument(
+        "vector id must be a decimal integer in [0, 4294967295)")));
+    return;
+  }
+  std::vector<uint64_t> missing;
+  Result<size_t> deleted = service_.DeleteVectors(collection, &id, 1, &missing);
+  if (!deleted.ok()) {
+    respond(MakeErrorResponse(deleted.status()));
+    return;
+  }
+  if (!missing.empty()) {
+    respond(MakeErrorResponse(Status::NotFound(
+        "no vector with id " + id_text + " in " + collection)));
+    return;
+  }
+  JsonValue body = JsonValue::Object();
+  body.Set("collection", collection);
+  body.Set("deleted", static_cast<size_t>(1));
+  respond(JsonResponse(200, body));
+}
+
 void SearchHandler::HandleDelete(const std::string& collection,
                                  HttpResponder respond) {
   const Status removed = service_.RemoveCollection(collection);
@@ -644,6 +879,17 @@ void SearchHandler::HandleStats(HttpResponder respond) {
     entry.Set("qps", cs.qps);
     entry.Set("queue_wait", LatencyJson(cs.queue_wait));
     entry.Set("latency", LatencyJson(cs.latency));
+    entry.Set("count", cs.count);
+    entry.Set("mutable", cs.is_mutable);
+    if (cs.is_mutable) {
+      entry.Set("delta", cs.delta);
+      entry.Set("delta_blocks", cs.delta_blocks);
+      entry.Set("base_blocks", cs.base_blocks);
+      entry.Set("tombstones", cs.tombstones);
+    }
+    entry.Set("added", static_cast<size_t>(cs.added));
+    entry.Set("deleted", static_cast<size_t>(cs.deleted));
+    entry.Set("compactions", static_cast<size_t>(cs.compactions));
     collections.Set(name, std::move(entry));
   }
   body.Set("collections", std::move(collections));

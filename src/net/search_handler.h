@@ -14,15 +14,17 @@ namespace pdx {
 /// Maps the REST surface onto a SearchService — the glue between
 /// HttpServer's transport and the serving layer:
 ///
-///   POST   /collections/<name>/search  search (single or batched)
-///   PUT    /collections/<name>         build + host from a JSON payload
-///   DELETE /collections/<name>         unhost
-///   GET    /collections                hosted names
-///   GET    /collections/<name>         collection shape (dim, count, ...)
-///   GET    /collections/<name>/slowlog worst-latency queries, worst first
-///   GET    /stats                      one ServiceStats snapshot
-///   GET    /metrics                    Prometheus text exposition
-///   GET    /healthz                    liveness + queue depth + counts
+///   POST   /collections/<name>/search       search (single or batched)
+///   PUT    /collections/<name>              build + host from a JSON payload
+///   DELETE /collections/<name>              unhost
+///   POST   /collections/<name>/vectors      streaming ingest (add/upsert)
+///   DELETE /collections/<name>/vectors/<id> tombstone one vector by id
+///   GET    /collections                     hosted names
+///   GET    /collections/<name>              collection shape (dim, count, ...)
+///   GET    /collections/<name>/slowlog      worst-latency queries, worst first
+///   GET    /stats                           one ServiceStats snapshot
+///   GET    /metrics                         Prometheus text exposition
+///   GET    /healthz                         liveness + queue depth + counts
 ///
 /// Every response carries an X-Request-Id header: the client's own (from
 /// the request's X-Request-Id, clamped and sanitized) or one the handler
@@ -57,7 +59,24 @@ namespace pdx {
 /// "k": n, "nprobe": n, "shards": n, "assignment":
 /// "contiguous"|"round-robin", "block_capacity": n}. Everything but
 /// "vectors" is optional. PUT to an existing name replaces it (queries
-/// queued for the old collection complete with 503).
+/// queued for the old collection complete with 503). Replacement resets
+/// the per-collection slowlog (it describes the hosted searcher, which is
+/// new) while the Prometheus counters keep their cumulative series.
+///
+/// Ingest body (POST /collections/<name>/vectors) — two formats:
+///   - NDJSON (newline-delimited, one row per line — streams past the
+///     whole-body JSON size cap): each line is either a plain float array
+///     [f, ...] or an object {"id": n, "vector": [f, ...]}; blank lines
+///     are skipped.
+///   - A single JSON object {"vectors": [[f, ...], ...], "ids": [n, ...]}
+///     with "ids" optional (handy for small batches; subject to
+///     HttpServerConfig::max_body_bytes like every body).
+/// Either every row carries an id or none does (400 otherwise). Without
+/// ids rows get auto-assigned ids (returned in the response); with ids an
+/// existing id is an UPSERT — the old vector is replaced atomically under
+/// the same id. Ids must be integers in [0, 4294967295). Mutations only
+/// apply to collections the service built from vectors (PUT or
+/// AddCollection-from-vectors); adopted/index-backed searchers answer 501.
 ///
 /// Thread safety: Handle may run on any number of connection threads
 /// concurrently (the service is the synchronization point). The handler
@@ -86,6 +105,10 @@ class SearchHandler {
   void HandlePut(const std::string& collection, const HttpRequest& request,
                  HttpResponder respond);
   void HandleDelete(const std::string& collection, HttpResponder respond);
+  void HandleAddVectors(const std::string& collection,
+                        const HttpRequest& request, HttpResponder respond);
+  void HandleDeleteVector(const std::string& collection,
+                          const std::string& id_text, HttpResponder respond);
   void HandleGetCollection(const std::string& collection,
                            HttpResponder respond);
   void HandleSlowlog(const std::string& collection, HttpResponder respond);

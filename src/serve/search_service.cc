@@ -28,6 +28,12 @@ ServiceConfig Sanitize(ServiceConfig config) {
     config.qps_window = ServiceConfig{}.qps_window;
   }
   config.slowlog_capacity = std::max<size_t>(1, config.slowlog_capacity);
+  // NaN compares false both ways and falls through to 0 via the clamp.
+  if (!(config.trace_sample_rate > 0.0)) {
+    config.trace_sample_rate = 0.0;
+  } else {
+    config.trace_sample_rate = std::min(1.0, config.trace_sample_rate);
+  }
   return config;
 }
 
@@ -56,8 +62,18 @@ struct SearchService::Collection {
   size_t max_k = 1;
   size_t max_nprobe = 1;
   size_t dim = 0;    ///< Query vector length; the wire layer validates this.
-  size_t count = 0;  ///< Vectors hosted (collections are static once built).
+  size_t count = 0;  ///< Live vectors hosted; refreshed on every mutation.
   PrunerKind pruner = PrunerKind::kBond;
+  /// The searcher downcast, set iff the service built it mutable (from
+  /// vectors): the AddVectors/DeleteVectors surface and the compactor
+  /// route through it. Never owning — `searcher` holds the same object.
+  MutableSearcher* live = nullptr;
+  /// True while queued for (or running) a background compaction, so the
+  /// compact queue holds each collection at most once. Guarded by mutex_.
+  bool compacting = false;
+  uint64_t added = 0;        ///< Vectors ingested, lifetime; mutex_.
+  uint64_t deleted_total = 0;  ///< Vectors tombstoned, lifetime; mutex_.
+  uint64_t compactions = 0;  ///< Background compactions done; mutex_.
   /// Captured at AddCollection time: the batch key ignores nprobe on kFlat
   /// (the search ignores it there, so keying on it would only fragment
   /// coalescable batches).
@@ -108,6 +124,12 @@ struct SearchService::Collection {
     MetricCounter* values_avoided = nullptr;
     MetricCounter* dims_scanned = nullptr;
     MetricGauge* vectors = nullptr;
+    MetricCounter* ingested = nullptr;
+    MetricCounter* removed = nullptr;
+    MetricCounter* compactions = nullptr;
+    MetricHistogram* compaction_ms = nullptr;
+    MetricGauge* delta_vectors = nullptr;
+    MetricGauge* tombstones = nullptr;
   } metric;
 
   /// Worst-N queries this collection has served (GET .../slowlog).
@@ -182,6 +204,10 @@ SearchService::SearchService(ServiceConfig config)
         {{"dispatcher", std::to_string(d)}});
     dispatchers_[d].thread = std::thread([this, d] { DispatcherMain(d); });
   }
+  // ThreadPool only offers blocking ParallelFor, so compaction gets its own
+  // thread: a rebuild may take seconds and must never occupy a dispatcher
+  // or a pool worker the dispatchers are fanning searches over.
+  compactor_ = std::thread([this] { CompactorMain(); });
 }
 
 SearchService::~SearchService() { Shutdown(); }
@@ -194,9 +220,13 @@ void SearchService::Shutdown() {
     stopping_ = true;
   }
   dispatch_cv_.notify_all();
+  compact_cv_.notify_all();
   for (Dispatcher& dispatcher : dispatchers_) {
     if (dispatcher.thread.joinable()) dispatcher.thread.join();
   }
+  // A compaction in flight finishes (its swap is brief); queued ones are
+  // abandoned — compaction is an optimization, not pending user work.
+  if (compactor_.joinable()) compactor_.join();
 }
 
 void SearchService::ResolveCollectionMetrics(Collection& collection) {
@@ -239,10 +269,32 @@ void SearchService::ResolveCollectionMetrics(Collection& collection) {
                         "Dimension steps walked across visited blocks");
   m.vectors = metrics_->GetGauge("pdx_collection_vectors",
                                  "Vectors hosted, per collection", by_name);
+  // Streaming-ingest instruments. Resolved for every collection (an
+  // immutable one just leaves them at zero) so a PUT replace that flips a
+  // name between mutable and immutable keeps one cumulative series.
+  m.ingested = metrics_->GetCounter(
+      "pdx_ingested_vectors_total",
+      "Vectors appended via AddVectors, per collection", by_name);
+  m.removed = metrics_->GetCounter(
+      "pdx_deleted_vectors_total",
+      "Vectors tombstoned via DeleteVectors, per collection", by_name);
+  m.compactions = metrics_->GetCounter(
+      "pdx_compactions_total",
+      "Background delta-into-base compactions completed", by_name);
+  m.compaction_ms = metrics_->GetHistogram(
+      "pdx_compaction_ms", "Wall time of one delta-into-base compaction",
+      DefaultLatencyBoundsMs(), by_name);
+  m.delta_vectors = metrics_->GetGauge(
+      "pdx_delta_vectors", "Rows in the append delta region, per collection",
+      by_name);
+  m.tombstones = metrics_->GetGauge(
+      "pdx_tombstones", "Tombstoned slots awaiting compaction, per collection",
+      by_name);
 }
 
 Status SearchService::Adopt(const std::string& name,
-                            std::unique_ptr<Searcher>& searcher) {
+                            std::unique_ptr<Searcher>& searcher,
+                            MutableSearcher* live) {
   if (searcher == nullptr) {
     return Status::InvalidArgument("AddCollection: null searcher");
   }
@@ -278,6 +330,7 @@ Status SearchService::Adopt(const std::string& name,
   collection->dim = searcher->dim();
   collection->count = searcher->count();
   collection->pruner = searcher->options().pruner;
+  collection->live = live;
   collection->queue_wait = LatencyRecorder(config_.latency_window);
   collection->latency = LatencyRecorder(config_.latency_window);
   collection->done_ring_capacity = config_.latency_window;
@@ -298,10 +351,13 @@ Status SearchService::AddCollection(const std::string& name,
                                     SearcherConfig config) {
   config.pool = &pool_;
   config.threads = 0;
-  auto made = MakeSearcher(vectors, std::move(config));
+  auto made = MutableSearcher::Make(vectors, std::move(config),
+                                    config_.mutation);
   if (!made.ok()) return made.status();
-  std::unique_ptr<Searcher> searcher = std::move(made).value();
-  return Adopt(name, searcher);
+  std::unique_ptr<MutableSearcher> typed = std::move(made).value();
+  MutableSearcher* live = typed.get();
+  std::unique_ptr<Searcher> searcher = std::move(typed);
+  return Adopt(name, searcher, live);
 }
 
 Status SearchService::AddCollection(const std::string& name,
@@ -322,15 +378,173 @@ Status SearchService::AddCollection(const std::string& name,
                                     ShardingOptions sharding) {
   config.pool = &pool_;
   config.threads = 0;
-  auto made = MakeShardedSearcher(vectors, std::move(config), sharding);
+  auto made = MutableSearcher::Make(vectors, std::move(config),
+                                    config_.mutation, sharding);
   if (!made.ok()) return made.status();
-  std::unique_ptr<Searcher> searcher = std::move(made).value();
-  return Adopt(name, searcher);
+  std::unique_ptr<MutableSearcher> typed = std::move(made).value();
+  MutableSearcher* live = typed.get();
+  std::unique_ptr<Searcher> searcher = std::move(typed);
+  return Adopt(name, searcher, live);
 }
 
 Status SearchService::AddCollection(const std::string& name,
                                     std::unique_ptr<Searcher>& searcher) {
   return Adopt(name, searcher);
+}
+
+void SearchService::RefreshMutationObs(
+    const std::shared_ptr<Collection>& host) {
+  if (host->live == nullptr) return;
+  const MutationStats stats = host->live->mutation_stats();
+  host->metric.vectors->Set(static_cast<double>(stats.live));
+  host->metric.delta_vectors->Set(static_cast<double>(stats.delta_rows));
+  host->metric.tombstones->Set(static_cast<double>(stats.tombstones));
+}
+
+void SearchService::MaybeScheduleCompactionLocked(
+    const std::shared_ptr<Collection>& host) {
+  if (stopping_ || host->live == nullptr || host->compacting) return;
+  // NeedsCompaction takes the searcher's shared lock under mutex_ — the
+  // service-then-searcher lock order every path here follows (the inverse
+  // never happens: MutableSearcher knows nothing about the service).
+  if (!host->live->NeedsCompaction()) return;
+  host->compacting = true;
+  compact_queue_.push_back(host);
+  compact_cv_.notify_one();
+}
+
+Result<std::vector<uint64_t>> SearchService::AddVectors(
+    const std::string& name, const float* rows, size_t count, size_t dim,
+    const uint64_t* ids) {
+  std::shared_ptr<Collection> host;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return Status::Cancelled("service shut down");
+    auto it = collections_.find(name);
+    if (it == collections_.end()) {
+      return Status::NotFound("no collection named " + name);
+    }
+    host = it->second;
+    if (host->live == nullptr) {
+      return Status::Unsupported(
+          "collection " + name +
+          " is immutable (adopted or index-backed); PUT a rebuilt "
+          "collection instead");
+    }
+    if (dim != host->dim) {
+      return Status::InvalidArgument(
+          "rows have " + std::to_string(dim) + " dimensions, expected " +
+          std::to_string(host->dim));
+    }
+  }
+  // The append itself runs OUTSIDE mutex_: MutableSearcher serializes
+  // against in-flight SearchBatchWith with its own reader-writer lock, and
+  // holding the service mutex across it would stall admission and Stats.
+  // (The shared_ptr keeps the collection alive across a concurrent
+  // RemoveCollection; mutating a just-removed collection is harmless.)
+  auto added = host->live->Add(rows, count, ids);
+  if (!added.ok()) return added;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    host->added += count;
+    host->count = host->live->count();
+    host->max_k = std::max<size_t>(1, host->count);
+    MaybeScheduleCompactionLocked(host);
+  }
+  host->metric.ingested->Inc(count);
+  RefreshMutationObs(host);
+  return added;
+}
+
+Result<size_t> SearchService::DeleteVectors(const std::string& name,
+                                            const uint64_t* ids, size_t count,
+                                            std::vector<uint64_t>* missing) {
+  std::shared_ptr<Collection> host;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return Status::Cancelled("service shut down");
+    auto it = collections_.find(name);
+    if (it == collections_.end()) {
+      return Status::NotFound("no collection named " + name);
+    }
+    host = it->second;
+    if (host->live == nullptr) {
+      return Status::Unsupported(
+          "collection " + name +
+          " is immutable (adopted or index-backed); PUT a rebuilt "
+          "collection instead");
+    }
+  }
+  const size_t deleted = host->live->DeleteBatch(ids, count, missing);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    host->deleted_total += deleted;
+    host->count = host->live->count();
+    host->max_k = std::max<size_t>(1, host->count);
+    MaybeScheduleCompactionLocked(host);
+  }
+  host->metric.removed->Inc(deleted);
+  RefreshMutationObs(host);
+  return deleted;
+}
+
+Result<std::vector<uint64_t>> SearchService::Upsert(const std::string& name,
+                                                    const float* rows,
+                                                    size_t count, size_t dim,
+                                                    const uint64_t* ids) {
+  if (ids == nullptr) {
+    return Status::InvalidArgument(
+        "Upsert: ids are required (use AddVectors for auto-assigned ids)");
+  }
+  return AddVectors(name, rows, count, dim, ids);
+}
+
+void SearchService::CompactorMain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    while (!stopping_ && compact_queue_.empty()) compact_cv_.wait(lock);
+    if (stopping_) break;
+    std::shared_ptr<Collection> host = compact_queue_.front();
+    compact_queue_.pop_front();
+    // The collection may have been removed or replaced while queued; its
+    // delta dies with it, so there is nothing to fold.
+    auto it = collections_.find(host->name);
+    if (it == collections_.end() || it->second != host) {
+      host->compacting = false;
+      continue;
+    }
+    lock.unlock();
+    const Clock::time_point begin = Clock::now();
+    // Compact() holds no lock during the rebuild and releases all of its
+    // own locks before returning — dispatchers and mutators keep flowing;
+    // only the brief swap at its end excludes them.
+    const Status done = host->live->Compact();
+    const double wall_ms = MillisBetween(begin, Clock::now());
+    if (done.ok()) {
+      host->metric.compactions->Inc();
+      host->metric.compaction_ms->Observe(wall_ms);
+    }
+    RefreshMutationObs(host);
+    lock.lock();
+    host->compacting = false;
+    if (done.ok()) {
+      ++host->compactions;
+      host->count = host->live->count();
+      host->max_k = std::max<size_t>(1, host->count);
+      // An IVF base rebuilt over more vectors may cluster into more
+      // buckets; the admission clamp must follow the new ceiling.
+      host->max_nprobe = std::max<size_t>(1, host->live->max_nprobe());
+      // Appends that landed during the rebuild may already exceed the
+      // threshold again (only when still hosted — a removed collection's
+      // pop-check above would just skip it anyway).
+      if (collections_.count(host->name) != 0) {
+        MaybeScheduleCompactionLocked(host);
+      }
+    }
+    // A failed compaction (allocation pressure, searcher build error) is
+    // NOT rescheduled from here: NeedsCompaction still holds, so the next
+    // mutation retries — without it, an always-failing build would spin.
+  }
 }
 
 Status SearchService::RemoveCollection(const std::string& name) {
@@ -357,6 +571,8 @@ Status SearchService::RemoveCollection(const std::string& name) {
     // The counters keep their cumulative series (Prometheus semantics); a
     // size gauge for an unhosted collection honestly reads 0.
     removed->metric.vectors->Set(0.0);
+    removed->metric.delta_vectors->Set(0.0);
+    removed->metric.tombstones->Set(0.0);
   }
   // An in-flight batch keeps the collection alive through its own
   // shared_ptr; only the queued queries are failed here.
@@ -484,6 +700,17 @@ Status SearchService::Enqueue(const std::string& collection,
   // an (empty) string — nothing is allocated for observability.
   pending->trace = options.trace;
   if (options.trace) pending->request_id = options.request_id;
+  // Sampled tracing: a deterministic error accumulator (no RNG, no state
+  // per query) promotes every 1/rate-th admitted query. Unselected queries
+  // pay one double add — still zero allocations.
+  if (!pending->trace && config_.trace_sample_rate > 0.0) {
+    trace_accum_ += config_.trace_sample_rate;
+    if (trace_accum_ >= 1.0) {
+      trace_accum_ -= 1.0;
+      pending->trace = true;
+      pending->request_id = options.request_id;
+    }
+  }
   ++host.admitted;
   pending->queued = true;
   queue_.push_back(std::move(pending));
@@ -602,6 +829,19 @@ ServiceStats SearchService::Stats() const {
     cs.shard_dispatches = collection->searcher->ShardDispatchCounts();
     cs.queue_wait = collection->queue_wait.Summary();
     cs.latency = collection->latency.Summary();
+    if (collection->live != nullptr) {
+      // mutation_stats() takes the searcher's shared lock under mutex_ —
+      // the service-first lock order, same as the mutation paths.
+      const MutationStats ms = collection->live->mutation_stats();
+      cs.is_mutable = true;
+      cs.delta = ms.delta_rows;
+      cs.delta_blocks = ms.delta_blocks;
+      cs.base_blocks = ms.base_blocks;
+      cs.tombstones = ms.tombstones;
+    }
+    cs.added = collection->added;
+    cs.deleted = collection->deleted_total;
+    cs.compactions = collection->compactions;
     // QPS over the completions inside the recent window only: a lifetime
     // first-to-last span would report near-zero forever after one long
     // idle gap. n samples bound n-1 intervals; a single in-window sample

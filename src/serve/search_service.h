@@ -17,6 +17,7 @@
 #include "common/parallel.h"
 #include "common/status.h"
 #include "core/any_searcher.h"
+#include "core/mutable_searcher.h"
 #include "core/sharded_searcher.h"
 #include "obs/metrics.h"
 #include "obs/slow_query_log.h"
@@ -62,6 +63,17 @@ struct ServiceConfig {
   MetricsRegistry* metrics = nullptr;
   /// Worst traces retained per collection (GET .../slowlog). Clamped >= 1.
   size_t slowlog_capacity = 8;
+  /// Live-collection knobs applied to every collection the service builds
+  /// from vectors: the delta block size appends repack, and the delta /
+  /// tombstone count that triggers a background compaction.
+  MutationConfig mutation;
+  /// Fraction of admitted queries traced even without QueryOptions::trace,
+  /// so operators can sample production traffic instead of opting in per
+  /// request. Clamped to [0, 1]; 0 (default) keeps tracing strictly
+  /// opt-in. Selection is a deterministic error accumulator (every
+  /// 1/rate-th admitted query), and a query NOT selected allocates nothing
+  /// for observability — the zero-cost-off contract holds per query.
+  double trace_sample_rate = 0.0;
 };
 
 /// Shape of one hosted collection, as captured at AddCollection time plus
@@ -116,15 +128,18 @@ class SearchService {
   SearchService(const SearchService&) = delete;
   SearchService& operator=(const SearchService&) = delete;
 
-  /// Hosts `vectors` under `name`, building the searcher with MakeSearcher
-  /// (the service injects its shared pool into `config`). Fails with
+  /// Hosts `vectors` under `name` as a LIVE collection: the service builds
+  /// a MutableSearcher (the shared pool injected into `config`), so the
+  /// collection accepts AddVectors/DeleteVectors/Upsert while serving.
+  /// `vectors` is copied — it need not outlive the collection. Fails with
   /// InvalidArgument on a duplicate name or whatever MakeSearcher rejects.
-  /// `vectors` must outlive the collection.
   Status AddCollection(const std::string& name, const VectorSet& vectors,
                        SearcherConfig config);
 
   /// Same, over a caller-owned IVF index (`index` must outlive the
-  /// collection; layout must be kIvf).
+  /// collection; layout must be kIvf). Index-backed collections are
+  /// IMMUTABLE (the service does not own the index it would have to
+  /// rebuild): AddVectors/DeleteVectors fail with kUnsupported.
   Status AddCollection(const std::string& name, const VectorSet& vectors,
                        const IvfIndex& index, SearcherConfig config);
 
@@ -141,9 +156,40 @@ class SearchService {
   /// the threads knob, and the searcher must not be queried by the caller
   /// again. On failure (duplicate name, shut down) the caller keeps the
   /// searcher untouched — an expensively built index is never silently
-  /// destroyed.
+  /// destroyed. Adopted collections are immutable through the service
+  /// (AddVectors/DeleteVectors fail with kUnsupported).
   Status AddCollection(const std::string& name,
                        std::unique_ptr<Searcher>& searcher);
+
+  /// Appends `count` row-major `dim`-float rows to the live collection
+  /// `name` while it keeps serving — no rebuild: rows land in the
+  /// collection's append delta region (one tail-block repack each, cost
+  /// independent of collection size). With `ids` == nullptr rows get
+  /// consecutive auto ids; with `ids`, an id already present is an UPSERT
+  /// (the old vector is tombstoned, the row inherits the id). Returns the
+  /// assigned ids in row order. When the delta (or tombstone count)
+  /// outgrows ServiceConfig::mutation.compact_threshold, a background
+  /// compaction folds it into a fresh base — dispatchers are never
+  /// blocked. Fails with kNotFound (unknown name), kUnsupported (immutable
+  /// collection), or kInvalidArgument (dim mismatch, oversized ids).
+  Result<std::vector<uint64_t>> AddVectors(const std::string& name,
+                                           const float* rows, size_t count,
+                                           size_t dim,
+                                           const uint64_t* ids = nullptr);
+
+  /// Tombstones `count` vectors of live collection `name` by external id;
+  /// they disappear from results immediately and are reclaimed at the next
+  /// compaction. Ids not present are reported through `missing` (when
+  /// non-null) rather than failing the batch. Returns the number deleted.
+  Result<size_t> DeleteVectors(const std::string& name, const uint64_t* ids,
+                               size_t count,
+                               std::vector<uint64_t>* missing = nullptr);
+
+  /// Insert-or-replace sugar over AddVectors: `ids` is mandatory (that is
+  /// what makes it an upsert).
+  Result<std::vector<uint64_t>> Upsert(const std::string& name,
+                                       const float* rows, size_t count,
+                                       size_t dim, const uint64_t* ids);
 
   /// Unhosts `name`. Queries still queued for it complete with kCancelled;
   /// an in-flight batch finishes first (the dispatcher keeps the
@@ -225,8 +271,24 @@ class SearchService {
   struct Pending;
 
   /// Validates + registers a built searcher under `name`; moves from
-  /// `searcher` only on success.
-  Status Adopt(const std::string& name, std::unique_ptr<Searcher>& searcher);
+  /// `searcher` only on success. `live` is the searcher downcast when the
+  /// service built it as a MutableSearcher (the mutation surface routes
+  /// through it); nullptr marks the collection immutable.
+  Status Adopt(const std::string& name, std::unique_ptr<Searcher>& searcher,
+               MutableSearcher* live = nullptr);
+  /// Queues `host` for background compaction when its delta/tombstones
+  /// crossed the threshold and it is not already queued. Caller holds
+  /// mutex_.
+  void MaybeScheduleCompactionLocked(const std::shared_ptr<Collection>& host);
+  /// Re-stamps the live/delta/tombstone gauges from the collection's
+  /// current MutationStats. Lock-free instruments; called OUTSIDE mutex_.
+  void RefreshMutationObs(const std::shared_ptr<Collection>& host);
+  /// The dedicated compaction thread: drains compact_queue_, runs
+  /// MutableSearcher::Compact() (expensive build off every lock, brief
+  /// swap), then refreshes the collection's ceilings and re-checks the
+  /// threshold — appends that landed during a rebuild can queue the next
+  /// one immediately.
+  void CompactorMain();
   /// Admission: queues `pending` (moving it out) or returns why not (queue
   /// full, unknown collection, shut down), leaving `pending` to the caller
   /// to fail. On success fills the query payload and per-collection
@@ -316,10 +378,20 @@ class SearchService {
   size_t deadline_queued_ = 0;
   bool paused_ = false;
   bool stopping_ = false;
+  /// Error accumulator behind ServiceConfig::trace_sample_rate. Guarded by
+  /// mutex_ (bumped in Enqueue, which already holds it).
+  double trace_accum_ = 0.0;
+
+  /// Collections awaiting background compaction (each at most once —
+  /// Collection::compacting guards re-queueing). Guarded by mutex_; the
+  /// compactor thread waits on compact_cv_.
+  std::deque<std::shared_ptr<Collection>> compact_queue_;
+  std::condition_variable compact_cv_;
 
   std::atomic<uint64_t> next_id_{1};
   std::mutex shutdown_mutex_;  ///< Serializes concurrent Shutdown callers.
   std::vector<Dispatcher> dispatchers_;  ///< Sized once; never reallocated.
+  std::thread compactor_;  ///< Background delta-into-base compactions.
 };
 
 }  // namespace pdx

@@ -36,6 +36,18 @@ struct CollectionStats {
   double qps = 0.0;
   LatencySummary queue_wait;  ///< Admission -> dispatch, ms.
   LatencySummary latency;     ///< Admission -> completion, ms (p50/p95/p99).
+
+  // -- Mutable-collection (streaming ingest) shape and counters. ----------
+  /// True when the collection accepts AddVectors/DeleteVectors (built from
+  /// vectors by the service); false for adopted or index-backed searchers.
+  bool is_mutable = false;
+  size_t delta = 0;         ///< Rows in the append delta region right now.
+  size_t delta_blocks = 0;  ///< PDX blocks in the delta region.
+  size_t base_blocks = 0;   ///< PDX blocks in the immutable base store.
+  size_t tombstones = 0;    ///< Dead slots awaiting compaction.
+  uint64_t added = 0;       ///< Vectors ingested via AddVectors, lifetime.
+  uint64_t deleted = 0;     ///< Vectors removed via DeleteVectors, lifetime.
+  uint64_t compactions = 0; ///< Background compactions completed, lifetime.
 };
 
 /// One replicated dispatcher's share of the serving work.

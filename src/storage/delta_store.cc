@@ -1,0 +1,42 @@
+#include "storage/delta_store.h"
+
+#include <cassert>
+
+namespace pdx {
+
+DeltaStore::DeltaStore(size_t dim, size_t block_capacity)
+    : dim_(dim),
+      block_capacity_(block_capacity == 0 ? kPdxBlockSize : block_capacity),
+      rows_(dim) {}
+
+void DeltaStore::Append(const float* row, VectorId slot) {
+  assert(dim_ > 0 && "DeltaStore must be constructed with a dimension");
+  rows_.Append(row);
+  slots_.push_back(slot);
+  const size_t n = rows_.count();
+  const size_t tail_start = ((n - 1) / block_capacity_) * block_capacity_;
+  const size_t tail_count = n - tail_start;
+  if (tail_count == 1) {
+    // Previous tail (if any) just sealed at block_capacity; open a new one.
+    blocks_.emplace_back(dim_, 1);
+  } else {
+    // PdxBlock's lane count is fixed at construction (the transposed layout
+    // leaves no growth room between dimensions), so the partial tail is
+    // rebuilt one lane larger. Only the tail — sealed blocks keep their
+    // storage untouched.
+    blocks_.back() = PdxBlock(dim_, tail_count);
+  }
+  PdxBlock& tail = blocks_.back();
+  for (size_t i = 0; i < tail_count; ++i) {
+    tail.FillLane(i, rows_.Vector(tail_start + i), slots_[tail_start + i]);
+  }
+  ++tail_repacks_;
+}
+
+void DeltaStore::Clear() {
+  rows_ = VectorSet(dim_);
+  slots_.clear();
+  blocks_.clear();
+}
+
+}  // namespace pdx

@@ -1,0 +1,81 @@
+#ifndef PDX_STORAGE_DELTA_STORE_H_
+#define PDX_STORAGE_DELTA_STORE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+#include "storage/pdx_block.h"
+#include "storage/vector_set.h"
+
+namespace pdx {
+
+/// The append region of a live (mutable) collection: PDX blocks that grow
+/// one vector at a time, the paper's Section 3 ingest story made concrete.
+///
+/// Appending repacks ONLY the partial tail block — full blocks are sealed
+/// and never touched again — so one append costs
+/// O(block_capacity x dim) regardless of how many vectors the region (or
+/// the immutable base in front of it) already holds. That bound is the
+/// whole point: it is what makes ingest latency independent of collection
+/// size, and the invariant the delta-store tests pin (a sealed block's
+/// storage address never changes across later appends).
+///
+/// Alongside the blocks the store keeps the horizontal rows (the compaction
+/// source — rebuilding the base needs raw rows, not transposed lanes) and
+/// the caller-assigned slot id of every row, which is the global id the
+/// block lanes carry into search results.
+class DeltaStore {
+ public:
+  DeltaStore() = default;
+  /// An empty region for `dim`-dimensional vectors packed into blocks of
+  /// `block_capacity` lanes (0 = kPdxBlockSize).
+  DeltaStore(size_t dim, size_t block_capacity);
+
+  DeltaStore(DeltaStore&&) = default;
+  DeltaStore& operator=(DeltaStore&&) = default;
+  DeltaStore(const DeltaStore&) = delete;
+  DeltaStore& operator=(const DeltaStore&) = delete;
+
+  size_t dim() const { return dim_; }
+  size_t block_capacity() const { return block_capacity_; }
+  /// Rows appended so far (tombstoned rows included — deletion is the
+  /// owner's overlay, not the store's concern).
+  size_t count() const { return rows_.count(); }
+  bool empty() const { return rows_.empty(); }
+  size_t num_blocks() const { return blocks_.size(); }
+  const PdxBlock& block(size_t b) const { return blocks_[b]; }
+
+  /// The horizontal copies of the appended rows, in append order: row i of
+  /// this set is the vector `Append` was called with i-th.
+  const VectorSet& rows() const { return rows_; }
+  /// Slot id row i was appended under.
+  VectorId slot(size_t i) const { return slots_[i]; }
+
+  /// Appends one `dim()`-float row under global id `slot`. Repacks the
+  /// partial tail block only (never a sealed full block); when the tail
+  /// reaches block_capacity it seals and the next append opens a new tail.
+  void Append(const float* row, VectorId slot);
+
+  /// Lifetime count of tail repacks — every append is exactly one, which
+  /// the tests use to prove no append ever cascades into older blocks.
+  size_t tail_repacks() const { return tail_repacks_; }
+
+  /// Drops every row and block (post-compaction reset). Capacity and dim
+  /// are kept.
+  void Clear();
+
+ private:
+  size_t dim_ = 0;
+  size_t block_capacity_ = kPdxBlockSize;
+  VectorSet rows_;
+  std::vector<VectorId> slots_;
+  /// Self-owning dimension-major blocks; all but the last hold exactly
+  /// block_capacity lanes, the last holds the partial tail.
+  std::vector<PdxBlock> blocks_;
+  size_t tail_repacks_ = 0;
+};
+
+}  // namespace pdx
+
+#endif  // PDX_STORAGE_DELTA_STORE_H_

@@ -216,5 +216,89 @@ TEST(QueryTraceTest, BusyFractionIsWindowedAndBounded) {
   EXPECT_GT(total_busy, 0.0);
 }
 
+// --- Sampled tracing: ServiceConfig::trace_sample_rate -------------------
+
+TEST(QueryTraceTest, SampleRateTracesEveryNthQueryDeterministically) {
+  Dataset data = MakeData();
+  MetricsRegistry registry;
+  ServiceConfig sc;
+  sc.threads = 2;
+  sc.metrics = &registry;
+  sc.trace_sample_rate = 0.25;
+  SearchService service(sc);
+  ASSERT_TRUE(service.AddCollection("docs", data.data, Config()).ok());
+
+  // The selector is a deterministic error accumulator, not an RNG: at rate
+  // 1/4 exactly every 4th admitted query is promoted — the 4th, 8th, ...
+  // — so sequential submission pins both the count and the positions.
+  std::vector<bool> traced;
+  for (size_t q = 0; q < 16; ++q) {
+    QueryOptions options;
+    options.request_id = "sampled-" + std::to_string(q);
+    QueryResult result =
+        service.Submit("docs", data.queries.Vector(q % data.queries.count()),
+                       options)
+            .result.get();
+    ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+    traced.push_back(result.trace != nullptr);
+    if (result.trace != nullptr) {
+      // A sampled trace is a full trace: correlation id and real work.
+      EXPECT_EQ(result.trace->request_id, "sampled-" + std::to_string(q));
+      EXPECT_GT(result.trace->counters.values_scanned, 0u);
+    }
+  }
+  for (size_t q = 0; q < 16; ++q) {
+    EXPECT_EQ(traced[q], (q + 1) % 4 == 0) << "query " << q;
+  }
+}
+
+TEST(QueryTraceTest, SampleRateOneTracesEverythingZeroNothing) {
+  Dataset data = MakeData();
+  for (const double rate : {0.0, 1.0, -3.0}) {
+    MetricsRegistry registry;
+    ServiceConfig sc;
+    sc.threads = 2;
+    sc.metrics = &registry;
+    sc.trace_sample_rate = rate;  // Negative clamps to off, never throws.
+    SearchService service(sc);
+    ASSERT_TRUE(service.AddCollection("docs", data.data, Config()).ok());
+    for (size_t q = 0; q < 4; ++q) {
+      QueryResult result =
+          service.Submit("docs", data.queries.Vector(q)).result.get();
+      ASSERT_TRUE(result.status.ok());
+      EXPECT_EQ(result.trace != nullptr, rate == 1.0) << "rate " << rate;
+    }
+  }
+}
+
+TEST(QueryTraceTest, ExplicitTraceWinsOverSampling) {
+  Dataset data = MakeData();
+  MetricsRegistry registry;
+  ServiceConfig sc;
+  sc.threads = 2;
+  sc.metrics = &registry;
+  sc.trace_sample_rate = 0.25;
+  SearchService service(sc);
+  ASSERT_TRUE(service.AddCollection("docs", data.data, Config()).ok());
+  // An opted-in query is always traced and does NOT consume the sampling
+  // accumulator — the 4th un-opted query after it still gets promoted.
+  QueryOptions opt_in;
+  opt_in.trace = true;
+  opt_in.request_id = "explicit";
+  QueryResult explicit_result =
+      service.Submit("docs", data.queries.Vector(0), opt_in).result.get();
+  ASSERT_TRUE(explicit_result.status.ok());
+  ASSERT_NE(explicit_result.trace, nullptr);
+  EXPECT_EQ(explicit_result.trace->request_id, "explicit");
+  size_t sampled = 0;
+  for (size_t q = 0; q < 4; ++q) {
+    QueryResult result =
+        service.Submit("docs", data.queries.Vector(q)).result.get();
+    ASSERT_TRUE(result.status.ok());
+    if (result.trace != nullptr) ++sampled;
+  }
+  EXPECT_EQ(sampled, 1u);
+}
+
 }  // namespace
 }  // namespace pdx

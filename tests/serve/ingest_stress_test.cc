@@ -1,0 +1,327 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "core/any_searcher.h"
+#include "serve/search_service.h"
+#include "storage/vector_set.h"
+
+// Ingest under fire: N mutator threads stream AddVectors / DeleteVectors /
+// upserts through the service while M searcher threads submit queries, on
+// a hot unsharded flat collection AND a sharded IVF collection at once.
+// After quiesce the hosted results must be byte-identical to a fresh
+// searcher built over the tracked survivors — the live-collection
+// acceptance criterion — and the ingest counters must reconcile exactly.
+// This suite runs under TSan and ASan in CI (the `ingest` label), so any
+// lock-order or lifetime mistake in the mutation path fails loudly here.
+
+namespace pdx {
+namespace {
+
+using namespace std::chrono_literals;
+
+constexpr size_t kDim = 16;
+constexpr size_t kBase = 2000;
+constexpr size_t kMutators = 3;
+constexpr size_t kSearchers = 4;
+constexpr size_t kQueriesPerSearcher = 150;
+constexpr size_t kAddsPerMutator = 150;
+constexpr size_t kUpsertsPerMutator = 50;
+constexpr size_t kInitialDeletesPerMutator = 100;
+constexpr size_t kOwnDeletesPerMutator = 30;
+
+VectorSet RandomVectors(size_t count, size_t dim, uint64_t seed) {
+  Rng rng(seed);
+  VectorSet set(dim, count);
+  std::vector<float> row(dim);
+  for (size_t i = 0; i < count; ++i) {
+    for (float& v : row) v = static_cast<float>(rng.Gaussian());
+    set.Append(row.data());
+  }
+  return set;
+}
+
+/// One mutator's deterministic contribution, recorded lock-free: id spaces
+/// are disjoint (mutator m owns explicit ids 1'000'000 * (m + 1) + j and
+/// the initial-id range [m * 200, m * 200 + 100)), so the final state per
+/// id is fixed by one thread's program order and the threads' models merge
+/// trivially after join.
+struct MutatorLog {
+  std::map<uint64_t, std::vector<float>> upserted;  ///< Final row per id.
+  std::vector<uint64_t> deleted;                    ///< Ids removed.
+  Status first_error;                               ///< OK unless something broke.
+  uint64_t added_calls = 0;   ///< Rows pushed through AddVectors.
+  uint64_t deleted_calls = 0; ///< Rows removed via DeleteVectors.
+};
+
+void RunMutator(SearchService& service,
+                const std::vector<std::string>& collections, size_t m,
+                MutatorLog* log) {
+  Rng rng(7'000 + m);
+  auto note_error = [log](const Status& status) {
+    if (log->first_error.ok() && !status.ok()) log->first_error = status;
+  };
+  const uint64_t id_base = 1'000'000 * (m + 1);
+
+  // Streaming adds under explicit ids, in batches of 10.
+  for (size_t j = 0; j < kAddsPerMutator; j += 10) {
+    std::vector<float> rows(10 * kDim);
+    std::vector<uint64_t> ids(10);
+    for (size_t r = 0; r < 10; ++r) {
+      ids[r] = id_base + j + r;
+      for (size_t d = 0; d < kDim; ++d) {
+        rows[r * kDim + d] = static_cast<float>(rng.Gaussian());
+      }
+    }
+    for (const std::string& name : collections) {
+      auto added = service.AddVectors(name, rows.data(), 10, kDim, ids.data());
+      note_error(added.status());
+      if (added.ok()) log->added_calls += 10;
+    }
+    // Record after the last collection: same rows went everywhere.
+    for (size_t r = 0; r < 10; ++r) {
+      log->upserted[ids[r]] = std::vector<float>(
+          rows.begin() + r * kDim, rows.begin() + (r + 1) * kDim);
+    }
+  }
+
+  // Upsert the first kUpsertsPerMutator of our own ids with new values.
+  for (size_t j = 0; j < kUpsertsPerMutator; j += 10) {
+    std::vector<float> rows(10 * kDim);
+    std::vector<uint64_t> ids(10);
+    for (size_t r = 0; r < 10; ++r) {
+      ids[r] = id_base + j + r;
+      for (size_t d = 0; d < kDim; ++d) {
+        rows[r * kDim + d] = static_cast<float>(rng.Gaussian());
+      }
+    }
+    for (const std::string& name : collections) {
+      auto upserted = service.Upsert(name, rows.data(), 10, kDim, ids.data());
+      note_error(upserted.status());
+      if (upserted.ok()) log->added_calls += 10;
+    }
+    for (size_t r = 0; r < 10; ++r) {
+      log->upserted[ids[r]] = std::vector<float>(
+          rows.begin() + r * kDim, rows.begin() + (r + 1) * kDim);
+    }
+  }
+
+  // Delete our partition of the initial ids, in batches of 20.
+  for (size_t j = 0; j < kInitialDeletesPerMutator; j += 20) {
+    std::vector<uint64_t> ids(20);
+    for (size_t r = 0; r < 20; ++r) ids[r] = m * 200 + j + r;
+    for (const std::string& name : collections) {
+      auto deleted = service.DeleteVectors(name, ids.data(), 20, nullptr);
+      note_error(deleted.status());
+      if (deleted.ok()) log->deleted_calls += deleted.value();
+    }
+    log->deleted.insert(log->deleted.end(), ids.begin(), ids.end());
+  }
+
+  // Delete the tail of our own added ids (they exist: added above).
+  {
+    std::vector<uint64_t> ids(kOwnDeletesPerMutator);
+    for (size_t r = 0; r < kOwnDeletesPerMutator; ++r) {
+      ids[r] = id_base + kAddsPerMutator - 1 - r;
+    }
+    for (const std::string& name : collections) {
+      auto deleted = service.DeleteVectors(name, ids.data(), ids.size(),
+                                           nullptr);
+      note_error(deleted.status());
+      if (deleted.ok()) log->deleted_calls += deleted.value();
+    }
+    for (const uint64_t id : ids) {
+      log->upserted.erase(id);
+      log->deleted.push_back(id);
+    }
+  }
+}
+
+TEST(IngestStressTest, MutateWhileServingThenExactParity) {
+  VectorSet base = RandomVectors(kBase, kDim, 1);
+
+  ServiceConfig sc;
+  sc.threads = 4;
+  sc.dispatchers = 2;
+  sc.max_pending = 4096;  // The stress load must not hit admission limits.
+  sc.mutation.compact_threshold = 256;  // Several compactions mid-run.
+  sc.mutation.delta_block_capacity = 64;
+  MetricsRegistry registry;
+  sc.metrics = &registry;
+  SearchService service(sc);
+
+  // A hot unsharded flat collection and a sharded IVF collection, both
+  // exhaustive (linear pruner; IVF probes every bucket) so quiesce parity
+  // is byte-exact.
+  SearcherConfig hot;
+  hot.layout = SearcherLayout::kFlat;
+  hot.pruner = PrunerKind::kLinear;
+  hot.k = 10;
+  SearcherConfig sharded = hot;
+  sharded.layout = SearcherLayout::kIvf;
+  sharded.nprobe = 1u << 20;
+  ShardingOptions sharding;
+  sharding.num_shards = 3;
+  ASSERT_TRUE(service.AddCollection("hot", base, hot).ok());
+  ASSERT_TRUE(service.AddCollection("sharded", base, sharded, sharding).ok());
+  const std::vector<std::string> collections = {"hot", "sharded"};
+
+  // Searchers: submit futures against both collections while the mutators
+  // run; every future must resolve (liveness) with OK — the load is sized
+  // under max_pending, so admission rejections would be a real bug.
+  std::atomic<size_t> search_failures{0};
+  std::atomic<size_t> searches_done{0};
+  std::vector<std::thread> searchers;
+  for (size_t s = 0; s < kSearchers; ++s) {
+    searchers.emplace_back([&service, &collections, &search_failures,
+                            &searches_done, s] {
+      Rng rng(9'000 + s);
+      std::vector<float> query(kDim);
+      for (size_t q = 0; q < kQueriesPerSearcher; ++q) {
+        for (float& v : query) v = static_cast<float>(rng.Gaussian());
+        QueryTicket ticket = service.Submit(
+            collections[q % collections.size()], query.data());
+        const QueryResult result = ticket.result.get();
+        if (!result.status.ok()) ++search_failures;
+        ++searches_done;
+      }
+    });
+  }
+
+  std::vector<MutatorLog> logs(kMutators);
+  std::vector<std::thread> mutators;
+  for (size_t m = 0; m < kMutators; ++m) {
+    mutators.emplace_back([&service, &collections, m, &logs] {
+      RunMutator(service, collections, m, &logs[m]);
+    });
+  }
+
+  for (std::thread& t : mutators) t.join();
+  for (std::thread& t : searchers) t.join();
+  EXPECT_EQ(searches_done.load(), kSearchers * kQueriesPerSearcher);
+  EXPECT_EQ(search_failures.load(), 0u);
+  for (size_t m = 0; m < kMutators; ++m) {
+    ASSERT_TRUE(logs[m].first_error.ok())
+        << "mutator " << m << ": " << logs[m].first_error.ToString();
+  }
+
+  // Merge the disjoint per-mutator logs into the survivor model.
+  std::map<uint64_t, std::vector<float>> model;
+  for (size_t i = 0; i < base.count(); ++i) {
+    model[i] =
+        std::vector<float>(base.Vector(i), base.Vector(i) + base.dim());
+  }
+  uint64_t expect_added = 0;
+  uint64_t expect_deleted = 0;
+  for (const MutatorLog& log : logs) {
+    for (const auto& [id, row] : log.upserted) model[id] = row;
+    for (const uint64_t id : log.deleted) model.erase(id);
+    expect_added += log.added_calls / collections.size();
+    expect_deleted += log.deleted_calls / collections.size();
+  }
+
+  // Counters reconcile exactly: every add/delete landed on each collection.
+  const ServiceStats stats = service.Stats();
+  for (const std::string& name : collections) {
+    const auto it = stats.collections.find(name);
+    ASSERT_NE(it, stats.collections.end());
+    EXPECT_TRUE(it->second.is_mutable) << name;
+    EXPECT_EQ(it->second.added, expect_added) << name;
+    EXPECT_EQ(it->second.deleted, expect_deleted) << name;
+    EXPECT_EQ(it->second.count, model.size()) << name;
+  }
+
+  // The delta crossed compact_threshold several times over, so at least
+  // one background compaction must complete; poll briefly — the compactor
+  // may still be folding when the mutators finish.
+  const auto deadline = std::chrono::steady_clock::now() + 30s;
+  bool compacted = false;
+  while (!compacted && std::chrono::steady_clock::now() < deadline) {
+    const ServiceStats snap = service.Stats();
+    compacted = true;
+    for (const std::string& name : collections) {
+      compacted = compacted && snap.collections.at(name).compactions >= 1;
+    }
+    if (!compacted) std::this_thread::sleep_for(10ms);
+  }
+  EXPECT_TRUE(compacted) << "no background compaction completed";
+
+  // Quiesce parity: the hosted results must be byte-identical to a fresh
+  // searcher over the survivors. The reference is exhaustive flat/linear —
+  // any exact configuration must agree with it bit for bit.
+  VectorSet survivors(kDim, model.size());
+  std::vector<uint64_t> external;
+  external.reserve(model.size());
+  for (const auto& [id, row] : model) {
+    survivors.Append(row.data());
+    external.push_back(id);
+  }
+  SearcherConfig reference_config;
+  reference_config.layout = SearcherLayout::kFlat;
+  reference_config.pruner = PrunerKind::kLinear;
+  reference_config.k = 10;
+  auto reference = MakeSearcher(survivors, reference_config);
+  ASSERT_TRUE(reference.ok());
+
+  VectorSet queries = RandomVectors(5, kDim, 2);
+  for (size_t q = 0; q < queries.count(); ++q) {
+    const std::vector<Neighbor> expected =
+        reference.value()->Search(queries.Vector(q));
+    for (const std::string& name : collections) {
+      QueryTicket ticket = service.Submit(name, queries.Vector(q));
+      const QueryResult result = ticket.result.get();
+      ASSERT_TRUE(result.status.ok())
+          << name << ": " << result.status.ToString();
+      ASSERT_EQ(result.neighbors.size(), expected.size()) << name;
+      for (size_t i = 0; i < expected.size(); ++i) {
+        ASSERT_EQ(result.neighbors[i].id, external[expected[i].id])
+            << name << " query " << q << " rank " << i;
+        ASSERT_EQ(result.neighbors[i].distance, expected[i].distance)
+            << name << " query " << q << " rank " << i;
+      }
+    }
+  }
+
+  service.Shutdown();
+}
+
+// Mutating a collection the service did not build from vectors must be a
+// clean kUnsupported, not a crash — adopted searchers have no delta.
+TEST(IngestStressTest, AdoptedCollectionsAreImmutable) {
+  VectorSet base = RandomVectors(50, 8, 3);
+  SearcherConfig config;
+  config.layout = SearcherLayout::kFlat;
+  config.pruner = PrunerKind::kLinear;
+  auto searcher = MakeSearcher(base, config);
+  ASSERT_TRUE(searcher.ok());
+
+  SearchService service{ServiceConfig{}};
+  std::unique_ptr<Searcher> adopted = std::move(searcher).value();
+  ASSERT_TRUE(service.AddCollection("adopted", adopted).ok());
+
+  std::vector<float> row(8, 0.5f);
+  EXPECT_TRUE(service.AddVectors("adopted", row.data(), 1, 8, nullptr)
+                  .status()
+                  .IsUnsupported());
+  const uint64_t id = 0;
+  EXPECT_TRUE(
+      service.DeleteVectors("adopted", &id, 1, nullptr).status().IsUnsupported());
+  EXPECT_TRUE(
+      service.Upsert("adopted", row.data(), 1, 8, &id).status().IsUnsupported());
+  EXPECT_TRUE(service.AddVectors("ghost", row.data(), 1, 8, nullptr)
+                  .status()
+                  .IsNotFound());
+  service.Shutdown();
+}
+
+}  // namespace
+}  // namespace pdx

@@ -1,0 +1,130 @@
+#include "storage/delta_store.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "common/random.h"
+#include "storage/pdx_block.h"
+#include "storage/vector_set.h"
+
+namespace pdx {
+namespace {
+
+std::vector<float> RandomRow(Rng& rng, size_t dim) {
+  std::vector<float> row(dim);
+  for (float& v : row) v = static_cast<float>(rng.Gaussian());
+  return row;
+}
+
+TEST(DeltaStoreTest, EmptyShape) {
+  DeltaStore store(8, 4);
+  EXPECT_EQ(store.dim(), 8u);
+  EXPECT_EQ(store.block_capacity(), 4u);
+  EXPECT_EQ(store.count(), 0u);
+  EXPECT_TRUE(store.empty());
+  EXPECT_EQ(store.num_blocks(), 0u);
+  EXPECT_EQ(store.tail_repacks(), 0u);
+}
+
+TEST(DeltaStoreTest, ZeroCapacityMeansDefaultBlockSize) {
+  DeltaStore store(4, 0);
+  EXPECT_EQ(store.block_capacity(), kPdxBlockSize);
+}
+
+TEST(DeltaStoreTest, AppendCrossesBlockBoundaries) {
+  const size_t dim = 6;
+  const size_t capacity = 4;
+  const size_t count = 11;  // 2 sealed blocks + a 3-lane tail.
+  Rng rng(42);
+  DeltaStore store(dim, capacity);
+  VectorSet mirror(dim, count);
+  for (size_t i = 0; i < count; ++i) {
+    const std::vector<float> row = RandomRow(rng, dim);
+    mirror.Append(row.data());
+    store.Append(row.data(), static_cast<VectorId>(100 + i));
+  }
+  EXPECT_EQ(store.count(), count);
+  ASSERT_EQ(store.num_blocks(), 3u);
+  EXPECT_EQ(store.block(0).count(), capacity);
+  EXPECT_EQ(store.block(1).count(), capacity);
+  EXPECT_EQ(store.block(2).count(), count - 2 * capacity);
+
+  // Every lane round-trips: values via ExtractLane, global ids via id().
+  std::vector<float> lane(dim);
+  size_t row = 0;
+  for (size_t b = 0; b < store.num_blocks(); ++b) {
+    const PdxBlock& block = store.block(b);
+    EXPECT_EQ(block.dim(), dim);
+    for (size_t i = 0; i < block.count(); ++i, ++row) {
+      EXPECT_EQ(block.id(i), static_cast<VectorId>(100 + row));
+      EXPECT_EQ(store.slot(row), static_cast<VectorId>(100 + row));
+      block.ExtractLane(i, lane.data());
+      for (size_t d = 0; d < dim; ++d) {
+        ASSERT_EQ(lane[d], mirror.Vector(row)[d])
+            << "block " << b << " lane " << i << " dim " << d;
+      }
+      ASSERT_EQ(mirror.Vector(row)[0], store.rows().Vector(row)[0]);
+    }
+  }
+}
+
+TEST(DeltaStoreTest, EveryAppendIsExactlyOneTailRepack) {
+  Rng rng(7);
+  DeltaStore store(3, 4);
+  for (size_t i = 1; i <= 13; ++i) {
+    const std::vector<float> row = RandomRow(rng, 3);
+    store.Append(row.data(), static_cast<VectorId>(i));
+    EXPECT_EQ(store.tail_repacks(), i);
+  }
+}
+
+TEST(DeltaStoreTest, SealedBlockStorageIsStableAcrossLaterAppends) {
+  // The O(block_capacity x dim) append bound requires sealed blocks to be
+  // left alone: their data pointer must never move (and their contents
+  // never change) no matter how many appends follow.
+  const size_t dim = 5;
+  const size_t capacity = 4;
+  Rng rng(11);
+  DeltaStore store(dim, capacity);
+  for (size_t i = 0; i < capacity; ++i) {
+    const std::vector<float> row = RandomRow(rng, dim);
+    store.Append(row.data(), static_cast<VectorId>(i));
+  }
+  ASSERT_EQ(store.num_blocks(), 1u);
+  const float* sealed_data = store.block(0).data();
+  std::vector<float> sealed_copy(sealed_data, sealed_data + capacity * dim);
+
+  for (size_t i = capacity; i < capacity * 8; ++i) {
+    const std::vector<float> row = RandomRow(rng, dim);
+    store.Append(row.data(), static_cast<VectorId>(i));
+    ASSERT_EQ(store.block(0).data(), sealed_data);
+  }
+  for (size_t v = 0; v < sealed_copy.size(); ++v) {
+    ASSERT_EQ(sealed_data[v], sealed_copy[v]) << "sealed value " << v;
+  }
+}
+
+TEST(DeltaStoreTest, ClearKeepsShapeDropsRows) {
+  Rng rng(3);
+  DeltaStore store(4, 2);
+  for (size_t i = 0; i < 5; ++i) {
+    const std::vector<float> row = RandomRow(rng, 4);
+    store.Append(row.data(), static_cast<VectorId>(i));
+  }
+  store.Clear();
+  EXPECT_TRUE(store.empty());
+  EXPECT_EQ(store.count(), 0u);
+  EXPECT_EQ(store.num_blocks(), 0u);
+  EXPECT_EQ(store.dim(), 4u);
+  EXPECT_EQ(store.block_capacity(), 2u);
+  // The region stays usable after the reset.
+  const std::vector<float> row = RandomRow(rng, 4);
+  store.Append(row.data(), 99);
+  EXPECT_EQ(store.count(), 1u);
+  EXPECT_EQ(store.block(0).id(0), 99u);
+}
+
+}  // namespace
+}  // namespace pdx

@@ -35,12 +35,21 @@
 // 1.0 because append cost does not depend on how large the base is. Pass
 // --json=PATH (e.g. --json=BENCH_ingest.json) to also write the rung as
 // machine-readable JSON.
+//
+// The --persist flag appends a cold-start rung: at base sizes {N/4, N/2,
+// N} it times building a collection from vectors (k-means + packing +
+// transforms) against restoring the same collection from a saved file via
+// mmap, and reports cold-start-to-first-query for the restored path. The
+// pack/kmeans columns count PDX store packs and k-means runs during the
+// load — both must be 0 (restore does no index work; that is the point of
+// the format). Writes BENCH_persist.json (or --json=PATH when given).
 
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <numeric>
 #include <string>
@@ -49,6 +58,8 @@
 
 #include "bench_common.h"
 #include "common/timer.h"
+#include "index/kmeans.h"
+#include "storage/pdx_store.h"
 #include "net/http_client.h"
 #include "net/http_server.h"
 #include "net/json.h"
@@ -546,6 +557,113 @@ void RunIngestRung(const SyntheticSpec& spec, size_t dispatchers,
   json_datasets->Append(std::move(doc));
 }
 
+/// The --persist rung: build-from-vectors vs restore-from-file, plus
+/// cold-start-to-first-query, at base sizes {N/4, N/2, N}. The restored
+/// path must do ZERO k-means and ZERO store packing — the pack/kmeans
+/// columns pin that with the same process-wide counters the regression
+/// test uses.
+void RunPersistRung(const SyntheticSpec& spec, JsonValue* json_datasets) {
+  Dataset dataset = GenerateDataset(spec);
+  const size_t dim = dataset.data.dim();
+
+  SearcherConfig config = {};
+  config.layout = SearcherLayout::kIvf;
+  config.pruner = PrunerKind::kBond;
+  config.nprobe = 16;
+
+  TextTable table({"dataset", "rows", "build(ms)", "save(ms)", "file(MB)",
+                   "load(ms)", "1st query(ms)", "cold start(ms)",
+                   "build/load", "packs", "kmeans"});
+  JsonValue results = JsonValue::Array();
+  for (const size_t divisor : {4u, 2u, 1u}) {
+    const size_t base_rows = std::max<size_t>(1, spec.count / divisor);
+    const VectorSet base =
+        VectorSet::FromRowMajor(dataset.data.Vector(0), base_rows, dim);
+    const std::string path =
+        (std::filesystem::temp_directory_path() /
+         ("bench_persist_" + std::to_string(base_rows) + ".pdxc"))
+            .string();
+
+    double build_ms = 0.0;
+    double save_ms = 0.0;
+    {
+      SearchService service(ServiceConfig{});
+      Timer build;
+      if (!service.AddCollection("cold", base, config).ok()) {
+        std::fprintf(stderr, "serve_throughput: AddCollection failed\n");
+        return;
+      }
+      // Build-to-first-query: the whole cost a fresh process pays before
+      // it can answer when it has no saved file.
+      (void)service.Submit("cold", dataset.queries.Vector(0)).result.get();
+      build_ms = build.ElapsedMillis();
+      Timer save;
+      if (!service.SaveCollection("cold", path).ok()) {
+        std::fprintf(stderr, "serve_throughput: SaveCollection failed\n");
+        return;
+      }
+      save_ms = save.ElapsedMillis();
+    }
+    const auto file_bytes =
+        static_cast<double>(std::filesystem::file_size(path));
+
+    // The cold-start side: a fresh service, nothing warm but the page
+    // cache, restore + first answered query.
+    const size_t packs_before = PdxStorePackCount();
+    const size_t kmeans_before = KMeansRunCount();
+    double load_ms = 0.0;
+    double first_query_ms = 0.0;
+    {
+      SearchService service(ServiceConfig{});
+      Timer load;
+      if (!service.LoadCollection("cold", path).ok()) {
+        std::fprintf(stderr, "serve_throughput: LoadCollection failed\n");
+        return;
+      }
+      load_ms = load.ElapsedMillis();
+      Timer first;
+      (void)service.Submit("cold", dataset.queries.Vector(0)).result.get();
+      first_query_ms = first.ElapsedMillis();
+    }
+    const size_t load_packs = PdxStorePackCount() - packs_before;
+    const size_t load_kmeans = KMeansRunCount() - kmeans_before;
+    const double cold_start_ms = load_ms + first_query_ms;
+    std::filesystem::remove(path);
+
+    table.AddRow({spec.name, std::to_string(base_rows),
+                  TextTable::Num(build_ms, 1), TextTable::Num(save_ms, 1),
+                  TextTable::Num(file_bytes / (1024.0 * 1024.0), 2),
+                  TextTable::Num(load_ms, 1),
+                  TextTable::Num(first_query_ms, 3),
+                  TextTable::Num(cold_start_ms, 1),
+                  TextTable::Num(load_ms > 0.0 ? build_ms / load_ms : 0.0, 1),
+                  std::to_string(load_packs), std::to_string(load_kmeans)});
+
+    JsonValue entry = JsonValue::Object();
+    entry.Set("base_rows", base_rows);
+    entry.Set("build_to_first_query_ms", build_ms);
+    entry.Set("save_ms", save_ms);
+    entry.Set("file_bytes", file_bytes);
+    entry.Set("load_ms", load_ms);
+    entry.Set("first_query_ms", first_query_ms);
+    entry.Set("cold_start_to_first_query_ms", cold_start_ms);
+    entry.Set("build_over_load", load_ms > 0.0 ? build_ms / load_ms : 0.0);
+    entry.Set("load_store_packs", load_packs);
+    entry.Set("load_kmeans_runs", load_kmeans);
+    results.Append(std::move(entry));
+  }
+  table.Print();
+
+  if (json_datasets == nullptr) return;
+  JsonValue doc = JsonValue::Object();
+  doc.Set("dataset", spec.name);
+  doc.Set("dim", dim);
+  doc.Set("layout", "ivf");
+  doc.Set("pruner", "bond");
+  doc.Set("results", std::move(results));
+  json_datasets->Append(std::move(doc));
+}
+
 /// Parses `--<name>=N[,M,...]` from argv into a size list; `fallback` when
 /// the flag is absent or empty.
 std::vector<size_t> ParseSizeListFlag(int argc, char** argv,
@@ -583,11 +701,13 @@ int main(int argc, char** argv) {
   bool http = false;
   bool trace = false;
   bool ingest = false;
+  bool persist = false;
   std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--http") == 0) http = true;
     if (std::strcmp(argv[i], "--trace") == 0) trace = true;
     if (std::strcmp(argv[i], "--ingest") == 0) ingest = true;
+    if (std::strcmp(argv[i], "--persist") == 0) persist = true;
     if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
   }
   for (SyntheticSpec spec : CoreWorkloads(scale * 0.5)) {
@@ -643,6 +763,29 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "serve_throughput: cannot write %s\n",
                      json_path.c_str());
       }
+    }
+  }
+  if (persist) {
+    PrintBanner(
+        "Serving: persistence cold start (build-from-vectors vs "
+        "mmap-restore, save -> fresh service -> load -> first query)");
+    JsonValue datasets = JsonValue::Array();
+    for (SyntheticSpec spec : CoreWorkloads(scale * 0.5)) {
+      spec.num_queries = 100;
+      RunPersistRung(spec, &datasets);
+    }
+    JsonValue doc = JsonValue::Object();
+    doc.Set("bench", "serve_persist");
+    doc.Set("datasets", std::move(datasets));
+    const std::string persist_json =
+        json_path.empty() ? "BENCH_persist.json" : json_path;
+    std::ofstream out(persist_json);
+    if (out) {
+      out << WriteJson(doc) << "\n";
+      std::printf("wrote %s\n", persist_json.c_str());
+    } else {
+      std::fprintf(stderr, "serve_throughput: cannot write %s\n",
+                   persist_json.c_str());
     }
   }
   // The shard sweep runs at the deepest requested replication so the one

@@ -7,6 +7,12 @@
 //       Prints count/dim and per-dimension statistics summary.
 //   fvecs_tool search <data.fvecs> <queries.fvecs> <k>
 //       Exact k-NN of every query via PDX-BOND; prints ids and distances.
+//   fvecs_tool save <data.fvecs> <out.pdxc>
+//       Builds an IVF/BOND collection and persists it in the PDXC format.
+//   fvecs_tool restore-search <collection.pdxc> <queries.fvecs> <k>
+//       Restores a saved collection (no k-means, no re-packing) and
+//       searches it. `save` in one process + `restore-search` in another
+//       is the cross-process round-trip CI exercises.
 //
 // Demonstrates the I/O layer (Status-based error handling) and the
 // plug-and-play property of PDX-BOND: point it at raw floats and search.
@@ -18,6 +24,7 @@
 
 #include "benchlib/datagen.h"
 #include "core/pdx.h"
+#include "core/persist.h"
 
 namespace {
 
@@ -86,12 +93,58 @@ int Search(const char* data_path, const char* query_path, size_t k) {
   return 0;
 }
 
+int SaveCollection(const char* data_path, const char* out_path) {
+  pdx::Result<pdx::VectorSet> data = pdx::ReadFvecs(data_path);
+  if (!data.ok()) return Fail(data.status());
+  pdx::SearcherConfig config;
+  config.layout = pdx::SearcherLayout::kIvf;
+  config.pruner = pdx::PrunerKind::kBond;
+  config.k = 10;
+  auto made = pdx::MakeSearcher(data.value(), std::move(config));
+  if (!made.ok()) return Fail(made.status());
+  const pdx::Status saved = made.value()->Save(out_path);
+  if (!saved.ok()) return Fail(saved);
+  std::printf("saved %zu x %zu to %s\n", data.value().count(),
+              data.value().dim(), out_path);
+  return 0;
+}
+
+int RestoreSearch(const char* collection_path, const char* query_path,
+                  size_t k) {
+  auto loaded = pdx::LoadCollection(collection_path);
+  if (!loaded.ok()) return Fail(loaded.status());
+  pdx::Result<pdx::VectorSet> queries = pdx::ReadFvecs(query_path);
+  if (!queries.ok()) return Fail(queries.status());
+  if (loaded.value().searcher->dim() != queries.value().dim()) {
+    return Fail(pdx::Status::InvalidArgument(
+        "collection and query dimensionality differ"));
+  }
+  if (k == 0) return Fail(pdx::Status::InvalidArgument("k must be > 0"));
+  std::printf("restored %s (%s, %llu bytes)\n", collection_path,
+              loaded.value().source.c_str(),
+              static_cast<unsigned long long>(loaded.value().file_bytes));
+  loaded.value().searcher->set_k(k);
+  for (size_t q = 0; q < queries.value().count(); ++q) {
+    const auto neighbors =
+        loaded.value().searcher->Search(queries.value().Vector(q));
+    std::printf("query %zu:", q);
+    for (const pdx::Neighbor& n : neighbors) {
+      std::printf(" %u:%.4f", n.id, n.distance);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
 void Usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  fvecs_tool generate <out.fvecs> <count> <dim> [skewed]\n"
                "  fvecs_tool info <file.fvecs>\n"
-               "  fvecs_tool search <data.fvecs> <queries.fvecs> <k>\n");
+               "  fvecs_tool search <data.fvecs> <queries.fvecs> <k>\n"
+               "  fvecs_tool save <data.fvecs> <out.pdxc>\n"
+               "  fvecs_tool restore-search <collection.pdxc> "
+               "<queries.fvecs> <k>\n");
 }
 
 }  // namespace
@@ -116,6 +169,11 @@ int main(int argc, char** argv) {
   if (command == "info" && argc == 3) return Info(argv[2]);
   if (command == "search" && argc == 5) {
     return Search(argv[2], argv[3], std::strtoull(argv[4], nullptr, 10));
+  }
+  if (command == "save" && argc == 4) return SaveCollection(argv[2], argv[3]);
+  if (command == "restore-search" && argc == 5) {
+    return RestoreSearch(argv[2], argv[3],
+                         std::strtoull(argv[4], nullptr, 10));
   }
   Usage();
   return 2;

@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <stdexcept>
 #include <string>
+#include <type_traits>
 #include <utility>
 
 #include "common/parallel.h"
 #include "common/timer.h"
+#include "core/persist.h"
 #include "core/searcher.h"
+#include "storage/collection_format.h"
 
 namespace pdx {
 
@@ -108,6 +111,19 @@ ThreadPool* Searcher::BatchPool() {
   return owned_pool_.get();
 }
 
+Status Searcher::Save(const std::string& path) const {
+  SavedCollection saved;
+  PDX_RETURN_IF_ERROR(ExportSaved(saved));
+  return WriteCollectionFile(path, saved);
+}
+
+Status Searcher::ExportSaved(SavedCollection& out) const {
+  (void)out;
+  return Status::Unsupported(
+      "Searcher::ExportSaved: this searcher implementation has no "
+      "serializable form (adopted custom facade?)");
+}
+
 std::vector<Neighbor> Searcher::SearchWith(size_t slot, QueryKnobs knobs,
                                            const float* query,
                                            PdxearchProfile* profile) {
@@ -146,10 +162,6 @@ std::vector<std::vector<Neighbor>> Searcher::SearchBatchWith(
   return results;
 }
 
-namespace {
-
-/// Fills in the derived fields the user left at their "default" markers so
-/// the construction code below never re-derives them.
 SearcherConfig ResolveConfig(SearcherConfig config) {
   config.search.k = config.k;
   config.search.metric = config.metric;
@@ -168,6 +180,8 @@ SearcherConfig ResolveConfig(SearcherConfig config) {
   }
   return config;
 }
+
+namespace {
 
 AdsConfig ToAdsConfig(const SearcherConfig& config) {
   AdsConfig ads;
@@ -279,6 +293,44 @@ class AnySearcherImpl final : public Searcher {
   }
 
   const IvfIndex* index() const override { return index_; }
+
+  Status ExportSaved(SavedCollection& out) const override {
+    out = SavedCollection{};
+    out.meta = MetaFromConfig(config_);
+    out.meta.dim = dim();
+    out.meta.count = count();
+    SavedShard shard;
+    shard.store = ExportStore(store());
+    if (index_ != nullptr) {
+      shard.has_ivf = true;
+      // The centroid PDX store is persisted (not rebuilt at load): packing
+      // it again would both cost a repack and let future packing changes
+      // silently alter the saved index's bucket ranking.
+      shard.centroids = ExportStore(index_->centroids_pdx());
+      const VectorSet& rows = index_->centroids();
+      shard.centroid_rows.assign(rows.data(),
+                                 rows.data() + rows.count() * rows.dim());
+      shard.bucket_offsets.reserve(index_->num_buckets() + 1);
+      shard.bucket_offsets.push_back(0);
+      for (const std::vector<VectorId>& bucket : index_->buckets()) {
+        shard.bucket_ids.insert(shard.bucket_ids.end(), bucket.begin(),
+                                bucket.end());
+        shard.bucket_offsets.push_back(shard.bucket_ids.size());
+      }
+    }
+    if constexpr (std::is_same_v<P, AdSamplingPruner>) {
+      shard.ads_rotation = pruner().rotation();
+    } else if constexpr (std::is_same_v<P, BsaPruner>) {
+      const Pca& pca = pruner().pca();
+      shard.pca_mean = pca.mean();
+      shard.pca_variance = pca.explained_variance();
+      shard.pca_components = pca.components();
+    }
+    // PDX-BOND needs no section: it is rebuilt from the persisted store
+    // stats (means) plus the resolved order/zone knobs in the meta.
+    out.shards.push_back(std::move(shard));
+    return Status::OK();
+  }
 
   void ReserveScratch(size_t slots) override { GrowEngines(slots); }
 
@@ -455,7 +507,119 @@ std::unique_ptr<Searcher> MakeIvfSearcher(const VectorSet& vectors,
   return nullptr;
 }
 
+/// Wraps a restored (store, pruner) pair — and, on kIvf, the restored
+/// index — into the same facade MakeSearcher products use, via the direct
+/// FlatPdxSearcher/IvfPdxSearcher constructors: no factory pipeline, no
+/// transform, no packing.
+template <typename P>
+std::unique_ptr<Searcher> WrapImageSearcher(const SearcherConfig& config,
+                                            std::unique_ptr<IvfIndex> owned,
+                                            PdxStore store, P pruner) {
+  if (config.layout == SearcherLayout::kFlat) {
+    return WrapFlat<P>(config, std::make_unique<FlatPdxSearcher<P>>(
+                                   std::move(store), std::move(pruner),
+                                   config.search));
+  }
+  const IvfIndex* index = owned.get();
+  return WrapIvf<P>(config, std::move(owned), index,
+                    std::make_unique<IvfPdxSearcher<P>>(
+                        index, std::move(store), std::move(pruner),
+                        config.search));
+}
+
+PdxStore StoreFromImage(StoreImage&& si) {
+  return PdxStore::FromView(si.dim, si.count, si.block_counts,
+                            std::move(si.group_block_start), si.ids,
+                            std::move(si.stats), std::move(si.block_stats),
+                            si.arena);
+}
+
 }  // namespace
+
+Result<std::unique_ptr<Searcher>> MakeSearcherFromImage(
+    std::shared_ptr<const CollectionImage> image, uint32_t shard,
+    SearcherConfig config) {
+  PDX_RETURN_IF_ERROR(ValidateSearcherConfig(config));
+  config = ResolveConfig(std::move(config));
+
+  Result<StoreImage> decoded = DecodeStore(*image, 2 * shard);
+  if (!decoded.ok()) return decoded.status();
+  PdxStore store = StoreFromImage(std::move(decoded).value());
+
+  std::unique_ptr<IvfIndex> owned;
+  if (config.layout == SearcherLayout::kIvf) {
+    Result<IvfImage> ivf = DecodeIvf(*image, shard);
+    if (!ivf.ok()) return ivf.status();
+    Result<StoreImage> cent = DecodeStore(*image, 2 * shard + 1);
+    if (!cent.ok()) return cent.status();
+    if (cent.value().count != ivf.value().num_buckets ||
+        cent.value().dim != store.dim()) {
+      return Status::Corruption(
+          "collection file " + image->path() +
+          ": centroid store disagrees with bucket count");
+    }
+    VectorSet centroids = VectorSet::FromRowMajor(
+        ivf.value().centroid_rows, ivf.value().num_buckets, store.dim());
+    owned = std::make_unique<IvfIndex>(IvfIndex::FromParts(
+        store.count(), std::move(centroids),
+        StoreFromImage(std::move(cent).value()),
+        std::move(ivf.value().buckets)));
+  }
+
+  std::unique_ptr<Searcher> searcher;
+  switch (config.pruner) {
+    case PrunerKind::kLinear:
+      searcher = WrapImageSearcher<NoPruner>(config, std::move(owned),
+                                             std::move(store), NoPruner{});
+      break;
+    case PrunerKind::kAdsampling: {
+      Result<Matrix> rotation = DecodeRotation(*image, shard);
+      if (!rotation.ok()) return rotation.status();
+      if (rotation.value().rows() != store.dim()) {
+        return Status::Corruption("collection file " + image->path() +
+                                  ": rotation dim disagrees with store");
+      }
+      AdSamplingPruner pruner(std::move(rotation).value(),
+                              config.ads_epsilon0);
+      searcher = WrapImageSearcher<AdSamplingPruner>(
+          config, std::move(owned), std::move(store), std::move(pruner));
+      break;
+    }
+    case PrunerKind::kBsa: {
+      Result<PcaImage> pca = DecodePca(*image, shard);
+      if (!pca.ok()) return pca.status();
+      if (pca.value().components.cols() != store.dim()) {
+        return Status::Corruption("collection file " + image->path() +
+                                  ": PCA dim disagrees with store");
+      }
+      BsaPruner pruner(
+          Pca::FromParts(std::move(pca.value().mean),
+                         std::move(pca.value().variance),
+                         std::move(pca.value().components)),
+          config.bsa_multiplier);
+      // The suffix-energy tables are derived, not persisted: BuildAux is
+      // deterministic in the packed lanes, so the rebuilt tables match the
+      // saved searcher's bit for bit (the parity tests pin this).
+      pruner.BuildAux(store);
+      searcher = WrapImageSearcher<BsaPruner>(config, std::move(owned),
+                                              std::move(store),
+                                              std::move(pruner));
+      break;
+    }
+    case PrunerKind::kBond: {
+      PdxBondPruner pruner(store.stats().means, *config.bond_order,
+                           config.bond_zone_size);
+      searcher = WrapImageSearcher<PdxBondPruner>(
+          config, std::move(owned), std::move(store), std::move(pruner));
+      break;
+    }
+  }
+  if (searcher == nullptr) {
+    return Status::Internal("MakeSearcherFromImage: unhandled pruner");
+  }
+  searcher->PinImage(std::move(image));
+  return searcher;
+}
 
 Result<std::unique_ptr<Searcher>> MakeSearcher(const VectorSet& vectors,
                                                SearcherConfig config) {

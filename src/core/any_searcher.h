@@ -8,6 +8,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "benchlib/latency.h"
@@ -21,6 +22,8 @@
 #include "storage/vector_set.h"
 
 namespace pdx {
+
+struct SavedCollection;  // storage/collection_format.h
 
 /// How the collection is blocked and visited (Sections 4.2/6.5).
 enum class SearcherLayout : uint8_t {
@@ -87,6 +90,13 @@ struct SearcherConfig {
 /// nprobe == 0 on kIvf, or a metric the chosen pruner's bound is invalid
 /// for (ADSampling/BSA require L2; PDX-BOND requires a monotone metric).
 Status ValidateSearcherConfig(const SearcherConfig& config);
+
+/// Fills in the derived fields the user left at their "default" markers
+/// (search.k/metric, block_capacity, bond_order). Idempotent. Every facade
+/// factory resolves before storing its config so the config a searcher
+/// carries — and persists — names concrete values, never markers whose
+/// meaning could drift with future defaults.
+SearcherConfig ResolveConfig(SearcherConfig config);
 
 /// Aggregate measurements of one SearchBatch call.
 struct BatchProfile {
@@ -247,6 +257,27 @@ class Searcher {
       size_t slot, QueryKnobs knobs, const float* queries, size_t num_queries,
       BatchProfile* profile = nullptr, SearchCounters* counters = nullptr);
 
+  /// Serializes the searcher's full state to `path` in the versioned PDXC
+  /// collection format (storage/collection_format.h), so a later process
+  /// can restore it without re-running k-means, transforms, or packing.
+  /// The default routes through ExportSaved; implementations with internal
+  /// synchronization (MutableSearcher) override it to hold their lock
+  /// across the export-and-write window.
+  virtual Status Save(const std::string& path) const;
+
+  /// Flattens the searcher into its serializable description. Pointer
+  /// members of `out` (arenas, raw rows) borrow from this searcher: write
+  /// the file before the searcher is mutated or destroyed. The base
+  /// returns Unsupported — adopted custom facades have no generic export.
+  virtual Status ExportSaved(SavedCollection& out) const;
+
+  /// Pins the loaded collection image this searcher's stores view into.
+  /// Lives on the base class: base members are destroyed after every
+  /// derived member, so the mapping outlives all views during teardown.
+  void PinImage(std::shared_ptr<const void> image) {
+    image_pin_ = std::move(image);
+  }
+
   const SearcherConfig& options() const { return config_; }
   /// Vector dimensionality. Virtual so wrappers whose store() is swappable
   /// (MutableSearcher under compaction) can answer from an immutable cache.
@@ -293,6 +324,7 @@ class Searcher {
   BatchProfile batch_profile_;
 
  private:
+  std::shared_ptr<const void> image_pin_;   ///< See PinImage.
   std::unique_ptr<ThreadPool> owned_pool_;  ///< Only without an injected pool.
   /// Serializes the base SearchBatchWith fallback (legacy searchers with
   /// no per-slot scratch) so concurrent dispatchers queue instead of

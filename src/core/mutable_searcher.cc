@@ -5,8 +5,10 @@
 #include <string>
 #include <utility>
 
+#include "core/persist.h"
 #include "index/topk.h"
 #include "kernels/kernel_dispatch.h"
+#include "storage/collection_format.h"
 
 namespace pdx {
 
@@ -27,6 +29,9 @@ Result<std::unique_ptr<MutableSearcher>> MutableSearcher::Make(
     return Status::InvalidArgument(
         "MutableSearcher: collection size exceeds the VectorId slot space");
   }
+  // Resolved here so the facade's config (what Save persists) carries the
+  // concrete block/order values, not "default" markers.
+  config = ResolveConfig(std::move(config));
   auto built = sharding.num_shards > 1
                    ? MakeShardedSearcher(vectors, config, sharding)
                    : MakeSearcher(vectors, config);
@@ -34,6 +39,77 @@ Result<std::unique_ptr<MutableSearcher>> MutableSearcher::Make(
   return std::unique_ptr<MutableSearcher>(
       new MutableSearcher(std::move(config), mutation, sharding,
                           std::move(built).value(), vectors.Clone()));
+}
+
+Result<std::unique_ptr<MutableSearcher>> MutableSearcher::Restore(
+    std::shared_ptr<const CollectionImage> image, SearcherConfig config,
+    MutationConfig mutation, ShardingOptions sharding) {
+  const SavedMeta& meta = image->meta();
+  auto decoded = DecodeMutable(*image);
+  if (!decoded.ok()) return decoded.status();
+  MutableImage mut = std::move(decoded).value();
+  if (mut.raw_count != meta.count || mut.raw_dim != meta.dim) {
+    return Status::Corruption(
+        "mutable restore: raw-row section shape does not match the "
+        "collection meta");
+  }
+  if (mut.delta_count > 0 && mut.delta_dim != meta.dim) {
+    return Status::Corruption(
+        "mutable restore: delta-row dimensionality does not match the "
+        "collection meta");
+  }
+
+  // The base restores exactly like an immutable collection: zero-copy
+  // views over the image, no k-means, no packing.
+  auto inner = meta.num_shards > 1
+                   ? MakeShardedSearcherFromImage(image, config, sharding)
+                   : MakeSearcherFromImage(image, 0, config);
+  if (!inner.ok()) return inner.status();
+
+  // Compaction re-reads base rows, so the facade needs an owned horizontal
+  // copy (the image may be dropped by a later compaction swap).
+  VectorSet base_rows =
+      VectorSet::FromRowMajor(mut.raw_rows, mut.raw_count, mut.raw_dim);
+  std::unique_ptr<MutableSearcher> live(
+      new MutableSearcher(std::move(config), mutation, sharding,
+                          std::move(inner).value(), std::move(base_rows)));
+
+  // Replay the delta over the ctor's base-only state. Slots are assigned
+  // densely on append (slot i of the delta is base_count + i — Compact
+  // preserves this); a snapshot violating it was not written by Save.
+  for (size_t i = 0; i < mut.delta_count; ++i) {
+    const size_t slot = live->base_count_ + i;
+    if (mut.delta_slots[i] != slot) {
+      return Status::Corruption(
+          "mutable restore: delta slot ids are not dense over the base");
+    }
+    live->delta_.Append(mut.delta_rows + i * mut.delta_dim,
+                        static_cast<VectorId>(slot));
+  }
+
+  // The saved id maps and tombstones replace the ctor's identity maps
+  // wholesale; the derived counts and the live-id index are recomputed.
+  live->slot_ids_ = std::move(mut.slot_ids);
+  live->dead_ = std::move(mut.dead);
+  live->base_dead_ = 0;
+  live->delta_dead_ = 0;
+  live->id_to_slot_.clear();
+  live->id_to_slot_.reserve(live->slot_ids_.size());
+  for (size_t slot = 0; slot < live->slot_ids_.size(); ++slot) {
+    if (live->dead_[slot]) {
+      if (slot < live->base_count_) {
+        ++live->base_dead_;
+      } else {
+        ++live->delta_dead_;
+      }
+    } else {
+      live->id_to_slot_[live->slot_ids_[slot]] = slot;
+    }
+  }
+  live->next_auto_id_ = meta.next_auto_id;
+  live->compactions_ = meta.compactions;
+  live->PinImage(std::move(image));
+  return live;
 }
 
 MutableSearcher::MutableSearcher(SearcherConfig config,
@@ -260,6 +336,55 @@ MutationStats MutableSearcher::mutation_stats() const {
   stats.tombstones = base_dead_ + delta_dead_;
   stats.compactions = compactions_;
   return stats;
+}
+
+// -- Persistence surface ----------------------------------------------------
+
+Status MutableSearcher::ExportSavedLocked(SavedCollection& out) const {
+  out = SavedCollection{};
+  PDX_RETURN_IF_ERROR(inner_->ExportSaved(out));
+  // Search() steers the inner searcher by mutating its knobs (set_k widens
+  // k by the tombstone count), so the meta the inner export produced has
+  // drifted. Keep only what the inner searcher alone knows — base count
+  // and shard shape — and rewrite every config scalar from the facade's
+  // own (undrifted) config.
+  SavedMeta meta = MetaFromConfig(config_);
+  meta.dim = dim_;
+  meta.count = out.meta.count;
+  meta.num_shards = out.meta.num_shards;
+  meta.assignment = out.meta.assignment;
+  meta.mutable_snapshot = 1;
+  meta.delta_block_capacity =
+      static_cast<uint32_t>(mutation_.delta_block_capacity);
+  meta.compact_threshold = mutation_.compact_threshold;
+  meta.next_auto_id = next_auto_id_;
+  meta.compactions = compactions_;
+  out.meta = meta;
+  out.raw_rows = base_rows_.data();
+  out.raw_row_count = base_count_;
+  out.delta_rows = delta_.rows().data();
+  out.delta_row_count = delta_.count();
+  out.delta_slots.reserve(delta_.count());
+  for (size_t i = 0; i < delta_.count(); ++i) {
+    out.delta_slots.push_back(delta_.slot(i));
+  }
+  out.slot_ids = slot_ids_;
+  out.dead = dead_;
+  return Status::OK();
+}
+
+Status MutableSearcher::ExportSaved(SavedCollection& out) const {
+  std::shared_lock<std::shared_mutex> lock(state_mutex_);
+  return ExportSavedLocked(out);
+}
+
+Status MutableSearcher::Save(const std::string& path) const {
+  // The export borrows pointers into the live arenas, so the lock spans
+  // the disk write too: searches proceed, mutations wait for the flush.
+  std::shared_lock<std::shared_mutex> lock(state_mutex_);
+  SavedCollection saved;
+  PDX_RETURN_IF_ERROR(ExportSavedLocked(saved));
+  return WriteCollectionFile(path, saved);
 }
 
 // -- Search surface ---------------------------------------------------------

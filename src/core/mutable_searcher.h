@@ -18,6 +18,9 @@
 
 namespace pdx {
 
+class CollectionImage;
+struct SavedCollection;
+
 /// Knobs for the live-collection machinery.
 struct MutationConfig {
   /// Background-compaction trigger: once the delta region (or the tombstone
@@ -88,6 +91,17 @@ class MutableSearcher final : public Searcher {
       const VectorSet& vectors, SearcherConfig config,
       MutationConfig mutation = {}, ShardingOptions sharding = {});
 
+  /// Rebuilds a live collection from a mutable snapshot (a file written by
+  /// Save with meta.mutable_snapshot = 1): the base searcher restores as
+  /// zero-copy views over the image with no k-means or packing, then the
+  /// delta rows, tombstone bitmap, and id maps are replayed on top —
+  /// searches resume exactly where the saved collection left off,
+  /// mid-delta and all. `config`/`mutation`/`sharding` must be the triple
+  /// decoded from the image's meta (ConfigFromMeta).
+  static Result<std::unique_ptr<MutableSearcher>> Restore(
+      std::shared_ptr<const CollectionImage> image, SearcherConfig config,
+      MutationConfig mutation, ShardingOptions sharding);
+
   // -- Mutation surface -----------------------------------------------------
 
   /// Appends `count` row-major `dim()`-float rows. With `ids` == nullptr
@@ -119,6 +133,16 @@ class MutableSearcher final : public Searcher {
   Status Compact();
 
   MutationStats mutation_stats() const;
+
+  // -- Persistence surface --------------------------------------------------
+
+  /// Snapshots the whole live state — base, delta, tombstones, id maps —
+  /// into one collection file. Runs under the shared lock (the export
+  /// borrows pointers into live arenas, so the write must too): searches
+  /// keep flowing; mutations wait for the write. The result restores via
+  /// Restore / LoadCollection.
+  Status Save(const std::string& path) const override;
+  Status ExportSaved(SavedCollection& out) const override;
 
   // -- Searcher surface -----------------------------------------------------
 
@@ -154,6 +178,8 @@ class MutableSearcher final : public Searcher {
   MutableSearcher(SearcherConfig config, MutationConfig mutation,
                   ShardingOptions sharding, std::unique_ptr<Searcher> inner,
                   VectorSet base_rows);
+
+  Status ExportSavedLocked(SavedCollection& out) const;
 
   size_t LiveCountLocked() const {
     return slot_ids_.size() - base_dead_ - delta_dead_;

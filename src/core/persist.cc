@@ -1,0 +1,122 @@
+#include "core/persist.h"
+
+#include <utility>
+
+namespace pdx {
+
+SavedMeta MetaFromConfig(const SearcherConfig& config) {
+  SavedMeta meta;
+  meta.layout = static_cast<uint32_t>(config.layout);
+  meta.pruner = static_cast<uint32_t>(config.pruner);
+  meta.metric = static_cast<uint32_t>(config.metric);
+  meta.k = config.k;
+  meta.nprobe = config.nprobe;
+  meta.block_capacity = config.block_capacity;
+  meta.bond_order = static_cast<uint32_t>(
+      config.bond_order.value_or(DimensionOrder::kDimensionZones));
+  meta.bond_zone_size = static_cast<uint32_t>(config.bond_zone_size);
+  meta.ads_epsilon0 = config.ads_epsilon0;
+  meta.ads_seed = config.ads_seed;
+  meta.bsa_multiplier = config.bsa_multiplier;
+  meta.bsa_max_fit_samples = config.bsa_max_fit_samples;
+  meta.ivf_num_buckets = config.ivf.num_buckets;
+  meta.ivf_max_iterations = config.ivf.max_iterations;
+  meta.ivf_seed = config.ivf.seed;
+  meta.search_selection_fraction = config.search.selection_fraction;
+  meta.search_adaptive_steps = config.search.adaptive_steps ? 1 : 0;
+  meta.search_initial_step = config.search.initial_step;
+  meta.search_fixed_step = config.search.fixed_step;
+  return meta;
+}
+
+Status ConfigFromMeta(const SavedMeta& meta, SearcherConfig* config,
+                      ShardingOptions* sharding, MutationConfig* mutation) {
+  SearcherConfig out;
+  out.layout = static_cast<SearcherLayout>(meta.layout);
+  out.pruner = static_cast<PrunerKind>(meta.pruner);
+  out.metric = static_cast<Metric>(meta.metric);
+  out.k = meta.k;
+  out.nprobe = meta.nprobe;
+  out.block_capacity = meta.block_capacity;
+  if (meta.bond_order >
+      static_cast<uint32_t>(DimensionOrder::kDimensionZones)) {
+    return Status::Corruption(
+        "collection meta: unknown dimension-order value " +
+        std::to_string(meta.bond_order));
+  }
+  out.bond_order = static_cast<DimensionOrder>(meta.bond_order);
+  out.bond_zone_size = meta.bond_zone_size;
+  out.ads_epsilon0 = meta.ads_epsilon0;
+  out.ads_seed = meta.ads_seed;
+  out.bsa_multiplier = meta.bsa_multiplier;
+  out.bsa_max_fit_samples = meta.bsa_max_fit_samples;
+  out.ivf.num_buckets = meta.ivf_num_buckets;
+  out.ivf.max_iterations = static_cast<int>(meta.ivf_max_iterations);
+  out.ivf.seed = meta.ivf_seed;
+  out.search.selection_fraction = meta.search_selection_fraction;
+  out.search.adaptive_steps = meta.search_adaptive_steps != 0;
+  out.search.initial_step = meta.search_initial_step;
+  out.search.fixed_step = meta.search_fixed_step;
+  out.search.k = out.k;
+  out.search.metric = out.metric;
+  // Re-validating here turns any enum bit-rot the checksums cannot
+  // distinguish from intent (the file IS self-consistent) into a clean
+  // failure before a searcher is built over it.
+  PDX_RETURN_IF_ERROR(ValidateSearcherConfig(out));
+  if (sharding != nullptr) {
+    if (meta.assignment >
+        static_cast<uint32_t>(ShardAssignment::kRoundRobin)) {
+      return Status::Corruption(
+          "collection meta: unknown shard-assignment value " +
+          std::to_string(meta.assignment));
+    }
+    sharding->num_shards = meta.num_shards;
+    sharding->assignment = static_cast<ShardAssignment>(meta.assignment);
+  }
+  if (mutation != nullptr) {
+    mutation->compact_threshold = meta.compact_threshold;
+    mutation->delta_block_capacity = meta.delta_block_capacity;
+  }
+  if (config != nullptr) *config = std::move(out);
+  return Status::OK();
+}
+
+Result<LoadedCollection> LoadCollectionFromImage(
+    std::shared_ptr<const CollectionImage> image) {
+  LoadedCollection out;
+  const SavedMeta& meta = image->meta();
+  PDX_RETURN_IF_ERROR(
+      ConfigFromMeta(meta, &out.config, &out.sharding, &out.mutation));
+  out.source = image->source();
+  out.mapped_bytes = image->mapped_bytes();
+  out.file_bytes = image->file_bytes();
+
+  if (meta.mutable_snapshot != 0) {
+    auto restored = MutableSearcher::Restore(image, out.config, out.mutation,
+                                             out.sharding);
+    if (!restored.ok()) return restored.status();
+    std::unique_ptr<MutableSearcher> live = std::move(restored).value();
+    out.live = live.get();
+    out.searcher = std::move(live);
+  } else if (meta.num_shards > 1) {
+    auto made =
+        MakeShardedSearcherFromImage(std::move(image), out.config,
+                                     out.sharding);
+    if (!made.ok()) return made.status();
+    out.searcher = std::move(made).value();
+  } else {
+    auto made = MakeSearcherFromImage(std::move(image), 0, out.config);
+    if (!made.ok()) return made.status();
+    out.searcher = std::move(made).value();
+  }
+  return out;
+}
+
+Result<LoadedCollection> LoadCollection(const std::string& path,
+                                        LoadOptions options) {
+  auto image = CollectionImage::Load(path, options.allow_mmap);
+  if (!image.ok()) return image.status();
+  return LoadCollectionFromImage(std::move(image).value());
+}
+
+}  // namespace pdx

@@ -1,0 +1,82 @@
+#ifndef PDX_CORE_PERSIST_H_
+#define PDX_CORE_PERSIST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "core/any_searcher.h"
+#include "core/mutable_searcher.h"
+#include "core/sharded_searcher.h"
+#include "storage/collection_format.h"
+
+namespace pdx {
+
+/// Serializes the *resolved* config into the fixed on-disk metadata
+/// (storage/collection_format.h). dim/count/num_shards/assignment and the
+/// mutable-snapshot fields are the exporter's to fill.
+SavedMeta MetaFromConfig(const SearcherConfig& config);
+
+/// Decodes saved metadata back into the (config, sharding, mutation)
+/// triple it was serialized from. Enum fields are validated — a corrupt or
+/// hand-edited file fails here with a clean Status instead of driving a
+/// switch off its rails. `sharding`/`mutation` may be null when the caller
+/// only needs the searcher config.
+Status ConfigFromMeta(const SavedMeta& meta, SearcherConfig* config,
+                      ShardingOptions* sharding, MutationConfig* mutation);
+
+/// Restores one unsharded searcher from shard `shard`'s sections of
+/// `image`: the PDX stores become zero-copy views into the image (which
+/// the searcher pins), pruner transforms are reloaded rather than
+/// re-derived, and neither k-means nor block packing runs — the
+/// persistence tests pin both counters at zero across this call. `config`
+/// must be the resolved config decoded from the image's meta.
+Result<std::unique_ptr<Searcher>> MakeSearcherFromImage(
+    std::shared_ptr<const CollectionImage> image, uint32_t shard,
+    SearcherConfig config);
+
+/// Sharded restore: one image-backed searcher per shard (units 2s / 2s+1)
+/// behind the scatter-gather facade. Shard maps are recomputed from
+/// (count, num_shards, assignment) — the assignment is deterministic, so
+/// the recomputed maps are identical to the saved searcher's and merged
+/// results match byte for byte.
+Result<std::unique_ptr<Searcher>> MakeShardedSearcherFromImage(
+    std::shared_ptr<const CollectionImage> image, SearcherConfig config,
+    ShardingOptions sharding);
+
+/// A collection restored from disk plus everything the serving layer
+/// reports about the restore.
+struct LoadedCollection {
+  std::unique_ptr<Searcher> searcher;
+  /// Non-null when the file was a mutable snapshot: the same object as
+  /// `searcher`, typed for the Add/Delete/Compact surface.
+  MutableSearcher* live = nullptr;
+  SearcherConfig config;    ///< Resolved config decoded from the meta.
+  ShardingOptions sharding;
+  MutationConfig mutation;
+  std::string source;       ///< "mmap" or "loaded" (heap fallback).
+  uint64_t mapped_bytes = 0;
+  uint64_t file_bytes = 0;
+};
+
+struct LoadOptions {
+  /// false forces the heap-copy fallback (tests exercise both sources).
+  bool allow_mmap = true;
+};
+
+/// Loads, validates, and reconstructs the collection saved at `path`,
+/// dispatching on the meta: mutable snapshot -> MutableSearcher::Restore,
+/// num_shards > 1 -> sharded, else plain. The expensive part is the
+/// validation pass over the file; construction itself is view-building.
+Result<LoadedCollection> LoadCollection(const std::string& path,
+                                        LoadOptions options = {});
+
+/// Same, over an already-loaded image (callers that pre-validate or share
+/// one image across replicas).
+Result<LoadedCollection> LoadCollectionFromImage(
+    std::shared_ptr<const CollectionImage> image);
+
+}  // namespace pdx
+
+#endif  // PDX_CORE_PERSIST_H_

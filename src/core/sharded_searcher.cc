@@ -7,6 +7,8 @@
 
 #include "common/parallel.h"
 #include "common/timer.h"
+#include "core/persist.h"
+#include "storage/collection_format.h"
 
 namespace pdx {
 
@@ -42,12 +44,14 @@ class ShardedSearcher final : public Searcher {
 
   ShardedSearcher(SearcherConfig config,
                   std::vector<std::unique_ptr<Searcher>> shards,
-                  std::vector<ShardMap> shard_maps, size_t total_count)
+                  std::vector<ShardMap> shard_maps, size_t total_count,
+                  ShardAssignment assignment)
       : Searcher(std::move(config)),
         shards_(std::move(shards)),
         shard_maps_(std::move(shard_maps)),
         shard_dispatches_(shards_.size()),
-        total_count_(total_count) {}
+        total_count_(total_count),
+        assignment_(assignment) {}
 
   std::vector<Neighbor> Search(const float* query) override {
     PushKnobs();
@@ -251,6 +255,29 @@ class ShardedSearcher final : public Searcher {
 
   size_t num_shards() const override { return shards_.size(); }
 
+  Status ExportSaved(SavedCollection& out) const override {
+    out = SavedCollection{};
+    out.meta = MetaFromConfig(config_);
+    out.meta.dim = dim();
+    out.meta.count = total_count_;
+    out.meta.num_shards = shards_.size();
+    out.meta.assignment = static_cast<uint32_t>(assignment_);
+    out.shards.reserve(shards_.size());
+    // Each shard exports through its own facade; only the SavedShard is
+    // kept (the per-shard meta is the facade's config minus sharding, and
+    // this facade's meta above is authoritative).
+    for (const auto& shard : shards_) {
+      SavedCollection piece;
+      PDX_RETURN_IF_ERROR(shard->ExportSaved(piece));
+      if (piece.shards.size() != 1) {
+        return Status::Internal(
+            "sharded export: inner searcher exported an unexpected shape");
+      }
+      out.shards.push_back(std::move(piece.shards[0]));
+    }
+    return Status::OK();
+  }
+
   std::vector<uint64_t> ShardDispatchCounts() const override {
     std::vector<uint64_t> counts(shard_dispatches_.size());
     for (size_t s = 0; s < counts.size(); ++s) {
@@ -339,8 +366,52 @@ class ShardedSearcher final : public Searcher {
   std::vector<ShardMap> shard_maps_;
   std::vector<std::atomic<uint64_t>> shard_dispatches_;
   size_t total_count_ = 0;
+  ShardAssignment assignment_ = ShardAssignment::kContiguous;
   PdxearchProfile profile_;  ///< Shard-summed, most recent query.
 };
+
+/// The one home of the vector -> shard assignment, shared by the build
+/// path (which slices the collection with it) and the load path (which
+/// recomputes the id maps instead of persisting them) — the two must
+/// agree or loaded sharded results would remap to the wrong global ids.
+std::vector<std::vector<VectorId>> AssignShardIds(
+    size_t count, size_t num_shards, ShardAssignment assignment) {
+  std::vector<std::vector<VectorId>> shard_ids(num_shards);
+  if (assignment == ShardAssignment::kContiguous) {
+    // Balanced ranges: the first count % num_shards shards get one extra.
+    size_t begin = 0;
+    for (size_t s = 0; s < num_shards; ++s) {
+      const size_t len = count / num_shards + (s < count % num_shards ? 1 : 0);
+      shard_ids[s].reserve(len);
+      for (size_t i = 0; i < len; ++i) {
+        shard_ids[s].push_back(static_cast<VectorId>(begin + i));
+      }
+      begin += len;
+    }
+  } else {
+    for (auto& ids : shard_ids) ids.reserve(count / num_shards + 1);
+    for (size_t i = 0; i < count; ++i) {
+      shard_ids[i % num_shards].push_back(static_cast<VectorId>(i));
+    }
+  }
+  return shard_ids;
+}
+
+/// Collapses the id lists into the compact per-shard remaps: a base offset
+/// for contiguous shards, the explicit table only for round-robin.
+std::vector<ShardedSearcher::ShardMap> MapsFromShardIds(
+    ShardAssignment assignment,
+    std::vector<std::vector<VectorId>>&& shard_ids) {
+  std::vector<ShardedSearcher::ShardMap> maps(shard_ids.size());
+  for (size_t s = 0; s < shard_ids.size(); ++s) {
+    if (assignment == ShardAssignment::kContiguous) {
+      maps[s].base = shard_ids[s].empty() ? 0 : shard_ids[s].front();
+    } else {
+      maps[s].ids = std::move(shard_ids[s]);
+    }
+  }
+  return maps;
+}
 
 }  // namespace
 
@@ -360,6 +431,10 @@ Result<std::unique_ptr<Searcher>> MakeShardedSearcher(
     return Status::InvalidArgument(
         "ShardingOptions: unknown assignment value");
   }
+  // Resolve at the facade so the config it carries — and persists via
+  // ExportSaved — holds the concrete values the shards were built with,
+  // not "default" markers a reload could re-interpret differently.
+  config = ResolveConfig(std::move(config));
   const size_t count = vectors.count();
   const size_t num_shards = std::min(sharding.num_shards, count);
   if (num_shards == 1) return MakeSearcher(vectors, std::move(config));
@@ -367,27 +442,8 @@ Result<std::unique_ptr<Searcher>> MakeShardedSearcher(
   // Per-shard id lists feed VectorSet::Select; the retained remap is a
   // base offset for contiguous shards and the explicit list only for
   // round-robin.
-  std::vector<std::vector<VectorId>> shard_ids(num_shards);
-  std::vector<ShardedSearcher::ShardMap> shard_maps(num_shards);
-  if (sharding.assignment == ShardAssignment::kContiguous) {
-    // Balanced ranges: the first count % num_shards shards get one extra.
-    size_t begin = 0;
-    for (size_t s = 0; s < num_shards; ++s) {
-      const size_t len =
-          count / num_shards + (s < count % num_shards ? 1 : 0);
-      shard_maps[s].base = static_cast<VectorId>(begin);
-      shard_ids[s].reserve(len);
-      for (size_t i = 0; i < len; ++i) {
-        shard_ids[s].push_back(static_cast<VectorId>(begin + i));
-      }
-      begin += len;
-    }
-  } else {
-    for (auto& ids : shard_ids) ids.reserve(count / num_shards + 1);
-    for (size_t i = 0; i < count; ++i) {
-      shard_ids[i % num_shards].push_back(static_cast<VectorId>(i));
-    }
-  }
+  std::vector<std::vector<VectorId>> shard_ids =
+      AssignShardIds(count, num_shards, sharding.assignment);
 
   // Shards are sequential leaves — the sharded facade owns all the
   // parallelism, so a shard must never pull the shared pool into a nested
@@ -406,15 +462,63 @@ Result<std::unique_ptr<Searcher>> MakeShardedSearcher(
     if (!made.ok()) return made.status();
     shards.push_back(std::move(made).value());
   }
-  // Round-robin keeps the explicit id tables; moved (not copied) into the
-  // maps now that Select no longer needs them.
-  if (sharding.assignment == ShardAssignment::kRoundRobin) {
-    for (size_t s = 0; s < num_shards; ++s) {
-      shard_maps[s].ids = std::move(shard_ids[s]);
-    }
-  }
+  std::vector<ShardedSearcher::ShardMap> shard_maps =
+      MapsFromShardIds(sharding.assignment, std::move(shard_ids));
   return std::unique_ptr<Searcher>(new ShardedSearcher(
-      std::move(config), std::move(shards), std::move(shard_maps), count));
+      std::move(config), std::move(shards), std::move(shard_maps), count,
+      sharding.assignment));
+}
+
+Result<std::unique_ptr<Searcher>> MakeShardedSearcherFromImage(
+    std::shared_ptr<const CollectionImage> image, SearcherConfig config,
+    ShardingOptions sharding) {
+  PDX_RETURN_IF_ERROR(ValidateSearcherConfig(config));
+  if (sharding.assignment != ShardAssignment::kContiguous &&
+      sharding.assignment != ShardAssignment::kRoundRobin) {
+    return Status::InvalidArgument(
+        "ShardingOptions: unknown assignment value");
+  }
+  config = ResolveConfig(std::move(config));
+  // The saved meta carries the ACTUAL shard count the build clamped to, so
+  // unlike the build path there is no re-clamping against count here — the
+  // file's sections are laid out for exactly this many units.
+  const size_t count = image->meta().count;
+  const size_t num_shards = sharding.num_shards;
+  if (num_shards <= 1) {
+    return MakeSearcherFromImage(std::move(image), 0, std::move(config));
+  }
+
+  SearcherConfig shard_config = config;
+  shard_config.pool = nullptr;
+  shard_config.threads = 1;
+
+  std::vector<std::unique_ptr<Searcher>> shards;
+  shards.reserve(num_shards);
+  size_t restored = 0;
+  for (size_t s = 0; s < num_shards; ++s) {
+    auto made = MakeSearcherFromImage(image, static_cast<uint32_t>(s),
+                                      shard_config);
+    if (!made.ok()) return made.status();
+    restored += made.value()->count();
+    shards.push_back(std::move(made).value());
+  }
+  if (restored != count) {
+    return Status::Corruption(
+        "sharded load: shard counts sum to " + std::to_string(restored) +
+        " but collection meta says " + std::to_string(count));
+  }
+
+  // The maps are recomputed, not persisted: AssignShardIds is
+  // deterministic in (count, num_shards, assignment), so these are the
+  // same maps the saved searcher used.
+  std::vector<ShardedSearcher::ShardMap> shard_maps = MapsFromShardIds(
+      sharding.assignment,
+      AssignShardIds(count, num_shards, sharding.assignment));
+  std::unique_ptr<Searcher> searcher(new ShardedSearcher(
+      std::move(config), std::move(shards), std::move(shard_maps), count,
+      sharding.assignment));
+  searcher->PinImage(std::move(image));
+  return searcher;
 }
 
 }  // namespace pdx

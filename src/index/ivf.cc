@@ -38,6 +38,19 @@ IvfIndex IvfIndex::Build(const VectorSet& vectors, const IvfOptions& options) {
   return index;
 }
 
+IvfIndex IvfIndex::FromParts(size_t count, VectorSet centroids,
+                             PdxStore centroids_pdx,
+                             std::vector<std::vector<VectorId>> buckets) {
+  assert(centroids.count() == buckets.size());
+  assert(centroids_pdx.count() == buckets.size());
+  IvfIndex index;
+  index.count_ = count;
+  index.centroids_ = std::move(centroids);
+  index.centroids_pdx_ = std::move(centroids_pdx);
+  index.buckets_ = std::move(buckets);
+  return index;
+}
+
 std::vector<uint32_t> IvfIndex::RankBuckets(const float* query) const {
   const size_t nb = buckets_.size();
   std::vector<float> distances(nb);

@@ -45,6 +45,14 @@ class IvfIndex {
   /// Builds the index over `vectors`.
   static IvfIndex Build(const VectorSet& vectors, const IvfOptions& options);
 
+  /// Reassembles an index from persisted parts — no k-means runs.
+  /// `centroids_pdx` must be the persisted PDX arrangement of `centroids`
+  /// (rebuilding it would repack; restoring it keeps bucket ranking
+  /// byte-identical to the saved index).
+  static IvfIndex FromParts(size_t count, VectorSet centroids,
+                            PdxStore centroids_pdx,
+                            std::vector<std::vector<VectorId>> buckets);
+
   size_t num_buckets() const { return buckets_.size(); }
   size_t dim() const { return centroids_.dim(); }
   size_t count() const { return count_; }

@@ -1,6 +1,7 @@
 #include "index/kmeans.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cmath>
 #include <limits>
@@ -11,6 +12,16 @@
 #include "kernels/nary_kernels.h"
 
 namespace pdx {
+
+namespace {
+
+std::atomic<uint64_t> g_kmeans_runs{0};
+
+}  // namespace
+
+uint64_t KMeansRunCount() {
+  return g_kmeans_runs.load(std::memory_order_relaxed);
+}
 
 namespace {
 
@@ -71,6 +82,7 @@ uint32_t NearestCentroid(const VectorSet& centroids, const float* query) {
 
 KMeansResult RunKMeans(const VectorSet& vectors,
                        const KMeansOptions& options) {
+  g_kmeans_runs.fetch_add(1, std::memory_order_relaxed);
   const size_t n = vectors.count();
   const size_t dim = vectors.dim();
   const size_t k = options.num_clusters;

@@ -38,6 +38,11 @@ KMeansResult RunKMeans(const VectorSet& vectors, const KMeansOptions& options);
 /// Index of the centroid nearest to `query` (L2), linear scan.
 uint32_t NearestCentroid(const VectorSet& centroids, const float* query);
 
+/// Process-wide count of RunKMeans invocations. The persistence tests pin
+/// "a loaded collection serves with zero k-means work" by snapshotting
+/// this counter around CollectionImage loads.
+uint64_t KMeansRunCount();
+
 }  // namespace pdx
 
 #endif  // PDX_INDEX_KMEANS_H_

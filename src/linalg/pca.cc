@@ -61,6 +61,19 @@ void Pca::Fit(const float* data, size_t count, size_t dim,
   components_t_ = eig.eigenvectors;
 }
 
+Pca Pca::FromParts(std::vector<float> mean,
+                   std::vector<float> explained_variance,
+                   Matrix components) {
+  assert(components.rows() > 0 && components.cols() == mean.size());
+  Pca pca;
+  pca.dim_ = components.cols();
+  pca.mean_ = std::move(mean);
+  pca.explained_variance_ = std::move(explained_variance);
+  pca.components_ = std::move(components);
+  pca.components_t_ = pca.components_.Transposed();
+  return pca;
+}
+
 void Pca::Transform(const float* x, float* out) const {
   assert(fitted());
   std::vector<float> centered(dim_);

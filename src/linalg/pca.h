@@ -30,6 +30,13 @@ class Pca {
   void Fit(const float* data, size_t count, size_t dim,
            size_t max_samples = 0);
 
+  /// Reassembles a fitted PCA from persisted parts — no covariance or
+  /// eigen work. `components` rows are the principal components; the
+  /// cached transpose is recomputed (deterministic).
+  static Pca FromParts(std::vector<float> mean,
+                       std::vector<float> explained_variance,
+                       Matrix components);
+
   /// True once Fit has been called.
   bool fitted() const { return dim_ > 0; }
 

@@ -96,6 +96,7 @@ JsonValue InfoJson(const CollectionInfo& info) {
   out.Set("shards", info.shards);
   out.Set("layout", SearcherLayoutName(info.layout));
   out.Set("pruner", PrunerKindName(info.pruner));
+  out.Set("source", info.source);
   return out;
 }
 
@@ -434,6 +435,24 @@ void SearchHandler::Handle(HttpRequest request, HttpResponder respond) {
         return;
       }
       HandleDeleteVector(name, action.substr(8), std::move(respond));
+      return;
+    }
+    if (action == "save" && !name.empty()) {
+      if (request.method != "POST") {
+        respond(MakeErrorResponse(Status::InvalidArgument(
+            "use POST /collections/<name>/save")));
+        return;
+      }
+      HandleSave(name, request, std::move(respond));
+      return;
+    }
+    if (action == "load" && !name.empty()) {
+      if (request.method != "PUT") {
+        respond(MakeErrorResponse(Status::InvalidArgument(
+            "use PUT /collections/<name>/load")));
+        return;
+      }
+      HandleLoad(name, request, std::move(respond));
       return;
     }
     if (action == "slowlog" && !name.empty()) {
@@ -808,6 +827,90 @@ void SearchHandler::HandleDeleteVector(const std::string& collection,
   respond(JsonResponse(200, body));
 }
 
+namespace {
+
+/// Reads the required {"path": "..."} field both persistence routes share.
+Result<std::string> ReadPathField(const std::string& body_text) {
+  Result<JsonValue> parsed = ParseJson(body_text);
+  if (!parsed.ok()) return parsed.status();
+  const JsonValue& body = parsed.value();
+  if (!body.is_object()) {
+    return Status::InvalidArgument("body must be a JSON object");
+  }
+  const JsonValue* path = body.Find("path");
+  if (path == nullptr || !path->is_string() || path->AsString().empty()) {
+    return Status::InvalidArgument(
+        "\"path\" must be a non-empty file path string");
+  }
+  return path->AsString();
+}
+
+}  // namespace
+
+void SearchHandler::HandleSave(const std::string& collection,
+                               const HttpRequest& request,
+                               HttpResponder respond) {
+  Result<std::string> path = ReadPathField(request.body);
+  if (!path.ok()) {
+    respond(MakeErrorResponse(path.status()));
+    return;
+  }
+  // Synchronous on the connection thread, like PUT: the write holds no
+  // service lock, so concurrent searches keep flowing while it runs.
+  const Status saved = service_.SaveCollection(collection, path.value());
+  if (!saved.ok()) {
+    respond(MakeErrorResponse(saved));
+    return;
+  }
+  JsonValue body = JsonValue::Object();
+  body.Set("collection", collection);
+  body.Set("path", path.value());
+  body.Set("saved", true);
+  respond(JsonResponse(200, body));
+}
+
+void SearchHandler::HandleLoad(const std::string& collection,
+                               const HttpRequest& request,
+                               HttpResponder respond) {
+  Result<std::string> path = ReadPathField(request.body);
+  if (!path.ok()) {
+    respond(MakeErrorResponse(path.status()));
+    return;
+  }
+  bool allow_mmap = true;
+  Result<JsonValue> parsed = ParseJson(request.body);
+  if (const JsonValue* mmap = parsed.value().Find("mmap"); mmap != nullptr) {
+    if (!mmap->is_bool()) {
+      respond(MakeErrorResponse(
+          Status::InvalidArgument("mmap must be a boolean")));
+      return;
+    }
+    allow_mmap = mmap->AsBool();
+  }
+  // Validate + map + reconstruct BEFORE unhosting anything: a bad file
+  // must leave the currently hosted collection serving. The service's
+  // LoadCollection does exactly that ordering internally only for the
+  // adopt step, so the replace here removes only after the file parsed —
+  // the load is retried once if a racing PUT re-created the name between
+  // the remove and the adopt.
+  Status loaded = service_.LoadCollection(collection, path.value(), allow_mmap);
+  if (loaded.IsInvalidArgument() &&
+      loaded.message().find("already hosted") != std::string::npos) {
+    (void)service_.RemoveCollection(collection);
+    loaded = service_.LoadCollection(collection, path.value(), allow_mmap);
+  }
+  if (!loaded.ok()) {
+    respond(MakeErrorResponse(loaded));
+    return;
+  }
+  Result<CollectionInfo> info = service_.GetCollectionInfo(collection);
+  if (!info.ok()) {
+    respond(MakeErrorResponse(info.status()));
+    return;
+  }
+  respond(JsonResponse(201, InfoJson(info.value())));
+}
+
 void SearchHandler::HandleDelete(const std::string& collection,
                                  HttpResponder respond) {
   const Status removed = service_.RemoveCollection(collection);
@@ -880,6 +983,10 @@ void SearchHandler::HandleStats(HttpResponder respond) {
     entry.Set("queue_wait", LatencyJson(cs.queue_wait));
     entry.Set("latency", LatencyJson(cs.latency));
     entry.Set("count", cs.count);
+    entry.Set("source", cs.source);
+    if (cs.mapped_bytes > 0) {
+      entry.Set("mapped_bytes", static_cast<size_t>(cs.mapped_bytes));
+    }
     entry.Set("mutable", cs.is_mutable);
     if (cs.is_mutable) {
       entry.Set("delta", cs.delta);
@@ -947,6 +1054,7 @@ void SearchHandler::HandleHealthz(HttpResponder respond) {
   for (const auto& [name, cs] : stats.collections) {
     JsonValue entry = JsonValue::Object();
     entry.Set("count", cs.count);
+    entry.Set("source", cs.source);
     collections.Set(name, std::move(entry));
   }
   body.Set("collections", std::move(collections));

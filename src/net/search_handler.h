@@ -19,6 +19,8 @@ namespace pdx {
 ///   DELETE /collections/<name>              unhost
 ///   POST   /collections/<name>/vectors      streaming ingest (add/upsert)
 ///   DELETE /collections/<name>/vectors/<id> tombstone one vector by id
+///   POST   /collections/<name>/save         persist to a collection file
+///   PUT    /collections/<name>/load         restore from a collection file
 ///   GET    /collections                     hosted names
 ///   GET    /collections/<name>              collection shape (dim, count, ...)
 ///   GET    /collections/<name>/slowlog      worst-latency queries, worst first
@@ -78,6 +80,15 @@ namespace pdx {
 /// apply to collections the service built from vectors (PUT or
 /// AddCollection-from-vectors); adopted/index-backed searchers answer 501.
 ///
+/// Persistence (save body: {"path": "..."}; load body: {"path": "...",
+/// "mmap": true}). Save writes the hosted collection to one self-contained
+/// file and marks the collection persistent — the background compactor
+/// re-saves to the same path after every fold. Load restores the file and
+/// hosts it under <name>, replacing any existing collection like PUT does;
+/// "mmap" (default true) serves the packed stores straight off a memory
+/// mapping instead of heap copies. The restored shape answers as 201 with
+/// the same body as PUT, including "source" ("mmap" or "loaded").
+///
 /// Thread safety: Handle may run on any number of connection threads
 /// concurrently (the service is the synchronization point). The handler
 /// must outlive the HttpServer it is registered with.
@@ -109,6 +120,10 @@ class SearchHandler {
                         const HttpRequest& request, HttpResponder respond);
   void HandleDeleteVector(const std::string& collection,
                           const std::string& id_text, HttpResponder respond);
+  void HandleSave(const std::string& collection, const HttpRequest& request,
+                  HttpResponder respond);
+  void HandleLoad(const std::string& collection, const HttpRequest& request,
+                  HttpResponder respond);
   void HandleGetCollection(const std::string& collection,
                            HttpResponder respond);
   void HandleSlowlog(const std::string& collection, HttpResponder respond);

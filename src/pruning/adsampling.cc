@@ -13,23 +13,41 @@
 
 namespace pdx {
 
+namespace {
+
+std::vector<float> ComputeRatios(size_t dim, float epsilon0) {
+  std::vector<float> ratios(dim + 1);
+  ratios[0] = 0.0f;  // Never evaluated; PDXearch tests only at d >= 1.
+  for (size_t d = 1; d <= dim; ++d) {
+    if (d == dim) {
+      ratios[d] = 1.0f;  // Full distance: the test becomes exact.
+    } else {
+      const double amplifier =
+          1.0 + double(epsilon0) / std::sqrt(static_cast<double>(d));
+      ratios[d] = static_cast<float>(double(d) / double(dim) * amplifier *
+                                     amplifier);
+    }
+  }
+  return ratios;
+}
+
+}  // namespace
+
 AdSamplingPruner::AdSamplingPruner(size_t dim, float epsilon0, uint64_t seed)
     : dim_(dim), epsilon0_(epsilon0) {
   Rng rng(seed);
   rotation_ = RandomOrthogonalMatrix(dim, rng);
   rotation_t_ = rotation_.Transposed();
-  ratios_.resize(dim + 1);
-  ratios_[0] = 0.0f;  // Never evaluated; PDXearch tests only at d >= 1.
-  for (size_t d = 1; d <= dim; ++d) {
-    if (d == dim) {
-      ratios_[d] = 1.0f;  // Full distance: the test becomes exact.
-    } else {
-      const double amplifier =
-          1.0 + double(epsilon0) / std::sqrt(static_cast<double>(d));
-      ratios_[d] = static_cast<float>(double(d) / double(dim) * amplifier *
-                                      amplifier);
-    }
-  }
+  ratios_ = ComputeRatios(dim, epsilon0);
+}
+
+AdSamplingPruner::AdSamplingPruner(Matrix rotation, float epsilon0)
+    : dim_(rotation.rows()),
+      epsilon0_(epsilon0),
+      rotation_(std::move(rotation)) {
+  assert(rotation_.rows() == rotation_.cols());
+  rotation_t_ = rotation_.Transposed();
+  ratios_ = ComputeRatios(dim_, epsilon0);
 }
 
 VectorSet AdSamplingPruner::TransformCollection(

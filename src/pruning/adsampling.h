@@ -34,6 +34,12 @@ class AdSamplingPruner {
   /// `seed` makes the rotation reproducible.
   AdSamplingPruner(size_t dim, float epsilon0 = 2.1f, uint64_t seed = 42);
 
+  /// Restores a pruner from a persisted rotation matrix — no RNG work; the
+  /// cached transpose and test ratios are recomputed (both are
+  /// deterministic functions of the rotation and epsilon0, so a restored
+  /// pruner is byte-identical to the one it was saved from).
+  AdSamplingPruner(Matrix rotation, float epsilon0);
+
   size_t dim() const { return dim_; }
   float epsilon0() const { return epsilon0_; }
   const Matrix& rotation() const { return rotation_; }

@@ -18,6 +18,11 @@ BsaPruner::BsaPruner(const VectorSet& vectors, float multiplier,
   pca_.Fit(vectors.data(), vectors.count(), dim_, max_fit_samples);
 }
 
+BsaPruner::BsaPruner(Pca pca, float multiplier)
+    : dim_(pca.dim()), multiplier_(multiplier), pca_(std::move(pca)) {
+  assert(dim_ > 0);
+}
+
 VectorSet BsaPruner::TransformCollection(const VectorSet& vectors) const {
   assert(vectors.dim() == dim_);
   std::vector<float> projected(vectors.count() * dim_);

@@ -47,6 +47,12 @@ class BsaPruner {
   explicit BsaPruner(const VectorSet& vectors, float multiplier = 1.0f,
                      size_t max_fit_samples = 4096);
 
+  /// Restores a pruner from a persisted PCA basis — no covariance or eigen
+  /// work. BuildAux must still run against the (loaded) store; the suffix
+  /// tables it derives are deterministic in the packed data, so a restored
+  /// pruner filters byte-identically to the one it was saved from.
+  BsaPruner(Pca pca, float multiplier);
+
   size_t dim() const { return dim_; }
   float multiplier() const { return multiplier_; }
   const Pca& pca() const { return pca_; }

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <utility>
 
+#include "core/persist.h"
 #include "kernels/kernel_dispatch.h"
 
 namespace pdx {
@@ -71,6 +72,15 @@ struct SearchService::Collection {
   /// True while queued for (or running) a background compaction, so the
   /// compact queue holds each collection at most once. Guarded by mutex_.
   bool compacting = false;
+  /// "built", "mmap", or "loaded" (see CollectionInfo::source). Fixed at
+  /// adoption.
+  std::string source = "built";
+  /// Bytes of collection file currently memory-mapped (mmap source only).
+  uint64_t mapped_bytes = 0;
+  /// Where SaveCollection last wrote this collection; the compactor
+  /// re-saves there after every fold so the on-disk snapshot tracks the
+  /// live state. Empty = never saved. Guarded by mutex_.
+  std::string persist_path;
   uint64_t added = 0;        ///< Vectors ingested, lifetime; mutex_.
   uint64_t deleted_total = 0;  ///< Vectors tombstoned, lifetime; mutex_.
   uint64_t compactions = 0;  ///< Background compactions done; mutex_.
@@ -130,6 +140,8 @@ struct SearchService::Collection {
     MetricHistogram* compaction_ms = nullptr;
     MetricGauge* delta_vectors = nullptr;
     MetricGauge* tombstones = nullptr;
+    MetricHistogram* load_ms = nullptr;
+    MetricGauge* mmap_bytes = nullptr;
   } metric;
 
   /// Worst-N queries this collection has served (GET .../slowlog).
@@ -290,11 +302,19 @@ void SearchService::ResolveCollectionMetrics(Collection& collection) {
   m.tombstones = metrics_->GetGauge(
       "pdx_tombstones", "Tombstoned slots awaiting compaction, per collection",
       by_name);
+  m.load_ms = metrics_->GetHistogram(
+      "pdx_collection_load_ms",
+      "Wall time of one LoadCollection (validate + map + reconstruct)",
+      DefaultLatencyBoundsMs(), by_name);
+  m.mmap_bytes = metrics_->GetGauge(
+      "pdx_mmap_bytes",
+      "Collection-file bytes served from a live memory mapping", by_name);
 }
 
 Status SearchService::Adopt(const std::string& name,
                             std::unique_ptr<Searcher>& searcher,
-                            MutableSearcher* live) {
+                            MutableSearcher* live, const std::string& source,
+                            uint64_t mapped_bytes) {
   if (searcher == nullptr) {
     return Status::InvalidArgument("AddCollection: null searcher");
   }
@@ -331,6 +351,8 @@ Status SearchService::Adopt(const std::string& name,
   collection->count = searcher->count();
   collection->pruner = searcher->options().pruner;
   collection->live = live;
+  collection->source = source;
+  collection->mapped_bytes = mapped_bytes;
   collection->queue_wait = LatencyRecorder(config_.latency_window);
   collection->latency = LatencyRecorder(config_.latency_window);
   collection->done_ring_capacity = config_.latency_window;
@@ -340,6 +362,7 @@ Status SearchService::Adopt(const std::string& name,
       std::make_unique<SlowQueryLog>(config_.slowlog_capacity);
   ResolveCollectionMetrics(*collection);
   collection->metric.vectors->Set(static_cast<double>(collection->count));
+  collection->metric.mmap_bytes->Set(static_cast<double>(mapped_bytes));
   collection->searcher = std::move(searcher);
   collections_.emplace(name, std::move(collection));
   collections_gauge_->Set(static_cast<double>(collections_.size()));
@@ -390,6 +413,61 @@ Status SearchService::AddCollection(const std::string& name,
 Status SearchService::AddCollection(const std::string& name,
                                     std::unique_ptr<Searcher>& searcher) {
   return Adopt(name, searcher);
+}
+
+Status SearchService::SaveCollection(const std::string& name,
+                                     const std::string& path) {
+  std::shared_ptr<Collection> host;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return Status::Cancelled("service shut down");
+    auto it = collections_.find(name);
+    if (it == collections_.end()) {
+      return Status::NotFound("no collection named " + name);
+    }
+    host = it->second;
+  }
+  // The write runs outside the service mutex: a mutable collection
+  // snapshots under its own reader lock (searches flow; mutations wait),
+  // an immutable one needs no lock at all — either way dispatchers are
+  // never stalled behind the disk.
+  PDX_RETURN_IF_ERROR(host->searcher->Save(path));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Re-saved by the compactor after each fold — but only while this
+    // exact incarnation is still hosted (a replace-under-same-name must
+    // not inherit the path).
+    auto it = collections_.find(name);
+    if (it != collections_.end() && it->second == host) {
+      host->persist_path = path;
+    }
+  }
+  return Status::OK();
+}
+
+Status SearchService::LoadCollection(const std::string& name,
+                                     const std::string& path,
+                                     bool allow_mmap) {
+  // The expensive part — reading, checksumming, and reconstructing —
+  // runs with no service lock held; hosted collections keep serving.
+  const Clock::time_point begin = Clock::now();
+  LoadOptions options;
+  options.allow_mmap = allow_mmap;
+  auto loaded = ::pdx::LoadCollection(path, options);
+  if (!loaded.ok()) return loaded.status();
+  LoadedCollection restored = std::move(loaded).value();
+  const double wall_ms = MillisBetween(begin, Clock::now());
+  PDX_RETURN_IF_ERROR(Adopt(name, restored.searcher, restored.live,
+                            restored.source, restored.mapped_bytes));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = collections_.find(name);
+    if (it != collections_.end()) {
+      it->second->persist_path = path;
+      it->second->metric.load_ms->Observe(wall_ms);
+    }
+  }
+  return Status::OK();
 }
 
 void SearchService::RefreshMutationObs(
@@ -527,6 +605,7 @@ void SearchService::CompactorMain() {
     RefreshMutationObs(host);
     lock.lock();
     host->compacting = false;
+    std::string persist_to;
     if (done.ok()) {
       ++host->compactions;
       host->count = host->live->count();
@@ -539,7 +618,18 @@ void SearchService::CompactorMain() {
       // pop-check above would just skip it anyway).
       if (collections_.count(host->name) != 0) {
         MaybeScheduleCompactionLocked(host);
+        // A persisted collection keeps its on-disk snapshot current: the
+        // fold just rewrote the base, so the saved file would otherwise
+        // replay an ever-longer delta on every restart.
+        persist_to = host->persist_path;
       }
+    }
+    if (!persist_to.empty()) {
+      lock.unlock();
+      // Best effort: a full disk or yanked directory must not kill the
+      // compactor; the snapshot simply goes stale until the next save.
+      (void)host->live->Save(persist_to);
+      lock.lock();
     }
     // A failed compaction (allocation pressure, searcher build error) is
     // NOT rescheduled from here: NeedsCompaction still holds, so the next
@@ -609,6 +699,7 @@ Result<CollectionInfo> SearchService::GetCollectionInfo(
   info.shards = host.searcher->num_shards();
   info.layout = host.layout;
   info.pruner = host.pruner;
+  info.source = host.source;
   return info;
 }
 
@@ -826,6 +917,8 @@ ServiceStats SearchService::Stats() const {
     // atomics, so these are safe against the dispatcher's concurrent use
     // of the searcher (which mutex_ does not serialize).
     cs.shards = collection->searcher->num_shards();
+    cs.source = collection->source;
+    cs.mapped_bytes = collection->mapped_bytes;
     cs.shard_dispatches = collection->searcher->ShardDispatchCounts();
     cs.queue_wait = collection->queue_wait.Summary();
     cs.latency = collection->latency.Summary();

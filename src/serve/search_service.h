@@ -89,6 +89,10 @@ struct CollectionInfo {
   size_t shards = 1;
   SearcherLayout layout = SearcherLayout::kFlat;
   PrunerKind pruner = PrunerKind::kBond;
+  /// How the collection got here: "built" (constructed from vectors),
+  /// "mmap" (restored from a collection file served from a live mapping),
+  /// or "loaded" (restored via the heap-copy fallback).
+  std::string source = "built";
 };
 
 /// An async serving shell over the Searcher facade: hosts multiple named
@@ -160,6 +164,29 @@ class SearchService {
   /// (AddVectors/DeleteVectors fail with kUnsupported).
   Status AddCollection(const std::string& name,
                        std::unique_ptr<Searcher>& searcher);
+
+  /// Serializes the hosted collection `name` into the versioned collection
+  /// file at `path` (storage/collection_format.h). Runs off the dispatch
+  /// path: a mutable collection snapshots under its own reader lock, so
+  /// queries keep flowing during the write. On success the path is
+  /// remembered as the collection's persist path — after every background
+  /// compaction the compactor re-saves there, keeping the on-disk snapshot
+  /// current. kNotFound for an unknown name; kUnsupported for adopted
+  /// custom searchers with no serializable form.
+  Status SaveCollection(const std::string& name, const std::string& path);
+
+  /// Hosts the collection file at `path` under `name` — the instant-
+  /// restart path: the file is validated and mapped (`allow_mmap`; pass
+  /// false to force the heap-copy fallback), the searcher reconstructs as
+  /// zero-copy views over the mapping with no k-means and no packing, and
+  /// a mutable snapshot resumes exactly where Save left it (delta,
+  /// tombstones, id allocation). Loading runs OFF the dispatch path;
+  /// already-hosted collections keep serving while the file validates.
+  /// Fails with kInvalidArgument on a duplicate name, or whatever the
+  /// format loader rejects (truncation, checksum mismatch, future
+  /// version).
+  Status LoadCollection(const std::string& name, const std::string& path,
+                        bool allow_mmap = true);
 
   /// Appends `count` row-major `dim`-float rows to the live collection
   /// `name` while it keeps serving — no rebuild: rows land in the
@@ -275,7 +302,9 @@ class SearchService {
   /// service built it as a MutableSearcher (the mutation surface routes
   /// through it); nullptr marks the collection immutable.
   Status Adopt(const std::string& name, std::unique_ptr<Searcher>& searcher,
-               MutableSearcher* live = nullptr);
+               MutableSearcher* live = nullptr,
+               const std::string& source = "built",
+               uint64_t mapped_bytes = 0);
   /// Queues `host` for background compaction when its delta/tombstones
   /// crossed the threshold and it is not already queued. Caller holds
   /// mutex_.

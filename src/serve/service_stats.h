@@ -25,6 +25,13 @@ struct CollectionStats {
                           ///< is the achieved micro-batch size.
   /// Shards the hosted searcher fans each query out to (1 = unsharded).
   size_t shards = 1;
+  /// How the collection got here: "built" from vectors, "mmap" restored
+  /// from a collection file served off a live memory mapping, or "loaded"
+  /// restored via the heap-copy fallback.
+  std::string source = "built";
+  /// Bytes of the collection file currently memory-mapped for this
+  /// collection (0 unless source == "mmap").
+  uint64_t mapped_bytes = 0;
   /// Per-shard count of shard-level query executions (each dispatched
   /// query bumps every shard it fanned out to); empty when unsharded.
   std::vector<uint64_t> shard_dispatches;

@@ -1,0 +1,758 @@
+#include "storage/collection_format.h"
+
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+namespace pdx {
+
+namespace {
+
+// Mirrors pdx_store.cc: blocks start on 16-float (64-byte) boundaries
+// within the arena, so the arena size is recoverable from block counts.
+size_t AlignedBlockFloats(size_t dim, size_t n) {
+  const size_t floats = dim * n;
+  return (floats + 15) / 16 * 16;
+}
+
+constexpr uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+constexpr size_t kHeaderBytes = 32;
+constexpr size_t kEntryBytes = 32;
+constexpr size_t kHeaderChecksumOffset = 24;
+
+/// Bounds-checked little-endian reader over one section payload. Every
+/// Read* returns false instead of walking past the end, so a malformed
+/// section degrades to Status::Corruption at the call site, never a crash.
+class ByteReader {
+ public:
+  explicit ByteReader(SectionView view)
+      : cursor_(view.data), end_(view.data + view.size) {}
+
+  size_t remaining() const { return static_cast<size_t>(end_ - cursor_); }
+  bool AtEnd() const { return cursor_ == end_; }
+  const uint8_t* cursor() const { return cursor_; }
+
+  bool ReadU32(uint32_t* out) { return ReadPod(out); }
+  bool ReadU64(uint64_t* out) { return ReadPod(out); }
+  bool ReadI64(int64_t* out) { return ReadPod(out); }
+
+  bool ReadU32Array(size_t n, std::vector<uint32_t>* out) {
+    if (n > remaining() / sizeof(uint32_t)) return false;
+    out->resize(n);
+    std::memcpy(out->data(), cursor_, n * sizeof(uint32_t));
+    cursor_ += n * sizeof(uint32_t);
+    return true;
+  }
+
+  bool ReadU64Array(size_t n, std::vector<uint64_t>* out) {
+    if (n > remaining() / sizeof(uint64_t)) return false;
+    out->resize(n);
+    std::memcpy(out->data(), cursor_, n * sizeof(uint64_t));
+    cursor_ += n * sizeof(uint64_t);
+    return true;
+  }
+
+  bool ReadU8Array(size_t n, std::vector<uint8_t>* out) {
+    if (n > remaining()) return false;
+    out->resize(n);
+    std::memcpy(out->data(), cursor_, n);
+    cursor_ += n;
+    return true;
+  }
+
+  bool ReadFloats(size_t n, float* out) {
+    if (n > remaining() / sizeof(float)) return false;
+    std::memcpy(out, cursor_, n * sizeof(float));
+    cursor_ += n * sizeof(float);
+    return true;
+  }
+
+  bool ReadFloatVector(size_t n, std::vector<float>* out) {
+    if (n > remaining() / sizeof(float)) return false;
+    out->resize(n);
+    return ReadFloats(n, out->data());
+  }
+
+  /// Borrows `n` floats in place (caller must know the bytes stay alive and
+  /// are at least 4-byte aligned — section payloads start 8-byte aligned and
+  /// all preceding fields are multiples of 4 bytes).
+  bool ViewFloats(size_t n, const float** out) {
+    if (n > remaining() / sizeof(float)) return false;
+    *out = reinterpret_cast<const float*>(cursor_);
+    cursor_ += n * sizeof(float);
+    return true;
+  }
+
+ private:
+  template <typename T>
+  bool ReadPod(T* out) {
+    if (remaining() < sizeof(T)) return false;
+    std::memcpy(out, cursor_, sizeof(T));
+    cursor_ += sizeof(T);
+    return true;
+  }
+
+  const uint8_t* cursor_;
+  const uint8_t* end_;
+};
+
+template <typename T>
+void AppendPod(std::vector<uint8_t>& out, const T& value) {
+  const uint8_t* bytes = reinterpret_cast<const uint8_t*>(&value);
+  out.insert(out.end(), bytes, bytes + sizeof(T));
+}
+
+void AppendBytes(std::vector<uint8_t>& out, const void* data, size_t size) {
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  out.insert(out.end(), bytes, bytes + size);
+}
+
+/// One section staged for writing: either an owned serialized payload or a
+/// window borrowed from the exporting searcher (arena, raw rows).
+struct PendingSection {
+  SectionKind kind = SectionKind::kCollectionMeta;
+  uint32_t unit = 0;
+  std::vector<uint8_t> owned;
+  const uint8_t* external = nullptr;
+  uint64_t external_size = 0;
+  bool align64 = false;
+
+  const uint8_t* data() const { return external != nullptr ? external : owned.data(); }
+  uint64_t size() const { return external != nullptr ? external_size : owned.size(); }
+};
+
+void AppendStoreSections(const SavedStore& store, uint32_t unit,
+                         std::vector<PendingSection>& sections) {
+  PendingSection meta;
+  meta.kind = SectionKind::kStoreMeta;
+  meta.unit = unit;
+  AppendPod(meta.owned, store.dim);
+  AppendPod(meta.owned, store.count);
+  AppendPod(meta.owned, static_cast<uint64_t>(store.block_counts.size()));
+  AppendPod(meta.owned,
+            static_cast<uint64_t>(store.group_block_start.size() - 1));
+  AppendPod(meta.owned, store.arena_floats);
+  AppendBytes(meta.owned, store.block_counts.data(),
+              store.block_counts.size() * sizeof(uint32_t));
+  AppendBytes(meta.owned, store.group_block_start.data(),
+              store.group_block_start.size() * sizeof(uint64_t));
+  sections.push_back(std::move(meta));
+
+  PendingSection ids;
+  ids.kind = SectionKind::kStoreIds;
+  ids.unit = unit;
+  AppendBytes(ids.owned, store.ids.data(), store.ids.size() * sizeof(uint32_t));
+  sections.push_back(std::move(ids));
+
+  PendingSection stats;
+  stats.kind = SectionKind::kStoreStats;
+  stats.unit = unit;
+  AppendBytes(stats.owned, store.stats.data(),
+              store.stats.size() * sizeof(float));
+  sections.push_back(std::move(stats));
+
+  PendingSection arena;
+  arena.kind = SectionKind::kStoreArena;
+  arena.unit = unit;
+  arena.external = reinterpret_cast<const uint8_t*>(store.arena);
+  arena.external_size = store.arena_floats * sizeof(float);
+  arena.align64 = true;
+  sections.push_back(std::move(arena));
+}
+
+Status ReadStats(ByteReader& reader, size_t dim, DimensionStats* out) {
+  if (!reader.ReadFloatVector(dim, &out->means) ||
+      !reader.ReadFloatVector(dim, &out->variances) ||
+      !reader.ReadFloatVector(dim, &out->minimums) ||
+      !reader.ReadFloatVector(dim, &out->maximums)) {
+    return Status::Corruption("collection file: truncated stats section");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+uint64_t Fnv1a64(const uint8_t* data, size_t size, uint64_t seed) {
+  uint64_t hash = seed != 0 ? seed : kFnvOffset;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= data[i];
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+SavedStore ExportStore(const PdxStore& store) {
+  SavedStore out;
+  out.dim = store.dim();
+  out.count = store.count();
+  out.block_counts.reserve(store.num_blocks());
+  for (size_t b = 0; b < store.num_blocks(); ++b) {
+    const PdxBlock& block = store.block(b);
+    out.block_counts.push_back(static_cast<uint32_t>(block.count()));
+    out.ids.insert(out.ids.end(), block.ids().begin(), block.ids().end());
+  }
+  out.group_block_start.reserve(store.num_groups() + 1);
+  out.group_block_start.push_back(0);
+  for (size_t g = 0; g < store.num_groups(); ++g) {
+    out.group_block_start.push_back(store.GroupBlockRange(g).second);
+  }
+  const auto append_stats = [&out](const DimensionStats& stats) {
+    out.stats.insert(out.stats.end(), stats.means.begin(), stats.means.end());
+    out.stats.insert(out.stats.end(), stats.variances.begin(),
+                     stats.variances.end());
+    out.stats.insert(out.stats.end(), stats.minimums.begin(),
+                     stats.minimums.end());
+    out.stats.insert(out.stats.end(), stats.maximums.begin(),
+                     stats.maximums.end());
+  };
+  append_stats(store.stats());
+  for (const DimensionStats& stats : store.block_stats()) {
+    append_stats(stats);
+  }
+  out.arena = store.arena_data();
+  out.arena_floats = store.arena_floats();
+  return out;
+}
+
+Status WriteCollectionFile(const std::string& path,
+                           const SavedCollection& saved) {
+  std::vector<PendingSection> sections;
+
+  PendingSection meta;
+  meta.kind = SectionKind::kCollectionMeta;
+  meta.unit = 0;
+  AppendPod(meta.owned, saved.meta);
+  sections.push_back(std::move(meta));
+
+  for (size_t s = 0; s < saved.shards.size(); ++s) {
+    const SavedShard& shard = saved.shards[s];
+    const uint32_t shard_unit = static_cast<uint32_t>(s);
+    AppendStoreSections(shard.store, 2 * shard_unit, sections);
+    if (shard.has_ivf) {
+      AppendStoreSections(shard.centroids, 2 * shard_unit + 1, sections);
+
+      PendingSection buckets;
+      buckets.kind = SectionKind::kIvfBuckets;
+      buckets.unit = shard_unit;
+      AppendPod(buckets.owned,
+                static_cast<uint64_t>(shard.bucket_offsets.size() - 1));
+      AppendPod(buckets.owned, static_cast<uint64_t>(shard.bucket_ids.size()));
+      AppendBytes(buckets.owned, shard.bucket_offsets.data(),
+                  shard.bucket_offsets.size() * sizeof(uint64_t));
+      AppendBytes(buckets.owned, shard.bucket_ids.data(),
+                  shard.bucket_ids.size() * sizeof(uint32_t));
+      sections.push_back(std::move(buckets));
+
+      PendingSection rows;
+      rows.kind = SectionKind::kIvfCentroidRows;
+      rows.unit = shard_unit;
+      AppendBytes(rows.owned, shard.centroid_rows.data(),
+                  shard.centroid_rows.size() * sizeof(float));
+      sections.push_back(std::move(rows));
+    }
+    if (shard.ads_rotation.rows() > 0) {
+      PendingSection rot;
+      rot.kind = SectionKind::kPrunerRotation;
+      rot.unit = shard_unit;
+      AppendPod(rot.owned, static_cast<uint64_t>(shard.ads_rotation.rows()));
+      AppendPod(rot.owned, static_cast<uint64_t>(shard.ads_rotation.cols()));
+      AppendBytes(
+          rot.owned, shard.ads_rotation.data(),
+          shard.ads_rotation.rows() * shard.ads_rotation.cols() * sizeof(float));
+      sections.push_back(std::move(rot));
+    }
+    if (shard.pca_components.rows() > 0) {
+      PendingSection pca;
+      pca.kind = SectionKind::kPrunerPca;
+      pca.unit = shard_unit;
+      AppendPod(pca.owned, static_cast<uint64_t>(shard.pca_mean.size()));
+      AppendBytes(pca.owned, shard.pca_mean.data(),
+                  shard.pca_mean.size() * sizeof(float));
+      AppendBytes(pca.owned, shard.pca_variance.data(),
+                  shard.pca_variance.size() * sizeof(float));
+      AppendPod(pca.owned, static_cast<uint64_t>(shard.pca_components.rows()));
+      AppendPod(pca.owned, static_cast<uint64_t>(shard.pca_components.cols()));
+      AppendBytes(pca.owned, shard.pca_components.data(),
+                  shard.pca_components.rows() * shard.pca_components.cols() *
+                      sizeof(float));
+      sections.push_back(std::move(pca));
+    }
+  }
+
+  if (saved.meta.mutable_snapshot != 0) {
+    PendingSection raw;
+    raw.kind = SectionKind::kRawRows;
+    raw.unit = 0;
+    raw.external = reinterpret_cast<const uint8_t*>(saved.raw_rows);
+    raw.external_size =
+        saved.raw_row_count * saved.meta.dim * sizeof(float);
+    raw.align64 = true;
+    sections.push_back(std::move(raw));
+
+    PendingSection delta;
+    delta.kind = SectionKind::kDeltaRows;
+    delta.unit = 0;
+    AppendPod(delta.owned, saved.delta_row_count);
+    AppendPod(delta.owned, saved.meta.dim);
+    AppendBytes(delta.owned, saved.delta_slots.data(),
+                saved.delta_slots.size() * sizeof(uint32_t));
+    if (saved.delta_row_count > 0) {
+      AppendBytes(delta.owned, saved.delta_rows,
+                  saved.delta_row_count * saved.meta.dim * sizeof(float));
+    }
+    sections.push_back(std::move(delta));
+
+    PendingSection tombs;
+    tombs.kind = SectionKind::kTombstones;
+    tombs.unit = 0;
+    AppendPod(tombs.owned, static_cast<uint64_t>(saved.slot_ids.size()));
+    AppendBytes(tombs.owned, saved.slot_ids.data(),
+                saved.slot_ids.size() * sizeof(uint64_t));
+    AppendBytes(tombs.owned, saved.dead.data(),
+                saved.dead.size() * sizeof(uint8_t));
+    sections.push_back(std::move(tombs));
+  }
+
+  // Layout pass: every section starts 8-byte aligned (so fixed-width fields
+  // inside payloads read aligned); mmap-served float payloads start on
+  // 64-byte file offsets.
+  uint64_t offset = kHeaderBytes + kEntryBytes * sections.size();
+  std::vector<uint64_t> offsets(sections.size());
+  for (size_t i = 0; i < sections.size(); ++i) {
+    const uint64_t align = sections[i].align64 ? 64 : 8;
+    offset = (offset + align - 1) / align * align;
+    offsets[i] = offset;
+    offset += sections[i].size();
+  }
+  const uint64_t file_size = offset;
+
+  std::vector<uint8_t> table;
+  table.reserve(kEntryBytes * sections.size());
+  for (size_t i = 0; i < sections.size(); ++i) {
+    AppendPod(table, static_cast<uint32_t>(sections[i].kind));
+    AppendPod(table, sections[i].unit);
+    AppendPod(table, offsets[i]);
+    AppendPod(table, sections[i].size());
+    AppendPod(table, Fnv1a64(sections[i].data(), sections[i].size()));
+  }
+
+  uint8_t header[kHeaderBytes] = {0};
+  std::memcpy(header, kCollectionMagic, 4);
+  const uint32_t version = kCollectionFormatVersion;
+  std::memcpy(header + 4, &version, 4);
+  const uint32_t section_count = static_cast<uint32_t>(sections.size());
+  std::memcpy(header + 8, &section_count, 4);
+  std::memcpy(header + 16, &file_size, 8);
+  const uint64_t header_checksum = Fnv1a64(
+      table.data(), table.size(), Fnv1a64(header, kHeaderChecksumOffset));
+  std::memcpy(header + kHeaderChecksumOffset, &header_checksum, 8);
+
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
+  const auto write = [&f](const void* data, size_t size) {
+    return size == 0 || std::fwrite(data, 1, size, f) == size;
+  };
+  bool ok = write(header, kHeaderBytes) && write(table.data(), table.size());
+  uint64_t written = kHeaderBytes + table.size();
+  static constexpr uint8_t kZeros[64] = {0};
+  for (size_t i = 0; ok && i < sections.size(); ++i) {
+    if (offsets[i] > written) {
+      ok = write(kZeros, offsets[i] - written);
+      written = offsets[i];
+    }
+    ok = ok && write(sections[i].data(), sections[i].size());
+    written += sections[i].size();
+  }
+  const bool closed = std::fclose(f) == 0;
+  if (!ok || !closed) {
+    std::remove(path.c_str());
+    return Status::IoError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+Result<std::shared_ptr<CollectionImage>> CollectionImage::Load(
+    const std::string& path, bool allow_mmap) {
+  std::shared_ptr<CollectionImage> image(new CollectionImage());
+  image->path_ = path;
+
+  if (allow_mmap) {
+    Result<MmapFile> mapped = MmapFile::Open(path);
+    if (mapped.ok()) {
+      image->mmap_ = std::move(mapped).value();
+      image->data_ = image->mmap_.data();
+      image->size_ = image->mmap_.size();
+    }
+  }
+  if (image->data_ == nullptr) {
+    // Heap fallback: read the whole file into a 64-byte-aligned buffer so
+    // arena views get the same alignment guarantees as the mapped path.
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+      return Status::IoError("cannot open collection file " + path);
+    }
+    std::fseek(f, 0, SEEK_END);
+    const long end = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    if (end <= 0) {
+      std::fclose(f);
+      return Status::Corruption("collection file " + path + ": empty file");
+    }
+    const size_t size = static_cast<size_t>(end);
+    image->heap_.Reset((size + sizeof(float) - 1) / sizeof(float));
+    const size_t got =
+        std::fread(image->heap_.data(), 1, size, f);
+    std::fclose(f);
+    if (got != size) {
+      return Status::IoError("short read of collection file " + path);
+    }
+    image->data_ = reinterpret_cast<const uint8_t*>(image->heap_.data());
+    image->size_ = size;
+  }
+
+  const uint8_t* data = image->data_;
+  const size_t size = image->size_;
+  if (size < kHeaderBytes) {
+    return Status::Corruption("collection file " + path +
+                              ": truncated header");
+  }
+  if (std::memcmp(data, kCollectionMagic, 4) != 0) {
+    return Status::Corruption("collection file " + path +
+                              ": bad magic (not a PDXC file)");
+  }
+  uint32_t version = 0;
+  std::memcpy(&version, data + 4, 4);
+  if (version > kCollectionFormatVersion) {
+    return Status::InvalidArgument(
+        "collection file " + path + ": format version " +
+        std::to_string(version) + " is newer than supported version " +
+        std::to_string(kCollectionFormatVersion));
+  }
+  if (version < 1) {
+    return Status::Corruption("collection file " + path +
+                              ": invalid format version 0");
+  }
+  uint32_t section_count = 0;
+  std::memcpy(&section_count, data + 8, 4);
+  uint64_t recorded_size = 0;
+  std::memcpy(&recorded_size, data + 16, 8);
+  if (recorded_size != size) {
+    return Status::Corruption(
+        "collection file " + path + ": size mismatch (header says " +
+        std::to_string(recorded_size) + " bytes, file has " +
+        std::to_string(size) + ")");
+  }
+  if (section_count == 0 ||
+      section_count > (size - kHeaderBytes) / kEntryBytes) {
+    return Status::Corruption("collection file " + path +
+                              ": section table exceeds file");
+  }
+  uint64_t stored_header_checksum = 0;
+  std::memcpy(&stored_header_checksum, data + kHeaderChecksumOffset, 8);
+  const uint64_t computed_header_checksum =
+      Fnv1a64(data + kHeaderBytes, kEntryBytes * section_count,
+              Fnv1a64(data, kHeaderChecksumOffset));
+  if (stored_header_checksum != computed_header_checksum) {
+    return Status::Corruption("collection file " + path +
+                              ": header checksum mismatch");
+  }
+
+  const uint64_t table_end = kHeaderBytes + kEntryBytes * section_count;
+  image->sections_.reserve(section_count);
+  for (uint32_t i = 0; i < section_count; ++i) {
+    const uint8_t* entry = data + kHeaderBytes + kEntryBytes * i;
+    Entry e;
+    std::memcpy(&e.kind, entry, 4);
+    std::memcpy(&e.unit, entry + 4, 4);
+    std::memcpy(&e.offset, entry + 8, 8);
+    std::memcpy(&e.size, entry + 16, 8);
+    uint64_t checksum = 0;
+    std::memcpy(&checksum, entry + 24, 8);
+    if (e.offset < table_end || e.offset > size || e.size > size - e.offset) {
+      return Status::Corruption("collection file " + path + ": section " +
+                                std::to_string(e.kind) + "/" +
+                                std::to_string(e.unit) +
+                                " extends past end of file");
+    }
+    if ((static_cast<SectionKind>(e.kind) == SectionKind::kStoreArena ||
+         static_cast<SectionKind>(e.kind) == SectionKind::kRawRows) &&
+        e.offset % kPdxAlignment != 0) {
+      return Status::Corruption("collection file " + path +
+                                ": misaligned arena section");
+    }
+    if (Fnv1a64(data + e.offset, e.size) != checksum) {
+      return Status::Corruption("collection file " + path + ": section " +
+                                std::to_string(e.kind) + "/" +
+                                std::to_string(e.unit) +
+                                " checksum mismatch");
+    }
+    image->sections_.push_back(e);
+  }
+
+  Result<SectionView> meta =
+      image->Section(SectionKind::kCollectionMeta, 0);
+  if (!meta.ok()) return meta.status();
+  if (meta.value().size != sizeof(SavedMeta)) {
+    return Status::Corruption("collection file " + path +
+                              ": unexpected metadata size");
+  }
+  std::memcpy(&image->meta_, meta.value().data, sizeof(SavedMeta));
+  if (image->meta_.dim == 0 || image->meta_.num_shards == 0) {
+    return Status::Corruption("collection file " + path +
+                              ": metadata has zero dim or shards");
+  }
+  return image;
+}
+
+bool CollectionImage::HasSection(SectionKind kind, uint32_t unit) const {
+  for (const Entry& e : sections_) {
+    if (e.kind == static_cast<uint32_t>(kind) && e.unit == unit) return true;
+  }
+  return false;
+}
+
+Result<SectionView> CollectionImage::Section(SectionKind kind,
+                                             uint32_t unit) const {
+  for (const Entry& e : sections_) {
+    if (e.kind == static_cast<uint32_t>(kind) && e.unit == unit) {
+      return SectionView{data_ + e.offset, e.size};
+    }
+  }
+  return Status::Corruption("collection file " + path_ + ": missing section " +
+                            std::to_string(static_cast<uint32_t>(kind)) +
+                            "/" + std::to_string(unit));
+}
+
+Result<StoreImage> DecodeStore(const CollectionImage& image, uint32_t unit) {
+  Result<SectionView> meta = image.Section(SectionKind::kStoreMeta, unit);
+  if (!meta.ok()) return meta.status();
+  const Status malformed =
+      Status::Corruption("collection file " + image.path() +
+                         ": malformed store meta (unit " +
+                         std::to_string(unit) + ")");
+
+  StoreImage out;
+  ByteReader reader(meta.value());
+  uint64_t dim = 0, count = 0, num_blocks = 0, num_groups = 0,
+           arena_floats = 0;
+  if (!reader.ReadU64(&dim) || !reader.ReadU64(&count) ||
+      !reader.ReadU64(&num_blocks) || !reader.ReadU64(&num_groups) ||
+      !reader.ReadU64(&arena_floats) || dim == 0) {
+    return malformed;
+  }
+  std::vector<uint32_t> block_counts;
+  std::vector<uint64_t> group_starts;
+  if (!reader.ReadU32Array(num_blocks, &block_counts) ||
+      num_groups + 1 < num_groups ||
+      !reader.ReadU64Array(num_groups + 1, &group_starts) ||
+      !reader.AtEnd()) {
+    return malformed;
+  }
+  uint64_t total = 0;
+  uint64_t expected_arena = 0;
+  for (uint32_t bc : block_counts) {
+    if (bc == 0) return malformed;
+    total += bc;
+    expected_arena += AlignedBlockFloats(dim, bc);
+  }
+  if (total != count || expected_arena != arena_floats) return malformed;
+  if (group_starts.front() != 0 || group_starts.back() != num_blocks) {
+    return malformed;
+  }
+  for (size_t g = 1; g < group_starts.size(); ++g) {
+    if (group_starts[g] < group_starts[g - 1]) return malformed;
+  }
+  out.dim = dim;
+  out.count = count;
+  out.block_counts = std::move(block_counts);
+  out.group_block_start.assign(group_starts.begin(), group_starts.end());
+
+  Result<SectionView> ids = image.Section(SectionKind::kStoreIds, unit);
+  if (!ids.ok()) return ids.status();
+  ByteReader ids_reader(ids.value());
+  {
+    std::vector<uint32_t> raw_ids;
+    if (!ids_reader.ReadU32Array(count, &raw_ids) || !ids_reader.AtEnd()) {
+      return Status::Corruption("collection file " + image.path() +
+                                ": malformed store ids (unit " +
+                                std::to_string(unit) + ")");
+    }
+    out.ids.assign(raw_ids.begin(), raw_ids.end());
+  }
+
+  Result<SectionView> stats = image.Section(SectionKind::kStoreStats, unit);
+  if (!stats.ok()) return stats.status();
+  ByteReader stats_reader(stats.value());
+  PDX_RETURN_IF_ERROR(ReadStats(stats_reader, dim, &out.stats));
+  out.block_stats.resize(out.block_counts.size());
+  for (DimensionStats& bs : out.block_stats) {
+    PDX_RETURN_IF_ERROR(ReadStats(stats_reader, dim, &bs));
+  }
+  if (!stats_reader.AtEnd()) {
+    return Status::Corruption("collection file " + image.path() +
+                              ": oversized stats section (unit " +
+                              std::to_string(unit) + ")");
+  }
+
+  Result<SectionView> arena = image.Section(SectionKind::kStoreArena, unit);
+  if (!arena.ok()) return arena.status();
+  if (arena.value().size != arena_floats * sizeof(float)) {
+    return Status::Corruption("collection file " + image.path() +
+                              ": arena size mismatch (unit " +
+                              std::to_string(unit) + ")");
+  }
+  if (reinterpret_cast<uintptr_t>(arena.value().data) % kPdxAlignment != 0) {
+    return Status::Internal("collection file " + image.path() +
+                            ": arena view not 64-byte aligned");
+  }
+  out.arena = reinterpret_cast<const float*>(arena.value().data);
+  out.arena_floats = arena_floats;
+  return out;
+}
+
+Result<IvfImage> DecodeIvf(const CollectionImage& image, uint32_t unit) {
+  Result<SectionView> buckets = image.Section(SectionKind::kIvfBuckets, unit);
+  if (!buckets.ok()) return buckets.status();
+  const Status malformed =
+      Status::Corruption("collection file " + image.path() +
+                         ": malformed IVF buckets (shard " +
+                         std::to_string(unit) + ")");
+
+  IvfImage out;
+  ByteReader reader(buckets.value());
+  uint64_t num_buckets = 0, total = 0;
+  if (!reader.ReadU64(&num_buckets) || !reader.ReadU64(&total)) {
+    return malformed;
+  }
+  std::vector<uint64_t> offsets;
+  std::vector<uint32_t> members;
+  if (num_buckets + 1 < num_buckets ||
+      !reader.ReadU64Array(num_buckets + 1, &offsets) ||
+      !reader.ReadU32Array(total, &members) || !reader.AtEnd()) {
+    return malformed;
+  }
+  if (offsets.front() != 0 || offsets.back() != total) return malformed;
+  out.num_buckets = num_buckets;
+  out.buckets.resize(num_buckets);
+  for (size_t b = 0; b < num_buckets; ++b) {
+    if (offsets[b + 1] < offsets[b]) return malformed;
+    out.buckets[b].assign(members.begin() + offsets[b],
+                          members.begin() + offsets[b + 1]);
+  }
+
+  Result<SectionView> rows =
+      image.Section(SectionKind::kIvfCentroidRows, unit);
+  if (!rows.ok()) return rows.status();
+  const uint64_t dim = image.meta().dim;
+  if (rows.value().size != num_buckets * dim * sizeof(float)) {
+    return Status::Corruption("collection file " + image.path() +
+                              ": centroid rows size mismatch (shard " +
+                              std::to_string(unit) + ")");
+  }
+  out.centroid_rows = reinterpret_cast<const float*>(rows.value().data);
+  return out;
+}
+
+Result<Matrix> DecodeRotation(const CollectionImage& image, uint32_t unit) {
+  Result<SectionView> section =
+      image.Section(SectionKind::kPrunerRotation, unit);
+  if (!section.ok()) return section.status();
+  ByteReader reader(section.value());
+  uint64_t rows = 0, cols = 0;
+  if (!reader.ReadU64(&rows) || !reader.ReadU64(&cols) || rows == 0 ||
+      rows != cols || rows > reader.remaining()) {
+    return Status::Corruption("collection file " + image.path() +
+                              ": malformed rotation matrix");
+  }
+  Matrix m(rows, cols);
+  if (!reader.ReadFloats(rows * cols, m.data()) || !reader.AtEnd()) {
+    return Status::Corruption("collection file " + image.path() +
+                              ": malformed rotation matrix");
+  }
+  return m;
+}
+
+Result<PcaImage> DecodePca(const CollectionImage& image, uint32_t unit) {
+  Result<SectionView> section = image.Section(SectionKind::kPrunerPca, unit);
+  if (!section.ok()) return section.status();
+  const Status malformed = Status::Corruption(
+      "collection file " + image.path() + ": malformed PCA section");
+  ByteReader reader(section.value());
+  PcaImage out;
+  uint64_t dim = 0;
+  if (!reader.ReadU64(&dim) || dim == 0 || dim > reader.remaining() ||
+      !reader.ReadFloatVector(dim, &out.mean) ||
+      !reader.ReadFloatVector(dim, &out.variance)) {
+    return malformed;
+  }
+  uint64_t rows = 0, cols = 0;
+  if (!reader.ReadU64(&rows) || !reader.ReadU64(&cols) || rows == 0 ||
+      cols != dim || rows > reader.remaining()) {
+    return malformed;
+  }
+  out.components = Matrix(rows, cols);
+  if (!reader.ReadFloats(rows * cols, out.components.data()) ||
+      !reader.AtEnd()) {
+    return malformed;
+  }
+  return out;
+}
+
+Result<MutableImage> DecodeMutable(const CollectionImage& image) {
+  MutableImage out;
+  const uint64_t dim = image.meta().dim;
+
+  Result<SectionView> raw = image.Section(SectionKind::kRawRows, 0);
+  if (!raw.ok()) return raw.status();
+  if (raw.value().size % (dim * sizeof(float)) != 0) {
+    return Status::Corruption("collection file " + image.path() +
+                              ": raw rows size not a multiple of dim");
+  }
+  out.raw_rows = reinterpret_cast<const float*>(raw.value().data);
+  out.raw_count = raw.value().size / (dim * sizeof(float));
+  out.raw_dim = dim;
+
+  Result<SectionView> delta = image.Section(SectionKind::kDeltaRows, 0);
+  if (!delta.ok()) return delta.status();
+  const Status malformed_delta = Status::Corruption(
+      "collection file " + image.path() + ": malformed delta section");
+  ByteReader delta_reader(delta.value());
+  uint64_t delta_count = 0, delta_dim = 0;
+  if (!delta_reader.ReadU64(&delta_count) ||
+      !delta_reader.ReadU64(&delta_dim) || delta_dim != dim) {
+    return malformed_delta;
+  }
+  std::vector<uint32_t> slots;
+  if (!delta_reader.ReadU32Array(delta_count, &slots) ||
+      !delta_reader.ViewFloats(delta_count * dim, &out.delta_rows) ||
+      !delta_reader.AtEnd()) {
+    return malformed_delta;
+  }
+  out.delta_count = delta_count;
+  out.delta_dim = dim;
+  out.delta_slots.assign(slots.begin(), slots.end());
+
+  Result<SectionView> tombs = image.Section(SectionKind::kTombstones, 0);
+  if (!tombs.ok()) return tombs.status();
+  const Status malformed_tombs = Status::Corruption(
+      "collection file " + image.path() + ": malformed tombstone section");
+  ByteReader tombs_reader(tombs.value());
+  uint64_t slot_count = 0;
+  if (!tombs_reader.ReadU64(&slot_count) ||
+      !tombs_reader.ReadU64Array(slot_count, &out.slot_ids) ||
+      !tombs_reader.ReadU8Array(slot_count, &out.dead) ||
+      !tombs_reader.AtEnd()) {
+    return malformed_tombs;
+  }
+  if (slot_count != out.raw_count + out.delta_count) {
+    return Status::Corruption("collection file " + image.path() +
+                              ": tombstone count disagrees with rows");
+  }
+  return out;
+}
+
+}  // namespace pdx

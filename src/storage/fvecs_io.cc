@@ -30,13 +30,19 @@ FileHandle OpenForWrite(const std::string& path, Status& status) {
   return f;
 }
 
-// Reads one record header; returns false on clean EOF.
+// Reads one record header; returns false on clean EOF or error (status
+// tells them apart). Read byte-wise: fread with a 4-byte element size
+// reports a 1-3 byte tail as "0 elements" with EOF set, indistinguishable
+// from a clean end — and a file cut mid-header must be Corruption, not a
+// silently shorter collection.
 bool ReadDimHeader(std::FILE* f, int32_t& dim, Status& status,
                    const std::string& path) {
-  const size_t got = std::fread(&dim, sizeof(int32_t), 1, f);
-  if (got == 0) {
-    if (std::feof(f)) return false;
-    status = Status::IoError("read failure in " + path);
+  const size_t got = std::fread(&dim, 1, sizeof(int32_t), f);
+  if (got == 0 && std::feof(f)) return false;
+  if (got < sizeof(int32_t)) {
+    status = std::feof(f)
+                 ? Status::Corruption("truncated record header in " + path)
+                 : Status::IoError("read failure in " + path);
     return false;
   }
   if (dim <= 0 || dim > (1 << 24)) {
@@ -71,6 +77,11 @@ Result<VectorSet> ReadFvecs(const std::string& path) {
     vectors.Append(row.data());
   }
   if (!status.ok()) return status;
+  if (vectors.count() == 0) {
+    // An empty file has no dimensionality, so every downstream consumer
+    // (builders, benchmarks) would fail later with a worse message.
+    return Status::Corruption("no vectors in " + path);
+  }
   return vectors;
 }
 
@@ -106,6 +117,7 @@ Result<std::vector<std::vector<int32_t>>> ReadIvecs(const std::string& path) {
     rows.push_back(std::move(row));
   }
   if (!status.ok()) return status;
+  if (rows.empty()) return Status::Corruption("no records in " + path);
   return rows;
 }
 
@@ -153,6 +165,7 @@ Result<VectorSet> ReadBvecs(const std::string& path) {
     vectors.Append(row.data());
   }
   if (!status.ok()) return status;
+  if (vectors.count() == 0) return Status::Corruption("no vectors in " + path);
   return vectors;
 }
 

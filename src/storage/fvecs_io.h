@@ -18,7 +18,12 @@ namespace pdx {
 ///   .bvecs — records of [int32 dim][dim x uint8]
 ///
 /// All records in one file must share the same dimensionality; readers
-/// validate this and fail with Status::Corruption on malformed input.
+/// validate this and fail with Status::Corruption on malformed input:
+/// a record header or payload cut short by truncation, a dimension that
+/// changes mid-file, an implausible (<= 0 or > 2^24) dimension, or a
+/// file with zero records (an empty file has no dimensionality, so no
+/// downstream consumer can do anything with it). Unreadable files are
+/// Status::IoError.
 
 /// Reads a whole .fvecs file into a horizontal VectorSet.
 Result<VectorSet> ReadFvecs(const std::string& path);

@@ -1,0 +1,74 @@
+#include "storage/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace pdx {
+
+MmapFile::~MmapFile() { Unmap(); }
+
+MmapFile::MmapFile(MmapFile&& other) noexcept
+    : data_(other.data_), size_(other.size_) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+}
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    Unmap();
+    data_ = other.data_;
+    size_ = other.size_;
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+void MmapFile::Unmap() {
+  if (data_ != nullptr) {
+    ::munmap(data_, size_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+}
+
+Result<MmapFile> MmapFile::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IoError("mmap open " + path + ": " +
+                           std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IoError("mmap fstat " + path + ": " + std::strerror(err));
+  }
+  if (st.st_size <= 0) {
+    ::close(fd);
+    return Status::IoError("mmap " + path + ": empty file");
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  // MAP_SHARED (not PRIVATE): replica processes mapping the same file keep
+  // sharing one physical copy of the pages even after one of them faults
+  // them in.
+  void* base = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
+  // The mapping holds its own reference to the file; the descriptor is not
+  // needed past this point either way.
+  ::close(fd);
+  if (base == MAP_FAILED) {
+    return Status::IoError("mmap " + path + ": " + std::strerror(errno));
+  }
+  MmapFile file;
+  file.data_ = static_cast<uint8_t*>(base);
+  file.size_ = size;
+  return file;
+}
+
+}  // namespace pdx

@@ -1,0 +1,49 @@
+#ifndef PDX_STORAGE_MMAP_FILE_H_
+#define PDX_STORAGE_MMAP_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace pdx {
+
+/// RAII read-only memory mapping of a whole file.
+///
+/// The load-a-view-not-a-copy half of the persistence story: a mapped
+/// collection file costs no read() of the vector payload at open time, the
+/// kernel pages data in on first touch, and N processes mapping the same
+/// file share one physical copy of the arena. The mapping is PROT_READ —
+/// every structure built over it must treat the bytes as immutable (PDX
+/// blocks are never written after packing, which is what makes the view
+/// construction safe).
+class MmapFile {
+ public:
+  MmapFile() = default;
+  ~MmapFile();
+
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  /// Maps `path` read-only. Fails with IoError when the file cannot be
+  /// opened, stat'ed, or mapped (an empty file also fails — there is
+  /// nothing to map, and no valid collection file is empty).
+  static Result<MmapFile> Open(const std::string& path);
+
+  bool mapped() const { return data_ != nullptr; }
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+
+ private:
+  void Unmap();
+
+  uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace pdx
+
+#endif  // PDX_STORAGE_MMAP_FILE_H_

@@ -61,6 +61,14 @@ class PdxBlock {
   /// Reconstructs lane i into `out[0..dim)` (transpose back).
   void ExtractLane(size_t i, float* out) const;
 
+  /// Installs the lane -> global id table wholesale. Used when
+  /// reconstructing a view block over already-packed data (a loaded
+  /// collection image), where FillLane's transpose must not run — the
+  /// external region is read-only and already holds the packed values.
+  void AssignIds(std::vector<VectorId> ids) {
+    ids_ = std::move(ids);
+  }
+
  private:
   size_t dim_ = 0;
   size_t count_ = 0;

@@ -1,6 +1,7 @@
 #include "storage/pdx_store.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <numeric>
 
@@ -14,7 +15,13 @@ size_t AlignedBlockFloats(size_t dim, size_t n) {
   return (floats + 15) / 16 * 16;
 }
 
+std::atomic<uint64_t> g_pack_count{0};
+
 }  // namespace
+
+uint64_t PdxStorePackCount() {
+  return g_pack_count.load(std::memory_order_relaxed);
+}
 
 void PdxStore::AppendGroup(const VectorSet& vectors,
                            const std::vector<VectorId>& ids,
@@ -47,6 +54,7 @@ PdxStore PdxStore::FromGroups(const VectorSet& vectors,
                               const std::vector<std::vector<VectorId>>& groups,
                               size_t block_capacity) {
   assert(block_capacity > 0);
+  g_pack_count.fetch_add(1, std::memory_order_relaxed);
   PdxStore store;
   store.dim_ = vectors.dim();
 
@@ -81,6 +89,47 @@ PdxStore PdxStore::FromGroups(const VectorSet& vectors,
     store.stats_ = std::move(merged);
   }
   return store;
+}
+
+PdxStore PdxStore::FromView(size_t dim, size_t count,
+                            const std::vector<uint32_t>& block_counts,
+                            std::vector<size_t> group_block_start,
+                            const std::vector<VectorId>& ids,
+                            DimensionStats stats,
+                            std::vector<DimensionStats> block_stats,
+                            const float* arena) {
+  assert(block_stats.size() == block_counts.size());
+  PdxStore store;
+  store.dim_ = dim;
+  store.count_ = count;
+  store.group_block_start_ = std::move(group_block_start);
+  store.block_stats_ = std::move(block_stats);
+  store.stats_ = std::move(stats);
+  store.blocks_.reserve(block_counts.size());
+  // arena_ stays empty: the blocks view the caller's region at the exact
+  // offsets FromGroups lays out, so arena_data()/arena_floats() and every
+  // scan path behave identically to an owned store.
+  size_t arena_offset = 0;
+  size_t id_offset = 0;
+  for (const uint32_t n : block_counts) {
+    PdxBlock block(dim, n, const_cast<float*>(arena) + arena_offset);
+    block.AssignIds(
+        std::vector<VectorId>(ids.begin() + id_offset,
+                              ids.begin() + id_offset + n));
+    store.blocks_.push_back(std::move(block));
+    arena_offset += AlignedBlockFloats(dim, n);
+    id_offset += n;
+  }
+  assert(id_offset == count);
+  return store;
+}
+
+size_t PdxStore::arena_floats() const {
+  size_t total = 0;
+  for (const PdxBlock& block : blocks_) {
+    total += AlignedBlockFloats(dim_, block.count());
+  }
+  return total;
 }
 
 VectorSet PdxStore::ToVectorSet() const {

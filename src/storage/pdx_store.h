@@ -40,6 +40,22 @@ class PdxStore {
                              const std::vector<std::vector<VectorId>>& groups,
                              size_t block_capacity = kPdxBlockSize);
 
+  /// Reconstructs a store as a zero-copy view over an externally owned
+  /// arena (a loaded collection image): blocks point into `arena` at the
+  /// same 64-byte-aligned offsets FromGroups would have produced, and no
+  /// vector data is copied or repacked. `stats`/`block_stats` are the
+  /// persisted statistics (re-deriving them would re-run the float merge
+  /// and could drift). The caller must keep `arena` alive for the store's
+  /// lifetime and never mutate it — PDX blocks are read-only after packing,
+  /// which is what makes serving straight from a PROT_READ mapping safe.
+  static PdxStore FromView(size_t dim, size_t count,
+                           const std::vector<uint32_t>& block_counts,
+                           std::vector<size_t> group_block_start,
+                           const std::vector<VectorId>& ids,
+                           DimensionStats stats,
+                           std::vector<DimensionStats> block_stats,
+                           const float* arena);
+
   size_t dim() const { return dim_; }
   size_t count() const { return count_; }
   size_t num_blocks() const { return blocks_.size(); }
@@ -67,6 +83,15 @@ class PdxStore {
   /// verify the round-trip and by re-ranking paths.
   VectorSet ToVectorSet() const;
 
+  /// Start of the contiguous arena backing every block (null when empty).
+  /// Valid for both owned stores and FromView stores.
+  const float* arena_data() const {
+    return blocks_.empty() ? nullptr : blocks_.front().data();
+  }
+
+  /// Total floats in the arena, including per-block alignment padding.
+  size_t arena_floats() const;
+
  private:
   static void AppendGroup(const VectorSet& vectors,
                           const std::vector<VectorId>& ids,
@@ -83,6 +108,11 @@ class PdxStore {
   std::vector<size_t> group_block_start_;
   DimensionStats stats_;
 };
+
+/// Process-wide count of PdxStore packing runs (FromGroups calls). The
+/// persistence tests pin "loading a collection does zero packing work" by
+/// snapshotting this counter around CollectionImage loads.
+uint64_t PdxStorePackCount();
 
 }  // namespace pdx
 

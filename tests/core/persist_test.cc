@@ -1,0 +1,276 @@
+#include "core/persist.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "benchlib/datagen.h"
+#include "index/kmeans.h"
+#include "storage/pdx_store.h"
+
+namespace pdx {
+namespace {
+
+Dataset MakeData(size_t dim = 24, size_t count = 1500, size_t num_queries = 6,
+                 uint64_t seed = 11) {
+  SyntheticSpec spec;
+  spec.name = "persist-test";
+  spec.dim = dim;
+  spec.count = count;
+  spec.num_queries = num_queries;
+  spec.num_clusters = 8;
+  spec.seed = seed;
+  spec.distribution = ValueDistribution::kSkewed;
+  return GenerateDataset(spec);
+}
+
+SearcherConfig Config(SearcherLayout layout, PrunerKind pruner) {
+  SearcherConfig config;
+  config.layout = layout;
+  config.pruner = pruner;
+  config.k = 10;
+  config.nprobe = 4;
+  return config;
+}
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+/// Byte-identical: same ids in the same order, same distance bits.
+void ExpectIdenticalResults(const std::vector<Neighbor>& loaded,
+                            const std::vector<Neighbor>& built,
+                            const std::string& label) {
+  ASSERT_EQ(loaded.size(), built.size()) << label;
+  for (size_t i = 0; i < loaded.size(); ++i) {
+    ASSERT_EQ(loaded[i].id, built[i].id) << label << " rank " << i;
+    ASSERT_EQ(loaded[i].distance, built[i].distance) << label << " rank " << i;
+  }
+}
+
+const char* PrunerName(PrunerKind pruner) {
+  switch (pruner) {
+    case PrunerKind::kLinear: return "linear";
+    case PrunerKind::kBond: return "bond";
+    case PrunerKind::kAdsampling: return "ads";
+    case PrunerKind::kBsa: return "bsa";
+  }
+  return "?";
+}
+
+// --- Acceptance: Save -> Load round-trip is byte-identical across the
+// whole {flat, ivf} x {linear, bond, ads, bsa} x {unsharded, sharded}
+// matrix, for both the mmap and the heap-fallback load source. Unlike the
+// build-vs-build parity tests, IVF needs no all-buckets nprobe here: the
+// loaded searcher restores the SAME centroids and bucket lists, so even
+// the approximate configurations must reproduce result-for-result. -------
+
+TEST(PersistTest, RoundTripMatrixIsByteIdentical) {
+  Dataset data = MakeData();
+  for (SearcherLayout layout : {SearcherLayout::kFlat, SearcherLayout::kIvf}) {
+    for (PrunerKind pruner :
+         {PrunerKind::kLinear, PrunerKind::kBond, PrunerKind::kAdsampling,
+          PrunerKind::kBsa}) {
+      for (size_t num_shards : {size_t{1}, size_t{3}}) {
+        const std::string label =
+            std::string(layout == SearcherLayout::kFlat ? "flat" : "ivf") +
+            "/" + PrunerName(pruner) + "/shards=" +
+            std::to_string(num_shards);
+        SearcherConfig config = Config(layout, pruner);
+        ShardingOptions sharding;
+        sharding.num_shards = num_shards;
+        auto built =
+            num_shards > 1
+                ? MakeShardedSearcher(data.data, config, sharding)
+                : MakeSearcher(data.data, config);
+        ASSERT_TRUE(built.ok()) << label << ": " << built.status().message();
+        std::unique_ptr<Searcher> searcher = std::move(built).value();
+
+        const std::string path = TempPath("roundtrip.pdxc");
+        Status saved = searcher->Save(path);
+        ASSERT_TRUE(saved.ok()) << label << ": " << saved.message();
+
+        for (bool allow_mmap : {true, false}) {
+          LoadOptions options;
+          options.allow_mmap = allow_mmap;
+          auto loaded = LoadCollection(path, options);
+          ASSERT_TRUE(loaded.ok())
+              << label << ": " << loaded.status().message();
+          EXPECT_EQ(loaded.value().source, allow_mmap ? "mmap" : "loaded");
+          EXPECT_EQ(loaded.value().live, nullptr);
+          EXPECT_EQ(loaded.value().searcher->count(), data.data.count());
+          EXPECT_EQ(loaded.value().searcher->dim(), data.dim());
+          EXPECT_EQ(loaded.value().searcher->num_shards(),
+                    num_shards > 1 ? num_shards : 1);
+          for (size_t q = 0; q < data.queries.count(); ++q) {
+            const float* query = data.queries.Vector(q);
+            ExpectIdenticalResults(loaded.value().searcher->Search(query),
+                                   searcher->Search(query),
+                                   label + " query " + std::to_string(q));
+          }
+        }
+        std::remove(path.c_str());
+      }
+    }
+  }
+}
+
+// --- Acceptance: loading does zero build work — no k-means run, no block
+// packing. The stores are views into the image and the IVF structures are
+// decoded, not re-derived. ------------------------------------------------
+
+TEST(PersistTest, LoadRunsNoKmeansAndNoPacking) {
+  Dataset data = MakeData();
+  SearcherConfig config = Config(SearcherLayout::kIvf, PrunerKind::kBsa);
+  auto built = MakeSearcher(data.data, config);
+  ASSERT_TRUE(built.ok()) << built.status().message();
+  const std::string path = TempPath("zerowork.pdxc");
+  ASSERT_TRUE(built.value()->Save(path).ok());
+
+  const uint64_t packs_before = PdxStorePackCount();
+  const uint64_t kmeans_before = KMeansRunCount();
+  auto loaded = LoadCollection(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  EXPECT_EQ(PdxStorePackCount(), packs_before)
+      << "loading must not pack PDX blocks";
+  EXPECT_EQ(KMeansRunCount(), kmeans_before) << "loading must not run k-means";
+
+  // And the loaded collection actually serves.
+  EXPECT_EQ(loaded.value().searcher->Search(data.queries.Vector(0)).size(),
+            config.k);
+  EXPECT_GT(loaded.value().mapped_bytes, 0u);
+  EXPECT_GT(loaded.value().file_bytes, 0u);
+  std::remove(path.c_str());
+}
+
+// --- Mutable snapshots: mid-delta state (appends, deletes, an upsert, a
+// compaction) survives the round-trip, including id allocation. -----------
+
+TEST(PersistTest, MutableSnapshotRestoresMidDeltaState) {
+  Dataset data = MakeData(16, 600, 4, 23);
+  SearcherConfig config = Config(SearcherLayout::kFlat, PrunerKind::kLinear);
+  MutationConfig mutation;
+  mutation.compact_threshold = 0;  // Explicit control over compaction.
+  auto made = MutableSearcher::Make(data.data, config, mutation);
+  ASSERT_TRUE(made.ok()) << made.status().message();
+  std::unique_ptr<MutableSearcher> live = std::move(made).value();
+
+  // Mutate: append a batch, delete a few base rows, upsert one id, compact,
+  // then append again so the snapshot carries a non-empty delta AND a
+  // non-zero compaction count.
+  Dataset extra = MakeData(16, 80, 1, 91);
+  ASSERT_TRUE(live->Add(extra.data.Vector(0), 40).ok());
+  ASSERT_TRUE(live->Delete(3).ok());
+  ASSERT_TRUE(live->Delete(617).ok());  // A delta row.
+  const uint64_t upsert_id = 7;
+  ASSERT_TRUE(live->Add(extra.data.Vector(41), 1, &upsert_id).ok());
+  ASSERT_TRUE(live->Compact().ok());
+  ASSERT_TRUE(live->Add(extra.data.Vector(42), 30).ok());
+  ASSERT_TRUE(live->Delete(10).ok());
+  const MutationStats before = live->mutation_stats();
+  ASSERT_GT(before.delta_rows, 0u);
+  ASSERT_GT(before.tombstones, 0u);
+
+  const std::string path = TempPath("mutable.pdxc");
+  ASSERT_TRUE(live->Save(path).ok());
+  auto loaded = LoadCollection(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  ASSERT_NE(loaded.value().live, nullptr);
+  MutableSearcher* restored = loaded.value().live;
+
+  const MutationStats after = restored->mutation_stats();
+  EXPECT_EQ(after.live, before.live);
+  EXPECT_EQ(after.base_rows, before.base_rows);
+  EXPECT_EQ(after.delta_rows, before.delta_rows);
+  EXPECT_EQ(after.tombstones, before.tombstones);
+  EXPECT_EQ(after.compactions, before.compactions);
+
+  for (size_t q = 0; q < data.queries.count(); ++q) {
+    const float* query = data.queries.Vector(q);
+    ExpectIdenticalResults(restored->Search(query), live->Search(query),
+                           "mutable query " + std::to_string(q));
+  }
+
+  // Deleted ids stay deleted; auto-id allocation resumes where it left off.
+  EXPECT_FALSE(restored->Delete(3).ok());
+  auto ids_live = live->Add(extra.data.Vector(43), 1);
+  auto ids_restored = restored->Add(extra.data.Vector(43), 1);
+  ASSERT_TRUE(ids_live.ok());
+  ASSERT_TRUE(ids_restored.ok());
+  EXPECT_EQ(ids_restored.value(), ids_live.value());
+  std::remove(path.c_str());
+}
+
+// --- Mutable + sharded base compose. --------------------------------------
+
+TEST(PersistTest, MutableShardedSnapshotRoundTrips) {
+  Dataset data = MakeData(16, 500, 3, 37);
+  SearcherConfig config = Config(SearcherLayout::kIvf, PrunerKind::kBond);
+  MutationConfig mutation;
+  mutation.compact_threshold = 0;
+  ShardingOptions sharding;
+  sharding.num_shards = 2;
+  sharding.assignment = ShardAssignment::kRoundRobin;
+  auto made = MutableSearcher::Make(data.data, config, mutation, sharding);
+  ASSERT_TRUE(made.ok()) << made.status().message();
+  std::unique_ptr<MutableSearcher> live = std::move(made).value();
+  Dataset extra = MakeData(16, 20, 1, 5);
+  ASSERT_TRUE(live->Add(extra.data.Vector(0), 20).ok());
+  ASSERT_TRUE(live->Delete(11).ok());
+
+  const std::string path = TempPath("mutable_sharded.pdxc");
+  ASSERT_TRUE(live->Save(path).ok());
+  auto loaded = LoadCollection(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  ASSERT_NE(loaded.value().live, nullptr);
+  EXPECT_EQ(loaded.value().searcher->num_shards(), 2u);
+  for (size_t q = 0; q < data.queries.count(); ++q) {
+    const float* query = data.queries.Vector(q);
+    ExpectIdenticalResults(loaded.value().live->Search(query),
+                           live->Search(query),
+                           "sharded mutable query " + std::to_string(q));
+  }
+  std::remove(path.c_str());
+}
+
+// --- The loaded image must outlive the searcher's views (pin check): drop
+// the LoadedCollection wrapper, keep only the searcher, and query. Under
+// ASan a missing pin is a use-after-free here. ------------------------------
+
+TEST(PersistTest, SearcherPinsImageAfterWrapperDies) {
+  Dataset data = MakeData(16, 400, 2, 53);
+  auto built =
+      MakeSearcher(data.data, Config(SearcherLayout::kIvf, PrunerKind::kBond));
+  ASSERT_TRUE(built.ok());
+  const std::string path = TempPath("pin.pdxc");
+  ASSERT_TRUE(built.value()->Save(path).ok());
+  std::unique_ptr<Searcher> survivor;
+  {
+    auto loaded = LoadCollection(path);
+    ASSERT_TRUE(loaded.ok());
+    survivor = std::move(loaded.value().searcher);
+  }
+  std::remove(path.c_str());  // mmap stays valid after unlink on POSIX.
+  EXPECT_EQ(survivor->Search(data.queries.Vector(0)).size(), 10u);
+}
+
+// --- Error surface. --------------------------------------------------------
+
+TEST(PersistTest, SaveToUnwritablePathFails) {
+  Dataset data = MakeData(16, 200, 1, 3);
+  auto built = MakeSearcher(
+      data.data, Config(SearcherLayout::kFlat, PrunerKind::kLinear));
+  ASSERT_TRUE(built.ok());
+  EXPECT_FALSE(built.value()->Save("/nonexistent-dir/x/y.pdxc").ok());
+}
+
+TEST(PersistTest, LoadMissingFileFails) {
+  auto loaded = LoadCollection(TempPath("does-not-exist.pdxc"));
+  EXPECT_FALSE(loaded.ok());
+}
+
+}  // namespace
+}  // namespace pdx

@@ -1,0 +1,244 @@
+#include "storage/collection_format.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/any_searcher.h"
+#include "storage/vector_set.h"
+
+namespace pdx {
+namespace {
+
+// Byte offsets pinned by the format doc in collection_format.h. These are
+// the on-disk contract: moving any of them is a format break and must come
+// with a version bump.
+constexpr size_t kOffMagic = 0;
+constexpr size_t kOffVersion = 4;
+constexpr size_t kOffSectionCount = 8;
+constexpr size_t kOffReserved = 12;
+constexpr size_t kOffFileSize = 16;
+constexpr size_t kOffHeaderChecksum = 24;
+constexpr size_t kSectionTableStart = 32;
+constexpr size_t kSectionEntrySize = 32;
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+VectorSet RandomVectors(size_t count, size_t dim, uint64_t seed) {
+  Rng rng(seed);
+  VectorSet set(dim, count);
+  std::vector<float> row(dim);
+  for (size_t i = 0; i < count; ++i) {
+    for (float& v : row) v = static_cast<float>(rng.Gaussian());
+    set.Append(row.data());
+  }
+  return set;
+}
+
+/// Writes one small flat/BOND collection file and returns its bytes.
+std::vector<uint8_t> WriteSampleFile(const std::string& path) {
+  const VectorSet vectors = RandomVectors(300, 16, 7);
+  SearcherConfig config;
+  config.layout = SearcherLayout::kFlat;
+  config.pruner = PrunerKind::kBond;
+  config.k = 5;
+  auto made = MakeSearcher(vectors, std::move(config));
+  EXPECT_TRUE(made.ok()) << made.status().ToString();
+  EXPECT_TRUE(made.value()->Save(path).ok());
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good());
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  return bytes;
+}
+
+void WriteBytes(const std::string& path, const uint8_t* data, size_t size) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(out.good());
+  out.write(reinterpret_cast<const char*>(data), static_cast<long>(size));
+  ASSERT_TRUE(out.good());
+}
+
+template <typename T>
+T ReadAt(const std::vector<uint8_t>& bytes, size_t offset) {
+  T value{};
+  EXPECT_LE(offset + sizeof(T), bytes.size());
+  std::memcpy(&value, bytes.data() + offset, sizeof(T));
+  return value;
+}
+
+/// Recomputes and patches the header checksum so a surgical header edit
+/// (e.g. the version bump test) fails for the edited field, not the
+/// checksum.
+void FixHeaderChecksum(std::vector<uint8_t>& bytes) {
+  const uint32_t sections = ReadAt<uint32_t>(bytes, kOffSectionCount);
+  uint64_t checksum = Fnv1a64(bytes.data(), kOffHeaderChecksum);
+  checksum = Fnv1a64(bytes.data() + kSectionTableStart,
+                     sections * kSectionEntrySize, checksum);
+  std::memcpy(bytes.data() + kOffHeaderChecksum, &checksum, sizeof(checksum));
+}
+
+TEST(CollectionFormatTest, GoldenHeaderAndSectionTableLayout) {
+  const std::string path = TempPath("golden.pdxc");
+  const std::vector<uint8_t> bytes = WriteSampleFile(path);
+  ASSERT_GE(bytes.size(), kSectionTableStart);
+
+  // Header, field by field, at pinned offsets.
+  EXPECT_EQ(std::memcmp(bytes.data() + kOffMagic, "PDXC", 4), 0);
+  EXPECT_EQ(ReadAt<uint32_t>(bytes, kOffVersion), kCollectionFormatVersion);
+  const uint32_t sections = ReadAt<uint32_t>(bytes, kOffSectionCount);
+  EXPECT_GE(sections, 3u);  // At least meta + store meta/ids/stats/arena.
+  EXPECT_EQ(ReadAt<uint32_t>(bytes, kOffReserved), 0u);
+  EXPECT_EQ(ReadAt<uint64_t>(bytes, kOffFileSize), bytes.size());
+  uint64_t expected = Fnv1a64(bytes.data(), kOffHeaderChecksum);
+  expected = Fnv1a64(bytes.data() + kSectionTableStart,
+                     sections * kSectionEntrySize, expected);
+  EXPECT_EQ(ReadAt<uint64_t>(bytes, kOffHeaderChecksum), expected);
+
+  // Section table: 32-byte entries {u32 kind, u32 unit, u64 offset,
+  // u64 size, u64 checksum}, payloads in bounds and checksums true.
+  bool saw_meta = false;
+  bool saw_arena = false;
+  for (uint32_t s = 0; s < sections; ++s) {
+    const size_t entry = kSectionTableStart + s * kSectionEntrySize;
+    const uint32_t kind = ReadAt<uint32_t>(bytes, entry);
+    const uint64_t offset = ReadAt<uint64_t>(bytes, entry + 8);
+    const uint64_t size = ReadAt<uint64_t>(bytes, entry + 16);
+    const uint64_t checksum = ReadAt<uint64_t>(bytes, entry + 24);
+    EXPECT_GE(kind, static_cast<uint32_t>(SectionKind::kCollectionMeta));
+    EXPECT_LE(kind, static_cast<uint32_t>(SectionKind::kTombstones));
+    ASSERT_LE(offset + size, bytes.size());
+    EXPECT_EQ(Fnv1a64(bytes.data() + offset, size), checksum);
+    if (kind == static_cast<uint32_t>(SectionKind::kCollectionMeta)) {
+      saw_meta = true;
+      EXPECT_EQ(size, sizeof(SavedMeta));
+      EXPECT_EQ(sizeof(SavedMeta), 184u);
+    }
+    if (kind == static_cast<uint32_t>(SectionKind::kStoreArena)) {
+      saw_arena = true;
+      // The mmap zero-copy contract: arenas start 64-byte-aligned.
+      EXPECT_EQ(offset % 64, 0u);
+    }
+  }
+  EXPECT_TRUE(saw_meta);
+  EXPECT_TRUE(saw_arena);
+
+  // And the file actually loads.
+  auto image = CollectionImage::Load(path);
+  ASSERT_TRUE(image.ok()) << image.status().ToString();
+  EXPECT_EQ(image.value()->meta().count, 300u);
+  EXPECT_EQ(image.value()->meta().dim, 16u);
+}
+
+TEST(CollectionFormatTest, FutureVersionIsRejectedAsInvalidArgument) {
+  const std::string path = TempPath("future.pdxc");
+  std::vector<uint8_t> bytes = WriteSampleFile(path);
+  const uint32_t future = kCollectionFormatVersion + 1;
+  std::memcpy(bytes.data() + kOffVersion, &future, sizeof(future));
+  // With a true checksum the ONLY complaint left is the version — pinning
+  // that old readers reject newer files explicitly, not as corruption.
+  FixHeaderChecksum(bytes);
+  WriteBytes(path, bytes.data(), bytes.size());
+  auto image = CollectionImage::Load(path);
+  ASSERT_FALSE(image.ok());
+  EXPECT_TRUE(image.status().IsInvalidArgument());
+  EXPECT_NE(image.status().message().find("newer"), std::string::npos)
+      << image.status().ToString();
+}
+
+TEST(CollectionFormatTest, VersionZeroIsCorruption) {
+  const std::string path = TempPath("vzero.pdxc");
+  std::vector<uint8_t> bytes = WriteSampleFile(path);
+  const uint32_t zero = 0;
+  std::memcpy(bytes.data() + kOffVersion, &zero, sizeof(zero));
+  FixHeaderChecksum(bytes);
+  WriteBytes(path, bytes.data(), bytes.size());
+  auto image = CollectionImage::Load(path);
+  ASSERT_FALSE(image.ok());
+  EXPECT_TRUE(image.status().IsCorruption());
+}
+
+TEST(CollectionFormatTest, BadMagicIsCorruption) {
+  const std::string path = TempPath("magic.pdxc");
+  std::vector<uint8_t> bytes = WriteSampleFile(path);
+  bytes[0] = 'Q';
+  WriteBytes(path, bytes.data(), bytes.size());
+  auto image = CollectionImage::Load(path);
+  ASSERT_FALSE(image.ok());
+  EXPECT_TRUE(image.status().IsCorruption());
+}
+
+TEST(CollectionFormatTest, EveryPrefixTruncationFailsCleanly) {
+  const std::string path = TempPath("whole.pdxc");
+  const std::vector<uint8_t> bytes = WriteSampleFile(path);
+  ASSERT_GT(bytes.size(), 0u);
+  const std::string cut = TempPath("cut.pdxc");
+  // EVERY proper prefix, not a sample: any cut point — mid-header,
+  // mid-table, mid-payload — must fail validation with a Status, never
+  // load half a collection and never crash. Heap path keeps the loop fast
+  // (no mmap/munmap churn) and runs the same validation code.
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    WriteBytes(cut, bytes.data(), len);
+    auto image = CollectionImage::Load(cut, /*allow_mmap=*/false);
+    ASSERT_FALSE(image.ok()) << "prefix of " << len << " bytes loaded";
+  }
+}
+
+TEST(CollectionFormatTest, FlippedChecksumBytesFailLoad) {
+  const std::string path = TempPath("flip.pdxc");
+  const std::vector<uint8_t> bytes = WriteSampleFile(path);
+  const std::string corrupt = TempPath("flip_corrupt.pdxc");
+  const uint32_t sections = ReadAt<uint32_t>(bytes, kOffSectionCount);
+
+  // Flip each byte of the header checksum itself...
+  std::vector<size_t> targets;
+  for (size_t i = 0; i < 8; ++i) targets.push_back(kOffHeaderChecksum + i);
+  // ...each byte of every per-section checksum field...
+  for (uint32_t s = 0; s < sections; ++s) {
+    const size_t entry = kSectionTableStart + s * kSectionEntrySize;
+    for (size_t i = 0; i < 8; ++i) targets.push_back(entry + 24 + i);
+  }
+  for (const size_t at : targets) {
+    std::vector<uint8_t> mutated = bytes;
+    mutated[at] ^= 0xff;
+    WriteBytes(corrupt, mutated.data(), mutated.size());
+    auto image = CollectionImage::Load(corrupt, /*allow_mmap=*/false);
+    ASSERT_FALSE(image.ok()) << "checksum byte " << at << " flip loaded";
+  }
+
+  // ...and one byte in the middle of every section payload: the payload
+  // checksum must catch single-bit rot anywhere, not only in the header.
+  for (uint32_t s = 0; s < sections; ++s) {
+    const size_t entry = kSectionTableStart + s * kSectionEntrySize;
+    const uint64_t offset = ReadAt<uint64_t>(bytes, entry + 8);
+    const uint64_t size = ReadAt<uint64_t>(bytes, entry + 16);
+    if (size == 0) continue;
+    std::vector<uint8_t> mutated = bytes;
+    mutated[offset + size / 2] ^= 0x01;
+    WriteBytes(corrupt, mutated.data(), mutated.size());
+    auto image = CollectionImage::Load(corrupt, /*allow_mmap=*/false);
+    ASSERT_FALSE(image.ok()) << "payload flip in section " << s << " loaded";
+  }
+}
+
+TEST(CollectionFormatTest, FnvChecksumIsPinned) {
+  // The checksum algorithm is part of the format: a "faster" replacement
+  // would silently orphan every existing file. Standard FNV-1a 64 vectors.
+  EXPECT_EQ(Fnv1a64(nullptr, 0), 0xcbf29ce484222325ull);
+  const uint8_t a = 'a';
+  EXPECT_EQ(Fnv1a64(&a, 1), 0xaf63dc4c8601ec8cull);
+  const uint8_t foobar[6] = {'f', 'o', 'o', 'b', 'a', 'r'};
+  EXPECT_EQ(Fnv1a64(foobar, 6), 0x85944171f73967e8ull);
+}
+
+}  // namespace
+}  // namespace pdx

@@ -56,12 +56,65 @@ TEST_F(FvecsIoTest, FvecsRoundTrip) {
   }
 }
 
-TEST_F(FvecsIoTest, EmptyFvecsFile) {
+TEST_F(FvecsIoTest, EmptyFvecsFileIsCorruption) {
+  // A zero-record file has no dimensionality — readers reject it rather
+  // than hand back an unusable empty set.
   VectorSet empty(5);
   ASSERT_TRUE(WriteFvecs(Path("empty.fvecs"), empty).ok());
   Result<VectorSet> restored = ReadFvecs(Path("empty.fvecs"));
-  ASSERT_TRUE(restored.ok());
-  EXPECT_EQ(restored.value().count(), 0u);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_TRUE(restored.status().IsCorruption());
+}
+
+TEST_F(FvecsIoTest, EmptyIvecsAndBvecsAreCorruption) {
+  std::FILE* f = std::fopen(Path("empty.ivecs").c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fclose(f);
+  Result<std::vector<std::vector<int32_t>>> ivecs =
+      ReadIvecs(Path("empty.ivecs"));
+  ASSERT_FALSE(ivecs.ok());
+  EXPECT_TRUE(ivecs.status().IsCorruption());
+
+  f = std::fopen(Path("empty.bvecs").c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fclose(f);
+  Result<VectorSet> bvecs = ReadBvecs(Path("empty.bvecs"));
+  ASSERT_FALSE(bvecs.ok());
+  EXPECT_TRUE(bvecs.status().IsCorruption());
+}
+
+TEST_F(FvecsIoTest, TruncatedHeaderIsCorruption) {
+  // One complete record followed by a 2-byte header tail: the file was cut
+  // mid-header. Must be Corruption, not a silently shorter collection.
+  std::FILE* f = std::fopen(Path("cut.fvecs").c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const int32_t dim = 4;
+  const float values[4] = {1, 2, 3, 4};
+  std::fwrite(&dim, sizeof(dim), 1, f);
+  std::fwrite(values, sizeof(float), 4, f);
+  std::fwrite(&dim, 2, 1, f);  // Partial next header.
+  std::fclose(f);
+
+  Result<VectorSet> result = ReadFvecs(Path("cut.fvecs"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCorruption());
+}
+
+TEST_F(FvecsIoTest, BvecsInconsistentDimIsCorruption) {
+  std::FILE* f = std::fopen(Path("mixed.bvecs").c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const uint8_t bytes[4] = {1, 2, 3, 4};
+  int32_t dim = 2;
+  std::fwrite(&dim, sizeof(dim), 1, f);
+  std::fwrite(bytes, 1, 2, f);
+  dim = 4;
+  std::fwrite(&dim, sizeof(dim), 1, f);
+  std::fwrite(bytes, 1, 4, f);
+  std::fclose(f);
+
+  Result<VectorSet> result = ReadBvecs(Path("mixed.bvecs"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCorruption());
 }
 
 TEST_F(FvecsIoTest, MissingFileIsIoError) {

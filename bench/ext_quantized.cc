@@ -4,24 +4,26 @@
 // the memory/network bandwidth needed and bring more benefits to the PDX
 // distance kernels which are memory-bounded."
 //
-// Measures: quantized PDX scan (+ re-rank) vs float32 PDX scan vs N-ary
-// SIMD scan, with recall of the quantized search. Expected shape: the u8
-// scan approaches 4x on memory-bound working sets (quarter the bytes) and
-// re-ranking restores near-perfect recall at negligible cost.
+// Measures: the quantized serving tier (MakeSearcher with quantization =
+// kU8, with and without rerank) vs float32 PDX scan vs N-ary SIMD scan,
+// with recall of the quantized search — the fig8-style recall-delta view.
+// Expected shape: the u8 scan approaches 4x on memory-bound working sets
+// (quarter the bytes) and re-ranking restores near-perfect recall at
+// negligible cost.
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench_common.h"
-#include "quant/quantized_kernels.h"
-#include "quant/quantized_store.h"
+#include "core/any_searcher.h"
 
 int main() {
   using namespace pdx;
   PrintBanner(
-      "Extension: u8-quantized PDX blocks vs float32 PDX vs N-ary SIMD "
+      "Extension: u8-quantized serving tier vs float32 PDX vs N-ary SIMD "
       "(exact 10-NN + re-rank)");
   const double scale = BenchScaleFromEnv();
 
@@ -33,8 +35,26 @@ int main() {
     const size_t nq = dataset.queries.count();
 
     PdxStore pdx_store = PdxStore::FromVectorSet(dataset.data);
-    QuantizedPdxStore quant = QuantizedPdxStore::FromVectorSet(dataset.data);
     const auto truth = ComputeGroundTruth(dataset.data, dataset.queries, k);
+
+    // Both quantized rungs go through the facade — the exact path a
+    // serving collection with `"quantization": "u8"` runs.
+    auto make_quantized = [&](size_t rerank_factor) {
+      SearcherConfig config;
+      config.layout = SearcherLayout::kFlat;
+      config.quantization = QuantizationKind::kU8;
+      config.rerank_factor = rerank_factor;
+      config.k = k;
+      auto made = MakeSearcher(dataset.data, config);
+      if (!made.ok()) {
+        std::fprintf(stderr, "quantized searcher: %s\n",
+                     made.status().message().c_str());
+        std::exit(1);
+      }
+      return std::move(made).value();
+    };
+    std::unique_ptr<Searcher> quant_raw = make_quantized(0);
+    std::unique_ptr<Searcher> quant_rerank = make_quantized(4);
 
     auto run = [&](const char* name, auto&& fn) {
       std::vector<std::vector<Neighbor>> results;
@@ -54,12 +74,10 @@ int main() {
     run("PDX f32", [&](const float* q) {
       return FlatSearchPdx(pdx_store, q, k, Metric::kL2);
     });
-    run("PDX u8 (no rerank)", [&](const float* q) {
-      return QuantizedFlatSearch(quant, dataset.data, q, k, 0);
-    });
-    run("PDX u8 + rerank x4", [&](const float* q) {
-      return QuantizedFlatSearch(quant, dataset.data, q, k, 4);
-    });
+    run("PDX u8 (no rerank)",
+        [&](const float* q) { return quant_raw->Search(q); });
+    run("PDX u8 + rerank x4",
+        [&](const float* q) { return quant_rerank->Search(q); });
   }
   table.Print();
   return 0;

@@ -664,6 +664,99 @@ void RunPersistRung(const SyntheticSpec& spec, JsonValue* json_datasets) {
   json_datasets->Append(std::move(doc));
 }
 
+/// The --quantized rung: the same vectors hosted twice in one service —
+/// the exact float tier ("f32", flat + linear) and the u8 quantized tier
+/// ("u8", rerank_factor 4) — under the same submitter load. Reports
+/// QPS/p50/p99 per tier, the resident bytes of what each tier scans
+/// (float arena vs u8 codes: ~4x), and the served recall of the u8 tier
+/// against exact ground truth (the fig8-style recall-delta view; the
+/// acceptance bar is >= 0.95 at rerank_factor 4).
+void RunQuantizedRung(const SyntheticSpec& spec, size_t dispatchers,
+                      JsonValue* json_datasets) {
+  Dataset dataset = GenerateDataset(spec);
+  const size_t dim = dataset.data.dim();
+  const size_t k = 10;
+  const auto truth = ComputeGroundTruth(dataset.data, dataset.queries, k);
+
+  SearcherConfig f32 = {};
+  f32.layout = SearcherLayout::kFlat;
+  f32.pruner = PrunerKind::kLinear;
+  f32.k = k;
+  SearcherConfig u8 = f32;
+  u8.quantization = QuantizationKind::kU8;
+  u8.rerank_factor = 4;
+
+  ServiceConfig sc;
+  sc.threads = 0;  // One worker per hardware thread.
+  sc.max_pending = 4096;
+  sc.dispatchers = dispatchers;
+  SearchService service(sc);
+  if (!service.AddCollection("f32", dataset.data, f32).ok() ||
+      !service.AddCollection("u8", dataset.data, u8).ok()) {
+    std::fprintf(stderr, "serve_throughput: quantized AddCollection failed\n");
+    return;
+  }
+
+  TextTable table({"dataset", "tier", "QPS", "p50(ms)", "p95(ms)", "p99(ms)",
+                   "scan bytes", "recall@10"});
+  JsonValue tiers = JsonValue::Array();
+  for (const std::string name : {std::string("f32"), std::string("u8")}) {
+    // Served recall first (sequential, unmeasured): every query through
+    // the service, scored against exact ground truth.
+    double recall_sum = 0.0;
+    for (size_t q = 0; q < dataset.queries.count(); ++q) {
+      QueryResult result =
+          service.Submit(name, dataset.queries.Vector(q)).result.get();
+      if (result.status.ok()) {
+        recall_sum += RecallAtK(result.neighbors, truth[q], k);
+      }
+    }
+    const double recall = recall_sum / dataset.queries.count();
+
+    ServiceLoadOptions load;
+    load.submitters = 4;
+    load.queries_per_submitter = 200;
+    const ServiceLoadResult result =
+        RunServiceLoad(service, {name}, dataset.queries, load);
+    const CollectionStats cs = service.Stats().collections.at(name);
+    // What the scan touches per full pass: the float arena vs the u8
+    // codes — the tier's ~4x memory story.
+    const uint64_t scan_bytes =
+        name == "u8" ? cs.quantized_bytes
+                     : static_cast<uint64_t>(dataset.data.count()) * dim *
+                           sizeof(float);
+    table.AddRow({spec.name, name, TextTable::Num(result.qps(), 0),
+                  TextTable::Num(cs.latency.p50_ms, 3),
+                  TextTable::Num(cs.latency.p95_ms, 3),
+                  TextTable::Num(cs.latency.p99_ms, 3),
+                  std::to_string(scan_bytes), TextTable::Num(recall, 3)});
+
+    JsonValue entry = JsonValue::Object();
+    entry.Set("tier", name);
+    entry.Set("qps", result.qps());
+    entry.Set("p50_ms", cs.latency.p50_ms);
+    entry.Set("p95_ms", cs.latency.p95_ms);
+    entry.Set("p99_ms", cs.latency.p99_ms);
+    entry.Set("scan_bytes", static_cast<size_t>(scan_bytes));
+    entry.Set("recall_at_10", recall);
+    if (name == "u8") {
+      entry.Set("rerank_factor", static_cast<size_t>(4));
+      entry.Set("rerank_candidates", static_cast<size_t>(cs.rerank_candidates));
+    }
+    tiers.Append(std::move(entry));
+  }
+  table.Print();
+
+  if (json_datasets == nullptr) return;
+  JsonValue doc = JsonValue::Object();
+  doc.Set("dataset", spec.name);
+  doc.Set("dim", dim);
+  doc.Set("rows", dataset.data.count());
+  doc.Set("dispatchers", dispatchers);
+  doc.Set("tiers", std::move(tiers));
+  json_datasets->Append(std::move(doc));
+}
+
 /// Parses `--<name>=N[,M,...]` from argv into a size list; `fallback` when
 /// the flag is absent or empty.
 std::vector<size_t> ParseSizeListFlag(int argc, char** argv,
@@ -702,12 +795,14 @@ int main(int argc, char** argv) {
   bool trace = false;
   bool ingest = false;
   bool persist = false;
+  bool quantized = false;
   std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--http") == 0) http = true;
     if (std::strcmp(argv[i], "--trace") == 0) trace = true;
     if (std::strcmp(argv[i], "--ingest") == 0) ingest = true;
     if (std::strcmp(argv[i], "--persist") == 0) persist = true;
+    if (std::strcmp(argv[i], "--quantized") == 0) quantized = true;
     if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
   }
   for (SyntheticSpec spec : CoreWorkloads(scale * 0.5)) {
@@ -786,6 +881,32 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr, "serve_throughput: cannot write %s\n",
                    persist_json.c_str());
+    }
+  }
+  if (quantized) {
+    const size_t quant_dispatchers = *std::max_element(
+        dispatcher_counts.begin(), dispatcher_counts.end());
+    PrintBanner(
+        "Serving: quantized tier vs float (u8 codes + exact rerank x4, "
+        "dispatchers=" +
+        std::to_string(quant_dispatchers) + ")");
+    JsonValue datasets = JsonValue::Array();
+    for (SyntheticSpec spec : CoreWorkloads(scale * 0.5)) {
+      spec.num_queries = 100;
+      RunQuantizedRung(spec, quant_dispatchers, &datasets);
+    }
+    JsonValue doc = JsonValue::Object();
+    doc.Set("bench", "serve_quantized");
+    doc.Set("datasets", std::move(datasets));
+    const std::string quant_json =
+        json_path.empty() ? "BENCH_quantized.json" : json_path;
+    std::ofstream out(quant_json);
+    if (out) {
+      out << WriteJson(doc) << "\n";
+      std::printf("wrote %s\n", quant_json.c_str());
+    } else {
+      std::fprintf(stderr, "serve_throughput: cannot write %s\n",
+                   quant_json.c_str());
     }
   }
   // The shard sweep runs at the deepest requested replication so the one

@@ -10,6 +10,7 @@
 #include "common/timer.h"
 #include "core/persist.h"
 #include "core/searcher.h"
+#include "quant/quantized_searcher.h"
 #include "storage/collection_format.h"
 
 namespace pdx {
@@ -34,6 +35,16 @@ const char* PrunerKindName(PrunerKind pruner) {
       return "bsa";
     case PrunerKind::kBond:
       return "bond";
+  }
+  return "unknown";
+}
+
+const char* QuantizationKindName(QuantizationKind quantization) {
+  switch (quantization) {
+    case QuantizationKind::kNone:
+      return "none";
+    case QuantizationKind::kU8:
+      return "u8";
   }
   return "unknown";
 }
@@ -92,6 +103,32 @@ Status ValidateSearcherConfig(const SearcherConfig& config) {
             "inner-product partials can still decrease");
       }
       break;
+  }
+  if (config.quantization != QuantizationKind::kNone &&
+      config.quantization != QuantizationKind::kU8) {
+    return Status::InvalidArgument(
+        "SearcherConfig: unknown quantization value");
+  }
+  if (config.quantization == QuantizationKind::kU8) {
+    // The code-space distance w_d * (q'_d - code)^2 expands the L2 sum
+    // only; IP/L1 have no u8 asymmetric form here.
+    if (config.metric != Metric::kL2) {
+      return Status::Unsupported(
+          "SearcherConfig: the u8 quantized tier only supports the L2 "
+          "metric");
+    }
+    // The quantized scan is a linear code scan: transform-based pruners
+    // (rotation / PCA projections) do not apply in code space. kLinear is
+    // the tier's pruner; kBond (the default) is silently normalized to it
+    // by ResolveConfig so `quantization = u8` works without also touching
+    // the pruner knob.
+    if (config.pruner == PrunerKind::kAdsampling ||
+        config.pruner == PrunerKind::kBsa) {
+      return Status::Unsupported(
+          std::string("SearcherConfig: the ") + PrunerKindName(config.pruner) +
+          " pruner does not compose with the u8 quantized tier (its "
+          "transform does not apply in code space)");
+    }
   }
   return Status::OK();
 }
@@ -165,6 +202,11 @@ std::vector<std::vector<Neighbor>> Searcher::SearchBatchWith(
 SearcherConfig ResolveConfig(SearcherConfig config) {
   config.search.k = config.k;
   config.search.metric = config.metric;
+  if (config.quantization == QuantizationKind::kU8) {
+    // The quantized tier runs a linear scan over codes; pin the pruner so
+    // the persisted/reported config names what actually runs.
+    config.pruner = PrunerKind::kLinear;
+  }
   if (config.block_capacity == 0) {
     // Flat PDX-BOND uses the paper's large exact-search partitions
     // (Section 6.5); everything else uses register-resident blocks.
@@ -541,6 +583,10 @@ Result<std::unique_ptr<Searcher>> MakeSearcherFromImage(
     SearcherConfig config) {
   PDX_RETURN_IF_ERROR(ValidateSearcherConfig(config));
   config = ResolveConfig(std::move(config));
+  if (config.quantization == QuantizationKind::kU8) {
+    return MakeQuantizedSearcherFromImage(std::move(image), shard,
+                                          std::move(config));
+  }
 
   Result<StoreImage> decoded = DecodeStore(*image, 2 * shard);
   if (!decoded.ok()) return decoded.status();
@@ -628,6 +674,9 @@ Result<std::unique_ptr<Searcher>> MakeSearcher(const VectorSet& vectors,
     return Status::InvalidArgument("MakeSearcher: empty collection");
   }
   config = ResolveConfig(config);
+  if (config.quantization == QuantizationKind::kU8) {
+    return MakeQuantizedSearcher(vectors, std::move(config));
+  }
   if (config.layout == SearcherLayout::kFlat) {
     return MakeFlatSearcher(vectors, std::move(config));
   }
@@ -653,6 +702,9 @@ Result<std::unique_ptr<Searcher>> MakeSearcher(const VectorSet& vectors,
         "(dim/count mismatch)");
   }
   config = ResolveConfig(config);
+  if (config.quantization == QuantizationKind::kU8) {
+    return MakeQuantizedSearcher(vectors, index, std::move(config));
+  }
   return MakeIvfSearcher(vectors, nullptr, index, std::move(config));
 }
 

@@ -39,8 +39,16 @@ enum class PrunerKind : uint8_t {
   kBond = 3,        ///< PDX-BOND: exact partial-distance bound.
 };
 
+/// Optional scalar quantization of the served store (the paper's Section 7
+/// "compressed representations of dimensions within blocks" follow-up).
+enum class QuantizationKind : uint8_t {
+  kNone = 0,  ///< Full-precision float PDX blocks.
+  kU8 = 1,    ///< Per-dimension affine u8 codes + exact rerank (quant/).
+};
+
 const char* SearcherLayoutName(SearcherLayout layout);
 const char* PrunerKindName(PrunerKind pruner);
+const char* QuantizationKindName(QuantizationKind quantization);
 
 /// Everything needed to build and query any layout x pruner combination
 /// through one factory. The per-pruner knobs keep the paper's defaults; a
@@ -80,6 +88,19 @@ struct SearcherConfig {
   /// distance-to-means on flat's large partitions (Section 6.5).
   std::optional<DimensionOrder> bond_order;
   size_t bond_zone_size = 16;
+
+  /// kU8 serves the collection as a two-pass quantized tier: a
+  /// dimension-major u8 code scan selects k * rerank_factor candidates,
+  /// whose exact distances are recomputed on the retained float rows.
+  /// Requires the L2 metric; the code scan is linear (no pruner bounds
+  /// apply in code space), so ResolveConfig normalizes pruner to kLinear
+  /// and ValidateSearcherConfig rejects the transform-based pruners
+  /// (ADSampling/BSA) explicitly.
+  QuantizationKind quantization = QuantizationKind::kNone;
+  /// Candidate over-fetch of the quantized tier: the code scan keeps
+  /// k * rerank_factor candidates for the exact rerank pass. 0 = no
+  /// rerank (raw quantized distances); ignored when quantization = kNone.
+  size_t rerank_factor = 4;
 
   /// PDXearch engine knobs. `k` and `metric` here are overwritten by the
   /// fields above; a step_observer forces SearchBatch sequential.
@@ -190,6 +211,11 @@ class Searcher {
   /// a query), empty when unsharded. Safe to call from any thread while
   /// another thread queries the searcher — the counters are atomic.
   virtual std::vector<uint64_t> ShardDispatchCounts() const { return {}; }
+
+  /// Bytes of quantized codes this searcher serves from (0 on the float
+  /// tiers; count x dim for the u8 tier; a sharded searcher sums its
+  /// shards). Feeds the pdx_quantized_bytes gauge in the serving layer.
+  virtual uint64_t quantized_bytes() const { return 0; }
 
   /// Pre-sizes per-slot scratch (one search engine per slot), so
   /// SearchWith/SearchBatchWith calls on distinct slots in [0, slots) may

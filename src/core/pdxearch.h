@@ -58,6 +58,9 @@ struct PdxearchProfile {
   /// Dimension steps walked, summed over blocks (== blocks * D with no
   /// pruning; less when whole blocks die early).
   uint64_t dims_scanned = 0;
+  /// Candidates the u8 quantized tier re-ranked on exact distances (always
+  /// 0 for the float-tier engines).
+  uint64_t rerank_candidates = 0;
 
   double total_ms() const {
     return preprocess_ms + find_buckets_ms + bounds_ms + distance_ms;
@@ -75,6 +78,7 @@ struct PdxearchProfile {
     blocks_visited += other.blocks_visited;
     vectors_pruned += other.vectors_pruned;
     dims_scanned += other.dims_scanned;
+    rerank_candidates += other.rerank_candidates;
     return *this;
   }
   /// The profile's work counters in the serving layer's wire shape.
@@ -87,6 +91,7 @@ struct PdxearchProfile {
         values_total > values_scanned ? values_total - values_scanned : 0;
     c.dims_scanned = dims_scanned;
     c.predicate_evaluations = predicate_evaluations;
+    c.rerank_candidates = rerank_candidates;
     return c;
   }
   /// Pruning power: fraction of values avoided (0 when nothing visited).

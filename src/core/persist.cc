@@ -16,6 +16,8 @@ SavedMeta MetaFromConfig(const SearcherConfig& config) {
       config.bond_order.value_or(DimensionOrder::kDimensionZones));
   meta.bond_zone_size = static_cast<uint32_t>(config.bond_zone_size);
   meta.ads_epsilon0 = config.ads_epsilon0;
+  meta.quantization = static_cast<uint32_t>(config.quantization);
+  meta.rerank_factor = static_cast<uint32_t>(config.rerank_factor);
   meta.ads_seed = config.ads_seed;
   meta.bsa_multiplier = config.bsa_multiplier;
   meta.bsa_max_fit_samples = config.bsa_max_fit_samples;
@@ -47,6 +49,14 @@ Status ConfigFromMeta(const SavedMeta& meta, SearcherConfig* config,
   out.bond_order = static_cast<DimensionOrder>(meta.bond_order);
   out.bond_zone_size = meta.bond_zone_size;
   out.ads_epsilon0 = meta.ads_epsilon0;
+  // Former reserved fields: pre-quantization files carry zeros, which
+  // decode to kNone / rerank_factor 0 (the latter is only read under kU8).
+  if (meta.quantization > static_cast<uint32_t>(QuantizationKind::kU8)) {
+    return Status::Corruption("collection meta: unknown quantization value " +
+                              std::to_string(meta.quantization));
+  }
+  out.quantization = static_cast<QuantizationKind>(meta.quantization);
+  out.rerank_factor = meta.rerank_factor;
   out.ads_seed = meta.ads_seed;
   out.bsa_multiplier = meta.bsa_multiplier;
   out.bsa_max_fit_samples = meta.bsa_max_fit_samples;

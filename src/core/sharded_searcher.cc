@@ -245,6 +245,17 @@ class ShardedSearcher final : public Searcher {
 
   size_t count() const override { return total_count_; }
 
+  /// Answered by the first shard directly (not via store()): quantized
+  /// shards have no float PDX store to expose, but every shard knows its
+  /// dimensionality.
+  size_t dim() const override { return shards_.front()->dim(); }
+
+  uint64_t quantized_bytes() const override {
+    uint64_t total = 0;
+    for (const auto& shard : shards_) total += shard->quantized_bytes();
+    return total;
+  }
+
   size_t max_nprobe() const override {
     size_t ceiling = 1;
     for (const auto& shard : shards_) {

@@ -27,6 +27,7 @@
 #include "kernels/isa/tier_tables.h"
 #include "kernels/kernel_dispatch.h"
 #include "kernels/pdx_kernels_inl.h"
+#include "kernels/quant_kernels_inl.h"
 #include "kernels/nary_kernels_inl.h"
 #include "kernels/gather_kernels_inl.h"
 #include "kernels/scalar_kernels.h"
@@ -181,6 +182,13 @@ void TierGatherBatch(Metric metric, const float* query, const float* data,
   gatherimpl::GatherBatch(metric, query, data, count, dim, out);
 }
 
+void TierQuantAccumulate(const float* query_prime, const float* weights,
+                         const uint8_t* block, size_t n, size_t d_start,
+                         size_t d_end, float* distances) {
+  internal::QuantAccumulate(query_prime, weights, block, n, d_start, d_end,
+                            distances);
+}
+
 const KernelTable kTierTable = {
     /*isa=*/PDX_TIER_ISA,
     /*nary=*/{kTierNaryL2, kTierNaryIp, kTierNaryL1},
@@ -191,6 +199,7 @@ const KernelTable kTierTable = {
     /*pdx_accumulate_dims_positions=*/&TierAccumulateDimsPositions,
     /*pdx_linear_scan=*/&TierLinearScan,
     /*gather_batch=*/&TierGatherBatch,
+    /*quant_accumulate=*/&TierQuantAccumulate,
 };
 
 }  // namespace

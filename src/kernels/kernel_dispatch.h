@@ -50,6 +50,15 @@ using PdxLinearScanFn = void (*)(Metric, const float* query,
                                  const float* block, size_t n, size_t dim,
                                  float* distances);
 
+/// Vertical kernel over quantized (u8) PDX blocks: accumulates
+/// weights[d] * (query_prime[d] - code)^2 into per-lane distances — the
+/// code-space L2 of quant/quantized_store.h. L2-only (the quantized tier
+/// validates its metric), so no Metric parameter.
+using QuantAccumulateFn = void (*)(const float* query_prime,
+                                   const float* weights, const uint8_t* block,
+                                   size_t n, size_t d_start, size_t d_end,
+                                   float* distances);
+
 /// One ISA tier's column of every hot kernel family. Tables are immutable
 /// and live for the whole process; holding a pointer to one is always safe.
 ///
@@ -78,6 +87,11 @@ struct KernelTable {
   /// On-the-fly transposition kernel (Section 7); hardware gather on the
   /// AVX2/AVX-512 tiers, strided loads on the scalar tier.
   NaryBatchFn gather_batch = nullptr;
+
+  /// The quantized (u8) vertical — same bit-exact-across-tiers contract as
+  /// the float PdxAccumulate* family (auto-vectorized template,
+  /// -ffp-contract=off in every tier TU).
+  QuantAccumulateFn quant_accumulate = nullptr;
 
   PairKernelFn nary_pair(Metric metric) const {
     return nary[static_cast<uint8_t>(metric)];

@@ -1,0 +1,80 @@
+#ifndef PDX_KERNELS_QUANT_KERNELS_INL_H_
+#define PDX_KERNELS_QUANT_KERNELS_INL_H_
+
+// Implementation of the quantized (u8) PDX vertical kernel, instantiated
+// once per ISA tier TU (src/kernels/isa/tier_*.cc) under that tier's
+// compile flags. Same dimension-outer / lane-inner structure as the float
+// verticals in pdx_kernels_inl.h, with one u8->f32 convert per value and a
+// quarter of the memory traffic. Like the float verticals, the per-lane
+// accumulation order is identical across tiers and every tier TU compiles
+// with -ffp-contract=off, so the results are bit-exact between scalar,
+// AVX2, and AVX-512.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace pdx {
+namespace internal {
+
+#define PDX_RESTRICT __restrict__
+
+/// Fixed-lane u8 kernel: full blocks stage their accumulators in a local
+/// array the compiler keeps in SIMD registers across the dimension loop
+/// (the same "tight loop" effect as the float AccumulateFixed).
+static inline void QuantAccumulateFixed(const float* PDX_RESTRICT query_prime,
+                                        const float* PDX_RESTRICT weights,
+                                        const uint8_t* PDX_RESTRICT block,
+                                        size_t d_start, size_t d_end,
+                                        float* PDX_RESTRICT distances) {
+  float acc[kPdxBlockSize];
+  for (size_t i = 0; i < kPdxBlockSize; ++i) acc[i] = distances[i];
+  for (size_t d = d_start; d < d_end; ++d) {
+    const float qd = query_prime[d];
+    const float wd = weights[d];
+    const uint8_t* PDX_RESTRICT codes = block + d * kPdxBlockSize;
+    for (size_t i = 0; i < kPdxBlockSize; ++i) {
+      const float diff = qd - float(codes[i]);
+      acc[i] += wd * (diff * diff);
+    }
+  }
+  for (size_t i = 0; i < kPdxBlockSize; ++i) distances[i] = acc[i];
+}
+
+/// Variable-lane u8 kernel (block tails, large exact-search blocks).
+static inline void QuantAccumulateAny(const float* PDX_RESTRICT query_prime,
+                                      const float* PDX_RESTRICT weights,
+                                      const uint8_t* PDX_RESTRICT block,
+                                      size_t n, size_t d_start, size_t d_end,
+                                      float* PDX_RESTRICT distances) {
+  for (size_t d = d_start; d < d_end; ++d) {
+    const float qd = query_prime[d];
+    const float wd = weights[d];
+    const uint8_t* PDX_RESTRICT codes = block + d * n;
+    for (size_t i = 0; i < n; ++i) {
+      const float diff = qd - float(codes[i]);
+      distances[i] += wd * (diff * diff);
+    }
+  }
+}
+
+static inline void QuantAccumulate(const float* query_prime,
+                                   const float* weights, const uint8_t* block,
+                                   size_t n, size_t d_start, size_t d_end,
+                                   float* distances) {
+  if (n == kPdxBlockSize) {
+    QuantAccumulateFixed(query_prime, weights, block, d_start, d_end,
+                         distances);
+  } else {
+    QuantAccumulateAny(query_prime, weights, block, n, d_start, d_end,
+                       distances);
+  }
+}
+
+#undef PDX_RESTRICT
+
+}  // namespace internal
+}  // namespace pdx
+
+#endif  // PDX_KERNELS_QUANT_KERNELS_INL_H_

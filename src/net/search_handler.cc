@@ -51,6 +51,8 @@ JsonValue CountersJson(const SearchCounters& counters) {
   out.Set("dims_scanned", static_cast<size_t>(counters.dims_scanned));
   out.Set("predicate_evaluations",
           static_cast<size_t>(counters.predicate_evaluations));
+  out.Set("rerank_candidates",
+          static_cast<size_t>(counters.rerank_candidates));
   out.Set("pruning_power", counters.pruning_power());
   return out;
 }
@@ -96,6 +98,11 @@ JsonValue InfoJson(const CollectionInfo& info) {
   out.Set("shards", info.shards);
   out.Set("layout", SearcherLayoutName(info.layout));
   out.Set("pruner", PrunerKindName(info.pruner));
+  out.Set("quantization", QuantizationKindName(info.quantization));
+  if (info.quantization != QuantizationKind::kNone) {
+    out.Set("rerank_factor", info.rerank_factor);
+    out.Set("quantized_bytes", static_cast<size_t>(info.quantized_bytes));
+  }
   out.Set("source", info.source);
   return out;
 }
@@ -708,9 +715,28 @@ void SearchHandler::HandlePut(const std::string& collection,
       return;
     }
   }
+  if (const JsonValue* quant = body.Find("quantization"); quant != nullptr) {
+    if (!quant->is_string()) {
+      respond(MakeErrorResponse(Status::InvalidArgument(
+          "quantization must be \"none\" or \"u8\"")));
+      return;
+    }
+    const std::string& value = quant->AsString();
+    if (value == "none") {
+      config.quantization = QuantizationKind::kNone;
+    } else if (value == "u8") {
+      config.quantization = QuantizationKind::kU8;
+    } else {
+      respond(MakeErrorResponse(
+          Status::InvalidArgument("unknown quantization: " + value)));
+      return;
+    }
+  }
   size_t value = 0;
   Status knob = ReadSizeField(body, "k", &value);
   if (knob.ok() && value > 0) config.k = value;
+  if (knob.ok()) knob = ReadSizeField(body, "rerank_factor", &value);
+  if (knob.ok() && value > 0) config.rerank_factor = value;
   if (knob.ok()) knob = ReadSizeField(body, "nprobe", &value);
   if (knob.ok() && value > 0) config.nprobe = value;
   if (knob.ok()) knob = ReadSizeField(body, "block_capacity", &value);
@@ -983,6 +1009,13 @@ void SearchHandler::HandleStats(HttpResponder respond) {
     entry.Set("queue_wait", LatencyJson(cs.queue_wait));
     entry.Set("latency", LatencyJson(cs.latency));
     entry.Set("count", cs.count);
+    entry.Set("quantization", cs.quantization);
+    if (cs.quantization != "none") {
+      entry.Set("rerank_factor", cs.rerank_factor);
+      entry.Set("quantized_bytes", static_cast<size_t>(cs.quantized_bytes));
+      entry.Set("rerank_candidates",
+                static_cast<size_t>(cs.rerank_candidates));
+    }
     entry.Set("source", cs.source);
     if (cs.mapped_bytes > 0) {
       entry.Set("mapped_bytes", static_cast<size_t>(cs.mapped_bytes));

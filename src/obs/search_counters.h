@@ -21,6 +21,9 @@ struct SearchCounters {
   uint64_t values_avoided = 0;   ///< D x block vectors minus scanned.
   uint64_t dims_scanned = 0;     ///< Dimension steps walked across blocks.
   uint64_t predicate_evaluations = 0;  ///< Pruning-bound tests run.
+  /// Candidates the u8 quantized tier re-ranked with exact distances
+  /// (0 on the float tiers and with rerank_factor = 0).
+  uint64_t rerank_candidates = 0;
 
   SearchCounters& operator+=(const SearchCounters& other) {
     blocks_visited += other.blocks_visited;
@@ -29,6 +32,7 @@ struct SearchCounters {
     values_avoided += other.values_avoided;
     dims_scanned += other.dims_scanned;
     predicate_evaluations += other.predicate_evaluations;
+    rerank_candidates += other.rerank_candidates;
     return *this;
   }
 

@@ -1,8 +1,8 @@
 #include "quant/quantized_kernels.h"
 
-#include <cassert>
 #include <cstring>
 
+#include "kernels/kernel_dispatch.h"
 #include "kernels/nary_kernels.h"
 
 namespace pdx {
@@ -10,36 +10,41 @@ namespace pdx {
 void QuantizedPdxAccumulate(const float* query_prime, const float* weights,
                             const uint8_t* block, size_t n, size_t d_start,
                             size_t d_end, float* distances) {
-  for (size_t d = d_start; d < d_end; ++d) {
-    const float qd = query_prime[d];
-    const float wd = weights[d];
-    const uint8_t* codes = block + d * n;
-    for (size_t i = 0; i < n; ++i) {
-      const float diff = qd - float(codes[i]);
-      distances[i] += wd * diff * diff;
-    }
-  }
+  ActiveKernels().quant_accumulate(query_prime, weights, block, n, d_start,
+                                   d_end, distances);
 }
 
 void QuantizedPdxLinearScan(const QuantizedPdxStore& store,
                             const float* query_prime, const float* weights,
                             float* out) {
   std::memset(out, 0, store.count() * sizeof(float));
+  const QuantAccumulateFn accumulate = ActiveKernels().quant_accumulate;
   size_t row = 0;
   for (size_t b = 0; b < store.num_blocks(); ++b) {
     const size_t n = store.BlockCount(b);
-    QuantizedPdxAccumulate(query_prime, weights, store.BlockData(b), n, 0,
-                           store.dim(), out + row);
+    accumulate(query_prime, weights, store.BlockData(b), n, 0, store.dim(),
+               out + row);
     row += n;
   }
 }
 
-std::vector<Neighbor> QuantizedFlatSearch(const QuantizedPdxStore& store,
-                                          const VectorSet& originals,
-                                          const float* query, size_t k,
-                                          size_t rerank_factor) {
-  assert(originals.count() == store.count());
-  assert(originals.dim() == store.dim());
+Result<std::vector<Neighbor>> QuantizedFlatSearch(
+    const QuantizedPdxStore& store, const VectorSet& originals,
+    const float* query, size_t k, size_t rerank_factor) {
+  // Explicit validation, not assert: a count/dim mismatch in a Release
+  // build would silently read out of bounds of `originals` on the rerank
+  // path below.
+  if (originals.count() != store.count()) {
+    return Status::InvalidArgument(
+        "QuantizedFlatSearch: originals.count() != store.count()");
+  }
+  if (originals.dim() != store.dim()) {
+    return Status::InvalidArgument(
+        "QuantizedFlatSearch: originals.dim() != store.dim()");
+  }
+  if (k == 0) {
+    return Status::InvalidArgument("QuantizedFlatSearch: k must be > 0");
+  }
   const size_t dim = store.dim();
   std::vector<float> query_prime(dim);
   std::vector<float> weights(dim);
@@ -49,10 +54,15 @@ std::vector<Neighbor> QuantizedFlatSearch(const QuantizedPdxStore& store,
   QuantizedPdxLinearScan(store, query_prime.data(), weights.data(),
                          distances.data());
 
+  // distances[] is indexed by store position; map back to global row ids
+  // (identity for row-order stores, the group member for grouped stores).
+  const std::vector<VectorId>& ids = store.ids();
+
   if (rerank_factor == 0) {
     TopK collector(k);
     for (size_t i = 0; i < store.count(); ++i) {
-      collector.Push(static_cast<VectorId>(i), distances[i]);
+      const VectorId id = ids.empty() ? static_cast<VectorId>(i) : ids[i];
+      collector.Push(id, distances[i]);
     }
     return collector.SortedResults();
   }
@@ -60,7 +70,8 @@ std::vector<Neighbor> QuantizedFlatSearch(const QuantizedPdxStore& store,
   // Over-fetch candidates on codes, then re-rank with exact distances.
   TopK candidates(std::max<size_t>(k * rerank_factor, k));
   for (size_t i = 0; i < store.count(); ++i) {
-    candidates.Push(static_cast<VectorId>(i), distances[i]);
+    const VectorId id = ids.empty() ? static_cast<VectorId>(i) : ids[i];
+    candidates.Push(id, distances[i]);
   }
   TopK reranked(k);
   for (const Neighbor& candidate : candidates.SortedResults()) {

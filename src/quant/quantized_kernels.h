@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/status.h"
 #include "index/topk.h"
 #include "quant/quantized_store.h"
 #include "storage/vector_set.h"
@@ -15,13 +16,15 @@ namespace pdx {
 /// weight[d] * (query_prime[d] - code)^2 into per-lane distances.
 /// Same loop structure as the float PDX kernels — dimension-outer,
 /// lane-inner, branchless, auto-vectorizing — with one u8->f32 convert per
-/// value and a quarter of the memory traffic.
+/// value and a quarter of the memory traffic. Dispatches to the widest
+/// available ISA tier (src/kernels/isa/); results are bit-exact across
+/// tiers.
 void QuantizedPdxAccumulate(const float* query_prime, const float* weights,
                             const uint8_t* block, size_t n, size_t d_start,
                             size_t d_end, float* distances);
 
 /// Exact-on-codes linear scan of the whole quantized store: out[i] is the
-/// quantized squared L2 of vector i (row order).
+/// quantized squared L2 of the vector at position i (store order).
 void QuantizedPdxLinearScan(const QuantizedPdxStore& store,
                             const float* query_prime, const float* weights,
                             float* out);
@@ -30,10 +33,11 @@ void QuantizedPdxLinearScan(const QuantizedPdxStore& store,
 /// the quantized scan selects `k * rerank_factor` candidates, whose exact
 /// distances are then recomputed on the full-precision `originals`
 /// (rerank_factor = 0 skips re-ranking and returns quantized distances).
-std::vector<Neighbor> QuantizedFlatSearch(const QuantizedPdxStore& store,
-                                          const VectorSet& originals,
-                                          const float* query, size_t k,
-                                          size_t rerank_factor = 4);
+/// Fails with InvalidArgument when `originals` does not match the store's
+/// shape (count/dim) or k == 0 — a mismatch would read out of bounds.
+Result<std::vector<Neighbor>> QuantizedFlatSearch(
+    const QuantizedPdxStore& store, const VectorSet& originals,
+    const float* query, size_t k, size_t rerank_factor = 4);
 
 }  // namespace pdx
 

@@ -1,0 +1,384 @@
+#include "quant/quantized_searcher.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/timer.h"
+#include "core/persist.h"
+#include "index/topk.h"
+#include "kernels/kernel_dispatch.h"
+#include "kernels/nary_kernels.h"
+#include "quant/quantized_store.h"
+
+namespace pdx {
+namespace {
+
+/// The quantized tier's facade implementation. Mirrors AnySearcherImpl's
+/// concurrency contract: per-slot scratch bands (ReserveScratch up front
+/// for concurrent callers), knob resolution per call, no shared-state
+/// mutation on the SearchWith/SearchBatchWith path.
+class QuantizedSearcher final : public Searcher {
+ public:
+  QuantizedSearcher(SearcherConfig config, QuantizedPdxStore qstore,
+                    VectorSet owned_rows, const float* rows,
+                    std::unique_ptr<IvfIndex> owned_index,
+                    const IvfIndex* index)
+      : Searcher(std::move(config)),
+        owned_index_(std::move(owned_index)),
+        index_(index),
+        qstore_(std::move(qstore)),
+        owned_rows_(std::move(owned_rows)),
+        rows_(rows) {
+    max_block_lanes_ = 0;
+    for (size_t b = 0; b < qstore_.num_blocks(); ++b) {
+      max_block_lanes_ = std::max(max_block_lanes_, qstore_.BlockCount(b));
+    }
+  }
+
+  std::vector<Neighbor> Search(const float* query) override {
+    return SearchWith(0, QueryKnobs{}, query, &last_profile_);
+  }
+
+  std::vector<std::vector<Neighbor>> SearchBatch(const float* queries,
+                                                 size_t num_queries) override {
+    BatchProfile profile;
+    std::vector<std::vector<Neighbor>> results =
+        SearchBatchWith(0, QueryKnobs{}, queries, num_queries, &profile,
+                        nullptr);
+    batch_profile_ = std::move(profile);
+    return results;
+  }
+
+  const PdxearchProfile& last_profile() const override {
+    return last_profile_;
+  }
+
+  const PdxStore& store() const override {
+    throw std::logic_error(
+        "QuantizedSearcher::store: the u8 tier serves from a quantized "
+        "store; there is no float PDX store to expose");
+  }
+
+  const IvfIndex* index() const override { return index_; }
+
+  size_t dim() const override { return qstore_.dim(); }
+  size_t count() const override { return qstore_.count(); }
+
+  uint64_t quantized_bytes() const override { return qstore_.codes_bytes(); }
+
+  void ReserveScratch(size_t slots) override { GrowSlots(slots); }
+
+  using Searcher::SearchWith;
+
+  std::vector<Neighbor> SearchWith(size_t slot, QueryKnobs knobs,
+                                   const float* query,
+                                   PdxearchProfile* profile) override {
+    // Lazy growth for single-threaded convenience; concurrent callers
+    // reserve their bands first (growth reallocates slots_).
+    if (slot >= slots_.size()) GrowSlots(slot + 1);
+    Slot& s = *slots_[slot];
+    const size_t k = knobs.k > 0 ? knobs.k : config_.k;
+    const size_t nprobe = knobs.nprobe > 0 ? knobs.nprobe : config_.nprobe;
+    const size_t dim = qstore_.dim();
+    const bool timed = config_.search.collect_phase_times;
+
+    PdxearchProfile result_profile;
+    Timer phase;
+    qstore_.TransformQuery(query, s.query_prime.data(), s.weights.data());
+    if (timed) result_profile.preprocess_ms = phase.ElapsedMillis();
+
+    // Code-space scan: select k * rerank_factor candidates (or the final
+    // k when reranking is off).
+    const size_t rerank = config_.rerank_factor;
+    const size_t fetch = rerank == 0 ? k : std::max(k * rerank, k);
+    TopK candidates(fetch);
+    const QuantAccumulateFn accumulate = ActiveKernels().quant_accumulate;
+    float* distances = s.distances.data();
+
+    auto scan_block = [&](size_t b) {
+      const size_t n = qstore_.BlockCount(b);
+      std::memset(distances, 0, n * sizeof(float));
+      accumulate(s.query_prime.data(), s.weights.data(), qstore_.BlockData(b),
+                 n, 0, dim, distances);
+      for (size_t i = 0; i < n; ++i) {
+        candidates.Push(qstore_.BlockId(b, i), distances[i]);
+      }
+      result_profile.blocks_visited += 1;
+      result_profile.values_scanned += n * dim;
+      result_profile.values_total += n * dim;
+      result_profile.dims_scanned += dim;
+    };
+
+    if (index_ == nullptr) {
+      if (timed) phase.Reset();
+      for (size_t b = 0; b < qstore_.num_blocks(); ++b) scan_block(b);
+      if (timed) result_profile.distance_ms = phase.ElapsedMillis();
+    } else {
+      if (timed) phase.Reset();
+      const std::vector<uint32_t> ranked = index_->RankBuckets(query);
+      if (timed) result_profile.find_buckets_ms = phase.ElapsedMillis();
+      if (timed) phase.Reset();
+      const size_t probes = std::min(nprobe, ranked.size());
+      for (size_t p = 0; p < probes; ++p) {
+        const auto range = qstore_.GroupBlockRange(ranked[p]);
+        for (size_t b = range.first; b < range.second; ++b) scan_block(b);
+      }
+      if (timed) result_profile.distance_ms = phase.ElapsedMillis();
+    }
+
+    std::vector<Neighbor> results;
+    if (rerank == 0) {
+      results = candidates.SortedResults();
+    } else {
+      // Exact rerank on the retained float rows (global-id indexed).
+      if (timed) phase.Reset();
+      TopK reranked(k);
+      for (const Neighbor& candidate : candidates.SortedResults()) {
+        reranked.Push(candidate.id,
+                      NaryL2(query, rows_ + size_t{candidate.id} * dim, dim));
+        result_profile.rerank_candidates += 1;
+      }
+      results = reranked.SortedResults();
+      if (timed) result_profile.distance_ms += phase.ElapsedMillis();
+    }
+    if (profile != nullptr) *profile = result_profile;
+    return results;
+  }
+
+  std::vector<std::vector<Neighbor>> SearchBatchWith(
+      size_t slot, QueryKnobs knobs, const float* queries, size_t num_queries,
+      BatchProfile* profile, SearchCounters* counters) override {
+    BatchProfile local;
+    local.queries = num_queries;
+    std::vector<std::vector<Neighbor>> results(num_queries);
+    if (num_queries == 0) {
+      if (profile != nullptr) *profile = std::move(local);
+      return results;
+    }
+    const size_t d = qstore_.dim();
+    ThreadPool* pool = num_queries == 1 ? nullptr : BatchPool();
+    if (pool == nullptr) {
+      Timer wall;
+      for (size_t q = 0; q < num_queries; ++q) {
+        Timer per_query;
+        PdxearchProfile query_profile;
+        results[q] = SearchWith(slot, knobs, queries + q * d, &query_profile);
+        local.latency.Record(per_query.ElapsedMillis());
+        local.Accumulate(query_profile);
+        if (counters != nullptr) counters[q] = query_profile.counters();
+      }
+      local.wall_ms = wall.ElapsedMillis();
+    } else {
+      // Fan out over the band [slot, slot + workers): worker w owns
+      // slot + w, so concurrent batches on disjoint bands never share
+      // scratch (same contract as AnySearcherImpl).
+      const size_t workers = pool->num_threads();
+      if (slot + workers > slots_.size()) GrowSlots(slot + workers);
+      std::vector<BatchProfile> worker_profiles(workers);
+      Timer wall;
+      pool->ParallelFor(num_queries, [&](size_t q, size_t w) {
+        Timer per_query;
+        PdxearchProfile query_profile;
+        results[q] =
+            SearchWith(slot + w, knobs, queries + q * d, &query_profile);
+        worker_profiles[w].latency.Record(per_query.ElapsedMillis());
+        worker_profiles[w].Accumulate(query_profile);
+        if (counters != nullptr) counters[q] = query_profile.counters();
+      });
+      local.wall_ms = wall.ElapsedMillis();
+      for (const BatchProfile& wp : worker_profiles) {
+        local.Accumulate(wp.sum);
+        local.latency.Merge(wp.latency);
+      }
+    }
+    if (profile != nullptr) *profile = std::move(local);
+    return results;
+  }
+
+  Status ExportSaved(SavedCollection& out) const override {
+    out = SavedCollection{};
+    out.meta = MetaFromConfig(config_);
+    out.meta.dim = dim();
+    out.meta.count = count();
+    SavedShard shard;
+    shard.has_quant = true;
+    shard.quant_offsets = qstore_.offsets();
+    shard.quant_scales = qstore_.scales();
+    shard.quant_codes = qstore_.codes_data();
+    shard.quant_codes_bytes = qstore_.codes_bytes();
+    shard.quant_rows = rows_;
+    if (index_ != nullptr) {
+      shard.has_ivf = true;
+      // Same rationale as the float exporter: persist the centroid PDX
+      // packing so a future packing change can't silently alter the saved
+      // index's bucket ranking.
+      shard.centroids = ExportStore(index_->centroids_pdx());
+      const VectorSet& rows = index_->centroids();
+      shard.centroid_rows.assign(rows.data(),
+                                 rows.data() + rows.count() * rows.dim());
+      shard.bucket_offsets.reserve(index_->num_buckets() + 1);
+      shard.bucket_offsets.push_back(0);
+      for (const std::vector<VectorId>& bucket : index_->buckets()) {
+        shard.bucket_ids.insert(shard.bucket_ids.end(), bucket.begin(),
+                                bucket.end());
+        shard.bucket_offsets.push_back(shard.bucket_ids.size());
+      }
+    }
+    out.shards.push_back(std::move(shard));
+    return Status::OK();
+  }
+
+ private:
+  /// Per-slot scratch: the code-space query transform and one block's worth
+  /// of lane distances. Sized at construction so the dispatch path never
+  /// allocates scratch.
+  struct Slot {
+    explicit Slot(size_t dim, size_t max_lanes)
+        : query_prime(dim), weights(dim), distances(max_lanes) {}
+    std::vector<float> query_prime;
+    std::vector<float> weights;
+    std::vector<float> distances;
+  };
+
+  void GrowSlots(size_t n) {
+    while (slots_.size() < n) {
+      slots_.push_back(
+          std::make_unique<Slot>(qstore_.dim(), max_block_lanes_));
+    }
+  }
+
+  std::unique_ptr<IvfIndex> owned_index_;
+  const IvfIndex* index_ = nullptr;
+  QuantizedPdxStore qstore_;
+  /// Full-precision rows retained for the exact rerank pass; rows_ indexes
+  /// by global id (owned_rows_.data() for built searchers, the image's
+  /// kQuantRows view for loaded ones).
+  VectorSet owned_rows_;
+  const float* rows_ = nullptr;
+  size_t max_block_lanes_ = 0;
+  std::vector<std::unique_ptr<Slot>> slots_;
+  PdxearchProfile last_profile_;
+};
+
+Result<std::unique_ptr<Searcher>> BuildQuantized(
+    const VectorSet& vectors, std::unique_ptr<IvfIndex> owned,
+    const IvfIndex* index, SearcherConfig config) {
+  QuantizedPdxStore qstore =
+      index == nullptr
+          ? QuantizedPdxStore::FromVectorSet(vectors, config.block_capacity)
+          : QuantizedPdxStore::FromGroups(vectors, index->buckets(),
+                                          config.block_capacity);
+  VectorSet rows = vectors.Clone();
+  const float* rows_data = rows.data();
+  return std::unique_ptr<Searcher>(new QuantizedSearcher(
+      std::move(config), std::move(qstore), std::move(rows), rows_data,
+      std::move(owned), index));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Searcher>> MakeQuantizedSearcher(
+    const VectorSet& vectors, SearcherConfig config) {
+  PDX_RETURN_IF_ERROR(ValidateSearcherConfig(config));
+  if (vectors.empty()) {
+    return Status::InvalidArgument("MakeQuantizedSearcher: empty collection");
+  }
+  config = ResolveConfig(std::move(config));
+  if (config.layout == SearcherLayout::kFlat) {
+    return BuildQuantized(vectors, nullptr, nullptr, std::move(config));
+  }
+  auto owned =
+      std::make_unique<IvfIndex>(IvfIndex::Build(vectors, config.ivf));
+  const IvfIndex* index = owned.get();
+  return BuildQuantized(vectors, std::move(owned), index, std::move(config));
+}
+
+Result<std::unique_ptr<Searcher>> MakeQuantizedSearcher(
+    const VectorSet& vectors, const IvfIndex& index, SearcherConfig config) {
+  PDX_RETURN_IF_ERROR(ValidateSearcherConfig(config));
+  if (vectors.empty()) {
+    return Status::InvalidArgument("MakeQuantizedSearcher: empty collection");
+  }
+  if (config.layout != SearcherLayout::kIvf) {
+    return Status::InvalidArgument(
+        "MakeQuantizedSearcher: an external IVF index requires layout = "
+        "kIvf");
+  }
+  if (index.dim() != vectors.dim() || index.count() != vectors.count()) {
+    return Status::InvalidArgument(
+        "MakeQuantizedSearcher: index was not built over this collection "
+        "(dim/count mismatch)");
+  }
+  config = ResolveConfig(std::move(config));
+  return BuildQuantized(vectors, nullptr, &index, std::move(config));
+}
+
+Result<std::unique_ptr<Searcher>> MakeQuantizedSearcherFromImage(
+    std::shared_ptr<const CollectionImage> image, uint32_t shard,
+    SearcherConfig config) {
+  PDX_RETURN_IF_ERROR(ValidateSearcherConfig(config));
+  config = ResolveConfig(std::move(config));
+
+  Result<QuantImage> quant = DecodeQuant(*image, shard);
+  if (!quant.ok()) return quant.status();
+  QuantImage& qi = quant.value();
+  if (qi.codes_bytes != uint64_t{qi.count} * qi.dim) {
+    return Status::Corruption("collection file " + image->path() +
+                              ": quant codes size disagrees with count x "
+                              "dim");
+  }
+
+  std::unique_ptr<IvfIndex> owned;
+  std::vector<size_t> group_sizes;
+  std::vector<VectorId> ids;
+  if (config.layout == SearcherLayout::kIvf) {
+    Result<IvfImage> ivf = DecodeIvf(*image, shard);
+    if (!ivf.ok()) return ivf.status();
+    Result<StoreImage> cent = DecodeStore(*image, 2 * shard + 1);
+    if (!cent.ok()) return cent.status();
+    if (cent.value().count != ivf.value().num_buckets ||
+        cent.value().dim != qi.dim) {
+      return Status::Corruption(
+          "collection file " + image->path() +
+          ": centroid store disagrees with bucket count");
+    }
+    group_sizes.reserve(ivf.value().buckets.size());
+    ids.reserve(qi.count);
+    for (const std::vector<VectorId>& bucket : ivf.value().buckets) {
+      group_sizes.push_back(bucket.size());
+      ids.insert(ids.end(), bucket.begin(), bucket.end());
+    }
+    VectorSet centroids = VectorSet::FromRowMajor(
+        ivf.value().centroid_rows, ivf.value().num_buckets, qi.dim);
+    StoreImage& ci = cent.value();
+    PdxStore centroids_pdx = PdxStore::FromView(
+        ci.dim, ci.count, ci.block_counts, std::move(ci.group_block_start),
+        ci.ids, std::move(ci.stats), std::move(ci.block_stats), ci.arena);
+    owned = std::make_unique<IvfIndex>(
+        IvfIndex::FromParts(qi.count, std::move(centroids),
+                            std::move(centroids_pdx),
+                            std::move(ivf.value().buckets)));
+  } else {
+    group_sizes.push_back(qi.count);
+  }
+  if (ids.size() != (config.layout == SearcherLayout::kIvf ? qi.count : 0)) {
+    return Status::Corruption("collection file " + image->path() +
+                              ": bucket lists disagree with quant count");
+  }
+
+  QuantizedPdxStore qstore = QuantizedPdxStore::FromView(
+      qi.dim, std::move(qi.offsets), std::move(qi.scales), group_sizes,
+      std::move(ids), config.block_capacity, qi.codes);
+  const IvfIndex* index = owned.get();
+  std::unique_ptr<Searcher> searcher(new QuantizedSearcher(
+      std::move(config), std::move(qstore), VectorSet{}, qi.rows,
+      std::move(owned), index));
+  searcher->PinImage(std::move(image));
+  return searcher;
+}
+
+}  // namespace pdx

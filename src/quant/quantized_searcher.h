@@ -1,0 +1,50 @@
+#ifndef PDX_QUANT_QUANTIZED_SEARCHER_H_
+#define PDX_QUANT_QUANTIZED_SEARCHER_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/status.h"
+#include "core/any_searcher.h"
+#include "storage/collection_format.h"
+#include "storage/vector_set.h"
+
+namespace pdx {
+
+/// Factories for the u8 quantized serving tier (SearcherConfig::quantization
+/// = kU8): a dimension-major u8 code scan (quant/quantized_store.h) selects
+/// k * rerank_factor candidates, whose exact distances are recomputed on the
+/// retained full-precision rows. Products implement the full Searcher
+/// facade — per-slot SearchWith/SearchBatchWith bands, ExportSaved to the
+/// PDXC quant sections, quantized_bytes() — so they compose with
+/// MakeShardedSearcher and the serving layer unchanged. store() is the one
+/// unsupported surface (there is no float PDX store to expose) and fails
+/// loudly.
+///
+/// MakeSearcher routes here when config.quantization != kNone; call these
+/// directly only from code that already knows it wants the quantized tier.
+
+/// Quantizes and serves `vectors` under `config` (flat layout scans every
+/// block; kIvf builds an owned IVF index with config.ivf and scans the
+/// nprobe nearest buckets' blocks).
+Result<std::unique_ptr<Searcher>> MakeQuantizedSearcher(
+    const VectorSet& vectors, SearcherConfig config);
+
+/// Same, over a caller-owned IVF index (must outlive the searcher and have
+/// been built over `vectors`; layout must be kIvf).
+Result<std::unique_ptr<Searcher>> MakeQuantizedSearcher(
+    const VectorSet& vectors, const IvfIndex& index, SearcherConfig config);
+
+/// Restores a quantized searcher from shard `shard`'s kQuantParams /
+/// kQuantCodes / kQuantRows sections of `image`: codes and rerank rows
+/// become zero-copy views into the image (which the searcher pins) and no
+/// requantization runs — the persistence tests pin QuantizedPackCount at
+/// zero across this call. `config` must be the resolved config decoded
+/// from the image's meta.
+Result<std::unique_ptr<Searcher>> MakeQuantizedSearcherFromImage(
+    std::shared_ptr<const CollectionImage> image, uint32_t shard,
+    SearcherConfig config);
+
+}  // namespace pdx
+
+#endif  // PDX_QUANT_QUANTIZED_SEARCHER_H_

@@ -1,63 +1,150 @@
 #include "quant/quantized_store.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cmath>
+#include <numeric>
 
 #include "storage/block_stats.h"
 
 namespace pdx {
 
-QuantizedPdxStore QuantizedPdxStore::FromVectorSet(const VectorSet& vectors,
-                                                   size_t block_capacity) {
-  assert(block_capacity > 0);
-  QuantizedPdxStore store;
-  store.dim_ = vectors.dim();
-  store.count_ = vectors.count();
+namespace {
 
+/// Floor for per-dimension scales. Degenerate (constant) dimensions would
+/// otherwise divide by zero; the floor must also keep the derived values
+/// finite: TransformQuery computes weight = scale^2, and a floor of 1e-30f
+/// squares to 1e-60 — below the smallest normal float, so the weight
+/// underflows to 0.0f while q' = (q - offset)/scale blows up, and the
+/// kernel's 0 * huge^2 poisons every distance in the block with NaN.
+/// 1e-10f squares to 1e-20 (comfortably normal), and a dimension only hits
+/// the floor when its whole range is below 255 * 1e-10 — constant at float
+/// precision anyway, so the rounding radius it implies is negligible.
+constexpr float kMinScale = 1e-10f;
+
+std::atomic<uint64_t> g_quantized_packs{0};
+
+}  // namespace
+
+uint64_t QuantizedPackCount() {
+  return g_quantized_packs.load(std::memory_order_relaxed);
+}
+
+void QuantizedPdxStore::BuildLayout(const std::vector<size_t>& group_sizes,
+                                    size_t block_capacity) {
+  assert(block_capacity > 0);
+  group_block_start_.clear();
+  group_block_start_.push_back(0);
+  size_t offset = 0;
+  size_t position = 0;
+  for (const size_t size : group_sizes) {
+    size_t remaining = size;
+    while (remaining > 0) {
+      const size_t n = std::min(block_capacity, remaining);
+      block_offsets_.push_back(offset);
+      block_counts_.push_back(n);
+      block_first_row_.push_back(position);
+      offset += n * dim_;
+      position += n;
+      remaining -= n;
+    }
+    group_block_start_.push_back(block_offsets_.size());
+  }
+  assert(position == count_);
+}
+
+void QuantizedPdxStore::FitParameters(const VectorSet& vectors) {
   const DimensionStats stats =
       ComputeStats(vectors.data(), vectors.count(), vectors.dim());
-  store.offsets_.resize(store.dim_);
-  store.scales_.resize(store.dim_);
-  for (size_t d = 0; d < store.dim_; ++d) {
-    store.offsets_[d] = stats.minimums[d];
+  offsets_.resize(dim_);
+  scales_.resize(dim_);
+  for (size_t d = 0; d < dim_; ++d) {
+    offsets_[d] = stats.minimums[d];
     const float range = stats.maximums[d] - stats.minimums[d];
-    // Guard degenerate (constant) dimensions against divide-by-zero.
-    store.scales_[d] = std::max(range / 255.0f, 1e-30f);
+    // Guard degenerate (constant) dimensions against divide-by-zero — see
+    // kMinScale for why the floor must be this large.
+    scales_[d] = std::max(range / 255.0f, kMinScale);
   }
+}
 
-  store.codes_.resize(store.count_ * store.dim_);
-  size_t offset = 0;
-  size_t row = 0;
-  while (row < store.count_) {
-    const size_t n = std::min(block_capacity, store.count_ - row);
-    store.block_offsets_.push_back(offset);
-    store.block_counts_.push_back(n);
-    store.block_first_row_.push_back(row);
-    uint8_t* block = store.codes_.data() + offset;
+void QuantizedPdxStore::EncodeRows(const VectorSet& vectors) {
+  codes_.resize(count_ * dim_);
+  codes_data_ = codes_.data();
+  for (size_t b = 0; b < block_offsets_.size(); ++b) {
+    const size_t n = block_counts_[b];
+    uint8_t* block = codes_.data() + block_offsets_[b];
     for (size_t i = 0; i < n; ++i) {
-      const float* v = vectors.Vector(static_cast<VectorId>(row + i));
-      for (size_t d = 0; d < store.dim_; ++d) {
-        const float code =
-            std::round((v[d] - store.offsets_[d]) / store.scales_[d]);
+      const size_t position = block_first_row_[b] + i;
+      const VectorId row =
+          ids_.empty() ? static_cast<VectorId>(position) : ids_[position];
+      const float* v = vectors.Vector(row);
+      for (size_t d = 0; d < dim_; ++d) {
+        const float code = std::round((v[d] - offsets_[d]) / scales_[d]);
         block[d * n + i] =
             static_cast<uint8_t>(std::clamp(code, 0.0f, 255.0f));
       }
     }
-    offset += n * store.dim_;
-    row += n;
   }
+  g_quantized_packs.fetch_add(1, std::memory_order_relaxed);
+}
+
+QuantizedPdxStore QuantizedPdxStore::FromVectorSet(const VectorSet& vectors,
+                                                   size_t block_capacity) {
+  QuantizedPdxStore store;
+  store.dim_ = vectors.dim();
+  store.count_ = vectors.count();
+  store.FitParameters(vectors);
+  store.BuildLayout({vectors.count()}, block_capacity);
+  store.EncodeRows(vectors);
   return store;
 }
 
-void QuantizedPdxStore::Dequantize(VectorId id, float* out) const {
-  assert(id < count_);
-  // Locate the block (blocks are equally sized except the tail).
-  size_t b = 0;
-  while (b + 1 < block_first_row_.size() && block_first_row_[b + 1] <= id) {
-    ++b;
+QuantizedPdxStore QuantizedPdxStore::FromGroups(
+    const VectorSet& vectors, const std::vector<std::vector<VectorId>>& groups,
+    size_t block_capacity) {
+  QuantizedPdxStore store;
+  store.dim_ = vectors.dim();
+  store.count_ = vectors.count();
+  store.FitParameters(vectors);
+  std::vector<size_t> sizes;
+  sizes.reserve(groups.size());
+  store.ids_.reserve(vectors.count());
+  for (const std::vector<VectorId>& group : groups) {
+    sizes.push_back(group.size());
+    store.ids_.insert(store.ids_.end(), group.begin(), group.end());
   }
-  const size_t lane = id - block_first_row_[b];
+  assert(store.ids_.size() == store.count_);
+  store.BuildLayout(sizes, block_capacity);
+  store.EncodeRows(vectors);
+  return store;
+}
+
+QuantizedPdxStore QuantizedPdxStore::FromView(
+    size_t dim, std::vector<float> offsets, std::vector<float> scales,
+    const std::vector<size_t>& group_sizes, std::vector<VectorId> ids,
+    size_t block_capacity, const uint8_t* codes) {
+  QuantizedPdxStore store;
+  store.dim_ = dim;
+  store.count_ =
+      std::accumulate(group_sizes.begin(), group_sizes.end(), size_t{0});
+  store.offsets_ = std::move(offsets);
+  store.scales_ = std::move(scales);
+  store.ids_ = std::move(ids);
+  store.BuildLayout(group_sizes, block_capacity);
+  store.codes_data_ = codes;
+  return store;
+}
+
+void QuantizedPdxStore::Dequantize(VectorId position, float* out) const {
+  assert(position < count_);
+  // Locate the block: block_first_row_ is sorted, so the containing block
+  // is the last entry <= position (upper_bound - 1) — O(log blocks), where
+  // the old linear walk made the rerank/fallback path O(blocks) per row.
+  const auto it = std::upper_bound(block_first_row_.begin(),
+                                   block_first_row_.end(), size_t{position});
+  const size_t b = static_cast<size_t>(it - block_first_row_.begin()) - 1;
+  const size_t lane = position - block_first_row_[b];
   const uint8_t* block = BlockData(b);
   const size_t n = block_counts_[b];
   for (size_t d = 0; d < dim_; ++d) {

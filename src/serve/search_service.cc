@@ -65,6 +65,16 @@ struct SearchService::Collection {
   size_t dim = 0;    ///< Query vector length; the wire layer validates this.
   size_t count = 0;  ///< Live vectors hosted; refreshed on every mutation.
   PrunerKind pruner = PrunerKind::kBond;
+  /// Serving tier, captured at adoption (kNone = exact float tier).
+  QuantizationKind quantization = QuantizationKind::kNone;
+  /// u8 tier exact-rerank over-fetch; 0 on float collections.
+  size_t rerank_factor = 0;
+  /// Resident u8 code bytes (summed across shards); 0 on float tiers.
+  uint64_t quantized_bytes = 0;
+  /// Candidates the u8 tier exact-reranked, lifetime. Atomic because
+  /// DispatchBatch bumps it outside mutex_ (same path as the lock-free
+  /// metric counters) while Stats() reads it under mutex_.
+  std::atomic<uint64_t> rerank_total{0};
   /// The searcher downcast, set iff the service built it mutable (from
   /// vectors): the AddVectors/DeleteVectors surface and the compactor
   /// route through it. Never owning — `searcher` holds the same object.
@@ -133,7 +143,9 @@ struct SearchService::Collection {
     MetricCounter* values_scanned = nullptr;
     MetricCounter* values_avoided = nullptr;
     MetricCounter* dims_scanned = nullptr;
+    MetricCounter* rerank_candidates = nullptr;
     MetricGauge* vectors = nullptr;
+    MetricGauge* quantized_bytes = nullptr;
     MetricCounter* ingested = nullptr;
     MetricCounter* removed = nullptr;
     MetricCounter* compactions = nullptr;
@@ -279,8 +291,15 @@ void SearchService::ResolveCollectionMetrics(Collection& collection) {
                           "Dimension values skipped by pruning");
   m.dims_scanned = work("pdx_search_dims_scanned_total",
                         "Dimension steps walked across visited blocks");
+  m.rerank_candidates =
+      work("pdx_search_rerank_candidates_total",
+           "Candidates the u8 quantized tier exact-reranked");
   m.vectors = metrics_->GetGauge("pdx_collection_vectors",
                                  "Vectors hosted, per collection", by_name);
+  m.quantized_bytes = metrics_->GetGauge(
+      "pdx_quantized_bytes",
+      "Resident u8 code bytes of the quantized serving tier, per collection",
+      by_name);
   // Streaming-ingest instruments. Resolved for every collection (an
   // immutable one just leaves them at zero) so a PUT replace that flips a
   // name between mutable and immutable keeps one cumulative series.
@@ -350,6 +369,9 @@ Status SearchService::Adopt(const std::string& name,
   collection->dim = searcher->dim();
   collection->count = searcher->count();
   collection->pruner = searcher->options().pruner;
+  collection->quantization = searcher->options().quantization;
+  collection->rerank_factor = searcher->options().rerank_factor;
+  collection->quantized_bytes = searcher->quantized_bytes();
   collection->live = live;
   collection->source = source;
   collection->mapped_bytes = mapped_bytes;
@@ -363,6 +385,8 @@ Status SearchService::Adopt(const std::string& name,
   ResolveCollectionMetrics(*collection);
   collection->metric.vectors->Set(static_cast<double>(collection->count));
   collection->metric.mmap_bytes->Set(static_cast<double>(mapped_bytes));
+  collection->metric.quantized_bytes->Set(
+      static_cast<double>(collection->quantized_bytes));
   collection->searcher = std::move(searcher);
   collections_.emplace(name, std::move(collection));
   collections_gauge_->Set(static_cast<double>(collections_.size()));
@@ -374,6 +398,16 @@ Status SearchService::AddCollection(const std::string& name,
                                     SearcherConfig config) {
   config.pool = &pool_;
   config.threads = 0;
+  // The u8 tier has no streaming-ingest path: build it through the plain
+  // facade (MakeSearcher routes to the quantized searcher) and adopt it
+  // with live = nullptr, so AddVectors/DeleteVectors/Upsert answer
+  // kUnsupported instead of corrupting the code blocks.
+  if (config.quantization != QuantizationKind::kNone) {
+    auto made = MakeSearcher(vectors, std::move(config));
+    if (!made.ok()) return made.status();
+    std::unique_ptr<Searcher> searcher = std::move(made).value();
+    return Adopt(name, searcher);
+  }
   auto made = MutableSearcher::Make(vectors, std::move(config),
                                     config_.mutation);
   if (!made.ok()) return made.status();
@@ -401,6 +435,14 @@ Status SearchService::AddCollection(const std::string& name,
                                     ShardingOptions sharding) {
   config.pool = &pool_;
   config.threads = 0;
+  // Quantized shards compose the same way float shards do, but stay
+  // immutable — same reasoning as the unsharded overload above.
+  if (config.quantization != QuantizationKind::kNone) {
+    auto made = MakeShardedSearcher(vectors, std::move(config), sharding);
+    if (!made.ok()) return made.status();
+    std::unique_ptr<Searcher> searcher = std::move(made).value();
+    return Adopt(name, searcher);
+  }
   auto made = MutableSearcher::Make(vectors, std::move(config),
                                     config_.mutation, sharding);
   if (!made.ok()) return made.status();
@@ -699,6 +741,9 @@ Result<CollectionInfo> SearchService::GetCollectionInfo(
   info.shards = host.searcher->num_shards();
   info.layout = host.layout;
   info.pruner = host.pruner;
+  info.quantization = host.quantization;
+  info.rerank_factor = host.rerank_factor;
+  info.quantized_bytes = host.quantized_bytes;
   info.source = host.source;
   return info;
 }
@@ -920,6 +965,11 @@ ServiceStats SearchService::Stats() const {
     cs.source = collection->source;
     cs.mapped_bytes = collection->mapped_bytes;
     cs.shard_dispatches = collection->searcher->ShardDispatchCounts();
+    cs.quantization = QuantizationKindName(collection->quantization);
+    cs.rerank_factor = collection->rerank_factor;
+    cs.quantized_bytes = collection->quantized_bytes;
+    cs.rerank_candidates =
+        collection->rerank_total.load(std::memory_order_relaxed);
     cs.queue_wait = collection->queue_wait.Summary();
     cs.latency = collection->latency.Summary();
     if (collection->live != nullptr) {
@@ -1164,6 +1214,9 @@ void SearchService::DispatchBatch(
     host->metric.values_scanned->Inc(batch_work.values_scanned);
     host->metric.values_avoided->Inc(batch_work.values_avoided);
     host->metric.dims_scanned->Inc(batch_work.dims_scanned);
+    host->metric.rerank_candidates->Inc(batch_work.rerank_candidates);
+    host->rerank_total.fetch_add(batch_work.rerank_candidates,
+                                 std::memory_order_relaxed);
     for (size_t i = 0; i < live.size(); ++i) {
       Complete(std::move(live[i]), Status::OK(), std::move(results[i]));
     }

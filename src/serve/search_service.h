@@ -89,6 +89,14 @@ struct CollectionInfo {
   size_t shards = 1;
   SearcherLayout layout = SearcherLayout::kFlat;
   PrunerKind pruner = PrunerKind::kBond;
+  /// Quantization tier the collection serves on (kNone = exact float).
+  QuantizationKind quantization = QuantizationKind::kNone;
+  /// The u8 tier's exact-rerank over-fetch multiplier (0 = raw quantized
+  /// distances); always 0 when quantization == kNone.
+  size_t rerank_factor = 0;
+  /// Resident bytes of u8 codes (~count x dim on the u8 tier, summed
+  /// across shards); 0 on float collections.
+  uint64_t quantized_bytes = 0;
   /// How the collection got here: "built" (constructed from vectors),
   /// "mmap" (restored from a collection file served from a live mapping),
   /// or "loaded" (restored via the heap-copy fallback).
@@ -137,6 +145,11 @@ class SearchService {
   /// collection accepts AddVectors/DeleteVectors/Upsert while serving.
   /// `vectors` is copied — it need not outlive the collection. Fails with
   /// InvalidArgument on a duplicate name or whatever MakeSearcher rejects.
+  ///
+  /// With config.quantization != kNone the collection is built on the
+  /// quantized serving tier instead (MakeSearcher routes to the u8
+  /// searcher) and is IMMUTABLE: AddVectors/DeleteVectors/Upsert fail
+  /// with kUnsupported — the u8 tier has no streaming-ingest path yet.
   Status AddCollection(const std::string& name, const VectorSet& vectors,
                        SearcherConfig config);
 

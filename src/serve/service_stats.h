@@ -35,6 +35,17 @@ struct CollectionStats {
   /// Per-shard count of shard-level query executions (each dispatched
   /// query bumps every shard it fanned out to); empty when unsharded.
   std::vector<uint64_t> shard_dispatches;
+  /// Quantization tier this collection serves on ("none" or "u8").
+  std::string quantization = "none";
+  /// Over-fetch multiplier of the u8 tier's exact re-rank (0 = serve raw
+  /// quantized distances); 0 on float collections.
+  size_t rerank_factor = 0;
+  /// Bytes of u8 codes resident for this collection (~count x dim on the
+  /// u8 tier, summed across shards); 0 on float collections.
+  uint64_t quantized_bytes = 0;
+  /// Candidates the u8 tier re-ranked with exact float distances,
+  /// lifetime; 0 on float collections.
+  uint64_t rerank_candidates = 0;
   /// Completions per second over the recent ServiceConfig::qps_window:
   /// (n - 1) / span of the completions inside the window. 0 when the
   /// collection has been idle longer than the window — this is a *current*

@@ -229,7 +229,42 @@ Status WriteCollectionFile(const std::string& path,
   for (size_t s = 0; s < saved.shards.size(); ++s) {
     const SavedShard& shard = saved.shards[s];
     const uint32_t shard_unit = static_cast<uint32_t>(s);
-    AppendStoreSections(shard.store, 2 * shard_unit, sections);
+    if (shard.has_quant) {
+      // The quantized tier persists no float PDX store: its state is the
+      // per-dimension parameters, the block-order code arena, and the
+      // full-precision rerank rows (both arenas mmap-served at load).
+      const uint64_t qdim = shard.quant_offsets.size();
+      const uint64_t qcount = qdim == 0 ? 0 : shard.quant_codes_bytes / qdim;
+
+      PendingSection params;
+      params.kind = SectionKind::kQuantParams;
+      params.unit = shard_unit;
+      AppendPod(params.owned, qdim);
+      AppendPod(params.owned, qcount);
+      AppendBytes(params.owned, shard.quant_offsets.data(),
+                  shard.quant_offsets.size() * sizeof(float));
+      AppendBytes(params.owned, shard.quant_scales.data(),
+                  shard.quant_scales.size() * sizeof(float));
+      sections.push_back(std::move(params));
+
+      PendingSection codes;
+      codes.kind = SectionKind::kQuantCodes;
+      codes.unit = shard_unit;
+      codes.external = shard.quant_codes;
+      codes.external_size = shard.quant_codes_bytes;
+      codes.align64 = true;
+      sections.push_back(std::move(codes));
+
+      PendingSection qrows;
+      qrows.kind = SectionKind::kQuantRows;
+      qrows.unit = shard_unit;
+      qrows.external = reinterpret_cast<const uint8_t*>(shard.quant_rows);
+      qrows.external_size = qcount * qdim * sizeof(float);
+      qrows.align64 = true;
+      sections.push_back(std::move(qrows));
+    } else {
+      AppendStoreSections(shard.store, 2 * shard_unit, sections);
+    }
     if (shard.has_ivf) {
       AppendStoreSections(shard.centroids, 2 * shard_unit + 1, sections);
 
@@ -479,7 +514,9 @@ Result<std::shared_ptr<CollectionImage>> CollectionImage::Load(
                                 " extends past end of file");
     }
     if ((static_cast<SectionKind>(e.kind) == SectionKind::kStoreArena ||
-         static_cast<SectionKind>(e.kind) == SectionKind::kRawRows) &&
+         static_cast<SectionKind>(e.kind) == SectionKind::kRawRows ||
+         static_cast<SectionKind>(e.kind) == SectionKind::kQuantCodes ||
+         static_cast<SectionKind>(e.kind) == SectionKind::kQuantRows) &&
         e.offset % kPdxAlignment != 0) {
       return Status::Corruption("collection file " + path +
                                 ": misaligned arena section");
@@ -699,6 +736,43 @@ Result<PcaImage> DecodePca(const CollectionImage& image, uint32_t unit) {
       !reader.AtEnd()) {
     return malformed;
   }
+  return out;
+}
+
+Result<QuantImage> DecodeQuant(const CollectionImage& image, uint32_t unit) {
+  Result<SectionView> params = image.Section(SectionKind::kQuantParams, unit);
+  if (!params.ok()) return params.status();
+  const Status malformed = Status::Corruption(
+      "collection file " + image.path() + ": malformed quant params (unit " +
+      std::to_string(unit) + ")");
+  ByteReader reader(params.value());
+  QuantImage out;
+  uint64_t dim = 0, count = 0;
+  if (!reader.ReadU64(&dim) || !reader.ReadU64(&count) || dim == 0 ||
+      count == 0 || dim > reader.remaining() ||
+      !reader.ReadFloatVector(dim, &out.offsets) ||
+      !reader.ReadFloatVector(dim, &out.scales) || !reader.AtEnd()) {
+    return malformed;
+  }
+  out.dim = dim;
+  out.count = count;
+
+  Result<SectionView> codes = image.Section(SectionKind::kQuantCodes, unit);
+  if (!codes.ok()) return codes.status();
+  if (codes.value().size != count * dim) {
+    return Status::Corruption("collection file " + image.path() +
+                              ": quant codes size disagrees with count x dim");
+  }
+  out.codes = codes.value().data;
+  out.codes_bytes = codes.value().size;
+
+  Result<SectionView> rows = image.Section(SectionKind::kQuantRows, unit);
+  if (!rows.ok()) return rows.status();
+  if (rows.value().size != count * dim * sizeof(float)) {
+    return Status::Corruption("collection file " + image.path() +
+                              ": quant rows size disagrees with count x dim");
+  }
+  out.rows = reinterpret_cast<const float*>(rows.value().data);
   return out;
 }
 

@@ -57,6 +57,9 @@ enum class SectionKind : uint32_t {
   kRawRows = 10,         ///< Mutable base rows, horizontal (mmap-able).
   kDeltaRows = 11,       ///< Mutable delta rows + slots.
   kTombstones = 12,      ///< Mutable slot ids + tombstone bitmap.
+  kQuantParams = 13,     ///< u8 tier per-dimension offsets + scales.
+  kQuantCodes = 14,      ///< u8 tier code arena, block order (mmap-able).
+  kQuantRows = 15,       ///< u8 tier rerank rows, horizontal (mmap-able).
 };
 
 /// Fixed-layout collection metadata — the serialized form of the
@@ -79,10 +82,13 @@ struct SavedMeta {
   uint32_t bond_order = 0;  ///< DimensionOrder (resolved)
   uint32_t bond_zone_size = 0;
   float ads_epsilon0 = 0.0f;
-  uint32_t reserved0 = 0;
+  /// QuantizationKind. Occupies a former reserved field: old files read 0
+  /// = kNone, so the format version is unchanged.
+  uint32_t quantization = 0;
   uint64_t ads_seed = 0;
   float bsa_multiplier = 0.0f;
-  uint32_t reserved1 = 0;
+  /// u8 tier candidate over-fetch (former reserved field; see above).
+  uint32_t rerank_factor = 0;
   uint64_t bsa_max_fit_samples = 0;
   uint64_t ivf_num_buckets = 0;  ///< IvfOptions as configured (rebuilds).
   int64_t ivf_max_iterations = 0;
@@ -128,6 +134,15 @@ struct SavedShard {
   std::vector<float> pca_mean;       ///< BSA only.
   std::vector<float> pca_variance;   ///< BSA only.
   Matrix pca_components;             ///< rows() > 0 for BSA.
+  /// u8 quantized tier (has_quant): the shard persists kQuantParams /
+  /// kQuantCodes / kQuantRows *instead of* a float PDX store (`store` stays
+  /// empty). Codes and rows borrow from the exporting searcher.
+  bool has_quant = false;
+  std::vector<float> quant_offsets;  ///< Per-dimension offsets (dim).
+  std::vector<float> quant_scales;   ///< Per-dimension scales (dim).
+  const uint8_t* quant_codes = nullptr;  ///< Block-order code arena.
+  uint64_t quant_codes_bytes = 0;        ///< count x dim.
+  const float* quant_rows = nullptr;     ///< count x dim, global-id order.
 };
 
 /// Everything WriteCollectionFile needs: metadata, per-shard stores and
@@ -239,6 +254,19 @@ struct PcaImage {
   Matrix components;
 };
 Result<PcaImage> DecodePca(const CollectionImage& image, uint32_t unit);
+
+/// u8 quantized tier of shard `unit`: parameters owned, codes and rerank
+/// rows borrowed 64-byte-aligned views into the image.
+struct QuantImage {
+  size_t dim = 0;
+  size_t count = 0;
+  std::vector<float> offsets;
+  std::vector<float> scales;
+  const uint8_t* codes = nullptr;
+  uint64_t codes_bytes = 0;
+  const float* rows = nullptr;  ///< count x dim, global-id order.
+};
+Result<QuantImage> DecodeQuant(const CollectionImage& image, uint32_t unit);
 
 /// Mutable-snapshot overlay (raw base rows, delta, tombstones).
 struct MutableImage {

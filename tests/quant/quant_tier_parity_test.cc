@@ -1,0 +1,89 @@
+// Cross-tier parity of the quantized (u8) vertical kernel.
+//
+// quant_accumulate is an auto-vectorized template compiled per ISA tier
+// with -ffp-contract=off, exactly like the float PdxAccumulate* family:
+// per-lane accumulation order is identical across tiers by construction
+// (SIMD vectorizes across lanes) and contraction is pinned off, so every
+// tier must be BIT-EXACT against the scalar tier — a quantized searcher
+// gives byte-identical answers whatever tier dispatch picks.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "kernels/kernel_dispatch.h"
+
+namespace pdx {
+namespace {
+
+std::vector<float> RandomFloats(size_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> values(count);
+  for (float& v : values) v = static_cast<float>(rng.Gaussian());
+  return values;
+}
+
+std::vector<uint8_t> RandomCodes(size_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint8_t> codes(count);
+  for (uint8_t& c : codes) {
+    c = static_cast<uint8_t>(rng.UniformInt(256));
+  }
+  return codes;
+}
+
+std::vector<Isa> VectorTiers() {
+  std::vector<Isa> tiers;
+  for (Isa isa : {Isa::kAvx2, Isa::kAvx512}) {
+    if (IsaAvailable(isa)) tiers.push_back(isa);
+  }
+  return tiers;
+}
+
+TEST(QuantTierParityTest, EveryTierCarriesTheQuantKernel) {
+  for (Isa isa : {Isa::kScalar, Isa::kAvx2, Isa::kAvx512, Isa::kBest}) {
+    EXPECT_NE(GetKernelTable(isa).quant_accumulate, nullptr) << IsaName(isa);
+  }
+}
+
+// Lane counts straddle the SIMD widths (8 floats AVX2, 16 AVX-512):
+// remainders, exact multiples, and the full PDX block.
+class QuantTierParityTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(QuantTierParityTest, BitExactAcrossTiersIncludingPartialRanges) {
+  const size_t n = GetParam();
+  const size_t dim = 96;
+  const std::vector<uint8_t> block = RandomCodes(n * dim, 100 + n);
+  const std::vector<float> query_prime = RandomFloats(dim, 200 + n);
+  std::vector<float> weights = RandomFloats(dim, 300 + n);
+  for (float& w : weights) w = w * w;  // Weights are scale^2 — nonnegative.
+
+  // Partial dimension ranges exercise the d_start/d_end stepping the
+  // PDXearch loop drives (not just whole-vector scans).
+  const size_t ranges[][2] = {{0, dim}, {0, 17}, {17, 63}, {63, dim}};
+  for (const auto& range : ranges) {
+    std::vector<float> expected(n, 1.5f);  // Accumulates ON TOP of seed.
+    GetKernelTable(Isa::kScalar)
+        .quant_accumulate(query_prime.data(), weights.data(), block.data(),
+                          n, range[0], range[1], expected.data());
+    for (Isa isa : VectorTiers()) {
+      std::vector<float> actual(n, 1.5f);
+      GetKernelTable(isa).quant_accumulate(query_prime.data(),
+                                           weights.data(), block.data(), n,
+                                           range[0], range[1], actual.data());
+      for (size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(actual[i], expected[i])
+            << IsaName(isa) << " lane " << i << " dims [" << range[0] << ", "
+            << range[1] << ")";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LaneCounts, QuantTierParityTest,
+                         ::testing::Values(1, 7, 8, 16, 33, 57, 64, 1024));
+
+}  // namespace
+}  // namespace pdx

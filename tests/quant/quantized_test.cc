@@ -76,6 +76,75 @@ TEST(QuantizedStoreTest, ConstantDimensionSafe) {
   EXPECT_NEAR(restored[1], 3.0f, 0.02f);
 }
 
+// Regression: a constant dimension used to floor the scale at 1e-30f,
+// whose square (the code-space weight) underflows to 0.0f while the
+// transformed query coordinate (q_d - offset_d) / scale_d blows up to
+// ~1e30 — the kernel then computed 0 * inf = NaN, and one NaN poisons
+// every distance in the block (NaN compares false, so the top-k heap
+// ends up with garbage). This test fails pre-fix: every distance of the
+// scan came back NaN whenever the query differed from the collection on
+// the constant dimension.
+TEST(QuantizedStoreTest, ConstantDimensionQueryOffsetNoNaN) {
+  VectorSet vectors(2);
+  for (int i = 0; i < 10; ++i) {
+    const float row[2] = {5.0f, float(i)};
+    vectors.Append(row);
+  }
+  QuantizedPdxStore store = QuantizedPdxStore::FromVectorSet(vectors);
+  // Query differs from the collection on the constant dimension — the
+  // exact case where q'_0 = (7 - 5) / scale_0 explodes as scale_0 -> 0.
+  const float query[2] = {7.0f, 4.5f};
+  std::vector<float> query_prime(2);
+  std::vector<float> weights(2);
+  store.TransformQuery(query, query_prime.data(), weights.data());
+  std::vector<float> out(store.count());
+  QuantizedPdxLinearScan(store, query_prime.data(), weights.data(),
+                         out.data());
+  for (size_t i = 0; i < store.count(); ++i) {
+    ASSERT_FALSE(std::isnan(out[i])) << "vector " << i;
+    ASSERT_TRUE(std::isfinite(out[i])) << "vector " << i;
+  }
+  // And the search over those distances still ranks by the varying
+  // dimension: vector 4 (value 4.0) and 5 (value 5.0) are nearest to 4.5.
+  auto result = QuantizedFlatSearch(store, vectors, query, 2,
+                                    /*rerank_factor=*/0);
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  ASSERT_EQ(result.value().size(), 2u);
+  EXPECT_TRUE(result.value()[0].id == 4 || result.value()[0].id == 5);
+  EXPECT_TRUE(result.value()[1].id == 4 || result.value()[1].id == 5);
+}
+
+// A count/dim mismatch between the quantized store and the rerank rows
+// must fail loudly with InvalidArgument — in an NDEBUG build the old
+// assert-only guard compiled away and the rerank pass read out of bounds.
+TEST(QuantizedSearchErrors, MismatchedOriginalsRejected) {
+  Dataset dataset = MakeDataset(8, ValueDistribution::kNormal, 11);
+  QuantizedPdxStore store = QuantizedPdxStore::FromVectorSet(dataset.data);
+
+  VectorSet short_set(8);
+  for (VectorId id = 0; id < 5; ++id) {
+    short_set.Append(dataset.data.Vector(id));
+  }
+  auto wrong_count = QuantizedFlatSearch(store, short_set,
+                                         dataset.queries.Vector(0), 10, 4);
+  ASSERT_FALSE(wrong_count.ok());
+  EXPECT_TRUE(wrong_count.status().IsInvalidArgument());
+
+  VectorSet wrong_dim_set(4);
+  for (size_t i = 0; i < dataset.data.count(); ++i) {
+    wrong_dim_set.Append(dataset.data.Vector(i));  // Truncated rows.
+  }
+  auto wrong_dim = QuantizedFlatSearch(store, wrong_dim_set,
+                                       dataset.queries.Vector(0), 10, 4);
+  ASSERT_FALSE(wrong_dim.ok());
+  EXPECT_TRUE(wrong_dim.status().IsInvalidArgument());
+
+  auto zero_k =
+      QuantizedFlatSearch(store, dataset.data, dataset.queries.Vector(0), 0);
+  ASSERT_FALSE(zero_k.ok());
+  EXPECT_TRUE(zero_k.status().IsInvalidArgument());
+}
+
 TEST(QuantizedKernelsTest, DistanceMatchesDequantizedReference) {
   Dataset dataset = MakeDataset(24, ValueDistribution::kNormal, 3);
   QuantizedPdxStore store = QuantizedPdxStore::FromVectorSet(dataset.data);
@@ -134,9 +203,27 @@ TEST_P(QuantizedSearchTest, RerankedSearchNearExactRecall) {
     const auto result = QuantizedFlatSearch(
         store, dataset.data, dataset.queries.Vector(q), 10,
         /*rerank_factor=*/4);
-    recall_sum += RecallAtK(result, truth[q], 10);
+    ASSERT_TRUE(result.ok()) << result.status().message();
+    recall_sum += RecallAtK(result.value(), truth[q], 10);
   }
   EXPECT_GT(recall_sum / dataset.queries.count(), 0.97);
+}
+
+TEST_P(QuantizedSearchTest, RerankFactorTwoStillHitsRecallTarget) {
+  const auto [dim, distribution] = GetParam();
+  Dataset dataset = MakeDataset(dim, distribution, 130 + dim);
+  QuantizedPdxStore store = QuantizedPdxStore::FromVectorSet(dataset.data);
+  const auto truth =
+      ComputeGroundTruth(dataset.data, dataset.queries, 10, Metric::kL2);
+  double recall_sum = 0.0;
+  for (size_t q = 0; q < dataset.queries.count(); ++q) {
+    const auto result = QuantizedFlatSearch(
+        store, dataset.data, dataset.queries.Vector(q), 10,
+        /*rerank_factor=*/2);
+    ASSERT_TRUE(result.ok()) << result.status().message();
+    recall_sum += RecallAtK(result.value(), truth[q], 10);
+  }
+  EXPECT_GT(recall_sum / dataset.queries.count(), 0.95);
 }
 
 TEST_P(QuantizedSearchTest, UnrerankedStillDecent) {
@@ -150,7 +237,8 @@ TEST_P(QuantizedSearchTest, UnrerankedStillDecent) {
     const auto result = QuantizedFlatSearch(
         store, dataset.data, dataset.queries.Vector(q), 10,
         /*rerank_factor=*/0);
-    recall_sum += RecallAtK(result, truth[q], 10);
+    ASSERT_TRUE(result.ok()) << result.status().message();
+    recall_sum += RecallAtK(result.value(), truth[q], 10);
   }
   EXPECT_GT(recall_sum / dataset.queries.count(), 0.8);
 }
@@ -175,7 +263,8 @@ TEST(QuantizedSearchTest, RerankFactorImprovesRecall) {
     for (size_t q = 0; q < dataset.queries.count(); ++q) {
       const auto result = QuantizedFlatSearch(
           store, dataset.data, dataset.queries.Vector(q), 10, factor);
-      sum += RecallAtK(result, truth[q], 10);
+      EXPECT_TRUE(result.ok()) << result.status().message();
+      sum += RecallAtK(result.value(), truth[q], 10);
     }
     return sum / dataset.queries.count();
   };
